@@ -1,0 +1,301 @@
+//! # delta-baselines — prior-work models DeLTA is compared against
+//!
+//! The paper's related work (§III) models GPU performance from arithmetic
+//! throughput and global-memory bandwidth with *fixed* cache miss rates —
+//! Zhou et al. and Hong & Kim set the miss rate parameter to 1.0. This
+//! crate reimplements that methodology so the comparison figures can be
+//! regenerated:
+//!
+//! * [`FixedMissRateModel`] — per-level traffic as `L1 × mr` cascades
+//!   (Fig. 12's "prior methodology" is `mr = 1.0`; Fig. 15b sweeps
+//!   0.3 / 0.5 / 0.7 / 1.0);
+//! * [`ThroughputRoofline`] — a Hong–Kim-style two-resource bound
+//!   (compute vs DRAM) without any cache hierarchy, the structural shape
+//!   of the pre-DeLTA analytical models.
+//!
+//! ```rust
+//! use delta_baselines::FixedMissRateModel;
+//! use delta_model::{ConvLayer, GpuSpec};
+//!
+//! # fn main() -> Result<(), delta_model::Error> {
+//! let layer = ConvLayer::builder("l")
+//!     .batch(64).input(96, 28, 28).output_channels(128)
+//!     .filter(3, 3).pad(1).build()?;
+//! let prior = FixedMissRateModel::prior_methodology(GpuSpec::titan_xp());
+//! let t = prior.estimate_traffic(&layer);
+//! // 100% miss rates: DRAM traffic == L1 traffic (massively overestimated).
+//! assert_eq!(t.dram_bytes, t.l1_bytes);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+#![warn(rust_2018_idioms)]
+
+use delta_model::tiling::LayerTiling;
+use delta_model::traffic::{self, l1::MliMode};
+use delta_model::{Bottleneck, ConvLayer, GpuSpec, TrafficEstimate};
+use serde::{Deserialize, Serialize};
+
+/// Performance estimate from a baseline model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaselineEstimate {
+    /// Predicted execution time in seconds.
+    pub seconds: f64,
+    /// Predicted cycles (core clocks).
+    pub cycles: f64,
+    /// The two-resource bound that dominated.
+    pub bottleneck: Bottleneck,
+}
+
+/// The prior methodology: DeLTA's L1 traffic model with *fixed* miss rates
+/// in place of the reuse analysis (§III, Figs. 12 & 15b).
+///
+/// L2 traffic is `L1 × l1_miss_rate` and DRAM traffic is
+/// `L2 × l2_miss_rate`; performance is the max of the compute time and the
+/// per-level transfer times.
+#[derive(Debug, Clone)]
+pub struct FixedMissRateModel {
+    gpu: GpuSpec,
+    l1_miss_rate: f64,
+    l2_miss_rate: f64,
+}
+
+impl FixedMissRateModel {
+    /// Creates a model with the same miss rate at both cache levels (the
+    /// papers the comparison targets use a single parameter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `miss_rate` is outside `(0, 1]`.
+    pub fn new(gpu: GpuSpec, miss_rate: f64) -> FixedMissRateModel {
+        assert!(
+            miss_rate > 0.0 && miss_rate <= 1.0,
+            "miss rate must be in (0, 1], got {miss_rate}"
+        );
+        FixedMissRateModel {
+            gpu,
+            l1_miss_rate: miss_rate,
+            l2_miss_rate: miss_rate,
+        }
+    }
+
+    /// The configuration prior work advocates: 1.0 miss rate at both
+    /// levels ("the models proposed by Zhou et al. and Sunpyo et al.
+    /// include cache miss rate as a parameter but it is naively set to
+    /// 1").
+    pub fn prior_methodology(gpu: GpuSpec) -> FixedMissRateModel {
+        FixedMissRateModel::new(gpu, 1.0)
+    }
+
+    /// The miss-rate sweep of Fig. 15b.
+    pub fn fig15_sweep(gpu: &GpuSpec) -> Vec<FixedMissRateModel> {
+        [0.3, 0.5, 0.7, 1.0]
+            .into_iter()
+            .map(|mr| FixedMissRateModel::new(gpu.clone(), mr))
+            .collect()
+    }
+
+    /// The configured miss rate.
+    pub fn miss_rate(&self) -> f64 {
+        self.l1_miss_rate
+    }
+
+    /// The GPU this model evaluates on.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// Traffic estimate: L1 from the (accurate) request model, then fixed
+    /// miss-rate cascades for L2 and DRAM.
+    pub fn estimate_traffic(&self, layer: &ConvLayer) -> TrafficEstimate {
+        let tiling = LayerTiling::new(layer);
+        let accurate = traffic::estimate(layer, &tiling, &self.gpu, MliMode::PaperProfiled);
+        let l1 = accurate.l1_bytes;
+        let l2 = l1 * self.l1_miss_rate;
+        let dram = l2 * self.l2_miss_rate;
+        TrafficEstimate {
+            l1_bytes: l1,
+            l2_bytes: l2,
+            dram_bytes: dram,
+            dram_ifmap_bytes: dram,
+            dram_filter_bytes: 0.0,
+            ..accurate
+        }
+    }
+
+    /// Performance estimate: `max(compute, L1, L2, DRAM transfer)` time —
+    /// the structure prior models share, with no reuse-aware traffic.
+    pub fn estimate_performance(&self, layer: &ConvLayer) -> BaselineEstimate {
+        let t = self.estimate_traffic(layer);
+        let g = &self.gpu;
+        let compute_clks = layer.macs() as f64
+            / (g.macs_per_clk_per_sm() * f64::from(g.num_sm()));
+        let l1_clks = t.l1_bytes / (g.l1_bytes_per_clk() * f64::from(g.num_sm()));
+        let l2_clks = t.l2_bytes / g.l2_bytes_per_clk();
+        let dram_clks = t.dram_bytes / g.dram_bytes_per_clk();
+        let (cycles, bottleneck) = [
+            (compute_clks, Bottleneck::MacBw),
+            (l1_clks, Bottleneck::L1Bw),
+            (l2_clks, Bottleneck::L2Bw),
+            (dram_clks, Bottleneck::DramBw),
+        ]
+        .into_iter()
+        .max_by(|a, b| a.0.total_cmp(&b.0))
+        .expect("four candidates");
+        BaselineEstimate {
+            seconds: g.clks_to_seconds(cycles),
+            cycles,
+            bottleneck,
+        }
+    }
+}
+
+/// A cache-oblivious two-resource roofline (Hong & Kim's structural
+/// shape): time = max(compute time, compulsory DRAM transfer time).
+///
+/// Unlike [`FixedMissRateModel`] it does not overestimate traffic — it
+/// *underestimates* it by assuming perfect caching, bounding the error
+/// from the other side.
+#[derive(Debug, Clone)]
+pub struct ThroughputRoofline {
+    gpu: GpuSpec,
+}
+
+impl ThroughputRoofline {
+    /// Creates the roofline for `gpu`.
+    pub fn new(gpu: GpuSpec) -> ThroughputRoofline {
+        ThroughputRoofline { gpu }
+    }
+
+    /// Performance estimate from peak MAC throughput and compulsory
+    /// footprint traffic.
+    pub fn estimate_performance(&self, layer: &ConvLayer) -> BaselineEstimate {
+        let g = &self.gpu;
+        let compute_clks =
+            layer.macs() as f64 / (g.macs_per_clk_per_sm() * f64::from(g.num_sm()));
+        let dram_clks = layer.footprint_bytes() as f64 / g.dram_bytes_per_clk();
+        let (cycles, bottleneck) = if compute_clks >= dram_clks {
+            (compute_clks, Bottleneck::MacBw)
+        } else {
+            (dram_clks, Bottleneck::DramBw)
+        };
+        BaselineEstimate {
+            seconds: g.clks_to_seconds(cycles),
+            cycles,
+            bottleneck,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_model::Delta;
+
+    fn reuse_heavy_layer() -> ConvLayer {
+        ConvLayer::builder("3x3")
+            .batch(256)
+            .input(256, 14, 14)
+            .output_channels(256)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap()
+    }
+
+    fn pointwise_layer() -> ConvLayer {
+        ConvLayer::builder("1x1")
+            .batch(256)
+            .input(256, 14, 14)
+            .output_channels(256)
+            .filter(1, 1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn prior_methodology_overestimates_dram_massively_for_3x3() {
+        // Fig. 12: large filters are off by up to ~100x; 1x1 filters much
+        // less.
+        let layer = reuse_heavy_layer();
+        let prior = FixedMissRateModel::prior_methodology(GpuSpec::titan_xp());
+        let delta = Delta::new(GpuSpec::titan_xp());
+        let dt = delta.estimate_traffic(&layer).unwrap();
+        let bt = prior.estimate_traffic(&layer);
+        let over_3x3 = bt.dram_bytes / dt.dram_bytes;
+        assert!(over_3x3 > 10.0, "expected >10x overestimate, got {over_3x3}");
+
+        let pw = pointwise_layer();
+        let over_1x1 = prior.estimate_traffic(&pw).dram_bytes
+            / delta.estimate_traffic(&pw).unwrap().dram_bytes;
+        assert!(
+            over_1x1 < over_3x3 / 2.0,
+            "1x1 deviation ({over_1x1}) must be much smaller than 3x3 ({over_3x3})"
+        );
+    }
+
+    #[test]
+    fn miss_rate_sweep_is_monotone_in_predicted_time() {
+        let layer = reuse_heavy_layer();
+        let times: Vec<f64> = FixedMissRateModel::fig15_sweep(&GpuSpec::titan_xp())
+            .iter()
+            .map(|m| m.estimate_performance(&layer).seconds)
+            .collect();
+        assert_eq!(times.len(), 4);
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1] + 1e-15, "higher miss rate cannot be faster");
+        }
+    }
+
+    #[test]
+    fn mr1_overpredicts_time_vs_delta() {
+        // Fig. 15b: with miss rate 1.0 layer time is over-predicted by
+        // 1.8x on average and up to 7x.
+        let layer = reuse_heavy_layer();
+        let prior = FixedMissRateModel::prior_methodology(GpuSpec::titan_xp());
+        let delta = Delta::new(GpuSpec::titan_xp());
+        let pt = prior.estimate_performance(&layer).seconds;
+        let dt = delta.estimate_performance(&layer).unwrap().seconds;
+        assert!(pt > 1.3 * dt, "prior {pt} vs delta {dt}");
+    }
+
+    #[test]
+    fn fixed_mr_marks_reuse_layers_memory_bound() {
+        // The paper: "the prediction error ... becomes significantly
+        // larger when compute throughput scales as many layers become
+        // memory system resource bottleneck[ed]" under fixed MR.
+        let prior = FixedMissRateModel::prior_methodology(GpuSpec::titan_xp());
+        let e = prior.estimate_performance(&reuse_heavy_layer());
+        assert!(
+            matches!(e.bottleneck, Bottleneck::DramBw | Bottleneck::L2Bw | Bottleneck::L1Bw),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn roofline_underestimates_or_matches_delta() {
+        let layer = reuse_heavy_layer();
+        let roof = ThroughputRoofline::new(GpuSpec::titan_xp());
+        let delta = Delta::new(GpuSpec::titan_xp());
+        let rt = roof.estimate_performance(&layer).seconds;
+        let dt = delta.estimate_performance(&layer).unwrap().seconds;
+        assert!(rt <= dt * 1.001, "roofline is a lower bound: {rt} vs {dt}");
+        assert_eq!(roof.estimate_performance(&layer).bottleneck, Bottleneck::MacBw);
+    }
+
+    #[test]
+    #[should_panic(expected = "miss rate")]
+    fn zero_miss_rate_rejected() {
+        let _ = FixedMissRateModel::new(GpuSpec::titan_xp(), 0.0);
+    }
+
+    #[test]
+    fn traffic_cascade_is_exact() {
+        let m = FixedMissRateModel::new(GpuSpec::titan_xp(), 0.5);
+        let t = m.estimate_traffic(&pointwise_layer());
+        assert!((t.l2_bytes - 0.5 * t.l1_bytes).abs() < 1e-6);
+        assert!((t.dram_bytes - 0.25 * t.l1_bytes).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion benchmarks over the figure-regeneration harness: each target
+//! runs one paper artifact end-to-end at smoke scale, so `cargo bench`
+//! both times the harness and exercises every experiment path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use delta_bench::experiments as ex;
+use delta_bench::Ctx;
+use std::hint::black_box;
+
+fn smoke() -> Ctx {
+    Ctx::smoke()
+}
+
+fn bench_pure_model_figures(c: &mut Criterion) {
+    let ctx = smoke();
+    let mut group = c.benchmark_group("figures/model_only");
+    group.sample_size(10);
+    group.bench_function("tab1", |b| {
+        b.iter(|| ex::tab1::run(black_box(&ctx)).expect("tab1"))
+    });
+    group.bench_function("fig06", |b| {
+        b.iter(|| ex::fig06::run(black_box(&ctx)).expect("fig06"))
+    });
+    group.bench_function("fig18", |b| {
+        b.iter(|| ex::fig18::run(black_box(&ctx)).expect("fig18"))
+    });
+    group.finish();
+}
+
+fn bench_scaling_study(c: &mut Criterion) {
+    let ctx = smoke();
+    let mut group = c.benchmark_group("figures/scaling");
+    group.sample_size(10);
+    group.bench_function("fig16", |b| {
+        b.iter(|| ex::fig16::run(black_box(&ctx)).expect("fig16"))
+    });
+    group.finish();
+}
+
+fn bench_simulation_figures(c: &mut Criterion) {
+    let ctx = smoke();
+    let mut group = c.benchmark_group("figures/simulation");
+    group.sample_size(10);
+    group.bench_function("fig04_googlenet_miss_rates", |b| {
+        b.iter(|| ex::fig04::run(black_box(&ctx)).expect("fig04"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pure_model_figures, bench_scaling_study, bench_simulation_figures
+);
+criterion_main!(benches);

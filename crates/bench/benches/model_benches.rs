@@ -1,0 +1,87 @@
+//! Criterion benchmarks of the analytical model itself: DeLTA's pitch is
+//! that it is fast enough to sweep large design spaces, so the per-layer
+//! evaluation cost is a first-class quantity.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use delta_model::{ConvLayer, CtaTile, Delta, DesignOption, GpuSpec};
+use std::hint::black_box;
+
+fn bench_layer() -> ConvLayer {
+    ConvLayer::builder("bench")
+        .batch(256)
+        .input(256, 14, 14)
+        .output_channels(256)
+        .filter(3, 3)
+        .pad(1)
+        .build()
+        .expect("valid layer")
+}
+
+fn bench_analyze(c: &mut Criterion) {
+    let delta = Delta::new(GpuSpec::titan_xp());
+    let layer = bench_layer();
+    c.bench_function("model/analyze_one_layer", |b| {
+        b.iter(|| delta.analyze(black_box(&layer)).expect("analyzable"))
+    });
+}
+
+fn bench_traffic_only(c: &mut Criterion) {
+    let delta = Delta::new(GpuSpec::v100());
+    let layer = bench_layer();
+    c.bench_function("model/traffic_estimate", |b| {
+        b.iter(|| delta.estimate_traffic(black_box(&layer)).expect("estimable"))
+    });
+}
+
+fn bench_tile_lookup(c: &mut Criterion) {
+    c.bench_function("model/cta_tile_lookup_384", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for co in 1..=384u32 {
+                acc += CtaTile::select(black_box(co)).blk_n();
+            }
+            acc
+        })
+    });
+}
+
+fn bench_full_network(c: &mut Criterion) {
+    // A whole-ResNet152 sweep: the unit of work of the scaling study.
+    let delta = Delta::new(GpuSpec::titan_xp());
+    c.bench_function("model/resnet152_full_sweep", |b| {
+        b.iter_batched(
+            || delta_networks::resnet152_full(256).expect("builtin network"),
+            |net| {
+                let mut total = 0.0;
+                for l in net.layers() {
+                    total += delta.estimate_performance(l).expect("estimable").seconds;
+                }
+                total
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_design_option_apply(c: &mut Criterion) {
+    let base = GpuSpec::titan_xp();
+    let opts = DesignOption::paper_options();
+    c.bench_function("model/design_option_apply_9", |b| {
+        b.iter(|| {
+            opts.iter()
+                .map(|o| o.apply(black_box(&base)).expect("valid option").num_sm())
+                .sum::<u32>()
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_analyze,
+        bench_traffic_only,
+        bench_tile_lookup,
+        bench_full_network,
+        bench_design_option_apply
+);
+criterion_main!(benches);

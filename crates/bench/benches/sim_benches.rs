@@ -1,0 +1,86 @@
+//! Criterion benchmarks of the measurement substrate: trace generation,
+//! coalescing, cache access, and end-to-end layer simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use delta_model::tiling::CtaTile;
+use delta_model::{ConvLayer, GpuSpec};
+use delta_sim::cache::SectoredCache;
+use delta_sim::coalesce::{self, Transaction};
+use delta_sim::tensor::TensorMap;
+use delta_sim::trace::CtaTrace;
+use delta_sim::{SimConfig, Simulator};
+use std::hint::black_box;
+
+fn small_layer() -> ConvLayer {
+    ConvLayer::builder("sim-bench")
+        .batch(2)
+        .input(32, 14, 14)
+        .output_channels(64)
+        .filter(3, 3)
+        .pad(1)
+        .build()
+        .expect("valid layer")
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let layer = small_layer();
+    let map = TensorMap::new(&layer);
+    let tile = CtaTile::select(layer.out_channels());
+    let mut group = c.benchmark_group("sim/trace");
+    // Addresses per loop: ifmap blkM*blkK + filter blkN*blkK lanes.
+    let lanes = u64::from(tile.blk_m() + tile.blk_n()) * u64::from(tile.blk_k());
+    group.throughput(Throughput::Elements(lanes));
+    group.bench_function("one_main_loop", |b| {
+        let mut trace = CtaTrace::new(&map, tile, 0, 0);
+        b.iter(|| {
+            let mut live = 0u64;
+            trace.for_each_warp(black_box(0), |w| {
+                live += w.iter().flatten().count() as u64;
+            });
+            live
+        })
+    });
+    group.finish();
+}
+
+fn bench_coalescer(c: &mut Criterion) {
+    // A strided warp (the L1-hostile im2col pattern).
+    let addrs: Vec<Option<u64>> = (0..32u64).map(|i| Some(i * 8)).collect();
+    let mut out: Vec<Transaction> = Vec::with_capacity(8);
+    c.bench_function("sim/coalesce_strided_warp", |b| {
+        b.iter(|| {
+            coalesce::coalesce_warp(black_box(&addrs), &mut out);
+            out.len()
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut cache = SectoredCache::new(3 * 1024 * 1024, 16);
+    let mut line = 0u64;
+    c.bench_function("sim/l2_cache_access", |b| {
+        b.iter(|| {
+            line = (line + 97) % 100_000;
+            cache.access(black_box(line), 0b1111)
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let layer = small_layer();
+    let mut group = c.benchmark_group("sim/end_to_end");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(layer.macs()));
+    group.bench_function("small_layer_default_sampling", |b| {
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+        b.iter(|| sim.run(black_box(&layer)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_trace_generation, bench_coalescer, bench_cache, bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Ablations of the reproduction's modeling choices. Flags: --full,
+//! --smoke, --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary("ablation", delta_bench::experiments::ablation::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig04 artifact. Flags: --full, --smoke,
+//! --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary("fig04", delta_bench::experiments::fig04::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig06 artifact. Flags: --full, --smoke,
+//! --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary("fig06", delta_bench::experiments::fig06::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig11 artifact. Flags: --full, --smoke,
+//! --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary("fig11", delta_bench::experiments::fig11::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig12 artifact. Flags: --full, --smoke,
+//! --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary("fig12", delta_bench::experiments::fig12::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig13 artifact. Flags: --full, --smoke,
+//! --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary("fig13", delta_bench::experiments::fig13::run);
+}

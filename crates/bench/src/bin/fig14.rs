@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig14 artifact. Flags: --full, --smoke,
+//! --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary("fig14", delta_bench::experiments::fig14::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig15 artifact. Flags: --full, --smoke,
+//! --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary("fig15", delta_bench::experiments::fig15::run);
+}

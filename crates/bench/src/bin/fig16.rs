@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig16 artifact. Flags: --full, --smoke,
+//! --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary("fig16", delta_bench::experiments::fig16::run);
+}

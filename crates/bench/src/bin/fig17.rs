@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig17 artifact. Flags: --full, --smoke,
+//! --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary("fig17", delta_bench::experiments::fig17::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig18 artifact. Flags: --full, --smoke,
+//! --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary("fig18", delta_bench::experiments::fig18::run);
+}

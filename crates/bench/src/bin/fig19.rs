@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig19 artifact. Flags: --full, --smoke,
+//! --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary("fig19", delta_bench::experiments::fig19::run);
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's fig20 artifact. Flags: --full, --smoke,
+//! --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary("fig20", delta_bench::experiments::fig20::run);
+}

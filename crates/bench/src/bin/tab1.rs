@@ -1,0 +1,5 @@
+//! Regenerates the paper's tab1 artifact. Flags: --full, --smoke,
+//! --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary("tab1", delta_bench::experiments::tab1::run);
+}

@@ -1,0 +1,114 @@
+//! Shared experiment configuration.
+
+use delta_sim::SimConfig;
+use std::path::PathBuf;
+
+/// Experiment context: simulation scale and output location.
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Mini-batch size for *both* the model and the simulator in
+    /// model-vs-measured comparisons (the paper uses 256; the default
+    /// here is 16 so a single core finishes the suite quickly —
+    /// normalized ratios are batch-stable, DESIGN.md §2).
+    pub sim_batch: u32,
+    /// Simulator sampling controls.
+    pub sim_config: SimConfig,
+    /// Directory for CSV output (`results/` by default); `None` disables
+    /// CSV emission.
+    pub out_dir: Option<PathBuf>,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx {
+            sim_batch: 16,
+            sim_config: SimConfig {
+                max_batches_per_column: Some(3),
+                max_loops_per_batch: Some(24),
+                ..SimConfig::default()
+            },
+            out_dir: Some(PathBuf::from("results")),
+        }
+    }
+}
+
+impl Ctx {
+    /// A configuration for unit/integration tests: tiny batch, aggressive
+    /// sampling, no CSV output.
+    pub fn smoke() -> Ctx {
+        Ctx {
+            sim_batch: 4,
+            sim_config: SimConfig {
+                max_batches_per_column: Some(1),
+                max_loops_per_batch: Some(8),
+                ..SimConfig::default()
+            },
+            out_dir: None,
+        }
+    }
+
+    /// The paper's configuration: mini-batch 256, exhaustive simulation.
+    /// Slow — hours on one core; intended for spot checks of single
+    /// layers.
+    pub fn full() -> Ctx {
+        Ctx {
+            sim_batch: 256,
+            sim_config: SimConfig::exhaustive(),
+            out_dir: Some(PathBuf::from("results")),
+        }
+    }
+
+    /// Parses `--batch N`, `--full`, `--smoke`, and `--no-csv` from
+    /// command-line arguments (used by the `bin/` wrappers).
+    pub fn from_args(args: impl Iterator<Item = String>) -> Ctx {
+        let mut ctx = Ctx::default();
+        let args: Vec<String> = args.collect();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => ctx = Ctx::full(),
+                "--smoke" => ctx = Ctx::smoke(),
+                "--no-csv" => ctx.out_dir = None,
+                "--batch" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        ctx.sim_batch = v;
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sampled_and_small() {
+        let c = Ctx::default();
+        assert_eq!(c.sim_batch, 16);
+        assert!(c.sim_config.max_batches_per_column.is_some());
+    }
+
+    #[test]
+    fn full_matches_paper_batch() {
+        let c = Ctx::full();
+        assert_eq!(c.sim_batch, 256);
+        assert_eq!(c.sim_config.max_batches_per_column, None);
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let c = Ctx::from_args(["--batch", "8", "--no-csv"].iter().map(|s| s.to_string()));
+        assert_eq!(c.sim_batch, 8);
+        assert!(c.out_dir.is_none());
+        let c = Ctx::from_args(["--full"].iter().map(|s| s.to_string()));
+        assert_eq!(c.sim_batch, 256);
+        let c = Ctx::from_args(["--smoke"].iter().map(|s| s.to_string()));
+        assert_eq!(c.sim_batch, 4);
+    }
+}

@@ -1,0 +1,51 @@
+//! Fig. 4 — L1 and L2 cache miss rates of GoogLeNet's conv layers,
+//! measured on (simulated) TITAN Xp (§III).
+//!
+//! The point of the figure is the *spread*: L1 miss rates ranging roughly
+//! 13–50 % and L2 miss rates 8–90 % across layer configurations, which is
+//! why fixed-miss-rate models fail.
+
+use crate::ctx::Ctx;
+use crate::measure;
+use crate::table::{f3, Table};
+use delta_model::{Error, GpuSpec};
+
+/// Measures per-layer miss rates for GoogLeNet.
+pub fn run(ctx: &Ctx) -> Result<Vec<Table>, Error> {
+    let net = delta_networks::googlenet(ctx.sim_batch)?;
+    let rows = measure::compare_network(&GpuSpec::titan_xp(), &net, ctx)?;
+    let mut t = Table::new(
+        "Fig. 4: GoogLeNet cache miss rates (measured, TITAN Xp)",
+        &["layer", "l1_miss_rate", "l2_miss_rate"],
+    );
+    for r in &rows {
+        t.push(vec![
+            r.label.clone(),
+            f3(r.measured.l1_miss_rate),
+            f3(r.measured.l2_miss_rate),
+        ]);
+    }
+    Ok(vec![t])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rates_spread_widely_across_layers() {
+        let t = &run(&Ctx::smoke()).unwrap()[0];
+        assert_eq!(t.len(), 23);
+        let l1 = t.column_f64("l1_miss_rate");
+        let l2 = t.column_f64("l2_miss_rate");
+        assert!(l1.iter().all(|v| (0.0..=1.0).contains(v)));
+        assert!(l2.iter().all(|v| (0.0..=1.0).contains(v)));
+        // The figure's message: high variation at both levels.
+        let spread = |v: &[f64]| {
+            v.iter().cloned().fold(f64::MIN, f64::max)
+                - v.iter().cloned().fold(f64::MAX, f64::min)
+        };
+        assert!(spread(&l1) > 0.15, "L1 spread {}", spread(&l1));
+        assert!(spread(&l2) > 0.3, "L2 spread {}", spread(&l2));
+    }
+}

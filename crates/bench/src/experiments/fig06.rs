@@ -1,0 +1,43 @@
+//! Fig. 6 — profiled CTA tile width by output-channel count (§IV-B).
+
+use crate::ctx::Ctx;
+use crate::table::Table;
+use delta_model::{CtaTile, Error};
+
+/// Regenerates the CTA-tile lookup curve for `Co` = 1..=384.
+pub fn run(_ctx: &Ctx) -> Result<Vec<Table>, Error> {
+    let mut t = Table::new(
+        "Fig. 6: CTA tile width by output channel count",
+        &["co", "blk_n", "blk_k", "tile"],
+    );
+    for co in 1..=384u32 {
+        let tile = CtaTile::select(co);
+        t.push(vec![
+            co.to_string(),
+            tile.blk_n().to_string(),
+            tile.blk_k().to_string(),
+            tile.to_string(),
+        ]);
+    }
+    Ok(vec![t])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staircase_has_three_plateaus() {
+        let t = &run(&Ctx::smoke()).unwrap()[0];
+        assert_eq!(t.len(), 384);
+        let widths = t.column_f64("blk_n");
+        assert_eq!(widths[0], 32.0);
+        assert_eq!(widths[31], 32.0);
+        assert_eq!(widths[32], 64.0);
+        assert_eq!(widths[63], 64.0);
+        assert_eq!(widths[64], 128.0);
+        assert_eq!(widths[383], 128.0);
+        // Monotone non-decreasing staircase.
+        assert!(widths.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

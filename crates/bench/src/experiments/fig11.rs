@@ -1,0 +1,88 @@
+//! Fig. 11 — L1/L2/DRAM traffic estimates normalized to measurement, for
+//! all unique conv layers of the four CNNs on three GPUs (§VII-A).
+
+use crate::ctx::Ctx;
+use crate::measure::{self, LayerComparison};
+use crate::stats::{gmae, stdev};
+use crate::table::{f3, Table};
+use delta_model::{Error, GpuSpec};
+
+/// Builds the per-layer normalized-traffic table for one GPU.
+fn gpu_table(gpu: &GpuSpec, rows: &[LayerComparison]) -> Table {
+    let mut t = Table::new(
+        format!("Fig. 11: normalized traffic (model/measured), {}", gpu.name()),
+        &["network", "layer", "l1_ratio", "l1_phys", "l2_ratio", "dram_ratio", "l2_capacity_anomaly"],
+    );
+    for r in rows {
+        t.push(vec![
+            r.network.clone(),
+            r.label.clone(),
+            f3(r.l1_ratio()),
+            f3(r.l1_ratio_physical()),
+            f3(r.l2_ratio()),
+            f3(r.dram_ratio()),
+            if r.dram_capacity_anomaly { "yes" } else { "" }.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Runs the full model-vs-measured traffic validation.
+pub fn run(ctx: &Ctx) -> Result<Vec<Table>, Error> {
+    let mut tables = Vec::new();
+    let mut summary = Table::new(
+        "Fig. 11 summary: GMAE (stdev) per level per GPU",
+        &[
+            "gpu", "l1_gmae", "l1_phys_gmae", "l1_stdev", "l2_gmae", "l2_stdev", "dram_gmae",
+            "dram_gmae_excl_anomalies", "dram_stdev",
+        ],
+    );
+    for gpu in GpuSpec::paper_devices() {
+        let rows = measure::compare_paper_networks(&gpu, ctx)?;
+        let l1: Vec<f64> = rows.iter().map(LayerComparison::l1_ratio).collect();
+        let l1p: Vec<f64> = rows.iter().map(LayerComparison::l1_ratio_physical).collect();
+        let l2: Vec<f64> = rows.iter().map(LayerComparison::l2_ratio).collect();
+        let dr: Vec<f64> = rows.iter().map(LayerComparison::dram_ratio).collect();
+        let dr_ok: Vec<f64> = rows
+            .iter()
+            .filter(|r| !r.dram_capacity_anomaly)
+            .map(LayerComparison::dram_ratio)
+            .collect();
+        summary.push(vec![
+            gpu.name().to_string(),
+            f3(gmae(&l1)),
+            f3(gmae(&l1p)),
+            f3(stdev(&l1)),
+            f3(gmae(&l2)),
+            f3(stdev(&l2)),
+            f3(gmae(&dr)),
+            f3(gmae(&dr_ok)),
+            f3(stdev(&dr)),
+        ]);
+        tables.push(gpu_table(&gpu, &rows));
+    }
+    tables.push(summary);
+    Ok(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::compare_network;
+
+    #[test]
+    fn ratios_cluster_near_unity_for_alexnet_on_titan_xp() {
+        // Smoke-scale subset: AlexNet only, one GPU.
+        let ctx = Ctx::smoke();
+        let net = delta_networks::alexnet(ctx.sim_batch).unwrap();
+        let rows = compare_network(&GpuSpec::titan_xp(), &net, &ctx).unwrap();
+        let t = gpu_table(&GpuSpec::titan_xp(), &rows);
+        assert_eq!(t.len(), 5);
+        for ratio in t.column_f64("dram_ratio") {
+            assert!(
+                (0.2..5.0).contains(&ratio),
+                "DRAM ratio out of band: {ratio}"
+            );
+        }
+    }
+}

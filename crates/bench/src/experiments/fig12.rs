@@ -1,0 +1,88 @@
+//! Fig. 12 — DeLTA vs the prior fixed-miss-rate methodology: L2 and DRAM
+//! traffic normalized to TITAN Xp measurement (§VII-A).
+//!
+//! The prior models assume 100 % miss rates, so their L2/DRAM traffic is
+//! the L1 volume — up to ~100× too high on reuse-heavy large filters, and
+//! closest on 1×1 filters.
+
+use crate::ctx::Ctx;
+use crate::measure;
+use crate::table::{f3, Table};
+use delta_baselines::FixedMissRateModel;
+use delta_model::{Error, GpuSpec};
+
+/// Runs the DeLTA-vs-prior traffic comparison.
+pub fn run(ctx: &Ctx) -> Result<Vec<Table>, Error> {
+    let gpu = GpuSpec::titan_xp();
+    let prior = FixedMissRateModel::prior_methodology(gpu.clone());
+    let rows = measure::compare_paper_networks(&gpu, ctx)?;
+    let mut t = Table::new(
+        "Fig. 12: normalized L2/DRAM traffic, DeLTA vs prior methodology (TITAN Xp)",
+        &[
+            "network",
+            "layer",
+            "filter",
+            "delta_l2",
+            "prior_l2",
+            "delta_dram",
+            "prior_dram",
+        ],
+    );
+    for r in &rows {
+        let pt = prior.estimate_traffic(&r.model.layer);
+        t.push(vec![
+            r.network.clone(),
+            r.label.clone(),
+            format!(
+                "{}x{}",
+                r.model.layer.filter_height(),
+                r.model.layer.filter_width()
+            ),
+            f3(r.l2_ratio()),
+            f3(pt.l2_bytes / r.measured.l2_bytes),
+            f3(r.dram_ratio()),
+            f3(pt.dram_bytes / r.measured.dram_read_bytes),
+        ]);
+    }
+    Ok(vec![t])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prior_overshoots_delta_especially_on_large_filters() {
+        // Smoke subset: GoogLeNet only (has 1x1, 3x3 and 5x5 filters).
+        let ctx = Ctx::smoke();
+        let gpu = GpuSpec::titan_xp();
+        let prior = FixedMissRateModel::prior_methodology(gpu.clone());
+        let net = delta_networks::googlenet(ctx.sim_batch).unwrap();
+        let rows = crate::measure::compare_network(&gpu, &net, &ctx).unwrap();
+        let mut prior_5x5: Vec<f64> = Vec::new();
+        let mut prior_1x1: Vec<f64> = Vec::new();
+        for r in &rows {
+            let pt = prior.estimate_traffic(&r.model.layer);
+            let ratio = pt.dram_bytes / r.measured.dram_read_bytes;
+            assert!(
+                ratio >= r.dram_ratio() * 0.9,
+                "{}: prior {} vs delta {}",
+                r.label,
+                ratio,
+                r.dram_ratio()
+            );
+            if r.model.layer.filter_height() == 5 {
+                prior_5x5.push(ratio);
+            } else if r.model.layer.is_pointwise() {
+                prior_1x1.push(ratio);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&prior_5x5) > 3.0 * mean(&prior_1x1),
+            "5x5 deviation {} should dwarf 1x1 {}",
+            mean(&prior_5x5),
+            mean(&prior_1x1)
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Fig. 13 — conv-layer execution-time estimates normalized to
+//! measurement, with per-layer bottlenecks, on TITAN Xp (§VII-B).
+
+use crate::ctx::Ctx;
+use crate::measure::{self, LayerComparison};
+use crate::stats::gmae;
+use crate::table::{f3, sci, Table};
+use delta_model::{Error, GpuSpec};
+
+/// Builds the execution-time table for `gpu` (shared with Fig. 14).
+pub(crate) fn exec_time_table(gpu: &GpuSpec, ctx: &Ctx) -> Result<(Table, Vec<f64>), Error> {
+    let rows = measure::compare_paper_networks(gpu, ctx)?;
+    let mut t = Table::new(
+        format!(
+            "Execution time estimates normalized to measured, {}",
+            gpu.name()
+        ),
+        &[
+            "network",
+            "layer",
+            "model_clks",
+            "measured_clks",
+            "ratio",
+            "bottleneck",
+        ],
+    );
+    let mut ratios = Vec::with_capacity(rows.len());
+    for r in &rows {
+        ratios.push(r.cycle_ratio());
+        t.push(vec![
+            r.network.clone(),
+            r.label.clone(),
+            sci(r.model.perf.cycles),
+            sci(r.measured.cycles),
+            f3(r.cycle_ratio()),
+            r.model.perf.bottleneck.to_string(),
+        ]);
+    }
+    Ok((t, ratios))
+}
+
+/// Summarizes the bottleneck mix of an execution-time table (the colored
+/// markers of Figs. 13/14).
+pub(crate) fn bottleneck_mix(t: &Table) -> Table {
+    let col = t.column("bottleneck").expect("bottleneck column");
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for row in t.rows() {
+        let b = &row[col];
+        match counts.iter_mut().find(|(name, _)| name == b) {
+            Some((_, c)) => *c += 1,
+            None => counts.push((b.clone(), 1)),
+        }
+    }
+    let total: usize = counts.iter().map(|(_, c)| c).sum();
+    let mut out = Table::new(
+        format!("{} — bottleneck mix", t.title()),
+        &["bottleneck", "layers", "share"],
+    );
+    for (name, c) in counts {
+        out.push(vec![
+            name,
+            c.to_string(),
+            f3(c as f64 / total.max(1) as f64),
+        ]);
+    }
+    out
+}
+
+/// Runs the TITAN Xp execution-time validation.
+pub fn run(ctx: &Ctx) -> Result<Vec<Table>, Error> {
+    let gpu = GpuSpec::titan_xp();
+    let (t, ratios) = exec_time_table(&gpu, ctx)?;
+    let mix = bottleneck_mix(&t);
+    let mut summary = Table::new("Fig. 13 summary", &["gpu", "gmae", "layers"]);
+    summary.push(vec![
+        gpu.name().to_string(),
+        f3(gmae(&ratios)),
+        ratios.len().to_string(),
+    ]);
+    Ok(vec![t, mix, summary])
+}
+
+/// Shared assertion helper for the integration tests: most layers should
+/// be MAC-bound (the paper reports ~90 %).
+pub fn mac_bound_share(rows: &[LayerComparison]) -> f64 {
+    let mac = rows
+        .iter()
+        .filter(|r| r.model.perf.bottleneck == delta_model::Bottleneck::MacBw)
+        .count();
+    mac as f64 / rows.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_rows_have_valid_ratios_and_bottlenecks() {
+        let ctx = Ctx::smoke();
+        let gpu = GpuSpec::titan_xp();
+        let net = delta_networks::alexnet(ctx.sim_batch).unwrap();
+        let rows = crate::measure::compare_network(&gpu, &net, &ctx).unwrap();
+        assert!(mac_bound_share(&rows) >= 0.6, "{}", mac_bound_share(&rows));
+        for r in &rows {
+            assert!(r.cycle_ratio() > 0.05 && r.cycle_ratio() < 20.0, "{}", r.label);
+        }
+    }
+
+    #[test]
+    fn bottleneck_mix_shares_sum_to_one() {
+        let mut t = Table::new("x", &["bottleneck"]);
+        for b in ["MAC_BW", "MAC_BW", "DRAM_BW", "L1_BW"] {
+            t.push(vec![b.to_string()]);
+        }
+        let mix = bottleneck_mix(&t);
+        let total: f64 = mix.column_f64("share").iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(mix.len(), 3);
+    }
+}

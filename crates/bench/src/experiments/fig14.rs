@@ -1,0 +1,50 @@
+//! Fig. 14 — conv-layer execution-time estimates normalized to
+//! measurement on Tesla V100 (§VII-B). Same structure as Fig. 13 on the
+//! Volta device (32 B L1 requests, 84 SMs).
+
+use super::fig13::{bottleneck_mix, exec_time_table};
+use crate::ctx::Ctx;
+use crate::stats::gmae;
+use crate::table::{f3, Table};
+use delta_model::{Error, GpuSpec};
+
+/// Runs the V100 execution-time validation.
+pub fn run(ctx: &Ctx) -> Result<Vec<Table>, Error> {
+    let gpu = GpuSpec::v100();
+    let (t, ratios) = exec_time_table(&gpu, ctx)?;
+    let mix = bottleneck_mix(&t);
+    let mut summary = Table::new("Fig. 14 summary", &["gpu", "gmae", "layers"]);
+    summary.push(vec![
+        gpu.name().to_string(),
+        f3(gmae(&ratios)),
+        ratios.len().to_string(),
+    ]);
+    Ok(vec![t, mix, summary])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_table_builds_for_alexnet_smoke() {
+        let ctx = Ctx::smoke();
+        let net = delta_networks::alexnet(ctx.sim_batch).unwrap();
+        let rows = crate::measure::compare_network(&GpuSpec::v100(), &net, &ctx).unwrap();
+        assert_eq!(rows.len(), 5);
+        // At a device-filling batch, V100's higher aggregate MAC
+        // throughput makes the network faster than TITAN Xp (at tiny
+        // smoke batches the 84 narrow SMs are underutilized and the model
+        // correctly predicts the opposite).
+        let big = delta_networks::alexnet(256).unwrap();
+        let total = |gpu: GpuSpec| -> f64 {
+            let delta = delta_model::Delta::new(gpu);
+            big.layers()
+                .iter()
+                .map(|l| delta.estimate_performance(l).unwrap().seconds)
+                .sum()
+        };
+        let (v, xp) = (total(GpuSpec::v100()), total(GpuSpec::titan_xp()));
+        assert!(v < xp, "{v} vs {xp}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Fig. 15 — (a) execution-time estimation distribution across the three
+//! GPUs; (b) DeLTA vs fixed-miss-rate models (§VII-B).
+
+use crate::ctx::Ctx;
+use crate::measure::{self, LayerComparison};
+use crate::stats::Distribution;
+use crate::table::{f3, Table};
+use delta_baselines::FixedMissRateModel;
+use delta_model::{Error, GpuSpec};
+
+fn dist_row(name: &str, values: &[f64]) -> Vec<String> {
+    let d = Distribution::of(values).unwrap_or(Distribution {
+        mean: 0.0,
+        stdev: 0.0,
+        min: 0.0,
+        q1: 0.0,
+        median: 0.0,
+        q3: 0.0,
+        max: 0.0,
+    });
+    vec![
+        name.to_string(),
+        f3(d.mean),
+        f3(d.stdev),
+        f3(d.min),
+        f3(d.q1),
+        f3(d.median),
+        f3(d.q3),
+        f3(d.max),
+    ]
+}
+
+/// Runs the cross-GPU and cross-model estimation-error distributions.
+pub fn run(ctx: &Ctx) -> Result<Vec<Table>, Error> {
+    // (a) Per-GPU distribution of model/measured time ratios.
+    let mut a = Table::new(
+        "Fig. 15a: execution-time ratio distribution per GPU",
+        &["gpu", "mean", "stdev", "min", "q1", "median", "q3", "max"],
+    );
+    let mut titan_rows: Option<Vec<LayerComparison>> = None;
+    for gpu in GpuSpec::paper_devices() {
+        let rows = measure::compare_paper_networks(&gpu, ctx)?;
+        let ratios: Vec<f64> = rows.iter().map(LayerComparison::cycle_ratio).collect();
+        a.push(dist_row(gpu.name(), &ratios));
+        if gpu.name() == "TITAN Xp" {
+            titan_rows = Some(rows);
+        }
+    }
+
+    // (b) DeLTA vs fixed-MR models on TITAN Xp (ratios to measurement).
+    let rows = titan_rows.expect("TITAN Xp evaluated");
+    let mut b = Table::new(
+        "Fig. 15b: DeLTA vs fixed-miss-rate models (TITAN Xp)",
+        &["model", "mean", "stdev", "min", "q1", "median", "q3", "max"],
+    );
+    let delta_ratios: Vec<f64> = rows.iter().map(LayerComparison::cycle_ratio).collect();
+    b.push(dist_row("DeLTA", &delta_ratios));
+    for mr_model in FixedMissRateModel::fig15_sweep(&GpuSpec::titan_xp()) {
+        let ratios: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                mr_model.estimate_performance(&r.model.layer).cycles / r.measured.cycles
+            })
+            .collect();
+        b.push(dist_row(&format!("MR{:.1}", mr_model.miss_rate()), &ratios));
+    }
+    Ok(vec![a, b])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mr_models_overpredict_relative_to_delta() {
+        // Smoke-scale: VGG16 subset, TITAN Xp only.
+        let ctx = Ctx::smoke();
+        let gpu = GpuSpec::titan_xp();
+        let net = delta_networks::vgg16(ctx.sim_batch).unwrap();
+        let rows = crate::measure::compare_network(&gpu, &net, &ctx).unwrap();
+        let delta_mean = rows.iter().map(LayerComparison::cycle_ratio).sum::<f64>()
+            / rows.len() as f64;
+        let mr1 = FixedMissRateModel::prior_methodology(gpu);
+        let mr_mean = rows
+            .iter()
+            .map(|r| mr1.estimate_performance(&r.model.layer).cycles / r.measured.cycles)
+            .sum::<f64>()
+            / rows.len() as f64;
+        assert!(
+            mr_mean > delta_mean,
+            "MR1.0 mean {mr_mean} should exceed DeLTA mean {delta_mean}"
+        );
+    }
+
+    #[test]
+    fn dist_row_formats_eight_cells() {
+        let r = dist_row("x", &[1.0, 2.0, 3.0]);
+        assert_eq!(r.len(), 8);
+        assert_eq!(r[0], "x");
+        assert_eq!(r[1], "2.000");
+    }
+}

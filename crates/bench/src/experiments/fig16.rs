@@ -1,0 +1,142 @@
+//! Fig. 16 — GPU resource-scaling study over ResNet152 (§VII-C).
+//!
+//! Nine design options (Fig. 16a) scale SM count, MAC throughput, SM-local
+//! resources, memory bandwidths, and the GEMM tile; the model predicts
+//! each option's speedup over TITAN Xp on the full 151-conv ResNet152
+//! (Fig. 16b) and the resulting bottleneck distribution (Fig. 16c).
+//!
+//! This experiment is model-only (no simulation), so it runs at the
+//! paper's mini-batch 256 regardless of the context's simulation batch.
+
+use crate::ctx::Ctx;
+use crate::table::{f3, Table};
+use delta_model::{Bottleneck, Delta, DesignOption, Error, GpuSpec};
+use delta_networks::resnet152_full;
+
+/// Total predicted forward time (seconds) of every ResNet152 conv layer
+/// under `delta`, plus per-bottleneck layer counts.
+fn network_time(delta: &Delta, batch: u32) -> Result<(f64, Vec<(Bottleneck, usize)>), Error> {
+    let net = resnet152_full(batch)?;
+    let mut total = 0.0;
+    let mut counts: Vec<(Bottleneck, usize)> = Bottleneck::ALL.iter().map(|b| (*b, 0)).collect();
+    for layer in net.layers() {
+        let p = delta.estimate_performance(layer)?;
+        total += p.seconds;
+        if let Some(c) = counts.iter_mut().find(|(b, _)| *b == p.bottleneck) {
+            c.1 += 1;
+        }
+    }
+    Ok((total, counts))
+}
+
+/// Runs the scaling study.
+pub fn run(_ctx: &Ctx) -> Result<Vec<Table>, Error> {
+    let batch = delta_networks::PAPER_BATCH;
+    let base_gpu = GpuSpec::titan_xp();
+    let (base_time, base_counts) = network_time(&Delta::new(base_gpu.clone()), batch)?;
+
+    let mut a = Table::new(
+        "Fig. 16a: GPU design options",
+        &[
+            "option", "num_sm", "mac_bw", "regs", "smem_size", "smem_bw", "l1_bw", "l2_bw",
+            "dram_bw", "cta_tile",
+        ],
+    );
+    let mut b = Table::new(
+        "Fig. 16b: ResNet152 speedup over TITAN Xp",
+        &["option", "speedup", "relative_cost"],
+    );
+    let mut c = Table::new(
+        "Fig. 16c: bottleneck distribution (layer share)",
+        &["option", "SMEM_BW", "MAC_BW", "L1_BW", "L2_BW", "DRAM_BW", "DRAM_LAT"],
+    );
+
+    let mut push_c = |name: &str, counts: &[(Bottleneck, usize)]| {
+        let total: usize = counts.iter().map(|(_, n)| n).sum();
+        let mut row = vec![name.to_string()];
+        row.extend(
+            counts
+                .iter()
+                .map(|(_, n)| f3(*n as f64 / total.max(1) as f64)),
+        );
+        c.push(row);
+    };
+    push_c("TITAN Xp", &base_counts);
+
+    for opt in DesignOption::paper_options() {
+        a.push(vec![
+            opt.name.clone(),
+            format!("{}X", opt.num_sm_x),
+            format!("{}X", opt.mac_bw_x),
+            format!("{}X", opt.regs_x),
+            format!("{}X", opt.smem_size_x),
+            format!("{}X", opt.smem_bw_x),
+            format!("{}X", opt.l1_bw_x),
+            format!("{}X", opt.l2_bw_x),
+            format!("{}X", opt.dram_bw_x),
+            opt.cta_tile_hw.to_string(),
+        ]);
+        let delta = opt.model(&base_gpu)?;
+        let (time, counts) = network_time(&delta, batch)?;
+        b.push(vec![
+            opt.name.clone(),
+            f3(base_time / time),
+            f3(opt.relative_cost()),
+        ]);
+        push_c(&opt.name, &counts);
+    }
+    Ok(vec![a, b, c])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full scaling study is cheap (model only), so the test runs it
+    /// end-to-end and checks the paper's ordering claims.
+    #[test]
+    fn speedups_reproduce_paper_ordering() {
+        let tables = run(&Ctx::smoke()).unwrap();
+        let b = &tables[1];
+        let speedups = b.column_f64("speedup");
+        assert_eq!(speedups.len(), 9);
+        let s = |opt: usize| speedups[opt - 1];
+
+        // Paper Fig. 16b: 1.9, 3.4, 1.8, 2.0, 3.3, 4.3, 5.6, 5.4, 6.4.
+        // Shape claims:
+        // (i) every option speeds things up;
+        for (i, v) in speedups.iter().enumerate() {
+            assert!(*v > 1.0, "option {} speedup {v}", i + 1);
+        }
+        // (ii) MAC-only scaling saturates around 2x (options 3, 4);
+        assert!(s(3) < 2.6, "option 3: {}", s(3));
+        assert!(s(4) < 3.0, "option 4: {}", s(4));
+        assert!(s(4) >= s(3) * 0.95);
+        // (iii) balanced option 5 rivals the expensive 4x-SM option 2;
+        assert!(s(5) > 0.7 * s(2), "5 {} vs 2 {}", s(5), s(2));
+        // (iv) the big-tile high-throughput options beat everything else;
+        let max_small_tile = s(1).max(s(2)).max(s(3)).max(s(4)).max(s(5));
+        assert!(s(7).max(s(9)) > max_small_tile, "7 {} 9 {}", s(7), s(9));
+        // (v) option 9 (3x DRAM) beats option 8 (2x SMs) per the paper's
+        // headline conclusion.
+        assert!(s(9) > s(8), "9 {} vs 8 {}", s(9), s(8));
+    }
+
+    #[test]
+    fn bottleneck_distribution_shifts_off_mac_with_more_macs() {
+        let tables = run(&Ctx::smoke()).unwrap();
+        let c = &tables[2];
+        let mac_col = c.column("MAC_BW").unwrap();
+        let base_mac: f64 = c.rows()[0][mac_col].parse().unwrap();
+        let opt4_mac: f64 = c.rows()[4][mac_col].parse().unwrap();
+        assert!(
+            opt4_mac < base_mac,
+            "4x MAC ({opt4_mac}) should strip MAC-bound layers vs baseline ({base_mac})"
+        );
+        // Shares sum to ~1 in every row.
+        for row in c.rows() {
+            let total: f64 = row[1..].iter().map(|s| s.parse::<f64>().unwrap()).sum();
+            assert!((total - 1.0).abs() < 0.01, "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Fig. 17 — traffic-model sensitivity to convolution configuration
+//! (Appendix A): sweeps of output channels, input channels, feature size,
+//! and mini-batch around the artificial base layer (Ci=256, 13×13,
+//! Co=128, 3×3, stride 1).
+
+use crate::ctx::Ctx;
+use crate::table::{f3, Table};
+use delta_model::sweep::{self, ranges};
+use delta_model::tiling::LayerTiling;
+use delta_model::{ConvLayer, Delta, Error, GpuSpec};
+use delta_sim::Simulator;
+
+/// Sub-sampling stride over the paper's x-axes so the single-core default
+/// stays fast; `--full` contexts use every point.
+fn sweep_points(r: (u32, u32, u32), ctx: &Ctx) -> Vec<u32> {
+    let all = ranges::expand(r);
+    if ctx.sim_batch >= 64 {
+        all
+    } else {
+        all.into_iter().step_by(2).collect()
+    }
+}
+
+fn sweep_table(
+    title: &str,
+    x_name: &str,
+    layers: Vec<ConvLayer>,
+    xs: &[u32],
+    ctx: &Ctx,
+) -> Result<Table, Error> {
+    let gpu = GpuSpec::titan_xp();
+    let delta = Delta::new(gpu.clone());
+    let sim = Simulator::new(gpu, ctx.sim_config);
+    let mut t = Table::new(
+        title,
+        &[x_name, "l1_ratio", "l2_ratio", "dram_ratio", "cta_tile_width"],
+    );
+    for (x, layer) in xs.iter().zip(layers) {
+        // Batch sweeps carry their own batch; other sweeps use the
+        // context's.
+        let layer = if x_name == "batch" {
+            layer
+        } else {
+            layer.with_batch(ctx.sim_batch)?
+        };
+        let est = delta.estimate_traffic(&layer)?;
+        let meas = sim.run(&layer);
+        t.push(vec![
+            x.to_string(),
+            f3(est.l1_bytes / meas.l1_bytes),
+            f3(est.l2_bytes / meas.l2_bytes),
+            f3(est.dram_bytes / meas.dram_read_bytes),
+            LayerTiling::new(&layer).tile().blk_n().to_string(),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Runs all four sensitivity sweeps.
+pub fn run(ctx: &Ctx) -> Result<Vec<Table>, Error> {
+    let co = sweep_points(ranges::OUT_CHANNELS, ctx);
+    let ci = sweep_points(ranges::IN_CHANNELS, ctx);
+    let hw = sweep_points(ranges::FEATURE, ctx);
+    // The batch sweep is intrinsically expensive at large B; cap it.
+    let batch: Vec<u32> = sweep_points(ranges::BATCH, ctx)
+        .into_iter()
+        .filter(|b| *b <= 4 * ctx.sim_batch.max(16))
+        .collect();
+    Ok(vec![
+        sweep_table(
+            "Fig. 17a: sensitivity to output channel count",
+            "co",
+            sweep::sweep_out_channels(co.iter().copied())?,
+            &co,
+            ctx,
+        )?,
+        sweep_table(
+            "Fig. 17b: sensitivity to input channel count",
+            "ci",
+            sweep::sweep_in_channels(ci.iter().copied())?,
+            &ci,
+            ctx,
+        )?,
+        sweep_table(
+            "Fig. 17c: sensitivity to IFmap size",
+            "hw",
+            sweep::sweep_feature_size(hw.iter().copied())?,
+            &hw,
+            ctx,
+        )?,
+        sweep_table(
+            "Fig. 17d: sensitivity to mini-batch size",
+            "batch",
+            sweep::sweep_batch(batch.iter().copied())?,
+            &batch,
+            ctx,
+        )?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_sweep_overpredicts_small_ifmaps_most() {
+        // Appendix A: "DeLTA over-predicts all data traffic of layers
+        // with small IFmap sizes". Compare the smallest vs a mid-size
+        // point.
+        let ctx = Ctx::smoke();
+        let xs = [8u32, 48];
+        let layers = sweep::sweep_feature_size(xs.iter().copied()).unwrap();
+        let t = sweep_table("t", "hw", layers, &xs, &ctx).unwrap();
+        let l2 = t.column_f64("l2_ratio");
+        assert!(
+            l2[0] > l2[1] * 0.9,
+            "small-IFmap L2 ratio {} should not be far below mid-size {}",
+            l2[0],
+            l2[1]
+        );
+    }
+
+    #[test]
+    fn tile_width_column_tracks_fig6() {
+        let ctx = Ctx::smoke();
+        let xs = [32u32, 128];
+        let layers = sweep::sweep_out_channels(xs.iter().copied()).unwrap();
+        let t = sweep_table("t", "co", layers, &xs, &ctx).unwrap();
+        let w = t.column_f64("cta_tile_width");
+        assert_eq!(w, vec![32.0, 128.0]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Fig. 18 — DRAM turnaround latency vs effective bandwidth for the three
+//! GPUs (Appendix B), from the channel queueing model's load sweep.
+
+use crate::ctx::Ctx;
+use crate::table::{f3, Table};
+use delta_model::{Error, GpuSpec};
+use delta_sim::dram::{latency_bandwidth_curve, DramChannelModel};
+
+/// Runs the microbenchmark-style load sweep on all three devices.
+pub fn run(_ctx: &Ctx) -> Result<Vec<Table>, Error> {
+    let mut tables = Vec::new();
+    for gpu in GpuSpec::paper_devices() {
+        let model = DramChannelModel::from_gpu(&gpu);
+        let mut t = Table::new(
+            format!(
+                "Fig. 18: DRAM latency vs bandwidth, {} (pipeline {} clks, effective {} GB/s)",
+                gpu.name(),
+                gpu.lat_dram_clks(),
+                gpu.dram_bw_gbps()
+            ),
+            &["bandwidth_gbps", "latency_clks"],
+        );
+        for p in latency_bandwidth_curve(&model, 48) {
+            t.push(vec![f3(p.bandwidth_gbps), f3(p.latency_clks)]);
+        }
+        tables.push(t);
+    }
+    Ok(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_hockey_stick_curves() {
+        let tables = run(&Ctx::smoke()).unwrap();
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            let lat = t.column_f64("latency_clks");
+            let bw = t.column_f64("bandwidth_gbps");
+            // Flat head near the pipeline latency, explosive tail.
+            assert!(lat[0] < lat[1] * 1.1);
+            assert!(*lat.last().unwrap() > 10.0 * lat[0]);
+            // Bandwidth is non-decreasing and saturates.
+            assert!(bw.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+        }
+        // Titan Xp pipeline latency ~500 clks (paper annotation).
+        let first = tables[0].column_f64("latency_clks")[0];
+        assert!((first - 500.0).abs() / 500.0 < 0.1, "{first}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Fig. 19 — estimated vs measured execution cycles per CNN on TITAN Xp
+//! (Appendix C): absolute cycle counts, layer by layer.
+
+use crate::ctx::Ctx;
+use crate::measure;
+use crate::stats::gmae;
+use crate::table::{f3, sci, Table};
+use delta_model::{Error, GpuSpec};
+
+/// Runs the absolute-cycle validation for the four CNNs.
+pub fn run(ctx: &Ctx) -> Result<Vec<Table>, Error> {
+    let gpu = GpuSpec::titan_xp();
+    let mut tables = Vec::new();
+    let mut summary = Table::new(
+        "Fig. 19 summary: cycle GMAE per network (TITAN Xp)",
+        &["network", "gmae", "layers"],
+    );
+    for net in delta_networks::paper_networks(ctx.sim_batch)? {
+        let rows = measure::compare_network(&gpu, &net, ctx)?;
+        let mut t = Table::new(
+            format!("Fig. 19: execution cycles, {} (TITAN Xp)", net.name()),
+            &["layer", "measured_clks", "delta_clks", "ratio"],
+        );
+        let mut ratios = Vec::new();
+        for r in &rows {
+            ratios.push(r.cycle_ratio());
+            t.push(vec![
+                r.label.clone(),
+                sci(r.measured.cycles),
+                sci(r.model.perf.cycles),
+                f3(r.cycle_ratio()),
+            ]);
+        }
+        summary.push(vec![
+            net.name().to_string(),
+            f3(gmae(&ratios)),
+            ratios.len().to_string(),
+        ]);
+        tables.push(t);
+    }
+    tables.push(summary);
+    Ok(tables)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_magnitudes_track_layer_size() {
+        // Appendix C: cycles differ by an order of magnitude across
+        // configurations and the model tracks them. Check AlexNet:
+        // conv2 (the heaviest) must dwarf conv5 in both columns. Needs a
+        // batch big enough that conv2's CTA grid fills the device.
+        let ctx = Ctx {
+            sim_batch: 16,
+            sim_config: delta_sim::SimConfig {
+                max_batches_per_column: None,
+                max_loops_per_batch: Some(8),
+                ..delta_sim::SimConfig::default()
+            },
+            out_dir: None,
+        };
+        let gpu = GpuSpec::titan_xp();
+        let net = delta_networks::alexnet(ctx.sim_batch).unwrap();
+        let rows = crate::measure::compare_network(&gpu, &net, &ctx).unwrap();
+        let by_label = |l: &str| rows.iter().find(|r| r.label == l).unwrap();
+        let c2 = by_label("conv2");
+        let c5 = by_label("conv5");
+        assert!(c2.model.perf.cycles > c5.model.perf.cycles);
+        assert!(c2.measured.cycles > c5.measured.cycles);
+    }
+}

@@ -1,0 +1,64 @@
+//! Fig. 20 — absolute L1/L2/DRAM traffic, model vs measured, for all
+//! evaluated layers on TITAN Xp (Appendix D).
+
+use crate::ctx::Ctx;
+use crate::measure;
+use crate::table::{gb, Table};
+use delta_model::{Error, GpuSpec};
+
+/// Runs the absolute-traffic comparison.
+pub fn run(ctx: &Ctx) -> Result<Vec<Table>, Error> {
+    let gpu = GpuSpec::titan_xp();
+    let rows = measure::compare_paper_networks(&gpu, ctx)?;
+    let mut t = Table::new(
+        "Fig. 20: absolute traffic in GB, model vs measured (TITAN Xp)",
+        &[
+            "network",
+            "layer",
+            "l1_measured",
+            "l1_model",
+            "l2_measured",
+            "l2_model",
+            "dram_measured",
+            "dram_model",
+        ],
+    );
+    for r in &rows {
+        t.push(vec![
+            r.network.clone(),
+            r.label.clone(),
+            gb(r.measured.l1_bytes),
+            gb(r.model.traffic.l1_bytes),
+            gb(r.measured.l2_bytes),
+            gb(r.model.traffic.l2_bytes),
+            gb(r.measured.dram_read_bytes),
+            gb(r.model.traffic.dram_bytes),
+        ]);
+    }
+    Ok(vec![t])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_magnitudes_track_each_other() {
+        // Smoke-scale: GoogLeNet stem + module 3a.
+        let ctx = Ctx::smoke();
+        let gpu = GpuSpec::titan_xp();
+        let net = delta_networks::googlenet(ctx.sim_batch).unwrap();
+        let rows = crate::measure::compare_network(&gpu, &net, &ctx).unwrap();
+        // The biggest measured-L1 layer must also be the biggest
+        // model-L1 layer (magnitude tracking, Appendix D's claim).
+        let max_meas = rows
+            .iter()
+            .max_by(|a, b| a.measured.l1_bytes.total_cmp(&b.measured.l1_bytes))
+            .unwrap();
+        let max_model = rows
+            .iter()
+            .max_by(|a, b| a.model.traffic.l1_bytes.total_cmp(&b.model.traffic.l1_bytes))
+            .unwrap();
+        assert_eq!(max_meas.label, max_model.label);
+    }
+}

@@ -1,0 +1,126 @@
+//! Error statistics used throughout the evaluation: geometric mean
+//! absolute error (GMAE) and distribution summaries, matching the
+//! quantities the paper reports (§VII).
+
+/// Geometric mean absolute error of a set of model/measured ratios:
+/// `exp(mean(|ln r|)) − 1`. A perfect model scores 0; the paper reports
+/// GMAEs of a few percent.
+pub fn gmae(ratios: &[f64]) -> f64 {
+    let valid: Vec<f64> = ratios
+        .iter()
+        .copied()
+        .filter(|r| r.is_finite() && *r > 0.0)
+        .collect();
+    if valid.is_empty() {
+        return 0.0;
+    }
+    let mean_abs_ln = valid.iter().map(|r| r.ln().abs()).sum::<f64>() / valid.len() as f64;
+    mean_abs_ln.exp() - 1.0
+}
+
+/// Sample standard deviation.
+pub fn stdev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Distribution summary of a set of ratios (the box-plot quantities of
+/// Fig. 15).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Distribution {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stdev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Distribution {
+    /// Summarizes `values`; returns `None` when empty.
+    pub fn of(values: &[f64]) -> Option<Distribution> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = values.to_vec();
+        v.sort_by(|a, b| a.total_cmp(b));
+        let q = |p: f64| -> f64 {
+            let idx = p * (v.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            let frac = idx - lo as f64;
+            v[lo] * (1.0 - frac) + v[hi] * frac
+        };
+        Some(Distribution {
+            mean: v.iter().sum::<f64>() / v.len() as f64,
+            stdev: stdev(&v),
+            min: v[0],
+            q1: q(0.25),
+            median: q(0.5),
+            q3: q(0.75),
+            max: *v.last().expect("non-empty"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmae_of_perfect_model_is_zero() {
+        assert!((gmae(&[1.0, 1.0, 1.0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmae_is_symmetric_in_over_and_under_estimation() {
+        let over = gmae(&[2.0]);
+        let under = gmae(&[0.5]);
+        assert!((over - under).abs() < 1e-12);
+        assert!((over - 1.0).abs() < 1e-12, "2x off -> 100% GMAE");
+    }
+
+    #[test]
+    fn gmae_ignores_degenerate_ratios() {
+        assert!((gmae(&[1.0, f64::NAN, 0.0, f64::INFINITY]) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmae_small_errors() {
+        // 10% errors -> ~10% GMAE.
+        let g = gmae(&[1.1, 0.9090909090909091]);
+        assert!((g - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn stdev_basics() {
+        assert_eq!(stdev(&[1.0]), 0.0);
+        let s = stdev(&[1.0, 2.0, 3.0]);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distribution_quartiles() {
+        let d = Distribution::of(&[4.0, 1.0, 3.0, 2.0, 5.0]).unwrap();
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.median, 3.0);
+        assert_eq!(d.max, 5.0);
+        assert_eq!(d.q1, 2.0);
+        assert_eq!(d.q3, 4.0);
+        assert!((d.mean - 3.0).abs() < 1e-12);
+        assert!(Distribution::of(&[]).is_none());
+    }
+}

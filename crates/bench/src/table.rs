@@ -1,0 +1,187 @@
+//! Aligned text tables and CSV emission for experiment output.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned table with a title.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the arity differs from the header's.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row arity mismatch in table `{}`",
+            self.title
+        );
+        self.rows.push(row);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows (for assertions in tests).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Column index by header name.
+    pub fn column(&self, header: &str) -> Option<usize> {
+        self.headers.iter().position(|h| h == header)
+    }
+
+    /// All values of a named column parsed as `f64` (non-numeric cells
+    /// skipped).
+    pub fn column_f64(&self, header: &str) -> Vec<f64> {
+        let Some(i) = self.column(header) else {
+            return Vec::new();
+        };
+        self.rows
+            .iter()
+            .filter_map(|r| r[i].parse::<f64>().ok())
+            .collect()
+    }
+
+    /// Writes the table as CSV to `dir/<file>`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path, file: &str) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut s = String::new();
+        s.push_str(&self.headers.join(","));
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(&r.join(","));
+            s.push('\n');
+        }
+        fs::write(dir.join(file), s)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "{:<width$}  ", c, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(f, &rule)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 3 decimal places (the precision the paper's
+/// normalized plots convey).
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a byte count in GB with 4 significant decimals.
+pub fn gb(v: f64) -> String {
+    format!("{:.4}", v / 1e9)
+}
+
+/// Formats a large count in scientific notation.
+pub fn sci(v: f64) -> String {
+    format!("{v:.3e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Table {
+        let mut t = Table::new("demo", &["layer", "ratio"]);
+        t.push(vec!["conv1".into(), "1.125".into()]);
+        t.push(vec!["conv2".into(), "0.950".into()]);
+        t
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let s = demo().to_string();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("layer"));
+        assert!(s.contains("conv1"));
+    }
+
+    #[test]
+    fn column_lookup_and_parse() {
+        let t = demo();
+        assert_eq!(t.column("ratio"), Some(1));
+        assert_eq!(t.column("zzz"), None);
+        let v = t.column_f64("ratio");
+        assert_eq!(v.len(), 2);
+        assert!((v[0] - 1.125).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        demo().push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("delta_bench_table_test");
+        demo().write_csv(&dir, "demo.csv").unwrap();
+        let s = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert!(s.starts_with("layer,ratio\n"));
+        assert!(s.contains("conv2,0.950"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(gb(2.5e9), "2.5000");
+        assert!(sci(1.0e7).contains('e'));
+    }
+}

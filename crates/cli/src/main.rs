@@ -1,0 +1,325 @@
+//! `delta` — command-line interface to the DeLTA model, the simulator,
+//! and the design-space tools.
+//!
+//! ```text
+//! delta layer  --ci 256 --hw 13 --co 128 --filter 3 [--stride 1] [--pad 1] [--batch 256] [--gpu titanxp|p100|v100] [--json]
+//! delta network <alexnet|vgg16|googlenet|resnet152> [--batch 256] [--gpu ...] [--json]
+//! delta sim    --ci 64 --hw 14 --co 64 --filter 3 [...]        trace-driven measurement
+//! delta scaling [--batch 256] [--gpu ...]                      the 9 design options on ResNet152
+//! delta gpus                                                   list device presets
+//! ```
+
+use delta_model::{ConvLayer, Delta, DesignOption, GpuSpec};
+use delta_sim::{SimConfig, Simulator};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if let Some(v) = args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                flags.insert(name.to_string(), v.clone());
+                i += 2;
+                continue;
+            }
+            flags.insert(name.to_string(), "true".to_string());
+        } else {
+            positional.push(args[i].clone());
+        }
+        i += 1;
+    }
+    (positional, flags)
+}
+
+fn gpu_from(flags: &HashMap<String, String>) -> GpuSpec {
+    match flags.get("gpu").map(String::as_str) {
+        Some("p100") => GpuSpec::p100(),
+        Some("v100") => GpuSpec::v100(),
+        _ => GpuSpec::titan_xp(),
+    }
+}
+
+fn layer_from(flags: &HashMap<String, String>) -> Result<ConvLayer, String> {
+    let get = |k: &str, default: Option<u32>| -> Result<u32, String> {
+        match flags.get(k) {
+            Some(v) => v.parse().map_err(|_| format!("--{k} expects a number, got `{v}`")),
+            None => default.ok_or(format!("missing required flag --{k}")),
+        }
+    };
+    ConvLayer::builder("cli_layer")
+        .batch(get("batch", Some(256))?)
+        .input(get("ci", None)?, get("hw", None)?, get("hw", None)?)
+        .output_channels(get("co", None)?)
+        .filter(get("filter", Some(3))?, get("filter", Some(3))?)
+        .stride(get("stride", Some(1))?)
+        .pad(get("pad", Some(0))?)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_layer(flags: &HashMap<String, String>) -> Result<(), String> {
+    let gpu = gpu_from(flags);
+    let layer = layer_from(flags)?;
+    let report = Delta::new(gpu).analyze(&layer).map_err(|e| e.to_string())?;
+    if flags.contains_key("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("{report}");
+    }
+    Ok(())
+}
+
+fn cmd_network(name: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let gpu = gpu_from(flags);
+    let batch: u32 = flags
+        .get("batch")
+        .map(|v| v.parse().map_err(|_| "--batch expects a number".to_string()))
+        .transpose()?
+        .unwrap_or(256);
+    let net = delta_networks::paper_networks(batch)
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .find(|n| n.name().eq_ignore_ascii_case(name))
+        .ok_or(format!(
+            "unknown network `{name}` (try alexnet, vgg16, googlenet, resnet152)"
+        ))?;
+    let delta = Delta::new(gpu.clone());
+    let reports = delta.analyze_network(net.layers()).map_err(|e| e.to_string())?;
+    if flags.contains_key("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&reports).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!("{net} on {gpu}");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>9} {:>10}",
+        "layer", "L1 GB", "L2 GB", "DRAM GB", "ms", "bottleneck"
+    );
+    let mut total = 0.0;
+    for r in &reports {
+        total += r.perf.millis();
+        println!(
+            "{:<14} {:>10.3} {:>10.3} {:>10.3} {:>9.3} {:>10}",
+            r.layer.label(),
+            r.traffic.l1_bytes / 1e9,
+            r.traffic.l2_bytes / 1e9,
+            r.traffic.dram_bytes / 1e9,
+            r.perf.millis(),
+            r.perf.bottleneck
+        );
+    }
+    println!("total: {total:.3} ms");
+    Ok(())
+}
+
+fn cmd_sim(flags: &HashMap<String, String>) -> Result<(), String> {
+    let gpu = gpu_from(flags);
+    let mut layer = layer_from(flags)?;
+    if !flags.contains_key("batch") {
+        // Simulation defaults to a laptop-scale batch unless told
+        // otherwise.
+        layer = layer.with_batch(8).map_err(|e| e.to_string())?;
+    }
+    let config = if flags.contains_key("exhaustive") {
+        SimConfig::exhaustive()
+    } else {
+        SimConfig::default()
+    };
+    let m = Simulator::new(gpu.clone(), config).run(&layer);
+    let est = Delta::new(gpu).estimate_traffic(&layer).map_err(|e| e.to_string())?;
+    println!("{layer}");
+    println!("measured : L1 {:.4} GB, L2 {:.4} GB, DRAM {:.4} GB (+{:.4} GB writes)",
+        m.l1_bytes / 1e9, m.l2_bytes / 1e9, m.dram_read_bytes / 1e9, m.dram_write_bytes / 1e9);
+    println!("model    : L1 {:.4} GB, L2 {:.4} GB, DRAM {:.4} GB",
+        est.l1_bytes / 1e9, est.l2_bytes / 1e9, est.dram_bytes / 1e9);
+    println!("ratio    : L1 {:.3}, L2 {:.3}, DRAM {:.3}",
+        est.l1_bytes / m.l1_bytes, est.l2_bytes / m.l2_bytes, est.dram_bytes / m.dram_read_bytes);
+    println!("miss     : L1 {:.1}%, L2 {:.1}%", m.l1_miss_rate * 100.0, m.l2_miss_rate * 100.0);
+    println!("cycles   : {:.3e} ({} of {} CTAs traced{})",
+        m.cycles, m.simulated_ctas, m.total_ctas, if m.sampled { ", extrapolated" } else { "" });
+    Ok(())
+}
+
+fn cmd_scaling(flags: &HashMap<String, String>) -> Result<(), String> {
+    let base = gpu_from(flags);
+    let batch: u32 = flags
+        .get("batch")
+        .map(|v| v.parse().map_err(|_| "--batch expects a number".to_string()))
+        .transpose()?
+        .unwrap_or(256);
+    let net = delta_networks::resnet152_full(batch).map_err(|e| e.to_string())?;
+    let time = |delta: &Delta| -> Result<f64, String> {
+        net.layers()
+            .iter()
+            .map(|l| {
+                delta
+                    .estimate_performance(l)
+                    .map(|p| p.seconds)
+                    .map_err(|e| e.to_string())
+            })
+            .sum()
+    };
+    let t0 = time(&Delta::new(base.clone()))?;
+    println!("ResNet152 ({} convs, B={batch}) on {}: {:.1} ms", net.len(), base.name(), t0 * 1e3);
+    println!("{:<8} {:>9} {:>10}", "option", "speedup", "rel. cost");
+    for opt in DesignOption::paper_options() {
+        let delta = opt.model(&base).map_err(|e| e.to_string())?;
+        let t = time(&delta)?;
+        println!("{:<8} {:>8.2}x {:>10.2}", opt.name, t0 / t, opt.relative_cost());
+    }
+    Ok(())
+}
+
+fn cmd_train(name: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let gpu = gpu_from(flags);
+    let batch: u32 = flags
+        .get("batch")
+        .map(|v| v.parse().map_err(|_| "--batch expects a number".to_string()))
+        .transpose()?
+        .unwrap_or(64);
+    let net = delta_networks::paper_networks(batch)
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .find(|n| n.name().eq_ignore_ascii_case(name))
+        .ok_or(format!(
+            "unknown network `{name}` (try alexnet, vgg16, googlenet, resnet152)"
+        ))?;
+    let delta = Delta::new(gpu.clone());
+    let steps = delta_model::training::training_step(&delta, net.layers())
+        .map_err(|e| e.to_string())?;
+    println!("{net} training step on {gpu}");
+    let (mut fwd, mut bwd) = (0.0f64, 0.0f64);
+    for s in &steps {
+        println!("  {s}");
+        fwd += s.forward.perf.seconds;
+        bwd += s.seconds() - s.forward.perf.seconds;
+    }
+    println!(
+        "totals: forward {:.3} ms, backward {:.3} ms ({:.2}x), step {:.3} ms",
+        fwd * 1e3,
+        bwd * 1e3,
+        bwd / fwd,
+        (fwd + bwd) * 1e3
+    );
+    Ok(())
+}
+
+fn cmd_gpus() {
+    for g in GpuSpec::paper_devices() {
+        println!("{g}");
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: delta <command> [flags]\n\
+         commands:\n  \
+         layer    --ci N --hw N --co N [--filter N --stride N --pad N --batch N --gpu G --json]\n  \
+         network  <alexnet|vgg16|googlenet|resnet152> [--batch N --gpu G --json]\n  \
+         sim      --ci N --hw N --co N [--filter N ... --exhaustive]\n  \
+         train    <alexnet|vgg16|googlenet|resnet152> [--batch N --gpu G]\n  \
+         scaling  [--batch N --gpu G]\n  \
+         gpus"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (positional, flags) = parse_flags(&args);
+    let result = match positional.first().map(String::as_str) {
+        Some("layer") => cmd_layer(&flags),
+        Some("network") => match positional.get(1) {
+            Some(name) => cmd_network(name, &flags),
+            None => Err("network command needs a network name".into()),
+        },
+        Some("sim") => cmd_sim(&flags),
+        Some("train") => match positional.get(1) {
+            Some(name) => cmd_train(name, &flags),
+            None => Err("train command needs a network name".into()),
+        },
+        Some("scaling") => cmd_scaling(&flags),
+        Some("gpus") => {
+            cmd_gpus();
+            Ok(())
+        }
+        _ => {
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn parse_flags_splits_positional_and_named() {
+        let args: Vec<String> = ["network", "vgg16", "--batch", "64", "--json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (pos, f) = parse_flags(&args);
+        assert_eq!(pos, vec!["network", "vgg16"]);
+        assert_eq!(f.get("batch").map(String::as_str), Some("64"));
+        assert_eq!(f.get("json").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn parse_flags_handles_adjacent_switches() {
+        // A flag followed by another flag is a boolean switch; a flag
+        // followed by a bare token consumes it as its value.
+        let args: Vec<String> = ["x", "--json", "--full"].iter().map(|s| s.to_string()).collect();
+        let (pos, f) = parse_flags(&args);
+        assert_eq!(pos, vec!["x"]);
+        assert!(f.contains_key("json") && f.contains_key("full"));
+        let args: Vec<String> = ["--gpu", "v100"].iter().map(|s| s.to_string()).collect();
+        let (_, f) = parse_flags(&args);
+        assert_eq!(f.get("gpu").map(String::as_str), Some("v100"));
+    }
+
+    #[test]
+    fn layer_from_requires_core_dims() {
+        assert!(layer_from(&flags(&[("ci", "3")])).is_err());
+        let l = layer_from(&flags(&[("ci", "3"), ("hw", "32"), ("co", "8")])).unwrap();
+        assert_eq!(l.batch(), 256, "default batch");
+        assert_eq!(l.filter_height(), 3, "default filter");
+        assert!(layer_from(&flags(&[("ci", "x"), ("hw", "32"), ("co", "8")])).is_err());
+    }
+
+    #[test]
+    fn gpu_selection_defaults_to_titan_xp() {
+        assert_eq!(gpu_from(&flags(&[])).name(), "TITAN Xp");
+        assert_eq!(gpu_from(&flags(&[("gpu", "v100")])).name(), "V100");
+        assert_eq!(gpu_from(&flags(&[("gpu", "p100")])).name(), "P100");
+    }
+
+    #[test]
+    fn commands_run_end_to_end() {
+        cmd_layer(&flags(&[("ci", "16"), ("hw", "14"), ("co", "32"), ("batch", "2")])).unwrap();
+        cmd_gpus();
+        assert!(cmd_network("nope", &flags(&[])).is_err());
+    }
+}

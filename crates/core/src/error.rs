@@ -1,0 +1,93 @@
+//! Error type for the DeLTA model.
+
+use std::fmt;
+
+/// Errors produced while constructing model inputs or evaluating the model.
+///
+/// ```rust
+/// use delta_model::ConvLayer;
+///
+/// // A filter larger than the padded input is rejected.
+/// let err = ConvLayer::builder("bad")
+///     .batch(1)
+///     .input(3, 4, 4)
+///     .output_channels(8)
+///     .filter(9, 9)
+///     .build()
+///     .unwrap_err();
+/// assert!(err.to_string().contains("filter"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A convolution-layer configuration failed validation.
+    InvalidLayer {
+        /// Which layer (builder label) was rejected.
+        label: String,
+        /// Why the configuration is invalid.
+        reason: String,
+    },
+    /// A GPU specification failed validation.
+    InvalidGpu {
+        /// Which GPU spec was rejected.
+        name: String,
+        /// Why the specification is invalid.
+        reason: String,
+    },
+    /// A design option produced an unusable GPU configuration.
+    InvalidDesignOption {
+        /// The design-option name.
+        name: String,
+        /// Why the option is invalid.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidLayer { label, reason } => {
+                write!(f, "invalid conv layer `{label}`: {reason}")
+            }
+            Error::InvalidGpu { name, reason } => {
+                write!(f, "invalid GPU spec `{name}`: {reason}")
+            }
+            Error::InvalidDesignOption { name, reason } => {
+                write!(f, "invalid design option `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = Error::InvalidLayer {
+            label: "x".into(),
+            reason: "stride must be positive".into(),
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("invalid conv layer"));
+        assert!(s.contains("stride"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let e = Error::InvalidGpu {
+            name: "g".into(),
+            reason: "r".into(),
+        };
+        assert!(!format!("{e:?}").is_empty());
+    }
+}

@@ -1,0 +1,537 @@
+//! GPU device specification (paper §VI, Table I, and the Fig. 18
+//! microbenchmark-measured latencies/bandwidths).
+//!
+//! All bandwidths are *effective* bandwidths as measured by the paper's
+//! microbenchmarks, not theoretical peaks; latencies are pipeline
+//! ("empty-system") latencies in core clocks.
+
+use crate::error::Error;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parameterized GPU hardware description.
+///
+/// The three devices the paper evaluates are available as presets
+/// ([`GpuSpec::titan_xp`], [`GpuSpec::p100`], [`GpuSpec::v100`]); anything
+/// else can be described with [`GpuSpec::builder`] or derived from a preset
+/// through the scaling knobs in [`crate::scaling`].
+///
+/// ```rust
+/// use delta_model::GpuSpec;
+///
+/// let g = GpuSpec::titan_xp();
+/// assert_eq!(g.num_sm(), 30);
+/// // Bandwidth unit conversions are provided:
+/// let bpc = g.dram_bytes_per_clk();
+/// assert!((bpc - 450.0 / 1.58).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    name: String,
+    num_sm: u32,
+    core_clock_ghz: f64,
+    /// FP32 throughput in GFLOP/s (2 FLOPs per MAC).
+    mac_gflops: f64,
+    reg_bytes_per_sm: u64,
+    smem_bytes_per_sm: u64,
+    l1_bytes_per_sm: u64,
+    l2_bytes: u64,
+    /// Effective bandwidths (GB/s). L1 is per SM, L2/DRAM are device-wide.
+    l1_bw_gbps_per_sm: f64,
+    l2_bw_gbps: f64,
+    dram_bw_gbps: f64,
+    /// Shared-memory load/store bandwidth, bytes per clock per SM.
+    smem_ld_bytes_per_clk: f64,
+    smem_st_bytes_per_clk: f64,
+    /// Pipeline (unloaded) latencies in core clocks.
+    lat_smem_clks: f64,
+    lat_l1_clks: f64,
+    lat_l2_clks: f64,
+    lat_dram_clks: f64,
+    /// L1 request coalescing granularity in bytes: 128 on Pascal, 32 on
+    /// Volta (the granularity the paper found to best match measurement).
+    l1_request_bytes: u32,
+    /// Hardware limit on concurrently resident CTAs per SM.
+    max_ctas_per_sm: u32,
+}
+
+impl GpuSpec {
+    /// Starts building a custom GPU description from scratch.
+    pub fn builder(name: impl Into<String>) -> GpuSpecBuilder {
+        GpuSpecBuilder::new(name)
+    }
+
+    /// NVIDIA Pascal TITAN Xp (Table I; DRAM latency 500 clks and effective
+    /// bandwidth from Fig. 18a).
+    pub fn titan_xp() -> Self {
+        GpuSpec {
+            name: "TITAN Xp".into(),
+            num_sm: 30,
+            core_clock_ghz: 1.58,
+            mac_gflops: 12134.0,
+            reg_bytes_per_sm: 256 * 1024,
+            smem_bytes_per_sm: 96 * 1024,
+            l1_bytes_per_sm: 48 * 1024,
+            l2_bytes: 3 * 1024 * 1024,
+            l1_bw_gbps_per_sm: 92.0,
+            l2_bw_gbps: 1051.0,
+            dram_bw_gbps: 450.0,
+            smem_ld_bytes_per_clk: 128.0,
+            smem_st_bytes_per_clk: 128.0,
+            lat_smem_clks: 24.0,
+            lat_l1_clks: 32.0,
+            lat_l2_clks: 220.0,
+            lat_dram_clks: 500.0,
+            l1_request_bytes: 128,
+            max_ctas_per_sm: 32,
+        }
+    }
+
+    /// NVIDIA Pascal Tesla P100 (Table I; DRAM latency 580 clks from
+    /// Fig. 18b).
+    pub fn p100() -> Self {
+        GpuSpec {
+            name: "P100".into(),
+            num_sm: 56,
+            core_clock_ghz: 1.2,
+            mac_gflops: 8602.0,
+            reg_bytes_per_sm: 256 * 1024,
+            smem_bytes_per_sm: 64 * 1024,
+            l1_bytes_per_sm: 24 * 1024,
+            l2_bytes: 4 * 1024 * 1024,
+            l1_bw_gbps_per_sm: 38.1,
+            l2_bw_gbps: 1382.0,
+            dram_bw_gbps: 550.0,
+            smem_ld_bytes_per_clk: 128.0,
+            smem_st_bytes_per_clk: 128.0,
+            lat_smem_clks: 24.0,
+            lat_l1_clks: 32.0,
+            lat_l2_clks: 234.0,
+            lat_dram_clks: 580.0,
+            l1_request_bytes: 128,
+            max_ctas_per_sm: 32,
+        }
+    }
+
+    /// NVIDIA Volta Tesla V100 (Table I; DRAM latency 500 clks from
+    /// Fig. 18c; 32 B L1 request granularity per §VII-A).
+    pub fn v100() -> Self {
+        GpuSpec {
+            name: "V100".into(),
+            num_sm: 84,
+            core_clock_ghz: 1.38,
+            mac_gflops: 14837.0,
+            reg_bytes_per_sm: 256 * 1024,
+            smem_bytes_per_sm: 94 * 1024,
+            l1_bytes_per_sm: 128 * 1024,
+            l2_bytes: 6 * 1024 * 1024,
+            l1_bw_gbps_per_sm: 94.1,
+            l2_bw_gbps: 2167.0,
+            dram_bw_gbps: 850.0,
+            smem_ld_bytes_per_clk: 128.0,
+            smem_st_bytes_per_clk: 128.0,
+            lat_smem_clks: 19.0,
+            lat_l1_clks: 28.0,
+            lat_l2_clks: 193.0,
+            lat_dram_clks: 500.0,
+            l1_request_bytes: 32,
+            max_ctas_per_sm: 32,
+        }
+    }
+
+    /// The three devices the paper validates against, in paper order.
+    pub fn paper_devices() -> Vec<GpuSpec> {
+        vec![GpuSpec::titan_xp(), GpuSpec::p100(), GpuSpec::v100()]
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of streaming multiprocessors.
+    pub fn num_sm(&self) -> u32 {
+        self.num_sm
+    }
+
+    /// Core clock in GHz.
+    pub fn core_clock_ghz(&self) -> f64 {
+        self.core_clock_ghz
+    }
+
+    /// FP32 arithmetic throughput in GFLOP/s.
+    pub fn mac_gflops(&self) -> f64 {
+        self.mac_gflops
+    }
+
+    /// Register-file capacity per SM in bytes.
+    pub fn reg_bytes_per_sm(&self) -> u64 {
+        self.reg_bytes_per_sm
+    }
+
+    /// Shared-memory capacity per SM in bytes.
+    pub fn smem_bytes_per_sm(&self) -> u64 {
+        self.smem_bytes_per_sm
+    }
+
+    /// L1 cache capacity per SM in bytes.
+    pub fn l1_bytes_per_sm(&self) -> u64 {
+        self.l1_bytes_per_sm
+    }
+
+    /// L2 cache capacity (device-wide) in bytes.
+    pub fn l2_bytes(&self) -> u64 {
+        self.l2_bytes
+    }
+
+    /// Effective L1 bandwidth per SM in GB/s.
+    pub fn l1_bw_gbps_per_sm(&self) -> f64 {
+        self.l1_bw_gbps_per_sm
+    }
+
+    /// Effective device-wide L2 bandwidth in GB/s.
+    pub fn l2_bw_gbps(&self) -> f64 {
+        self.l2_bw_gbps
+    }
+
+    /// Effective device-wide DRAM bandwidth in GB/s.
+    pub fn dram_bw_gbps(&self) -> f64 {
+        self.dram_bw_gbps
+    }
+
+    /// Shared-memory load bandwidth in bytes per clock per SM.
+    pub fn smem_ld_bytes_per_clk(&self) -> f64 {
+        self.smem_ld_bytes_per_clk
+    }
+
+    /// Shared-memory store bandwidth in bytes per clock per SM.
+    pub fn smem_st_bytes_per_clk(&self) -> f64 {
+        self.smem_st_bytes_per_clk
+    }
+
+    /// Shared-memory pipeline latency in clocks.
+    pub fn lat_smem_clks(&self) -> f64 {
+        self.lat_smem_clks
+    }
+
+    /// L1 pipeline latency in clocks.
+    pub fn lat_l1_clks(&self) -> f64 {
+        self.lat_l1_clks
+    }
+
+    /// L2 pipeline latency in clocks.
+    pub fn lat_l2_clks(&self) -> f64 {
+        self.lat_l2_clks
+    }
+
+    /// DRAM pipeline (turnaround) latency in clocks (Fig. 18).
+    pub fn lat_dram_clks(&self) -> f64 {
+        self.lat_dram_clks
+    }
+
+    /// L1 request coalescing granularity in bytes (128 Pascal / 32 Volta).
+    pub fn l1_request_bytes(&self) -> u32 {
+        self.l1_request_bytes
+    }
+
+    /// Hardware limit on resident CTAs per SM.
+    pub fn max_ctas_per_sm(&self) -> u32 {
+        self.max_ctas_per_sm
+    }
+
+    // --- derived quantities -------------------------------------------------
+
+    /// MAC operations per clock per SM:
+    /// `(GFLOPS / 2) / (num_sm × clock)`.
+    pub fn macs_per_clk_per_sm(&self) -> f64 {
+        (self.mac_gflops / 2.0) / (f64::from(self.num_sm) * self.core_clock_ghz)
+    }
+
+    /// Converts a GB/s bandwidth into bytes per core clock.
+    pub fn gbps_to_bytes_per_clk(&self, gbps: f64) -> f64 {
+        gbps / self.core_clock_ghz
+    }
+
+    /// Per-SM L1 bandwidth in bytes per clock.
+    pub fn l1_bytes_per_clk(&self) -> f64 {
+        self.gbps_to_bytes_per_clk(self.l1_bw_gbps_per_sm)
+    }
+
+    /// Device-wide L2 bandwidth in bytes per clock.
+    pub fn l2_bytes_per_clk(&self) -> f64 {
+        self.gbps_to_bytes_per_clk(self.l2_bw_gbps)
+    }
+
+    /// Device-wide DRAM bandwidth in bytes per clock.
+    pub fn dram_bytes_per_clk(&self) -> f64 {
+        self.gbps_to_bytes_per_clk(self.dram_bw_gbps)
+    }
+
+    /// Converts a cycle count on this device into seconds.
+    pub fn clks_to_seconds(&self, clks: f64) -> f64 {
+        clks / (self.core_clock_ghz * 1e9)
+    }
+
+    /// Validates internal consistency; presets always pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidGpu`] when a count, clock, bandwidth, or
+    /// latency is non-positive, or when the L1 request size is not a
+    /// multiple of a 32 B sector.
+    pub fn validate(&self) -> Result<(), Error> {
+        let fail = |reason: &str| Error::InvalidGpu {
+            name: self.name.clone(),
+            reason: reason.into(),
+        };
+        if self.num_sm == 0 {
+            return Err(fail("SM count must be positive"));
+        }
+        if self.core_clock_ghz <= 0.0 {
+            return Err(fail("core clock must be positive"));
+        }
+        if self.mac_gflops <= 0.0 {
+            return Err(fail("MAC throughput must be positive"));
+        }
+        for (v, what) in [
+            (self.l1_bw_gbps_per_sm, "L1 bandwidth"),
+            (self.l2_bw_gbps, "L2 bandwidth"),
+            (self.dram_bw_gbps, "DRAM bandwidth"),
+            (self.smem_ld_bytes_per_clk, "SMEM load bandwidth"),
+            (self.smem_st_bytes_per_clk, "SMEM store bandwidth"),
+        ] {
+            if v <= 0.0 {
+                return Err(fail(&format!("{what} must be positive")));
+            }
+        }
+        for (v, what) in [
+            (self.lat_smem_clks, "SMEM latency"),
+            (self.lat_l1_clks, "L1 latency"),
+            (self.lat_l2_clks, "L2 latency"),
+            (self.lat_dram_clks, "DRAM latency"),
+        ] {
+            if v < 0.0 {
+                return Err(fail(&format!("{what} must be non-negative")));
+            }
+        }
+        if self.l1_request_bytes == 0 || self.l1_request_bytes % 32 != 0 {
+            return Err(fail("L1 request size must be a positive multiple of 32 B"));
+        }
+        if self.max_ctas_per_sm == 0 {
+            return Err(fail("max CTAs per SM must be positive"));
+        }
+        Ok(())
+    }
+
+    /// Returns a mutable-builder view seeded from this spec, for deriving
+    /// scaled variants.
+    pub fn to_builder(&self) -> GpuSpecBuilder {
+        GpuSpecBuilder { spec: self.clone() }
+    }
+}
+
+impl fmt::Display for GpuSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} SMs @ {:.2} GHz, {:.0} GFLOPS, L2 {} MiB, DRAM {:.0} GB/s",
+            self.name,
+            self.num_sm,
+            self.core_clock_ghz,
+            self.mac_gflops,
+            self.l2_bytes / (1024 * 1024),
+            self.dram_bw_gbps
+        )
+    }
+}
+
+/// Builder for [`GpuSpec`]; starts from TITAN-Xp-like defaults so partial
+/// specifications stay plausible.
+#[derive(Debug, Clone)]
+pub struct GpuSpecBuilder {
+    spec: GpuSpec,
+}
+
+macro_rules! builder_setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(&mut self, v: $ty) -> &mut Self {
+            self.spec.$name = v;
+            self
+        }
+    };
+}
+
+impl GpuSpecBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        let mut spec = GpuSpec::titan_xp();
+        spec.name = name.into();
+        GpuSpecBuilder { spec }
+    }
+
+    builder_setter!(
+        /// Sets the SM count.
+        num_sm: u32
+    );
+    builder_setter!(
+        /// Sets the core clock in GHz.
+        core_clock_ghz: f64
+    );
+    builder_setter!(
+        /// Sets FP32 throughput in GFLOP/s.
+        mac_gflops: f64
+    );
+    builder_setter!(
+        /// Sets register-file bytes per SM.
+        reg_bytes_per_sm: u64
+    );
+    builder_setter!(
+        /// Sets shared-memory bytes per SM.
+        smem_bytes_per_sm: u64
+    );
+    builder_setter!(
+        /// Sets L1 bytes per SM.
+        l1_bytes_per_sm: u64
+    );
+    builder_setter!(
+        /// Sets device-wide L2 bytes.
+        l2_bytes: u64
+    );
+    builder_setter!(
+        /// Sets per-SM L1 bandwidth (GB/s).
+        l1_bw_gbps_per_sm: f64
+    );
+    builder_setter!(
+        /// Sets device L2 bandwidth (GB/s).
+        l2_bw_gbps: f64
+    );
+    builder_setter!(
+        /// Sets device DRAM bandwidth (GB/s).
+        dram_bw_gbps: f64
+    );
+    builder_setter!(
+        /// Sets SMEM load bytes/clk/SM.
+        smem_ld_bytes_per_clk: f64
+    );
+    builder_setter!(
+        /// Sets SMEM store bytes/clk/SM.
+        smem_st_bytes_per_clk: f64
+    );
+    builder_setter!(
+        /// Sets SMEM latency (clks).
+        lat_smem_clks: f64
+    );
+    builder_setter!(
+        /// Sets L1 latency (clks).
+        lat_l1_clks: f64
+    );
+    builder_setter!(
+        /// Sets L2 latency (clks).
+        lat_l2_clks: f64
+    );
+    builder_setter!(
+        /// Sets DRAM latency (clks).
+        lat_dram_clks: f64
+    );
+    builder_setter!(
+        /// Sets L1 request granularity (bytes).
+        l1_request_bytes: u32
+    );
+    builder_setter!(
+        /// Sets the per-SM CTA residency limit.
+        max_ctas_per_sm: u32
+    );
+
+    /// Validates and produces the spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GpuSpec::validate`] failures.
+    pub fn build(&self) -> Result<GpuSpec, Error> {
+        self.spec.validate()?;
+        Ok(self.spec.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table_1() {
+        let xp = GpuSpec::titan_xp();
+        assert_eq!(xp.num_sm(), 30);
+        assert!((xp.mac_gflops() - 12134.0).abs() < 1e-9);
+        assert_eq!(xp.l2_bytes(), 3 * 1024 * 1024);
+        assert_eq!(xp.l1_request_bytes(), 128);
+
+        let p = GpuSpec::p100();
+        assert_eq!(p.num_sm(), 56);
+        assert!((p.l2_bw_gbps() - 1382.0).abs() < 1e-9);
+        assert_eq!(p.smem_bytes_per_sm(), 64 * 1024);
+
+        let v = GpuSpec::v100();
+        assert_eq!(v.num_sm(), 84);
+        assert!((v.dram_bw_gbps() - 850.0).abs() < 1e-9);
+        assert_eq!(v.l1_request_bytes(), 32, "Volta best-match granularity");
+    }
+
+    #[test]
+    fn presets_validate() {
+        for g in GpuSpec::paper_devices() {
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn macs_per_clk_is_consistent_with_gflops() {
+        let g = GpuSpec::titan_xp();
+        // Round-trip: macs/clk/SM * SMs * clock * 2 = GFLOPS.
+        let gflops = g.macs_per_clk_per_sm() * 30.0 * 1.58 * 2.0;
+        assert!((gflops - 12134.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let g = GpuSpec::titan_xp();
+        assert!((g.gbps_to_bytes_per_clk(1.58) - 1.0).abs() < 1e-12);
+        assert!((g.clks_to_seconds(1.58e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_produces_custom_device() {
+        let g = GpuSpec::builder("2xMAC")
+            .mac_gflops(24268.0)
+            .num_sm(60)
+            .build()
+            .unwrap();
+        assert_eq!(g.name(), "2xMAC");
+        assert_eq!(g.num_sm(), 60);
+        // Unset fields keep Titan-Xp-like defaults.
+        assert!((g.dram_bw_gbps() - 450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        assert!(GpuSpec::builder("g").num_sm(0).build().is_err());
+        assert!(GpuSpec::builder("g").core_clock_ghz(0.0).build().is_err());
+        assert!(GpuSpec::builder("g").dram_bw_gbps(-1.0).build().is_err());
+        assert!(GpuSpec::builder("g").l1_request_bytes(48).build().is_err());
+        assert!(GpuSpec::builder("g").max_ctas_per_sm(0).build().is_err());
+    }
+
+    #[test]
+    fn display_contains_name_and_sms() {
+        let s = GpuSpec::v100().to_string();
+        assert!(s.contains("V100"));
+        assert!(s.contains("84 SMs"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = GpuSpec::p100();
+        let s = serde_json::to_string(&g).unwrap();
+        let back: GpuSpec = serde_json::from_str(&s).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,566 @@
+//! Convolution-layer workload description (paper §II-B).
+//!
+//! A conv layer convolves `Ci` input feature maps (IFmaps) of `Hi × Wi`
+//! elements with `Ci × Co` filters of `Hf × Wf` weights to produce `Co`
+//! output feature maps (OFmaps), over a mini-batch of `B` samples (Fig. 1).
+//! On a GPU the layer is computed as a single im2col GEMM with dimensions
+//!
+//! ```text
+//! M = B × Ho × Wo      (output positions)
+//! N = Co               (output channels)
+//! K = Ci × Hf × Wf     (reduction)
+//! ```
+//!
+//! (Fig. 2). [`ConvLayer`] validates the configuration once at construction
+//! so every downstream computation can assume a well-formed layer.
+
+use crate::error::Error;
+use crate::BYTES_PER_ELEMENT;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validated convolution-layer configuration.
+///
+/// Construct with [`ConvLayer::builder`]; all dimensional accessors are
+/// cheap. The type is immutable once built, which keeps derived quantities
+/// (GEMM dimensions, footprints, FLOPs) consistent.
+///
+/// ```rust
+/// use delta_model::ConvLayer;
+///
+/// # fn main() -> Result<(), delta_model::Error> {
+/// let l = ConvLayer::builder("vgg_conv1_1")
+///     .batch(256)
+///     .input(3, 224, 224)
+///     .output_channels(64)
+///     .filter(3, 3)
+///     .stride(1)
+///     .pad(1)
+///     .build()?;
+/// assert_eq!(l.out_height(), 224);
+/// assert_eq!(l.gemm_m(), 256 * 224 * 224);
+/// assert_eq!(l.gemm_k(), 3 * 3 * 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvLayer {
+    label: String,
+    batch: u32,
+    in_channels: u32,
+    in_height: u32,
+    in_width: u32,
+    out_channels: u32,
+    filter_height: u32,
+    filter_width: u32,
+    stride: u32,
+    pad: u32,
+}
+
+impl ConvLayer {
+    /// Starts building a layer; `label` names it in reports and errors
+    /// (use the paper's layer names, e.g. `"3a_5x5red"`).
+    pub fn builder(label: impl Into<String>) -> ConvLayerBuilder {
+        ConvLayerBuilder::new(label)
+    }
+
+    /// Convenience constructor for a fully-connected layer, which im2col
+    /// treats as a 1×1 convolution over a 1×1 feature map (paper §IV-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidLayer`] if any dimension is zero.
+    pub fn fully_connected(
+        label: impl Into<String>,
+        batch: u32,
+        in_features: u32,
+        out_features: u32,
+    ) -> Result<Self, Error> {
+        ConvLayer::builder(label)
+            .batch(batch)
+            .input(in_features, 1, 1)
+            .output_channels(out_features)
+            .filter(1, 1)
+            .stride(1)
+            .pad(0)
+            .build()
+    }
+
+    /// The layer label used in reports.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Mini-batch size `B`.
+    pub fn batch(&self) -> u32 {
+        self.batch
+    }
+
+    /// Input channel count `Ci`.
+    pub fn in_channels(&self) -> u32 {
+        self.in_channels
+    }
+
+    /// Input feature-map height `Hi` (unpadded).
+    pub fn in_height(&self) -> u32 {
+        self.in_height
+    }
+
+    /// Input feature-map width `Wi` (unpadded).
+    pub fn in_width(&self) -> u32 {
+        self.in_width
+    }
+
+    /// Output channel count `Co`.
+    pub fn out_channels(&self) -> u32 {
+        self.out_channels
+    }
+
+    /// Filter height `Hf`.
+    pub fn filter_height(&self) -> u32 {
+        self.filter_height
+    }
+
+    /// Filter width `Wf`.
+    pub fn filter_width(&self) -> u32 {
+        self.filter_width
+    }
+
+    /// Convolution stride (same in both dimensions, as in the paper).
+    pub fn stride(&self) -> u32 {
+        self.stride
+    }
+
+    /// Zero padding added around the IFmap boundary.
+    pub fn pad(&self) -> u32 {
+        self.pad
+    }
+
+    /// Padded input height `Hi + 2·Pad`.
+    pub fn padded_height(&self) -> u32 {
+        self.in_height + 2 * self.pad
+    }
+
+    /// Padded input width `Wi + 2·Pad`.
+    pub fn padded_width(&self) -> u32 {
+        self.in_width + 2 * self.pad
+    }
+
+    /// Output feature-map height `Ho = (Hi + 2·Pad − Hf)/Strd + 1`.
+    pub fn out_height(&self) -> u32 {
+        (self.padded_height() - self.filter_height) / self.stride + 1
+    }
+
+    /// Output feature-map width `Wo = (Wi + 2·Pad − Wf)/Strd + 1`.
+    pub fn out_width(&self) -> u32 {
+        (self.padded_width() - self.filter_width) / self.stride + 1
+    }
+
+    /// im2col GEMM height `M = B × Ho × Wo` (Fig. 2).
+    pub fn gemm_m(&self) -> u64 {
+        u64::from(self.batch) * u64::from(self.out_height()) * u64::from(self.out_width())
+    }
+
+    /// im2col GEMM width `N = Co`.
+    pub fn gemm_n(&self) -> u64 {
+        u64::from(self.out_channels)
+    }
+
+    /// im2col GEMM depth `K = Ci × Hf × Wf`.
+    pub fn gemm_k(&self) -> u64 {
+        u64::from(self.in_channels) * u64::from(self.filter_height) * u64::from(self.filter_width)
+    }
+
+    /// True for 1×1 convolutions (and FC layers), which have no intra-tile
+    /// IFmap reuse (paper §IV-B).
+    pub fn is_pointwise(&self) -> bool {
+        self.filter_height == 1 && self.filter_width == 1
+    }
+
+    /// Number of IFmap elements (unpadded): `B × Ci × Hi × Wi`.
+    pub fn ifmap_elements(&self) -> u64 {
+        u64::from(self.batch)
+            * u64::from(self.in_channels)
+            * u64::from(self.in_height)
+            * u64::from(self.in_width)
+    }
+
+    /// Number of IFmap elements counting the zero-padded border, which the
+    /// paper's DRAM model uses (§IV-C: "Both IFmap height and width are
+    /// zero padded").
+    pub fn ifmap_elements_padded(&self) -> u64 {
+        u64::from(self.batch)
+            * u64::from(self.in_channels)
+            * u64::from(self.padded_height())
+            * u64::from(self.padded_width())
+    }
+
+    /// Number of filter elements: `Ci × Hf × Wf × Co`.
+    pub fn filter_elements(&self) -> u64 {
+        self.gemm_k() * self.gemm_n()
+    }
+
+    /// Number of OFmap elements: `B × Co × Ho × Wo` (= `M × N`).
+    pub fn ofmap_elements(&self) -> u64 {
+        self.gemm_m() * self.gemm_n()
+    }
+
+    /// IFmap footprint in bytes (unpadded, FP32).
+    pub fn ifmap_bytes(&self) -> u64 {
+        self.ifmap_elements() * BYTES_PER_ELEMENT
+    }
+
+    /// Filter footprint in bytes (FP32).
+    pub fn filter_bytes(&self) -> u64 {
+        self.filter_elements() * BYTES_PER_ELEMENT
+    }
+
+    /// OFmap footprint in bytes (FP32).
+    pub fn ofmap_bytes(&self) -> u64 {
+        self.ofmap_elements() * BYTES_PER_ELEMENT
+    }
+
+    /// Total working-set footprint in bytes (IFmap + filter + OFmap).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.ifmap_bytes() + self.filter_bytes() + self.ofmap_bytes()
+    }
+
+    /// Multiply-accumulate operations: `M × N × K`.
+    pub fn macs(&self) -> u64 {
+        self.gemm_m() * self.gemm_n() * self.gemm_k()
+    }
+
+    /// Floating-point operations (2 per MAC).
+    pub fn flops(&self) -> u64 {
+        2 * self.macs()
+    }
+
+    /// Arithmetic intensity in FLOPs per byte of compulsory traffic
+    /// (IFmap + filter read once, OFmap written once).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.flops() as f64 / self.footprint_bytes() as f64
+    }
+
+    /// Returns a copy of this layer with a different mini-batch size.
+    /// Used by the simulator's reduced-batch sampling and the Fig. 17d
+    /// batch sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidLayer`] if `batch` is zero.
+    pub fn with_batch(&self, batch: u32) -> Result<Self, Error> {
+        ConvLayerBuilder::from_layer(self).batch(batch).build()
+    }
+
+    /// Returns a copy with a different label (used when expanding repeated
+    /// network blocks).
+    pub fn with_label(&self, label: impl Into<String>) -> Self {
+        let mut l = self.clone();
+        l.label = label.into();
+        l
+    }
+}
+
+impl fmt::Display for ConvLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: B={} Ci={} {}x{} -> Co={} filter {}x{} stride {} pad {}",
+            self.label,
+            self.batch,
+            self.in_channels,
+            self.in_height,
+            self.in_width,
+            self.out_channels,
+            self.filter_height,
+            self.filter_width,
+            self.stride,
+            self.pad
+        )
+    }
+}
+
+/// Incremental builder for [`ConvLayer`] (non-consuming terminal method).
+///
+/// ```rust
+/// use delta_model::ConvLayer;
+///
+/// # fn main() -> Result<(), delta_model::Error> {
+/// let mut b = ConvLayer::builder("l");
+/// b.batch(32).input(64, 56, 56).output_channels(64).filter(3, 3).pad(1);
+/// let layer = b.build()?;
+/// assert_eq!(layer.stride(), 1); // default stride
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConvLayerBuilder {
+    label: String,
+    batch: u32,
+    in_channels: u32,
+    in_height: u32,
+    in_width: u32,
+    out_channels: u32,
+    filter_height: u32,
+    filter_width: u32,
+    stride: u32,
+    pad: u32,
+}
+
+impl ConvLayerBuilder {
+    fn new(label: impl Into<String>) -> Self {
+        ConvLayerBuilder {
+            label: label.into(),
+            batch: 1,
+            in_channels: 0,
+            in_height: 0,
+            in_width: 0,
+            out_channels: 0,
+            filter_height: 0,
+            filter_width: 0,
+            stride: 1,
+            pad: 0,
+        }
+    }
+
+    fn from_layer(l: &ConvLayer) -> Self {
+        ConvLayerBuilder {
+            label: l.label.clone(),
+            batch: l.batch,
+            in_channels: l.in_channels,
+            in_height: l.in_height,
+            in_width: l.in_width,
+            out_channels: l.out_channels,
+            filter_height: l.filter_height,
+            filter_width: l.filter_width,
+            stride: l.stride,
+            pad: l.pad,
+        }
+    }
+
+    /// Sets the mini-batch size `B` (default 1; the paper evaluates 256).
+    pub fn batch(&mut self, batch: u32) -> &mut Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the input tensor shape: `Ci` channels of `Hi × Wi` features.
+    pub fn input(&mut self, channels: u32, height: u32, width: u32) -> &mut Self {
+        self.in_channels = channels;
+        self.in_height = height;
+        self.in_width = width;
+        self
+    }
+
+    /// Sets the output channel count `Co`.
+    pub fn output_channels(&mut self, channels: u32) -> &mut Self {
+        self.out_channels = channels;
+        self
+    }
+
+    /// Sets the filter size `Hf × Wf`.
+    pub fn filter(&mut self, height: u32, width: u32) -> &mut Self {
+        self.filter_height = height;
+        self.filter_width = width;
+        self
+    }
+
+    /// Sets the convolution stride (default 1).
+    pub fn stride(&mut self, stride: u32) -> &mut Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Sets the zero padding (default 0).
+    pub fn pad(&mut self, pad: u32) -> &mut Self {
+        self.pad = pad;
+        self
+    }
+
+    /// Validates the configuration and produces the layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidLayer`] when any dimension is zero, the
+    /// stride is zero, or the (padded) input is smaller than the filter.
+    pub fn build(&self) -> Result<ConvLayer, Error> {
+        let fail = |reason: String| Error::InvalidLayer {
+            label: self.label.clone(),
+            reason,
+        };
+        if self.batch == 0 {
+            return Err(fail("mini-batch size must be positive".into()));
+        }
+        if self.in_channels == 0 || self.in_height == 0 || self.in_width == 0 {
+            return Err(fail("input dimensions must be positive".into()));
+        }
+        if self.out_channels == 0 {
+            return Err(fail("output channel count must be positive".into()));
+        }
+        if self.filter_height == 0 || self.filter_width == 0 {
+            return Err(fail("filter dimensions must be positive".into()));
+        }
+        if self.stride == 0 {
+            return Err(fail("stride must be positive".into()));
+        }
+        let ph = self.in_height + 2 * self.pad;
+        let pw = self.in_width + 2 * self.pad;
+        if self.filter_height > ph || self.filter_width > pw {
+            return Err(fail(format!(
+                "filter {}x{} larger than padded input {}x{}",
+                self.filter_height, self.filter_width, ph, pw
+            )));
+        }
+        Ok(ConvLayer {
+            label: self.label.clone(),
+            batch: self.batch,
+            in_channels: self.in_channels,
+            in_height: self.in_height,
+            in_width: self.in_width,
+            out_channels: self.out_channels,
+            filter_height: self.filter_height,
+            filter_width: self.filter_width,
+            stride: self.stride,
+            pad: self.pad,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vgg_conv1() -> ConvLayer {
+        ConvLayer::builder("vgg_conv1")
+            .batch(256)
+            .input(3, 224, 224)
+            .output_channels(64)
+            .filter(3, 3)
+            .stride(1)
+            .pad(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn output_dims_match_convolution_arithmetic() {
+        let l = vgg_conv1();
+        assert_eq!(l.out_height(), 224);
+        assert_eq!(l.out_width(), 224);
+
+        // AlexNet conv1: 227x227, 11x11 filter, stride 4, no pad -> 55x55.
+        let a = ConvLayer::builder("alexnet_conv1")
+            .batch(256)
+            .input(3, 227, 227)
+            .output_channels(96)
+            .filter(11, 11)
+            .stride(4)
+            .build()
+            .unwrap();
+        assert_eq!(a.out_height(), 55);
+        assert_eq!(a.out_width(), 55);
+    }
+
+    #[test]
+    fn gemm_dims_follow_fig2() {
+        let l = vgg_conv1();
+        assert_eq!(l.gemm_m(), 256 * 224 * 224);
+        assert_eq!(l.gemm_n(), 64);
+        assert_eq!(l.gemm_k(), 27);
+    }
+
+    #[test]
+    fn strided_downsampling() {
+        let l = ConvLayer::builder("resnet_3_1_a")
+            .batch(256)
+            .input(256, 56, 56)
+            .output_channels(128)
+            .filter(1, 1)
+            .stride(2)
+            .build()
+            .unwrap();
+        assert_eq!(l.out_height(), 28);
+        assert!(l.is_pointwise());
+    }
+
+    #[test]
+    fn fully_connected_is_1x1_over_1x1() {
+        let fc = ConvLayer::fully_connected("fc6", 256, 9216, 4096).unwrap();
+        assert_eq!(fc.gemm_m(), 256);
+        assert_eq!(fc.gemm_n(), 4096);
+        assert_eq!(fc.gemm_k(), 9216);
+        assert!(fc.is_pointwise());
+    }
+
+    #[test]
+    fn flops_and_footprints() {
+        let l = vgg_conv1();
+        assert_eq!(l.macs(), l.gemm_m() * 64 * 27);
+        assert_eq!(l.flops(), 2 * l.macs());
+        assert_eq!(l.ifmap_bytes(), 256 * 3 * 224 * 224 * 4);
+        assert_eq!(l.filter_bytes(), 27 * 64 * 4);
+        assert_eq!(l.ofmap_bytes(), l.gemm_m() * 64 * 4);
+        assert!(l.arithmetic_intensity() > 1.0);
+    }
+
+    #[test]
+    fn padded_elements_exceed_unpadded() {
+        let l = vgg_conv1();
+        assert!(l.ifmap_elements_padded() > l.ifmap_elements());
+        assert_eq!(
+            l.ifmap_elements_padded(),
+            256 * 3 * 226 * 226,
+            "pad of 1 grows each spatial dim by 2"
+        );
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        assert!(ConvLayer::builder("z").build().is_err());
+        assert!(ConvLayer::builder("z")
+            .batch(0)
+            .input(1, 1, 1)
+            .output_channels(1)
+            .filter(1, 1)
+            .build()
+            .is_err());
+        let mut b = ConvLayer::builder("z");
+        b.batch(1).input(1, 4, 4).output_channels(1).filter(1, 1).stride(0);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn oversized_filter_rejected_but_pad_can_rescue() {
+        let mut b = ConvLayer::builder("edge");
+        b.batch(1).input(1, 2, 2).output_channels(1).filter(3, 3);
+        assert!(b.build().is_err());
+        b.pad(1); // padded input 4x4 now fits the 3x3 filter
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn with_batch_rescales_only_batch() {
+        let l = vgg_conv1();
+        let s = l.with_batch(8).unwrap();
+        assert_eq!(s.batch(), 8);
+        assert_eq!(s.gemm_m(), 8 * 224 * 224);
+        assert_eq!(s.gemm_k(), l.gemm_k());
+        assert!(l.with_batch(0).is_err());
+    }
+
+    #[test]
+    fn display_mentions_all_dims() {
+        let s = vgg_conv1().to_string();
+        for needle in ["B=256", "Ci=3", "224x224", "Co=64", "3x3", "stride 1", "pad 1"] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let l = vgg_conv1();
+        let json = serde_json::to_string(&l).unwrap();
+        let back: ConvLayer = serde_json::from_str(&json).unwrap();
+        assert_eq!(l, back);
+    }
+}

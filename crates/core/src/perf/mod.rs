@@ -1,0 +1,143 @@
+//! Performance model (paper §V).
+//!
+//! A software-pipelined GEMM main loop runs three concurrent execution
+//! streams — the global load stream (GLS), the shared-memory access stream
+//! (SAS), and the compute stream (CS) — each exercising a different GPU
+//! resource (Fig. 9). [`streams`] computes their per-main-loop execution
+//! times from the traffic model's volumes (Eqs. 11–13); [`cases`] combines
+//! them across the active CTAs of an SM through the four interleaving
+//! bottleneck cases of Fig. 10 (Eqs. 14–18) and picks the slowest as the
+//! layer execution time together with its bottleneck resource.
+
+pub mod cases;
+pub mod streams;
+
+use crate::gpu::GpuSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+pub use cases::estimate;
+pub use streams::StreamTimes;
+
+/// The GPU resource that limits a layer's execution time.
+///
+/// Matches the legend of the paper's Figs. 13/14/16c.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// Shared-memory bandwidth limits the main loop (`t_SAS` dominates).
+    SmemBw,
+    /// MAC throughput limits the main loop (`t_CS` dominates).
+    MacBw,
+    /// L1 bandwidth saturates (case 4 with the L1 transfer term largest).
+    L1Bw,
+    /// L2 bandwidth saturates.
+    L2Bw,
+    /// DRAM bandwidth saturates.
+    DramBw,
+    /// Too few active CTAs to hide the global-load latency (case 2).
+    DramLat,
+}
+
+impl Bottleneck {
+    /// All variants in the paper's legend order.
+    pub const ALL: [Bottleneck; 6] = [
+        Bottleneck::SmemBw,
+        Bottleneck::MacBw,
+        Bottleneck::L1Bw,
+        Bottleneck::L2Bw,
+        Bottleneck::DramBw,
+        Bottleneck::DramLat,
+    ];
+
+    /// The paper's legend label (e.g. `MAC_BW`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Bottleneck::SmemBw => "SMEM_BW",
+            Bottleneck::MacBw => "MAC_BW",
+            Bottleneck::L1Bw => "L1_BW",
+            Bottleneck::L2Bw => "L2_BW",
+            Bottleneck::DramBw => "DRAM_BW",
+            Bottleneck::DramLat => "DRAM_LAT",
+        }
+    }
+}
+
+impl fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Execution-time prediction for one conv layer on one GPU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfEstimate {
+    /// Predicted execution time in core clocks (of the busiest SM).
+    pub cycles: f64,
+    /// Predicted execution time in seconds.
+    pub seconds: f64,
+    /// The limiting resource.
+    pub bottleneck: Bottleneck,
+    /// Per-main-loop stream times (Eqs. 11–13).
+    pub streams: StreamTimes,
+    /// Prologue time in clocks (Eq. 14).
+    pub t_prologue: f64,
+    /// Epilogue time in clocks per CTA (Eq. 15).
+    pub t_epilogue: f64,
+    /// Case 1/3 candidate: compute/SMEM-throughput-bound per-SM time
+    /// (Eq. 16).
+    pub t_mac_sm: f64,
+    /// Case 2 candidate: latency-bound per-SM time (Eq. 17).
+    pub t_lat_sm: f64,
+    /// Case 4 candidate: memory-bandwidth-bound per-SM time (Eq. 18).
+    pub t_bw_sm: f64,
+    /// Active CTAs interleaved per SM.
+    pub active_ctas: u32,
+    /// CTAs assigned to the busiest SM.
+    pub ctas_per_sm: u64,
+    /// Total CTAs in the GEMM.
+    pub num_ctas: u64,
+    /// Main-loop iterations per CTA.
+    pub main_loops: u64,
+}
+
+impl PerfEstimate {
+    /// Predicted execution time in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.seconds * 1e3
+    }
+
+    /// Achieved fraction of the device's peak MAC throughput.
+    pub fn mac_utilization(&self, macs: u64, gpu: &GpuSpec) -> f64 {
+        let peak = gpu.mac_gflops() / 2.0 * 1e9; // MAC/s
+        (macs as f64 / self.seconds) / peak
+    }
+}
+
+impl fmt::Display for PerfEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} ms ({:.3e} clks), bottleneck {}",
+            self.millis(),
+            self.cycles,
+            self.bottleneck
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottleneck_labels_match_paper_legend() {
+        assert_eq!(Bottleneck::MacBw.to_string(), "MAC_BW");
+        assert_eq!(Bottleneck::DramLat.label(), "DRAM_LAT");
+        assert_eq!(Bottleneck::ALL.len(), 6);
+        // Labels are unique.
+        let mut labels: Vec<_> = Bottleneck::ALL.iter().map(|b| b.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+    }
+}

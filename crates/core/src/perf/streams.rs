@@ -1,0 +1,173 @@
+//! Per-main-loop execution-stream times (paper §V, Eqs. 11–13, Fig. 9).
+//!
+//! Each main-loop iteration of the double-buffered GEMM kernel runs three
+//! streams in parallel:
+//!
+//! * **GLS** (global load stream): global memory → registers → SMEM for
+//!   the *next* iteration's inputs;
+//! * **SAS** (shared access stream): SMEM → registers for the current
+//!   iteration (sharing the SMEM data path with GLS's stores);
+//! * **CS** (compute stream): the MAC pipeline.
+//!
+//! All times are in core clocks per main-loop iteration per CTA.
+
+use crate::gpu::GpuSpec;
+use crate::tiling::LayerTiling;
+use crate::traffic::TrafficEstimate;
+use crate::BYTES_PER_ELEMENT;
+use serde::{Deserialize, Serialize};
+
+/// The per-main-loop stream times and their bandwidth-only components.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamTimes {
+    /// Eq. 11 — global load stream: the slowest of the L1/L2/DRAM
+    /// latency-plus-transfer terms.
+    pub t_gls: f64,
+    /// Eq. 12 — shared-memory access stream (stores from GLS + loads for
+    /// every warp).
+    pub t_sas: f64,
+    /// Eq. 13 — compute stream: `blkM × blkN × blkK / BW_MAC`.
+    pub t_cs: f64,
+    /// L1 transfer-only time (`TpL_L1 / BW_L1`), used by case 4.
+    pub t_l1_bw: f64,
+    /// L2 transfer-only time with the per-SM bandwidth share.
+    pub t_l2_bw: f64,
+    /// DRAM transfer-only time with the per-SM bandwidth share.
+    pub t_dram_bw: f64,
+    /// Bytes stored to SMEM per loop (the CTA's input tiles).
+    pub smem_store_bytes: f64,
+    /// Bytes loaded from SMEM per loop (warp tiles × warps).
+    pub smem_load_bytes: f64,
+}
+
+impl StreamTimes {
+    /// Computes the stream times for one layer from the traffic model's
+    /// per-loop volumes.
+    pub fn compute(tiling: &LayerTiling, traffic: &TrafficEstimate, gpu: &GpuSpec) -> StreamTimes {
+        let tile = tiling.tile();
+        let num_sm = f64::from(gpu.num_sm());
+
+        // --- Eq. 11: GLS -----------------------------------------------------
+        let l1_share = gpu.l1_bytes_per_clk(); // already per SM
+        let l2_share = gpu.l2_bytes_per_clk() / num_sm;
+        let dram_share = gpu.dram_bytes_per_clk() / num_sm;
+        let t_l1_bw = traffic.l1_bytes_per_loop() / l1_share;
+        let t_l2_bw = traffic.l2_bytes_per_loop() / l2_share;
+        let t_dram_bw = traffic.dram_bytes_per_loop() / dram_share;
+        let t_gls = (gpu.lat_l1_clks() + t_l1_bw)
+            .max(gpu.lat_l2_clks() + t_l2_bw)
+            .max(gpu.lat_dram_clks() + t_dram_bw);
+
+        // --- Eq. 12: SAS -----------------------------------------------------
+        let elem = BYTES_PER_ELEMENT as f64;
+        let smem_store_bytes =
+            f64::from(tile.blk_m() + tile.blk_n()) * f64::from(tile.blk_k()) * elem;
+        let smem_load_bytes = f64::from(tile.warp_m() + tile.warp_n())
+            * f64::from(tile.blk_k())
+            * f64::from(tile.num_warps())
+            * elem;
+        let t_sas = smem_store_bytes / gpu.smem_st_bytes_per_clk()
+            + smem_load_bytes / gpu.smem_ld_bytes_per_clk();
+
+        // --- Eq. 13: CS ------------------------------------------------------
+        let macs_per_loop =
+            f64::from(tile.blk_m()) * f64::from(tile.blk_n()) * f64::from(tile.blk_k());
+        let t_cs = macs_per_loop / gpu.macs_per_clk_per_sm();
+
+        StreamTimes {
+            t_gls,
+            t_sas,
+            t_cs,
+            t_l1_bw,
+            t_l2_bw,
+            t_dram_bw,
+            smem_store_bytes,
+            smem_load_bytes,
+        }
+    }
+
+    /// The main-loop throughput term: `max(t_CS, t_SAS)` (the two streams
+    /// that time-share the SM when loads are hidden).
+    pub fn t_throughput(&self) -> f64 {
+        self.t_cs.max(self.t_sas)
+    }
+
+    /// The largest bandwidth-only transfer term (case 4's per-loop time).
+    pub fn t_bw_max(&self) -> f64 {
+        self.t_l1_bw.max(self.t_l2_bw).max(self.t_dram_bw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::ConvLayer;
+    use crate::traffic::{self, l1::MliMode};
+
+    fn setup(co: u32) -> (ConvLayer, LayerTiling, TrafficEstimate, GpuSpec) {
+        let l = ConvLayer::builder("s")
+            .batch(256)
+            .input(256, 13, 13)
+            .output_channels(co)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap();
+        let t = LayerTiling::new(&l);
+        let gpu = GpuSpec::titan_xp();
+        let tr = traffic::estimate(&l, &t, &gpu, MliMode::PaperProfiled);
+        (l, t, tr, gpu)
+    }
+
+    #[test]
+    fn t_cs_matches_eq13_by_hand() {
+        let (_, t, tr, gpu) = setup(128);
+        let s = StreamTimes::compute(&t, &tr, &gpu);
+        let expect = 128.0 * 128.0 * 8.0 / gpu.macs_per_clk_per_sm();
+        assert!((s.t_cs - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gls_at_least_dram_latency() {
+        let (_, t, tr, gpu) = setup(128);
+        let s = StreamTimes::compute(&t, &tr, &gpu);
+        assert!(s.t_gls >= gpu.lat_dram_clks());
+    }
+
+    #[test]
+    fn sas_volumes_match_blocking_factors() {
+        let (_, t, tr, gpu) = setup(128);
+        let s = StreamTimes::compute(&t, &tr, &gpu);
+        assert!((s.smem_store_bytes - (128.0 + 128.0) * 8.0 * 4.0).abs() < 1e-9);
+        assert!((s.smem_load_bytes - (64.0 + 32.0) * 8.0 * 8.0 * 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_dominates_sas_for_large_tile() {
+        // The 128x128x8 tile performs 131k MACs vs ~9 KB of SMEM traffic;
+        // on every modeled GPU the MAC time exceeds the SMEM time (the
+        // kernel is compute-efficient by design).
+        for gpu in GpuSpec::paper_devices() {
+            let l = ConvLayer::builder("s")
+                .batch(64)
+                .input(256, 14, 14)
+                .output_channels(256)
+                .filter(3, 3)
+                .pad(1)
+                .build()
+                .unwrap();
+            let t = LayerTiling::new(&l);
+            let tr = traffic::estimate(&l, &t, &gpu, MliMode::PaperProfiled);
+            let s = StreamTimes::compute(&t, &tr, &gpu);
+            assert!(s.t_cs > s.t_sas, "{}: {s:?}", gpu.name());
+        }
+    }
+
+    #[test]
+    fn bw_max_picks_largest_component() {
+        let (_, t, tr, gpu) = setup(128);
+        let s = StreamTimes::compute(&t, &tr, &gpu);
+        let m = s.t_bw_max();
+        assert!(m >= s.t_l1_bw && m >= s.t_l2_bw && m >= s.t_dram_bw);
+    }
+}

@@ -1,0 +1,149 @@
+//! Bundled analysis results for reporting and serialization.
+
+use crate::layer::ConvLayer;
+use crate::perf::PerfEstimate;
+use crate::tiling::LayerTiling;
+use crate::traffic::TrafficEstimate;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Complete DeLTA analysis of one layer on one GPU.
+///
+/// Produced by [`crate::Delta::analyze`]; serializable for harness output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// The analyzed layer.
+    pub layer: ConvLayer,
+    /// Name of the GPU the estimates are for.
+    pub gpu_name: String,
+    /// The CTA tiling used.
+    pub tiling: LayerTiling,
+    /// §IV traffic estimates.
+    pub traffic: TrafficEstimate,
+    /// §V performance estimate.
+    pub perf: PerfEstimate,
+}
+
+impl LayerReport {
+    /// Bundles the analysis pieces.
+    pub fn new(
+        layer: ConvLayer,
+        gpu_name: impl Into<String>,
+        tiling: LayerTiling,
+        traffic: TrafficEstimate,
+        perf: PerfEstimate,
+    ) -> Self {
+        LayerReport {
+            layer,
+            gpu_name: gpu_name.into(),
+            tiling,
+            traffic,
+            perf,
+        }
+    }
+
+    /// Achieved FLOP/s implied by the predicted time.
+    pub fn achieved_gflops(&self) -> f64 {
+        self.layer.flops() as f64 / self.perf.seconds / 1e9
+    }
+
+    /// A CSV header matching [`LayerReport::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "layer,gpu,blk_m,blk_n,blk_k,num_ctas,main_loops,\
+         l1_bytes,l2_bytes,dram_bytes,mli_ifmap,mli_filter,\
+         cycles,seconds,bottleneck"
+    }
+
+    /// One CSV row of the headline quantities.
+    pub fn csv_row(&self) -> String {
+        let t = self.tiling.tile();
+        format!(
+            "{},{},{},{},{},{},{},{:.6e},{:.6e},{:.6e},{:.4},{:.4},{:.6e},{:.6e},{}",
+            self.layer.label(),
+            self.gpu_name,
+            t.blk_m(),
+            t.blk_n(),
+            t.blk_k(),
+            self.tiling.num_ctas(),
+            self.tiling.main_loops(),
+            self.traffic.l1_bytes,
+            self.traffic.l2_bytes,
+            self.traffic.dram_bytes,
+            self.traffic.mli_ifmap,
+            self.traffic.mli_filter,
+            self.perf.cycles,
+            self.perf.seconds,
+            self.perf.bottleneck
+        )
+    }
+}
+
+impl fmt::Display for LayerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.layer)?;
+        writeln!(
+            f,
+            "  gpu {}, tile {}, {} CTAs x {} loops",
+            self.gpu_name,
+            self.tiling.tile(),
+            self.tiling.num_ctas(),
+            self.tiling.main_loops()
+        )?;
+        writeln!(f, "  traffic: {}", self.traffic)?;
+        write!(
+            f,
+            "  perf   : {} ({:.0} GFLOP/s achieved)",
+            self.perf,
+            self.achieved_gflops()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Delta, GpuSpec};
+
+    fn report() -> LayerReport {
+        let l = ConvLayer::builder("conv2_3x3")
+            .batch(256)
+            .input(64, 56, 56)
+            .output_channels(192)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap();
+        Delta::new(GpuSpec::titan_xp()).analyze(&l).unwrap()
+    }
+
+    #[test]
+    fn csv_row_has_header_arity() {
+        let r = report();
+        let header_cols = LayerReport::csv_header().split(',').count();
+        let row_cols = r.csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+    }
+
+    #[test]
+    fn display_includes_key_facts() {
+        let s = report().to_string();
+        assert!(s.contains("conv2_3x3"));
+        assert!(s.contains("TITAN Xp"));
+        assert!(s.contains("bottleneck"));
+    }
+
+    #[test]
+    fn achieved_gflops_below_peak() {
+        let r = report();
+        assert!(r.achieved_gflops() <= GpuSpec::titan_xp().mac_gflops() * 1.001);
+        assert!(r.achieved_gflops() > 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = report();
+        let s = serde_json::to_string(&r).unwrap();
+        let back: LayerReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(r, back);
+    }
+}

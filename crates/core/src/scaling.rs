@@ -1,0 +1,275 @@
+//! GPU design-space scaling study (paper §VII-C, Fig. 16).
+//!
+//! A [`DesignOption`] multiplies individual GPU resources independently —
+//! SM count, per-SM MAC throughput, register file, SMEM size/bandwidth, L1
+//! bandwidth, L2/DRAM bandwidth — and optionally grows the GEMM CTA tile.
+//! [`DesignOption::paper_options`] reproduces the nine options of
+//! Fig. 16a, evaluated over ResNet152 to produce the speedups of Fig. 16b
+//! and the bottleneck distributions of Fig. 16c.
+
+use crate::error::Error;
+use crate::gpu::GpuSpec;
+use crate::model::{Delta, DeltaOptions};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A multiplicative GPU resource-scaling choice (one column of Fig. 16a).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignOption {
+    /// Option name ("1".."9" for the paper's columns).
+    pub name: String,
+    /// SM-count multiplier.
+    pub num_sm_x: f64,
+    /// Per-SM MAC-throughput multiplier.
+    pub mac_bw_x: f64,
+    /// Per-SM register-file-size multiplier.
+    pub regs_x: f64,
+    /// Per-SM shared-memory-size multiplier.
+    pub smem_size_x: f64,
+    /// Per-SM shared-memory-bandwidth multiplier.
+    pub smem_bw_x: f64,
+    /// Per-SM L1-bandwidth multiplier.
+    pub l1_bw_x: f64,
+    /// Device L2-bandwidth multiplier.
+    pub l2_bw_x: f64,
+    /// Device DRAM-bandwidth multiplier.
+    pub dram_bw_x: f64,
+    /// CTA tile height/width (128 keeps the Fig. 6 lookup; 256 doubles it).
+    pub cta_tile_hw: u32,
+}
+
+impl DesignOption {
+    /// The identity option (the baseline device itself).
+    pub fn baseline() -> DesignOption {
+        DesignOption {
+            name: "baseline".into(),
+            num_sm_x: 1.0,
+            mac_bw_x: 1.0,
+            regs_x: 1.0,
+            smem_size_x: 1.0,
+            smem_bw_x: 1.0,
+            l1_bw_x: 1.0,
+            l2_bw_x: 1.0,
+            dram_bw_x: 1.0,
+            cta_tile_hw: 128,
+        }
+    }
+
+    /// The nine design options of Fig. 16a, in paper order.
+    ///
+    /// Options 1–2 scale SMs conventionally (with L2/DRAM bandwidth);
+    /// 3–4 add only MAC units; 5–6 minimally rebalance SM-local resources;
+    /// 7–9 additionally grow the GEMM tile to 256 to feed very high
+    /// arithmetic throughput.
+    pub fn paper_options() -> Vec<DesignOption> {
+        let base = DesignOption::baseline();
+        let mk = |name: &str,
+                  num_sm_x: f64,
+                  mac_bw_x: f64,
+                  regs_x: f64,
+                  smem_size_x: f64,
+                  smem_bw_x: f64,
+                  l1_bw_x: f64,
+                  l2_bw_x: f64,
+                  dram_bw_x: f64,
+                  cta_tile_hw: u32| DesignOption {
+            name: name.into(),
+            num_sm_x,
+            mac_bw_x,
+            regs_x,
+            smem_size_x,
+            smem_bw_x,
+            l1_bw_x,
+            l2_bw_x,
+            dram_bw_x,
+            cta_tile_hw,
+            ..base.clone()
+        };
+        vec![
+            mk("1", 2.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.5, 1.5, 128),
+            mk("2", 4.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 128),
+            mk("3", 1.0, 2.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 128),
+            mk("4", 1.0, 4.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 128),
+            mk("5", 1.0, 4.0, 2.0, 2.0, 2.0, 1.5, 1.5, 1.5, 128),
+            mk("6", 1.0, 6.0, 2.0, 2.0, 2.0, 2.0, 1.5, 2.0, 128),
+            mk("7", 1.0, 8.0, 3.0, 3.0, 3.0, 2.0, 2.0, 2.0, 256),
+            mk("8", 2.0, 4.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 256),
+            mk("9", 1.0, 8.0, 3.0, 3.0, 3.0, 2.0, 2.0, 3.0, 256),
+        ]
+    }
+
+    /// Applies the multipliers to `base`, producing the scaled GPU spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDesignOption`] when a multiplier is
+    /// non-positive or the scaled spec fails validation.
+    pub fn apply(&self, base: &GpuSpec) -> Result<GpuSpec, Error> {
+        let fail = |reason: String| Error::InvalidDesignOption {
+            name: self.name.clone(),
+            reason,
+        };
+        for (v, what) in [
+            (self.num_sm_x, "SM multiplier"),
+            (self.mac_bw_x, "MAC multiplier"),
+            (self.regs_x, "register multiplier"),
+            (self.smem_size_x, "SMEM size multiplier"),
+            (self.smem_bw_x, "SMEM bandwidth multiplier"),
+            (self.l1_bw_x, "L1 bandwidth multiplier"),
+            (self.l2_bw_x, "L2 bandwidth multiplier"),
+            (self.dram_bw_x, "DRAM bandwidth multiplier"),
+        ] {
+            if v <= 0.0 {
+                return Err(fail(format!("{what} must be positive, got {v}")));
+            }
+        }
+        if self.cta_tile_hw != 128 && self.cta_tile_hw != 256 {
+            return Err(fail(format!(
+                "CTA tile height/width must be 128 or 256, got {}",
+                self.cta_tile_hw
+            )));
+        }
+        let num_sm = ((f64::from(base.num_sm()) * self.num_sm_x).round()).max(1.0) as u32;
+        // Total device MAC throughput scales with both per-SM MACs and SMs.
+        let mac_gflops = base.mac_gflops() * self.mac_bw_x * self.num_sm_x;
+        let scale_u64 = |v: u64, x: f64| ((v as f64) * x).round() as u64;
+        base.to_builder()
+            .num_sm(num_sm)
+            .mac_gflops(mac_gflops)
+            .reg_bytes_per_sm(scale_u64(base.reg_bytes_per_sm(), self.regs_x))
+            .smem_bytes_per_sm(scale_u64(base.smem_bytes_per_sm(), self.smem_size_x))
+            .smem_ld_bytes_per_clk(base.smem_ld_bytes_per_clk() * self.smem_bw_x)
+            .smem_st_bytes_per_clk(base.smem_st_bytes_per_clk() * self.smem_bw_x)
+            .l1_bw_gbps_per_sm(base.l1_bw_gbps_per_sm() * self.l1_bw_x)
+            .l2_bw_gbps(base.l2_bw_gbps() * self.l2_bw_x)
+            .dram_bw_gbps(base.dram_bw_gbps() * self.dram_bw_x)
+            .build()
+            .map_err(|e| fail(e.to_string()))
+    }
+
+    /// Builds a [`Delta`] model for this option over `base`, including the
+    /// tile-scaling knob.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DesignOption::apply`] failures.
+    pub fn model(&self, base: &GpuSpec) -> Result<Delta, Error> {
+        let gpu = self.apply(base)?;
+        let options = DeltaOptions {
+            tile_scale: (self.cta_tile_hw > 128).then_some(self.cta_tile_hw / 128),
+            ..Default::default()
+        };
+        Ok(Delta::with_options(gpu, options))
+    }
+
+    /// An aggregate "hardware cost" heuristic: the geometric mean of all
+    /// resource multipliers weighted by SM count. Used only for reporting
+    /// relative expense (the paper leaves precise cost modeling out of
+    /// scope).
+    pub fn relative_cost(&self) -> f64 {
+        let per_sm = self.mac_bw_x
+            * self.regs_x
+            * self.smem_size_x
+            * self.smem_bw_x
+            * self.l1_bw_x;
+        self.num_sm_x * per_sm.powf(0.2) * (self.l2_bw_x * self.dram_bw_x).powf(0.5)
+    }
+}
+
+impl fmt::Display for DesignOption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "option {}: SM x{}, MAC x{}, REG x{}, SMEM x{}/{}, L1 x{}, L2 x{}, DRAM x{}, tile {}",
+            self.name,
+            self.num_sm_x,
+            self.mac_bw_x,
+            self.regs_x,
+            self.smem_size_x,
+            self.smem_bw_x,
+            self.l1_bw_x,
+            self.l2_bw_x,
+            self.dram_bw_x,
+            self.cta_tile_hw
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_has_nine_options() {
+        let opts = DesignOption::paper_options();
+        assert_eq!(opts.len(), 9);
+        assert_eq!(opts[0].name, "1");
+        assert_eq!(opts[8].name, "9");
+        // Fig. 16a spot checks.
+        assert_eq!(opts[1].num_sm_x, 4.0);
+        assert_eq!(opts[3].mac_bw_x, 4.0);
+        assert_eq!(opts[6].cta_tile_hw, 256);
+        assert_eq!(opts[8].dram_bw_x, 3.0);
+    }
+
+    #[test]
+    fn apply_scales_device_totals() {
+        let base = GpuSpec::titan_xp();
+        let opt2 = &DesignOption::paper_options()[1]; // 4x SMs, 2x L2/DRAM
+        let g = opt2.apply(&base).unwrap();
+        assert_eq!(g.num_sm(), 120);
+        assert!((g.mac_gflops() - 4.0 * base.mac_gflops()).abs() < 1e-6);
+        assert!((g.dram_bw_gbps() - 2.0 * base.dram_bw_gbps()).abs() < 1e-9);
+        // Per-SM resources untouched.
+        assert_eq!(g.reg_bytes_per_sm(), base.reg_bytes_per_sm());
+    }
+
+    #[test]
+    fn mac_only_option_keeps_sm_count() {
+        let base = GpuSpec::titan_xp();
+        let opt4 = &DesignOption::paper_options()[3];
+        let g = opt4.apply(&base).unwrap();
+        assert_eq!(g.num_sm(), 30);
+        assert!((g.mac_gflops() - 4.0 * base.mac_gflops()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_multiplier_rejected() {
+        let mut o = DesignOption::baseline();
+        o.mac_bw_x = 0.0;
+        assert!(o.apply(&GpuSpec::titan_xp()).is_err());
+        let mut o = DesignOption::baseline();
+        o.cta_tile_hw = 192;
+        assert!(o.apply(&GpuSpec::titan_xp()).is_err());
+    }
+
+    #[test]
+    fn model_scales_tile_for_256_options() {
+        let base = GpuSpec::titan_xp();
+        let opt7 = &DesignOption::paper_options()[6];
+        let delta = opt7.model(&base).unwrap();
+        let layer = crate::ConvLayer::builder("t")
+            .batch(256)
+            .input(256, 14, 14)
+            .output_channels(256)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap();
+        assert_eq!(delta.tiling(&layer).tile().blk_m(), 256);
+    }
+
+    #[test]
+    fn baseline_is_identity() {
+        let base = GpuSpec::titan_xp();
+        let g = DesignOption::baseline().apply(&base).unwrap();
+        assert_eq!(g, base);
+    }
+
+    #[test]
+    fn relative_cost_orders_sm_scaling_as_expensive() {
+        let opts = DesignOption::paper_options();
+        // Option 2 (4x SMs) costs more than option 4 (4x MAC only).
+        assert!(opts[1].relative_cost() > opts[3].relative_cost());
+    }
+}

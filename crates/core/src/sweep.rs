@@ -1,0 +1,211 @@
+//! Sensitivity-study sweep generators (paper Appendix A, Fig. 17).
+//!
+//! The paper probes the traffic model with an artificial layer — 256 input
+//! channels, 13×13 IFmap, 128 output channels, 3×3 filter, stride 1 — and
+//! sweeps one parameter at a time: output channels, input channels,
+//! feature size, and mini-batch size.
+
+use crate::error::Error;
+use crate::layer::ConvLayer;
+
+/// The appendix's base artificial layer (mini-batch 256, pad 1 to keep the
+/// feature size under a 3×3 filter).
+///
+/// # Errors
+///
+/// Never fails for the built-in configuration; the `Result` keeps the
+/// signature uniform with the sweep generators.
+pub fn base_layer() -> Result<ConvLayer, Error> {
+    ConvLayer::builder("artificial_base")
+        .batch(256)
+        .input(256, 13, 13)
+        .output_channels(128)
+        .filter(3, 3)
+        .stride(1)
+        .pad(1)
+        .build()
+}
+
+fn rebuild(
+    base: &ConvLayer,
+    label: String,
+    batch: u32,
+    ci: u32,
+    hw: u32,
+    co: u32,
+) -> Result<ConvLayer, Error> {
+    ConvLayer::builder(label)
+        .batch(batch)
+        .input(ci, hw, hw)
+        .output_channels(co)
+        .filter(base.filter_height(), base.filter_width())
+        .stride(base.stride())
+        .pad(base.pad())
+        .build()
+}
+
+/// Fig. 17a — sweep the output-channel count `Co` over `range` (the paper
+/// plots 32..=492 in steps of 4).
+///
+/// # Errors
+///
+/// Propagates layer-validation failures (impossible for positive inputs).
+pub fn sweep_out_channels(
+    range: impl IntoIterator<Item = u32>,
+) -> Result<Vec<ConvLayer>, Error> {
+    let base = base_layer()?;
+    range
+        .into_iter()
+        .map(|co| {
+            rebuild(
+                &base,
+                format!("co_{co}"),
+                base.batch(),
+                base.in_channels(),
+                base.in_height(),
+                co,
+            )
+        })
+        .collect()
+}
+
+/// Fig. 17b — sweep the input-channel count `Ci` (paper: 16..=496).
+///
+/// # Errors
+///
+/// Propagates layer-validation failures.
+pub fn sweep_in_channels(range: impl IntoIterator<Item = u32>) -> Result<Vec<ConvLayer>, Error> {
+    let base = base_layer()?;
+    range
+        .into_iter()
+        .map(|ci| {
+            rebuild(
+                &base,
+                format!("ci_{ci}"),
+                base.batch(),
+                ci,
+                base.in_height(),
+                base.out_channels(),
+            )
+        })
+        .collect()
+}
+
+/// Fig. 17c — sweep the square IFmap size `Hi = Wi` (paper: 8..=92).
+///
+/// # Errors
+///
+/// Propagates layer-validation failures (e.g. a feature smaller than the
+/// filter).
+pub fn sweep_feature_size(range: impl IntoIterator<Item = u32>) -> Result<Vec<ConvLayer>, Error> {
+    let base = base_layer()?;
+    range
+        .into_iter()
+        .map(|hw| {
+            rebuild(
+                &base,
+                format!("hw_{hw}"),
+                base.batch(),
+                base.in_channels(),
+                hw,
+                base.out_channels(),
+            )
+        })
+        .collect()
+}
+
+/// Fig. 17d — sweep the mini-batch size `B` (paper: 16..=496).
+///
+/// # Errors
+///
+/// Propagates layer-validation failures.
+pub fn sweep_batch(range: impl IntoIterator<Item = u32>) -> Result<Vec<ConvLayer>, Error> {
+    let base = base_layer()?;
+    range
+        .into_iter()
+        .map(|b| {
+            rebuild(
+                &base,
+                format!("b_{b}"),
+                b,
+                base.in_channels(),
+                base.in_height(),
+                base.out_channels(),
+            )
+        })
+        .collect()
+}
+
+/// The paper's x-axis ranges for the four sweeps, as `(start, end, step)`.
+pub mod ranges {
+    /// Fig. 17a output-channel range.
+    pub const OUT_CHANNELS: (u32, u32, u32) = (32, 492, 20);
+    /// Fig. 17b input-channel range.
+    pub const IN_CHANNELS: (u32, u32, u32) = (16, 496, 32);
+    /// Fig. 17c feature-size range.
+    pub const FEATURE: (u32, u32, u32) = (8, 92, 4);
+    /// Fig. 17d mini-batch range.
+    pub const BATCH: (u32, u32, u32) = (16, 496, 32);
+
+    /// Expands a `(start, end, step)` triple into the swept values.
+    pub fn expand(r: (u32, u32, u32)) -> Vec<u32> {
+        (r.0..=r.1).step_by(r.2 as usize).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_layer_matches_appendix() {
+        let b = base_layer().unwrap();
+        assert_eq!(b.in_channels(), 256);
+        assert_eq!(b.in_height(), 13);
+        assert_eq!(b.out_channels(), 128);
+        assert_eq!(b.filter_height(), 3);
+        assert_eq!(b.stride(), 1);
+        assert_eq!(b.batch(), 256);
+    }
+
+    #[test]
+    fn sweeps_vary_exactly_one_parameter() {
+        let base = base_layer().unwrap();
+        for l in sweep_out_channels([32, 128, 492]).unwrap() {
+            assert_eq!(l.in_channels(), base.in_channels());
+            assert_eq!(l.batch(), base.batch());
+        }
+        for l in sweep_in_channels([16, 256, 496]).unwrap() {
+            assert_eq!(l.out_channels(), base.out_channels());
+        }
+        for l in sweep_feature_size([8, 13, 92]).unwrap() {
+            assert_eq!(l.in_channels(), base.in_channels());
+            assert_eq!(l.in_height(), l.in_width());
+        }
+        for l in sweep_batch([16, 256, 496]).unwrap() {
+            assert_eq!(l.in_height(), base.in_height());
+        }
+    }
+
+    #[test]
+    fn sweep_labels_encode_the_swept_value() {
+        let ls = sweep_out_channels([64]).unwrap();
+        assert_eq!(ls[0].label(), "co_64");
+        assert_eq!(ls[0].out_channels(), 64);
+    }
+
+    #[test]
+    fn paper_ranges_expand_inclusively() {
+        let v = ranges::expand((8, 16, 4));
+        assert_eq!(v, vec![8, 12, 16]);
+        assert!(ranges::expand(ranges::OUT_CHANNELS).len() > 20);
+    }
+
+    #[test]
+    fn feature_sweep_covers_small_ifmap_regime() {
+        // The paper highlights over-prediction for Hi*Wi < 20; the sweep
+        // must include such points.
+        let v = ranges::expand(ranges::FEATURE);
+        assert!(v.iter().any(|&hw| hw * hw < 400));
+    }
+}

@@ -1,0 +1,457 @@
+//! CTA/warp tiling of the im2col GEMM (paper §II-C and §IV-B, Figs. 3 & 6).
+//!
+//! cuDNN's implicit-precomp-GEMM kernels block the `M × N` OFmap matrix into
+//! `blkM × blkN` CTA tiles, accumulated in `blkK` steps. The paper profiles
+//! cuDNN and finds exactly three tilings, selected by the GEMM width
+//! (= output-channel count `Co`, Fig. 6):
+//!
+//! ```text
+//! (128 × 128) × 8     when Co > 64
+//! (128 ×  64) × 4     when 32 < Co ≤ 64
+//! (128 ×  32) × 4     when Co ≤ 32
+//! ```
+//!
+//! Each CTA tile is sub-blocked into `blkWM × blkWN` warp tiles (Fig. 3).
+//! This module encodes that lookup table, the warp tiling, and the
+//! occupancy (active CTAs per SM) model the performance model needs.
+
+use crate::gpu::GpuSpec;
+use crate::layer::ConvLayer;
+use crate::{BYTES_PER_ELEMENT, WARP_SIZE};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A CTA tiling `(blkM × blkN) × blkK` with its warp sub-tiling.
+///
+/// ```rust
+/// use delta_model::CtaTile;
+///
+/// let t = CtaTile::select(192);          // GoogLeNet conv2_3x3 has Co=192
+/// assert_eq!((t.blk_m(), t.blk_n(), t.blk_k()), (128, 128, 8));
+/// assert_eq!(t.num_warps(), 8);
+///
+/// let narrow = CtaTile::select(32);      // 5x5red layers
+/// assert_eq!(narrow.blk_n(), 32);
+/// assert_eq!(narrow.blk_k(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CtaTile {
+    blk_m: u32,
+    blk_n: u32,
+    blk_k: u32,
+    warp_m: u32,
+    warp_n: u32,
+}
+
+impl CtaTile {
+    /// The `(128×128)×8` tile used for wide GEMMs (`Co > 64`).
+    pub const LARGE: CtaTile = CtaTile {
+        blk_m: 128,
+        blk_n: 128,
+        blk_k: 8,
+        warp_m: 64,
+        warp_n: 32,
+    };
+
+    /// The `(128×64)×4` tile used when `32 < Co ≤ 64`.
+    pub const MEDIUM: CtaTile = CtaTile {
+        blk_m: 128,
+        blk_n: 64,
+        blk_k: 4,
+        warp_m: 64,
+        warp_n: 32,
+    };
+
+    /// The `(128×32)×4` tile used when `Co ≤ 32`.
+    pub const SMALL: CtaTile = CtaTile {
+        blk_m: 128,
+        blk_n: 32,
+        blk_k: 4,
+        warp_m: 64,
+        warp_n: 32,
+    };
+
+    /// Selects the cuDNN tiling for a GEMM of width `co` (Fig. 6 lookup).
+    pub fn select(co: u32) -> CtaTile {
+        if co <= 32 {
+            CtaTile::SMALL
+        } else if co <= 64 {
+            CtaTile::MEDIUM
+        } else {
+            CtaTile::LARGE
+        }
+    }
+
+    /// Selects a tile whose CTA height/width are scaled by `factor`
+    /// (a power of two). Used by the Fig. 16a design options 7–9 that grow
+    /// the GEMM tile to 256 to feed higher arithmetic throughput.
+    pub fn select_scaled(co: u32, factor: u32) -> CtaTile {
+        let base = CtaTile::select(co);
+        base.scaled(factor)
+    }
+
+    /// Returns this tile with CTA height/width (and warp tile) multiplied
+    /// by `factor`; `blkK` is unchanged.
+    pub fn scaled(self, factor: u32) -> CtaTile {
+        CtaTile {
+            blk_m: self.blk_m * factor,
+            blk_n: self.blk_n * factor,
+            blk_k: self.blk_k,
+            warp_m: self.warp_m * factor,
+            warp_n: self.warp_n * factor,
+        }
+    }
+
+    /// CTA tile height `blkM` (always 128 in cuDNN's kernels).
+    pub fn blk_m(&self) -> u32 {
+        self.blk_m
+    }
+
+    /// CTA tile width `blkN`.
+    pub fn blk_n(&self) -> u32 {
+        self.blk_n
+    }
+
+    /// Accumulation blocking `blkK` per main-loop iteration.
+    pub fn blk_k(&self) -> u32 {
+        self.blk_k
+    }
+
+    /// Warp tile height `blkWM`.
+    pub fn warp_m(&self) -> u32 {
+        self.warp_m
+    }
+
+    /// Warp tile width `blkWN`.
+    pub fn warp_n(&self) -> u32 {
+        self.warp_n
+    }
+
+    /// Warps per CTA: `(blkM/blkWM) × (blkN/blkWN)`.
+    pub fn num_warps(&self) -> u32 {
+        (self.blk_m / self.warp_m) * (self.blk_n / self.warp_n)
+    }
+
+    /// Threads per CTA.
+    pub fn threads(&self) -> u32 {
+        self.num_warps() * WARP_SIZE as u32
+    }
+
+    /// Number of CTAs needed to cover an `M × N` GEMM:
+    /// `ceil(M/blkM) × ceil(N/blkN)`.
+    pub fn num_ctas(&self, m: u64, n: u64) -> u64 {
+        m.div_ceil(u64::from(self.blk_m)) * n.div_ceil(u64::from(self.blk_n))
+    }
+
+    /// Number of CTA-tile columns `ceil(N/blkN)` — the quantity the DRAM
+    /// model multiplies the IFmap size by (Eq. 10).
+    pub fn num_cta_columns(&self, n: u64) -> u64 {
+        n.div_ceil(u64::from(self.blk_n))
+    }
+
+    /// Number of CTA-tile rows `ceil(M/blkM)`.
+    pub fn num_cta_rows(&self, m: u64) -> u64 {
+        m.div_ceil(u64::from(self.blk_m))
+    }
+
+    /// Main-loop iterations per CTA: `ceil(K/blkK)`.
+    pub fn num_main_loops(&self, k: u64) -> u64 {
+        k.div_ceil(u64::from(self.blk_k))
+    }
+
+    /// Shared-memory bytes a resident CTA occupies: double-buffered input
+    /// tiles `2 × (blkM + blkN) × blkK × 4 B` (§II-C input double
+    /// buffering).
+    pub fn smem_bytes(&self) -> u64 {
+        2 * u64::from(self.blk_m + self.blk_n) * u64::from(self.blk_k) * BYTES_PER_ELEMENT
+    }
+
+    /// Register bytes a resident CTA occupies. Each thread holds
+    /// `(blkWM × blkWN)/32` accumulators plus operand/address registers
+    /// (estimated 24, matching the aggressive register reuse the paper
+    /// notes in §V "Multi-CTA Interleaving").
+    pub fn reg_bytes(&self) -> u64 {
+        let accum_per_thread = u64::from(self.warp_m) * u64::from(self.warp_n) / WARP_SIZE;
+        let regs_per_thread = accum_per_thread + 24;
+        u64::from(self.threads()) * regs_per_thread * BYTES_PER_ELEMENT
+    }
+
+    /// Active (concurrently resident) CTAs per SM, limited by the register
+    /// file, shared memory, and the hardware residency cap — the paper uses
+    /// profiled values; this reproduces them from first principles
+    /// (§V Multi-CTA Interleaving). Always at least 1.
+    pub fn active_ctas_per_sm(&self, gpu: &GpuSpec) -> u32 {
+        let by_regs = gpu.reg_bytes_per_sm() / self.reg_bytes().max(1);
+        let by_smem = gpu.smem_bytes_per_sm() / self.smem_bytes().max(1);
+        let cap = u64::from(gpu.max_ctas_per_sm());
+        by_regs.min(by_smem).min(cap).max(1) as u32
+    }
+}
+
+impl fmt::Display for CtaTile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}x{})x{} [warp {}x{}]",
+            self.blk_m, self.blk_n, self.blk_k, self.warp_m, self.warp_n
+        )
+    }
+}
+
+/// Tiling of a concrete layer: the tile plus the derived CTA grid.
+///
+/// This is the bundle both the traffic and the performance model consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerTiling {
+    tile: CtaTile,
+    num_ctas: u64,
+    cta_rows: u64,
+    cta_columns: u64,
+    main_loops: u64,
+    #[serde(default = "default_split_k")]
+    split_k: u32,
+}
+
+fn default_split_k() -> u32 {
+    1
+}
+
+impl LayerTiling {
+    /// Computes the tiling of `layer` with the default Fig. 6 lookup.
+    pub fn new(layer: &ConvLayer) -> LayerTiling {
+        LayerTiling::with_tile(layer, CtaTile::select(layer.out_channels()))
+    }
+
+    /// Computes the tiling of `layer` with an explicit tile (used by the
+    /// scaling study's 256-wide tiles).
+    pub fn with_tile(layer: &ConvLayer, tile: CtaTile) -> LayerTiling {
+        let m = layer.gemm_m();
+        let n = layer.gemm_n();
+        let k = layer.gemm_k();
+        LayerTiling {
+            tile,
+            num_ctas: tile.num_ctas(m, n),
+            cta_rows: tile.num_cta_rows(m),
+            cta_columns: tile.num_cta_columns(n),
+            main_loops: tile.num_main_loops(k),
+            split_k: 1,
+        }
+    }
+
+    /// Computes a split-K tiling: the reduction dimension is divided into
+    /// `split_k` slices, each handled by its own CTA whose partial sums
+    /// are reduced afterwards. cuDNN uses split-K kernels for GEMMs whose
+    /// `M × N` face is too small to fill the device — notably the
+    /// weight-gradient pass ([`crate::training`]). The total traffic is
+    /// unchanged (each slice-CTA reads its own K range once); only the
+    /// available parallelism grows.
+    pub fn with_split_k(layer: &ConvLayer, tile: CtaTile, split_k: u32) -> LayerTiling {
+        let split = u64::from(split_k.max(1));
+        let base = LayerTiling::with_tile(layer, tile);
+        let k_per_slice = layer.gemm_k().div_ceil(split);
+        LayerTiling {
+            num_ctas: base.num_ctas * split,
+            main_loops: tile.num_main_loops(k_per_slice).max(1),
+            split_k: split_k.max(1),
+            ..base
+        }
+    }
+
+    /// Picks a split-K factor that fills `gpu` with at least two CTAs per
+    /// SM (capped at 64, one slice per `blkK` chunk minimum).
+    pub fn split_k_for_device(layer: &ConvLayer, tile: CtaTile, gpu: &GpuSpec) -> u32 {
+        let base = tile.num_ctas(layer.gemm_m(), layer.gemm_n());
+        let want = 2 * u64::from(gpu.num_sm());
+        let max_useful = layer.gemm_k().div_ceil(u64::from(tile.blk_k())).max(1);
+        want.div_ceil(base).min(64).min(max_useful).max(1) as u32
+    }
+
+    /// The split-K factor (1 = ordinary data-parallel tiling).
+    pub fn split_k(&self) -> u32 {
+        self.split_k
+    }
+
+    /// The CTA tile in use.
+    pub fn tile(&self) -> CtaTile {
+        self.tile
+    }
+
+    /// Total CTAs in the GEMM grid.
+    pub fn num_ctas(&self) -> u64 {
+        self.num_ctas
+    }
+
+    /// CTA-grid rows (`ceil(M/blkM)`).
+    pub fn cta_rows(&self) -> u64 {
+        self.cta_rows
+    }
+
+    /// CTA-grid columns (`ceil(N/blkN)`).
+    pub fn cta_columns(&self) -> u64 {
+        self.cta_columns
+    }
+
+    /// Main-loop iterations per CTA (`ceil(K/blkK)`).
+    pub fn main_loops(&self) -> u64 {
+        self.main_loops
+    }
+
+    /// CTAs assigned to the busiest SM: `ceil(numCTA / numSM)` — the paper
+    /// uses the largest per-SM assignment as the layer execution time
+    /// (§V end).
+    pub fn ctas_on_busiest_sm(&self, gpu: &GpuSpec) -> u64 {
+        self.num_ctas.div_ceil(u64::from(gpu.num_sm()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_lookup_thresholds() {
+        // Fig. 6: width 32 up to Co=32, 64 up to Co=64, 128 beyond.
+        assert_eq!(CtaTile::select(1), CtaTile::SMALL);
+        assert_eq!(CtaTile::select(16), CtaTile::SMALL);
+        assert_eq!(CtaTile::select(32), CtaTile::SMALL);
+        assert_eq!(CtaTile::select(33), CtaTile::MEDIUM);
+        assert_eq!(CtaTile::select(64), CtaTile::MEDIUM);
+        assert_eq!(CtaTile::select(65), CtaTile::LARGE);
+        assert_eq!(CtaTile::select(96), CtaTile::LARGE);
+        assert_eq!(CtaTile::select(384), CtaTile::LARGE);
+    }
+
+    #[test]
+    fn blk_k_pairs_with_tile_width() {
+        // §IV-A: blkK is 8 only for the widest tile.
+        assert_eq!(CtaTile::LARGE.blk_k(), 8);
+        assert_eq!(CtaTile::MEDIUM.blk_k(), 4);
+        assert_eq!(CtaTile::SMALL.blk_k(), 4);
+    }
+
+    #[test]
+    fn warp_counts_fill_the_cta() {
+        assert_eq!(CtaTile::LARGE.num_warps(), 8);
+        assert_eq!(CtaTile::MEDIUM.num_warps(), 4);
+        assert_eq!(CtaTile::SMALL.num_warps(), 2);
+        for t in [CtaTile::LARGE, CtaTile::MEDIUM, CtaTile::SMALL] {
+            assert_eq!(
+                t.num_warps() * t.warp_m() * t.warp_n(),
+                t.blk_m() * t.blk_n(),
+                "warp tiles must cover the CTA tile exactly"
+            );
+        }
+    }
+
+    #[test]
+    fn cta_grid_covers_gemm() {
+        let t = CtaTile::LARGE;
+        assert_eq!(t.num_ctas(128, 128), 1);
+        assert_eq!(t.num_ctas(129, 128), 2);
+        assert_eq!(t.num_ctas(1000, 500), 8 * 4);
+        assert_eq!(t.num_main_loops(8), 1);
+        assert_eq!(t.num_main_loops(9), 2);
+        assert_eq!(t.num_main_loops(27), 4);
+    }
+
+    #[test]
+    fn smem_footprint_is_double_buffered() {
+        // (128+128)*8*4 = 8 KiB per buffer, 16 KiB double-buffered.
+        assert_eq!(CtaTile::LARGE.smem_bytes(), 16 * 1024);
+        assert_eq!(CtaTile::MEDIUM.smem_bytes(), 2 * (128 + 64) * 4 * 4);
+    }
+
+    #[test]
+    fn occupancy_is_positive_and_register_bound_for_large_tile() {
+        let gpu = GpuSpec::titan_xp();
+        let act = CtaTile::LARGE.active_ctas_per_sm(&gpu);
+        assert!(act >= 1);
+        // The large tile's register appetite (64 accumulators/thread)
+        // limits residency to ~2 CTAs, matching profiled cuDNN sgemm.
+        assert!(act <= 4, "got {act}");
+        // Narrower tiles fit more CTAs.
+        assert!(CtaTile::SMALL.active_ctas_per_sm(&gpu) >= act);
+    }
+
+    #[test]
+    fn scaled_tile_quadruples_area() {
+        let t = CtaTile::LARGE.scaled(2);
+        assert_eq!(t.blk_m(), 256);
+        assert_eq!(t.blk_n(), 256);
+        assert_eq!(t.blk_k(), 8);
+        assert_eq!(t.num_warps(), 8, "warp count preserved under scaling");
+    }
+
+    #[test]
+    fn layer_tiling_derives_grid() {
+        let l = ConvLayer::builder("t")
+            .batch(4)
+            .input(256, 13, 13)
+            .output_channels(128)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap();
+        let t = LayerTiling::new(&l);
+        assert_eq!(t.tile(), CtaTile::LARGE);
+        assert_eq!(t.cta_rows(), (4 * 13 * 13u64).div_ceil(128));
+        assert_eq!(t.cta_columns(), 1);
+        assert_eq!(t.main_loops(), (256 * 9u64).div_ceil(8));
+        let gpu = GpuSpec::titan_xp();
+        assert_eq!(
+            t.ctas_on_busiest_sm(&gpu),
+            t.num_ctas().div_ceil(30)
+        );
+    }
+
+    #[test]
+    fn display_formats_tile() {
+        assert_eq!(CtaTile::LARGE.to_string(), "(128x128)x8 [warp 64x32]");
+    }
+
+    #[test]
+    fn split_k_multiplies_ctas_and_divides_loops() {
+        // A wgrad-shaped GEMM: tiny M x N face, deep K.
+        let l = ConvLayer::fully_connected("wgrad", 27, 1_000_000, 64).unwrap();
+        let tile = CtaTile::select(64);
+        let base = LayerTiling::with_tile(&l, tile);
+        assert_eq!(base.num_ctas(), 1);
+        let split = LayerTiling::with_split_k(&l, tile, 8);
+        assert_eq!(split.split_k(), 8);
+        assert_eq!(split.num_ctas(), 8);
+        assert_eq!(split.main_loops(), (1_000_000u64.div_ceil(8)).div_ceil(4));
+        // Total work (CTA-loops) is conserved up to rounding.
+        let base_work = base.num_ctas() * base.main_loops();
+        let split_work = split.num_ctas() * split.main_loops();
+        assert!(split_work >= base_work && split_work <= base_work + 8);
+    }
+
+    #[test]
+    fn split_k_for_device_fills_the_gpu() {
+        let gpu = GpuSpec::titan_xp();
+        let l = ConvLayer::fully_connected("wgrad", 27, 1_000_000, 64).unwrap();
+        let tile = CtaTile::select(64);
+        let s = LayerTiling::split_k_for_device(&l, tile, &gpu);
+        assert!(s >= 60, "one base CTA needs ~2x SMs of slices, got {s}");
+        assert!(s <= 64);
+        // A GEMM that already fills the device needs no splitting.
+        let big = ConvLayer::builder("big")
+            .batch(64)
+            .input(64, 56, 56)
+            .output_channels(256)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap();
+        assert_eq!(LayerTiling::split_k_for_device(&big, CtaTile::LARGE, &gpu), 1);
+        // Splitting cannot exceed the number of blkK chunks.
+        let shallow = ConvLayer::fully_connected("sh", 8, 12, 8).unwrap();
+        assert!(LayerTiling::split_k_for_device(&shallow, CtaTile::SMALL, &gpu) <= 3);
+    }
+
+    #[test]
+    fn default_tilings_have_unit_split() {
+        let l = ConvLayer::fully_connected("fc", 64, 1024, 512).unwrap();
+        assert_eq!(LayerTiling::new(&l).split_k(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! DRAM traffic model (paper §IV-C, Eq. 10, Fig. 8).
+//!
+//! The L2 cache is shared by all SMs, so CTAs executing concurrently
+//! (a *CTA batch*) reuse each other's data. Under the column-wise CTA
+//! scheduling the paper assumes for the tall-skinny im2col GEMM:
+//!
+//! * **Filter** data has a short reuse distance (every CTA in a batch reads
+//!   the same `blkN`-wide filter stripe) and each layer's filters are at
+//!   most a few megabytes — so filters are effectively read from DRAM once.
+//! * **IFmap** data is re-referenced only when the next *column* of CTA
+//!   tiles begins, which is far apart in time — so the IFmap is re-fetched
+//!   once per CTA-tile column.
+
+use crate::layer::ConvLayer;
+use crate::tiling::LayerTiling;
+use crate::BYTES_PER_ELEMENT;
+
+/// Fraction of (padded) IFmap elements a 1×1 strided convolution actually
+/// touches (§IV-C: unused elements "are excluded from DRAM traffic").
+fn used_fraction(layer: &ConvLayer) -> f64 {
+    if layer.is_pointwise() && layer.stride() > 1 {
+        let used = u64::from(layer.out_height()) * u64::from(layer.out_width());
+        let total = u64::from(layer.padded_height()) * u64::from(layer.padded_width());
+        used as f64 / total as f64
+    } else {
+        1.0
+    }
+}
+
+/// Eq. 10 (first term) — IFmap DRAM traffic in bytes:
+///
+/// ```text
+/// T_DRAM,IFmap = B × (Hi+2·Pad) × (Wi+2·Pad) × Ci × ceil(N/blkN) × 4 B
+/// ```
+///
+/// The paper zero-pads the IFmap dimensions and multiplies by the number
+/// of CTA-tile columns.
+pub fn dram_ifmap_bytes(layer: &ConvLayer, tiling: &LayerTiling) -> f64 {
+    layer.ifmap_elements_padded() as f64
+        * used_fraction(layer)
+        * tiling.cta_columns() as f64
+        * BYTES_PER_ELEMENT as f64
+}
+
+/// Eq. 10 (second term) — filter DRAM traffic in bytes: the filters are
+/// loaded once, `Ci × Hf × Wf × Co × 4 B`.
+pub fn dram_filter_bytes(layer: &ConvLayer) -> f64 {
+    layer.filter_bytes() as f64
+}
+
+/// Eq. 10 — total DRAM read traffic in bytes.
+pub fn dram_traffic_bytes(layer: &ConvLayer, tiling: &LayerTiling) -> f64 {
+    dram_ifmap_bytes(layer, tiling) + dram_filter_bytes(layer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiling::LayerTiling;
+
+    fn build(ci: u32, hw: u32, co: u32, f: u32, s: u32, p: u32, b: u32) -> ConvLayer {
+        ConvLayer::builder("t")
+            .batch(b)
+            .input(ci, hw, hw)
+            .output_channels(co)
+            .filter(f, f)
+            .stride(s)
+            .pad(p)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_column_gemm_reads_ifmap_once() {
+        // Co=128 -> one CTA column -> IFmap traffic == padded IFmap size.
+        let l = build(96, 28, 128, 3, 1, 1, 64);
+        let t = LayerTiling::new(&l);
+        assert_eq!(t.cta_columns(), 1);
+        let expect = 64.0 * 96.0 * 30.0 * 30.0 * 4.0;
+        assert!((dram_ifmap_bytes(&l, &t) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wide_gemm_refetches_per_column() {
+        // Co=512 -> 4 CTA columns of width 128.
+        let l = build(256, 14, 512, 3, 1, 1, 64);
+        let t = LayerTiling::new(&l);
+        assert_eq!(t.cta_columns(), 4);
+        let once = l.ifmap_elements_padded() as f64 * 4.0;
+        assert!((dram_ifmap_bytes(&l, &t) - once * 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn filters_loaded_exactly_once() {
+        let l = build(256, 14, 512, 3, 1, 1, 64);
+        assert!((dram_filter_bytes(&l) - (256.0 * 9.0 * 512.0 * 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strided_pointwise_excludes_unused_elements() {
+        // ResNet 3_1_a: 1x1 stride 2 touches only 1/4 of positions.
+        let l = build(256, 56, 128, 1, 2, 0, 64);
+        let t = LayerTiling::new(&l);
+        let full = l.ifmap_elements_padded() as f64 * t.cta_columns() as f64 * 4.0;
+        let got = dram_ifmap_bytes(&l, &t);
+        let frac = got / full;
+        assert!((frac - (28.0 * 28.0) / (56.0 * 56.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strided_non_pointwise_is_not_excluded() {
+        // 3x3 stride 2 still sweeps (almost) all data; no exclusion.
+        let l = build(64, 56, 128, 3, 2, 1, 8);
+        let t = LayerTiling::new(&l);
+        let full = l.ifmap_elements_padded() as f64 * t.cta_columns() as f64 * 4.0;
+        assert!((dram_ifmap_bytes(&l, &t) - full).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dram_total_is_sum_of_parts() {
+        let l = build(96, 28, 192, 3, 1, 1, 32);
+        let t = LayerTiling::new(&l);
+        let total = dram_traffic_bytes(&l, &t);
+        assert!(
+            (total - dram_ifmap_bytes(&l, &t) - dram_filter_bytes(&l)).abs() < 1e-9
+        );
+    }
+}

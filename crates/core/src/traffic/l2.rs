@@ -1,0 +1,282 @@
+//! L2 cache traffic model (paper §IV-B, Eqs. 5–9, Fig. 7).
+//!
+//! The IFmap matrix contains many duplicated accesses; the L1 cache
+//! captures the reuse *within* one CTA's `blkM × blkK` input tile, so the
+//! L2 sees only the unique elements of each tile. DeLTA estimates the
+//! unique data from the *address range* a tile spans: the vertical distance
+//! `DIST_V` (down one column, Eq. 5) plus the horizontal distance `DIST_H`
+//! (across the `blkK` columns, Eq. 7), each averaged for channel and sample
+//! boundaries that fall inside the tile (Eqs. 6, 8).
+//!
+//! 1×1 convolutions and FC layers have *no* duplication inside a tile, so
+//! the tile's unique data is simply its area; the paper special-cases them
+//! by taking `DIST_V` = tile height and `DIST_H` = tile width.
+
+use crate::layer::ConvLayer;
+use crate::tiling::LayerTiling;
+use crate::BYTES_PER_ELEMENT;
+
+/// Effective `blkK` for distance purposes: the tile cannot span more of K
+/// than exists.
+fn effective_blk_k(layer: &ConvLayer, tiling: &LayerTiling) -> f64 {
+    f64::from(tiling.tile().blk_k()).min(layer.gemm_k() as f64)
+}
+
+/// Effective `blkM`: partial edge grids (GEMMs shorter than one tile)
+/// only span the rows that exist.
+fn effective_blk_m(layer: &ConvLayer, tiling: &LayerTiling) -> f64 {
+    f64::from(tiling.tile().blk_m()).min(layer.gemm_m() as f64)
+}
+
+/// Eq. 5 — vertical address distance of one IFmap-matrix column within a
+/// `blkM`-tall tile:
+///
+/// ```text
+/// DIST_V = blkM × (Wi + 2·Pad) × Strd / (Wi + 2·Pad − Wf + 1)
+/// ```
+///
+/// For 1×1/FC layers the paper uses the tile height directly.
+pub fn dist_v(layer: &ConvLayer, tiling: &LayerTiling) -> f64 {
+    let blk_m = effective_blk_m(layer, tiling);
+    if layer.is_pointwise() {
+        return blk_m;
+    }
+    let wp = f64::from(layer.padded_width());
+    let wf = f64::from(layer.filter_width());
+    let s = f64::from(layer.stride());
+    blk_m * (wp * s) / (wp - wf + 1.0)
+}
+
+/// Eq. 6 — average vertical distance per tile, scaling `DIST_V` by how much
+/// of a channel (`Hf × Wf` columns) one `blkK`-wide tile covers:
+///
+/// ```text
+/// A_DIST_V = DIST_V × blkK / (Hf × Wf)
+/// ```
+///
+/// When `blkK` exceeds the channel width (e.g. 1×1 filters), the factor
+/// counts the multiple distinct channels — and hence multiple unique
+/// vertical ranges — inside one tile.
+pub fn avg_dist_v(layer: &ConvLayer, tiling: &LayerTiling) -> f64 {
+    let filter_area = f64::from(layer.filter_height()) * f64::from(layer.filter_width());
+    dist_v(layer, tiling) * effective_blk_k(layer, tiling) / filter_area
+}
+
+/// Eq. 7 — horizontal address distance across the `blkK` columns of a tile:
+///
+/// ```text
+/// DIST_H = (blkK − 1)/Wf × [ (Wi − Wf + 1) + Strd × (Wf − blkK + 1) ]
+///        + (Wf − blkK + 1)/Wf × Strd × (blkK − 1)
+/// ```
+///
+/// Adjacent columns within one filter-row (`Wf` range) are 1 element
+/// apart; columns that straddle a filter-row edge jump by
+/// `Wi + 2·Pad − Wf + 1` (Fig. 7 ❸/❹). For 1×1/FC layers the paper uses
+/// the tile width directly.
+pub fn dist_h(layer: &ConvLayer, tiling: &LayerTiling) -> f64 {
+    let blk_k = effective_blk_k(layer, tiling);
+    if layer.is_pointwise() {
+        return blk_k;
+    }
+    let wi = f64::from(layer.in_width());
+    let wf = f64::from(layer.filter_width());
+    let s = f64::from(layer.stride());
+    let edge_cols = (blk_k - 1.0) / wf;
+    let inner_cols = (wf - blk_k + 1.0) / wf;
+    let raw =
+        edge_cols * ((wi - wf + 1.0) + s * (wf - blk_k + 1.0)) + inner_cols * (s * (blk_k - 1.0));
+    // Eq. 7's correction terms can overshoot for very small features
+    // (Wi close to Wf with blkK > Wf); the address distance itself cannot
+    // be negative.
+    raw.max(0.0)
+}
+
+/// Eq. 8 — average horizontal distance per tile, accounting for sample
+/// boundaries inside the `blkM` rows:
+///
+/// ```text
+/// A_DIST_H = DIST_H × ( 1 + blkM / OFmapArea )
+/// ```
+///
+/// where `OFmapArea = ((Hi+2·Pad−Hf+1)/Strd) × ((Wi+2·Pad−Wf+1)/Strd)` is
+/// the paper's per-sample row count (its text assumes square features; we
+/// keep the two dimensions separate).
+pub fn avg_dist_h(layer: &ConvLayer, tiling: &LayerTiling) -> f64 {
+    let blk_m = effective_blk_m(layer, tiling);
+    let s = f64::from(layer.stride());
+    let rows_h = (f64::from(layer.padded_height()) - f64::from(layer.filter_height()) + 1.0) / s;
+    let rows_w = (f64::from(layer.padded_width()) - f64::from(layer.filter_width()) + 1.0) / s;
+    let sample_rows = (rows_h * rows_w).max(1.0);
+    dist_h(layer, tiling) * (1.0 + blk_m / sample_rows)
+}
+
+/// Unique IFmap elements requested to L2 per CTA per main loop:
+/// `A_DIST_V + A_DIST_H`.
+pub fn ifmap_tile_distance(layer: &ConvLayer, tiling: &LayerTiling) -> f64 {
+    avg_dist_v(layer, tiling) + avg_dist_h(layer, tiling)
+}
+
+/// Filter elements requested to L2 per CTA per main loop — all unique:
+/// `blkN × blkK`.
+pub fn filter_tile_elements(layer: &ConvLayer, tiling: &LayerTiling) -> f64 {
+    f64::from(tiling.tile().blk_n()).min(layer.gemm_n() as f64)
+        * effective_blk_k(layer, tiling)
+}
+
+/// Eq. 9 — total L2 traffic in bytes:
+///
+/// ```text
+/// T_L2 = (A_DIST_IFmap + DIST_Filter) × K/blkK × NumCTA × 4 B
+/// ```
+pub fn l2_traffic_bytes(layer: &ConvLayer, tiling: &LayerTiling) -> f64 {
+    let tiles = tiling.main_loops() as f64 * tiling.num_ctas() as f64;
+    let ifmap = ifmap_tile_distance(layer, tiling) * tiles;
+    // The per-tile filter volume is blkN x blkK, but a CTA row cannot
+    // request more unique filter elements than exist (degenerate edge
+    // grids: N slightly over a tile boundary, K under one blkK).
+    let filter = (filter_tile_elements(layer, tiling) * tiles)
+        .min((layer.gemm_n() * layer.gemm_k() * tiling.cta_rows()) as f64);
+    (ifmap + filter) * BYTES_PER_ELEMENT as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tiling::{CtaTile, LayerTiling};
+
+    fn fig7_layer() -> ConvLayer {
+        // The running example of Figs. 5 & 7: 4x4 IFmap, pad 1, 3x3 filter,
+        // stride 1.
+        ConvLayer::builder("fig7")
+            .batch(256)
+            .input(64, 4, 4)
+            .output_channels(128)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn dist_v_matches_eq5_on_fig7_example() {
+        let l = fig7_layer();
+        let t = LayerTiling::new(&l);
+        // blkM=128, (Wi+2P)*S/(Wi+2P-Wf+1) = 6/4 = 1.5 -> 192.
+        assert!((dist_v(&l, &t) - 192.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avg_dist_v_scales_by_channel_coverage() {
+        let l = fig7_layer();
+        let t = LayerTiling::new(&l);
+        // blkK=8 over a 9-column channel: 192 * 8/9.
+        assert!((avg_dist_v(&l, &t) - 192.0 * 8.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dist_h_matches_eq7_hand_computation() {
+        // Ci=256, 13x13 IFmap, 3x3 filter, stride 1, pad 1 (the appendix's
+        // base artificial layer), blkK=8:
+        // term1 = (7/3) * ((13-3+1) + 1*(3-8+1)) = (7/3)*7
+        // term2 = ((3-8+1)/3) * (1*7)            = (-4/3)*7
+        // DIST_H = 7
+        let l = ConvLayer::builder("base")
+            .batch(256)
+            .input(256, 13, 13)
+            .output_channels(128)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap();
+        let t = LayerTiling::new(&l);
+        assert_eq!(t.tile().blk_k(), 8);
+        assert!((dist_h(&l, &t) - 7.0).abs() < 1e-9, "{}", dist_h(&l, &t));
+    }
+
+    #[test]
+    fn pointwise_tile_is_all_unique() {
+        let l = ConvLayer::builder("pw")
+            .batch(64)
+            .input(256, 14, 14)
+            .output_channels(256)
+            .filter(1, 1)
+            .build()
+            .unwrap();
+        let t = LayerTiling::new(&l);
+        // DIST_V = blkM, A_DIST_V = blkM * blkK = the whole tile area.
+        assert!((dist_v(&l, &t) - 128.0).abs() < 1e-12);
+        assert!((avg_dist_v(&l, &t) - 128.0 * 8.0).abs() < 1e-12);
+        // Unique elements per loop ~ tile area (plus the small DIST_H term).
+        let unique = ifmap_tile_distance(&l, &t);
+        assert!(unique >= 1024.0 && unique < 1100.0, "{unique}");
+    }
+
+    #[test]
+    fn l2_traffic_well_below_l1_for_reuse_heavy_layer() {
+        use crate::traffic::l1;
+        let l = fig7_layer();
+        let t = LayerTiling::new(&l);
+        let gpu = crate::GpuSpec::titan_xp();
+        let tl2 = l2_traffic_bytes(&l, &t);
+        let tl1 = l1::l1_traffic_bytes(&l, &t, &gpu, l1::MliMode::PaperProfiled);
+        assert!(tl2 < tl1 * 0.5, "L1 should filter >half for 3x3: {tl2} vs {tl1}");
+    }
+
+    #[test]
+    fn effective_blk_k_clamps_small_k() {
+        // K = 3*1*1 = 3 < blkK: distances must clamp.
+        let l = ConvLayer::builder("tiny")
+            .batch(1)
+            .input(3, 32, 32)
+            .output_channels(16)
+            .filter(1, 1)
+            .build()
+            .unwrap();
+        let t = LayerTiling::new(&l);
+        assert!((dist_h(&l, &t) - 3.0).abs() < 1e-12);
+        assert!(filter_tile_elements(&l, &t) <= 16.0 * 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn filter_tile_clamps_to_gemm_n() {
+        let l = ConvLayer::builder("narrow")
+            .batch(32)
+            .input(64, 28, 28)
+            .output_channels(24) // narrower than blkN=32
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap();
+        let t = LayerTiling::new(&l);
+        assert_eq!(t.tile(), CtaTile::SMALL);
+        assert!((filter_tile_elements(&l, &t) - 24.0 * 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distances_positive_across_realistic_configs() {
+        for (ci, hw, co, f, s, p) in [
+            (3u32, 224u32, 64u32, 3u32, 1u32, 1u32),
+            (3, 227, 96, 11, 4, 0),
+            (96, 27, 256, 5, 1, 2),
+            (512, 14, 512, 3, 1, 1),
+            (832, 7, 256, 1, 1, 0),
+            (64, 56, 64, 1, 1, 0),
+            (3, 224, 64, 7, 2, 3),
+            (64, 4, 128, 3, 1, 1), // tiny feature: Eq. 7 clamps at zero
+        ] {
+            let l = ConvLayer::builder("p")
+                .batch(256)
+                .input(ci, hw, hw)
+                .output_channels(co)
+                .filter(f, f)
+                .stride(s)
+                .pad(p)
+                .build()
+                .unwrap();
+            let t = LayerTiling::new(&l);
+            assert!(dist_v(&l, &t) > 0.0, "{l}");
+            assert!(dist_h(&l, &t) >= 0.0, "{l}");
+            assert!(l2_traffic_bytes(&l, &t) > 0.0, "{l}");
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Memory-traffic model across the GPU hierarchy (paper §IV).
+//!
+//! DeLTA models the traffic at each level from the *granularity of data
+//! reuse* implied by the GEMM blocking factors:
+//!
+//! * [`l1`] — per-warp request inefficiency of the im2col layout
+//!   (Eqs. 2–4),
+//! * [`l2`] — unique data per CTA input tile via address distances
+//!   (Eqs. 5–9),
+//! * [`dram`] — inter-CTA reuse under column-wise CTA scheduling (Eq. 10).
+//!
+//! [`TrafficEstimate`] bundles the three levels plus the per-main-loop
+//! volumes the performance model consumes.
+
+pub mod dram;
+pub mod l1;
+pub mod l2;
+
+use crate::gpu::GpuSpec;
+use crate::layer::ConvLayer;
+use crate::tiling::LayerTiling;
+use l1::MliMode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Traffic prediction for one conv layer at every memory-hierarchy level.
+///
+/// All quantities are bytes over the whole layer unless suffixed otherwise.
+///
+/// ```rust
+/// use delta_model::{ConvLayer, GpuSpec};
+/// use delta_model::tiling::LayerTiling;
+/// use delta_model::traffic::{self, l1::MliMode};
+///
+/// # fn main() -> Result<(), delta_model::Error> {
+/// let layer = ConvLayer::builder("3a_3x3")
+///     .batch(256).input(96, 28, 28).output_channels(128)
+///     .filter(3, 3).pad(1).build()?;
+/// let tiling = LayerTiling::new(&layer);
+/// let t = traffic::estimate(&layer, &tiling, &GpuSpec::titan_xp(), MliMode::PaperProfiled);
+/// assert!(t.l1_bytes > t.l2_bytes);          // caches filter traffic
+/// assert!(t.l2_bytes > t.dram_bytes);        // L2 captures inter-CTA reuse
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficEstimate {
+    /// Total L1 traffic (Eq. 4).
+    pub l1_bytes: f64,
+    /// Total L2 traffic (Eq. 9).
+    pub l2_bytes: f64,
+    /// Total DRAM read traffic (Eq. 10).
+    pub dram_bytes: f64,
+    /// DRAM traffic contributed by IFmap refetches.
+    pub dram_ifmap_bytes: f64,
+    /// DRAM traffic contributed by filters (loaded once).
+    pub dram_filter_bytes: f64,
+    /// IFmap memory-load inefficiency per warp (Eq. 3).
+    pub mli_ifmap: f64,
+    /// Filter memory-load inefficiency per warp (§IV-A).
+    pub mli_filter: f64,
+    /// CTAs in the GEMM grid.
+    pub num_ctas: u64,
+    /// Main-loop iterations per CTA.
+    pub main_loops: u64,
+}
+
+impl TrafficEstimate {
+    /// L1 bytes moved per CTA per main-loop iteration (`TpL_L1`, Eq. 11).
+    pub fn l1_bytes_per_loop(&self) -> f64 {
+        self.l1_bytes / (self.num_ctas as f64 * self.main_loops as f64)
+    }
+
+    /// L2 bytes moved per CTA per main-loop iteration (`TpL_L2`).
+    pub fn l2_bytes_per_loop(&self) -> f64 {
+        self.l2_bytes / (self.num_ctas as f64 * self.main_loops as f64)
+    }
+
+    /// DRAM bytes moved per CTA per main-loop iteration (`TpL_DRAM`).
+    pub fn dram_bytes_per_loop(&self) -> f64 {
+        self.dram_bytes / (self.num_ctas as f64 * self.main_loops as f64)
+    }
+
+    /// Model-implied L1 miss rate: L2 traffic / L1 traffic.
+    pub fn l1_miss_rate(&self) -> f64 {
+        (self.l2_bytes / self.l1_bytes).min(1.0)
+    }
+
+    /// Model-implied L2 miss rate: DRAM traffic / L2 traffic.
+    pub fn l2_miss_rate(&self) -> f64 {
+        (self.dram_bytes / self.l2_bytes).min(1.0)
+    }
+}
+
+impl fmt::Display for TrafficEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "L1 {:.3} GB, L2 {:.3} GB, DRAM {:.3} GB (MLI if {:.2} / fil {:.2})",
+            self.l1_bytes / 1e9,
+            self.l2_bytes / 1e9,
+            self.dram_bytes / 1e9,
+            self.mli_ifmap,
+            self.mli_filter
+        )
+    }
+}
+
+/// Runs the full §IV traffic model for one layer.
+pub fn estimate(
+    layer: &ConvLayer,
+    tiling: &LayerTiling,
+    gpu: &GpuSpec,
+    mli_mode: MliMode,
+) -> TrafficEstimate {
+    let mli_ifmap = l1::mli_ifmap(layer, gpu.l1_request_bytes());
+    let mli_filter = l1::mli_filter(tiling.tile().blk_k(), gpu.l1_request_bytes(), mli_mode);
+    let l1_bytes = l1::l1_traffic_bytes(layer, tiling, gpu, mli_mode);
+    let l2_bytes = l2::l2_traffic_bytes(layer, tiling);
+    let dram_ifmap_bytes = dram::dram_ifmap_bytes(layer, tiling);
+    let dram_filter_bytes = dram::dram_filter_bytes(layer);
+    TrafficEstimate {
+        l1_bytes,
+        l2_bytes,
+        dram_bytes: dram_ifmap_bytes + dram_filter_bytes,
+        dram_ifmap_bytes,
+        dram_filter_bytes,
+        mli_ifmap,
+        mli_filter,
+        num_ctas: tiling.num_ctas(),
+        main_loops: tiling.main_loops(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(ci: u32, hw: u32, co: u32, f: u32, s: u32, p: u32, b: u32) -> ConvLayer {
+        ConvLayer::builder("t")
+            .batch(b)
+            .input(ci, hw, hw)
+            .output_channels(co)
+            .filter(f, f)
+            .stride(s)
+            .pad(p)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn hierarchy_filters_traffic_for_3x3() {
+        let l = layer(256, 13, 128, 3, 1, 1, 256);
+        let t = LayerTiling::new(&l);
+        let e = estimate(&l, &t, &GpuSpec::titan_xp(), MliMode::PaperProfiled);
+        assert!(e.l1_bytes > e.l2_bytes, "{e}");
+        assert!(e.l2_bytes > e.dram_bytes, "{e}");
+        assert!(e.l1_miss_rate() < 1.0);
+        assert!(e.l2_miss_rate() < 1.0);
+    }
+
+    #[test]
+    fn pointwise_layers_have_low_reuse() {
+        // 1x1 conv: no intra-tile IFmap reuse, so the L2:L1 ratio is much
+        // closer to 1 than a 5x5 layer's (Fig. 12's observation that prior
+        // models deviate least on 1x1 filters).
+        let l1x1 = layer(256, 14, 256, 1, 1, 0, 64);
+        let l5x5 = layer(32, 28, 256, 5, 1, 2, 64);
+        let e1 = estimate(
+            &l1x1,
+            &LayerTiling::new(&l1x1),
+            &GpuSpec::titan_xp(),
+            MliMode::PaperProfiled,
+        );
+        let e5 = estimate(
+            &l5x5,
+            &LayerTiling::new(&l5x5),
+            &GpuSpec::titan_xp(),
+            MliMode::PaperProfiled,
+        );
+        assert!(e1.l1_miss_rate() > e5.l1_miss_rate() * 2.0);
+    }
+
+    #[test]
+    fn per_loop_volumes_partition_totals() {
+        let l = layer(96, 28, 128, 3, 1, 1, 32);
+        let t = LayerTiling::new(&l);
+        let e = estimate(&l, &t, &GpuSpec::titan_xp(), MliMode::PaperProfiled);
+        let total = e.l1_bytes_per_loop() * e.num_ctas as f64 * e.main_loops as f64;
+        assert!((total - e.l1_bytes).abs() / e.l1_bytes < 1e-12);
+    }
+
+    #[test]
+    fn batch_scales_traffic_monotonically() {
+        let gpu = GpuSpec::titan_xp();
+        let small = layer(64, 28, 128, 3, 1, 1, 32);
+        let big = layer(64, 28, 128, 3, 1, 1, 256);
+        let es = estimate(&small, &LayerTiling::new(&small), &gpu, MliMode::PaperProfiled);
+        let eb = estimate(&big, &LayerTiling::new(&big), &gpu, MliMode::PaperProfiled);
+        assert!(eb.l1_bytes > es.l1_bytes);
+        assert!(eb.l2_bytes > es.l2_bytes);
+        assert!(eb.dram_bytes > es.dram_bytes);
+    }
+}

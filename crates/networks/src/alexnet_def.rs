@@ -1,0 +1,54 @@
+//! AlexNet conv layers (Krizhevsky et al., 2012), as evaluated in the
+//! paper: `conv1` … `conv5` on 227×227 ImageNet inputs.
+
+use crate::network::{conv, Network};
+use delta_model::Error;
+
+/// AlexNet's five conv layers at mini-batch `batch`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidLayer`] only for `batch == 0`.
+pub fn alexnet(batch: u32) -> Result<Network, Error> {
+    Ok(Network::new(
+        "AlexNet",
+        vec![
+            // label,           B,     Ci,  Hi,  Wi,  Co,  Hf, Wf, S, P
+            conv("conv1", batch, 3, 227, 227, 96, 11, 11, 4, 0)?,
+            conv("conv2", batch, 96, 27, 27, 256, 5, 5, 1, 2)?,
+            conv("conv3", batch, 256, 13, 13, 384, 3, 3, 1, 1)?,
+            conv("conv4", batch, 384, 13, 13, 384, 3, 3, 1, 1)?,
+            conv("conv5", batch, 384, 13, 13, 256, 3, 3, 1, 1)?,
+        ],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_layers_with_expected_shapes() {
+        let n = alexnet(256).unwrap();
+        assert_eq!(n.len(), 5);
+        let c1 = n.layer("conv1").unwrap();
+        assert_eq!(c1.out_height(), 55);
+        assert_eq!(c1.stride(), 4);
+        let c2 = n.layer("conv2").unwrap();
+        assert_eq!(c2.out_height(), 27);
+        let c5 = n.layer("conv5").unwrap();
+        assert_eq!(c5.out_channels(), 256);
+        assert_eq!(c5.in_height(), 13);
+    }
+
+    #[test]
+    fn conv2_to_conv5_chain_shapes() {
+        // Each layer's input channels equal the previous layer's output
+        // channels (pooling only changes spatial dims).
+        let n = alexnet(1).unwrap();
+        let ls = n.layers();
+        assert_eq!(ls[0].out_channels(), ls[1].in_channels());
+        assert_eq!(ls[2].out_channels(), ls[3].in_channels());
+        assert_eq!(ls[3].out_channels(), ls[4].in_channels());
+    }
+}

@@ -1,0 +1,118 @@
+//! GoogLeNet conv layers (Szegedy et al., 2015).
+//!
+//! The paper evaluates the stem convolutions plus the branches of four
+//! representative inception modules (3a, 4b, 4e, 5a), covering the full
+//! range of feature sizes (28×28 → 7×7) and channel widths the network
+//! contains. Labels match the paper's plots (`3a_5x5red` etc.).
+
+use crate::network::{conv, Network};
+use delta_model::Error;
+
+/// One inception module's five conv branches.
+///
+/// `prefix` names the module (`3a`), `hw` its feature size, `cin` its input
+/// channels, and the remaining arguments the branch widths from the
+/// GoogLeNet architecture table: the 1×1 branch, the 3×3 reduce and 3×3
+/// widths, and the 5×5 reduce and 5×5 widths.
+#[allow(clippy::too_many_arguments)]
+fn inception(
+    batch: u32,
+    prefix: &str,
+    hw: u32,
+    cin: u32,
+    c1x1: u32,
+    c3red: u32,
+    c3: u32,
+    c5red: u32,
+    c5: u32,
+) -> Result<Vec<delta_model::ConvLayer>, Error> {
+    Ok(vec![
+        conv(&format!("{prefix}_1x1"), batch, cin, hw, hw, c1x1, 1, 1, 1, 0)?,
+        conv(&format!("{prefix}_3x3"), batch, c3red, hw, hw, c3, 3, 3, 1, 1)?,
+        conv(&format!("{prefix}_3x3red"), batch, cin, hw, hw, c3red, 1, 1, 1, 0)?,
+        conv(&format!("{prefix}_5x5"), batch, c5red, hw, hw, c5, 5, 5, 1, 2)?,
+        conv(&format!("{prefix}_5x5red"), batch, cin, hw, hw, c5red, 1, 1, 1, 0)?,
+    ])
+}
+
+/// GoogLeNet's evaluated conv layers at mini-batch `batch` (23 layers:
+/// 3 stem + 4 modules × 5 branches).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidLayer`] only for `batch == 0`.
+pub fn googlenet(batch: u32) -> Result<Network, Error> {
+    let mut layers = vec![
+        conv("conv1", batch, 3, 224, 224, 64, 7, 7, 2, 3)?,
+        conv("conv2_3x3", batch, 64, 56, 56, 192, 3, 3, 1, 1)?,
+        conv("conv2_3x3r", batch, 64, 56, 56, 64, 1, 1, 1, 0)?,
+    ];
+    layers.extend(inception(batch, "3a", 28, 192, 64, 96, 128, 16, 32)?);
+    layers.extend(inception(batch, "4b", 14, 512, 160, 112, 224, 24, 64)?);
+    layers.extend(inception(batch, "4e", 14, 528, 256, 160, 320, 32, 128)?);
+    layers.extend(inception(batch, "5a", 7, 832, 256, 160, 320, 32, 128)?);
+    Ok(Network::new("GoogLeNet", layers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_three_layers() {
+        assert_eq!(googlenet(256).unwrap().len(), 23);
+    }
+
+    #[test]
+    fn stem_shapes() {
+        let n = googlenet(1).unwrap();
+        let c1 = n.layer("conv1").unwrap();
+        assert_eq!(c1.out_height(), 112);
+        assert_eq!((c1.filter_height(), c1.stride(), c1.pad()), (7, 2, 3));
+        assert_eq!(n.layer("conv2_3x3").unwrap().out_channels(), 192);
+        assert!(n.layer("conv2_3x3r").unwrap().is_pointwise());
+    }
+
+    #[test]
+    fn module_3a_matches_architecture_table() {
+        let n = googlenet(1).unwrap();
+        assert_eq!(n.layer("3a_1x1").unwrap().out_channels(), 64);
+        assert_eq!(n.layer("3a_3x3red").unwrap().out_channels(), 96);
+        let l3 = n.layer("3a_3x3").unwrap();
+        assert_eq!((l3.in_channels(), l3.out_channels()), (96, 128));
+        assert_eq!(n.layer("3a_5x5red").unwrap().out_channels(), 16);
+        let l5 = n.layer("3a_5x5").unwrap();
+        assert_eq!((l5.in_channels(), l5.out_channels()), (16, 32));
+        assert_eq!(l5.filter_height(), 5);
+        assert_eq!(l5.pad(), 2);
+    }
+
+    #[test]
+    fn reduce_branches_feed_wide_branches() {
+        let n = googlenet(1).unwrap();
+        for m in ["3a", "4b", "4e", "5a"] {
+            let red = n.layer(&format!("{m}_3x3red")).unwrap();
+            let wide = n.layer(&format!("{m}_3x3")).unwrap();
+            assert_eq!(red.out_channels(), wide.in_channels(), "{m}");
+            let red5 = n.layer(&format!("{m}_5x5red")).unwrap();
+            let wide5 = n.layer(&format!("{m}_5x5")).unwrap();
+            assert_eq!(red5.out_channels(), wide5.in_channels(), "{m}");
+        }
+    }
+
+    #[test]
+    fn feature_sizes_shrink_through_the_network() {
+        let n = googlenet(1).unwrap();
+        assert_eq!(n.layer("3a_1x1").unwrap().in_height(), 28);
+        assert_eq!(n.layer("4b_1x1").unwrap().in_height(), 14);
+        assert_eq!(n.layer("5a_1x1").unwrap().in_height(), 7);
+    }
+
+    #[test]
+    fn narrow_5x5red_layers_use_small_cta_tiles() {
+        use delta_model::tiling::LayerTiling;
+        let n = googlenet(256).unwrap();
+        let t = LayerTiling::new(n.layer("3a_5x5red").unwrap());
+        assert_eq!(t.tile().blk_n(), 32, "Co=16 selects the narrow tile");
+    }
+}

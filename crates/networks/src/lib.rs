@@ -1,0 +1,86 @@
+//! # delta-networks — the CNN layer zoo of the DeLTA paper
+//!
+//! Conv-layer configurations of the four CNNs the paper evaluates
+//! (§VI Benchmarks): [AlexNet](alexnet), [VGG16](vgg16),
+//! [GoogLeNet](googlenet), and [ResNet152](resnet152) — restricted to the
+//! *unique* layer subset the paper plots, with the paper's own layer labels
+//! (e.g. `3a_5x5red`, `conv4_1_b`) so experiment output rows line up with
+//! the figures.
+//!
+//! The default mini-batch size is 256, as in §VI. Every constructor takes
+//! the batch size so the simulator can run reduced-batch configurations.
+//!
+//! ```rust
+//! use delta_networks::{googlenet, Network};
+//!
+//! let net = googlenet(256).unwrap();
+//! assert_eq!(net.name(), "GoogLeNet");
+//! assert!(net.layer("3a_5x5red").is_some());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod alexnet_def;
+mod googlenet_def;
+mod network;
+mod resnet_def;
+mod vgg_def;
+
+pub use alexnet_def::alexnet;
+pub use googlenet_def::googlenet;
+pub use network::Network;
+pub use resnet_def::{resnet152, resnet152_full};
+pub use vgg_def::vgg16;
+
+use delta_model::Error;
+
+/// The paper's default mini-batch size (§VI).
+pub const PAPER_BATCH: u32 = 256;
+
+/// All four evaluated networks at mini-batch `batch`, in paper order
+/// (AlexNet, VGG16, GoogLeNet, ResNet152).
+///
+/// # Errors
+///
+/// Propagates layer-validation failures (none occur for positive `batch`).
+pub fn paper_networks(batch: u32) -> Result<Vec<Network>, Error> {
+    Ok(vec![
+        alexnet(batch)?,
+        vgg16(batch)?,
+        googlenet(batch)?,
+        resnet152(batch)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_networks_in_paper_order() {
+        let nets = paper_networks(PAPER_BATCH).unwrap();
+        let names: Vec<_> = nets.iter().map(|n| n.name().to_string()).collect();
+        assert_eq!(names, ["AlexNet", "VGG16", "GoogLeNet", "ResNet152"]);
+    }
+
+    #[test]
+    fn all_layers_use_requested_batch() {
+        for net in paper_networks(32).unwrap() {
+            for l in net.layers() {
+                assert_eq!(l.batch(), 32, "{} {}", net.name(), l.label());
+            }
+        }
+    }
+
+    #[test]
+    fn layer_labels_unique_within_each_network() {
+        for net in paper_networks(PAPER_BATCH).unwrap() {
+            let mut labels: Vec<_> = net.layers().iter().map(|l| l.label()).collect();
+            let n = labels.len();
+            labels.sort_unstable();
+            labels.dedup();
+            assert_eq!(labels.len(), n, "duplicate labels in {}", net.name());
+        }
+    }
+}

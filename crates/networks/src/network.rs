@@ -1,0 +1,166 @@
+//! A named collection of conv layers.
+
+use delta_model::{ConvLayer, Error};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A CNN described by its (unique) conv layers, in network order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    name: String,
+    layers: Vec<ConvLayer>,
+}
+
+impl Network {
+    /// Creates a network from pre-built layers.
+    pub fn new(name: impl Into<String>, layers: Vec<ConvLayer>) -> Network {
+        Network {
+            name: name.into(),
+            layers,
+        }
+    }
+
+    /// Network name (e.g. `"GoogLeNet"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers in network order.
+    pub fn layers(&self) -> &[ConvLayer] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Looks a layer up by its paper label.
+    pub fn layer(&self, label: &str) -> Option<&ConvLayer> {
+        self.layers.iter().find(|l| l.label() == label)
+    }
+
+    /// Iterates over the layers.
+    pub fn iter(&self) -> std::slice::Iter<'_, ConvLayer> {
+        self.layers.iter()
+    }
+
+    /// Total MAC count over all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(ConvLayer::macs).sum()
+    }
+
+    /// Returns the same network with every layer rebuilt at mini-batch
+    /// `batch` (used for reduced-batch simulation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidLayer`] if `batch` is zero.
+    pub fn with_batch(&self, batch: u32) -> Result<Network, Error> {
+        Ok(Network {
+            name: self.name.clone(),
+            layers: self
+                .layers
+                .iter()
+                .map(|l| l.with_batch(batch))
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} conv layers, {:.1} GMACs)",
+            self.name,
+            self.layers.len(),
+            self.total_macs() as f64 / 1e9
+        )
+    }
+}
+
+impl<'a> IntoIterator for &'a Network {
+    type Item = &'a ConvLayer;
+    type IntoIter = std::slice::Iter<'a, ConvLayer>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.layers.iter()
+    }
+}
+
+/// Helper for the per-network definition modules: builds one conv layer
+/// with positional dimensions.
+pub(crate) fn conv(
+    label: &str,
+    batch: u32,
+    ci: u32,
+    hi: u32,
+    wi: u32,
+    co: u32,
+    hf: u32,
+    wf: u32,
+    stride: u32,
+    pad: u32,
+) -> Result<ConvLayer, Error> {
+    ConvLayer::builder(label)
+        .batch(batch)
+        .input(ci, hi, wi)
+        .output_channels(co)
+        .filter(hf, wf)
+        .stride(stride)
+        .pad(pad)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Network {
+        Network::new(
+            "Demo",
+            vec![
+                conv("a", 8, 3, 32, 32, 16, 3, 3, 1, 1).unwrap(),
+                conv("b", 8, 16, 32, 32, 32, 1, 1, 1, 0).unwrap(),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_and_iteration() {
+        let n = demo();
+        assert_eq!(n.len(), 2);
+        assert!(!n.is_empty());
+        assert_eq!(n.layer("b").unwrap().out_channels(), 32);
+        assert!(n.layer("zzz").is_none());
+        assert_eq!(n.iter().count(), 2);
+        assert_eq!((&n).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn total_macs_sums_layers() {
+        let n = demo();
+        let sum: u64 = n.layers().iter().map(|l| l.macs()).sum();
+        assert_eq!(n.total_macs(), sum);
+    }
+
+    #[test]
+    fn with_batch_rebuilds_everything() {
+        let n = demo().with_batch(2).unwrap();
+        assert!(n.layers().iter().all(|l| l.batch() == 2));
+        assert!(demo().with_batch(0).is_err());
+    }
+
+    #[test]
+    fn display_mentions_name_and_count() {
+        let s = demo().to_string();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("2 conv layers"));
+    }
+}

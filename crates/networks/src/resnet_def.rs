@@ -1,0 +1,184 @@
+//! ResNet152 conv layers (He et al., 2016).
+//!
+//! [`resnet152`] builds the paper's evaluated subset — the stem plus the
+//! first bottleneck blocks of every stage (and the repeated-configuration
+//! blocks the paper's plots include, e.g. `conv2_3_*`). [`resnet152_full`]
+//! expands the complete 152-layer network used by the §VII-C scaling study
+//! ("the entire 152 conv layers in ResNet152").
+
+use crate::network::{conv, Network};
+use delta_model::{ConvLayer, Error};
+
+/// One bottleneck block's three convolutions.
+///
+/// `cin` is the block input width, `mid` the bottleneck width,
+/// `cout = 4 × mid` the expansion width, and `stride` applies to the
+/// leading 1×1 (the original ResNet downsampling placement).
+fn bottleneck(
+    batch: u32,
+    prefix: &str,
+    hw_in: u32,
+    cin: u32,
+    mid: u32,
+    stride: u32,
+) -> Result<Vec<ConvLayer>, Error> {
+    let hw_out = hw_in / stride;
+    Ok(vec![
+        conv(&format!("{prefix}_a"), batch, cin, hw_in, hw_in, mid, 1, 1, stride, 0)?,
+        conv(&format!("{prefix}_b"), batch, mid, hw_out, hw_out, mid, 3, 3, 1, 1)?,
+        conv(&format!("{prefix}_c"), batch, mid, hw_out, hw_out, 4 * mid, 1, 1, 1, 0)?,
+    ])
+}
+
+/// ResNet152's evaluated conv-layer subset at mini-batch `batch`
+/// (25 layers, labeled as in the paper's plots).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidLayer`] only for `batch == 0`.
+pub fn resnet152(batch: u32) -> Result<Network, Error> {
+    let mut layers = vec![conv("conv1", batch, 3, 224, 224, 64, 7, 7, 2, 3)?];
+    // Stage 2 (56x56, mid 64): first block takes the 64-wide stem, later
+    // blocks take the 256-wide expansion.
+    layers.extend(bottleneck(batch, "conv2_1", 56, 64, 64, 1)?);
+    layers.extend(bottleneck(batch, "conv2_2", 56, 256, 64, 1)?);
+    layers.extend(bottleneck(batch, "conv2_3", 56, 256, 64, 1)?);
+    // Stage 3 (28x28, mid 128): stride-2 entry, then one repeated block's
+    // leading conv.
+    layers.extend(bottleneck(batch, "conv3_1", 56, 256, 128, 2)?);
+    layers.push(conv("conv3_2_a", batch, 512, 28, 28, 128, 1, 1, 1, 0)?);
+    // Stage 4 (14x14, mid 256).
+    layers.extend(bottleneck(batch, "conv4_1", 28, 512, 256, 2)?);
+    layers.push(conv("conv4_2_a", batch, 1024, 14, 14, 256, 1, 1, 1, 0)?);
+    // Stage 5 (7x7, mid 512).
+    layers.extend(bottleneck(batch, "conv5_1", 14, 1024, 512, 2)?);
+    layers.push(conv("conv5_2_a", batch, 2048, 7, 7, 512, 1, 1, 1, 0)?);
+    layers.push(conv("conv5_2_b", batch, 512, 7, 7, 512, 3, 3, 1, 1)?);
+    layers.push(conv("conv5_2_c", batch, 512, 7, 7, 2048, 1, 1, 1, 0)?);
+    Ok(Network::new("ResNet152", layers))
+}
+
+/// The complete ResNet152: stem + (3, 8, 36, 3) bottleneck blocks
+/// (151 convolutions), for the Fig. 16 scaling study.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidLayer`] only for `batch == 0`.
+pub fn resnet152_full(batch: u32) -> Result<Network, Error> {
+    let mut layers = vec![conv("conv1", batch, 3, 224, 224, 64, 7, 7, 2, 3)?];
+    let stages: [(u32, u32, u32, u32); 4] = [
+        // (stage index, entry feature size, bottleneck width, block count)
+        (2, 56, 64, 3),
+        (3, 56, 128, 8),
+        (4, 28, 256, 36),
+        (5, 14, 512, 3),
+    ];
+    for (idx, hw_in, mid, blocks) in stages {
+        for b in 1..=blocks {
+            let first = b == 1;
+            let stride = if first && idx > 2 { 2 } else { 1 };
+            let hw = if first { hw_in } else { hw_in / if idx > 2 { 2 } else { 1 } };
+            let cin = if first {
+                if idx == 2 {
+                    64
+                } else {
+                    2 * mid // previous stage's expansion: 4 * (mid/2)
+                }
+            } else {
+                4 * mid
+            };
+            layers.extend(bottleneck(
+                batch,
+                &format!("conv{idx}_{b}"),
+                hw,
+                cin,
+                mid,
+                stride,
+            )?);
+        }
+    }
+    Ok(Network::new("ResNet152-full", layers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluated_subset_has_paper_labels() {
+        let n = resnet152(256).unwrap();
+        for label in [
+            "conv1", "conv2_1_a", "conv2_1_b", "conv2_1_c", "conv2_2_a", "conv2_3_c",
+            "conv3_1_a", "conv3_1_b", "conv3_1_c", "conv3_2_a", "conv4_1_a", "conv4_2_a",
+            "conv5_1_a", "conv5_1_b", "conv5_1_c", "conv5_2_a", "conv5_2_b", "conv5_2_c",
+        ] {
+            assert!(n.layer(label).is_some(), "missing {label}");
+        }
+        assert_eq!(n.len(), 24);
+    }
+
+    #[test]
+    fn bottleneck_expansion_is_4x() {
+        let n = resnet152(1).unwrap();
+        let c = n.layer("conv2_1_c").unwrap();
+        assert_eq!(c.out_channels(), 256);
+        let c = n.layer("conv5_1_c").unwrap();
+        assert_eq!(c.out_channels(), 2048);
+    }
+
+    #[test]
+    fn downsampling_blocks_use_strided_pointwise() {
+        let n = resnet152(1).unwrap();
+        for label in ["conv3_1_a", "conv4_1_a", "conv5_1_a"] {
+            let l = n.layer(label).unwrap();
+            assert!(l.is_pointwise(), "{label}");
+            assert_eq!(l.stride(), 2, "{label}");
+        }
+        // Stage 2 keeps 56x56.
+        assert_eq!(n.layer("conv2_1_a").unwrap().stride(), 1);
+    }
+
+    #[test]
+    fn full_network_has_151_convolutions() {
+        let n = resnet152_full(2).unwrap();
+        // 1 stem + 3*(3+8+36+3) = 151.
+        assert_eq!(n.len(), 151);
+    }
+
+    #[test]
+    fn full_network_channel_chain_is_consistent() {
+        let n = resnet152_full(1).unwrap();
+        // First block of stage 3 takes stage 2's 256-wide expansion.
+        let l = n.layer("conv3_1_a").unwrap();
+        assert_eq!(l.in_channels(), 256);
+        assert_eq!(l.in_height(), 56);
+        assert_eq!(l.out_height(), 28);
+        // Later stage-3 blocks take the 512-wide expansion at 28x28.
+        let l = n.layer("conv3_5_a").unwrap();
+        assert_eq!(l.in_channels(), 512);
+        assert_eq!(l.in_height(), 28);
+        // Stage 4 entry.
+        let l = n.layer("conv4_1_a").unwrap();
+        assert_eq!(l.in_channels(), 512);
+        let l = n.layer("conv4_36_c").unwrap();
+        assert_eq!(l.out_channels(), 1024);
+    }
+
+    #[test]
+    fn subset_configs_appear_in_full_network() {
+        // Every evaluated-subset layer config (ignoring label) exists in
+        // the full expansion.
+        let sub = resnet152(4).unwrap();
+        let full = resnet152_full(4).unwrap();
+        for l in sub.layers() {
+            let found = full.layers().iter().any(|f| {
+                f.in_channels() == l.in_channels()
+                    && f.out_channels() == l.out_channels()
+                    && f.in_height() == l.in_height()
+                    && f.filter_height() == l.filter_height()
+                    && f.stride() == l.stride()
+            });
+            assert!(found, "{} missing from full network", l.label());
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! VGG16 conv layers (Simonyan & Zisserman, 2014).
+//!
+//! The paper plots the unique-configuration subset it labels
+//! `conv1 … conv6, conv8, conv11`: VGG16's 13 conv layers contain repeated
+//! configurations (e.g. conv6 ≡ conv7), so only the distinct ones are
+//! evaluated.
+
+use crate::network::{conv, Network};
+use delta_model::Error;
+
+/// VGG16's unique conv layers at mini-batch `batch`, with the paper's
+/// labels.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidLayer`] only for `batch == 0`.
+pub fn vgg16(batch: u32) -> Result<Network, Error> {
+    Ok(Network::new(
+        "VGG16",
+        vec![
+            // All VGG filters are 3x3, stride 1, pad 1.
+            conv("conv1", batch, 3, 224, 224, 64, 3, 3, 1, 1)?,
+            conv("conv2", batch, 64, 224, 224, 64, 3, 3, 1, 1)?,
+            conv("conv3", batch, 64, 112, 112, 128, 3, 3, 1, 1)?,
+            conv("conv4", batch, 128, 112, 112, 128, 3, 3, 1, 1)?,
+            conv("conv5", batch, 128, 56, 56, 256, 3, 3, 1, 1)?,
+            conv("conv6", batch, 256, 56, 56, 256, 3, 3, 1, 1)?,
+            conv("conv8", batch, 256, 28, 28, 512, 3, 3, 1, 1)?,
+            conv("conv11", batch, 512, 14, 14, 512, 3, 3, 1, 1)?,
+        ],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_unique_layers() {
+        let n = vgg16(256).unwrap();
+        assert_eq!(n.len(), 8);
+    }
+
+    #[test]
+    fn all_filters_are_3x3_stride1_pad1() {
+        for l in vgg16(1).unwrap().layers() {
+            assert_eq!((l.filter_height(), l.filter_width()), (3, 3));
+            assert_eq!(l.stride(), 1);
+            assert_eq!(l.pad(), 1);
+            // Same-padding: spatial dims preserved.
+            assert_eq!(l.out_height(), l.in_height());
+        }
+    }
+
+    #[test]
+    fn spatial_halving_between_blocks() {
+        let n = vgg16(1).unwrap();
+        assert_eq!(n.layer("conv1").unwrap().in_height(), 224);
+        assert_eq!(n.layer("conv3").unwrap().in_height(), 112);
+        assert_eq!(n.layer("conv5").unwrap().in_height(), 56);
+        assert_eq!(n.layer("conv8").unwrap().in_height(), 28);
+        assert_eq!(n.layer("conv11").unwrap().in_height(), 14);
+    }
+
+    #[test]
+    fn conv1_dominates_l1_footprint_conv11_dominates_channels() {
+        let n = vgg16(256).unwrap();
+        assert_eq!(n.layer("conv1").unwrap().in_channels(), 3);
+        assert_eq!(n.layer("conv11").unwrap().in_channels(), 512);
+    }
+}

@@ -1,0 +1,158 @@
+//! DRAM channel latency/bandwidth model (paper §V "pipeline latency" and
+//! Appendix B, Fig. 18).
+//!
+//! The paper measures each GPU's DRAM turnaround latency with a
+//! microbenchmark that ramps offered traffic: latency is flat (the
+//! *pipeline latency*) while the channel is underutilized, then grows
+//! steeply as transactions queue when the offered load approaches the
+//! effective channel bandwidth. [`DramChannelModel`] reproduces that
+//! hockey-stick with an M/D/1-style queueing term, and
+//! [`latency_bandwidth_curve`] regenerates the Fig. 18 sweeps.
+
+use delta_model::GpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// Closed-form DRAM channel model: fixed pipeline latency plus queueing
+/// delay that diverges at the effective bandwidth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DramChannelModel {
+    /// Unloaded turnaround latency in core clocks.
+    pub pipeline_latency_clks: f64,
+    /// Effective channel bandwidth in GB/s (post bank-conflict, i.e. the
+    /// saturation asymptote of Fig. 18).
+    pub effective_bw_gbps: f64,
+    /// Core clock in GHz (to convert loads into per-clock terms).
+    pub core_clock_ghz: f64,
+}
+
+impl DramChannelModel {
+    /// Extracts the DRAM model of `gpu`.
+    pub fn from_gpu(gpu: &GpuSpec) -> DramChannelModel {
+        DramChannelModel {
+            pipeline_latency_clks: gpu.lat_dram_clks(),
+            effective_bw_gbps: gpu.dram_bw_gbps(),
+            core_clock_ghz: gpu.core_clock_ghz(),
+        }
+    }
+
+    /// Turnaround latency (clocks) at `offered_gbps` of demand.
+    ///
+    /// Uses an M/D/1 waiting-time term: `L = L0 · (1 + ρ/(2(1−ρ)))` with
+    /// utilization `ρ = offered/effective`, clamped at 50× the pipeline
+    /// latency once the channel saturates (queues grow without bound in
+    /// steady state; real measurements are bounded by the finite in-flight
+    /// window, which the clamp stands in for).
+    pub fn latency_clks(&self, offered_gbps: f64) -> f64 {
+        let rho = (offered_gbps / self.effective_bw_gbps).max(0.0);
+        if rho >= 1.0 {
+            return self.pipeline_latency_clks * 50.0;
+        }
+        let queue = rho / (2.0 * (1.0 - rho));
+        (self.pipeline_latency_clks * (1.0 + queue)).min(self.pipeline_latency_clks * 50.0)
+    }
+
+    /// Achieved bandwidth at `offered_gbps` (cannot exceed the effective
+    /// channel bandwidth).
+    pub fn achieved_gbps(&self, offered_gbps: f64) -> f64 {
+        offered_gbps.min(self.effective_bw_gbps)
+    }
+
+    /// Time in clocks to transfer `bytes` at full effective bandwidth,
+    /// excluding the pipeline latency.
+    pub fn transfer_clks(&self, bytes: f64) -> f64 {
+        bytes / (self.effective_bw_gbps / self.core_clock_ghz)
+    }
+}
+
+/// One sample of the Fig. 18 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyBandwidthPoint {
+    /// Achieved bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Measured turnaround latency in clocks.
+    pub latency_clks: f64,
+}
+
+/// Sweeps offered load from near-idle to past saturation, reproducing the
+/// Fig. 18 latency-vs-bandwidth curve with `points` samples.
+pub fn latency_bandwidth_curve(model: &DramChannelModel, points: usize) -> Vec<LatencyBandwidthPoint> {
+    let max_offered = model.effective_bw_gbps * 1.1;
+    (0..points)
+        .map(|i| {
+            let offered = max_offered * (i as f64 + 0.5) / points as f64;
+            LatencyBandwidthPoint {
+                bandwidth_gbps: model.achieved_gbps(offered),
+                latency_clks: model.latency_clks(offered),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unloaded_latency_is_pipeline_latency() {
+        let m = DramChannelModel::from_gpu(&GpuSpec::titan_xp());
+        assert!((m.latency_clks(0.0) - 500.0).abs() < 1e-9);
+        // Light load: within a few percent of the floor.
+        assert!(m.latency_clks(20.0) < 520.0);
+    }
+
+    #[test]
+    fn latency_explodes_near_saturation() {
+        // Fig. 18: latency grows exponentially as traffic approaches the
+        // effective bandwidth.
+        let m = DramChannelModel::from_gpu(&GpuSpec::titan_xp());
+        let low = m.latency_clks(100.0);
+        let high = m.latency_clks(440.0);
+        let sat = m.latency_clks(460.0);
+        assert!(high > 5.0 * low, "{high} vs {low}");
+        assert!((sat - 500.0 * 50.0).abs() < 1e-9, "clamped at saturation");
+    }
+
+    #[test]
+    fn latency_is_monotone_in_load() {
+        let m = DramChannelModel::from_gpu(&GpuSpec::p100());
+        let mut prev = 0.0;
+        for i in 0..120 {
+            let l = m.latency_clks(i as f64 * 5.0);
+            assert!(l >= prev);
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn achieved_bw_saturates_at_effective() {
+        let m = DramChannelModel::from_gpu(&GpuSpec::v100());
+        assert!((m.achieved_gbps(2000.0) - 850.0).abs() < 1e-9);
+        assert!((m.achieved_gbps(100.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn curve_shape_matches_fig18() {
+        for gpu in GpuSpec::paper_devices() {
+            let m = DramChannelModel::from_gpu(&gpu);
+            let curve = latency_bandwidth_curve(&m, 64);
+            assert_eq!(curve.len(), 64);
+            // Flat-ish head, steep tail.
+            let head = curve[4].latency_clks / curve[0].latency_clks;
+            let tail = curve.last().unwrap().latency_clks / curve[0].latency_clks;
+            assert!(head < 1.3, "{}: head ratio {head}", gpu.name());
+            assert!(tail > 10.0, "{}: tail ratio {tail}", gpu.name());
+            // Bandwidth never exceeds the device's effective bandwidth.
+            assert!(curve
+                .iter()
+                .all(|p| p.bandwidth_gbps <= gpu.dram_bw_gbps() + 1e-9));
+        }
+    }
+
+    #[test]
+    fn transfer_time_matches_bandwidth() {
+        let m = DramChannelModel::from_gpu(&GpuSpec::titan_xp());
+        // 450 GB/s at 1.58 GHz = 284.8 B/clk; 284.8 bytes take 1 clk.
+        let bpc = 450.0 / 1.58;
+        assert!((m.transfer_clks(bpc) - 1.0).abs() < 1e-9);
+    }
+}

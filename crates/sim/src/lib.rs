@@ -1,0 +1,59 @@
+//! # delta-sim — trace-driven GPU memory-hierarchy simulator
+//!
+//! The DeLTA paper validates its analytical model against nvprof
+//! measurements of real GPUs. This crate is the reproduction's measurement
+//! substrate (DESIGN.md §2): it *executes* the implicit-GEMM convolution at
+//! the address level and measures what the memory system actually does,
+//! independently of the closed-form DeLTA equations:
+//!
+//! 1. [`trace`] generates the exact addresses a cuDNN-style
+//!    implicit-precomp-GEMM kernel touches — BCHW tensors, per-warp im2col
+//!    column loads, filter tile loads, padding predication (paper Fig. 5);
+//! 2. [`coalesce`] merges each warp's 32 references into L1 transactions
+//!    at the device's request granularity (128 B Pascal / 32 B Volta);
+//! 3. [`cache`] runs them through sectored, set-associative, LRU L1 (per
+//!    SM) and L2 (shared) models via [`hierarchy`];
+//! 4. [`sched`] replays CTAs in the column-wise, loop-lockstep order the
+//!    paper assumes for concurrent CTA batches (paper §IV-C);
+//! 5. [`timing`] accounts cycles for the software-pipelined main loop from
+//!    the *measured per-loop traffic* (which, unlike the model's uniform
+//!    average, varies across loops — the effect the paper cites as its
+//!    main source of underestimation, §VII-B);
+//! 6. [`dram`] provides the latency-vs-bandwidth queueing model behind the
+//!    paper's Fig. 18 microbenchmark.
+//!
+//! The entry point is [`Simulator`]:
+//!
+//! ```rust
+//! use delta_model::{ConvLayer, GpuSpec};
+//! use delta_sim::{SimConfig, Simulator};
+//!
+//! # fn main() -> Result<(), delta_model::Error> {
+//! let layer = ConvLayer::builder("demo")
+//!     .batch(2).input(16, 14, 14).output_channels(32)
+//!     .filter(3, 3).pad(1).build()?;
+//! let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+//! let m = sim.run(&layer);
+//! assert!(m.l1_bytes >= m.l2_bytes);
+//! assert!(m.l2_bytes >= m.dram_read_bytes);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod coalesce;
+pub mod dram;
+pub mod hierarchy;
+pub mod sched;
+pub mod sim;
+pub mod tensor;
+pub mod timing;
+pub mod trace;
+
+pub use dram::DramChannelModel;
+pub use hierarchy::MemoryHierarchy;
+pub use sim::{Measurement, SimConfig, Simulator};

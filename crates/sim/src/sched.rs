@@ -1,0 +1,149 @@
+//! Column-wise CTA scheduling (paper §IV-C, Fig. 8).
+//!
+//! The im2col GEMM's CTA grid is tall and skinny, so the paper assumes
+//! CTAs are scheduled column-major: all CTAs of tile column 0 first, then
+//! column 1, and so on, with consecutive CTAs assigned round-robin to SMs.
+//! Concurrently resident CTAs (a *CTA batch* of `num_sm × active_ctas`)
+//! run their main loops in lockstep, which is what gives filter data its
+//! short L2 reuse distance.
+
+use delta_model::tiling::LayerTiling;
+use delta_model::GpuSpec;
+
+/// One scheduled CTA: grid coordinates plus its SM assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledCta {
+    /// CTA-grid row.
+    pub row: u64,
+    /// CTA-grid column.
+    pub col: u64,
+    /// SM executing this CTA.
+    pub sm: u32,
+}
+
+/// Column-wise scheduler over a layer's CTA grid.
+#[derive(Debug, Clone)]
+pub struct ColumnScheduler {
+    rows: u64,
+    cols: u64,
+    num_sm: u32,
+    batch_size: u64,
+}
+
+impl ColumnScheduler {
+    /// Creates the schedule for `tiling` on `gpu` with `active_ctas`
+    /// concurrent CTAs per SM.
+    pub fn new(tiling: &LayerTiling, gpu: &GpuSpec, active_ctas: u32) -> ColumnScheduler {
+        ColumnScheduler {
+            rows: tiling.cta_rows(),
+            cols: tiling.cta_columns(),
+            num_sm: gpu.num_sm(),
+            batch_size: u64::from(gpu.num_sm()) * u64::from(active_ctas.max(1)),
+        }
+    }
+
+    /// Total CTAs.
+    pub fn total_ctas(&self) -> u64 {
+        self.rows * self.cols
+    }
+
+    /// CTAs that execute concurrently (one batch).
+    pub fn batch_size(&self) -> u64 {
+        self.batch_size
+    }
+
+    /// Number of batches needed to drain one tile column.
+    pub fn batches_per_column(&self) -> u64 {
+        self.rows.div_ceil(self.batch_size)
+    }
+
+    /// Number of tile columns.
+    pub fn columns(&self) -> u64 {
+        self.cols
+    }
+
+    /// The CTAs of batch `batch_idx` within tile column `col`, in launch
+    /// order. The final batch of a column may be short.
+    pub fn batch(&self, col: u64, batch_idx: u64) -> Vec<ScheduledCta> {
+        let start = batch_idx * self.batch_size;
+        let end = (start + self.batch_size).min(self.rows);
+        (start..end)
+            .map(|row| ScheduledCta {
+                row,
+                col,
+                sm: ((row - start) % u64::from(self.num_sm)) as u32,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_model::ConvLayer;
+
+    fn sched(m_rows: u32, co: u32, active: u32) -> ColumnScheduler {
+        // Construct a layer whose GEMM is m_rows*128 tall (1x1 conv over
+        // 128-wide features makes the math exact).
+        let l = ConvLayer::builder("s")
+            .batch(m_rows)
+            .input(8, 8, 16)
+            .output_channels(co)
+            .filter(1, 1)
+            .build()
+            .unwrap();
+        let t = LayerTiling::new(&l);
+        ColumnScheduler::new(&t, &GpuSpec::titan_xp(), active)
+    }
+
+    #[test]
+    fn batches_cover_all_ctas_exactly_once() {
+        let s = sched(10, 256, 2); // 10 rows of CTAs, 2 columns
+        let mut seen = Vec::new();
+        for col in 0..s.columns() {
+            for b in 0..s.batches_per_column() {
+                for cta in s.batch(col, b) {
+                    seen.push((cta.row, cta.col));
+                }
+            }
+        }
+        let total = s.total_ctas() as usize;
+        assert_eq!(seen.len(), total);
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), total, "no duplicates");
+    }
+
+    #[test]
+    fn column_major_order() {
+        let s = sched(10, 256, 1);
+        assert_eq!(s.columns(), 2);
+        let first = s.batch(0, 0);
+        assert!(first.iter().all(|c| c.col == 0), "column 0 drains first");
+    }
+
+    #[test]
+    fn round_robin_sm_assignment() {
+        let s = sched(100, 32, 2);
+        let b = s.batch(0, 0);
+        assert_eq!(b[0].sm, 0);
+        assert_eq!(b[1].sm, 1);
+        assert_eq!(b[29].sm, 29);
+        assert_eq!(b[30].sm, 0, "wraps after num_sm");
+    }
+
+    #[test]
+    fn batch_size_scales_with_occupancy() {
+        assert_eq!(sched(100, 32, 1).batch_size(), 30);
+        assert_eq!(sched(100, 32, 2).batch_size(), 60);
+        // Zero occupancy is clamped to 1.
+        assert_eq!(sched(100, 32, 0).batch_size(), 30);
+    }
+
+    #[test]
+    fn short_final_batch() {
+        let s = sched(10, 32, 1); // 10 CTA rows, batch 30
+        assert_eq!(s.batches_per_column(), 1);
+        assert_eq!(s.batch(0, 0).len(), 10);
+    }
+}

@@ -1,0 +1,528 @@
+//! The simulator front end: runs a conv layer through the traced memory
+//! hierarchy and reports measured traffic, miss rates, and cycles.
+//!
+//! Execution follows the paper's assumed schedule: CTA batches of
+//! `num_sm × active_ctas` CTAs drain each tile column in order, running
+//! their main loops in lockstep (§IV-C). For very tall CTA grids the
+//! simulator can sample a prefix of each column's batches and extrapolate
+//! the steady state — per-batch traffic within a column is stationary
+//! once the caches warm up — which keeps full-network sweeps tractable
+//! (DESIGN.md §2). `SimConfig { max_batches_per_column: None, .. }`
+//! disables sampling.
+
+use crate::coalesce::{self, Transaction};
+use crate::hierarchy::{MemoryHierarchy, TrafficDelta};
+use crate::sched::ColumnScheduler;
+use crate::tensor::TensorMap;
+use crate::timing::TimingEngine;
+use crate::trace::CtaTrace;
+use delta_model::tiling::LayerTiling;
+use delta_model::{ConvLayer, GpuSpec, BYTES_PER_ELEMENT, WARP_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// Simulation controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Simulate at most this many CTA batches per tile column and
+    /// extrapolate the rest from the steady state; `None` simulates every
+    /// CTA.
+    pub max_batches_per_column: Option<u64>,
+    /// Overrides the computed active-CTAs-per-SM occupancy.
+    pub active_ctas_override: Option<u32>,
+    /// Simulate the epilogue's OFmap stores (disable to skip the store
+    /// address generation when only read traffic matters).
+    pub simulate_stores: bool,
+    /// Simulate at most this many main-loop iterations per batch and
+    /// extrapolate the rest from the steady per-loop traffic (the K
+    /// dimension advances to fresh data each loop, so per-loop traffic is
+    /// stationary past warm-up); `None` simulates every loop.
+    pub max_loops_per_batch: Option<u64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_batches_per_column: Some(4),
+            active_ctas_override: None,
+            simulate_stores: true,
+            max_loops_per_batch: Some(32),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Full-fidelity configuration: no sampling.
+    pub fn exhaustive() -> SimConfig {
+        SimConfig {
+            max_batches_per_column: None,
+            max_loops_per_batch: None,
+            ..SimConfig::default()
+        }
+    }
+}
+
+/// Measured quantities for one layer, in the units the paper's figures
+/// use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// L1 traffic: requests × request size.
+    pub l1_bytes: f64,
+    /// L2 traffic: L1 sector misses × 32 B.
+    pub l2_bytes: f64,
+    /// DRAM read traffic: L2 sector misses × 32 B.
+    pub dram_read_bytes: f64,
+    /// DRAM write traffic (epilogue OFmap stores).
+    pub dram_write_bytes: f64,
+    /// Measured L1 sector miss rate (Fig. 4).
+    pub l1_miss_rate: f64,
+    /// Measured L2 sector miss rate (Fig. 4).
+    pub l2_miss_rate: f64,
+    /// Accounted execution cycles (busiest-path, core clocks).
+    pub cycles: f64,
+    /// Whether batch sampling/extrapolation was used.
+    pub sampled: bool,
+    /// CTAs actually traced.
+    pub simulated_ctas: u64,
+    /// CTAs in the full grid.
+    pub total_ctas: u64,
+    /// Active CTAs per SM used by the schedule.
+    pub active_ctas: u32,
+}
+
+impl Measurement {
+    /// Seconds at `gpu`'s clock.
+    pub fn seconds(&self, gpu: &GpuSpec) -> f64 {
+        gpu.clks_to_seconds(self.cycles)
+    }
+}
+
+/// Trace-driven simulator bound to one GPU description.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    gpu: GpuSpec,
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for `gpu`.
+    pub fn new(gpu: GpuSpec, config: SimConfig) -> Simulator {
+        Simulator { gpu, config }
+    }
+
+    /// The device being simulated.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// Runs `layer` through the memory hierarchy and returns the measured
+    /// traffic and cycles.
+    pub fn run(&self, layer: &ConvLayer) -> Measurement {
+        let tiling = LayerTiling::new(layer);
+        let tile = tiling.tile();
+        let active = self
+            .config
+            .active_ctas_override
+            .unwrap_or_else(|| tile.active_ctas_per_sm(&self.gpu))
+            .max(1);
+        let map = TensorMap::new(layer);
+        let sched = ColumnScheduler::new(&tiling, &self.gpu, active);
+        let mut hier = MemoryHierarchy::new(&self.gpu);
+        let mut timing = TimingEngine::new(&self.gpu, tile);
+        let loops = tiling.main_loops();
+
+        timing.charge_prologue(
+            f64::from(tile.blk_m() + tile.blk_n()) * f64::from(tile.blk_k())
+                * BYTES_PER_ELEMENT as f64,
+        );
+
+        let mut tx_buf: Vec<Transaction> = Vec::with_capacity(64);
+        let mut simulated_ctas = 0u64;
+        let mut extra = ExtrapolationAccumulator::default();
+        let mut loop_extrapolated = false;
+        let mut measured = MeasuredTotals::default();
+
+        for col in 0..sched.columns() {
+            let batches = sched.batches_per_column();
+            let sim_batches = self
+                .config
+                .max_batches_per_column
+                .map_or(batches, |m| batches.min(m.max(1)));
+            let mut batch_stats: Vec<BatchStats> = Vec::with_capacity(sim_batches as usize);
+
+            for b in 0..sim_batches {
+                let ctas = sched.batch(col, b);
+                simulated_ctas += ctas.len() as u64;
+                let mut traces: Vec<(CtaTrace, u32)> = ctas
+                    .iter()
+                    .map(|c| (CtaTrace::new(&map, tile, c.row, c.col), c.sm))
+                    .collect();
+
+                let mut stats = BatchStats::default();
+                let sim_loops = self
+                    .config
+                    .max_loops_per_batch
+                    .map_or(loops, |m| loops.min(m.max(2)));
+                let mut tail = TailAverager::default();
+                for loop_idx in 0..sim_loops {
+                    let mut loop_delta = TrafficDelta::default();
+                    for (trace, sm) in &mut traces {
+                        let sm = *sm as usize;
+                        trace.for_each_warp(loop_idx, |warp| {
+                            coalesce::coalesce_warp(warp, &mut tx_buf);
+                            loop_delta.add(hier.warp_load(sm, &tx_buf));
+                        });
+                    }
+                    let t = timing.charge_loop(loop_delta, ctas.len() as u64, active);
+                    stats.cycles += t;
+                    stats.traffic.add(loop_delta);
+                    if loop_idx >= sim_loops / 2 {
+                        tail.push(loop_delta, t);
+                    }
+                }
+                if sim_loops < loops {
+                    let (avg_delta, avg_t) = tail.average();
+                    let rem = (loops - sim_loops) as f64;
+                    stats.traffic.l1_bytes += (avg_delta.0 * rem) as u64;
+                    stats.traffic.l2_bytes += (avg_delta.1 * rem) as u64;
+                    stats.traffic.dram_bytes += (avg_delta.2 * rem) as u64;
+                    stats.cycles += avg_t * rem;
+                    timing.add_cycles(avg_t * rem);
+                    // The skipped loops would have streamed this much
+                    // unique data through L2; age it so later batches
+                    // and columns see realistic residency.
+                    hier.age_l2((avg_delta.1 * rem) as u64);
+                    loop_extrapolated = true;
+                }
+
+                if self.config.simulate_stores {
+                    let store_bytes = self.epilogue(&map, &tiling, &ctas, &mut hier, &mut tx_buf);
+                    stats.store_bytes = store_bytes;
+                    stats.cycles += timing.charge_epilogue(store_bytes);
+                }
+                batch_stats.push(stats);
+            }
+
+            if sim_batches < batches {
+                extra.extend(&batch_stats, batches - sim_batches);
+                // Age L2 by the skipped batches' unique-traffic volume so
+                // the next tile column starts from realistic residency.
+                let steady_l2: f64 = batch_stats
+                    .iter()
+                    .skip(1.min(batch_stats.len() - 1))
+                    .map(|b| b.traffic.l2_bytes as f64)
+                    .sum::<f64>()
+                    / batch_stats.len().max(1) as f64;
+                hier.age_l2((steady_l2 * (batches - sim_batches) as f64) as u64);
+            }
+            measured.extend(batch_stats.iter());
+        }
+
+        let l1s = hier.l1_stats();
+        let l2s = hier.l2_stats();
+        timing.add_cycles(extra.cycles);
+
+        Measurement {
+            l1_bytes: measured.l1_bytes + extra.traffic.l1_bytes,
+            l2_bytes: measured.l2_bytes + extra.traffic.l2_bytes,
+            dram_read_bytes: measured.dram_bytes + extra.traffic.dram_bytes,
+            dram_write_bytes: hier.dram_write_bytes() as f64 + extra.store_bytes,
+            l1_miss_rate: l1s.miss_rate(),
+            l2_miss_rate: l2s.miss_rate(),
+            cycles: timing.cycles(),
+            sampled: extra.used || loop_extrapolated,
+            simulated_ctas,
+            total_ctas: tiling.num_ctas(),
+            active_ctas: active,
+        }
+    }
+
+    /// Generates and issues one batch's epilogue stores; returns the byte
+    /// volume.
+    fn epilogue(
+        &self,
+        map: &TensorMap,
+        tiling: &LayerTiling,
+        ctas: &[crate::sched::ScheduledCta],
+        hier: &mut MemoryHierarchy,
+        tx_buf: &mut Vec<Transaction>,
+    ) -> u64 {
+        let tile = tiling.tile();
+        let mut warp = vec![None; WARP_SIZE as usize];
+        let mut bytes = 0u64;
+        for cta in ctas {
+            let m0 = cta.row * u64::from(tile.blk_m());
+            let n0 = cta.col * u64::from(tile.blk_n());
+            for mi in 0..u64::from(tile.blk_m()) {
+                let m = m0 + mi;
+                for n_chunk in (0..u64::from(tile.blk_n())).step_by(WARP_SIZE as usize) {
+                    for lane in 0..WARP_SIZE {
+                        warp[lane as usize] = map.ofmap_addr(m, n0 + n_chunk + lane);
+                    }
+                    coalesce::coalesce_warp(&warp, tx_buf);
+                    bytes += hier.warp_store(tx_buf);
+                }
+            }
+        }
+        bytes
+    }
+}
+
+/// Per-batch measured quantities (for steady-state extrapolation).
+#[derive(Debug, Clone, Copy, Default)]
+struct BatchStats {
+    traffic: TrafficDelta,
+    store_bytes: u64,
+    cycles: f64,
+}
+
+/// Sum of per-batch traffic (including loop-extrapolated bytes).
+#[derive(Debug, Default)]
+struct MeasuredTotals {
+    l1_bytes: f64,
+    l2_bytes: f64,
+    dram_bytes: f64,
+}
+
+impl MeasuredTotals {
+    fn extend<'a>(&mut self, batches: impl Iterator<Item = &'a BatchStats>) {
+        for b in batches {
+            self.l1_bytes += b.traffic.l1_bytes as f64;
+            self.l2_bytes += b.traffic.l2_bytes as f64;
+            self.dram_bytes += b.traffic.dram_bytes as f64;
+        }
+    }
+}
+
+/// Running average of the steady-state tail of a batch's loops.
+#[derive(Debug, Default)]
+struct TailAverager {
+    n: f64,
+    l1: f64,
+    l2: f64,
+    dram: f64,
+    cycles: f64,
+}
+
+impl TailAverager {
+    fn push(&mut self, d: TrafficDelta, t: f64) {
+        self.n += 1.0;
+        self.l1 += d.l1_bytes as f64;
+        self.l2 += d.l2_bytes as f64;
+        self.dram += d.dram_bytes as f64;
+        self.cycles += t;
+    }
+
+    fn average(&self) -> ((f64, f64, f64), f64) {
+        let n = self.n.max(1.0);
+        (
+            (self.l1 / n, self.l2 / n, self.dram / n),
+            self.cycles / n,
+        )
+    }
+}
+
+/// Accumulates the extrapolated contribution of unsimulated batches.
+#[derive(Debug, Default)]
+struct ExtrapolationAccumulator {
+    traffic: TrafficDeltaF,
+    store_bytes: f64,
+    cycles: f64,
+    used: bool,
+}
+
+#[derive(Debug, Default)]
+struct TrafficDeltaF {
+    l1_bytes: f64,
+    l2_bytes: f64,
+    dram_bytes: f64,
+}
+
+impl ExtrapolationAccumulator {
+    /// Extends totals by `remaining` batches of the steady state (the
+    /// mean of the simulated batches past warm-up).
+    fn extend(&mut self, simulated: &[BatchStats], remaining: u64) {
+        if simulated.is_empty() || remaining == 0 {
+            return;
+        }
+        // Skip the first (cold) batch when more are available.
+        let steady = if simulated.len() > 1 {
+            &simulated[1..]
+        } else {
+            simulated
+        };
+        let n = steady.len() as f64;
+        let r = remaining as f64;
+        self.traffic.l1_bytes +=
+            r * steady.iter().map(|b| b.traffic.l1_bytes as f64).sum::<f64>() / n;
+        self.traffic.l2_bytes +=
+            r * steady.iter().map(|b| b.traffic.l2_bytes as f64).sum::<f64>() / n;
+        self.traffic.dram_bytes +=
+            r * steady.iter().map(|b| b.traffic.dram_bytes as f64).sum::<f64>() / n;
+        self.store_bytes += r * steady.iter().map(|b| b.store_bytes as f64).sum::<f64>() / n;
+        self.cycles += r * steady.iter().map(|b| b.cycles).sum::<f64>() / n;
+        self.used = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_model::traffic::{self, l1::MliMode};
+
+    fn small_layer() -> ConvLayer {
+        ConvLayer::builder("small")
+            .batch(2)
+            .input(16, 14, 14)
+            .output_channels(64)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn traffic_funnels_down_the_hierarchy() {
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::exhaustive());
+        let m = sim.run(&small_layer());
+        assert!(m.l1_bytes > 0.0);
+        assert!(m.l1_bytes >= m.l2_bytes);
+        assert!(m.l2_bytes >= m.dram_read_bytes);
+        assert!(!m.sampled);
+        assert_eq!(m.simulated_ctas, m.total_ctas);
+    }
+
+    #[test]
+    fn dram_reads_at_least_compulsory_footprint() {
+        let l = small_layer();
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::exhaustive());
+        let m = sim.run(&l);
+        // Must read at least every useful input byte once (pads are not
+        // stored, so the unpadded footprint is the floor; sector rounding
+        // only adds).
+        let floor = (l.ifmap_bytes() + l.filter_bytes()) as f64;
+        assert!(
+            m.dram_read_bytes >= floor * 0.9,
+            "{} < {floor}",
+            m.dram_read_bytes
+        );
+    }
+
+    #[test]
+    fn ofmap_stores_measured_exactly() {
+        let l = small_layer();
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::exhaustive());
+        let m = sim.run(&l);
+        // Row-major OFmap stores with N=64: each warp's 32 contiguous
+        // elements stay within rows; volume = M*N*4 rounded to sectors.
+        let exact = l.ofmap_bytes() as f64;
+        assert!(m.dram_write_bytes >= exact);
+        assert!(m.dram_write_bytes <= exact * 1.3);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+        let a = sim.run(&small_layer());
+        let b = sim.run(&small_layer());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sampling_approximates_exhaustive() {
+        // A taller layer (98 CTA rows at 1 active CTA/SM) so sampling
+        // actually kicks in.
+        let l = ConvLayer::builder("tall")
+            .batch(64)
+            .input(16, 14, 14)
+            .output_channels(64)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap();
+        let full = Simulator::new(
+            GpuSpec::titan_xp(),
+            SimConfig {
+                max_batches_per_column: None,
+                active_ctas_override: Some(1),
+                simulate_stores: true,
+                max_loops_per_batch: None,
+            },
+        )
+        .run(&l);
+        let sampled = Simulator::new(
+            GpuSpec::titan_xp(),
+            SimConfig {
+                max_batches_per_column: Some(2),
+                active_ctas_override: Some(1),
+                simulate_stores: true,
+                max_loops_per_batch: None,
+            },
+        )
+        .run(&l);
+        assert!(sampled.sampled);
+        assert!(sampled.simulated_ctas < full.simulated_ctas);
+        for (a, b, what) in [
+            (sampled.l1_bytes, full.l1_bytes, "l1"),
+            (sampled.l2_bytes, full.l2_bytes, "l2"),
+            (sampled.dram_read_bytes, full.dram_read_bytes, "dram"),
+        ] {
+            let err = (a - b).abs() / b;
+            assert!(err < 0.25, "{what}: sampled {a} vs full {b} ({err:.2})");
+        }
+    }
+
+    #[test]
+    fn measured_l1_close_to_model_for_simple_layer() {
+        // The analytical L1 model and the simulator count the same
+        // quantity; for a clean stride-1 layer they should land within
+        // ~25% of each other.
+        let l = small_layer();
+        let gpu = GpuSpec::titan_xp();
+        let tiling = LayerTiling::new(&l);
+        let est = traffic::estimate(&l, &tiling, &gpu, MliMode::PaperProfiled);
+        let meas = Simulator::new(gpu, SimConfig::exhaustive()).run(&l);
+        let ratio = est.l1_bytes / meas.l1_bytes;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "model {} vs measured {} (ratio {ratio})",
+            est.l1_bytes,
+            meas.l1_bytes
+        );
+    }
+
+    #[test]
+    fn miss_rates_are_probabilities() {
+        let m = Simulator::new(GpuSpec::titan_xp(), SimConfig::default()).run(&small_layer());
+        assert!((0.0..=1.0).contains(&m.l1_miss_rate));
+        assert!((0.0..=1.0).contains(&m.l2_miss_rate));
+        assert!(m.cycles > 0.0);
+        assert!(m.seconds(&GpuSpec::titan_xp()) > 0.0);
+    }
+
+    #[test]
+    fn pointwise_layer_measures_higher_l1_miss_rate_than_3x3() {
+        // Fig. 4's spread: 1x1 layers reuse nothing inside a tile.
+        let gpu = GpuSpec::titan_xp();
+        let sim = Simulator::new(gpu, SimConfig::exhaustive());
+        let pw = ConvLayer::builder("pw")
+            .batch(2)
+            .input(64, 14, 14)
+            .output_channels(64)
+            .filter(1, 1)
+            .build()
+            .unwrap();
+        let mp = sim.run(&pw);
+        let m3 = sim.run(&small_layer());
+        assert!(
+            mp.l1_miss_rate > m3.l1_miss_rate,
+            "1x1 {} vs 3x3 {}",
+            mp.l1_miss_rate,
+            m3.l1_miss_rate
+        );
+    }
+}

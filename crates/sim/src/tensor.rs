@@ -1,0 +1,308 @@
+//! Byte-address layout of the convolution tensors.
+//!
+//! The paper uses the performance-efficient **BCHW** ordering (§IV):
+//! within the IFmap tensor, `w` is innermost, then `h`, then channel, then
+//! batch sample. Filters use the matching KCRS order, which makes each
+//! im2col filter-matrix column (one output channel's flattened filter)
+//! contiguous. Tensors are placed back-to-back in a flat address space;
+//! zero padding is *logical* (padded positions have no address — the
+//! kernel predicates those loads off, paper Fig. 5a).
+
+use delta_model::{ConvLayer, BYTES_PER_ELEMENT};
+
+/// Address map for one layer's IFmap / filter / OFmap tensors.
+#[derive(Debug, Clone)]
+pub struct TensorMap {
+    batch: u32,
+    ci: u32,
+    hi: u32,
+    wi: u32,
+    co: u32,
+    hf: u32,
+    wf: u32,
+    stride: u32,
+    pad: i64,
+    ho: u32,
+    wo: u32,
+    gemm_k: u64,
+    ifmap_base: u64,
+    filter_base: u64,
+    ofmap_base: u64,
+    end: u64,
+}
+
+impl TensorMap {
+    /// Builds the address map for `layer`, placing IFmap, filter, and
+    /// OFmap consecutively from address 0.
+    pub fn new(layer: &ConvLayer) -> TensorMap {
+        let ifmap_base = 0u64;
+        let filter_base = ifmap_base + layer.ifmap_bytes();
+        let ofmap_base = filter_base + layer.filter_bytes();
+        let end = ofmap_base + layer.ofmap_bytes();
+        TensorMap {
+            batch: layer.batch(),
+            ci: layer.in_channels(),
+            hi: layer.in_height(),
+            wi: layer.in_width(),
+            co: layer.out_channels(),
+            hf: layer.filter_height(),
+            wf: layer.filter_width(),
+            stride: layer.stride(),
+            pad: i64::from(layer.pad()),
+            ho: layer.out_height(),
+            wo: layer.out_width(),
+            gemm_k: layer.gemm_k(),
+            ifmap_base,
+            filter_base,
+            ofmap_base,
+            end,
+        }
+    }
+
+    /// One past the last mapped byte.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Base address of the filter tensor.
+    pub fn filter_base(&self) -> u64 {
+        self.filter_base
+    }
+
+    /// Base address of the OFmap tensor.
+    pub fn ofmap_base(&self) -> u64 {
+        self.ofmap_base
+    }
+
+    /// The GEMM reduction depth `K = Ci × Hf × Wf`.
+    pub fn gemm_k(&self) -> u64 {
+        self.gemm_k
+    }
+
+    /// Decodes GEMM row `m` into `(sample, out_y, out_x)`.
+    #[inline]
+    pub fn decode_row(&self, m: u64) -> (u32, u32, u32) {
+        let per_sample = u64::from(self.ho) * u64::from(self.wo);
+        let b = (m / per_sample) as u32;
+        let r = m % per_sample;
+        let oy = (r / u64::from(self.wo)) as u32;
+        let ox = (r % u64::from(self.wo)) as u32;
+        (b, oy, ox)
+    }
+
+    /// Decodes GEMM reduction index `k` into `(channel, filter_y,
+    /// filter_x)`.
+    #[inline]
+    pub fn decode_k(&self, k: u64) -> (u32, u32, u32) {
+        let per_channel = u64::from(self.hf) * u64::from(self.wf);
+        let c = (k / per_channel) as u32;
+        let r = k % per_channel;
+        let fy = (r / u64::from(self.wf)) as u32;
+        let fx = (r % u64::from(self.wf)) as u32;
+        (c, fy, fx)
+    }
+
+    /// Address of the IFmap element GEMM cell `(m, k)` reads, or `None`
+    /// when the access falls in the zero-padded border (predicated off).
+    #[inline]
+    pub fn im2col_addr(&self, m: u64, k: u64) -> Option<u64> {
+        let (b, oy, ox) = self.decode_row(m);
+        let (c, fy, fx) = self.decode_k(k);
+        let iy = i64::from(oy) * i64::from(self.stride) + i64::from(fy) - self.pad;
+        let ix = i64::from(ox) * i64::from(self.stride) + i64::from(fx) - self.pad;
+        self.ifmap_addr_checked(b, c, iy, ix)
+    }
+
+    /// Address of IFmap element `(b, c, iy, ix)` with bounds/padding
+    /// checks.
+    #[inline]
+    pub fn ifmap_addr_checked(&self, b: u32, c: u32, iy: i64, ix: i64) -> Option<u64> {
+        if iy < 0 || ix < 0 || iy >= i64::from(self.hi) || ix >= i64::from(self.wi) {
+            return None;
+        }
+        let idx = ((u64::from(b) * u64::from(self.ci) + u64::from(c)) * u64::from(self.hi)
+            + iy as u64)
+            * u64::from(self.wi)
+            + ix as u64;
+        Some(self.ifmap_base + idx * BYTES_PER_ELEMENT)
+    }
+
+    /// Address of filter-matrix cell `(k, n)`: output channel `n`'s weight
+    /// at flattened reduction index `k` (KCRS layout keeps each column
+    /// contiguous). `None` when `n` exceeds the output-channel count
+    /// (edge CTA tiles).
+    #[inline]
+    pub fn filter_addr(&self, k: u64, n: u64) -> Option<u64> {
+        if n >= u64::from(self.co) || k >= self.gemm_k {
+            return None;
+        }
+        Some(self.filter_base + (n * self.gemm_k + k) * BYTES_PER_ELEMENT)
+    }
+
+    /// Address of OFmap cell `(m, n)` (the epilogue's store target), or
+    /// `None` outside the matrix.
+    #[inline]
+    pub fn ofmap_addr(&self, m: u64, n: u64) -> Option<u64> {
+        if n >= u64::from(self.co) || m >= u64::from(self.batch) * u64::from(self.ho) * u64::from(self.wo)
+        {
+            return None;
+        }
+        Some(self.ofmap_base + (m * u64::from(self.co) + n) * BYTES_PER_ELEMENT)
+    }
+
+    /// Number of GEMM rows `M`.
+    pub fn gemm_m(&self) -> u64 {
+        u64::from(self.batch) * u64::from(self.ho) * u64::from(self.wo)
+    }
+
+    /// Number of GEMM columns `N`.
+    pub fn gemm_n(&self) -> u64 {
+        u64::from(self.co)
+    }
+
+    /// Scalar dimensions for the trace generator's hot loop.
+    pub(crate) fn layer_dims(&self) -> crate::trace::LayerDims {
+        crate::trace::LayerDims {
+            hi: u64::from(self.hi),
+            wi: u64::from(self.wi),
+            ci_hw: u64::from(self.ci) * u64::from(self.hi) * u64::from(self.wi),
+            hf: self.hf,
+            wf: self.wf,
+            stride: i64::from(self.stride),
+            pad: self.pad,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_model::ConvLayer;
+
+    fn fig5_layer() -> ConvLayer {
+        // The paper's running example: 4x4 IFmap, pad 1, 3x3 filter,
+        // stride 1 (Fig. 5a numbers the 6x6 padded grid 0..35; the
+        // *physical* tensor is the 4x4 interior).
+        ConvLayer::builder("fig5")
+            .batch(1)
+            .input(1, 4, 4)
+            .output_channels(4)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn tensors_are_consecutive() {
+        let l = fig5_layer();
+        let t = TensorMap::new(&l);
+        assert_eq!(t.filter_base(), l.ifmap_bytes());
+        assert_eq!(t.ofmap_base(), l.ifmap_bytes() + l.filter_bytes());
+        assert_eq!(t.end(), l.footprint_bytes());
+    }
+
+    #[test]
+    fn padding_positions_have_no_address() {
+        let t = TensorMap::new(&fig5_layer());
+        // Output (0,0) with filter element (0,0) reads padded (-1,-1).
+        assert_eq!(t.im2col_addr(0, 0), None);
+        // Output (0,0) with filter element (1,1) reads IFmap (0,0).
+        assert_eq!(t.im2col_addr(0, 4), Some(0));
+        // Output (0,0) with filter element (2,2) reads IFmap (1,1) = elem 5.
+        assert_eq!(t.im2col_addr(0, 8), Some(5 * 4));
+    }
+
+    #[test]
+    fn im2col_column_walks_rows() {
+        // For the center filter element (k=4) the im2col column visits the
+        // IFmap row-major: m=0..16 -> elements 0..16.
+        let t = TensorMap::new(&fig5_layer());
+        for m in 0..16u64 {
+            assert_eq!(t.im2col_addr(m, 4), Some(m * 4));
+        }
+    }
+
+    #[test]
+    fn stride_skips_input_rows() {
+        let l = ConvLayer::builder("s2")
+            .batch(1)
+            .input(1, 8, 8)
+            .output_channels(1)
+            .filter(1, 1)
+            .stride(2)
+            .build()
+            .unwrap();
+        let t = TensorMap::new(&l);
+        // Outputs sample every other input column/row.
+        assert_eq!(t.im2col_addr(0, 0), Some(0));
+        assert_eq!(t.im2col_addr(1, 0), Some(2 * 4));
+        assert_eq!(t.im2col_addr(4, 0), Some(16 * 4)); // next output row -> input row 2
+    }
+
+    #[test]
+    fn filter_columns_contiguous_in_k() {
+        let l = fig5_layer();
+        let t = TensorMap::new(&l);
+        let base = t.filter_base();
+        assert_eq!(t.filter_addr(0, 0), Some(base));
+        assert_eq!(t.filter_addr(1, 0), Some(base + 4));
+        // Next output channel jumps a whole K stride.
+        assert_eq!(t.filter_addr(0, 1), Some(base + 9 * 4));
+        assert_eq!(t.filter_addr(0, 4), None, "beyond Co");
+        assert_eq!(t.filter_addr(9, 0), None, "beyond K");
+    }
+
+    #[test]
+    fn batch_samples_are_channel_major() {
+        let l = ConvLayer::builder("b")
+            .batch(2)
+            .input(3, 4, 4)
+            .output_channels(4)
+            .filter(1, 1)
+            .build()
+            .unwrap();
+        let t = TensorMap::new(&l);
+        let per_sample = 3 * 4 * 4 * 4u64; // bytes
+        // m=16 is sample 1's first output.
+        assert_eq!(t.im2col_addr(16, 0), Some(per_sample));
+        // k=1 is channel 1.
+        assert_eq!(t.im2col_addr(0, 1), Some(4 * 4 * 4));
+    }
+
+    #[test]
+    fn ofmap_addresses_row_major_over_n() {
+        let l = fig5_layer();
+        let t = TensorMap::new(&l);
+        let base = t.ofmap_base();
+        assert_eq!(t.ofmap_addr(0, 0), Some(base));
+        assert_eq!(t.ofmap_addr(0, 1), Some(base + 4));
+        assert_eq!(t.ofmap_addr(1, 0), Some(base + 4 * 4));
+        assert_eq!(t.ofmap_addr(16, 0), None);
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        let l = ConvLayer::builder("d")
+            .batch(3)
+            .input(5, 9, 7)
+            .output_channels(2)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap();
+        let t = TensorMap::new(&l);
+        let (ho, wo) = (l.out_height() as u64, l.out_width() as u64);
+        for m in [0, 1, wo, ho * wo, 3 * ho * wo - 1] {
+            let (b, oy, ox) = t.decode_row(m);
+            assert_eq!(
+                u64::from(b) * ho * wo + u64::from(oy) * wo + u64::from(ox),
+                m
+            );
+        }
+        for k in [0, 1, 8, 9, 44] {
+            let (c, fy, fx) = t.decode_k(k);
+            assert_eq!(u64::from(c) * 9 + u64::from(fy) * 3 + u64::from(fx), k);
+        }
+    }
+}

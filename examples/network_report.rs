@@ -1,0 +1,64 @@
+//! Whole-network analysis: per-layer traffic, time, and bottleneck for
+//! one of the paper's CNNs on any of the three GPUs, plus a comparison
+//! against the trace-driven simulator for one chosen layer.
+//!
+//! ```sh
+//! cargo run --release -p delta-bench --example network_report -- GoogLeNet v100
+//! ```
+
+use delta_model::{Delta, GpuSpec};
+use delta_sim::{SimConfig, Simulator};
+
+fn main() -> Result<(), delta_model::Error> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let net_name = args.first().map(String::as_str).unwrap_or("GoogLeNet");
+    let gpu = match args.get(1).map(String::as_str) {
+        Some("p100") => GpuSpec::p100(),
+        Some("v100") => GpuSpec::v100(),
+        _ => GpuSpec::titan_xp(),
+    };
+
+    let batch = 32;
+    let net = delta_networks::paper_networks(batch)?
+        .into_iter()
+        .find(|n| n.name().eq_ignore_ascii_case(net_name))
+        .unwrap_or_else(|| {
+            eprintln!("unknown network `{net_name}`, using GoogLeNet");
+            delta_networks::googlenet(batch).expect("builtin network")
+        });
+
+    println!("{net} on {gpu}\n");
+    let delta = Delta::new(gpu.clone());
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "layer", "L1 GB", "L2 GB", "DRAM GB", "ms", "bottleneck"
+    );
+    let mut total_ms = 0.0;
+    for report in delta.analyze_network(net.layers())? {
+        total_ms += report.perf.millis();
+        println!(
+            "{:<14} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>10}",
+            report.layer.label(),
+            report.traffic.l1_bytes / 1e9,
+            report.traffic.l2_bytes / 1e9,
+            report.traffic.dram_bytes / 1e9,
+            report.perf.millis(),
+            report.perf.bottleneck
+        );
+    }
+    println!("{:<14} {:>39.3} ms total (model)", "", total_ms);
+
+    // Cross-check the first layer against the simulator.
+    let layer = &net.layers()[0];
+    let sim = Simulator::new(gpu, SimConfig::default());
+    let measured = sim.run(layer);
+    let modeled = delta.estimate_traffic(layer)?;
+    println!(
+        "\nsimulator cross-check on `{}`: model/measured L1 {:.2}, L2 {:.2}, DRAM {:.2}",
+        layer.label(),
+        modeled.l1_bytes / measured.l1_bytes,
+        modeled.l2_bytes / measured.l2_bytes,
+        modeled.dram_bytes / measured.dram_read_bytes,
+    );
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Quickstart: analyze one convolution layer on a TITAN Xp.
+//!
+//! ```sh
+//! cargo run --release -p delta-bench --example quickstart
+//! ```
+
+use delta_model::{ConvLayer, Delta, GpuSpec};
+
+fn main() -> Result<(), delta_model::Error> {
+    // VGG16's conv4_2-style layer: 512 channels in and out, 28x28
+    // features, 3x3 filters, mini-batch 256 — a bread-and-butter training
+    // workload.
+    let layer = ConvLayer::builder("vgg_conv4_2")
+        .batch(256)
+        .input(512, 28, 28)
+        .output_channels(512)
+        .filter(3, 3)
+        .stride(1)
+        .pad(1)
+        .build()?;
+
+    let delta = Delta::new(GpuSpec::titan_xp());
+    let report = delta.analyze(&layer)?;
+
+    // The full report pretty-prints every headline quantity…
+    println!("{report}\n");
+
+    // …and the pieces are programmatically accessible:
+    println!("GEMM        : {} x {} x {}", layer.gemm_m(), layer.gemm_n(), layer.gemm_k());
+    println!("CTA tile    : {}", report.tiling.tile());
+    println!("L1 traffic  : {:>9.3} GB (MLI_IFmap {:.2})",
+        report.traffic.l1_bytes / 1e9, report.traffic.mli_ifmap);
+    println!("L2 traffic  : {:>9.3} GB", report.traffic.l2_bytes / 1e9);
+    println!("DRAM traffic: {:>9.3} GB", report.traffic.dram_bytes / 1e9);
+    println!("exec time   : {:>9.3} ms", report.perf.millis());
+    println!("bottleneck  : {}", report.perf.bottleneck);
+    println!("achieved    : {:>9.0} GFLOP/s of {:.0} peak",
+        report.achieved_gflops(), delta.gpu().mac_gflops());
+    Ok(())
+}

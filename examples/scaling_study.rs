@@ -1,0 +1,70 @@
+//! Design-space exploration: what should the next GPU scale to run
+//! ResNet152 faster? Reproduces the §VII-C methodology on a custom set of
+//! design options, showing how DeLTA exposes the bottleneck shift as
+//! resources grow.
+//!
+//! ```sh
+//! cargo run --release -p delta-bench --example scaling_study
+//! ```
+
+use delta_model::{Bottleneck, Delta, DesignOption, GpuSpec};
+
+fn resnet_time(delta: &Delta) -> Result<(f64, Vec<(Bottleneck, usize)>), delta_model::Error> {
+    let net = delta_networks::resnet152_full(256)?;
+    let mut total = 0.0;
+    let mut counts: Vec<(Bottleneck, usize)> =
+        Bottleneck::ALL.iter().map(|b| (*b, 0usize)).collect();
+    for layer in net.layers() {
+        let p = delta.estimate_performance(layer)?;
+        total += p.seconds;
+        if let Some(c) = counts.iter_mut().find(|(b, _)| *b == p.bottleneck) {
+            c.1 += 1;
+        }
+    }
+    Ok((total, counts))
+}
+
+fn main() -> Result<(), delta_model::Error> {
+    let base = GpuSpec::titan_xp();
+    let (t0, _) = resnet_time(&Delta::new(base.clone()))?;
+    println!("baseline {}: ResNet152 forward {:.1} ms\n", base.name(), t0 * 1e3);
+
+    println!(
+        "{:<8} {:>8} {:>9}   dominant bottlenecks",
+        "option", "speedup", "rel.cost"
+    );
+    // The paper's nine options, plus one custom probe: what if we only
+    // tripled DRAM bandwidth?
+    let mut options = DesignOption::paper_options();
+    let mut dram_only = DesignOption::baseline();
+    dram_only.name = "dram3x".into();
+    dram_only.dram_bw_x = 3.0;
+    options.push(dram_only);
+
+    for opt in options {
+        let delta = opt.model(&base)?;
+        let (t, counts) = resnet_time(&delta)?;
+        let mut top: Vec<(Bottleneck, usize)> =
+            counts.into_iter().filter(|(_, n)| *n > 0).collect();
+        top.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
+        let desc: Vec<String> = top
+            .iter()
+            .take(3)
+            .map(|(b, n)| format!("{b}:{n}"))
+            .collect();
+        println!(
+            "{:<8} {:>7.2}x {:>9.2}   {}",
+            opt.name,
+            t0 / t,
+            opt.relative_cost(),
+            desc.join("  ")
+        );
+    }
+    println!(
+        "\nReading: MAC-only scaling (options 3-4) stalls on memory; the\n\
+         balanced options (5-6) match 4x-SM scaling at far lower cost; the\n\
+         256-wide GEMM tiles (7-9) unlock the highest throughput, and\n\
+         adding DRAM bandwidth (9) beats adding SMs (8)."
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Sensitivity exploration: how the modeled traffic responds as one
+//! convolution parameter sweeps, and where the CTA-tile staircase of
+//! Fig. 6 bites. Model-only, so it runs in milliseconds.
+//!
+//! ```sh
+//! cargo run --release -p delta-bench --example sensitivity
+//! ```
+
+use delta_model::sweep;
+use delta_model::tiling::LayerTiling;
+use delta_model::{Delta, GpuSpec};
+
+fn main() -> Result<(), delta_model::Error> {
+    let delta = Delta::new(GpuSpec::titan_xp());
+
+    println!("Output-channel sweep over the appendix's base layer");
+    println!(
+        "{:>5} {:>7} {:>10} {:>10} {:>10} {:>10}",
+        "Co", "tile_n", "L1 GB", "L2 GB", "DRAM GB", "ms"
+    );
+    for layer in sweep::sweep_out_channels((16..=256).step_by(16))? {
+        let r = delta.analyze(&layer)?;
+        println!(
+            "{:>5} {:>7} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            layer.out_channels(),
+            LayerTiling::new(&layer).tile().blk_n(),
+            r.traffic.l1_bytes / 1e9,
+            r.traffic.l2_bytes / 1e9,
+            r.traffic.dram_bytes / 1e9,
+            r.perf.millis()
+        );
+    }
+
+    println!("\nFeature-size sweep (small IFmaps stress the L1 coalescer)");
+    println!("{:>5} {:>12} {:>10} {:>12}", "HxW", "MLI_IFmap", "DRAM GB", "bottleneck");
+    for layer in sweep::sweep_feature_size([8, 12, 16, 24, 36, 52, 76, 92])? {
+        let r = delta.analyze(&layer)?;
+        println!(
+            "{:>5} {:>12.2} {:>10.3} {:>12}",
+            layer.in_height(),
+            r.traffic.mli_ifmap,
+            r.traffic.dram_bytes / 1e9,
+            r.perf.bottleneck
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Training-step budgeting: the backward-pass extension in action.
+//! Estimates forward, data-gradient, and weight-gradient time for every
+//! layer of a CNN and shows where a training iteration's time goes —
+//! the question the paper's intro poses about compute/memory balance
+//! for *training*.
+//!
+//! ```sh
+//! cargo run --release -p delta-bench --example training_step -- vgg16 v100
+//! ```
+
+use delta_model::training::{self, TrainingEstimate};
+use delta_model::{Bottleneck, Delta, GpuSpec};
+
+fn main() -> Result<(), delta_model::Error> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let net_name = args.first().map(String::as_str).unwrap_or("vgg16");
+    let gpu = match args.get(1).map(String::as_str) {
+        Some("p100") => GpuSpec::p100(),
+        Some("v100") => GpuSpec::v100(),
+        _ => GpuSpec::titan_xp(),
+    };
+    let net = delta_networks::paper_networks(64)?
+        .into_iter()
+        .find(|n| n.name().eq_ignore_ascii_case(net_name))
+        .unwrap_or_else(|| delta_networks::vgg16(64).expect("builtin network"));
+
+    let delta = Delta::new(gpu.clone());
+    let steps = training::training_step(&delta, net.layers())?;
+
+    println!("{net} — one training step on {}\n", gpu.name());
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9}  bottlenecks (fwd/dgrad/wgrad)",
+        "layer", "fwd ms", "dgrad ms", "wgrad ms", "step ms"
+    );
+    let fmt_b = |b: Option<Bottleneck>| b.map_or("-".to_string(), |x| x.to_string());
+    let mut total = 0.0;
+    for s in &steps {
+        total += s.seconds();
+        println!(
+            "{:<12} {:>9.3} {:>9.3} {:>9.3} {:>9.3}  {}/{}/{}",
+            s.forward.layer.label(),
+            s.forward.perf.millis(),
+            s.dgrad.as_ref().map_or(0.0, |d| d.perf.millis()),
+            s.wgrad.perf.millis(),
+            s.seconds() * 1e3,
+            s.forward.perf.bottleneck,
+            fmt_b(s.dgrad.as_ref().map(|d| d.perf.bottleneck)),
+            s.wgrad.perf.bottleneck,
+        );
+    }
+    let fwd: f64 = steps.iter().map(|s| s.forward.perf.seconds).sum();
+    println!(
+        "\nstep total {:.2} ms — forward {:.2} ms, backward {:.2} ms ({:.2}x forward)",
+        total * 1e3,
+        fwd * 1e3,
+        (total - fwd) * 1e3,
+        (total - fwd) / fwd
+    );
+
+    // Where does the *traffic* go? Sum DRAM bytes per pass.
+    let sum = |f: &dyn Fn(&TrainingEstimate) -> f64| -> f64 { steps.iter().map(f).sum() };
+    let fwd_b = sum(&|s| s.forward.traffic.dram_bytes);
+    let dg_b = sum(&|s| s.dgrad.as_ref().map_or(0.0, |d| d.traffic.dram_bytes));
+    let wg_b = sum(&|s| s.wgrad.traffic.dram_bytes);
+    println!(
+        "DRAM reads: forward {:.2} GB, dgrad {:.2} GB, wgrad {:.2} GB",
+        fwd_b / 1e9,
+        dg_b / 1e9,
+        wg_b / 1e9
+    );
+    Ok(())
+}

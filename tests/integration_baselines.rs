@@ -1,0 +1,85 @@
+//! Cross-crate checks of the prior-work baselines against both DeLTA and
+//! the simulator: the Fig. 12 / Fig. 15b orderings.
+
+use delta_baselines::{FixedMissRateModel, ThroughputRoofline};
+use delta_model::{Delta, GpuSpec};
+use delta_networks::googlenet;
+use delta_sim::{SimConfig, Simulator};
+
+#[test]
+fn traffic_ordering_prior_ge_delta_and_both_bracket_measured() {
+    let gpu = GpuSpec::titan_xp();
+    let delta = Delta::new(gpu.clone());
+    let prior = FixedMissRateModel::prior_methodology(gpu.clone());
+    let sim = Simulator::new(gpu, SimConfig::default());
+    let net = googlenet(8).unwrap();
+    for label in ["3a_3x3", "3a_5x5", "4b_1x1"] {
+        let layer = net.layer(label).unwrap();
+        let d = delta.estimate_traffic(layer).unwrap();
+        let p = prior.estimate_traffic(layer);
+        let m = sim.run(layer);
+        // Prior (100% miss) can never be below DeLTA's DRAM estimate.
+        assert!(p.dram_bytes >= d.dram_bytes, "{label}");
+        // And the measured value sits far below the prior methodology
+        // for reuse-heavy filters.
+        if !layer.is_pointwise() {
+            assert!(
+                p.dram_bytes > 5.0 * m.dram_read_bytes,
+                "{label}: prior {:.3e} measured {:.3e}",
+                p.dram_bytes,
+                m.dram_read_bytes
+            );
+        }
+    }
+}
+
+#[test]
+fn delta_time_beats_all_fixed_mr_models_against_measurement() {
+    let gpu = GpuSpec::titan_xp();
+    let delta = Delta::new(gpu.clone());
+    let sim = Simulator::new(gpu.clone(), SimConfig::default());
+    let net = googlenet(8).unwrap();
+    let layers: Vec<_> = ["conv2_3x3", "3a_3x3", "4e_3x3"]
+        .iter()
+        .map(|l| net.layer(l).unwrap())
+        .collect();
+
+    let gmae = |ratios: &[f64]| -> f64 {
+        (ratios.iter().map(|r| r.ln().abs()).sum::<f64>() / ratios.len() as f64).exp() - 1.0
+    };
+    let measured: Vec<f64> = layers.iter().map(|l| sim.run(l).cycles).collect();
+    let delta_err = gmae(
+        &layers
+            .iter()
+            .zip(&measured)
+            .map(|(l, m)| delta.estimate_performance(l).unwrap().cycles / m)
+            .collect::<Vec<_>>(),
+    );
+    for mr in FixedMissRateModel::fig15_sweep(&gpu) {
+        let err = gmae(
+            &layers
+                .iter()
+                .zip(&measured)
+                .map(|(l, m)| mr.estimate_performance(l).cycles / m)
+                .collect::<Vec<_>>(),
+        );
+        assert!(
+            delta_err <= err * 1.2,
+            "DeLTA GMAE {delta_err:.3} vs MR{:.1} GMAE {err:.3}",
+            mr.miss_rate()
+        );
+    }
+}
+
+#[test]
+fn roofline_brackets_delta_from_below() {
+    let gpu = GpuSpec::titan_xp();
+    let delta = Delta::new(gpu.clone());
+    let roof = ThroughputRoofline::new(gpu);
+    let net = googlenet(32).unwrap();
+    for layer in net.layers() {
+        let r = roof.estimate_performance(layer).seconds;
+        let d = delta.estimate_performance(layer).unwrap().seconds;
+        assert!(r <= d * 1.01, "{}: roofline {r} > delta {d}", layer.label());
+    }
+}

@@ -1,0 +1,85 @@
+//! Cross-crate checks of the §VII-C scaling study through the public API
+//! (a smaller, faster variant of the full Fig. 16 harness).
+
+use delta_model::{Bottleneck, Delta, DesignOption, GpuSpec};
+use delta_networks::resnet152;
+
+fn total_seconds(delta: &Delta) -> f64 {
+    resnet152(64)
+        .unwrap()
+        .layers()
+        .iter()
+        .map(|l| delta.estimate_performance(l).unwrap().seconds)
+        .sum()
+}
+
+#[test]
+fn conventional_sm_scaling_yields_sublinear_speedup() {
+    // Option 2: 4x SMs + 2x memory BW -> the paper predicts 3.4x, not 4x.
+    let base = GpuSpec::titan_xp();
+    let t0 = total_seconds(&Delta::new(base.clone()));
+    let opt2 = &DesignOption::paper_options()[1];
+    let t = total_seconds(&opt2.model(&base).unwrap());
+    let speedup = t0 / t;
+    assert!(
+        (2.0..4.0).contains(&speedup),
+        "4x SMs should give sublinear 2-4x, got {speedup:.2}"
+    );
+}
+
+#[test]
+fn mac_only_scaling_hits_the_memory_wall() {
+    // Options 3-4 (2x/4x MAC only): the paper predicts headroom capped
+    // near 2x.
+    let base = GpuSpec::titan_xp();
+    let t0 = total_seconds(&Delta::new(base.clone()));
+    let opts = DesignOption::paper_options();
+    let s3 = t0 / total_seconds(&opts[2].model(&base).unwrap());
+    let s4 = t0 / total_seconds(&opts[3].model(&base).unwrap());
+    assert!(s3 > 1.2 && s3 < 2.6, "option 3: {s3:.2}");
+    assert!(s4 < s3 * 2.0, "doubling MACs again barely helps: {s4:.2} vs {s3:.2}");
+}
+
+#[test]
+fn balanced_scaling_beats_mac_only_at_same_mac_budget() {
+    // Option 5 has the same 4x MAC as option 4 plus rebalanced memory;
+    // it must be strictly faster.
+    let base = GpuSpec::titan_xp();
+    let opts = DesignOption::paper_options();
+    let t4 = total_seconds(&opts[3].model(&base).unwrap());
+    let t5 = total_seconds(&opts[4].model(&base).unwrap());
+    assert!(t5 < t4, "balanced {t5} vs MAC-only {t4}");
+}
+
+#[test]
+fn bottlenecks_shift_from_mac_to_memory_as_macs_scale() {
+    let base = GpuSpec::titan_xp();
+    let count_mac = |delta: &Delta| -> usize {
+        resnet152(64)
+            .unwrap()
+            .layers()
+            .iter()
+            .filter(|l| {
+                delta.estimate_performance(l).unwrap().bottleneck == Bottleneck::MacBw
+            })
+            .count()
+    };
+    let base_mac = count_mac(&Delta::new(base.clone()));
+    let opt4 = &DesignOption::paper_options()[3];
+    let scaled_mac = count_mac(&opt4.model(&base).unwrap());
+    assert!(
+        scaled_mac < base_mac,
+        "4x MACs: {scaled_mac} MAC-bound layers vs baseline {base_mac}"
+    );
+}
+
+#[test]
+fn option_applies_compose_with_custom_bases() {
+    // Design options are multiplicative, so they apply to any base GPU.
+    let opt = &DesignOption::paper_options()[0];
+    for base in GpuSpec::paper_devices() {
+        let g = opt.apply(&base).unwrap();
+        assert_eq!(g.num_sm(), base.num_sm() * 2);
+        assert!((g.dram_bw_gbps() - base.dram_bw_gbps() * 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests (proptest) over randomly drawn convolution
+//! configurations: model invariants that must hold for *every* valid
+//! layer, and simulator conservation laws on small instances.
+
+use delta_model::tiling::{CtaTile, LayerTiling};
+use delta_model::traffic::{self, l1::MliMode};
+use delta_model::{ConvLayer, Delta, GpuSpec};
+use delta_sim::{SimConfig, Simulator};
+use proptest::prelude::*;
+
+/// A random but valid conv layer within model-scale bounds.
+fn arb_layer() -> impl Strategy<Value = ConvLayer> {
+    (
+        1u32..=8,     // batch
+        1u32..=256,   // ci
+        3u32..=64,    // hw
+        1u32..=256,   // co
+        prop_oneof![Just(1u32), Just(3), Just(5), Just(7), Just(11)],
+        1u32..=4,     // stride
+        0u32..=3,     // pad
+    )
+        .prop_filter_map("filter must fit padded input", |(b, ci, hw, co, f, s, p)| {
+            ConvLayer::builder("prop")
+                .batch(b)
+                .input(ci, hw, hw)
+                .output_channels(co)
+                .filter(f, f)
+                .stride(s)
+                .pad(p)
+                .build()
+                .ok()
+        })
+}
+
+/// A *small* random layer the full trace simulation can afford.
+fn arb_small_layer() -> impl Strategy<Value = ConvLayer> {
+    (
+        1u32..=2,
+        1u32..=16,
+        4u32..=16,
+        1u32..=48,
+        prop_oneof![Just(1u32), Just(3), Just(5)],
+        1u32..=2,
+        0u32..=2,
+    )
+        .prop_filter_map("filter must fit padded input", |(b, ci, hw, co, f, s, p)| {
+            ConvLayer::builder("prop-small")
+                .batch(b)
+                .input(ci, hw, hw)
+                .output_channels(co)
+                .filter(f, f)
+                .stride(s)
+                .pad(p)
+                .build()
+                .ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mli_is_at_least_one(layer in arb_layer()) {
+        for req in [32u32, 128] {
+            prop_assert!(traffic::l1::mli_ifmap(&layer, req) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn traffic_estimates_are_positive_and_finite(layer in arb_layer()) {
+        let gpu = GpuSpec::titan_xp();
+        let t = traffic::estimate(&layer, &LayerTiling::new(&layer), &gpu, MliMode::PaperProfiled);
+        for v in [t.l1_bytes, t.l2_bytes, t.dram_bytes] {
+            prop_assert!(v.is_finite() && v > 0.0, "{t:?}");
+        }
+        // The model's implied miss rates are probabilities.
+        prop_assert!(t.l1_miss_rate() <= 1.0 + 1e-9);
+        prop_assert!(t.l2_miss_rate() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn model_l1_at_least_l2(layer in arb_layer()) {
+        // Distance-based L2 estimation can marginally exceed the
+        // request-based L1 volume on degenerate sub-tile layers (the
+        // Eq. 8 sample-boundary correction over-counts); allow 20%.
+        let gpu = GpuSpec::titan_xp();
+        let t = traffic::estimate(&layer, &LayerTiling::new(&layer), &gpu, MliMode::PaperProfiled);
+        prop_assert!(t.l1_bytes >= t.l2_bytes * 0.8,
+            "L1 {} < L2 {} for {layer}", t.l1_bytes, t.l2_bytes);
+    }
+
+    #[test]
+    fn perf_estimate_is_positive_and_bottleneck_consistent(layer in arb_layer()) {
+        let delta = Delta::new(GpuSpec::titan_xp());
+        let p = delta.estimate_performance(&layer).unwrap();
+        prop_assert!(p.cycles > 0.0 && p.cycles.is_finite());
+        prop_assert!(p.seconds > 0.0);
+        let max = p.t_mac_sm.max(p.t_lat_sm).max(p.t_bw_sm);
+        prop_assert!((p.cycles - max).abs() < 1e-6 * max);
+    }
+
+    #[test]
+    fn doubling_batch_scales_compute_linearly(layer in arb_layer()) {
+        prop_assume!(layer.batch() <= 4);
+        let doubled = layer.with_batch(layer.batch() * 2).unwrap();
+        prop_assert_eq!(doubled.macs(), 2 * layer.macs());
+        // GEMM K and N are batch-invariant.
+        prop_assert_eq!(doubled.gemm_k(), layer.gemm_k());
+        prop_assert_eq!(doubled.gemm_n(), layer.gemm_n());
+    }
+
+    #[test]
+    fn tile_selection_is_total_and_covers_gemm(layer in arb_layer()) {
+        let t = LayerTiling::new(&layer);
+        prop_assert!(t.num_ctas() >= 1);
+        prop_assert!(t.main_loops() >= 1);
+        prop_assert!(t.num_ctas() * u64::from(t.tile().blk_m()) * u64::from(t.tile().blk_n())
+            >= layer.gemm_m() * layer.gemm_n());
+        prop_assert!(t.main_loops() * u64::from(t.tile().blk_k()) >= layer.gemm_k());
+    }
+
+    #[test]
+    fn faster_gpu_never_predicts_slower(layer in arb_layer()) {
+        let base = GpuSpec::titan_xp();
+        let boosted = base
+            .to_builder()
+            .mac_gflops(base.mac_gflops() * 2.0)
+            .l2_bw_gbps(base.l2_bw_gbps() * 2.0)
+            .dram_bw_gbps(base.dram_bw_gbps() * 2.0)
+            .l1_bw_gbps_per_sm(base.l1_bw_gbps_per_sm() * 2.0)
+            .smem_ld_bytes_per_clk(base.smem_ld_bytes_per_clk() * 2.0)
+            .smem_st_bytes_per_clk(base.smem_st_bytes_per_clk() * 2.0)
+            .build()
+            .unwrap();
+        let t_base = Delta::new(base).estimate_performance(&layer).unwrap().cycles;
+        let t_fast = Delta::new(boosted).estimate_performance(&layer).unwrap().cycles;
+        prop_assert!(t_fast <= t_base * 1.0001, "{t_fast} > {t_base}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulator_conservation_laws(layer in arb_small_layer()) {
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::exhaustive());
+        let m = sim.run(&layer);
+        // Funnel invariant.
+        prop_assert!(m.l1_bytes >= m.l2_bytes);
+        prop_assert!(m.l2_bytes >= m.dram_read_bytes);
+        // Compulsory floor: every distinct useful byte must come from
+        // DRAM at least once (sector granularity can only add).
+        let touched = delta_sim::tensor::TensorMap::new(&layer);
+        prop_assert!(m.dram_read_bytes as u64 + 4096 >= layer.filter_bytes(),
+            "filter bytes unread: {} < {} ({})", m.dram_read_bytes, layer.filter_bytes(), touched.end());
+        // Determinism.
+        let again = sim.run(&layer);
+        prop_assert_eq!(m, again);
+    }
+
+    #[test]
+    fn simulator_miss_rates_are_probabilities(layer in arb_small_layer()) {
+        let m = Simulator::new(GpuSpec::v100(), SimConfig::default()).run(&layer);
+        prop_assert!((0.0..=1.0).contains(&m.l1_miss_rate));
+        prop_assert!((0.0..=1.0).contains(&m.l2_miss_rate));
+        prop_assert!(m.cycles.is_finite() && m.cycles > 0.0);
+    }
+}
