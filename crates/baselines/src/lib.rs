@@ -130,8 +130,7 @@ impl FixedMissRateModel {
     pub fn estimate_performance(&self, layer: &ConvLayer) -> BaselineEstimate {
         let t = self.estimate_traffic(layer);
         let g = &self.gpu;
-        let compute_clks = layer.macs() as f64
-            / (g.macs_per_clk_per_sm() * f64::from(g.num_sm()));
+        let compute_clks = layer.macs() as f64 / (g.macs_per_clk_per_sm() * f64::from(g.num_sm()));
         let l1_clks = t.l1_bytes / (g.l1_bytes_per_clk() * f64::from(g.num_sm()));
         let l2_clks = t.l2_bytes / g.l2_bytes_per_clk();
         let dram_clks = t.dram_bytes / g.dram_bytes_per_clk();
@@ -173,8 +172,7 @@ impl ThroughputRoofline {
     /// footprint traffic.
     pub fn estimate_performance(&self, layer: &ConvLayer) -> BaselineEstimate {
         let g = &self.gpu;
-        let compute_clks =
-            layer.macs() as f64 / (g.macs_per_clk_per_sm() * f64::from(g.num_sm()));
+        let compute_clks = layer.macs() as f64 / (g.macs_per_clk_per_sm() * f64::from(g.num_sm()));
         let dram_clks = layer.footprint_bytes() as f64 / g.dram_bytes_per_clk();
         let (cycles, bottleneck) = if compute_clks >= dram_clks {
             (compute_clks, Bottleneck::MacBw)
@@ -225,7 +223,10 @@ mod tests {
         let dt = delta.estimate_traffic(&layer).unwrap();
         let bt = prior.estimate_traffic(&layer);
         let over_3x3 = bt.dram_bytes / dt.dram_bytes;
-        assert!(over_3x3 > 10.0, "expected >10x overestimate, got {over_3x3}");
+        assert!(
+            over_3x3 > 10.0,
+            "expected >10x overestimate, got {over_3x3}"
+        );
 
         let pw = pointwise_layer();
         let over_1x1 = prior.estimate_traffic(&pw).dram_bytes
@@ -269,7 +270,10 @@ mod tests {
         let prior = FixedMissRateModel::prior_methodology(GpuSpec::titan_xp());
         let e = prior.estimate_performance(&reuse_heavy_layer());
         assert!(
-            matches!(e.bottleneck, Bottleneck::DramBw | Bottleneck::L2Bw | Bottleneck::L1Bw),
+            matches!(
+                e.bottleneck,
+                Bottleneck::DramBw | Bottleneck::L2Bw | Bottleneck::L1Bw
+            ),
             "{e:?}"
         );
     }
@@ -282,7 +286,10 @@ mod tests {
         let rt = roof.estimate_performance(&layer).seconds;
         let dt = delta.estimate_performance(&layer).unwrap().seconds;
         assert!(rt <= dt * 1.001, "roofline is a lower bound: {rt} vs {dt}");
-        assert_eq!(roof.estimate_performance(&layer).bottleneck, Bottleneck::MacBw);
+        assert_eq!(
+            roof.estimate_performance(&layer).bottleneck,
+            Bottleneck::MacBw
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ fn bench_traffic_only(c: &mut Criterion) {
     let delta = Delta::new(GpuSpec::v100());
     let layer = bench_layer();
     c.bench_function("model/traffic_estimate", |b| {
-        b.iter(|| delta.estimate_traffic(black_box(&layer)).expect("estimable"))
+        b.iter(|| {
+            delta
+                .estimate_traffic(black_box(&layer))
+                .expect("estimable")
+        })
     });
 }
 

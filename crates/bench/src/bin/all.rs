@@ -2,9 +2,11 @@
 use delta_bench::experiments as ex;
 use delta_bench::Ctx;
 
+type Experiment = fn(&Ctx) -> Result<Vec<delta_bench::Table>, delta_model::Error>;
+
 fn main() {
     let ctx = Ctx::from_args(std::env::args().skip(1));
-    let all: [(&str, fn(&Ctx) -> Result<Vec<delta_bench::Table>, delta_model::Error>); 14] = [
+    let all: [(&str, Experiment); 14] = [
         ("tab1", ex::tab1::run),
         ("fig04", ex::fig04::run),
         ("fig06", ex::fig06::run),

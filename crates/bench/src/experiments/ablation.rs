@@ -111,7 +111,9 @@ fn tile_scaling_table() -> Result<Table, Error> {
             .to_builder()
             .mac_gflops(GpuSpec::titan_xp().mac_gflops() * mac_x)
             .build()?;
-        let t128 = Delta::new(gpu.clone()).estimate_performance(&layer)?.millis();
+        let t128 = Delta::new(gpu.clone())
+            .estimate_performance(&layer)?
+            .millis();
         let t256 = Delta::with_options(
             gpu,
             DeltaOptions {
@@ -133,7 +135,11 @@ fn tile_scaling_table() -> Result<Table, Error> {
 
 /// Runs all three ablations.
 pub fn run(ctx: &Ctx) -> Result<Vec<Table>, Error> {
-    Ok(vec![mli_mode_table(ctx)?, occupancy_table()?, tile_scaling_table()?])
+    Ok(vec![
+        mli_mode_table(ctx)?,
+        occupancy_table()?,
+        tile_scaling_table()?,
+    ])
 }
 
 #[cfg(test)]

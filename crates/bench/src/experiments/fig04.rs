@@ -42,8 +42,7 @@ mod tests {
         assert!(l2.iter().all(|v| (0.0..=1.0).contains(v)));
         // The figure's message: high variation at both levels.
         let spread = |v: &[f64]| {
-            v.iter().cloned().fold(f64::MIN, f64::max)
-                - v.iter().cloned().fold(f64::MAX, f64::min)
+            v.iter().cloned().fold(f64::MIN, f64::max) - v.iter().cloned().fold(f64::MAX, f64::min)
         };
         assert!(spread(&l1) > 0.15, "L1 spread {}", spread(&l1));
         assert!(spread(&l2) > 0.3, "L2 spread {}", spread(&l2));

@@ -10,8 +10,19 @@ use delta_model::{Error, GpuSpec};
 /// Builds the per-layer normalized-traffic table for one GPU.
 fn gpu_table(gpu: &GpuSpec, rows: &[LayerComparison]) -> Table {
     let mut t = Table::new(
-        format!("Fig. 11: normalized traffic (model/measured), {}", gpu.name()),
-        &["network", "layer", "l1_ratio", "l1_phys", "l2_ratio", "dram_ratio", "l2_capacity_anomaly"],
+        format!(
+            "Fig. 11: normalized traffic (model/measured), {}",
+            gpu.name()
+        ),
+        &[
+            "network",
+            "layer",
+            "l1_ratio",
+            "l1_phys",
+            "l2_ratio",
+            "dram_ratio",
+            "l2_capacity_anomaly",
+        ],
     );
     for r in rows {
         t.push(vec![
@@ -33,14 +44,24 @@ pub fn run(ctx: &Ctx) -> Result<Vec<Table>, Error> {
     let mut summary = Table::new(
         "Fig. 11 summary: GMAE (stdev) per level per GPU",
         &[
-            "gpu", "l1_gmae", "l1_phys_gmae", "l1_stdev", "l2_gmae", "l2_stdev", "dram_gmae",
-            "dram_gmae_excl_anomalies", "dram_stdev",
+            "gpu",
+            "l1_gmae",
+            "l1_phys_gmae",
+            "l1_stdev",
+            "l2_gmae",
+            "l2_stdev",
+            "dram_gmae",
+            "dram_gmae_excl_anomalies",
+            "dram_stdev",
         ],
     );
     for gpu in GpuSpec::paper_devices() {
         let rows = measure::compare_paper_networks(&gpu, ctx)?;
         let l1: Vec<f64> = rows.iter().map(LayerComparison::l1_ratio).collect();
-        let l1p: Vec<f64> = rows.iter().map(LayerComparison::l1_ratio_physical).collect();
+        let l1p: Vec<f64> = rows
+            .iter()
+            .map(LayerComparison::l1_ratio_physical)
+            .collect();
         let l2: Vec<f64> = rows.iter().map(LayerComparison::l2_ratio).collect();
         let dr: Vec<f64> = rows.iter().map(LayerComparison::dram_ratio).collect();
         let dr_ok: Vec<f64> = rows

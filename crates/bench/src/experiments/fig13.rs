@@ -102,7 +102,11 @@ mod tests {
         let rows = crate::measure::compare_network(&gpu, &net, &ctx).unwrap();
         assert!(mac_bound_share(&rows) >= 0.6, "{}", mac_bound_share(&rows));
         for r in &rows {
-            assert!(r.cycle_ratio() > 0.05 && r.cycle_ratio() < 20.0, "{}", r.label);
+            assert!(
+                r.cycle_ratio() > 0.05 && r.cycle_ratio() < 20.0,
+                "{}",
+                r.label
+            );
         }
     }
 

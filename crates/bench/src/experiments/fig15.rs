@@ -58,9 +58,7 @@ pub fn run(ctx: &Ctx) -> Result<Vec<Table>, Error> {
     for mr_model in FixedMissRateModel::fig15_sweep(&GpuSpec::titan_xp()) {
         let ratios: Vec<f64> = rows
             .iter()
-            .map(|r| {
-                mr_model.estimate_performance(&r.model.layer).cycles / r.measured.cycles
-            })
+            .map(|r| mr_model.estimate_performance(&r.model.layer).cycles / r.measured.cycles)
             .collect();
         b.push(dist_row(&format!("MR{:.1}", mr_model.miss_rate()), &ratios));
     }
@@ -78,8 +76,8 @@ mod tests {
         let gpu = GpuSpec::titan_xp();
         let net = delta_networks::vgg16(ctx.sim_batch).unwrap();
         let rows = crate::measure::compare_network(&gpu, &net, &ctx).unwrap();
-        let delta_mean = rows.iter().map(LayerComparison::cycle_ratio).sum::<f64>()
-            / rows.len() as f64;
+        let delta_mean =
+            rows.iter().map(LayerComparison::cycle_ratio).sum::<f64>() / rows.len() as f64;
         let mr1 = FixedMissRateModel::prior_methodology(gpu);
         let mr_mean = rows
             .iter()

@@ -38,8 +38,16 @@ pub fn run(_ctx: &Ctx) -> Result<Vec<Table>, Error> {
     let mut a = Table::new(
         "Fig. 16a: GPU design options",
         &[
-            "option", "num_sm", "mac_bw", "regs", "smem_size", "smem_bw", "l1_bw", "l2_bw",
-            "dram_bw", "cta_tile",
+            "option",
+            "num_sm",
+            "mac_bw",
+            "regs",
+            "smem_size",
+            "smem_bw",
+            "l1_bw",
+            "l2_bw",
+            "dram_bw",
+            "cta_tile",
         ],
     );
     let mut b = Table::new(
@@ -48,7 +56,9 @@ pub fn run(_ctx: &Ctx) -> Result<Vec<Table>, Error> {
     );
     let mut c = Table::new(
         "Fig. 16c: bottleneck distribution (layer share)",
-        &["option", "SMEM_BW", "MAC_BW", "L1_BW", "L2_BW", "DRAM_BW", "DRAM_LAT"],
+        &[
+            "option", "SMEM_BW", "MAC_BW", "L1_BW", "L2_BW", "DRAM_BW", "DRAM_LAT",
+        ],
     );
 
     let mut push_c = |name: &str, counts: &[(Bottleneck, usize)]| {

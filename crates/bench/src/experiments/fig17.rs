@@ -5,6 +5,7 @@
 
 use crate::ctx::Ctx;
 use crate::table::{f3, Table};
+use delta_model::engine::Engine;
 use delta_model::sweep::{self, ranges};
 use delta_model::tiling::LayerTiling;
 use delta_model::{ConvLayer, Delta, Error, GpuSpec};
@@ -30,27 +31,39 @@ fn sweep_table(
 ) -> Result<Table, Error> {
     let gpu = GpuSpec::titan_xp();
     let delta = Delta::new(gpu.clone());
-    let sim = Simulator::new(gpu, ctx.sim_config);
+    let engine = Engine::new(Simulator::new(gpu, ctx.sim_config));
     let mut t = Table::new(
         title,
-        &[x_name, "l1_ratio", "l2_ratio", "dram_ratio", "cta_tile_width"],
+        &[
+            x_name,
+            "l1_ratio",
+            "l2_ratio",
+            "dram_ratio",
+            "cta_tile_width",
+        ],
     );
-    for (x, layer) in xs.iter().zip(layers) {
-        // Batch sweeps carry their own batch; other sweeps use the
-        // context's.
-        let layer = if x_name == "batch" {
-            layer
-        } else {
-            layer.with_batch(ctx.sim_batch)?
-        };
-        let est = delta.estimate_traffic(&layer)?;
-        let meas = sim.run(&layer);
+    // Batch sweeps carry their own batch; other sweeps use the
+    // context's.
+    let layers: Vec<ConvLayer> = layers
+        .into_iter()
+        .map(|layer| {
+            if x_name == "batch" {
+                Ok(layer)
+            } else {
+                layer.with_batch(ctx.sim_batch)
+            }
+        })
+        .collect::<Result<_, _>>()?;
+    // All sweep points simulate in parallel through the engine.
+    let measured = engine.evaluate_layers(&layers)?;
+    for ((x, layer), meas) in xs.iter().zip(&layers).zip(measured) {
+        let est = delta.estimate_traffic(layer)?;
         t.push(vec![
             x.to_string(),
             f3(est.l1_bytes / meas.l1_bytes),
             f3(est.l2_bytes / meas.l2_bytes),
             f3(est.dram_bytes / meas.dram_read_bytes),
-            LayerTiling::new(&layer).tile().blk_n().to_string(),
+            LayerTiling::new(layer).tile().blk_n().to_string(),
         ]);
     }
     Ok(t)

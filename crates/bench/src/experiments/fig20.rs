@@ -57,7 +57,12 @@ mod tests {
             .unwrap();
         let max_model = rows
             .iter()
-            .max_by(|a, b| a.model.traffic.l1_bytes.total_cmp(&b.model.traffic.l1_bytes))
+            .max_by(|a, b| {
+                a.model
+                    .traffic
+                    .l1_bytes
+                    .total_cmp(&b.model.traffic.l1_bytes)
+            })
             .unwrap();
         assert_eq!(max_meas.label, max_model.label);
     }

@@ -8,26 +8,40 @@ use delta_model::{Error, GpuSpec};
 pub fn run(_ctx: &Ctx) -> Result<Vec<Table>, Error> {
     let mut t = Table::new(
         "Table I: GPU device specifications",
-        &[
-            "spec", "TITAN Xp", "P100", "V100",
-        ],
+        &["spec", "TITAN Xp", "P100", "V100"],
     );
     let gpus = GpuSpec::paper_devices();
     let row = |name: &str, f: &dyn Fn(&GpuSpec) -> String| -> Vec<String> {
         let mut r = vec![name.to_string()];
-        r.extend(gpus.iter().map(|g| f(g)));
+        r.extend(gpus.iter().map(f));
         r
     };
     t.push(row("NumSM", &|g| g.num_sm().to_string()));
-    t.push(row("Core clock (GHz)", &|g| format!("{:.2}", g.core_clock_ghz())));
-    t.push(row("BW_MAC FP32 (GFLOPS)", &|g| format!("{:.0}", g.mac_gflops())));
-    t.push(row("Size_REG (KB/SM)", &|g| (g.reg_bytes_per_sm() / 1024).to_string()));
-    t.push(row("Size_SMEM (KB/SM)", &|g| (g.smem_bytes_per_sm() / 1024).to_string()));
-    t.push(row("BW_L1 (GB/s/SM)", &|g| format!("{:.1}", g.l1_bw_gbps_per_sm())));
+    t.push(row("Core clock (GHz)", &|g| {
+        format!("{:.2}", g.core_clock_ghz())
+    }));
+    t.push(row("BW_MAC FP32 (GFLOPS)", &|g| {
+        format!("{:.0}", g.mac_gflops())
+    }));
+    t.push(row("Size_REG (KB/SM)", &|g| {
+        (g.reg_bytes_per_sm() / 1024).to_string()
+    }));
+    t.push(row("Size_SMEM (KB/SM)", &|g| {
+        (g.smem_bytes_per_sm() / 1024).to_string()
+    }));
+    t.push(row("BW_L1 (GB/s/SM)", &|g| {
+        format!("{:.1}", g.l1_bw_gbps_per_sm())
+    }));
     t.push(row("BW_L2 (GB/s)", &|g| format!("{:.0}", g.l2_bw_gbps())));
-    t.push(row("BW_DRAM (GB/s)", &|g| format!("{:.0}", g.dram_bw_gbps())));
-    t.push(row("Size_L2 (MB)", &|g| (g.l2_bytes() / (1024 * 1024)).to_string()));
-    t.push(row("LAT_DRAM (clks, Fig.18)", &|g| format!("{:.0}", g.lat_dram_clks())));
+    t.push(row("BW_DRAM (GB/s)", &|g| {
+        format!("{:.0}", g.dram_bw_gbps())
+    }));
+    t.push(row("Size_L2 (MB)", &|g| {
+        (g.l2_bytes() / (1024 * 1024)).to_string()
+    }));
+    t.push(row("LAT_DRAM (clks, Fig.18)", &|g| {
+        format!("{:.0}", g.lat_dram_clks())
+    }));
     t.push(row("L1 request (B)", &|g| g.l1_request_bytes().to_string()));
     Ok(vec![t])
 }

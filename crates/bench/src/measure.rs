@@ -1,12 +1,18 @@
 //! Shared model-vs-measurement runner: evaluates the DeLTA model and the
 //! simulator on the same layers at the same configuration, which is what
 //! every normalized validation figure consumes.
+//!
+//! The simulator side — the expensive one — runs through the parallel
+//! cached evaluation engine (`delta_model::engine`), so a figure that
+//! sweeps all four networks fans the trace simulations across cores and
+//! never re-simulates a repeated layer shape.
 
 use crate::ctx::Ctx;
+use delta_model::engine::Engine;
 use delta_model::model::MliMode;
-use delta_model::{ConvLayer, Delta, DeltaOptions, GpuSpec, LayerReport};
+use delta_model::{ConvLayer, Delta, DeltaOptions, GpuSpec, LayerEstimate, LayerReport};
 use delta_networks::Network;
-use delta_sim::{Measurement, Simulator};
+use delta_sim::Simulator;
 
 /// One layer's model estimate and simulator measurement, plus the
 /// network it came from.
@@ -21,8 +27,8 @@ pub struct LayerComparison {
     /// L1 traffic with the line-granularity (`MliMode::Physical`) filter
     /// MLI, for the profiler-consistent comparison (DESIGN.md §5).
     pub model_l1_physical: f64,
-    /// Simulator measurement.
-    pub measured: Measurement,
+    /// Simulator measurement (through the `Backend` interface).
+    pub measured: LayerEstimate,
     /// True when the layer's whole input footprint fits in L2 at this
     /// batch size, so the model's per-column IFmap refetch (Eq. 10)
     /// cannot appear in the measurement — the analogue of the paper's
@@ -57,13 +63,12 @@ impl LayerComparison {
     }
 }
 
-/// Runs the model and the simulator over every layer of `network` on
-/// `gpu`, at the context's batch size.
-///
-/// # Errors
-///
-/// Propagates layer/GPU validation failures.
-pub fn compare_network(
+/// The engine-backed comparison core shared by [`compare_network`] and
+/// [`compare_paper_networks`]: one simulator engine may be reused across
+/// networks so repeated shapes (common between ResNet variants) are
+/// simulated once.
+fn compare_with_engine(
+    engine: &Engine<Simulator>,
     gpu: &GpuSpec,
     network: &Network,
     ctx: &Ctx,
@@ -77,13 +82,15 @@ pub fn compare_network(
             ..Default::default()
         },
     );
-    let sim = Simulator::new(gpu.clone(), ctx.sim_config);
+    // Fan the expensive trace simulations across cores first…
+    let measured = engine.evaluate_layers(net.layers())?;
+    // …then attach the (instant) model analyses layer by layer.
     net.layers()
         .iter()
-        .map(|layer| {
+        .zip(measured)
+        .map(|(layer, measured)| {
             let model = delta.analyze(layer)?;
             let model_l1_physical = physical.estimate_traffic(layer)?.l1_bytes;
-            let measured = sim.run(layer);
             // The per-column refetch of Eq. 10 assumes the IFmap cannot
             // survive in L2 from one tile column to the next; when it
             // can (reduced-batch working sets), the measurement reads it
@@ -102,7 +109,23 @@ pub fn compare_network(
         .collect()
 }
 
-/// Runs [`compare_network`] over all four paper networks.
+/// Runs the model and the simulator over every layer of `network` on
+/// `gpu`, at the context's batch size.
+///
+/// # Errors
+///
+/// Propagates layer/GPU validation failures.
+pub fn compare_network(
+    gpu: &GpuSpec,
+    network: &Network,
+    ctx: &Ctx,
+) -> Result<Vec<LayerComparison>, delta_model::Error> {
+    let engine = Engine::new(Simulator::new(gpu.clone(), ctx.sim_config));
+    compare_with_engine(&engine, gpu, network, ctx)
+}
+
+/// Runs [`compare_network`] over all four paper networks, sharing one
+/// simulator engine (and therefore one shape cache) across them.
 ///
 /// # Errors
 ///
@@ -111,9 +134,10 @@ pub fn compare_paper_networks(
     gpu: &GpuSpec,
     ctx: &Ctx,
 ) -> Result<Vec<LayerComparison>, delta_model::Error> {
+    let engine = Engine::new(Simulator::new(gpu.clone(), ctx.sim_config));
     let mut out = Vec::new();
     for net in delta_networks::paper_networks(ctx.sim_batch)? {
-        out.extend(compare_network(gpu, &net, ctx)?);
+        out.extend(compare_with_engine(&engine, gpu, &net, ctx)?);
     }
     Ok(out)
 }
@@ -142,7 +166,12 @@ mod tests {
         let rows = compare_network(&GpuSpec::titan_xp(), &net, &ctx).unwrap();
         assert_eq!(rows.len(), 5);
         for r in &rows {
-            assert!(r.l1_ratio() > 0.1 && r.l1_ratio() < 10.0, "{}: {}", r.label, r.l1_ratio());
+            assert!(
+                r.l1_ratio() > 0.1 && r.l1_ratio() < 10.0,
+                "{}: {}",
+                r.label,
+                r.l1_ratio()
+            );
             assert!(r.cycle_ratio() > 0.0, "{}", r.label);
         }
     }
@@ -154,5 +183,16 @@ mod tests {
         let rows = compare_network(&GpuSpec::titan_xp(), &net, &ctx).unwrap();
         // Model was evaluated at the smoke batch, not 256.
         assert_eq!(rows[0].model.layer.batch(), ctx.sim_batch);
+    }
+
+    #[test]
+    fn engine_measurement_matches_direct_simulation() {
+        let ctx = Ctx::smoke();
+        let gpu = GpuSpec::titan_xp();
+        let net = delta_networks::alexnet(ctx.sim_batch).unwrap();
+        let rows = compare_network(&gpu, &net, &ctx).unwrap();
+        let sim = Simulator::new(gpu.clone(), ctx.sim_config);
+        let direct = sim.run(net.layers().first().unwrap()).to_estimate(&gpu);
+        assert_eq!(rows[0].measured, direct);
     }
 }

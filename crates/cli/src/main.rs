@@ -2,14 +2,21 @@
 //! and the design-space tools.
 //!
 //! ```text
-//! delta layer  --ci 256 --hw 13 --co 128 --filter 3 [--stride 1] [--pad 1] [--batch 256] [--gpu titanxp|p100|v100] [--json]
-//! delta network <alexnet|vgg16|googlenet|resnet152> [--batch 256] [--gpu ...] [--json]
-//! delta sim    --ci 64 --hw 14 --co 64 --filter 3 [...]        trace-driven measurement
-//! delta scaling [--batch 256] [--gpu ...]                      the 9 design options on ResNet152
-//! delta gpus                                                   list device presets
+//! delta layer   --ci 256 --hw 13 --co 128 [--filter 3 --stride 1 --pad 1 --batch 256 --gpu G --json]
+//! delta network <alexnet|vgg16|googlenet|resnet152> [--backend model|sim] [--batch N --gpu G --json]
+//! delta sim     --ci 64 --hw 14 --co 64 [--filter 3 ... --exhaustive]     single-layer model-vs-measured
+//! delta train   <alexnet|vgg16|googlenet|resnet152> [--backend model|sim] [--batch N --gpu G]
+//! delta scaling [--backend model|sim] [--batch N --gpu G]                 the 9 design options on ResNet152
+//! delta gpus                                                              list device presets
+//! delta help
 //! ```
+//!
+//! Every multi-layer command runs through the parallel cached evaluation
+//! engine (`delta_model::engine`), so `--backend sim` fans the
+//! trace-driven simulator across cores and reuses repeated layer shapes.
 
-use delta_model::{ConvLayer, Delta, DesignOption, GpuSpec};
+use delta_model::engine::{self, Engine, NetworkEvaluation};
+use delta_model::{Backend, ConvLayer, Delta, DesignOption, GpuSpec};
 use delta_sim::{SimConfig, Simulator};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -34,18 +41,67 @@ fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
     (positional, flags)
 }
 
-fn gpu_from(flags: &HashMap<String, String>) -> GpuSpec {
+fn gpu_from(flags: &HashMap<String, String>) -> Result<GpuSpec, String> {
     match flags.get("gpu").map(String::as_str) {
-        Some("p100") => GpuSpec::p100(),
-        Some("v100") => GpuSpec::v100(),
-        _ => GpuSpec::titan_xp(),
+        None => Ok(GpuSpec::titan_xp()),
+        Some("titanxp" | "titan_xp" | "titan-xp") => Ok(GpuSpec::titan_xp()),
+        Some("p100") => Ok(GpuSpec::p100()),
+        Some("v100") => Ok(GpuSpec::v100()),
+        Some(other) => Err(format!(
+            "unknown --gpu `{other}` (expected titanxp, p100, or v100)"
+        )),
+    }
+}
+
+/// Which estimator multi-layer commands drive through the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BackendChoice {
+    Model,
+    Sim,
+}
+
+fn backend_from(flags: &HashMap<String, String>) -> Result<BackendChoice, String> {
+    match flags.get("backend").map(String::as_str) {
+        None | Some("model") => Ok(BackendChoice::Model),
+        Some("sim") => Ok(BackendChoice::Sim),
+        Some(other) => Err(format!(
+            "unknown --backend `{other}` (expected model or sim)"
+        )),
+    }
+}
+
+fn sim_config_from(flags: &HashMap<String, String>) -> SimConfig {
+    if flags.contains_key("exhaustive") {
+        SimConfig::exhaustive()
+    } else {
+        SimConfig::default()
+    }
+}
+
+/// Batch-size flag with a backend-dependent default: the paper's 256 for
+/// the instant model, a tractable 16 for trace-driven simulation.
+fn batch_from(
+    flags: &HashMap<String, String>,
+    backend: BackendChoice,
+    model_default: u32,
+) -> Result<u32, String> {
+    match flags.get("batch") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--batch expects a number, got `{v}`")),
+        None => Ok(match backend {
+            BackendChoice::Model => model_default,
+            BackendChoice::Sim => 16,
+        }),
     }
 }
 
 fn layer_from(flags: &HashMap<String, String>) -> Result<ConvLayer, String> {
     let get = |k: &str, default: Option<u32>| -> Result<u32, String> {
         match flags.get(k) {
-            Some(v) => v.parse().map_err(|_| format!("--{k} expects a number, got `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{k} expects a number, got `{v}`")),
             None => default.ok_or(format!("missing required flag --{k}")),
         }
     };
@@ -60,8 +116,18 @@ fn layer_from(flags: &HashMap<String, String>) -> Result<ConvLayer, String> {
         .map_err(|e| e.to_string())
 }
 
+fn find_network(name: &str, batch: u32) -> Result<delta_networks::Network, String> {
+    delta_networks::paper_networks(batch)
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .find(|n| n.name().eq_ignore_ascii_case(name))
+        .ok_or(format!(
+            "unknown network `{name}` (try alexnet, vgg16, googlenet, resnet152)"
+        ))
+}
+
 fn cmd_layer(flags: &HashMap<String, String>) -> Result<(), String> {
-    let gpu = gpu_from(flags);
+    let gpu = gpu_from(flags)?;
     let layer = layer_from(flags)?;
     let report = Delta::new(gpu).analyze(&layer).map_err(|e| e.to_string())?;
     if flags.contains_key("json") {
@@ -75,133 +141,199 @@ fn cmd_layer(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_network(name: &str, flags: &HashMap<String, String>) -> Result<(), String> {
-    let gpu = gpu_from(flags);
-    let batch: u32 = flags
-        .get("batch")
-        .map(|v| v.parse().map_err(|_| "--batch expects a number".to_string()))
-        .transpose()?
-        .unwrap_or(256);
-    let net = delta_networks::paper_networks(batch)
-        .map_err(|e| e.to_string())?
-        .into_iter()
-        .find(|n| n.name().eq_ignore_ascii_case(name))
-        .ok_or(format!(
-            "unknown network `{name}` (try alexnet, vgg16, googlenet, resnet152)"
-        ))?;
-    let delta = Delta::new(gpu.clone());
-    let reports = delta.analyze_network(net.layers()).map_err(|e| e.to_string())?;
-    if flags.contains_key("json") {
+/// Shared engine-driven network evaluation used by `network` for both
+/// backends.
+fn print_network_eval<B: Backend>(
+    engine: &Engine<B>,
+    net: &delta_networks::Network,
+    json: bool,
+) -> Result<(), String> {
+    let eval: NetworkEvaluation = engine
+        .evaluate_network(net.layers())
+        .map_err(|e| e.to_string())?;
+    if json {
         println!(
             "{}",
-            serde_json::to_string_pretty(&reports).map_err(|e| e.to_string())?
+            serde_json::to_string_pretty(&eval).map_err(|e| e.to_string())?
         );
         return Ok(());
     }
-    println!("{net} on {gpu}");
+    println!("{net} on {}", engine.backend().gpu());
+    println!("{eval}");
+    let stats = engine.cache_stats();
     println!(
-        "{:<14} {:>10} {:>10} {:>10} {:>9} {:>10}",
-        "layer", "L1 GB", "L2 GB", "DRAM GB", "ms", "bottleneck"
+        "engine: {} unique layer shapes evaluated, {} served from cache",
+        stats.misses, stats.hits
     );
-    let mut total = 0.0;
-    for r in &reports {
-        total += r.perf.millis();
-        println!(
-            "{:<14} {:>10.3} {:>10.3} {:>10.3} {:>9.3} {:>10}",
-            r.layer.label(),
-            r.traffic.l1_bytes / 1e9,
-            r.traffic.l2_bytes / 1e9,
-            r.traffic.dram_bytes / 1e9,
-            r.perf.millis(),
-            r.perf.bottleneck
-        );
-    }
-    println!("total: {total:.3} ms");
     Ok(())
 }
 
+fn cmd_network(name: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let gpu = gpu_from(flags)?;
+    let backend = backend_from(flags)?;
+    let batch = batch_from(flags, backend, 256)?;
+    let net = find_network(name, batch)?;
+    let json = flags.contains_key("json");
+    match backend {
+        BackendChoice::Model => print_network_eval(&Engine::new(Delta::new(gpu)), &net, json),
+        BackendChoice::Sim => print_network_eval(
+            &Engine::new(Simulator::new(gpu, sim_config_from(flags))),
+            &net,
+            json,
+        ),
+    }
+}
+
 fn cmd_sim(flags: &HashMap<String, String>) -> Result<(), String> {
-    let gpu = gpu_from(flags);
+    let gpu = gpu_from(flags)?;
     let mut layer = layer_from(flags)?;
     if !flags.contains_key("batch") {
         // Simulation defaults to a laptop-scale batch unless told
         // otherwise.
         layer = layer.with_batch(8).map_err(|e| e.to_string())?;
     }
-    let config = if flags.contains_key("exhaustive") {
-        SimConfig::exhaustive()
-    } else {
-        SimConfig::default()
-    };
-    let m = Simulator::new(gpu.clone(), config).run(&layer);
-    let est = Delta::new(gpu).estimate_traffic(&layer).map_err(|e| e.to_string())?;
+    let m = Simulator::new(gpu.clone(), sim_config_from(flags)).run(&layer);
+    let est = Delta::new(gpu)
+        .estimate_traffic(&layer)
+        .map_err(|e| e.to_string())?;
     println!("{layer}");
-    println!("measured : L1 {:.4} GB, L2 {:.4} GB, DRAM {:.4} GB (+{:.4} GB writes)",
-        m.l1_bytes / 1e9, m.l2_bytes / 1e9, m.dram_read_bytes / 1e9, m.dram_write_bytes / 1e9);
-    println!("model    : L1 {:.4} GB, L2 {:.4} GB, DRAM {:.4} GB",
-        est.l1_bytes / 1e9, est.l2_bytes / 1e9, est.dram_bytes / 1e9);
-    println!("ratio    : L1 {:.3}, L2 {:.3}, DRAM {:.3}",
-        est.l1_bytes / m.l1_bytes, est.l2_bytes / m.l2_bytes, est.dram_bytes / m.dram_read_bytes);
-    println!("miss     : L1 {:.1}%, L2 {:.1}%", m.l1_miss_rate * 100.0, m.l2_miss_rate * 100.0);
-    println!("cycles   : {:.3e} ({} of {} CTAs traced{})",
-        m.cycles, m.simulated_ctas, m.total_ctas, if m.sampled { ", extrapolated" } else { "" });
+    println!(
+        "measured : L1 {:.4} GB, L2 {:.4} GB, DRAM {:.4} GB (+{:.4} GB writes)",
+        m.l1_bytes / 1e9,
+        m.l2_bytes / 1e9,
+        m.dram_read_bytes / 1e9,
+        m.dram_write_bytes / 1e9
+    );
+    println!(
+        "model    : L1 {:.4} GB, L2 {:.4} GB, DRAM {:.4} GB",
+        est.l1_bytes / 1e9,
+        est.l2_bytes / 1e9,
+        est.dram_bytes / 1e9
+    );
+    println!(
+        "ratio    : L1 {:.3}, L2 {:.3}, DRAM {:.3}",
+        est.l1_bytes / m.l1_bytes,
+        est.l2_bytes / m.l2_bytes,
+        est.dram_bytes / m.dram_read_bytes
+    );
+    println!(
+        "miss     : L1 {:.1}%, L2 {:.1}%",
+        m.l1_miss_rate * 100.0,
+        m.l2_miss_rate * 100.0
+    );
+    println!(
+        "cycles   : {:.3e} ({} of {} CTAs traced{})",
+        m.cycles,
+        m.simulated_ctas,
+        m.total_ctas,
+        if m.sampled { ", extrapolated" } else { "" }
+    );
     Ok(())
 }
 
+/// Builds the per-option simulator for `scaling --backend sim`: the
+/// scaled device plus the option's CTA-tile growth.
+fn scaled_simulator(
+    opt: &DesignOption,
+    base: &GpuSpec,
+    config: SimConfig,
+) -> Result<Simulator, delta_model::Error> {
+    let gpu = opt.apply(base)?;
+    let tile_scale = (opt.cta_tile_hw > 128).then_some(opt.cta_tile_hw / 128);
+    Ok(Simulator::new(
+        gpu,
+        SimConfig {
+            tile_scale,
+            ..config
+        },
+    ))
+}
+
 fn cmd_scaling(flags: &HashMap<String, String>) -> Result<(), String> {
-    let base = gpu_from(flags);
-    let batch: u32 = flags
-        .get("batch")
-        .map(|v| v.parse().map_err(|_| "--batch expects a number".to_string()))
-        .transpose()?
-        .unwrap_or(256);
+    let base = gpu_from(flags)?;
+    let backend = backend_from(flags)?;
+    let batch = batch_from(flags, backend, 256)?;
     let net = delta_networks::resnet152_full(batch).map_err(|e| e.to_string())?;
-    let time = |delta: &Delta| -> Result<f64, String> {
-        net.layers()
-            .iter()
-            .map(|l| {
-                delta
-                    .estimate_performance(l)
-                    .map(|p| p.seconds)
-                    .map_err(|e| e.to_string())
+    let options = DesignOption::paper_options();
+
+    // Baseline plus the nine options, all through the engine.
+    let (t0, points) = match backend {
+        BackendChoice::Model => {
+            let t0 = Engine::new(Delta::new(base.clone()))
+                .evaluate_network(net.layers())
+                .map_err(|e| e.to_string())?
+                .total_seconds();
+            let points =
+                engine::evaluate_design_space(&options, net.layers(), |opt| opt.model(&base))
+                    .map_err(|e| e.to_string())?;
+            (t0, points)
+        }
+        BackendChoice::Sim => {
+            let config = sim_config_from(flags);
+            let t0 = Engine::new(Simulator::new(base.clone(), config))
+                .evaluate_network(net.layers())
+                .map_err(|e| e.to_string())?
+                .total_seconds();
+            let points = engine::evaluate_design_space(&options, net.layers(), |opt| {
+                scaled_simulator(opt, &base, config)
             })
-            .sum()
+            .map_err(|e| e.to_string())?;
+            (t0, points)
+        }
     };
-    let t0 = time(&Delta::new(base.clone()))?;
-    println!("ResNet152 ({} convs, B={batch}) on {}: {:.1} ms", net.len(), base.name(), t0 * 1e3);
+
+    println!(
+        "ResNet152 ({} convs, B={batch}) on {} [{}]: {:.1} ms",
+        net.len(),
+        base.name(),
+        match backend {
+            BackendChoice::Model => "model",
+            BackendChoice::Sim => "sim",
+        },
+        t0 * 1e3
+    );
     println!("{:<8} {:>9} {:>10}", "option", "speedup", "rel. cost");
-    for opt in DesignOption::paper_options() {
-        let delta = opt.model(&base).map_err(|e| e.to_string())?;
-        let t = time(&delta)?;
-        println!("{:<8} {:>8.2}x {:>10.2}", opt.name, t0 / t, opt.relative_cost());
+    for p in &points {
+        println!(
+            "{:<8} {:>8.2}x {:>10.2}",
+            p.option.name,
+            p.speedup_over(t0),
+            p.option.relative_cost()
+        );
     }
     Ok(())
 }
 
 fn cmd_train(name: &str, flags: &HashMap<String, String>) -> Result<(), String> {
-    let gpu = gpu_from(flags);
-    let batch: u32 = flags
-        .get("batch")
-        .map(|v| v.parse().map_err(|_| "--batch expects a number".to_string()))
-        .transpose()?
-        .unwrap_or(64);
-    let net = delta_networks::paper_networks(batch)
-        .map_err(|e| e.to_string())?
-        .into_iter()
-        .find(|n| n.name().eq_ignore_ascii_case(name))
-        .ok_or(format!(
-            "unknown network `{name}` (try alexnet, vgg16, googlenet, resnet152)"
-        ))?;
-    let delta = Delta::new(gpu.clone());
-    let steps = delta_model::training::training_step(&delta, net.layers())
-        .map_err(|e| e.to_string())?;
-    println!("{net} training step on {gpu}");
-    let (mut fwd, mut bwd) = (0.0f64, 0.0f64);
-    for s in &steps {
-        println!("  {s}");
-        fwd += s.forward.perf.seconds;
-        bwd += s.seconds() - s.forward.perf.seconds;
+    let gpu = gpu_from(flags)?;
+    let backend = backend_from(flags)?;
+    let batch = batch_from(flags, backend, 64)?;
+    let net = find_network(name, batch)?;
+    let eval = match backend {
+        BackendChoice::Model => {
+            Engine::new(Delta::new(gpu.clone())).evaluate_training_step(net.layers())
+        }
+        BackendChoice::Sim => Engine::new(Simulator::new(gpu.clone(), sim_config_from(flags)))
+            .evaluate_training_step(net.layers()),
     }
+    .map_err(|e| e.to_string())?;
+
+    println!("{net} training step on {gpu}");
+    println!(
+        "{:<14} {:>9} {:>9} {:>9} {:>9}",
+        "layer", "fwd ms", "dgrad ms", "wgrad ms", "step ms"
+    );
+    for r in &eval.rows {
+        println!(
+            "{:<14} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            r.label,
+            r.forward.millis(),
+            r.dgrad.as_ref().map_or(0.0, |d| d.millis()),
+            r.wgrad.millis(),
+            r.seconds() * 1e3
+        );
+    }
+    let (fwd, bwd) = (eval.forward_seconds(), eval.backward_seconds());
     println!(
         "totals: forward {:.3} ms, backward {:.3} ms ({:.2}x), step {:.3} ms",
         fwd * 1e3,
@@ -218,48 +350,81 @@ fn cmd_gpus() {
     }
 }
 
-fn usage() {
-    eprintln!(
-        "usage: delta <command> [flags]\n\
-         commands:\n  \
-         layer    --ci N --hw N --co N [--filter N --stride N --pad N --batch N --gpu G --json]\n  \
-         network  <alexnet|vgg16|googlenet|resnet152> [--batch N --gpu G --json]\n  \
-         sim      --ci N --hw N --co N [--filter N ... --exhaustive]\n  \
-         train    <alexnet|vgg16|googlenet|resnet152> [--batch N --gpu G]\n  \
-         scaling  [--batch N --gpu G]\n  \
-         gpus"
-    );
+fn usage() -> String {
+    "usage: delta <command> [flags]\n\
+     commands:\n  \
+     layer    --ci N --hw N --co N [--filter N --stride N --pad N --batch N --gpu G --json]\n  \
+     network  <alexnet|vgg16|googlenet|resnet152> [--backend model|sim --batch N --gpu G --json --exhaustive]\n  \
+     sim      --ci N --hw N --co N [--filter N ... --exhaustive]\n  \
+     train    <alexnet|vgg16|googlenet|resnet152> [--backend model|sim --batch N --gpu G]\n  \
+     scaling  [--backend model|sim --batch N --gpu G]\n  \
+     gpus\n  \
+     help\n\
+     flags:\n  \
+     --gpu      titanxp (default) | p100 | v100\n  \
+     --backend  model (default: instant analytical model) | sim (trace-driven simulator)\n  \
+     --batch    mini-batch size (default 256 for model, 16 for sim)\n  \
+     --json     machine-readable output where supported\n\
+     multi-layer commands run on all cores with shape-keyed result caching"
+        .to_string()
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (positional, flags) = parse_flags(&args);
-    let result = match positional.first().map(String::as_str) {
-        Some("layer") => cmd_layer(&flags),
+fn run(positional: &[String], flags: &HashMap<String, String>) -> Result<(), String> {
+    match positional.first().map(String::as_str) {
+        Some("layer") => cmd_layer(flags),
         Some("network") => match positional.get(1) {
-            Some(name) => cmd_network(name, &flags),
+            Some(name) => cmd_network(name, flags),
             None => Err("network command needs a network name".into()),
         },
-        Some("sim") => cmd_sim(&flags),
+        Some("sim") => cmd_sim(flags),
         Some("train") => match positional.get(1) {
-            Some(name) => cmd_train(name, &flags),
+            Some(name) => cmd_train(name, flags),
             None => Err("train command needs a network name".into()),
         },
-        Some("scaling") => cmd_scaling(&flags),
+        Some("scaling") => cmd_scaling(flags),
         Some("gpus") => {
             cmd_gpus();
             Ok(())
         }
-        _ => {
-            usage();
-            return ExitCode::from(2);
+        Some(unknown) => Err(format!("unknown command `{unknown}`\n{}", usage())),
+        None => Err(format!("no command given\n{}", usage())),
+    }
+}
+
+/// Exits quietly when stdout closes mid-print (`delta ... | head`),
+/// instead of Rust's default panic-with-backtrace on EPIPE.
+fn exit_quietly_on_closed_stdout() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let is_epipe = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.contains("Broken pipe"));
+        if is_epipe {
+            // 128 + SIGPIPE, the conventional exit status of a tool
+            // killed by a closed pipe.
+            std::process::exit(141);
         }
-    };
-    match result {
+        default_hook(info);
+    }));
+}
+
+fn main() -> ExitCode {
+    exit_quietly_on_closed_stdout();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (positional, flags) = parse_flags(&args);
+    if flags.contains_key("help")
+        || flags.contains_key("h")
+        || positional.first().map(String::as_str) == Some("help")
+    {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    match run(&positional, &flags) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
@@ -291,7 +456,10 @@ mod tests {
     fn parse_flags_handles_adjacent_switches() {
         // A flag followed by another flag is a boolean switch; a flag
         // followed by a bare token consumes it as its value.
-        let args: Vec<String> = ["x", "--json", "--full"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["x", "--json", "--full"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let (pos, f) = parse_flags(&args);
         assert_eq!(pos, vec!["x"]);
         assert!(f.contains_key("json") && f.contains_key("full"));
@@ -310,16 +478,88 @@ mod tests {
     }
 
     #[test]
-    fn gpu_selection_defaults_to_titan_xp() {
-        assert_eq!(gpu_from(&flags(&[])).name(), "TITAN Xp");
-        assert_eq!(gpu_from(&flags(&[("gpu", "v100")])).name(), "V100");
-        assert_eq!(gpu_from(&flags(&[("gpu", "p100")])).name(), "P100");
+    fn gpu_selection_defaults_to_titan_xp_and_rejects_unknown() {
+        assert_eq!(gpu_from(&flags(&[])).unwrap().name(), "TITAN Xp");
+        assert_eq!(gpu_from(&flags(&[("gpu", "v100")])).unwrap().name(), "V100");
+        assert_eq!(gpu_from(&flags(&[("gpu", "p100")])).unwrap().name(), "P100");
+        assert_eq!(
+            gpu_from(&flags(&[("gpu", "titanxp")])).unwrap().name(),
+            "TITAN Xp"
+        );
+        let err = gpu_from(&flags(&[("gpu", "a100")])).unwrap_err();
+        assert!(err.contains("a100") && err.contains("titanxp"), "{err}");
+    }
+
+    #[test]
+    fn backend_selection_defaults_to_model_and_rejects_unknown() {
+        assert_eq!(backend_from(&flags(&[])).unwrap(), BackendChoice::Model);
+        assert_eq!(
+            backend_from(&flags(&[("backend", "sim")])).unwrap(),
+            BackendChoice::Sim
+        );
+        let err = backend_from(&flags(&[("backend", "fpga")])).unwrap_err();
+        assert!(err.contains("fpga") && err.contains("model"), "{err}");
+    }
+
+    #[test]
+    fn batch_defaults_depend_on_backend() {
+        assert_eq!(
+            batch_from(&flags(&[]), BackendChoice::Model, 256).unwrap(),
+            256
+        );
+        assert_eq!(
+            batch_from(&flags(&[]), BackendChoice::Sim, 256).unwrap(),
+            16
+        );
+        assert_eq!(
+            batch_from(&flags(&[("batch", "32")]), BackendChoice::Sim, 256).unwrap(),
+            32
+        );
+        assert!(batch_from(&flags(&[("batch", "x")]), BackendChoice::Model, 256).is_err());
+    }
+
+    #[test]
+    fn unknown_command_and_missing_command_error_with_usage() {
+        let err = run(&["frobnicate".to_string()], &flags(&[])).unwrap_err();
+        assert!(err.contains("unknown command `frobnicate`"));
+        assert!(err.contains("usage: delta"));
+        let err = run(&[], &flags(&[])).unwrap_err();
+        assert!(err.contains("no command given"));
     }
 
     #[test]
     fn commands_run_end_to_end() {
-        cmd_layer(&flags(&[("ci", "16"), ("hw", "14"), ("co", "32"), ("batch", "2")])).unwrap();
+        cmd_layer(&flags(&[
+            ("ci", "16"),
+            ("hw", "14"),
+            ("co", "32"),
+            ("batch", "2"),
+        ]))
+        .unwrap();
         cmd_gpus();
         assert!(cmd_network("nope", &flags(&[])).is_err());
+        // Unknown GPU propagates out of network too.
+        assert!(cmd_network("alexnet", &flags(&[("gpu", "tpu")])).is_err());
+    }
+
+    #[test]
+    fn network_runs_through_both_backends() {
+        // Model at paper batch; sim at a tiny batch to stay fast.
+        cmd_network("alexnet", &flags(&[("batch", "16")])).unwrap();
+        cmd_network("alexnet", &flags(&[("backend", "sim"), ("batch", "2")])).unwrap();
+    }
+
+    #[test]
+    fn scaled_simulator_honors_tile_growth() {
+        let opts = DesignOption::paper_options();
+        let wide = opts
+            .iter()
+            .find(|o| o.cta_tile_hw == 256)
+            .expect("7-9 use 256");
+        let sim = scaled_simulator(wide, &GpuSpec::titan_xp(), SimConfig::default()).unwrap();
+        assert_eq!(sim.config().tile_scale, Some(2));
+        let narrow = &opts[0];
+        let sim = scaled_simulator(narrow, &GpuSpec::titan_xp(), SimConfig::default()).unwrap();
+        assert_eq!(sim.config().tile_scale, None);
     }
 }

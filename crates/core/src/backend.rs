@@ -1,0 +1,270 @@
+//! The [`Backend`] abstraction: one interface over the repository's two
+//! estimators of the same physical quantities.
+//!
+//! DeLTA is two things at once — a closed-form analytical model
+//! ([`Delta`], §IV–§V of the paper) and, in this reproduction, a
+//! trace-driven simulator (`delta_sim::Simulator`) that measures the same
+//! traffic and time at the address level. Historically the two exposed
+//! divergent APIs (`analyze -> LayerReport` vs `run -> Measurement`),
+//! forcing every consumer (CLI, experiments, examples) to carry its own
+//! glue. [`Backend`] unifies them behind `estimate_layer`, returning the
+//! common [`LayerEstimate`], so whole-network drivers
+//! ([`crate::engine`]) can fan either estimator across cores without
+//! knowing which one they hold.
+
+use crate::error::Error;
+use crate::gpu::GpuSpec;
+use crate::layer::ConvLayer;
+use crate::model::Delta;
+use crate::perf::Bottleneck;
+use crate::report::LayerReport;
+use crate::training;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which kind of estimator produced a [`LayerEstimate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EstimateSource {
+    /// The closed-form analytical model (instant, §IV–§V equations).
+    Model,
+    /// The trace-driven simulator (address-level measurement).
+    Simulation,
+}
+
+impl fmt::Display for EstimateSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EstimateSource::Model => "model",
+            EstimateSource::Simulation => "sim",
+        })
+    }
+}
+
+/// One layer's estimated traffic and execution time, in the units the
+/// paper's figures use — the common denominator of the analytical
+/// model's (`TrafficEstimate` + `PerfEstimate`) and the simulator's
+/// `Measurement`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerEstimate {
+    /// L1 traffic in bytes (requests × request size).
+    pub l1_bytes: f64,
+    /// L2 traffic in bytes (L1 misses × sector size).
+    pub l2_bytes: f64,
+    /// DRAM read traffic in bytes (L2 misses × sector size).
+    pub dram_read_bytes: f64,
+    /// DRAM write traffic in bytes (OFmap stores).
+    pub dram_write_bytes: f64,
+    /// L1 sector miss rate in `[0, 1]`.
+    pub l1_miss_rate: f64,
+    /// L2 sector miss rate in `[0, 1]`.
+    pub l2_miss_rate: f64,
+    /// Execution time in core clocks (busiest SM).
+    pub cycles: f64,
+    /// Execution time in seconds at the device clock.
+    pub seconds: f64,
+    /// The limiting resource — `None` for backends (like the simulator)
+    /// that measure time without attributing it to one resource.
+    pub bottleneck: Option<Bottleneck>,
+    /// Which estimator produced this estimate.
+    pub source: EstimateSource,
+}
+
+impl LayerEstimate {
+    /// Execution time in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.seconds * 1e3
+    }
+
+    /// Total DRAM traffic, reads plus writes.
+    pub fn dram_total_bytes(&self) -> f64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// Builds the estimate equivalent of a model [`LayerReport`].
+    pub fn from_report(report: &LayerReport, gpu: &GpuSpec) -> LayerEstimate {
+        let _ = gpu; // reserved: future device-dependent derived fields
+        LayerEstimate {
+            l1_bytes: report.traffic.l1_bytes,
+            l2_bytes: report.traffic.l2_bytes,
+            dram_read_bytes: report.traffic.dram_bytes,
+            // The model does not carry a store model; the compulsory
+            // write-once OFmap volume is its analog of the simulator's
+            // streamed epilogue stores.
+            dram_write_bytes: report.layer.ofmap_bytes() as f64,
+            l1_miss_rate: report.traffic.l1_miss_rate(),
+            l2_miss_rate: report.traffic.l2_miss_rate(),
+            cycles: report.perf.cycles,
+            seconds: report.perf.seconds,
+            bottleneck: Some(report.perf.bottleneck),
+            source: EstimateSource::Model,
+        }
+    }
+}
+
+impl fmt::Display for LayerEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] L1 {:.3} GB, L2 {:.3} GB, DRAM {:.3}+{:.3} GB, {:.3} ms",
+            self.source,
+            self.l1_bytes / 1e9,
+            self.l2_bytes / 1e9,
+            self.dram_read_bytes / 1e9,
+            self.dram_write_bytes / 1e9,
+            self.millis()
+        )?;
+        if let Some(b) = self.bottleneck {
+            write!(f, " ({b})")?;
+        }
+        Ok(())
+    }
+}
+
+/// A layer estimator bound to one GPU description: the common interface
+/// of the analytical model and the trace-driven simulator.
+///
+/// `Send + Sync` is a supertrait so any backend can be fanned across
+/// threads by [`crate::engine::Engine`]; implementations keep all
+/// per-evaluation state on the stack of `estimate_layer`.
+pub trait Backend: Send + Sync {
+    /// Short stable identifier (`"model"`, `"sim"`) used in CLI flags and
+    /// report headers.
+    fn name(&self) -> &'static str;
+
+    /// The device this backend evaluates on.
+    fn gpu(&self) -> &GpuSpec;
+
+    /// Estimates one forward conv layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/GPU validation failures.
+    fn estimate_layer(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error>;
+
+    /// Estimates the weight-gradient pass of `layer`.
+    ///
+    /// The default routes the wgrad GEMM through `estimate_layer` as the
+    /// FC-shaped layer [`training::wgrad_layer`] builds; backends with a
+    /// better-suited path (the model's split-K tiling) override this.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pass-construction and estimation failures.
+    fn estimate_wgrad(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
+        self.estimate_layer(&training::wgrad_layer(layer)?)
+    }
+}
+
+impl Backend for Delta {
+    fn name(&self) -> &'static str {
+        "model"
+    }
+
+    fn gpu(&self) -> &GpuSpec {
+        Delta::gpu(self)
+    }
+
+    fn estimate_layer(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
+        let report = self.analyze(layer)?;
+        Ok(LayerEstimate::from_report(&report, Delta::gpu(self)))
+    }
+
+    fn estimate_wgrad(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
+        // cuDNN runs wgrad as a split-K kernel; mirror the training
+        // module's device-filling tiling instead of the naive FC path.
+        let report = training::analyze_wgrad(self, layer)?;
+        Ok(LayerEstimate::from_report(&report, Delta::gpu(self)))
+    }
+}
+
+impl<B: Backend + ?Sized> Backend for &B {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn gpu(&self) -> &GpuSpec {
+        (**self).gpu()
+    }
+
+    fn estimate_layer(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
+        (**self).estimate_layer(layer)
+    }
+
+    fn estimate_wgrad(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
+        (**self).estimate_wgrad(layer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> ConvLayer {
+        ConvLayer::builder("backend_test")
+            .batch(32)
+            .input(64, 28, 28)
+            .output_channels(128)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn model_backend_matches_analyze() {
+        let delta = Delta::new(GpuSpec::titan_xp());
+        let report = delta.analyze(&layer()).unwrap();
+        let est = Backend::estimate_layer(&delta, &layer()).unwrap();
+        assert_eq!(est.l1_bytes, report.traffic.l1_bytes);
+        assert_eq!(est.l2_bytes, report.traffic.l2_bytes);
+        assert_eq!(est.dram_read_bytes, report.traffic.dram_bytes);
+        assert_eq!(est.cycles, report.perf.cycles);
+        assert_eq!(est.seconds, report.perf.seconds);
+        assert_eq!(est.bottleneck, Some(report.perf.bottleneck));
+        assert_eq!(est.source, EstimateSource::Model);
+        assert_eq!(Backend::name(&delta), "model");
+        assert_eq!(Backend::gpu(&delta).name(), "TITAN Xp");
+    }
+
+    #[test]
+    fn model_wgrad_uses_split_k_path() {
+        let delta = Delta::new(GpuSpec::titan_xp());
+        let via_backend = Backend::estimate_wgrad(&delta, &layer()).unwrap();
+        let via_training = training::analyze_wgrad(&delta, &layer()).unwrap();
+        assert_eq!(via_backend.cycles, via_training.perf.cycles);
+        // The split-K tiling must beat the naive single-CTA-column path.
+        let naive =
+            Backend::estimate_layer(&delta, &training::wgrad_layer(&layer()).unwrap()).unwrap();
+        assert!(via_backend.seconds <= naive.seconds * 1.001);
+    }
+
+    #[test]
+    fn reference_backends_delegate() {
+        let delta = Delta::new(GpuSpec::v100());
+        let by_ref: &dyn Backend = &&delta;
+        assert_eq!(by_ref.name(), "model");
+        assert!(by_ref.estimate_layer(&layer()).is_ok());
+    }
+
+    #[test]
+    fn estimate_display_and_serde_round_trip() {
+        let delta = Delta::new(GpuSpec::titan_xp());
+        let est = Backend::estimate_layer(&delta, &layer()).unwrap();
+        let s = est.to_string();
+        assert!(s.contains("[model]") && s.contains("ms"));
+        let json = serde_json::to_string(&est).unwrap();
+        let back: LayerEstimate = serde_json::from_str(&json).unwrap();
+        assert_eq!(est, back);
+    }
+
+    #[test]
+    fn miss_rates_and_funnel_are_consistent() {
+        let delta = Delta::new(GpuSpec::titan_xp());
+        let est = Backend::estimate_layer(&delta, &layer()).unwrap();
+        assert!(est.l1_bytes >= est.l2_bytes);
+        assert!(est.l2_bytes >= est.dram_read_bytes);
+        assert!((0.0..=1.0).contains(&est.l1_miss_rate));
+        assert!((0.0..=1.0).contains(&est.l2_miss_rate));
+        assert!(est.dram_write_bytes > 0.0);
+    }
+}

@@ -1,0 +1,707 @@
+//! The network-evaluation engine: fans any [`Backend`] over whole
+//! networks, training steps, and design-space sweeps — in parallel, with
+//! a shape-keyed result cache.
+//!
+//! Two observations make this the right architecture for the ROADMAP's
+//! production-scale goal:
+//!
+//! 1. **Layer evaluations are independent.** Both the analytical model
+//!    and the trace-driven simulator evaluate one layer at a time with no
+//!    shared mutable state, so a network's layers parallelize perfectly
+//!    across cores ([`rayon`]).
+//! 2. **Real CNNs repeat layer shapes.** GoogLeNet's inception branches
+//!    and ResNet152's residual blocks reuse identical `(B, Ci, H, W, Co,
+//!    Hf, Wf, stride, pad)` configurations many times; a cache keyed on
+//!    [`LayerShape`] evaluates each unique shape once. ResNet152's full
+//!    151-conv forward pass collapses to ~17 unique simulations.
+//!
+//! Combined, the cached parallel engine turns a full-network simulation
+//! from minutes of sequential per-layer loops into seconds, and the same
+//! driver serves the model backend unchanged.
+//!
+//! ```rust
+//! use delta_model::engine::Engine;
+//! use delta_model::{ConvLayer, Delta, GpuSpec};
+//!
+//! # fn main() -> Result<(), delta_model::Error> {
+//! let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
+//! let a = ConvLayer::builder("a").batch(8).input(16, 14, 14)
+//!     .output_channels(32).filter(3, 3).pad(1).build()?;
+//! let b = a.with_label("b"); // same shape, different label
+//! let eval = engine.evaluate_network(&[a, b])?;
+//! assert_eq!(eval.rows.len(), 2);
+//! assert_eq!(engine.cache_stats().misses, 1); // shape evaluated once
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::backend::{Backend, LayerEstimate};
+use crate::error::Error;
+use crate::layer::ConvLayer;
+use crate::perf::Bottleneck;
+use crate::scaling::DesignOption;
+use crate::training;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The cache key: every dimension that determines a layer's estimate,
+/// i.e. a [`ConvLayer`] minus its label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerShape {
+    /// Mini-batch size.
+    pub batch: u32,
+    /// Input channels.
+    pub in_channels: u32,
+    /// Input height.
+    pub in_height: u32,
+    /// Input width.
+    pub in_width: u32,
+    /// Output channels.
+    pub out_channels: u32,
+    /// Filter height.
+    pub filter_height: u32,
+    /// Filter width.
+    pub filter_width: u32,
+    /// Stride.
+    pub stride: u32,
+    /// Padding.
+    pub pad: u32,
+}
+
+impl LayerShape {
+    /// Extracts the shape of `layer`.
+    pub fn of(layer: &ConvLayer) -> LayerShape {
+        LayerShape {
+            batch: layer.batch(),
+            in_channels: layer.in_channels(),
+            in_height: layer.in_height(),
+            in_width: layer.in_width(),
+            out_channels: layer.out_channels(),
+            filter_height: layer.filter_height(),
+            filter_width: layer.filter_width(),
+            stride: layer.stride(),
+            pad: layer.pad(),
+        }
+    }
+}
+
+/// Which estimation path a cache entry came from. Forward and wgrad
+/// estimates of the same source shape are distinct quantities (wgrad may
+/// use a split-K tiling), so the pass is part of the cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Pass {
+    Forward,
+    Wgrad,
+}
+
+type CacheKey = (LayerShape, Pass);
+
+/// Engine tuning knobs; the defaults (parallel, cached) are what every
+/// production caller wants. The ablation switches exist for benchmarks
+/// that quantify each mechanism's contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Evaluate independent layers on multiple cores.
+    pub parallel: bool,
+    /// Reuse results across repeated layer shapes.
+    pub cache: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            parallel: true,
+            cache: true,
+        }
+    }
+}
+
+/// Cache-effectiveness counters (cumulative over the engine's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Layer evaluations answered from the cache (or deduplicated within
+    /// one call).
+    pub hits: u64,
+    /// Layer evaluations that ran a backend estimation.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served without running the backend.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The parallel cached evaluation driver over one [`Backend`].
+#[derive(Debug)]
+pub struct Engine<B: Backend> {
+    backend: B,
+    options: EngineOptions,
+    cache: Mutex<HashMap<CacheKey, LayerEstimate>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<B: Backend> Engine<B> {
+    /// Creates an engine with the default options (parallel + cached).
+    pub fn new(backend: B) -> Engine<B> {
+        Engine::with_options(backend, EngineOptions::default())
+    }
+
+    /// Creates an engine with explicit options.
+    pub fn with_options(backend: B, options: EngineOptions) -> Engine<B> {
+        Engine {
+            backend,
+            options,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The active options.
+    pub fn options(&self) -> EngineOptions {
+        self.options
+    }
+
+    /// Cumulative cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops all cached results (the counters are preserved).
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("engine cache poisoned").clear();
+    }
+
+    /// Estimates one layer through the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend estimation failures.
+    pub fn evaluate_layer(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
+        Ok(self
+            .evaluate_batch(std::slice::from_ref(layer), Pass::Forward)?
+            .remove(0))
+    }
+
+    /// Estimates every layer, in order. This is the primitive the
+    /// network/training/sweep drivers build on: unique uncached shapes
+    /// are evaluated in parallel, repeated shapes are served once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first backend estimation failure.
+    pub fn evaluate_layers(&self, layers: &[ConvLayer]) -> Result<Vec<LayerEstimate>, Error> {
+        self.evaluate_batch(layers, Pass::Forward)
+    }
+
+    /// Evaluates a whole network (any ordered layer slice) and bundles
+    /// per-layer rows with summary accessors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first backend estimation failure.
+    pub fn evaluate_network(&self, layers: &[ConvLayer]) -> Result<NetworkEvaluation, Error> {
+        let estimates = self.evaluate_batch(layers, Pass::Forward)?;
+        Ok(NetworkEvaluation {
+            backend: self.backend.name().to_string(),
+            gpu: self.backend.gpu().name().to_string(),
+            rows: layers
+                .iter()
+                .zip(estimates)
+                .map(|(l, estimate)| LayerRow {
+                    label: l.label().to_string(),
+                    estimate,
+                })
+                .collect(),
+        })
+    }
+
+    /// Evaluates one whole training step (forward + dgrad + wgrad per
+    /// layer; the first layer skips dgrad). All passes of all layers go
+    /// through the same parallel cached pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pass-construction and estimation failures.
+    pub fn evaluate_training_step(
+        &self,
+        layers: &[ConvLayer],
+    ) -> Result<TrainingStepEvaluation, Error> {
+        // Build the dgrad companions first (pure shape transforms).
+        let dgrads: Vec<Option<ConvLayer>> = layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 0 {
+                    Ok(None)
+                } else {
+                    training::dgrad_layer(l).map(Some)
+                }
+            })
+            .collect::<Result<_, _>>()?;
+
+        // Forward and dgrad passes are ordinary convolutions: evaluate
+        // them as one batch so their shapes share the parallel fan-out
+        // and the cache.
+        let mut plain: Vec<ConvLayer> = layers.to_vec();
+        plain.extend(dgrads.iter().flatten().cloned());
+        let mut plain_est = self.evaluate_batch(&plain, Pass::Forward)?;
+        let dgrad_est: Vec<LayerEstimate> = plain_est.split_off(layers.len());
+        let wgrad_est = self.evaluate_batch(layers, Pass::Wgrad)?;
+
+        let mut dgrad_iter = dgrad_est.into_iter();
+        let rows = layers
+            .iter()
+            .zip(plain_est)
+            .zip(wgrad_est)
+            .zip(&dgrads)
+            .map(|(((l, forward), wgrad), dgrad)| TrainingRow {
+                label: l.label().to_string(),
+                forward,
+                dgrad: dgrad.as_ref().map(|_| {
+                    dgrad_iter
+                        .next()
+                        .expect("one dgrad estimate per non-first layer")
+                }),
+                wgrad,
+            })
+            .collect();
+        Ok(TrainingStepEvaluation {
+            backend: self.backend.name().to_string(),
+            gpu: self.backend.gpu().name().to_string(),
+            rows,
+        })
+    }
+
+    /// The shared batched path: dedup against the cache, evaluate what is
+    /// missing (in parallel when enabled), then assemble in input order.
+    fn evaluate_batch(
+        &self,
+        layers: &[ConvLayer],
+        pass: Pass,
+    ) -> Result<Vec<LayerEstimate>, Error> {
+        if !self.options.cache {
+            self.misses
+                .fetch_add(layers.len() as u64, Ordering::Relaxed);
+            let results = self.run_backend(&layers.iter().collect::<Vec<_>>(), pass);
+            return results.into_iter().collect();
+        }
+
+        let keys: Vec<CacheKey> = layers.iter().map(|l| (LayerShape::of(l), pass)).collect();
+        let mut missing: Vec<(CacheKey, &ConvLayer)> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("engine cache poisoned");
+            let mut queued = HashSet::new();
+            for (key, layer) in keys.iter().zip(layers) {
+                if !cache.contains_key(key) && queued.insert(*key) {
+                    missing.push((*key, layer));
+                }
+            }
+        }
+        self.hits
+            .fetch_add((layers.len() - missing.len()) as u64, Ordering::Relaxed);
+        self.misses
+            .fetch_add(missing.len() as u64, Ordering::Relaxed);
+
+        let fresh: Vec<&ConvLayer> = missing.iter().map(|(_, l)| *l).collect();
+        let results = self.run_backend(&fresh, pass);
+
+        let mut cache = self.cache.lock().expect("engine cache poisoned");
+        for ((key, _), result) in missing.iter().zip(results) {
+            cache.insert(*key, result?);
+        }
+        Ok(keys
+            .iter()
+            .map(|key| {
+                cache
+                    .get(key)
+                    .expect("every key was inserted above")
+                    .clone()
+            })
+            .collect())
+    }
+
+    /// Runs the backend over `layers`, in parallel when enabled and
+    /// worthwhile.
+    fn run_backend(&self, layers: &[&ConvLayer], pass: Pass) -> Vec<Result<LayerEstimate, Error>> {
+        let eval = |layer: &ConvLayer| match pass {
+            Pass::Forward => self.backend.estimate_layer(layer),
+            Pass::Wgrad => self.backend.estimate_wgrad(layer),
+        };
+        if self.options.parallel && layers.len() > 1 {
+            layers.par_iter().map(|l| eval(l)).collect()
+        } else {
+            layers.iter().map(|l| eval(l)).collect()
+        }
+    }
+}
+
+/// One labeled per-layer result inside a [`NetworkEvaluation`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerRow {
+    /// The layer's label (paper naming).
+    pub label: String,
+    /// The backend's estimate.
+    pub estimate: LayerEstimate,
+}
+
+/// A whole network's evaluation: ordered per-layer rows plus summary
+/// accessors, produced by [`Engine::evaluate_network`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkEvaluation {
+    /// Which backend produced the rows (`"model"` / `"sim"`).
+    pub backend: String,
+    /// Device name.
+    pub gpu: String,
+    /// Per-layer results in network order.
+    pub rows: Vec<LayerRow>,
+}
+
+impl NetworkEvaluation {
+    /// Sum of per-layer predicted/measured seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.rows.iter().map(|r| r.estimate.seconds).sum()
+    }
+
+    /// Sum of per-layer DRAM read traffic in bytes.
+    pub fn total_dram_read_bytes(&self) -> f64 {
+        self.rows.iter().map(|r| r.estimate.dram_read_bytes).sum()
+    }
+
+    /// Sum of per-layer L2 traffic in bytes.
+    pub fn total_l2_bytes(&self) -> f64 {
+        self.rows.iter().map(|r| r.estimate.l2_bytes).sum()
+    }
+
+    /// Sum of per-layer L1 traffic in bytes.
+    pub fn total_l1_bytes(&self) -> f64 {
+        self.rows.iter().map(|r| r.estimate.l1_bytes).sum()
+    }
+
+    /// Histogram of limiting resources over layers that report one, in
+    /// [`Bottleneck::ALL`] order with zero-count entries removed.
+    pub fn bottleneck_counts(&self) -> Vec<(Bottleneck, usize)> {
+        Bottleneck::ALL
+            .iter()
+            .map(|b| {
+                (
+                    *b,
+                    self.rows
+                        .iter()
+                        .filter(|r| r.estimate.bottleneck == Some(*b))
+                        .count(),
+                )
+            })
+            .filter(|(_, n)| *n > 0)
+            .collect()
+    }
+}
+
+impl fmt::Display for NetworkEvaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:>10} {:>10} {:>10} {:>9} {:>10}",
+            "layer", "L1 GB", "L2 GB", "DRAM GB", "ms", "bottleneck"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<16} {:>10.3} {:>10.3} {:>10.3} {:>9.3} {:>10}",
+                r.label,
+                r.estimate.l1_bytes / 1e9,
+                r.estimate.l2_bytes / 1e9,
+                r.estimate.dram_read_bytes / 1e9,
+                r.estimate.millis(),
+                r.estimate
+                    .bottleneck
+                    .map_or("-".to_string(), |b| b.to_string()),
+            )?;
+        }
+        write!(
+            f,
+            "total ({} on {}): {:.3} ms",
+            self.backend,
+            self.gpu,
+            self.total_seconds() * 1e3
+        )
+    }
+}
+
+/// One layer's training-step estimates inside a
+/// [`TrainingStepEvaluation`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingRow {
+    /// The forward layer's label.
+    pub label: String,
+    /// Forward-pass estimate.
+    pub forward: LayerEstimate,
+    /// Data-gradient estimate; `None` for the network's first layer.
+    pub dgrad: Option<LayerEstimate>,
+    /// Weight-gradient estimate.
+    pub wgrad: LayerEstimate,
+}
+
+impl TrainingRow {
+    /// Total step time for this layer in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.forward.seconds + self.dgrad.as_ref().map_or(0.0, |d| d.seconds) + self.wgrad.seconds
+    }
+}
+
+/// A whole network's training-step evaluation, produced by
+/// [`Engine::evaluate_training_step`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingStepEvaluation {
+    /// Which backend produced the rows.
+    pub backend: String,
+    /// Device name.
+    pub gpu: String,
+    /// Per-layer results in network order.
+    pub rows: Vec<TrainingRow>,
+}
+
+impl TrainingStepEvaluation {
+    /// Total step time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.rows.iter().map(TrainingRow::seconds).sum()
+    }
+
+    /// Forward-pass time in seconds.
+    pub fn forward_seconds(&self) -> f64 {
+        self.rows.iter().map(|r| r.forward.seconds).sum()
+    }
+
+    /// Backward-pass (dgrad + wgrad) time in seconds.
+    pub fn backward_seconds(&self) -> f64 {
+        self.total_seconds() - self.forward_seconds()
+    }
+}
+
+/// One design option's whole-network result from
+/// [`evaluate_design_space`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPointEvaluation {
+    /// The design option evaluated.
+    pub option: DesignOption,
+    /// The network evaluation under that option.
+    pub evaluation: NetworkEvaluation,
+}
+
+impl DesignPointEvaluation {
+    /// Speedup of this option over a baseline time.
+    pub fn speedup_over(&self, baseline_seconds: f64) -> f64 {
+        baseline_seconds / self.evaluation.total_seconds()
+    }
+}
+
+/// Evaluates `layers` under every design option: the §VII-C scaling
+/// study generalized over backends. `make_backend` builds the
+/// option-scaled backend (e.g. `opt.model(&base)` for the analytical
+/// model, or a simulator on `opt.apply(&base)`); each option gets its own
+/// engine so shape caching applies within — but never across — device
+/// configurations.
+///
+/// # Errors
+///
+/// Propagates backend-construction and estimation failures.
+pub fn evaluate_design_space<B, F>(
+    options: &[DesignOption],
+    layers: &[ConvLayer],
+    make_backend: F,
+) -> Result<Vec<DesignPointEvaluation>, Error>
+where
+    B: Backend,
+    F: Fn(&DesignOption) -> Result<B, Error>,
+{
+    options
+        .iter()
+        .map(|option| {
+            let engine = Engine::new(make_backend(option)?);
+            Ok(DesignPointEvaluation {
+                option: option.clone(),
+                evaluation: engine.evaluate_network(layers)?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Delta, GpuSpec};
+
+    fn conv(label: &str, ci: u32, hw: u32, co: u32) -> ConvLayer {
+        ConvLayer::builder(label)
+            .batch(8)
+            .input(ci, hw, hw)
+            .output_channels(co)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap()
+    }
+
+    fn repeated_net() -> Vec<ConvLayer> {
+        vec![
+            conv("a1", 16, 14, 32),
+            conv("b", 32, 14, 32),
+            conv("a2", 16, 14, 32), // same shape as a1
+            conv("a3", 16, 14, 32), // same shape as a1
+        ]
+    }
+
+    #[test]
+    fn network_rows_match_direct_backend_calls() {
+        let delta = Delta::new(GpuSpec::titan_xp());
+        let engine = Engine::new(delta.clone());
+        let net = repeated_net();
+        let eval = engine.evaluate_network(&net).unwrap();
+        assert_eq!(eval.rows.len(), 4);
+        assert_eq!(eval.backend, "model");
+        for (row, layer) in eval.rows.iter().zip(&net) {
+            assert_eq!(row.label, layer.label());
+            let direct = Backend::estimate_layer(&delta, layer).unwrap();
+            assert_eq!(row.estimate, direct, "{}", layer.label());
+        }
+    }
+
+    #[test]
+    fn cache_deduplicates_repeated_shapes() {
+        let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        engine.evaluate_network(&repeated_net()).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 2, "two unique shapes");
+        assert_eq!(stats.hits, 2, "two repeats");
+        // Second run is fully cached.
+        engine.evaluate_network(&repeated_net()).unwrap();
+        assert_eq!(engine.cache_stats().misses, 2);
+        assert_eq!(engine.cache_stats().hits, 6);
+        assert!(engine.cache_stats().hit_rate() > 0.7);
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let net = repeated_net();
+        let par = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        let seq = Engine::with_options(
+            Delta::new(GpuSpec::titan_xp()),
+            EngineOptions {
+                parallel: false,
+                cache: false,
+            },
+        );
+        assert_eq!(
+            par.evaluate_network(&net).unwrap().rows,
+            seq.evaluate_network(&net).unwrap().rows
+        );
+    }
+
+    #[test]
+    fn uncached_engine_counts_every_evaluation() {
+        let engine = Engine::with_options(
+            Delta::new(GpuSpec::titan_xp()),
+            EngineOptions {
+                parallel: true,
+                cache: false,
+            },
+        );
+        engine.evaluate_network(&repeated_net()).unwrap();
+        assert_eq!(engine.cache_stats().misses, 4);
+        assert_eq!(engine.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn training_step_matches_training_module() {
+        let delta = Delta::new(GpuSpec::titan_xp());
+        let engine = Engine::new(delta.clone());
+        let net = vec![conv("first", 3, 28, 16), conv("second", 16, 28, 32)];
+        let eval = engine.evaluate_training_step(&net).unwrap();
+        assert!(eval.rows[0].dgrad.is_none(), "first layer skips dgrad");
+        assert!(eval.rows[1].dgrad.is_some());
+        let reference = training::training_step(&delta, &net).unwrap();
+        let ref_total: f64 = reference.iter().map(|t| t.seconds()).sum();
+        assert!((eval.total_seconds() - ref_total).abs() < 1e-12 * ref_total.abs());
+        assert!(eval.backward_seconds() > eval.forward_seconds() * 0.5);
+    }
+
+    #[test]
+    fn evaluate_layer_uses_cache() {
+        let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        let l = conv("x", 16, 14, 32);
+        let a = engine.evaluate_layer(&l).unwrap();
+        let b = engine.evaluate_layer(&l).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(engine.cache_stats().misses, 1);
+        assert_eq!(engine.cache_stats().hits, 1);
+        engine.clear_cache();
+        engine.evaluate_layer(&l).unwrap();
+        assert_eq!(engine.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn design_space_driver_reproduces_scaling_shape() {
+        let base = GpuSpec::titan_xp();
+        let net = vec![conv("l1", 64, 28, 128), conv("l2", 128, 14, 256)];
+        let options = DesignOption::paper_options();
+        let points = evaluate_design_space(&options, &net, |opt| opt.model(&base)).unwrap();
+        assert_eq!(points.len(), options.len());
+        let baseline = Engine::new(Delta::new(base))
+            .evaluate_network(&net)
+            .unwrap()
+            .total_seconds();
+        for p in &points {
+            assert!(
+                p.speedup_over(baseline) > 0.8,
+                "option {} slower than baseline: {:.2}",
+                p.option.name,
+                p.speedup_over(baseline)
+            );
+        }
+    }
+
+    #[test]
+    fn propagates_backend_errors() {
+        // An invalid GPU spec fails validation inside Delta::analyze.
+        let bad = GpuSpec::titan_xp().to_builder().num_sm(0).build();
+        assert!(bad.is_err(), "builder rejects directly");
+    }
+
+    #[test]
+    fn display_renders_summary_table() {
+        let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        let eval = engine.evaluate_network(&repeated_net()).unwrap();
+        let s = eval.to_string();
+        assert!(s.contains("bottleneck"));
+        assert!(s.contains("a1") && s.contains("total (model on TITAN Xp)"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        let eval = engine.evaluate_network(&repeated_net()).unwrap();
+        let json = serde_json::to_string(&eval).unwrap();
+        let back: NetworkEvaluation = serde_json::from_str(&json).unwrap();
+        assert_eq!(eval, back);
+    }
+}

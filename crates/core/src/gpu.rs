@@ -314,7 +314,7 @@ impl GpuSpec {
                 return Err(fail(&format!("{what} must be non-negative")));
             }
         }
-        if self.l1_request_bytes == 0 || self.l1_request_bytes % 32 != 0 {
+        if self.l1_request_bytes == 0 || !self.l1_request_bytes.is_multiple_of(32) {
             return Err(fail("L1 request size must be a positive multiple of 32 B"));
         }
         if self.max_ctas_per_sm == 0 {

@@ -525,7 +525,11 @@ mod tests {
             .build()
             .is_err());
         let mut b = ConvLayer::builder("z");
-        b.batch(1).input(1, 4, 4).output_channels(1).filter(1, 1).stride(0);
+        b.batch(1)
+            .input(1, 4, 4)
+            .output_channels(1)
+            .filter(1, 1)
+            .stride(0);
         assert!(b.build().is_err());
     }
 
@@ -551,7 +555,9 @@ mod tests {
     #[test]
     fn display_mentions_all_dims() {
         let s = vgg_conv1().to_string();
-        for needle in ["B=256", "Ci=3", "224x224", "Co=64", "3x3", "stride 1", "pad 1"] {
+        for needle in [
+            "B=256", "Ci=3", "224x224", "Co=64", "3x3", "stride 1", "pad 1",
+        ] {
             assert!(s.contains(needle), "missing {needle} in {s}");
         }
     }

@@ -52,11 +52,15 @@
 //! | [`perf`] | §V performance model (Eqs. 11–18, Fig. 10 cases) |
 //! | [`scaling`] | §VII-C GPU design-space scaling study (Fig. 16) |
 //! | [`sweep`] | Appendix A sensitivity-study sweeps (Fig. 17) |
+//! | [`backend`] | — unified estimator interface (model & simulator) |
+//! | [`engine`] | — parallel cached network/training/sweep driver |
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 #![warn(rust_2018_idioms)]
 
+pub mod backend;
+pub mod engine;
 pub mod error;
 pub mod gpu;
 pub mod layer;
@@ -66,9 +70,11 @@ pub mod report;
 pub mod scaling;
 pub mod sweep;
 pub mod tiling;
-pub mod training;
 pub mod traffic;
+pub mod training;
 
+pub use backend::{Backend, EstimateSource, LayerEstimate};
+pub use engine::{Engine, NetworkEvaluation};
 pub use error::Error;
 pub use gpu::GpuSpec;
 pub use layer::ConvLayer;
@@ -77,8 +83,8 @@ pub use perf::{Bottleneck, PerfEstimate};
 pub use report::LayerReport;
 pub use scaling::DesignOption;
 pub use tiling::CtaTile;
-pub use training::TrainingEstimate;
 pub use traffic::TrafficEstimate;
+pub use training::TrainingEstimate;
 
 /// Bytes per FP32 element (the paper models 32-bit floating-point training,
 /// §IV).

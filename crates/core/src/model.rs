@@ -6,7 +6,7 @@ use crate::gpu::GpuSpec;
 use crate::layer::ConvLayer;
 use crate::perf::{self, PerfEstimate};
 use crate::report::LayerReport;
-use crate::tiling::{CtaTile, LayerTiling};
+use crate::tiling::LayerTiling;
 use crate::traffic::{self, TrafficEstimate};
 use serde::{Deserialize, Serialize};
 
@@ -75,12 +75,7 @@ impl Delta {
     /// The CTA tiling the model will use for `layer` (Fig. 6 lookup plus
     /// any configured tile scaling).
     pub fn tiling(&self, layer: &ConvLayer) -> LayerTiling {
-        match self.options.tile_scale {
-            Some(f) if f > 1 => {
-                LayerTiling::with_tile(layer, CtaTile::select_scaled(layer.out_channels(), f))
-            }
-            _ => LayerTiling::new(layer),
-        }
+        LayerTiling::with_scale(layer, self.options.tile_scale)
     }
 
     /// Runs the §IV memory-traffic model.
@@ -133,7 +128,13 @@ impl Delta {
             &self.gpu,
             self.options.active_ctas_override,
         );
-        Ok(LayerReport::new(layer.clone(), self.gpu.name(), tiling, traffic, perf))
+        Ok(LayerReport::new(
+            layer.clone(),
+            self.gpu.name(),
+            tiling,
+            traffic,
+            perf,
+        ))
     }
 
     /// Analyzes every layer of a network, in order.
@@ -205,7 +206,11 @@ mod tests {
         );
         // conv1's large MLI drives that pressure.
         let t1 = delta.estimate_traffic(&conv1).unwrap();
-        assert!(t1.mli_ifmap >= 5.0, "stride-4 11x11 im2col: {}", t1.mli_ifmap);
+        assert!(
+            t1.mli_ifmap >= 5.0,
+            "stride-4 11x11 im2col: {}",
+            t1.mli_ifmap
+        );
         assert!(
             matches!(p1.bottleneck, Bottleneck::L1Bw | Bottleneck::MacBw),
             "{p1}"
@@ -214,8 +219,10 @@ mod tests {
 
     #[test]
     fn tile_scale_option_grows_tiles() {
-        let mut opts = DeltaOptions::default();
-        opts.tile_scale = Some(2);
+        let opts = DeltaOptions {
+            tile_scale: Some(2),
+            ..Default::default()
+        };
         let delta = Delta::with_options(GpuSpec::titan_xp(), opts);
         let l = alexnet_conv1();
         assert_eq!(delta.tiling(&l).tile().blk_m(), 256);

@@ -48,11 +48,7 @@ pub fn t_epilogue(tiling: &LayerTiling, gpu: &GpuSpec) -> f64 {
 
 /// Eq. 15 (bandwidth-bottlenecked variant) — epilogue writes drain through
 /// the saturated level's per-SM bandwidth share.
-pub fn t_epilogue_bottleneck(
-    tiling: &LayerTiling,
-    streams: &StreamTimes,
-    gpu: &GpuSpec,
-) -> f64 {
+pub fn t_epilogue_bottleneck(tiling: &LayerTiling, streams: &StreamTimes, gpu: &GpuSpec) -> f64 {
     let tile = tiling.tile();
     let out_bytes = f64::from(tile.blk_m()) * f64::from(tile.blk_n()) * BYTES_PER_ELEMENT as f64;
     let num_sm = f64::from(gpu.num_sm());

@@ -50,9 +50,7 @@ fn rebuild(
 /// # Errors
 ///
 /// Propagates layer-validation failures (impossible for positive inputs).
-pub fn sweep_out_channels(
-    range: impl IntoIterator<Item = u32>,
-) -> Result<Vec<ConvLayer>, Error> {
+pub fn sweep_out_channels(range: impl IntoIterator<Item = u32>) -> Result<Vec<ConvLayer>, Error> {
     let base = base_layer()?;
     range
         .into_iter()

@@ -222,6 +222,21 @@ impl LayerTiling {
         LayerTiling::with_tile(layer, CtaTile::select(layer.out_channels()))
     }
 
+    /// Computes the tiling of `layer` under an optional power-of-two
+    /// tile-scale factor — the shared selection behind the model's
+    /// `DeltaOptions::tile_scale` and the simulator's
+    /// `SimConfig::tile_scale`, so both backends always pick the same
+    /// tile for the same configuration. `None`/1 keeps the Fig. 6
+    /// lookup.
+    pub fn with_scale(layer: &ConvLayer, tile_scale: Option<u32>) -> LayerTiling {
+        match tile_scale {
+            Some(f) if f > 1 => {
+                LayerTiling::with_tile(layer, CtaTile::select_scaled(layer.out_channels(), f))
+            }
+            _ => LayerTiling::new(layer),
+        }
+    }
+
     /// Computes the tiling of `layer` with an explicit tile (used by the
     /// scaling study's 256-wide tiles).
     pub fn with_tile(layer: &ConvLayer, tile: CtaTile) -> LayerTiling {
@@ -398,10 +413,7 @@ mod tests {
         assert_eq!(t.cta_columns(), 1);
         assert_eq!(t.main_loops(), (256 * 9u64).div_ceil(8));
         let gpu = GpuSpec::titan_xp();
-        assert_eq!(
-            t.ctas_on_busiest_sm(&gpu),
-            t.num_ctas().div_ceil(30)
-        );
+        assert_eq!(t.ctas_on_busiest_sm(&gpu), t.num_ctas().div_ceil(30));
     }
 
     #[test]
@@ -443,7 +455,10 @@ mod tests {
             .pad(1)
             .build()
             .unwrap();
-        assert_eq!(LayerTiling::split_k_for_device(&big, CtaTile::LARGE, &gpu), 1);
+        assert_eq!(
+            LayerTiling::split_k_for_device(&big, CtaTile::LARGE, &gpu),
+            1
+        );
         // Splitting cannot exceed the number of blkK chunks.
         let shallow = ConvLayer::fully_connected("sh", 8, 12, 8).unwrap();
         assert!(LayerTiling::split_k_for_device(&shallow, CtaTile::SMALL, &gpu) <= 3);

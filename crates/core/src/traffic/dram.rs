@@ -121,8 +121,6 @@ mod tests {
         let l = build(96, 28, 192, 3, 1, 1, 32);
         let t = LayerTiling::new(&l);
         let total = dram_traffic_bytes(&l, &t);
-        assert!(
-            (total - dram_ifmap_bytes(&l, &t) - dram_filter_bytes(&l)).abs() < 1e-9
-        );
+        assert!((total - dram_ifmap_bytes(&l, &t) - dram_filter_bytes(&l)).abs() < 1e-9);
     }
 }

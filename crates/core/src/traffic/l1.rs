@@ -304,8 +304,7 @@ mod tests {
         // filter side is multiplied by the (large) CTA row count.
         assert!(total > eq4);
         let ifmap_side = (l.gemm_m() * l.gemm_k()) as f64 * mli_ifmap(&l, 128) * 4.0;
-        let filter_side =
-            (l.gemm_n() * l.gemm_k() * t.cta_rows()) as f64 * 2.0 * 4.0;
+        let filter_side = (l.gemm_n() * l.gemm_k() * t.cta_rows()) as f64 * 2.0 * 4.0;
         assert!((total - ifmap_side - filter_side).abs() / total < 1e-12);
     }
 

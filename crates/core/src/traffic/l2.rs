@@ -119,8 +119,7 @@ pub fn ifmap_tile_distance(layer: &ConvLayer, tiling: &LayerTiling) -> f64 {
 /// Filter elements requested to L2 per CTA per main loop — all unique:
 /// `blkN × blkK`.
 pub fn filter_tile_elements(layer: &ConvLayer, tiling: &LayerTiling) -> f64 {
-    f64::from(tiling.tile().blk_n()).min(layer.gemm_n() as f64)
-        * effective_blk_k(layer, tiling)
+    f64::from(tiling.tile().blk_n()).min(layer.gemm_n() as f64) * effective_blk_k(layer, tiling)
 }
 
 /// Eq. 9 — total L2 traffic in bytes:
@@ -208,7 +207,7 @@ mod tests {
         assert!((avg_dist_v(&l, &t) - 128.0 * 8.0).abs() < 1e-12);
         // Unique elements per loop ~ tile area (plus the small DIST_H term).
         let unique = ifmap_tile_distance(&l, &t);
-        assert!(unique >= 1024.0 && unique < 1100.0, "{unique}");
+        assert!((1024.0..1100.0).contains(&unique), "{unique}");
     }
 
     #[test]
@@ -219,7 +218,10 @@ mod tests {
         let gpu = crate::GpuSpec::titan_xp();
         let tl2 = l2_traffic_bytes(&l, &t);
         let tl1 = l1::l1_traffic_bytes(&l, &t, &gpu, l1::MliMode::PaperProfiled);
-        assert!(tl2 < tl1 * 0.5, "L1 should filter >half for 3x3: {tl2} vs {tl1}");
+        assert!(
+            tl2 < tl1 * 0.5,
+            "L1 should filter >half for 3x3: {tl2} vs {tl1}"
+        );
     }
 
     #[test]

@@ -195,7 +195,12 @@ mod tests {
         let gpu = GpuSpec::titan_xp();
         let small = layer(64, 28, 128, 3, 1, 1, 32);
         let big = layer(64, 28, 128, 3, 1, 1, 256);
-        let es = estimate(&small, &LayerTiling::new(&small), &gpu, MliMode::PaperProfiled);
+        let es = estimate(
+            &small,
+            &LayerTiling::new(&small),
+            &gpu,
+            MliMode::PaperProfiled,
+        );
         let eb = estimate(&big, &LayerTiling::new(&big), &gpu, MliMode::PaperProfiled);
         assert!(eb.l1_bytes > es.l1_bytes);
         assert!(eb.l2_bytes > es.l2_bytes);

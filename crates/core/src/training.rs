@@ -180,7 +180,12 @@ impl fmt::Display for TrainingEstimate {
             self.forward.perf.millis()
         )?;
         if let Some(d) = &self.dgrad {
-            write!(f, ", dgrad {:.3} ms ({})", d.perf.millis(), d.perf.bottleneck)?;
+            write!(
+                f,
+                ", dgrad {:.3} ms ({})",
+                d.perf.millis(),
+                d.perf.bottleneck
+            )?;
         }
         write!(
             f,
@@ -259,8 +264,8 @@ mod tests {
     #[test]
     fn dgrad_rejects_oversized_padding() {
         let l = conv(8, 16, 8, 3, 1, 2); // pad 2 on 3x3: valid fwd
-        // pad >= Hf would be required complementary-negative:
-        // here Hf-1-p = 0, fine.
+                                         // pad >= Hf would be required complementary-negative:
+                                         // here Hf-1-p = 0, fine.
         assert!(dgrad_layer(&l).is_ok());
         let bad = ConvLayer::builder("b")
             .batch(1)

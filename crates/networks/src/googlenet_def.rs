@@ -27,11 +27,66 @@ fn inception(
     c5: u32,
 ) -> Result<Vec<delta_model::ConvLayer>, Error> {
     Ok(vec![
-        conv(&format!("{prefix}_1x1"), batch, cin, hw, hw, c1x1, 1, 1, 1, 0)?,
-        conv(&format!("{prefix}_3x3"), batch, c3red, hw, hw, c3, 3, 3, 1, 1)?,
-        conv(&format!("{prefix}_3x3red"), batch, cin, hw, hw, c3red, 1, 1, 1, 0)?,
-        conv(&format!("{prefix}_5x5"), batch, c5red, hw, hw, c5, 5, 5, 1, 2)?,
-        conv(&format!("{prefix}_5x5red"), batch, cin, hw, hw, c5red, 1, 1, 1, 0)?,
+        conv(
+            &format!("{prefix}_1x1"),
+            batch,
+            cin,
+            hw,
+            hw,
+            c1x1,
+            1,
+            1,
+            1,
+            0,
+        )?,
+        conv(
+            &format!("{prefix}_3x3"),
+            batch,
+            c3red,
+            hw,
+            hw,
+            c3,
+            3,
+            3,
+            1,
+            1,
+        )?,
+        conv(
+            &format!("{prefix}_3x3red"),
+            batch,
+            cin,
+            hw,
+            hw,
+            c3red,
+            1,
+            1,
+            1,
+            0,
+        )?,
+        conv(
+            &format!("{prefix}_5x5"),
+            batch,
+            c5red,
+            hw,
+            hw,
+            c5,
+            5,
+            5,
+            1,
+            2,
+        )?,
+        conv(
+            &format!("{prefix}_5x5red"),
+            batch,
+            cin,
+            hw,
+            hw,
+            c5red,
+            1,
+            1,
+            1,
+            0,
+        )?,
     ])
 }
 

@@ -96,6 +96,7 @@ impl<'a> IntoIterator for &'a Network {
 
 /// Helper for the per-network definition modules: builds one conv layer
 /// with positional dimensions.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn conv(
     label: &str,
     batch: u32,

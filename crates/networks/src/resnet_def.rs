@@ -24,9 +24,42 @@ fn bottleneck(
 ) -> Result<Vec<ConvLayer>, Error> {
     let hw_out = hw_in / stride;
     Ok(vec![
-        conv(&format!("{prefix}_a"), batch, cin, hw_in, hw_in, mid, 1, 1, stride, 0)?,
-        conv(&format!("{prefix}_b"), batch, mid, hw_out, hw_out, mid, 3, 3, 1, 1)?,
-        conv(&format!("{prefix}_c"), batch, mid, hw_out, hw_out, 4 * mid, 1, 1, 1, 0)?,
+        conv(
+            &format!("{prefix}_a"),
+            batch,
+            cin,
+            hw_in,
+            hw_in,
+            mid,
+            1,
+            1,
+            stride,
+            0,
+        )?,
+        conv(
+            &format!("{prefix}_b"),
+            batch,
+            mid,
+            hw_out,
+            hw_out,
+            mid,
+            3,
+            3,
+            1,
+            1,
+        )?,
+        conv(
+            &format!("{prefix}_c"),
+            batch,
+            mid,
+            hw_out,
+            hw_out,
+            4 * mid,
+            1,
+            1,
+            1,
+            0,
+        )?,
     ])
 }
 
@@ -77,7 +110,11 @@ pub fn resnet152_full(batch: u32) -> Result<Network, Error> {
         for b in 1..=blocks {
             let first = b == 1;
             let stride = if first && idx > 2 { 2 } else { 1 };
-            let hw = if first { hw_in } else { hw_in / if idx > 2 { 2 } else { 1 } };
+            let hw = if first {
+                hw_in
+            } else {
+                hw_in / if idx > 2 { 2 } else { 1 }
+            };
             let cin = if first {
                 if idx == 2 {
                     64
@@ -108,9 +145,24 @@ mod tests {
     fn evaluated_subset_has_paper_labels() {
         let n = resnet152(256).unwrap();
         for label in [
-            "conv1", "conv2_1_a", "conv2_1_b", "conv2_1_c", "conv2_2_a", "conv2_3_c",
-            "conv3_1_a", "conv3_1_b", "conv3_1_c", "conv3_2_a", "conv4_1_a", "conv4_2_a",
-            "conv5_1_a", "conv5_1_b", "conv5_1_c", "conv5_2_a", "conv5_2_b", "conv5_2_c",
+            "conv1",
+            "conv2_1_a",
+            "conv2_1_b",
+            "conv2_1_c",
+            "conv2_2_a",
+            "conv2_3_c",
+            "conv3_1_a",
+            "conv3_1_b",
+            "conv3_1_c",
+            "conv3_2_a",
+            "conv4_1_a",
+            "conv4_2_a",
+            "conv5_1_a",
+            "conv5_1_b",
+            "conv5_1_c",
+            "conv5_2_a",
+            "conv5_2_b",
+            "conv5_2_c",
         ] {
             assert!(n.layer(label).is_some(), "missing {label}");
         }

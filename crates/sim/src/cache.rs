@@ -174,7 +174,8 @@ impl SectoredCache {
         let set = (line % self.sets as u64) as usize;
         let base = set * self.ways;
         (0..self.ways).any(|w| {
-            self.tags[base + w] == line && (self.sector_valid[base + w] & sector_mask) == sector_mask
+            self.tags[base + w] == line
+                && (self.sector_valid[base + w] & sector_mask) == sector_mask
         })
     }
 }

@@ -75,7 +75,10 @@ pub struct LatencyBandwidthPoint {
 
 /// Sweeps offered load from near-idle to past saturation, reproducing the
 /// Fig. 18 latency-vs-bandwidth curve with `points` samples.
-pub fn latency_bandwidth_curve(model: &DramChannelModel, points: usize) -> Vec<LatencyBandwidthPoint> {
+pub fn latency_bandwidth_curve(
+    model: &DramChannelModel,
+    points: usize,
+) -> Vec<LatencyBandwidthPoint> {
     let max_offered = model.effective_bw_gbps * 1.1;
     (0..points)
         .map(|i| {

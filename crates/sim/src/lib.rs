@@ -22,6 +22,12 @@
 //! 6. [`dram`] provides the latency-vs-bandwidth queueing model behind the
 //!    paper's Fig. 18 microbenchmark.
 //!
+//! The stages compose through [`stages::CtaBatch`] — one CTA batch is a
+//! self-contained unit of work — and [`Simulator`] sequences batches and
+//! columns. The simulator also implements `delta_model::Backend`, so the
+//! parallel evaluation engine (`delta_model::engine`) can drive it over
+//! whole networks interchangeably with the analytical model.
+//!
 //! The entry point is [`Simulator`]:
 //!
 //! ```rust
@@ -50,6 +56,7 @@ pub mod dram;
 pub mod hierarchy;
 pub mod sched;
 pub mod sim;
+pub mod stages;
 pub mod tensor;
 pub mod timing;
 pub mod trace;

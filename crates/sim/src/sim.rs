@@ -3,21 +3,24 @@
 //!
 //! Execution follows the paper's assumed schedule: CTA batches of
 //! `num_sm × active_ctas` CTAs drain each tile column in order, running
-//! their main loops in lockstep (§IV-C). For very tall CTA grids the
-//! simulator can sample a prefix of each column's batches and extrapolate
-//! the steady state — per-batch traffic within a column is stationary
-//! once the caches warm up — which keeps full-network sweeps tractable
-//! (DESIGN.md §2). `SimConfig { max_batches_per_column: None, .. }`
-//! disables sampling.
+//! their main loops in lockstep (§IV-C). Each batch is a self-contained
+//! [`CtaBatch`] unit that runs the trace → coalesce → hierarchy → timing
+//! stage pipeline ([`crate::stages`]); this module only sequences
+//! batches and columns and extrapolates the steady state. For very tall
+//! CTA grids the simulator can sample a prefix of each column's batches
+//! and extrapolate the rest — per-batch traffic within a column is
+//! stationary once the caches warm up — which keeps full-network sweeps
+//! tractable (DESIGN.md §2). `SimConfig { max_batches_per_column: None,
+//! .. }` disables sampling.
 
-use crate::coalesce::{self, Transaction};
-use crate::hierarchy::{MemoryHierarchy, TrafficDelta};
+use crate::hierarchy::MemoryHierarchy;
 use crate::sched::ColumnScheduler;
+use crate::stages::{BatchLimits, BatchStats, CtaBatch, SteadyState};
 use crate::tensor::TensorMap;
 use crate::timing::TimingEngine;
-use crate::trace::CtaTrace;
+use delta_model::backend::{Backend, EstimateSource, LayerEstimate};
 use delta_model::tiling::LayerTiling;
-use delta_model::{ConvLayer, GpuSpec, BYTES_PER_ELEMENT, WARP_SIZE};
+use delta_model::{ConvLayer, Error, GpuSpec, BYTES_PER_ELEMENT};
 use serde::{Deserialize, Serialize};
 
 /// Simulation controls.
@@ -37,6 +40,16 @@ pub struct SimConfig {
     /// dimension advances to fresh data each loop, so per-loop traffic is
     /// stationary past warm-up); `None` simulates every loop.
     pub max_loops_per_batch: Option<u64>,
+    /// Multiplies the CTA tile height/width by this power-of-two factor,
+    /// mirroring `DeltaOptions::tile_scale` so the design-space study's
+    /// 256-wide-tile options (Fig. 16a, 7–9) can be simulated too.
+    /// `None`/1 keeps the Fig. 6 lookup.
+    #[serde(default = "default_tile_scale")]
+    pub tile_scale: Option<u32>,
+}
+
+fn default_tile_scale() -> Option<u32> {
+    None
 }
 
 impl Default for SimConfig {
@@ -46,6 +59,7 @@ impl Default for SimConfig {
             active_ctas_override: None,
             simulate_stores: true,
             max_loops_per_batch: Some(32),
+            tile_scale: None,
         }
     }
 }
@@ -94,6 +108,22 @@ impl Measurement {
     pub fn seconds(&self, gpu: &GpuSpec) -> f64 {
         gpu.clks_to_seconds(self.cycles)
     }
+
+    /// Converts to the backend-neutral estimate type.
+    pub fn to_estimate(&self, gpu: &GpuSpec) -> LayerEstimate {
+        LayerEstimate {
+            l1_bytes: self.l1_bytes,
+            l2_bytes: self.l2_bytes,
+            dram_read_bytes: self.dram_read_bytes,
+            dram_write_bytes: self.dram_write_bytes,
+            l1_miss_rate: self.l1_miss_rate,
+            l2_miss_rate: self.l2_miss_rate,
+            cycles: self.cycles,
+            seconds: self.seconds(gpu),
+            bottleneck: None,
+            source: EstimateSource::Simulation,
+        }
+    }
 }
 
 /// Trace-driven simulator bound to one GPU description.
@@ -119,10 +149,16 @@ impl Simulator {
         self.config
     }
 
+    /// The CTA tiling the simulator will use for `layer` (Fig. 6 lookup
+    /// plus any configured tile scaling).
+    pub fn tiling(&self, layer: &ConvLayer) -> LayerTiling {
+        LayerTiling::with_scale(layer, self.config.tile_scale)
+    }
+
     /// Runs `layer` through the memory hierarchy and returns the measured
     /// traffic and cycles.
     pub fn run(&self, layer: &ConvLayer) -> Measurement {
-        let tiling = LayerTiling::new(layer);
+        let tiling = self.tiling(layer);
         let tile = tiling.tile();
         let active = self
             .config
@@ -134,17 +170,23 @@ impl Simulator {
         let mut hier = MemoryHierarchy::new(&self.gpu);
         let mut timing = TimingEngine::new(&self.gpu, tile);
         let loops = tiling.main_loops();
+        let limits = BatchLimits {
+            max_loops: self.config.max_loops_per_batch,
+            simulate_stores: self.config.simulate_stores,
+        };
 
         timing.charge_prologue(
-            f64::from(tile.blk_m() + tile.blk_n()) * f64::from(tile.blk_k())
+            f64::from(tile.blk_m() + tile.blk_n())
+                * f64::from(tile.blk_k())
                 * BYTES_PER_ELEMENT as f64,
         );
 
-        let mut tx_buf: Vec<Transaction> = Vec::with_capacity(64);
+        let mut tx_buf = Vec::with_capacity(64);
         let mut simulated_ctas = 0u64;
-        let mut extra = ExtrapolationAccumulator::default();
-        let mut loop_extrapolated = false;
-        let mut measured = MeasuredTotals::default();
+        let mut measured = Totals::default();
+        let mut extrapolated = Totals::default();
+        let mut extra_cycles = 0.0;
+        let mut sampled = false;
 
         for col in 0..sched.columns() {
             let batches = sched.batches_per_column();
@@ -155,217 +197,85 @@ impl Simulator {
             let mut batch_stats: Vec<BatchStats> = Vec::with_capacity(sim_batches as usize);
 
             for b in 0..sim_batches {
-                let ctas = sched.batch(col, b);
-                simulated_ctas += ctas.len() as u64;
-                let mut traces: Vec<(CtaTrace, u32)> = ctas
-                    .iter()
-                    .map(|c| (CtaTrace::new(&map, tile, c.row, c.col), c.sm))
-                    .collect();
-
-                let mut stats = BatchStats::default();
-                let sim_loops = self
-                    .config
-                    .max_loops_per_batch
-                    .map_or(loops, |m| loops.min(m.max(2)));
-                let mut tail = TailAverager::default();
-                for loop_idx in 0..sim_loops {
-                    let mut loop_delta = TrafficDelta::default();
-                    for (trace, sm) in &mut traces {
-                        let sm = *sm as usize;
-                        trace.for_each_warp(loop_idx, |warp| {
-                            coalesce::coalesce_warp(warp, &mut tx_buf);
-                            loop_delta.add(hier.warp_load(sm, &tx_buf));
-                        });
-                    }
-                    let t = timing.charge_loop(loop_delta, ctas.len() as u64, active);
-                    stats.cycles += t;
-                    stats.traffic.add(loop_delta);
-                    if loop_idx >= sim_loops / 2 {
-                        tail.push(loop_delta, t);
-                    }
-                }
-                if sim_loops < loops {
-                    let (avg_delta, avg_t) = tail.average();
-                    let rem = (loops - sim_loops) as f64;
-                    stats.traffic.l1_bytes += (avg_delta.0 * rem) as u64;
-                    stats.traffic.l2_bytes += (avg_delta.1 * rem) as u64;
-                    stats.traffic.dram_bytes += (avg_delta.2 * rem) as u64;
-                    stats.cycles += avg_t * rem;
-                    timing.add_cycles(avg_t * rem);
-                    // The skipped loops would have streamed this much
-                    // unique data through L2; age it so later batches
-                    // and columns see realistic residency.
-                    hier.age_l2((avg_delta.1 * rem) as u64);
-                    loop_extrapolated = true;
-                }
-
-                if self.config.simulate_stores {
-                    let store_bytes = self.epilogue(&map, &tiling, &ctas, &mut hier, &mut tx_buf);
-                    stats.store_bytes = store_bytes;
-                    stats.cycles += timing.charge_epilogue(store_bytes);
-                }
+                let batch = CtaBatch::new(&map, tile, sched.batch(col, b), loops, active);
+                simulated_ctas += batch.len();
+                let stats = batch.simulate(&mut hier, &mut timing, limits, &mut tx_buf);
+                sampled |= stats.loop_extrapolated;
                 batch_stats.push(stats);
             }
 
             if sim_batches < batches {
-                extra.extend(&batch_stats, batches - sim_batches);
+                let steady = SteadyState::of(&batch_stats);
+                let rem = (batches - sim_batches) as f64;
+                extrapolated.l1_bytes += steady.l1_bytes * rem;
+                extrapolated.l2_bytes += steady.l2_bytes * rem;
+                extrapolated.dram_bytes += steady.dram_bytes * rem;
+                extrapolated.store_bytes += steady.store_bytes * rem;
+                extra_cycles += steady.cycles * rem;
                 // Age L2 by the skipped batches' unique-traffic volume so
                 // the next tile column starts from realistic residency.
-                let steady_l2: f64 = batch_stats
-                    .iter()
-                    .skip(1.min(batch_stats.len() - 1))
-                    .map(|b| b.traffic.l2_bytes as f64)
-                    .sum::<f64>()
-                    / batch_stats.len().max(1) as f64;
-                hier.age_l2((steady_l2 * (batches - sim_batches) as f64) as u64);
+                hier.age_l2((steady.l2_bytes * rem) as u64);
+                sampled = true;
             }
-            measured.extend(batch_stats.iter());
+            measured.accumulate(&batch_stats);
         }
 
         let l1s = hier.l1_stats();
         let l2s = hier.l2_stats();
-        timing.add_cycles(extra.cycles);
+        timing.add_cycles(extra_cycles);
 
         Measurement {
-            l1_bytes: measured.l1_bytes + extra.traffic.l1_bytes,
-            l2_bytes: measured.l2_bytes + extra.traffic.l2_bytes,
-            dram_read_bytes: measured.dram_bytes + extra.traffic.dram_bytes,
-            dram_write_bytes: hier.dram_write_bytes() as f64 + extra.store_bytes,
+            l1_bytes: measured.l1_bytes + extrapolated.l1_bytes,
+            l2_bytes: measured.l2_bytes + extrapolated.l2_bytes,
+            dram_read_bytes: measured.dram_bytes + extrapolated.dram_bytes,
+            dram_write_bytes: hier.dram_write_bytes() as f64 + extrapolated.store_bytes,
             l1_miss_rate: l1s.miss_rate(),
             l2_miss_rate: l2s.miss_rate(),
             cycles: timing.cycles(),
-            sampled: extra.used || loop_extrapolated,
+            sampled,
             simulated_ctas,
             total_ctas: tiling.num_ctas(),
             active_ctas: active,
         }
     }
+}
 
-    /// Generates and issues one batch's epilogue stores; returns the byte
-    /// volume.
-    fn epilogue(
-        &self,
-        map: &TensorMap,
-        tiling: &LayerTiling,
-        ctas: &[crate::sched::ScheduledCta],
-        hier: &mut MemoryHierarchy,
-        tx_buf: &mut Vec<Transaction>,
-    ) -> u64 {
-        let tile = tiling.tile();
-        let mut warp = vec![None; WARP_SIZE as usize];
-        let mut bytes = 0u64;
-        for cta in ctas {
-            let m0 = cta.row * u64::from(tile.blk_m());
-            let n0 = cta.col * u64::from(tile.blk_n());
-            for mi in 0..u64::from(tile.blk_m()) {
-                let m = m0 + mi;
-                for n_chunk in (0..u64::from(tile.blk_n())).step_by(WARP_SIZE as usize) {
-                    for lane in 0..WARP_SIZE {
-                        warp[lane as usize] = map.ofmap_addr(m, n0 + n_chunk + lane);
-                    }
-                    coalesce::coalesce_warp(&warp, tx_buf);
-                    bytes += hier.warp_store(tx_buf);
-                }
-            }
-        }
-        bytes
+impl Backend for Simulator {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    fn estimate_layer(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
+        self.gpu.validate()?;
+        Ok(self.run(layer).to_estimate(&self.gpu))
     }
 }
 
-/// Per-batch measured quantities (for steady-state extrapolation).
-#[derive(Debug, Clone, Copy, Default)]
-struct BatchStats {
-    traffic: TrafficDelta,
-    store_bytes: u64,
-    cycles: f64,
-}
-
-/// Sum of per-batch traffic (including loop-extrapolated bytes).
+/// Sum of per-batch traffic (simulated or extrapolated).
 #[derive(Debug, Default)]
-struct MeasuredTotals {
+struct Totals {
     l1_bytes: f64,
     l2_bytes: f64,
     dram_bytes: f64,
+    store_bytes: f64,
 }
 
-impl MeasuredTotals {
-    fn extend<'a>(&mut self, batches: impl Iterator<Item = &'a BatchStats>) {
+impl Totals {
+    /// Sums a column's simulated batches. Store bytes are deliberately
+    /// NOT accumulated here: simulated stores already flow through
+    /// `MemoryHierarchy::warp_store` into `dram_write_bytes()`; only the
+    /// extrapolated `Totals` carries `store_bytes` (set directly from
+    /// the steady state). Summing them here too would double-count.
+    fn accumulate(&mut self, batches: &[BatchStats]) {
         for b in batches {
             self.l1_bytes += b.traffic.l1_bytes as f64;
             self.l2_bytes += b.traffic.l2_bytes as f64;
             self.dram_bytes += b.traffic.dram_bytes as f64;
         }
-    }
-}
-
-/// Running average of the steady-state tail of a batch's loops.
-#[derive(Debug, Default)]
-struct TailAverager {
-    n: f64,
-    l1: f64,
-    l2: f64,
-    dram: f64,
-    cycles: f64,
-}
-
-impl TailAverager {
-    fn push(&mut self, d: TrafficDelta, t: f64) {
-        self.n += 1.0;
-        self.l1 += d.l1_bytes as f64;
-        self.l2 += d.l2_bytes as f64;
-        self.dram += d.dram_bytes as f64;
-        self.cycles += t;
-    }
-
-    fn average(&self) -> ((f64, f64, f64), f64) {
-        let n = self.n.max(1.0);
-        (
-            (self.l1 / n, self.l2 / n, self.dram / n),
-            self.cycles / n,
-        )
-    }
-}
-
-/// Accumulates the extrapolated contribution of unsimulated batches.
-#[derive(Debug, Default)]
-struct ExtrapolationAccumulator {
-    traffic: TrafficDeltaF,
-    store_bytes: f64,
-    cycles: f64,
-    used: bool,
-}
-
-#[derive(Debug, Default)]
-struct TrafficDeltaF {
-    l1_bytes: f64,
-    l2_bytes: f64,
-    dram_bytes: f64,
-}
-
-impl ExtrapolationAccumulator {
-    /// Extends totals by `remaining` batches of the steady state (the
-    /// mean of the simulated batches past warm-up).
-    fn extend(&mut self, simulated: &[BatchStats], remaining: u64) {
-        if simulated.is_empty() || remaining == 0 {
-            return;
-        }
-        // Skip the first (cold) batch when more are available.
-        let steady = if simulated.len() > 1 {
-            &simulated[1..]
-        } else {
-            simulated
-        };
-        let n = steady.len() as f64;
-        let r = remaining as f64;
-        self.traffic.l1_bytes +=
-            r * steady.iter().map(|b| b.traffic.l1_bytes as f64).sum::<f64>() / n;
-        self.traffic.l2_bytes +=
-            r * steady.iter().map(|b| b.traffic.l2_bytes as f64).sum::<f64>() / n;
-        self.traffic.dram_bytes +=
-            r * steady.iter().map(|b| b.traffic.dram_bytes as f64).sum::<f64>() / n;
-        self.store_bytes += r * steady.iter().map(|b| b.store_bytes as f64).sum::<f64>() / n;
-        self.cycles += r * steady.iter().map(|b| b.cycles).sum::<f64>() / n;
-        self.used = true;
     }
 }
 
@@ -451,6 +361,7 @@ mod tests {
                 active_ctas_override: Some(1),
                 simulate_stores: true,
                 max_loops_per_batch: None,
+                tile_scale: None,
             },
         )
         .run(&l);
@@ -461,6 +372,7 @@ mod tests {
                 active_ctas_override: Some(1),
                 simulate_stores: true,
                 max_loops_per_batch: None,
+                tile_scale: None,
             },
         )
         .run(&l);
@@ -524,5 +436,59 @@ mod tests {
             mp.l1_miss_rate,
             m3.l1_miss_rate
         );
+    }
+
+    #[test]
+    fn backend_estimate_matches_run() {
+        let gpu = GpuSpec::titan_xp();
+        let sim = Simulator::new(gpu.clone(), SimConfig::default());
+        let l = small_layer();
+        let m = sim.run(&l);
+        let est = Backend::estimate_layer(&sim, &l).unwrap();
+        assert_eq!(est.l1_bytes, m.l1_bytes);
+        assert_eq!(est.l2_bytes, m.l2_bytes);
+        assert_eq!(est.dram_read_bytes, m.dram_read_bytes);
+        assert_eq!(est.cycles, m.cycles);
+        assert_eq!(est.seconds, m.seconds(&gpu));
+        assert_eq!(est.bottleneck, None);
+        assert_eq!(est.source, EstimateSource::Simulation);
+        assert_eq!(Backend::name(&sim), "sim");
+    }
+
+    #[test]
+    fn tile_scale_changes_tiling_like_the_model() {
+        let l = ConvLayer::builder("wide")
+            .batch(8)
+            .input(64, 28, 28)
+            .output_channels(256)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap();
+        let plain = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+        let scaled = Simulator::new(
+            GpuSpec::titan_xp(),
+            SimConfig {
+                tile_scale: Some(2),
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(plain.tiling(&l).tile().blk_m(), 128);
+        assert_eq!(scaled.tiling(&l).tile().blk_m(), 256);
+        // Bigger tiles -> fewer CTAs in the measurement.
+        let mp = plain.run(&l);
+        let ms = scaled.run(&l);
+        assert!(ms.total_ctas < mp.total_ctas);
+    }
+
+    #[test]
+    fn old_sim_config_json_without_tile_scale_still_parses() {
+        // The field was added with a serde default so archived configs
+        // keep deserializing.
+        let json = "{\"max_batches_per_column\":4,\"active_ctas_override\":null,\
+                    \"simulate_stores\":true,\"max_loops_per_batch\":32}";
+        let cfg: SimConfig = serde_json::from_str(json).unwrap();
+        assert_eq!(cfg.tile_scale, None);
+        assert_eq!(cfg.max_batches_per_column, Some(4));
     }
 }

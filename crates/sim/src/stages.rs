@@ -1,0 +1,343 @@
+//! Composable simulation stages: one CTA batch as a self-contained unit
+//! of work.
+//!
+//! The simulator pipeline is four stages, each previously inlined in one
+//! monolithic `Simulator::run` loop and now explicit:
+//!
+//! 1. **trace** — [`CtaTrace`] generates the addresses each CTA's warps
+//!    touch in a main-loop iteration (paper Fig. 5 im2col layout);
+//! 2. **coalesce** — [`coalesce::coalesce_warp`] merges each warp's 32
+//!    references into device-granularity transactions;
+//! 3. **hierarchy** — [`MemoryHierarchy::warp_load`] runs the
+//!    transactions through the sectored L1/L2 models and counts
+//!    per-level bytes;
+//! 4. **timing** — [`TimingEngine::charge_loop`] converts the measured
+//!    per-loop traffic into cycles through the paper's Fig. 10 cases.
+//!
+//! [`CtaBatch`] owns one scheduled batch's trip through all four stages
+//! (including steady-state loop extrapolation and the epilogue store
+//! stage), so the orchestrator in [`crate::sim`] only sequences batches,
+//! columns, and cross-batch extrapolation. The memory hierarchy and the
+//! timing engine remain shared *inputs* — cache residency deliberately
+//! persists across batches (that is the physics being simulated) — but
+//! all per-batch state lives here.
+
+use crate::coalesce::{self, Transaction};
+use crate::hierarchy::{MemoryHierarchy, TrafficDelta};
+use crate::sched::ScheduledCta;
+use crate::tensor::TensorMap;
+use crate::timing::TimingEngine;
+use crate::trace::CtaTrace;
+use delta_model::tiling::CtaTile;
+use delta_model::WARP_SIZE;
+
+/// Measured quantities of one simulated CTA batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchStats {
+    /// Per-level read-traffic bytes of the batch's main loops.
+    pub traffic: TrafficDelta,
+    /// Epilogue OFmap store bytes.
+    pub store_bytes: u64,
+    /// Cycles charged for the batch (loops + epilogue).
+    pub cycles: f64,
+    /// Whether main-loop sampling/extrapolation was used.
+    pub loop_extrapolated: bool,
+}
+
+/// Per-batch simulation controls (the batch-relevant slice of
+/// `SimConfig`).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchLimits {
+    /// Simulate at most this many main-loop iterations, extrapolating
+    /// the rest from the steady-state tail.
+    pub max_loops: Option<u64>,
+    /// Generate and issue the epilogue's OFmap stores.
+    pub simulate_stores: bool,
+}
+
+/// One scheduled CTA batch, ready to run through the
+/// trace → coalesce → hierarchy → timing pipeline.
+#[derive(Debug)]
+pub struct CtaBatch<'a> {
+    map: &'a TensorMap,
+    tile: CtaTile,
+    ctas: Vec<ScheduledCta>,
+    main_loops: u64,
+    active_ctas: u32,
+}
+
+impl<'a> CtaBatch<'a> {
+    /// Binds a scheduled batch to its layer context.
+    pub fn new(
+        map: &'a TensorMap,
+        tile: CtaTile,
+        ctas: Vec<ScheduledCta>,
+        main_loops: u64,
+        active_ctas: u32,
+    ) -> CtaBatch<'a> {
+        CtaBatch {
+            map,
+            tile,
+            ctas,
+            main_loops,
+            active_ctas,
+        }
+    }
+
+    /// Number of CTAs in the batch.
+    pub fn len(&self) -> u64 {
+        self.ctas.len() as u64
+    }
+
+    /// Whether the batch holds no CTAs.
+    pub fn is_empty(&self) -> bool {
+        self.ctas.is_empty()
+    }
+
+    /// Stage 1: builds each CTA's address tracer.
+    fn traces(&self) -> Vec<(CtaTrace, u32)> {
+        self.ctas
+            .iter()
+            .map(|c| (CtaTrace::new(self.map, self.tile, c.row, c.col), c.sm))
+            .collect()
+    }
+
+    /// Runs the batch through all stages, mutating the shared hierarchy
+    /// and timing state, and returns the batch's measured stats.
+    ///
+    /// `tx_buf` is a caller-provided scratch buffer so the per-warp
+    /// transaction vector is allocated once per layer, not per warp.
+    pub fn simulate(
+        &self,
+        hier: &mut MemoryHierarchy,
+        timing: &mut TimingEngine,
+        limits: BatchLimits,
+        tx_buf: &mut Vec<Transaction>,
+    ) -> BatchStats {
+        let mut stats = BatchStats::default();
+        let mut traces = self.traces();
+        let sim_loops = limits
+            .max_loops
+            .map_or(self.main_loops, |m| self.main_loops.min(m.max(2)));
+        let mut tail = TailAverager::default();
+
+        for loop_idx in 0..sim_loops {
+            // Stages 2+3: coalesce each warp and charge the hierarchy.
+            let mut loop_delta = TrafficDelta::default();
+            for (trace, sm) in &mut traces {
+                let sm = *sm as usize;
+                trace.for_each_warp(loop_idx, |warp| {
+                    coalesce::coalesce_warp(warp, tx_buf);
+                    loop_delta.add(hier.warp_load(sm, tx_buf));
+                });
+            }
+            // Stage 4: convert this loop's measured traffic to cycles.
+            let t = timing.charge_loop(loop_delta, self.len(), self.active_ctas);
+            stats.cycles += t;
+            stats.traffic.add(loop_delta);
+            if loop_idx >= sim_loops / 2 {
+                tail.push(loop_delta, t);
+            }
+        }
+
+        if sim_loops < self.main_loops {
+            let (avg_delta, avg_t) = tail.average();
+            let rem = (self.main_loops - sim_loops) as f64;
+            stats.traffic.l1_bytes += (avg_delta.0 * rem) as u64;
+            stats.traffic.l2_bytes += (avg_delta.1 * rem) as u64;
+            stats.traffic.dram_bytes += (avg_delta.2 * rem) as u64;
+            stats.cycles += avg_t * rem;
+            timing.add_cycles(avg_t * rem);
+            // The skipped loops would have streamed this much unique data
+            // through L2; age it so later batches and columns see
+            // realistic residency.
+            hier.age_l2((avg_delta.1 * rem) as u64);
+            stats.loop_extrapolated = true;
+        }
+
+        if limits.simulate_stores {
+            stats.store_bytes = self.epilogue(hier, tx_buf);
+            stats.cycles += timing.charge_epilogue(stats.store_bytes);
+        }
+        stats
+    }
+
+    /// Epilogue stage: generates and issues the batch's OFmap stores;
+    /// returns the byte volume.
+    fn epilogue(&self, hier: &mut MemoryHierarchy, tx_buf: &mut Vec<Transaction>) -> u64 {
+        let mut warp = vec![None; WARP_SIZE as usize];
+        let mut bytes = 0u64;
+        for cta in &self.ctas {
+            let m0 = cta.row * u64::from(self.tile.blk_m());
+            let n0 = cta.col * u64::from(self.tile.blk_n());
+            for mi in 0..u64::from(self.tile.blk_m()) {
+                let m = m0 + mi;
+                for n_chunk in (0..u64::from(self.tile.blk_n())).step_by(WARP_SIZE as usize) {
+                    for lane in 0..WARP_SIZE {
+                        warp[lane as usize] = self.map.ofmap_addr(m, n0 + n_chunk + lane);
+                    }
+                    coalesce::coalesce_warp(&warp, tx_buf);
+                    bytes += hier.warp_store(tx_buf);
+                }
+            }
+        }
+        bytes
+    }
+}
+
+/// Running average of the steady-state tail of a batch's loops.
+#[derive(Debug, Default)]
+struct TailAverager {
+    n: f64,
+    l1: f64,
+    l2: f64,
+    dram: f64,
+    cycles: f64,
+}
+
+impl TailAverager {
+    fn push(&mut self, d: TrafficDelta, t: f64) {
+        self.n += 1.0;
+        self.l1 += d.l1_bytes as f64;
+        self.l2 += d.l2_bytes as f64;
+        self.dram += d.dram_bytes as f64;
+        self.cycles += t;
+    }
+
+    fn average(&self) -> ((f64, f64, f64), f64) {
+        let n = self.n.max(1.0);
+        ((self.l1 / n, self.l2 / n, self.dram / n), self.cycles / n)
+    }
+}
+
+/// Steady-state summary of a column's simulated batches: the per-batch
+/// mean past warm-up, used to extrapolate unsimulated batches and to age
+/// the L2 by the traffic they would have streamed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SteadyState {
+    /// Mean L1 bytes per steady batch.
+    pub l1_bytes: f64,
+    /// Mean L2 bytes per steady batch.
+    pub l2_bytes: f64,
+    /// Mean DRAM read bytes per steady batch.
+    pub dram_bytes: f64,
+    /// Mean store bytes per steady batch.
+    pub store_bytes: f64,
+    /// Mean cycles per steady batch.
+    pub cycles: f64,
+}
+
+impl SteadyState {
+    /// Computes the steady state of `simulated`, skipping the first
+    /// (cold) batch when more are available.
+    pub fn of(simulated: &[BatchStats]) -> SteadyState {
+        if simulated.is_empty() {
+            return SteadyState::default();
+        }
+        let steady = if simulated.len() > 1 {
+            &simulated[1..]
+        } else {
+            simulated
+        };
+        // Average over the batches actually summed — not `simulated`'s
+        // full length, which silently shrank the mean by (n-1)/n.
+        let n = steady.len() as f64;
+        SteadyState {
+            l1_bytes: steady
+                .iter()
+                .map(|b| b.traffic.l1_bytes as f64)
+                .sum::<f64>()
+                / n,
+            l2_bytes: steady
+                .iter()
+                .map(|b| b.traffic.l2_bytes as f64)
+                .sum::<f64>()
+                / n,
+            dram_bytes: steady
+                .iter()
+                .map(|b| b.traffic.dram_bytes as f64)
+                .sum::<f64>()
+                / n,
+            store_bytes: steady.iter().map(|b| b.store_bytes as f64).sum::<f64>() / n,
+            cycles: steady.iter().map(|b| b.cycles).sum::<f64>() / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::ColumnScheduler;
+    use crate::tensor::TensorMap;
+    use delta_model::tiling::LayerTiling;
+    use delta_model::{ConvLayer, GpuSpec};
+
+    fn layer() -> ConvLayer {
+        ConvLayer::builder("stage_test")
+            .batch(2)
+            .input(16, 14, 14)
+            .output_channels(32)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn batch_unit_produces_traffic_and_cycles() {
+        let l = layer();
+        let gpu = GpuSpec::titan_xp();
+        let tiling = LayerTiling::new(&l);
+        let map = TensorMap::new(&l);
+        let sched = ColumnScheduler::new(&tiling, &gpu, 1);
+        let mut hier = MemoryHierarchy::new(&gpu);
+        let mut timing = TimingEngine::new(&gpu, tiling.tile());
+        let mut buf = Vec::new();
+        let batch = CtaBatch::new(
+            &map,
+            tiling.tile(),
+            sched.batch(0, 0),
+            tiling.main_loops(),
+            1,
+        );
+        assert!(!batch.is_empty());
+        let stats = batch.simulate(
+            &mut hier,
+            &mut timing,
+            BatchLimits {
+                max_loops: None,
+                simulate_stores: true,
+            },
+            &mut buf,
+        );
+        assert!(stats.traffic.l1_bytes > 0);
+        assert!(stats.traffic.l1_bytes >= stats.traffic.l2_bytes);
+        assert!(stats.cycles > 0.0);
+        assert!(stats.store_bytes > 0);
+        assert!(!stats.loop_extrapolated);
+    }
+
+    #[test]
+    fn steady_state_skips_cold_batch_and_divides_by_tail_len() {
+        let mk = |l2: u64| BatchStats {
+            traffic: TrafficDelta {
+                l1_bytes: 2 * l2,
+                l2_bytes: l2,
+                dram_bytes: l2 / 2,
+            },
+            store_bytes: 10,
+            cycles: 100.0,
+            loop_extrapolated: false,
+        };
+        // Cold batch at 1000, steady batches at 100.
+        let stats = [mk(1000), mk(100), mk(100), mk(100)];
+        let s = SteadyState::of(&stats);
+        assert_eq!(s.l2_bytes, 100.0, "cold batch excluded, mean over 3");
+        assert_eq!(s.cycles, 100.0);
+        // Single batch: it is the steady state.
+        let s1 = SteadyState::of(&stats[..1]);
+        assert_eq!(s1.l2_bytes, 1000.0);
+        // Empty: all zeros.
+        assert_eq!(SteadyState::of(&[]).l2_bytes, 0.0);
+    }
+}

@@ -143,7 +143,8 @@ impl TensorMap {
     /// `None` outside the matrix.
     #[inline]
     pub fn ofmap_addr(&self, m: u64, n: u64) -> Option<u64> {
-        if n >= u64::from(self.co) || m >= u64::from(self.batch) * u64::from(self.ho) * u64::from(self.wo)
+        if n >= u64::from(self.co)
+            || m >= u64::from(self.batch) * u64::from(self.ho) * u64::from(self.wo)
         {
             return None;
         }
@@ -264,7 +265,7 @@ mod tests {
             .unwrap();
         let t = TensorMap::new(&l);
         let per_sample = 3 * 4 * 4 * 4u64; // bytes
-        // m=16 is sample 1's first output.
+                                           // m=16 is sample 1's first output.
         assert_eq!(t.im2col_addr(16, 0), Some(per_sample));
         // k=1 is channel 1.
         assert_eq!(t.im2col_addr(0, 1), Some(4 * 4 * 4));

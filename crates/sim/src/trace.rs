@@ -132,8 +132,7 @@ impl CtaTrace {
         // --- Filter tile: one warp = blkK rows x (32/blkK) columns -------
         let k_span = blk_k;
         let cols_per_warp = WARP_SIZE / k_span.max(1);
-        let filter_warps =
-            (u64::from(self.tile.blk_n()) * k_span).div_ceil(WARP_SIZE);
+        let filter_warps = (u64::from(self.tile.blk_n()) * k_span).div_ceil(WARP_SIZE);
         for w in 0..filter_warps {
             for t in 0..WARP_SIZE {
                 let col_in_warp = t / k_span;

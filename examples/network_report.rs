@@ -1,11 +1,14 @@
-//! Whole-network analysis: per-layer traffic, time, and bottleneck for
-//! one of the paper's CNNs on any of the three GPUs, plus a comparison
-//! against the trace-driven simulator for one chosen layer.
+//! Whole-network analysis through the unified Backend/engine layer:
+//! per-layer traffic, time, and bottleneck for one of the paper's CNNs on
+//! any of the three GPUs — evaluated by *both* backends (the instant
+//! analytical model and the trace-driven simulator) through the same
+//! engine, with per-layer agreement ratios.
 //!
 //! ```sh
 //! cargo run --release -p delta-bench --example network_report -- GoogLeNet v100
 //! ```
 
+use delta_model::engine::Engine;
 use delta_model::{Delta, GpuSpec};
 use delta_sim::{SimConfig, Simulator};
 
@@ -18,7 +21,7 @@ fn main() -> Result<(), delta_model::Error> {
         _ => GpuSpec::titan_xp(),
     };
 
-    let batch = 32;
+    let batch = 16;
     let net = delta_networks::paper_networks(batch)?
         .into_iter()
         .find(|n| n.name().eq_ignore_ascii_case(net_name))
@@ -28,37 +31,40 @@ fn main() -> Result<(), delta_model::Error> {
         });
 
     println!("{net} on {gpu}\n");
-    let delta = Delta::new(gpu.clone());
+
+    // One engine per backend; identical driver code for both.
+    let model = Engine::new(Delta::new(gpu.clone()));
+    let sim = Engine::new(Simulator::new(gpu.clone(), SimConfig::default()));
+
+    let model_eval = model.evaluate_network(net.layers())?;
+    let sim_eval = sim.evaluate_network(net.layers())?;
+
     println!(
-        "{:<14} {:>9} {:>9} {:>9} {:>9} {:>10}",
-        "layer", "L1 GB", "L2 GB", "DRAM GB", "ms", "bottleneck"
+        "{:<14} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "layer", "model ms", "sim ms", "dram ratio", "l2 ratio", "bottleneck"
     );
-    let mut total_ms = 0.0;
-    for report in delta.analyze_network(net.layers())? {
-        total_ms += report.perf.millis();
+    for (m, s) in model_eval.rows.iter().zip(&sim_eval.rows) {
         println!(
-            "{:<14} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>10}",
-            report.layer.label(),
-            report.traffic.l1_bytes / 1e9,
-            report.traffic.l2_bytes / 1e9,
-            report.traffic.dram_bytes / 1e9,
-            report.perf.millis(),
-            report.perf.bottleneck
+            "{:<14} {:>10.3} {:>10.3} {:>10.2} {:>12.2} {:>10}",
+            m.label,
+            m.estimate.millis(),
+            s.estimate.millis(),
+            m.estimate.dram_read_bytes / s.estimate.dram_read_bytes,
+            m.estimate.l2_bytes / s.estimate.l2_bytes,
+            m.estimate
+                .bottleneck
+                .map_or("-".to_string(), |b| b.to_string()),
         );
     }
-    println!("{:<14} {:>39.3} ms total (model)", "", total_ms);
-
-    // Cross-check the first layer against the simulator.
-    let layer = &net.layers()[0];
-    let sim = Simulator::new(gpu, SimConfig::default());
-    let measured = sim.run(layer);
-    let modeled = delta.estimate_traffic(layer)?;
     println!(
-        "\nsimulator cross-check on `{}`: model/measured L1 {:.2}, L2 {:.2}, DRAM {:.2}",
-        layer.label(),
-        modeled.l1_bytes / measured.l1_bytes,
-        modeled.l2_bytes / measured.l2_bytes,
-        modeled.dram_bytes / measured.dram_read_bytes,
+        "\ntotals: model {:.3} ms, sim {:.3} ms",
+        model_eval.total_seconds() * 1e3,
+        sim_eval.total_seconds() * 1e3
+    );
+    let stats = sim.cache_stats();
+    println!(
+        "engine: {} unique shapes simulated in parallel, {} repeats served from cache",
+        stats.misses, stats.hits
     );
     Ok(())
 }

@@ -26,15 +26,26 @@ fn main() -> Result<(), delta_model::Error> {
     println!("{report}\n");
 
     // …and the pieces are programmatically accessible:
-    println!("GEMM        : {} x {} x {}", layer.gemm_m(), layer.gemm_n(), layer.gemm_k());
+    println!(
+        "GEMM        : {} x {} x {}",
+        layer.gemm_m(),
+        layer.gemm_n(),
+        layer.gemm_k()
+    );
     println!("CTA tile    : {}", report.tiling.tile());
-    println!("L1 traffic  : {:>9.3} GB (MLI_IFmap {:.2})",
-        report.traffic.l1_bytes / 1e9, report.traffic.mli_ifmap);
+    println!(
+        "L1 traffic  : {:>9.3} GB (MLI_IFmap {:.2})",
+        report.traffic.l1_bytes / 1e9,
+        report.traffic.mli_ifmap
+    );
     println!("L2 traffic  : {:>9.3} GB", report.traffic.l2_bytes / 1e9);
     println!("DRAM traffic: {:>9.3} GB", report.traffic.dram_bytes / 1e9);
     println!("exec time   : {:>9.3} ms", report.perf.millis());
     println!("bottleneck  : {}", report.perf.bottleneck);
-    println!("achieved    : {:>9.0} GFLOP/s of {:.0} peak",
-        report.achieved_gflops(), delta.gpu().mac_gflops());
+    println!(
+        "achieved    : {:>9.0} GFLOP/s of {:.0} peak",
+        report.achieved_gflops(),
+        delta.gpu().mac_gflops()
+    );
     Ok(())
 }

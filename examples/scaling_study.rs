@@ -1,38 +1,27 @@
 //! Design-space exploration: what should the next GPU scale to run
-//! ResNet152 faster? Reproduces the §VII-C methodology on a custom set of
-//! design options, showing how DeLTA exposes the bottleneck shift as
-//! resources grow.
+//! ResNet152 faster? Reproduces the §VII-C methodology through the
+//! engine's design-space driver, showing how DeLTA exposes the
+//! bottleneck shift as resources grow.
 //!
 //! ```sh
 //! cargo run --release -p delta-bench --example scaling_study
 //! ```
 
-use delta_model::{Bottleneck, Delta, DesignOption, GpuSpec};
-
-fn resnet_time(delta: &Delta) -> Result<(f64, Vec<(Bottleneck, usize)>), delta_model::Error> {
-    let net = delta_networks::resnet152_full(256)?;
-    let mut total = 0.0;
-    let mut counts: Vec<(Bottleneck, usize)> =
-        Bottleneck::ALL.iter().map(|b| (*b, 0usize)).collect();
-    for layer in net.layers() {
-        let p = delta.estimate_performance(layer)?;
-        total += p.seconds;
-        if let Some(c) = counts.iter_mut().find(|(b, _)| *b == p.bottleneck) {
-            c.1 += 1;
-        }
-    }
-    Ok((total, counts))
-}
+use delta_model::engine::{self, Engine};
+use delta_model::{Delta, DesignOption, GpuSpec};
 
 fn main() -> Result<(), delta_model::Error> {
     let base = GpuSpec::titan_xp();
-    let (t0, _) = resnet_time(&Delta::new(base.clone()))?;
-    println!("baseline {}: ResNet152 forward {:.1} ms\n", base.name(), t0 * 1e3);
+    let net = delta_networks::resnet152_full(256)?;
 
+    let baseline = Engine::new(Delta::new(base.clone())).evaluate_network(net.layers())?;
+    let t0 = baseline.total_seconds();
     println!(
-        "{:<8} {:>8} {:>9}   dominant bottlenecks",
-        "option", "speedup", "rel.cost"
+        "baseline {}: ResNet152 forward {:.1} ms\n",
+        base.name(),
+        t0 * 1e3
     );
+
     // The paper's nine options, plus one custom probe: what if we only
     // tripled DRAM bandwidth?
     let mut options = DesignOption::paper_options();
@@ -41,11 +30,14 @@ fn main() -> Result<(), delta_model::Error> {
     dram_only.dram_bw_x = 3.0;
     options.push(dram_only);
 
-    for opt in options {
-        let delta = opt.model(&base)?;
-        let (t, counts) = resnet_time(&delta)?;
-        let mut top: Vec<(Bottleneck, usize)> =
-            counts.into_iter().filter(|(_, n)| *n > 0).collect();
+    let points = engine::evaluate_design_space(&options, net.layers(), |opt| opt.model(&base))?;
+
+    println!(
+        "{:<8} {:>8} {:>9}   dominant bottlenecks",
+        "option", "speedup", "rel.cost"
+    );
+    for p in &points {
+        let mut top = p.evaluation.bottleneck_counts();
         top.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
         let desc: Vec<String> = top
             .iter()
@@ -54,9 +46,9 @@ fn main() -> Result<(), delta_model::Error> {
             .collect();
         println!(
             "{:<8} {:>7.2}x {:>9.2}   {}",
-            opt.name,
-            t0 / t,
-            opt.relative_cost(),
+            p.option.name,
+            p.speedup_over(t0),
+            p.option.relative_cost(),
             desc.join("  ")
         );
     }

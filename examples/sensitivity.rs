@@ -32,7 +32,10 @@ fn main() -> Result<(), delta_model::Error> {
     }
 
     println!("\nFeature-size sweep (small IFmaps stress the L1 coalescer)");
-    println!("{:>5} {:>12} {:>10} {:>12}", "HxW", "MLI_IFmap", "DRAM GB", "bottleneck");
+    println!(
+        "{:>5} {:>12} {:>10} {:>12}",
+        "HxW", "MLI_IFmap", "DRAM GB", "bottleneck"
+    );
     for layer in sweep::sweep_feature_size([8, 12, 16, 24, 36, 52, 76, 92])? {
         let r = delta.analyze(&layer)?;
         println!(

@@ -1,14 +1,15 @@
-//! Training-step budgeting: the backward-pass extension in action.
-//! Estimates forward, data-gradient, and weight-gradient time for every
-//! layer of a CNN and shows where a training iteration's time goes —
-//! the question the paper's intro poses about compute/memory balance
-//! for *training*.
+//! Training-step budgeting through the engine: estimates forward,
+//! data-gradient, and weight-gradient time for every layer of a CNN and
+//! shows where a training iteration's time goes — the question the
+//! paper's intro poses about compute/memory balance for *training*.
+//! All three passes of all layers fan out through the parallel cached
+//! engine.
 //!
 //! ```sh
 //! cargo run --release -p delta-bench --example training_step -- vgg16 v100
 //! ```
 
-use delta_model::training::{self, TrainingEstimate};
+use delta_model::engine::Engine;
 use delta_model::{Bottleneck, Delta, GpuSpec};
 
 fn main() -> Result<(), delta_model::Error> {
@@ -24,8 +25,8 @@ fn main() -> Result<(), delta_model::Error> {
         .find(|n| n.name().eq_ignore_ascii_case(net_name))
         .unwrap_or_else(|| delta_networks::vgg16(64).expect("builtin network"));
 
-    let delta = Delta::new(gpu.clone());
-    let steps = training::training_step(&delta, net.layers())?;
+    let engine = Engine::new(Delta::new(gpu.clone()));
+    let eval = engine.evaluate_training_step(net.layers())?;
 
     println!("{net} — one training step on {}\n", gpu.name());
     println!(
@@ -33,22 +34,20 @@ fn main() -> Result<(), delta_model::Error> {
         "layer", "fwd ms", "dgrad ms", "wgrad ms", "step ms"
     );
     let fmt_b = |b: Option<Bottleneck>| b.map_or("-".to_string(), |x| x.to_string());
-    let mut total = 0.0;
-    for s in &steps {
-        total += s.seconds();
+    for r in &eval.rows {
         println!(
             "{:<12} {:>9.3} {:>9.3} {:>9.3} {:>9.3}  {}/{}/{}",
-            s.forward.layer.label(),
-            s.forward.perf.millis(),
-            s.dgrad.as_ref().map_or(0.0, |d| d.perf.millis()),
-            s.wgrad.perf.millis(),
-            s.seconds() * 1e3,
-            s.forward.perf.bottleneck,
-            fmt_b(s.dgrad.as_ref().map(|d| d.perf.bottleneck)),
-            s.wgrad.perf.bottleneck,
+            r.label,
+            r.forward.millis(),
+            r.dgrad.as_ref().map_or(0.0, |d| d.millis()),
+            r.wgrad.millis(),
+            r.seconds() * 1e3,
+            fmt_b(r.forward.bottleneck),
+            fmt_b(r.dgrad.as_ref().and_then(|d| d.bottleneck)),
+            fmt_b(r.wgrad.bottleneck),
         );
     }
-    let fwd: f64 = steps.iter().map(|s| s.forward.perf.seconds).sum();
+    let (total, fwd) = (eval.total_seconds(), eval.forward_seconds());
     println!(
         "\nstep total {:.2} ms — forward {:.2} ms, backward {:.2} ms ({:.2}x forward)",
         total * 1e3,
@@ -57,16 +56,24 @@ fn main() -> Result<(), delta_model::Error> {
         (total - fwd) / fwd
     );
 
-    // Where does the *traffic* go? Sum DRAM bytes per pass.
-    let sum = |f: &dyn Fn(&TrainingEstimate) -> f64| -> f64 { steps.iter().map(f).sum() };
-    let fwd_b = sum(&|s| s.forward.traffic.dram_bytes);
-    let dg_b = sum(&|s| s.dgrad.as_ref().map_or(0.0, |d| d.traffic.dram_bytes));
-    let wg_b = sum(&|s| s.wgrad.traffic.dram_bytes);
+    // Where does the *traffic* go? Sum DRAM reads per pass.
+    let fwd_b: f64 = eval.rows.iter().map(|r| r.forward.dram_read_bytes).sum();
+    let dg_b: f64 = eval
+        .rows
+        .iter()
+        .map(|r| r.dgrad.as_ref().map_or(0.0, |d| d.dram_read_bytes))
+        .sum();
+    let wg_b: f64 = eval.rows.iter().map(|r| r.wgrad.dram_read_bytes).sum();
     println!(
         "DRAM reads: forward {:.2} GB, dgrad {:.2} GB, wgrad {:.2} GB",
         fwd_b / 1e9,
         dg_b / 1e9,
         wg_b / 1e9
+    );
+    println!(
+        "engine: {} unique GEMMs evaluated, {} served from cache",
+        engine.cache_stats().misses,
+        engine.cache_stats().hits
     );
     Ok(())
 }

@@ -118,7 +118,9 @@ fn volta_l1_granularity_reduces_measured_l1_traffic() {
         v_sim.l1_bytes,
         xp_sim.l1_bytes
     );
-    let xp_model = Delta::new(GpuSpec::titan_xp()).estimate_traffic(&l).unwrap();
+    let xp_model = Delta::new(GpuSpec::titan_xp())
+        .estimate_traffic(&l)
+        .unwrap();
     let v_model = Delta::new(GpuSpec::v100()).estimate_traffic(&l).unwrap();
     assert!(v_model.mli_ifmap <= xp_model.mli_ifmap);
 }

@@ -37,7 +37,10 @@ fn mac_only_scaling_hits_the_memory_wall() {
     let s3 = t0 / total_seconds(&opts[2].model(&base).unwrap());
     let s4 = t0 / total_seconds(&opts[3].model(&base).unwrap());
     assert!(s3 > 1.2 && s3 < 2.6, "option 3: {s3:.2}");
-    assert!(s4 < s3 * 2.0, "doubling MACs again barely helps: {s4:.2} vs {s3:.2}");
+    assert!(
+        s4 < s3 * 2.0,
+        "doubling MACs again barely helps: {s4:.2} vs {s3:.2}"
+    );
 }
 
 #[test]
@@ -59,9 +62,7 @@ fn bottlenecks_shift_from_mac_to_memory_as_macs_scale() {
             .unwrap()
             .layers()
             .iter()
-            .filter(|l| {
-                delta.estimate_performance(l).unwrap().bottleneck == Bottleneck::MacBw
-            })
+            .filter(|l| delta.estimate_performance(l).unwrap().bottleneck == Bottleneck::MacBw)
             .count()
     };
     let base_mac = count_mac(&Delta::new(base.clone()));

@@ -2,7 +2,7 @@
 //! configurations: model invariants that must hold for *every* valid
 //! layer, and simulator conservation laws on small instances.
 
-use delta_model::tiling::{CtaTile, LayerTiling};
+use delta_model::tiling::LayerTiling;
 use delta_model::traffic::{self, l1::MliMode};
 use delta_model::{ConvLayer, Delta, GpuSpec};
 use delta_sim::{SimConfig, Simulator};
@@ -11,25 +11,28 @@ use proptest::prelude::*;
 /// A random but valid conv layer within model-scale bounds.
 fn arb_layer() -> impl Strategy<Value = ConvLayer> {
     (
-        1u32..=8,     // batch
-        1u32..=256,   // ci
-        3u32..=64,    // hw
-        1u32..=256,   // co
+        1u32..=8,   // batch
+        1u32..=256, // ci
+        3u32..=64,  // hw
+        1u32..=256, // co
         prop_oneof![Just(1u32), Just(3), Just(5), Just(7), Just(11)],
-        1u32..=4,     // stride
-        0u32..=3,     // pad
+        1u32..=4, // stride
+        0u32..=3, // pad
     )
-        .prop_filter_map("filter must fit padded input", |(b, ci, hw, co, f, s, p)| {
-            ConvLayer::builder("prop")
-                .batch(b)
-                .input(ci, hw, hw)
-                .output_channels(co)
-                .filter(f, f)
-                .stride(s)
-                .pad(p)
-                .build()
-                .ok()
-        })
+        .prop_filter_map(
+            "filter must fit padded input",
+            |(b, ci, hw, co, f, s, p)| {
+                ConvLayer::builder("prop")
+                    .batch(b)
+                    .input(ci, hw, hw)
+                    .output_channels(co)
+                    .filter(f, f)
+                    .stride(s)
+                    .pad(p)
+                    .build()
+                    .ok()
+            },
+        )
 }
 
 /// A *small* random layer the full trace simulation can afford.
@@ -43,17 +46,20 @@ fn arb_small_layer() -> impl Strategy<Value = ConvLayer> {
         1u32..=2,
         0u32..=2,
     )
-        .prop_filter_map("filter must fit padded input", |(b, ci, hw, co, f, s, p)| {
-            ConvLayer::builder("prop-small")
-                .batch(b)
-                .input(ci, hw, hw)
-                .output_channels(co)
-                .filter(f, f)
-                .stride(s)
-                .pad(p)
-                .build()
-                .ok()
-        })
+        .prop_filter_map(
+            "filter must fit padded input",
+            |(b, ci, hw, co, f, s, p)| {
+                ConvLayer::builder("prop-small")
+                    .batch(b)
+                    .input(ci, hw, hw)
+                    .output_channels(co)
+                    .filter(f, f)
+                    .stride(s)
+                    .pad(p)
+                    .build()
+                    .ok()
+            },
+        )
 }
 
 proptest! {

@@ -1,0 +1,359 @@
+//! In-tree stand-in for `criterion` (offline build): a wall-clock
+//! micro-benchmark harness exposing the subset of the criterion 0.5 API
+//! this workspace's benches use — `Criterion`, `benchmark_group`,
+//! `bench_function`, `Bencher::{iter, iter_batched}`, `Throughput`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement strategy: each benchmark is warmed up briefly, then timed
+//! over `sample_size` samples (each sample runs enough iterations to be
+//! clock-resolvable); the mean, minimum, and maximum per-iteration times
+//! are printed. No statistics files are written and no plots are drawn —
+//! the goal is honest comparative numbers in CI logs, not criterion's
+//! full analysis pipeline.
+
+use std::time::{Duration, Instant};
+
+/// Per-sample throughput annotation (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs one setup per
+/// routine invocation regardless of the hint, which keeps timing honest
+/// for the workspace's coarse-grained benches.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Benchmark driver; collects configuration and runs registered benches.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(150),
+            measurement: Duration::from_millis(800),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Restricts runs to benchmark ids containing `filter` (set from the
+    /// command line by [`criterion_main!`]).
+    pub fn with_filter(mut self, filter: impl Into<String>) -> Self {
+        self.filter = Some(filter.into());
+        self
+    }
+
+    /// Runs one benchmark function.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    fn run_one<F>(&mut self, id: &str, throughput: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            mode: Mode::WarmUp,
+            budget: self.warm_up,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.mode = Mode::Measure;
+        b.budget = self.measurement;
+        b.samples.clear();
+        f(&mut b);
+        b.report(id, throughput);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and optional throughput.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Annotates subsequent benches with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        self.criterion.run_one(&full, self.throughput, f);
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    /// Ends the group (drop would do; provided for API parity).
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, PartialEq)]
+enum Mode {
+    WarmUp,
+    Measure,
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    budget: Duration,
+    sample_size: usize,
+    samples: Vec<f64>, // seconds per iteration
+}
+
+impl Bencher {
+    /// Times `routine` (the criterion `iter` contract: the closure's
+    /// return value is dropped and acts as a black box).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibrate: how many iterations fit one clock-resolvable burst?
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < Duration::from_millis(1) {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        if self.mode == Mode::WarmUp {
+            let warm_until = Instant::now() + self.budget.saturating_sub(start.elapsed());
+            while Instant::now() < warm_until {
+                std::hint::black_box(routine());
+            }
+            return;
+        }
+        let per_sample = iters.max(1);
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(t0.elapsed().as_secs_f64() / per_sample as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.mode == Mode::WarmUp {
+            let until = Instant::now() + self.budget;
+            while Instant::now() < until {
+                let input = setup();
+                std::hint::black_box(routine(input));
+            }
+            return;
+        }
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t0.elapsed().as_secs_f64());
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{id:<48} no samples collected");
+            return;
+        }
+        let n = self.samples.len() as f64;
+        let mean = self.samples.iter().sum::<f64>() / n;
+        let min = self.samples.iter().cloned().fold(f64::MAX, f64::min);
+        let max = self.samples.iter().cloned().fold(f64::MIN, f64::max);
+        let extra = match throughput {
+            Some(Throughput::Elements(e)) => {
+                format!("  {:>12.3} Melem/s", e as f64 / mean / 1e6)
+            }
+            Some(Throughput::Bytes(b)) => {
+                format!("  {:>12.3} MiB/s", b as f64 / mean / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{id:<48} time: [{} {} {}]{extra}",
+            fmt_time(min),
+            fmt_time(mean),
+            fmt_time(max)
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Re-export point used by generated benchmark mains.
+pub mod __private {
+    /// Builds the `Criterion` a bench main starts from: default config
+    /// plus any `--filter`-style positional argument from `cargo bench`.
+    pub fn criterion_from_args(default: crate::Criterion) -> crate::Criterion {
+        // cargo bench passes `--bench` and harness flags; treat the first
+        // non-flag argument as a substring filter, like criterion does.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        match filter {
+            Some(f) => default.with_filter(f),
+            None => default,
+        }
+    }
+}
+
+/// Declares a benchmark group. Both criterion forms are accepted:
+/// `criterion_group!(benches, f, g)` and
+/// `criterion_group!(name = benches; config = ...; targets = f, g)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::__private::criterion_from_args($config);
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        // Runs without panicking and prints a line.
+        c.bench_function("shim/self_test", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("grouped", |b| {
+            b.iter_batched(|| 21, |x| x * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert!(fmt_time(5e-9).contains("ns"));
+        assert!(fmt_time(5e-6).contains("µs"));
+        assert!(fmt_time(5e-3).contains("ms"));
+        assert!(fmt_time(5.0).contains('s'));
+    }
+}

@@ -1,0 +1,419 @@
+//! In-tree stand-in for `proptest` (offline build): property-based
+//! testing over deterministically seeded random inputs.
+//!
+//! Supports the subset the workspace's property tests use: range and
+//! [`Just`] strategies, tuples, `prop_oneof!`, `prop_filter_map`, the
+//! `proptest!` macro with `#![proptest_config(...)]`, and the
+//! `prop_assert*` / `prop_assume!` macros. No shrinking is performed —
+//! a failing case prints its generated value and the RNG is fixed-seeded,
+//! so failures reproduce exactly from the test name alone.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic xorshift64* generator; the same (seed, case) pair always
+/// produces the same inputs, so CI failures replay locally.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator for one test case.
+    pub fn new(case: u64) -> TestRng {
+        TestRng {
+            // Fixed base seed; splitmix the case index in.
+            state: 0x9E37_79B9_7F4A_7C15u64.wrapping_add(case.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                | 1,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound <= 1 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// A generator of test inputs. Unlike real proptest there is no value
+/// tree: rejected draws return `None` and the harness retries.
+pub trait Strategy {
+    /// The generated input type.
+    type Value;
+
+    /// Draws one value; `None` means the draw was rejected (filtered).
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+}
+
+/// Combinator methods for strategies (separate from [`Strategy`] so the
+/// base trait stays object-safe for [`Union`]).
+pub trait StrategyExt: Strategy + Sized {
+    /// Maps draws through `f`, rejecting those for which `f` returns
+    /// `None`. The `reason` matches real proptest's diagnostic argument.
+    fn prop_filter_map<R, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        F: Fn(Self::Value) -> Option<R>,
+    {
+        FilterMap {
+            base: self,
+            f,
+            _reason: reason,
+        }
+    }
+
+    /// Maps draws through an infallible `f`.
+    fn prop_map<R, F>(self, f: F) -> PropMap<Self, F>
+    where
+        F: Fn(Self::Value) -> R,
+    {
+        PropMap { base: self, f }
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let lo = *self.start() as u64;
+                let hi = *self.end() as u64;
+                if hi < lo {
+                    return None;
+                }
+                Some((lo + rng.below(hi - lo + 1)) as $t)
+            }
+        }
+
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                if self.end <= self.start {
+                    return None;
+                }
+                let lo = self.start as u64;
+                let hi = self.end as u64;
+                Some((lo + rng.below(hi - lo)) as $t)
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Uniform choice between boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} options)", self.options.len())
+    }
+}
+
+impl<T> Union<T> {
+    /// Creates a union over the given options.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Strategy adapter produced by [`StrategyExt::prop_filter_map`].
+#[derive(Debug)]
+pub struct FilterMap<S, F> {
+    base: S,
+    f: F,
+    _reason: &'static str,
+}
+
+impl<S, R, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<R>,
+{
+    type Value = R;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<R> {
+        (self.f)(self.base.generate(rng)?)
+    }
+}
+
+/// Strategy adapter produced by [`StrategyExt::prop_map`].
+#[derive(Debug)]
+pub struct PropMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, R, F> Strategy for PropMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> R,
+{
+    type Value = R;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<R> {
+        Some((self.f)(self.base.generate(rng)?))
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Harness behind the `proptest!` macro: draws inputs from `strategy`
+/// until `cases` accepted cases ran, panicking on the first failure.
+pub fn run_proptest<S, F>(config: &ProptestConfig, strategy: S, test: F)
+where
+    S: Strategy,
+    S::Value: Debug + Clone,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    let mut accepted = 0u32;
+    let mut draws = 0u64;
+    let max_draws = u64::from(config.cases) * 50 + 1000;
+    while accepted < config.cases {
+        draws += 1;
+        assert!(
+            draws <= max_draws,
+            "proptest shim: strategy rejected too many draws ({draws}); \
+             property accepted only {accepted}/{} cases",
+            config.cases
+        );
+        let mut rng = TestRng::new(draws);
+        let Some(input) = strategy.generate(&mut rng) else {
+            continue;
+        };
+        accepted += 1;
+        let shown = format!("{input:?}");
+        if let Err(msg) = test(input) {
+            panic!(
+                "proptest case #{accepted} failed: {msg}\n    input: {shown}\n    \
+                 (deterministic seed: draw {draws})"
+            );
+        }
+    }
+}
+
+/// Everything a property test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, StrategyExt,
+    };
+}
+
+/// Uniformly chooses among the listed strategies (all producing the same
+/// value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        // Push into one vector so the element type (and thereby every
+        // option's literal types) unify through inference.
+        #[allow(clippy::vec_init_then_push)]
+        let options = {
+            let mut options: Vec<Box<dyn $crate::Strategy<Value = _>>> = Vec::new();
+            $(options.push(Box::new($strategy));)+
+            options
+        };
+        $crate::Union::new(options)
+    }};
+}
+
+/// Asserts inside a property; failure reports the generated input.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!("assertion failed: {a:?} != {b:?}"));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err(format!("assertion failed: {a:?} == {b:?}"));
+        }
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+/// Declares property tests; each `fn name(pat in strategy) { .. }` becomes
+/// a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($arg:pat in $strategy:expr) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::run_proptest(&config, $strategy, |input| {
+                    let $arg = input;
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($arg:pat in $strategy:expr) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($arg in $strategy) $body)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (3u32..=9).generate(&mut rng).unwrap();
+            assert!((3..=9).contains(&v));
+            let w = (5u64..8).generate(&mut rng).unwrap();
+            assert!((5..8).contains(&w));
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = crate::TestRng::new(7);
+        let mut b = crate::TestRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_pipeline_works(pair in (1u32..=4, 10u32..=20).prop_filter_map(
+            "sum must be even",
+            |(a, b)| if (a + b) % 2 == 0 { Some((a, b)) } else { None },
+        )) {
+            let (a, b) = pair;
+            prop_assume!(a > 0);
+            prop_assert!((a + b) % 2 == 0, "odd sum {a}+{b}");
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, a + b);
+        }
+
+        #[test]
+        fn oneof_picks_listed_values(v in prop_oneof![Just(1u32), Just(3), Just(5)]) {
+            prop_assert!([1, 3, 5].contains(&v));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! In-tree stand-in for `rayon` (offline build): data-parallel slice
+//! iteration on top of `std::thread::scope`.
+//!
+//! Implements the subset the workspace uses — `slice.par_iter().map(f)
+//! .collect::<Vec<_>>()` — with genuine multi-core execution: the input
+//! is split into contiguous chunks, one per available core, each chunk is
+//! mapped on its own scoped thread, and the chunk results are re-joined
+//! in order, so the output order matches the sequential semantics
+//! exactly. There is no work-stealing; for the coarse-grained work the
+//! engine submits (whole-layer evaluations), static chunking is within
+//! noise of a real scheduler.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use (respects `RAYON_NUM_THREADS` like the
+/// real crate; defaults to the number of available cores).
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The traits users import; mirrors `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Parallel iterator types and conversion traits.
+pub mod iter {
+    use super::current_num_threads;
+
+    /// Conversion of `&self` into a parallel iterator (the `par_iter`
+    /// entry point).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The borrowed item type.
+        type Item: Sync + 'data;
+
+        /// Returns a parallel iterator over borrowed items.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// Operations available on parallel iterators.
+    pub trait ParallelIterator: Sized {
+        /// The element type produced.
+        type Item: Send;
+
+        /// Evaluates the pipeline, returning results in input order.
+        fn run(self) -> Vec<Self::Item>;
+
+        /// Maps each element through `f` in parallel.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Map { base: self, f }
+        }
+
+        /// Collects into `C` (only `Vec<Item>` — and types converting
+        /// from it — are supported, which is what the workspace uses).
+        fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+            C::from(self.run())
+        }
+    }
+
+    /// Borrowing parallel iterator over a slice.
+    #[derive(Debug)]
+    pub struct ParIter<'data, T: Sync> {
+        pub(crate) items: &'data [T],
+    }
+
+    impl<'data, T: Sync> ParallelIterator for ParIter<'data, T> {
+        type Item = &'data T;
+
+        fn run(self) -> Vec<&'data T> {
+            self.items.iter().collect()
+        }
+    }
+
+    /// A mapped parallel iterator.
+    #[derive(Debug)]
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<'data, T, R, F> ParallelIterator for Map<ParIter<'data, T>, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        type Item = R;
+
+        fn run(self) -> Vec<R> {
+            parallel_map(self.base.items, &self.f)
+        }
+    }
+
+    /// Maps `items` through `f` on up to [`current_num_threads`] scoped
+    /// threads, preserving input order.
+    fn parallel_map<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        let threads = current_num_threads().min(items.len().max(1));
+        if threads <= 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk = items.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            let mut out = Vec::with_capacity(items.len());
+            for h in handles {
+                out.extend(h.join().expect("rayon shim worker panicked"));
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_on_slices_and_small_inputs() {
+        let v = [5u32];
+        let out: Vec<u32> = v[..].par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![6]);
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        if crate::current_num_threads() < 2 {
+            return; // single-core CI runner: nothing to assert
+        }
+        let input: Vec<u32> = (0..64).collect();
+        let ids: Vec<String> = input
+            .par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                format!("{:?}", std::thread::current().id())
+            })
+            .collect();
+        let mut unique = ids.clone();
+        unique.sort();
+        unique.dedup();
+        assert!(unique.len() > 1, "expected work on more than one thread");
+    }
+}

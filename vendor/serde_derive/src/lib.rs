@@ -1,0 +1,300 @@
+//! Derive macros for the in-tree `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! two item shapes this workspace uses:
+//!
+//! * **named-field structs** — (de)serialized as a JSON object keyed by
+//!   field name; the field attribute `#[serde(default = "path")]` supplies
+//!   a fallback for missing keys, matching real serde's behavior;
+//! * **unit-variant enums** — (de)serialized as the variant-name string.
+//!
+//! Parsing is done directly over `proc_macro::TokenStream` (no `syn`):
+//! attributes and visibility are skipped, generics are rejected with a
+//! clear panic (none of the workspace types are generic).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: name plus optional `#[serde(default = "...")]` path.
+struct Field {
+    name: String,
+    default_path: Option<String>,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Extracts a `default = "path"` setting from a `#[serde(...)]` attribute
+/// body, if present.
+fn serde_default_from_attr(tokens: &[TokenTree]) -> Option<String> {
+    // Attribute group contents look like: serde ( default = "path" )
+    let mut iter = tokens.iter();
+    match iter.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let inner = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return None,
+    };
+    let parts: Vec<TokenTree> = inner.into_iter().collect();
+    let mut i = 0;
+    while i < parts.len() {
+        if let TokenTree::Ident(id) = &parts[i] {
+            if id.to_string() == "default" {
+                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                    (parts.get(i + 1), parts.get(i + 2))
+                {
+                    if eq.as_char() == '=' {
+                        let s = lit.to_string();
+                        return Some(s.trim_matches('"').to_string());
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses the derive input into an [`Item`]. Panics (compile error) on
+/// unsupported shapes so misuse is loud rather than silently wrong.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive shim does not support generic types (on `{name}`)");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            panic!("serde derive shim supports only brace-bodied items; `{name}` has {other:?}")
+        }
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_fields(&body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn parse_fields(body: &[TokenTree]) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // Gather this field's attributes.
+        let mut default_path = None;
+        loop {
+            match body.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = body.get(i + 1) {
+                        let attr: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if let Some(path) = serde_default_from_attr(&attr) {
+                            default_path = Some(path);
+                        }
+                    }
+                    i += 2;
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = body.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field_name)) = body.get(i) else {
+            break; // trailing comma / end of fields
+        };
+        let name = field_name.to_string();
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Skip the type: consume tokens until a top-level comma. Angle
+        // brackets do not nest as groups, so track their depth manually.
+        let mut angle_depth = 0i32;
+        while let Some(tt) = body.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default_path });
+    }
+    fields
+}
+
+fn parse_variants(body: &[TokenTree]) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) => {
+                let v = id.to_string();
+                i += 1;
+                if let Some(TokenTree::Group(_)) = body.get(i) {
+                    panic!("serde derive shim supports only unit enum variants (`{v}` has data)");
+                }
+                if let Some(TokenTree::Punct(p)) = body.get(i) {
+                    if p.as_char() == '=' {
+                        panic!("serde derive shim does not support discriminants (`{v}`)");
+                    }
+                    if p.as_char() == ',' {
+                        i += 1;
+                    }
+                }
+                variants.push(v);
+            }
+            _ => i += 1,
+        }
+    }
+    variants
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{n}\".to_string(), serde::Serialize::to_value(&self.{n})),",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    let n = &f.name;
+                    match &f.default_path {
+                        Some(path) => format!(
+                            "{n}: match v.get(\"{n}\") {{\n\
+                                 Some(fv) => serde::Deserialize::from_value(fv)?,\n\
+                                 None => {path}(),\n\
+                             }},"
+                        ),
+                        None => format!(
+                            "{n}: serde::Deserialize::from_value(v.get(\"{n}\")\n\
+                                 .ok_or_else(|| serde::DeError(\n\
+                                     format!(\"missing field `{n}` in {name}\")))?)?,"
+                        ),
+                    }
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         if !matches!(v, serde::Value::Map(_)) {{\n\
+                             return Err(serde::DeError::expected(\"object ({name})\", v));\n\
+                         }}\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                         match v {{\n\
+                             serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(serde::DeError(\n\
+                                     format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => Err(serde::DeError::expected(\"string ({name})\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}

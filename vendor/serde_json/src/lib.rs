@@ -1,0 +1,458 @@
+//! In-tree stand-in for `serde_json` (offline build): renders and parses
+//! JSON through the `serde` shim's [`serde::Value`] tree.
+//!
+//! Covers the workspace's usage: [`to_string`], [`to_string_pretty`], and
+//! [`from_str`]. Numbers round-trip exactly — integers are emitted
+//! without a decimal point, floats via Rust's shortest-round-trip
+//! `Display`, and the parser classifies tokens back into the same
+//! variants.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// JSON (de)serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Error {
+        Error(e.0)
+    }
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Returns [`Error`] if the value contains a non-finite float.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable JSON (two-space indentation).
+///
+/// # Errors
+///
+/// Returns [`Error`] if the value contains a non-finite float.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0)?;
+    Ok(out)
+}
+
+/// Parses JSON text into `T`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at offset {}", p.pos)));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+fn write_value(
+    v: &Value,
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if !f.is_finite() {
+                return Err(Error(format!("non-finite float {f} is not valid JSON")));
+            }
+            let s = f.to_string();
+            out.push_str(&s);
+            // Keep the float/integer distinction through a round trip.
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                out.push_str(".0");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => write_seq(items, out, indent, depth)?,
+        Value::Map(entries) => write_map(entries, out, indent, depth)?,
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(n) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(n * depth));
+    }
+}
+
+fn write_seq(
+    items: &[Value],
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    if items.is_empty() {
+        out.push_str("[]");
+        return Ok(());
+    }
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(out, indent, depth + 1);
+        write_value(item, out, indent, depth + 1)?;
+    }
+    newline_indent(out, indent, depth);
+    out.push(']');
+    Ok(())
+}
+
+fn write_map(
+    entries: &[(String, Value)],
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    if entries.is_empty() {
+        out.push_str("{}");
+        return Ok(());
+    }
+    out.push('{');
+    for (i, (k, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(out, indent, depth + 1);
+        write_string(k, out);
+        out.push(':');
+        if indent.is_some() {
+            out.push(' ');
+        }
+        write_value(v, out, indent, depth + 1)?;
+    }
+    newline_indent(out, indent, depth);
+    out.push('}');
+    Ok(())
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hi = self.parse_hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect a trailing \uXXXX.
+                                self.pos += 1;
+                                if self.peek() != Some(b'\\') {
+                                    return Err(Error("lone surrogate".into()));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(Error("lone surrogate".into()));
+                                }
+                                let lo = self.parse_hex4()?;
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error(format!("bad codepoint {code:#x}")))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error(format!(
+                                "bad escape {:?} at offset {}",
+                                other.map(|c| c as char),
+                                self.pos
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy a full UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits following `\u` (cursor on the `u`).
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let start = self.pos + 1;
+        let end = start + 4;
+        if end > self.bytes.len() {
+            return Err(Error("truncated \\u escape".into()));
+        }
+        let hex = std::str::from_utf8(&self.bytes[start..end])
+            .map_err(|_| Error("bad \\u escape".into()))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| Error("bad \\u escape".into()))?;
+        self.pos = end - 1; // leave cursor on the last hex digit
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<f64>("2.0").unwrap(), 2.0);
+        let tricky = 0.1f64 + 0.2; // not representable exactly
+        assert_eq!(
+            from_str::<f64>(&to_string(&tricky).unwrap()).unwrap(),
+            tricky
+        );
+    }
+
+    #[test]
+    fn strings_escape_and_round_trip() {
+        let s = "line\nquote\"backslash\\tab\tend".to_string();
+        let json = to_string(&s).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+        assert_eq!(
+            from_str::<String>("\"\\u00e9\\ud83d\\ude00\"").unwrap(),
+            "é😀"
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(from_str::<Vec<u64>>(&to_string(&v).unwrap()).unwrap(), v);
+        let opt: Option<u32> = None;
+        assert_eq!(to_string(&opt).unwrap(), "null");
+        assert_eq!(from_str::<Option<u32>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_parseable() {
+        let v = vec![vec![1u32], vec![2, 3]];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<Vec<u32>>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_str::<u32>("").is_err());
+        assert!(from_str::<u32>("12 34").is_err());
+        assert!(from_str::<Vec<u32>>("[1,").is_err());
+        assert!(from_str::<String>("\"oops").is_err());
+    }
+}
