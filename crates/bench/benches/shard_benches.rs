@@ -1,0 +1,31 @@
+//! Criterion benchmarks for intra-layer sharded simulation: one big
+//! ResNet152 conv layer (16 tile columns) replayed at increasing worker
+//! counts. The wall-clock ratio between the 1-worker and 4-worker groups
+//! is the quantity the CI perf gate (`bin/perf_gate.rs`) enforces; this
+//! bench exists for interactive profiling of the same path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use delta_bench::experiments::shard_scaling;
+use delta_model::GpuSpec;
+use delta_sim::{SimConfig, Simulator};
+use std::hint::black_box;
+
+fn bench_sharded_layer(c: &mut Criterion) {
+    let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+    let layer = shard_scaling::widest_layer(16).expect("valid layer");
+    let mut group = c.benchmark_group("shard/resnet152_conv5_1x1");
+    group.sample_size(10);
+    for workers in [1u32, 2, 4, 8] {
+        group.bench_function(format!("workers_{workers}").as_str(), |b| {
+            b.iter(|| sim.run_sharded(black_box(&layer), workers).cycles)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sharded_layer
+);
+criterion_main!(benches);

@@ -6,7 +6,7 @@ type Experiment = fn(&Ctx) -> Result<Vec<delta_bench::Table>, delta_model::Error
 
 fn main() {
     let ctx = Ctx::from_args(std::env::args().skip(1));
-    let all: [(&str, Experiment); 14] = [
+    let all: [(&str, Experiment); 15] = [
         ("tab1", ex::tab1::run),
         ("fig04", ex::fig04::run),
         ("fig06", ex::fig06::run),
@@ -21,6 +21,7 @@ fn main() {
         ("fig19", ex::fig19::run),
         ("fig20", ex::fig20::run),
         ("ablation", ex::ablation::run),
+        ("shard_scaling", ex::shard_scaling::run),
     ];
     for (id, run) in all {
         eprintln!(">>> {id}");

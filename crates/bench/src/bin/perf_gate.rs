@@ -1,0 +1,254 @@
+//! CI perf-regression gate for the two hot paths the evaluation engine
+//! architecture depends on:
+//!
+//! 1. **cached engine** — full-ResNet152 simulation through the parallel,
+//!    shape-cached engine vs. the hand-rolled sequential per-layer loop;
+//! 2. **sharded sim** — one big ResNet152 conv layer through
+//!    `Simulator::run_sharded` at 4 workers vs. 1 worker.
+//!
+//! Both are measured as **speedup ratios**, not absolute times, so the
+//! gate is portable across CI machines of different raw speed. Usage:
+//!
+//! ```text
+//! perf_gate [--check BENCH_BASELINE.json] [--out results/perf_gate.json] [--reps N]
+//! ```
+//!
+//! With `--check`, each measured ratio must stay above
+//! `baseline × (1 − tolerance)` or the process exits non-zero. The
+//! shard-speedup check is skipped (with a notice) on hosts with fewer
+//! than 4 cores, where the 4-worker floor is physically unattainable
+//! (speedup ≤ min(workers, columns, cores)); the bitwise shard-identity
+//! check runs everywhere and is never skipped.
+
+use delta_bench::experiments::shard_scaling;
+use delta_model::engine::Engine;
+use delta_model::GpuSpec;
+use delta_sim::{SimConfig, Simulator};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Measured ratios, written as the bench artifact.
+#[derive(Debug, Serialize, Deserialize)]
+struct GateReport {
+    /// Worker threads available to the host.
+    cores: usize,
+    /// Cached parallel engine speedup over the sequential per-layer loop
+    /// (full ResNet152 simulation).
+    engine_cached_speedup: f64,
+    /// `run_sharded(4)` speedup over `run_sharded(1)` on a 16-column
+    /// ResNet152 conv layer.
+    shard_speedup_4w: f64,
+    /// Whether the 4-worker measurement was bitwise identical to the
+    /// 1-worker measurement (must always be true).
+    shard_identical: bool,
+}
+
+/// The checked-in expectations (`BENCH_BASELINE.json`).
+#[derive(Debug, Serialize, Deserialize)]
+struct Baseline {
+    /// Allowed fractional regression before the gate fails (0.2 = 20%).
+    tolerance: f64,
+    /// Expected cached-engine speedup.
+    engine_cached_speedup: f64,
+    /// Expected 4-worker shard speedup.
+    shard_speedup_4w: f64,
+}
+
+fn best_of<F: FnMut() -> f64>(reps: u32, mut run: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        std::hint::black_box(run());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn measure(reps: u32) -> GateReport {
+    let gpu = GpuSpec::titan_xp();
+    let config = SimConfig::default();
+
+    // Path 1: the cached parallel engine on the whole ResNet152 forward
+    // pass (151 convs, ~17 unique shapes).
+    let net = delta_networks::resnet152_full(2).expect("builtin network");
+    let sim = Simulator::new(gpu.clone(), config);
+    let t_loop = best_of(reps, || {
+        net.layers().iter().map(|l| sim.run(l).cycles).sum::<f64>()
+    });
+    let t_engine = best_of(reps, || {
+        // A fresh engine per rep keeps the cache cold and the comparison
+        // honest.
+        Engine::new(Simulator::new(gpu.clone(), config))
+            .evaluate_network(net.layers())
+            .expect("simulable network")
+            .total_seconds()
+    });
+
+    // Path 2: one big layer, sharded — the sweep's widest (most tile
+    // columns), so 4 workers all get real work. Driven through
+    // `Engine::evaluate_layer_sharded` so the gate times the production
+    // seam (Engine → Backend → run_sharded), not a shortcut.
+    let layer = shard_scaling::widest_layer(16).expect("valid layer");
+    let engine = Engine::new(Simulator::new(gpu, config));
+    let e1 = engine
+        .evaluate_layer_sharded(&layer, 1)
+        .expect("simulable layer");
+    let e4 = engine
+        .evaluate_layer_sharded(&layer, 4)
+        .expect("simulable layer");
+    let t1 = best_of(reps, || {
+        engine
+            .evaluate_layer_sharded(&layer, 1)
+            .expect("simulable layer")
+            .cycles
+    });
+    let t4 = best_of(reps, || {
+        engine
+            .evaluate_layer_sharded(&layer, 4)
+            .expect("simulable layer")
+            .cycles
+    });
+
+    GateReport {
+        cores: rayon::current_num_threads(),
+        engine_cached_speedup: t_loop / t_engine,
+        shard_speedup_4w: t1 / t4,
+        shard_identical: e1 == e4,
+    }
+}
+
+/// The value following flag `i`, or exit 2 — a gate binary must never
+/// fail open by silently dropping a malformed flag.
+fn require_value<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
+    match args.get(i + 1) {
+        Some(v) => v,
+        None => {
+            eprintln!("perf_gate: {flag} needs a value");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_args() -> (Option<PathBuf>, PathBuf, u32) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = None;
+    let mut out = PathBuf::from("results/perf_gate.json");
+    let mut reps = 2u32;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => {
+                check = Some(PathBuf::from(require_value(&args, i, "--check")));
+                i += 1;
+            }
+            "--out" => {
+                out = PathBuf::from(require_value(&args, i, "--out"));
+                i += 1;
+            }
+            "--reps" => {
+                let v = require_value(&args, i, "--reps");
+                reps = match v.parse::<u32>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("perf_gate: --reps expects a count >= 1, got `{v}`");
+                        std::process::exit(2);
+                    }
+                };
+                i += 1;
+            }
+            other => {
+                eprintln!("perf_gate: unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    (check, out, reps)
+}
+
+fn main() {
+    let (check, out, reps) = parse_args();
+    let report = measure(reps);
+    println!(
+        "perf_gate ({} cores, best of {reps}):\n  engine_cached_speedup = {:.2}x\n  \
+         shard_speedup_4w      = {:.2}x\n  shard_identical       = {}",
+        report.cores, report.engine_cached_speedup, report.shard_speedup_4w, report.shard_identical
+    );
+
+    if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("perf_gate: cannot create {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("perf_gate: cannot write {}: {e}", out.display());
+        std::process::exit(2);
+    }
+    println!("wrote {}", out.display());
+
+    let mut failures: Vec<String> = Vec::new();
+    if !report.shard_identical {
+        failures
+            .push("sharded measurement is not bitwise identical to the 1-worker run".to_string());
+    }
+    if let Some(path) = check {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("perf_gate: cannot read baseline {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        let base: Baseline = match serde_json::from_str(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("perf_gate: malformed baseline {}: {e:?}", path.display());
+                std::process::exit(2);
+            }
+        };
+        let mut gate = |name: &str, measured: f64, expected: f64| {
+            let floor = expected * (1.0 - base.tolerance);
+            println!(
+                "check {name}: measured {measured:.2}x, baseline {expected:.2}x, floor {floor:.2}x"
+            );
+            if measured < floor {
+                failures.push(format!(
+                    "{name} regressed: {measured:.2}x < {floor:.2}x (baseline {expected:.2}x − {:.0}%)",
+                    base.tolerance * 100.0
+                ));
+            }
+        };
+        gate(
+            "engine_cached_speedup",
+            report.engine_cached_speedup,
+            base.engine_cached_speedup,
+        );
+        // The 4-worker floor is only attainable with 4 cores: speedup is
+        // bounded by min(workers, columns, cores), so on 2–3 core hosts
+        // the check would fail with no real regression.
+        if report.cores >= 4 {
+            gate(
+                "shard_speedup_4w",
+                report.shard_speedup_4w,
+                base.shard_speedup_4w,
+            );
+        } else {
+            println!(
+                "check shard_speedup_4w: skipped ({} cores; the 4-worker floor needs >= 4)",
+                report.cores
+            );
+        }
+    }
+
+    if failures.is_empty() {
+        println!("perf_gate: OK");
+    } else {
+        for f in &failures {
+            eprintln!("perf_gate FAILURE: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Measures sharded single-layer simulation speedup vs. worker count.
+//! Flags: --full, --smoke, --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary(
+        "shard_scaling",
+        delta_bench::experiments::shard_scaling::run,
+    );
+}

@@ -70,12 +70,35 @@ fn backend_from(flags: &HashMap<String, String>) -> Result<BackendChoice, String
     }
 }
 
-fn sim_config_from(flags: &HashMap<String, String>) -> SimConfig {
-    if flags.contains_key("exhaustive") {
+fn sim_config_from(flags: &HashMap<String, String>) -> Result<SimConfig, String> {
+    let mut config = if flags.contains_key("exhaustive") {
         SimConfig::exhaustive()
     } else {
         SimConfig::default()
+    };
+    if let Some(v) = flags.get("shards") {
+        let n: u32 = v
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or(format!("--shards expects a worker count >= 1, got `{v}`"))?;
+        config.shards = Some(n);
     }
+    Ok(config)
+}
+
+/// `--shards` only has meaning for the trace-driven simulator; reject it
+/// on the instant model backend instead of silently ignoring it.
+fn reject_shards_on_model(
+    flags: &HashMap<String, String>,
+    backend: BackendChoice,
+) -> Result<(), String> {
+    if backend == BackendChoice::Model && flags.contains_key("shards") {
+        return Err(
+            "--shards requires --backend sim (the model has no per-layer work to partition)".into(),
+        );
+    }
+    Ok(())
 }
 
 /// Batch-size flag with a backend-dependent default: the paper's 256 for
@@ -128,6 +151,8 @@ fn find_network(name: &str, batch: u32) -> Result<delta_networks::Network, Strin
 
 fn cmd_layer(flags: &HashMap<String, String>) -> Result<(), String> {
     let gpu = gpu_from(flags)?;
+    // `layer` always runs the analytical model.
+    reject_shards_on_model(flags, BackendChoice::Model)?;
     let layer = layer_from(flags)?;
     let report = Delta::new(gpu).analyze(&layer).map_err(|e| e.to_string())?;
     if flags.contains_key("json") {
@@ -171,13 +196,14 @@ fn print_network_eval<B: Backend>(
 fn cmd_network(name: &str, flags: &HashMap<String, String>) -> Result<(), String> {
     let gpu = gpu_from(flags)?;
     let backend = backend_from(flags)?;
+    reject_shards_on_model(flags, backend)?;
     let batch = batch_from(flags, backend, 256)?;
     let net = find_network(name, batch)?;
     let json = flags.contains_key("json");
     match backend {
         BackendChoice::Model => print_network_eval(&Engine::new(Delta::new(gpu)), &net, json),
         BackendChoice::Sim => print_network_eval(
-            &Engine::new(Simulator::new(gpu, sim_config_from(flags))),
+            &Engine::new(Simulator::new(gpu, sim_config_from(flags)?)),
             &net,
             json,
         ),
@@ -192,7 +218,7 @@ fn cmd_sim(flags: &HashMap<String, String>) -> Result<(), String> {
         // otherwise.
         layer = layer.with_batch(8).map_err(|e| e.to_string())?;
     }
-    let m = Simulator::new(gpu.clone(), sim_config_from(flags)).run(&layer);
+    let m = Simulator::new(gpu.clone(), sim_config_from(flags)?).run(&layer);
     let est = Delta::new(gpu)
         .estimate_traffic(&layer)
         .map_err(|e| e.to_string())?;
@@ -252,6 +278,7 @@ fn scaled_simulator(
 fn cmd_scaling(flags: &HashMap<String, String>) -> Result<(), String> {
     let base = gpu_from(flags)?;
     let backend = backend_from(flags)?;
+    reject_shards_on_model(flags, backend)?;
     let batch = batch_from(flags, backend, 256)?;
     let net = delta_networks::resnet152_full(batch).map_err(|e| e.to_string())?;
     let options = DesignOption::paper_options();
@@ -269,7 +296,7 @@ fn cmd_scaling(flags: &HashMap<String, String>) -> Result<(), String> {
             (t0, points)
         }
         BackendChoice::Sim => {
-            let config = sim_config_from(flags);
+            let config = sim_config_from(flags)?;
             let t0 = Engine::new(Simulator::new(base.clone(), config))
                 .evaluate_network(net.layers())
                 .map_err(|e| e.to_string())?
@@ -307,13 +334,14 @@ fn cmd_scaling(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_train(name: &str, flags: &HashMap<String, String>) -> Result<(), String> {
     let gpu = gpu_from(flags)?;
     let backend = backend_from(flags)?;
+    reject_shards_on_model(flags, backend)?;
     let batch = batch_from(flags, backend, 64)?;
     let net = find_network(name, batch)?;
     let eval = match backend {
         BackendChoice::Model => {
             Engine::new(Delta::new(gpu.clone())).evaluate_training_step(net.layers())
         }
-        BackendChoice::Sim => Engine::new(Simulator::new(gpu.clone(), sim_config_from(flags)))
+        BackendChoice::Sim => Engine::new(Simulator::new(gpu.clone(), sim_config_from(flags)?))
             .evaluate_training_step(net.layers()),
     }
     .map_err(|e| e.to_string())?;
@@ -354,16 +382,18 @@ fn usage() -> String {
     "usage: delta <command> [flags]\n\
      commands:\n  \
      layer    --ci N --hw N --co N [--filter N --stride N --pad N --batch N --gpu G --json]\n  \
-     network  <alexnet|vgg16|googlenet|resnet152> [--backend model|sim --batch N --gpu G --json --exhaustive]\n  \
-     sim      --ci N --hw N --co N [--filter N ... --exhaustive]\n  \
-     train    <alexnet|vgg16|googlenet|resnet152> [--backend model|sim --batch N --gpu G]\n  \
-     scaling  [--backend model|sim --batch N --gpu G]\n  \
+     network  <alexnet|vgg16|googlenet|resnet152> [--backend model|sim --batch N --gpu G --json --exhaustive --shards N]\n  \
+     sim      --ci N --hw N --co N [--filter N ... --exhaustive --shards N]\n  \
+     train    <alexnet|vgg16|googlenet|resnet152> [--backend model|sim --batch N --gpu G --shards N]\n  \
+     scaling  [--backend model|sim --batch N --gpu G --shards N]\n  \
      gpus\n  \
      help\n\
      flags:\n  \
      --gpu      titanxp (default) | p100 | v100\n  \
      --backend  model (default: instant analytical model) | sim (trace-driven simulator)\n  \
      --batch    mini-batch size (default 256 for model, 16 for sim)\n  \
+     --shards   sim only: partition each layer's tile columns over N parallel workers\n             \
+     (results are bitwise identical for every N)\n  \
      --json     machine-readable output where supported\n\
      multi-layer commands run on all cores with shape-keyed result caching"
         .to_string()
@@ -547,6 +577,47 @@ mod tests {
         // Model at paper batch; sim at a tiny batch to stay fast.
         cmd_network("alexnet", &flags(&[("batch", "16")])).unwrap();
         cmd_network("alexnet", &flags(&[("backend", "sim"), ("batch", "2")])).unwrap();
+    }
+
+    #[test]
+    fn shards_flag_parses_and_validates() {
+        assert_eq!(sim_config_from(&flags(&[])).unwrap().shards, None);
+        assert_eq!(
+            sim_config_from(&flags(&[("shards", "4")])).unwrap().shards,
+            Some(4)
+        );
+        // --exhaustive and --shards compose.
+        let cfg = sim_config_from(&flags(&[("shards", "2"), ("exhaustive", "true")])).unwrap();
+        assert_eq!(cfg.shards, Some(2));
+        assert_eq!(cfg.max_batches_per_column, None);
+        for bad in ["0", "-1", "x"] {
+            let err = sim_config_from(&flags(&[("shards", bad)])).unwrap_err();
+            assert!(err.contains("--shards"), "{err}");
+        }
+    }
+
+    #[test]
+    fn shards_rejected_on_model_backend() {
+        let err = cmd_network("alexnet", &flags(&[("shards", "4")])).unwrap_err();
+        assert!(err.contains("--shards requires --backend sim"), "{err}");
+        let err = cmd_train("alexnet", &flags(&[("shards", "2")])).unwrap_err();
+        assert!(err.contains("--backend sim"), "{err}");
+        // `layer` is always model-backed: same rejection, not a silent
+        // drop.
+        let err = cmd_layer(&flags(&[
+            ("ci", "16"),
+            ("hw", "14"),
+            ("co", "32"),
+            ("shards", "4"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--backend sim"), "{err}");
+        // On the sim backend it flows through to the config.
+        cmd_network(
+            "alexnet",
+            &flags(&[("backend", "sim"), ("batch", "2"), ("shards", "2")]),
+        )
+        .unwrap();
     }
 
     #[test]

@@ -141,6 +141,29 @@ pub trait Backend: Send + Sync {
     /// Propagates layer/GPU validation failures.
     fn estimate_layer(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error>;
 
+    /// Estimates one forward conv layer with its internal work
+    /// partitioned over `n_workers` parallel workers — intra-layer
+    /// parallelism for backends whose per-layer evaluation is expensive
+    /// and shardable.
+    ///
+    /// The default ignores the worker count and delegates to
+    /// [`Backend::estimate_layer`], which is correct for instant backends
+    /// like the analytical model. `delta_sim::Simulator` overrides this
+    /// with its column-sharded replay, whose result is bitwise identical
+    /// for every `n_workers` (its merge walks shards in a fixed order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/GPU validation failures.
+    fn estimate_layer_sharded(
+        &self,
+        layer: &ConvLayer,
+        n_workers: u32,
+    ) -> Result<LayerEstimate, Error> {
+        let _ = n_workers;
+        self.estimate_layer(layer)
+    }
+
     /// Estimates the weight-gradient pass of `layer`.
     ///
     /// The default routes the wgrad GEMM through `estimate_layer` as the
@@ -188,6 +211,14 @@ impl<B: Backend + ?Sized> Backend for &B {
 
     fn estimate_layer(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
         (**self).estimate_layer(layer)
+    }
+
+    fn estimate_layer_sharded(
+        &self,
+        layer: &ConvLayer,
+        n_workers: u32,
+    ) -> Result<LayerEstimate, Error> {
+        (**self).estimate_layer_sharded(layer, n_workers)
     }
 
     fn estimate_wgrad(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
@@ -244,6 +275,21 @@ mod tests {
         let by_ref: &dyn Backend = &&delta;
         assert_eq!(by_ref.name(), "model");
         assert!(by_ref.estimate_layer(&layer()).is_ok());
+    }
+
+    #[test]
+    fn sharded_default_ignores_worker_count() {
+        // Backends without an intra-layer parallel path (the analytical
+        // model) treat the worker count as a hint and answer identically.
+        let delta = Delta::new(GpuSpec::titan_xp());
+        let plain = Backend::estimate_layer(&delta, &layer()).unwrap();
+        for n in [0, 1, 4, 64] {
+            let sharded = Backend::estimate_layer_sharded(&delta, &layer(), n).unwrap();
+            assert_eq!(sharded, plain, "n_workers={n}");
+        }
+        // The reference-forwarding impl routes the sharded call too.
+        let by_ref: &dyn Backend = &&delta;
+        assert_eq!(by_ref.estimate_layer_sharded(&layer(), 2).unwrap(), plain);
     }
 
     #[test]

@@ -203,6 +203,29 @@ impl<B: Backend> Engine<B> {
             .remove(0))
     }
 
+    /// Estimates one layer with the backend's intra-layer parallelism
+    /// ([`Backend::estimate_layer_sharded`]) — the path for a *single*
+    /// large layer, where the engine's layer-level fan-out has nothing to
+    /// parallelize.
+    ///
+    /// Bypasses the shape cache: sharded and unsharded evaluations of the
+    /// same shape are distinct quantities for backends (like the
+    /// simulator) whose sharded replay changes cross-partition state, so
+    /// a cache keyed on shape alone must not mix them. The call is
+    /// counted as a cache miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend estimation failures.
+    pub fn evaluate_layer_sharded(
+        &self,
+        layer: &ConvLayer,
+        n_workers: u32,
+    ) -> Result<LayerEstimate, Error> {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.backend.estimate_layer_sharded(layer, n_workers)
+    }
+
     /// Estimates every layer, in order. This is the primitive the
     /// network/training/sweep drivers build on: unique uncached shapes
     /// are evaluated in parallel, repeated shapes are served once.
@@ -643,6 +666,20 @@ mod tests {
         let ref_total: f64 = reference.iter().map(|t| t.seconds()).sum();
         assert!((eval.total_seconds() - ref_total).abs() < 1e-12 * ref_total.abs());
         assert!(eval.backward_seconds() > eval.forward_seconds() * 0.5);
+    }
+
+    #[test]
+    fn evaluate_layer_sharded_bypasses_cache() {
+        let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        let l = conv("big", 64, 28, 256);
+        let plain = engine.evaluate_layer(&l).unwrap();
+        // The model backend ignores the worker hint, so the estimate is
+        // identical — but each sharded call must re-run the backend.
+        for n in [1, 2, 4] {
+            assert_eq!(engine.evaluate_layer_sharded(&l, n).unwrap(), plain);
+        }
+        assert_eq!(engine.cache_stats().misses, 4, "1 cached + 3 direct");
+        assert_eq!(engine.cache_stats().hits, 0);
     }
 
     #[test]

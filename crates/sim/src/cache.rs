@@ -37,6 +37,17 @@ impl CacheStats {
     pub fn miss_bytes(&self) -> u64 {
         self.sector_misses * SECTOR_BYTES
     }
+
+    /// Accumulates `other` into `self`. All four counters are plain
+    /// sums, so merging is associative and commutative — per-shard
+    /// statistics combine into exactly the totals a single walker over
+    /// the same accesses would have counted.
+    pub fn merge(&mut self, other: CacheStats) {
+        self.accesses += other.accesses;
+        self.sector_hits += other.sector_hits;
+        self.sector_misses += other.sector_misses;
+        self.evictions += other.evictions;
+    }
 }
 
 /// A sectored, set-associative, LRU cache.
@@ -267,5 +278,26 @@ mod tests {
     #[should_panic(expected = "cannot hold")]
     fn zero_capacity_panics() {
         let _ = SectoredCache::new(64, 4);
+    }
+
+    #[test]
+    fn stats_merge_is_associative() {
+        let mk = |a, h, m, e| CacheStats {
+            accesses: a,
+            sector_hits: h,
+            sector_misses: m,
+            evictions: e,
+        };
+        let parts = [mk(1, 2, 3, 4), mk(10, 20, 30, 40), mk(5, 0, 7, 0)];
+        let mut left = parts[0];
+        left.merge(parts[1]);
+        left.merge(parts[2]);
+        let mut right = parts[1];
+        right.merge(parts[2]);
+        let mut first = parts[0];
+        first.merge(right);
+        assert_eq!(left, first);
+        assert_eq!(left.accesses, 16);
+        assert_eq!(left.sector_misses, 40);
     }
 }

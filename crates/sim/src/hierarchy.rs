@@ -34,6 +34,59 @@ impl TrafficDelta {
     }
 }
 
+/// Associatively mergeable summary of one hierarchy's activity: every
+/// counter a [`crate::sim::Measurement`] needs, with none of the
+/// residency state (tags, LRU stamps) that cannot be combined across
+/// independent walkers.
+///
+/// This is the merge unit behind sharded simulation: each shard runs its
+/// own [`MemoryHierarchy`] over a disjoint column set, snapshots it, and
+/// the per-shard snapshots [`merge`](HierarchyStats::merge) into exactly
+/// the totals a single worker replaying the same accesses would have
+/// counted — all fields are plain `u64` sums.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// Cumulative read-traffic byte totals (L1/L2/DRAM).
+    pub reads: TrafficDelta,
+    /// Aggregated L1 hit/miss statistics across all SMs.
+    pub l1: CacheStats,
+    /// L2 hit/miss statistics.
+    pub l2: CacheStats,
+    /// Write bytes through L2 (epilogue stores).
+    pub l2_write_bytes: u64,
+    /// Write bytes drained to DRAM (epilogue stores).
+    pub dram_write_bytes: u64,
+    /// Unique bytes streamed through the L2 by [`MemoryHierarchy::age_l2`]
+    /// on behalf of extrapolated (unsimulated) batches and loops — the
+    /// steady-state aging pressure, carried so merged shards account for
+    /// the same eviction volume the unsharded walker applied.
+    pub aged_l2_bytes: u64,
+}
+
+impl HierarchyStats {
+    /// Accumulates `other` into `self`. Associative and commutative:
+    /// every field is an unsigned sum, so any merge tree over the same
+    /// shard set yields identical totals.
+    pub fn merge(&mut self, other: &HierarchyStats) {
+        self.reads.add(other.reads);
+        self.l1.merge(other.l1);
+        self.l2.merge(other.l2);
+        self.l2_write_bytes += other.l2_write_bytes;
+        self.dram_write_bytes += other.dram_write_bytes;
+        self.aged_l2_bytes += other.aged_l2_bytes;
+    }
+}
+
+/// A memory hierarchy whose measured statistics can be extracted as an
+/// associatively mergeable snapshot — the contract sharded (and, later,
+/// multi-GPU) simulation builds on: run N independent hierarchies over
+/// disjoint work partitions, then combine their [`HierarchyStats`]
+/// exactly.
+pub trait MergeableHierarchy {
+    /// The mergeable summary of everything this hierarchy has counted.
+    fn snapshot(&self) -> HierarchyStats;
+}
+
 /// The simulated L1s + L2 + DRAM counters for one device.
 #[derive(Debug)]
 pub struct MemoryHierarchy {
@@ -44,6 +97,7 @@ pub struct MemoryHierarchy {
     dram_write_bytes: u64,
     l2_write_bytes: u64,
     aging_cursor: u64,
+    aged_l2_bytes: u64,
 }
 
 impl MemoryHierarchy {
@@ -60,6 +114,7 @@ impl MemoryHierarchy {
             dram_write_bytes: 0,
             l2_write_bytes: 0,
             aging_cursor: 0,
+            aged_l2_bytes: 0,
         }
     }
 
@@ -103,12 +158,22 @@ impl MemoryHierarchy {
     /// simulator extrapolated instead of tracing. Does not touch
     /// statistics; only ages residency.
     pub fn age_l2(&mut self, bytes: u64) {
+        self.count_aged_l2(bytes);
         let lines = bytes / delta_model::LINE_BYTES;
         for _ in 0..lines {
             self.aging_cursor += 1;
             // Distinct lines far above any real tensor address.
             self.l2.pollute((1 << 40) + self.aging_cursor, 0b1111);
         }
+    }
+
+    /// Records `bytes` of aged-L2 volume in the mergeable statistics
+    /// *without* touching residency. For walkers that discard the
+    /// hierarchy right after (a sharded column's end-of-column
+    /// extrapolation), the [`MemoryHierarchy::age_l2`] pollution would be
+    /// pure wasted work — nothing ever observes the evictions.
+    pub fn count_aged_l2(&mut self, bytes: u64) {
+        self.aged_l2_bytes += bytes;
     }
 
     /// Cumulative read-traffic totals.
@@ -130,11 +195,7 @@ impl MemoryHierarchy {
     pub fn l1_stats(&self) -> CacheStats {
         let mut s = CacheStats::default();
         for c in &self.l1s {
-            let cs = c.stats();
-            s.accesses += cs.accesses;
-            s.sector_hits += cs.sector_hits;
-            s.sector_misses += cs.sector_misses;
-            s.evictions += cs.evictions;
+            s.merge(c.stats());
         }
         s
     }
@@ -147,6 +208,19 @@ impl MemoryHierarchy {
     /// Number of modeled SMs (L1 instances).
     pub fn num_sm(&self) -> usize {
         self.l1s.len()
+    }
+}
+
+impl MergeableHierarchy for MemoryHierarchy {
+    fn snapshot(&self) -> HierarchyStats {
+        HierarchyStats {
+            reads: self.totals,
+            l1: self.l1_stats(),
+            l2: self.l2_stats(),
+            l2_write_bytes: self.l2_write_bytes,
+            dram_write_bytes: self.dram_write_bytes,
+            aged_l2_bytes: self.aged_l2_bytes,
+        }
     }
 }
 
@@ -213,6 +287,47 @@ mod tests {
         assert_eq!(h.dram_write_bytes(), 128);
         assert_eq!(h.l2_write_bytes(), 128);
         assert_eq!(h.totals(), TrafficDelta::default(), "reads unaffected");
+    }
+
+    #[test]
+    fn sharded_snapshots_merge_to_single_walker_totals() {
+        // The same access stream walked by one hierarchy vs. split across
+        // two independent hierarchies (disjoint address halves, as
+        // disjoint-column shards produce): merged snapshots must equal
+        // the single walker's snapshot exactly.
+        let gpu = GpuSpec::titan_xp();
+        let streams: [Vec<Vec<Transaction>>; 2] = [
+            (0..64)
+                .map(|i| warp(&[i * 128, i * 128 + 64]))
+                .collect::<Vec<_>>(),
+            (1000..1064)
+                .map(|i| warp(&[i * 128, i * 128 + 32]))
+                .collect::<Vec<_>>(),
+        ];
+        let mut single = MemoryHierarchy::new(&gpu);
+        for s in &streams {
+            for t in s {
+                single.warp_load(0, t);
+            }
+            single.warp_store(&streams[0][0]);
+            single.age_l2(4096);
+        }
+        let mut merged = HierarchyStats::default();
+        for s in &streams {
+            let mut h = MemoryHierarchy::new(&gpu);
+            for t in s {
+                h.warp_load(0, t);
+            }
+            h.warp_store(&streams[0][0]);
+            h.age_l2(4096);
+            merged.merge(&h.snapshot());
+        }
+        // The two halves touch disjoint lines and each fits in cache, so
+        // partitioning does not change hit/miss outcomes.
+        assert_eq!(merged, single.snapshot());
+        assert_eq!(merged.aged_l2_bytes, 8192);
+        // Each store streams one line's two referenced sectors (2×32 B).
+        assert_eq!(merged.dram_write_bytes, 2 * 64);
     }
 
     #[test]

@@ -24,7 +24,12 @@
 //!
 //! The stages compose through [`stages::CtaBatch`] — one CTA batch is a
 //! self-contained unit of work — and [`Simulator`] sequences batches and
-//! columns. The simulator also implements `delta_model::Backend`, so the
+//! columns. A single large layer can additionally be **sharded**: a
+//! [`shard::ShardPlan`] partitions the tile columns over parallel
+//! workers, each replaying its disjoint column set against a private
+//! hierarchy, and the per-shard counters merge exactly through
+//! [`hierarchy::HierarchyStats`] ([`hierarchy::MergeableHierarchy`]).
+//! The simulator also implements `delta_model::Backend`, so the
 //! parallel evaluation engine (`delta_model::engine`) can drive it over
 //! whole networks interchangeably with the analytical model.
 //!
@@ -55,6 +60,7 @@ pub mod coalesce;
 pub mod dram;
 pub mod hierarchy;
 pub mod sched;
+pub mod shard;
 pub mod sim;
 pub mod stages;
 pub mod tensor;
@@ -62,5 +68,6 @@ pub mod timing;
 pub mod trace;
 
 pub use dram::DramChannelModel;
-pub use hierarchy::MemoryHierarchy;
+pub use hierarchy::{HierarchyStats, MemoryHierarchy, MergeableHierarchy};
+pub use shard::ShardPlan;
 pub use sim::{Measurement, SimConfig, Simulator};

@@ -13,14 +13,17 @@
 //! tractable (DESIGN.md §2). `SimConfig { max_batches_per_column: None,
 //! .. }` disables sampling.
 
-use crate::hierarchy::MemoryHierarchy;
+use crate::coalesce::Transaction;
+use crate::hierarchy::{HierarchyStats, MemoryHierarchy, MergeableHierarchy};
 use crate::sched::ColumnScheduler;
+use crate::shard::ShardPlan;
 use crate::stages::{BatchLimits, BatchStats, CtaBatch, SteadyState};
 use crate::tensor::TensorMap;
 use crate::timing::TimingEngine;
 use delta_model::backend::{Backend, EstimateSource, LayerEstimate};
-use delta_model::tiling::LayerTiling;
+use delta_model::tiling::{CtaTile, LayerTiling};
 use delta_model::{ConvLayer, Error, GpuSpec, BYTES_PER_ELEMENT};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Simulation controls.
@@ -46,9 +49,20 @@ pub struct SimConfig {
     /// `None`/1 keeps the Fig. 6 lookup.
     #[serde(default = "default_tile_scale")]
     pub tile_scale: Option<u32>,
+    /// Partition the layer's tile columns over this many workers and
+    /// simulate them in parallel ([`Simulator::run_sharded`]); the merged
+    /// result is bitwise identical for every worker count. `None` keeps
+    /// the sequential replay in which cache residency persists across
+    /// tile columns.
+    #[serde(default = "default_shards")]
+    pub shards: Option<u32>,
 }
 
 fn default_tile_scale() -> Option<u32> {
+    None
+}
+
+fn default_shards() -> Option<u32> {
     None
 }
 
@@ -60,6 +74,7 @@ impl Default for SimConfig {
             simulate_stores: true,
             max_loops_per_batch: Some(32),
             tile_scale: None,
+            shards: None,
         }
     }
 }
@@ -155,31 +170,56 @@ impl Simulator {
         LayerTiling::with_scale(layer, self.config.tile_scale)
     }
 
-    /// Runs `layer` through the memory hierarchy and returns the measured
-    /// traffic and cycles.
-    pub fn run(&self, layer: &ConvLayer) -> Measurement {
-        let tiling = self.tiling(layer);
-        let tile = tiling.tile();
-        let active = self
-            .config
+    /// The occupancy (active CTAs per SM) the schedule will use for
+    /// `tile`.
+    fn active_ctas(&self, tile: CtaTile) -> u32 {
+        self.config
             .active_ctas_override
             .unwrap_or_else(|| tile.active_ctas_per_sm(&self.gpu))
-            .max(1);
-        let map = TensorMap::new(layer);
-        let sched = ColumnScheduler::new(&tiling, &self.gpu, active);
-        let mut hier = MemoryHierarchy::new(&self.gpu);
-        let mut timing = TimingEngine::new(&self.gpu, tile);
-        let loops = tiling.main_loops();
-        let limits = BatchLimits {
+            .max(1)
+    }
+
+    /// The batch-relevant slice of the configuration.
+    fn batch_limits(&self) -> BatchLimits {
+        BatchLimits {
             max_loops: self.config.max_loops_per_batch,
             simulate_stores: self.config.simulate_stores,
-        };
+        }
+    }
 
+    /// Charges the one-per-layer prologue (later batches' prologues
+    /// overlap their predecessors' main loops) to `timing`.
+    fn charge_layer_prologue(&self, timing: &mut TimingEngine, tile: CtaTile) {
         timing.charge_prologue(
             f64::from(tile.blk_m() + tile.blk_n())
                 * f64::from(tile.blk_k())
                 * BYTES_PER_ELEMENT as f64,
         );
+    }
+
+    /// Runs `layer` through the memory hierarchy and returns the measured
+    /// traffic and cycles. Dispatches on [`SimConfig::shards`]: `None`
+    /// replays every tile column sequentially against one shared
+    /// hierarchy; `Some(n)` fans the columns over `n` workers via
+    /// [`Simulator::run_sharded`].
+    pub fn run(&self, layer: &ConvLayer) -> Measurement {
+        match self.config.shards {
+            Some(n) => self.run_sharded(layer, n),
+            None => self.run_sequential(layer),
+        }
+    }
+
+    /// The sequential replay: one hierarchy, columns drained in order,
+    /// cache residency persisting from each tile column to the next.
+    fn run_sequential(&self, layer: &ConvLayer) -> Measurement {
+        let tiling = self.tiling(layer);
+        let tile = tiling.tile();
+        let active = self.active_ctas(tile);
+        let map = TensorMap::new(layer);
+        let sched = ColumnScheduler::new(&tiling, &self.gpu, active);
+        let mut hier = MemoryHierarchy::new(&self.gpu);
+        let mut timing = TimingEngine::new(&self.gpu, tile);
+        self.charge_layer_prologue(&mut timing, tile);
 
         let mut tx_buf = Vec::with_capacity(64);
         let mut simulated_ctas = 0u64;
@@ -189,35 +229,22 @@ impl Simulator {
         let mut sampled = false;
 
         for col in 0..sched.columns() {
-            let batches = sched.batches_per_column();
-            let sim_batches = self
-                .config
-                .max_batches_per_column
-                .map_or(batches, |m| batches.min(m.max(1)));
-            let mut batch_stats: Vec<BatchStats> = Vec::with_capacity(sim_batches as usize);
-
-            for b in 0..sim_batches {
-                let batch = CtaBatch::new(&map, tile, sched.batch(col, b), loops, active);
-                simulated_ctas += batch.len();
-                let stats = batch.simulate(&mut hier, &mut timing, limits, &mut tx_buf);
-                sampled |= stats.loop_extrapolated;
-                batch_stats.push(stats);
-            }
-
-            if sim_batches < batches {
-                let steady = SteadyState::of(&batch_stats);
-                let rem = (batches - sim_batches) as f64;
-                extrapolated.l1_bytes += steady.l1_bytes * rem;
-                extrapolated.l2_bytes += steady.l2_bytes * rem;
-                extrapolated.dram_bytes += steady.dram_bytes * rem;
-                extrapolated.store_bytes += steady.store_bytes * rem;
-                extra_cycles += steady.cycles * rem;
-                // Age L2 by the skipped batches' unique-traffic volume so
-                // the next tile column starts from realistic residency.
-                hier.age_l2((steady.l2_bytes * rem) as u64);
-                sampled = true;
-            }
-            measured.accumulate(&batch_stats);
+            let c = self.simulate_column(
+                &map,
+                &sched,
+                &tiling,
+                active,
+                col,
+                &mut hier,
+                &mut timing,
+                &mut tx_buf,
+                true,
+            );
+            simulated_ctas += c.simulated_ctas;
+            sampled |= c.sampled;
+            extrapolated.add(&c.extrapolated);
+            extra_cycles += c.extra_cycles;
+            measured.accumulate(&c.stats);
         }
 
         let l1s = hier.l1_stats();
@@ -238,6 +265,200 @@ impl Simulator {
             active_ctas: active,
         }
     }
+
+    /// Runs `layer` with its tile columns partitioned over `n_workers`
+    /// parallel workers ([`ShardPlan`]).
+    ///
+    /// Each worker replays its disjoint column set against a private
+    /// [`MemoryHierarchy`] and [`TimingEngine`], so every tile column is
+    /// simulated from identical (cold) initial state regardless of which
+    /// worker owns it; per-shard counters then merge associatively
+    /// ([`HierarchyStats::merge`]) in ascending column order. The result
+    /// is therefore **bitwise identical for every worker count** —
+    /// `run_sharded(layer, 4) == run_sharded(layer, 1)` exactly.
+    ///
+    /// The sharded semantics differ from [`SimConfig::shards`]` = None`
+    /// in one deliberate way: cache residency does not persist across
+    /// tile columns (each column is an independent replay domain). That
+    /// matches the analytical model's per-column IFmap refetch assumption
+    /// (paper Eq. 10) and typically moves measurements by a few percent
+    /// on multi-column layers; single-column layers are unaffected.
+    pub fn run_sharded(&self, layer: &ConvLayer, n_workers: u32) -> Measurement {
+        let tiling = self.tiling(layer);
+        let tile = tiling.tile();
+        let active = self.active_ctas(tile);
+        let map = TensorMap::new(layer);
+        let sched = ColumnScheduler::new(&tiling, &self.gpu, active);
+        let plan = ShardPlan::partition(sched.columns(), n_workers);
+
+        // The prologue is charged once per layer, as in the sequential
+        // path.
+        let mut prologue = TimingEngine::new(&self.gpu, tile);
+        self.charge_layer_prologue(&mut prologue, tile);
+
+        let simulate_shard = |range: &std::ops::Range<u64>| {
+            let mut out = Vec::with_capacity((range.end - range.start) as usize);
+            let mut tx_buf = Vec::with_capacity(64);
+            for col in range.clone() {
+                let mut hier = MemoryHierarchy::new(&self.gpu);
+                let mut timing = TimingEngine::new(&self.gpu, tile);
+                let sim = self.simulate_column(
+                    &map,
+                    &sched,
+                    &tiling,
+                    active,
+                    col,
+                    &mut hier,
+                    &mut timing,
+                    &mut tx_buf,
+                    false,
+                );
+                timing.add_cycles(sim.extra_cycles);
+                out.push((sim, hier.snapshot(), timing.cycles()));
+            }
+            out
+        };
+        // Inside another parallel region (the engine's layer fan-out
+        // already saturates the cores), spawning a second tier of
+        // workers only oversubscribes the machine: walk the shards on
+        // this thread instead. Results are identical either way — the
+        // merge below is pinned to column order.
+        let shard_outcomes: Vec<Vec<(ColumnSim, HierarchyStats, f64)>> =
+            if rayon::current_thread_index().is_some() {
+                plan.shards().iter().map(simulate_shard).collect()
+            } else {
+                plan.shards().par_iter().map(simulate_shard).collect()
+            };
+
+        // Merge in ascending column order: the u64 counters are
+        // associative, and pinning the f64 accumulation order to the
+        // column index makes the totals bitwise identical for every
+        // worker count and every CI machine.
+        let mut hstats = HierarchyStats::default();
+        let mut measured = Totals::default();
+        let mut extrapolated = Totals::default();
+        let mut cycles = prologue.cycles();
+        let mut simulated_ctas = 0u64;
+        let mut sampled = false;
+        for (idx, (sim, snapshot, col_cycles)) in shard_outcomes.iter().flatten().enumerate() {
+            assert_eq!(
+                sim.col, idx as u64,
+                "shard merge must walk columns in ascending order"
+            );
+            hstats.merge(snapshot);
+            measured.accumulate(&sim.stats);
+            extrapolated.add(&sim.extrapolated);
+            cycles += col_cycles;
+            simulated_ctas += sim.simulated_ctas;
+            sampled |= sim.sampled;
+        }
+
+        Measurement {
+            l1_bytes: measured.l1_bytes + extrapolated.l1_bytes,
+            l2_bytes: measured.l2_bytes + extrapolated.l2_bytes,
+            dram_read_bytes: measured.dram_bytes + extrapolated.dram_bytes,
+            dram_write_bytes: hstats.dram_write_bytes as f64 + extrapolated.store_bytes,
+            l1_miss_rate: hstats.l1.miss_rate(),
+            l2_miss_rate: hstats.l2.miss_rate(),
+            cycles,
+            sampled,
+            simulated_ctas,
+            total_ctas: tiling.num_ctas(),
+            active_ctas: active,
+        }
+    }
+
+    /// Simulates one tile column — its sampled batch prefix plus the
+    /// steady-state extrapolation of the remainder — against the given
+    /// hierarchy and timing state. Shared by the sequential path (shared
+    /// state across columns, `hier_persists = true`) and the sharded
+    /// path (fresh state per column, `hier_persists = false`: the
+    /// end-of-column aging only bumps the mergeable counter, because
+    /// nothing ever observes the discarded hierarchy's residency again).
+    #[allow(clippy::too_many_arguments)]
+    fn simulate_column(
+        &self,
+        map: &TensorMap,
+        sched: &ColumnScheduler,
+        tiling: &LayerTiling,
+        active: u32,
+        col: u64,
+        hier: &mut MemoryHierarchy,
+        timing: &mut TimingEngine,
+        tx_buf: &mut Vec<Transaction>,
+        hier_persists: bool,
+    ) -> ColumnSim {
+        let tile = tiling.tile();
+        let loops = tiling.main_loops();
+        let limits = self.batch_limits();
+        let batches = sched.batches_per_column();
+        let sim_batches = self
+            .config
+            .max_batches_per_column
+            .map_or(batches, |m| batches.min(m.max(1)));
+        let mut stats: Vec<BatchStats> = Vec::with_capacity(sim_batches as usize);
+        let mut simulated_ctas = 0u64;
+        let mut sampled = false;
+
+        for b in 0..sim_batches {
+            let batch = CtaBatch::new(map, tile, sched.batch(col, b), loops, active);
+            simulated_ctas += batch.len();
+            let s = batch.simulate(hier, timing, limits, tx_buf);
+            sampled |= s.loop_extrapolated;
+            stats.push(s);
+        }
+
+        let mut extrapolated = Totals::default();
+        let mut extra_cycles = 0.0;
+        if sim_batches < batches {
+            let steady = SteadyState::of(&stats);
+            let rem = (batches - sim_batches) as f64;
+            extrapolated.l1_bytes = steady.l1_bytes * rem;
+            extrapolated.l2_bytes = steady.l2_bytes * rem;
+            extrapolated.dram_bytes = steady.dram_bytes * rem;
+            extrapolated.store_bytes = steady.store_bytes * rem;
+            extra_cycles = steady.cycles * rem;
+            // Age L2 by the skipped batches' unique-traffic volume so
+            // later work against this hierarchy starts from realistic
+            // residency; when the hierarchy dies with the column, only
+            // the counter is kept (identical measurements, no pollution
+            // work).
+            let aged = (steady.l2_bytes * rem) as u64;
+            if hier_persists {
+                hier.age_l2(aged);
+            } else {
+                hier.count_aged_l2(aged);
+            }
+            sampled = true;
+        }
+
+        ColumnSim {
+            col,
+            stats,
+            simulated_ctas,
+            sampled,
+            extrapolated,
+            extra_cycles,
+        }
+    }
+}
+
+/// One tile column's simulation outcome — the merge unit of the sharded
+/// path and the accumulation unit of the sequential path.
+#[derive(Debug)]
+struct ColumnSim {
+    /// The column index (merge-order key).
+    col: u64,
+    /// Per-batch stats of the simulated batch prefix, in batch order.
+    stats: Vec<BatchStats>,
+    /// CTAs actually traced.
+    simulated_ctas: u64,
+    /// Whether batch or loop extrapolation was used.
+    sampled: bool,
+    /// Steady-state extrapolation of the unsimulated batches.
+    extrapolated: Totals,
+    /// Cycles of the unsimulated batches (extrapolated).
+    extra_cycles: f64,
 }
 
 impl Backend for Simulator {
@@ -252,6 +473,15 @@ impl Backend for Simulator {
     fn estimate_layer(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
         self.gpu.validate()?;
         Ok(self.run(layer).to_estimate(&self.gpu))
+    }
+
+    fn estimate_layer_sharded(
+        &self,
+        layer: &ConvLayer,
+        n_workers: u32,
+    ) -> Result<LayerEstimate, Error> {
+        self.gpu.validate()?;
+        Ok(self.run_sharded(layer, n_workers).to_estimate(&self.gpu))
     }
 }
 
@@ -276,6 +506,14 @@ impl Totals {
             self.l2_bytes += b.traffic.l2_bytes as f64;
             self.dram_bytes += b.traffic.dram_bytes as f64;
         }
+    }
+
+    /// Element-wise accumulation of another total.
+    fn add(&mut self, other: &Totals) {
+        self.l1_bytes += other.l1_bytes;
+        self.l2_bytes += other.l2_bytes;
+        self.dram_bytes += other.dram_bytes;
+        self.store_bytes += other.store_bytes;
     }
 }
 
@@ -359,9 +597,8 @@ mod tests {
             SimConfig {
                 max_batches_per_column: None,
                 active_ctas_override: Some(1),
-                simulate_stores: true,
                 max_loops_per_batch: None,
-                tile_scale: None,
+                ..SimConfig::default()
             },
         )
         .run(&l);
@@ -370,9 +607,8 @@ mod tests {
             SimConfig {
                 max_batches_per_column: Some(2),
                 active_ctas_override: Some(1),
-                simulate_stores: true,
                 max_loops_per_batch: None,
-                tile_scale: None,
+                ..SimConfig::default()
             },
         )
         .run(&l);
@@ -483,12 +719,181 @@ mod tests {
 
     #[test]
     fn old_sim_config_json_without_tile_scale_still_parses() {
-        // The field was added with a serde default so archived configs
+        // The fields were added with serde defaults so archived configs
         // keep deserializing.
         let json = "{\"max_batches_per_column\":4,\"active_ctas_override\":null,\
                     \"simulate_stores\":true,\"max_loops_per_batch\":32}";
         let cfg: SimConfig = serde_json::from_str(json).unwrap();
         assert_eq!(cfg.tile_scale, None);
+        assert_eq!(cfg.shards, None);
         assert_eq!(cfg.max_batches_per_column, Some(4));
+    }
+
+    /// A layer with four tile columns (Co = 512, LARGE tile blkN = 128)
+    /// that still simulates in milliseconds.
+    fn four_column_layer() -> ConvLayer {
+        ConvLayer::builder("four_col")
+            .batch(2)
+            .input(16, 14, 14)
+            .output_channels(512)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sharded_result_is_identical_for_every_worker_count() {
+        let l = four_column_layer();
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+        let one = sim.run_sharded(&l, 1);
+        assert!(one.l1_bytes > 0.0 && one.cycles > 0.0);
+        // Bitwise-equal Measurement (PartialEq on f64 fields) for any
+        // partitioning, including more workers than columns.
+        for n in [2, 3, 4, 7, 16] {
+            assert_eq!(sim.run_sharded(&l, n), one, "n_workers={n}");
+        }
+    }
+
+    #[test]
+    fn config_shards_selects_the_sharded_path() {
+        let l = four_column_layer();
+        let gpu = GpuSpec::titan_xp();
+        let explicit = Simulator::new(gpu.clone(), SimConfig::default()).run_sharded(&l, 2);
+        let via_config = Simulator::new(
+            gpu.clone(),
+            SimConfig {
+                shards: Some(2),
+                ..SimConfig::default()
+            },
+        )
+        .run(&l);
+        assert_eq!(via_config, explicit);
+        // And the Backend entry points agree with both.
+        let sim = Simulator::new(gpu, SimConfig::default());
+        let est = Backend::estimate_layer_sharded(&sim, &l, 2).unwrap();
+        assert_eq!(est.l1_bytes, explicit.l1_bytes);
+        assert_eq!(est.cycles, explicit.cycles);
+        assert_eq!(est.source, EstimateSource::Simulation);
+    }
+
+    #[test]
+    fn sharded_stays_within_band_of_sequential_replay() {
+        // Sharding isolates tile columns (no cross-column L2 residency),
+        // which matches the model's per-column refetch assumption and may
+        // move measurements by a few percent — but no more.
+        let l = four_column_layer();
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+        let seq = sim.run(&l);
+        let shd = sim.run_sharded(&l, 4);
+        assert_eq!(shd.total_ctas, seq.total_ctas);
+        assert_eq!(shd.simulated_ctas, seq.simulated_ctas);
+        for (a, b, what) in [
+            (shd.l1_bytes, seq.l1_bytes, "l1"),
+            (shd.l2_bytes, seq.l2_bytes, "l2"),
+            (shd.dram_read_bytes, seq.dram_read_bytes, "dram"),
+            (shd.dram_write_bytes, seq.dram_write_bytes, "writes"),
+            (shd.cycles, seq.cycles, "cycles"),
+        ] {
+            let err = (a - b).abs() / b;
+            assert!(
+                err < 0.25,
+                "{what}: sharded {a} vs sequential {b} ({err:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn single_column_layer_shards_to_one_worker_exactly() {
+        // One tile column cannot be split: every worker count degenerates
+        // to the same single-column replay (surplus shards are empty).
+        let l = small_layer(); // Co = 64 -> MEDIUM tile -> 1 column
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::exhaustive());
+        let one = sim.run_sharded(&l, 1);
+        assert_eq!(sim.run_sharded(&l, 8), one);
+        // With a single column there is no cross-column residency to
+        // lose: byte counters match the sequential replay exactly, and
+        // cycles agree to fp rounding (the prologue is added to the
+        // accumulator in a different order).
+        let seq = sim.run(&l);
+        assert_eq!(one.l1_bytes, seq.l1_bytes);
+        assert_eq!(one.l2_bytes, seq.l2_bytes);
+        assert_eq!(one.dram_read_bytes, seq.dram_read_bytes);
+        assert_eq!(one.dram_write_bytes, seq.dram_write_bytes);
+        assert_eq!(one.l1_miss_rate, seq.l1_miss_rate);
+        assert_eq!(one.l2_miss_rate, seq.l2_miss_rate);
+        assert!((one.cycles - seq.cycles).abs() <= 1e-9 * seq.cycles);
+    }
+
+    #[test]
+    fn steady_state_over_merged_shard_stats_is_order_independent() {
+        // The merge-order determinism contract behind the sharded path:
+        // concatenating per-column batch stats in ascending column order
+        // yields the same SteadyState no matter how columns were grouped
+        // into shards — because each column's stats are computed from
+        // identical fresh state.
+        let l = ConvLayer::builder("steady")
+            .batch(64)
+            .input(16, 14, 14)
+            .output_channels(512)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap();
+        let sim = Simulator::new(
+            GpuSpec::titan_xp(),
+            SimConfig {
+                // Force batch sampling so SteadyState extrapolation runs.
+                max_batches_per_column: Some(2),
+                active_ctas_override: Some(1),
+                ..SimConfig::default()
+            },
+        );
+        let tiling = sim.tiling(&l);
+        let map = TensorMap::new(&l);
+        let sched = ColumnScheduler::new(&tiling, sim.gpu(), 1);
+        assert!(sched.columns() >= 4, "need a multi-column layer");
+        assert!(
+            sched.batches_per_column() > 2,
+            "need sampling to engage the steady state"
+        );
+
+        let merged_stats = |n_workers: u32| -> Vec<BatchStats> {
+            let plan = ShardPlan::partition(sched.columns(), n_workers);
+            let mut all = Vec::new();
+            for range in plan.shards() {
+                let mut tx_buf = Vec::new();
+                for col in range.clone() {
+                    let mut hier = MemoryHierarchy::new(sim.gpu());
+                    let mut timing = TimingEngine::new(sim.gpu(), tiling.tile());
+                    let c = sim.simulate_column(
+                        &map,
+                        &sched,
+                        &tiling,
+                        1,
+                        col,
+                        &mut hier,
+                        &mut timing,
+                        &mut tx_buf,
+                        false,
+                    );
+                    all.extend(c.stats);
+                }
+            }
+            all
+        };
+
+        let reference = merged_stats(1);
+        let steady1 = SteadyState::of(&reference);
+        assert!(steady1.l2_bytes > 0.0);
+        for n in 2..=4 {
+            let merged = merged_stats(n);
+            let s = SteadyState::of(&merged);
+            assert_eq!(s.l1_bytes, steady1.l1_bytes, "shards={n}");
+            assert_eq!(s.l2_bytes, steady1.l2_bytes, "shards={n}");
+            assert_eq!(s.dram_bytes, steady1.dram_bytes, "shards={n}");
+            assert_eq!(s.store_bytes, steady1.store_bytes, "shards={n}");
+            assert_eq!(s.cycles, steady1.cycles, "shards={n}");
+        }
     }
 }

@@ -5,7 +5,8 @@
 use delta_model::tiling::LayerTiling;
 use delta_model::traffic::{self, l1::MliMode};
 use delta_model::{ConvLayer, Delta, GpuSpec};
-use delta_sim::{SimConfig, Simulator};
+use delta_sim::sched::ColumnScheduler;
+use delta_sim::{ShardPlan, SimConfig, Simulator};
 use proptest::prelude::*;
 
 /// A random but valid conv layer within model-scale bounds.
@@ -170,5 +171,55 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&m.l1_miss_rate));
         prop_assert!((0.0..=1.0).contains(&m.l2_miss_rate));
         prop_assert!(m.cycles.is_finite() && m.cycles > 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Shard partitions are a disjoint, exhaustive cover of the
+    /// scheduler's batch list: replaying every batch of every
+    /// shard-owned column visits exactly the CTA list the unsharded
+    /// schedule visits, in the same order — for arbitrary CTA grids,
+    /// occupancies, and worker counts, including `n_workers` far above
+    /// the number of columns (surplus shards are empty, never wrong).
+    #[test]
+    fn shard_plan_covers_the_batch_list_exactly_once(
+        (rows, co, active, workers) in (1u32..=64, 1u32..=512, 1u32..=3, 1u32..=40)
+    ) {
+        // A 1x1 conv over 8x16 features makes the CTA grid exactly
+        // `rows` tall (M = rows x 128) and `ceil(co/blkN)` wide.
+        let layer = ConvLayer::builder("shard-prop")
+            .batch(rows)
+            .input(8, 8, 16)
+            .output_channels(co)
+            .filter(1, 1)
+            .build()
+            .unwrap();
+        let tiling = LayerTiling::new(&layer);
+        let sched = ColumnScheduler::new(&tiling, &GpuSpec::titan_xp(), active);
+        let plan = ShardPlan::partition(sched.columns(), workers);
+        prop_assert_eq!(plan.n_workers(), workers as usize);
+
+        let enumerate = |cols: &mut dyn Iterator<Item = u64>| -> Vec<(u64, u64, u32)> {
+            let mut out = Vec::new();
+            for col in cols {
+                for b in 0..sched.batches_per_column() {
+                    for cta in sched.batch(col, b) {
+                        out.push((cta.col, cta.row, cta.sm));
+                    }
+                }
+            }
+            out
+        };
+        let sharded = enumerate(&mut plan.shards().iter().flat_map(|r| r.clone()));
+        let unsharded = enumerate(&mut (0..sched.columns()));
+        prop_assert_eq!(sharded.len() as u64, sched.total_ctas());
+        prop_assert_eq!(sharded, unsharded);
+        // Every column has exactly one owning shard.
+        for col in 0..sched.columns() {
+            let owner = plan.shard_of(col);
+            prop_assert!(plan.shards()[owner].contains(&col));
+        }
     }
 }

@@ -27,6 +27,21 @@ pub fn current_num_threads() -> usize {
         .unwrap_or(1)
 }
 
+std::thread_local! {
+    /// Worker slot of the current thread, `None` outside any
+    /// `par_iter` worker (mirrors the real crate's registry index).
+    static WORKER_INDEX: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The index of the current thread within its pool, or `None` when
+/// called from a thread not owned by the pool — same contract as the
+/// real crate's `rayon::current_thread_index`. Callers use it to avoid
+/// spawning a second tier of workers from inside a parallel region.
+pub fn current_thread_index() -> Option<usize> {
+    WORKER_INDEX.with(std::cell::Cell::get)
+}
+
 /// The traits users import; mirrors `rayon::prelude`.
 pub mod prelude {
     pub use crate::iter::{IntoParallelRefIterator, ParallelIterator};
@@ -136,7 +151,13 @@ pub mod iter {
         std::thread::scope(|scope| {
             let handles: Vec<_> = items
                 .chunks(chunk)
-                .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .enumerate()
+                .map(|(slot, c)| {
+                    scope.spawn(move || {
+                        super::WORKER_INDEX.with(|w| w.set(Some(slot)));
+                        c.iter().map(f).collect::<Vec<R>>()
+                    })
+                })
                 .collect();
             let mut out = Vec::with_capacity(items.len());
             for h in handles {
@@ -166,6 +187,23 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         let out: Vec<u32> = empty.par_iter().map(|x| x + 1).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_index_set_inside_workers_only() {
+        assert_eq!(crate::current_thread_index(), None, "main thread");
+        let input: Vec<u32> = (0..64).collect();
+        let indices: Vec<Option<usize>> = input
+            .par_iter()
+            .map(|_| crate::current_thread_index())
+            .collect();
+        if crate::current_num_threads() >= 2 {
+            assert!(
+                indices.iter().all(Option::is_some),
+                "workers must see their slot"
+            );
+        }
+        assert_eq!(crate::current_thread_index(), None, "main thread after");
     }
 
     #[test]
