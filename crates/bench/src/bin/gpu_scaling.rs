@@ -1,0 +1,5 @@
+//! Measures multi-GPU simulation scaling (speedup + traffic vs. device
+//! count per interconnect). Flags: --full, --smoke, --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary("gpu_scaling", delta_bench::experiments::gpu_scaling::run);
+}

@@ -17,8 +17,10 @@
 //! `baseline × (1 − tolerance)` or the process exits non-zero. The
 //! shard-speedup check is skipped (with a notice) on hosts with fewer
 //! than 4 cores, where the 4-worker floor is physically unattainable
-//! (speedup ≤ min(workers, columns, cores)); the bitwise shard-identity
-//! check runs everywhere and is never skipped.
+//! (speedup ≤ min(workers, columns, cores)); the bitwise identity checks
+//! — shard (4 workers vs. 1) and multi-GPU (4 devices under the `ideal`
+//! interconnect vs. the single-device sharded run) — run everywhere and
+//! are never skipped.
 
 use delta_bench::experiments::shard_scaling;
 use delta_model::engine::Engine;
@@ -42,6 +44,11 @@ struct GateReport {
     /// Whether the 4-worker measurement was bitwise identical to the
     /// 1-worker measurement (must always be true).
     shard_identical: bool,
+    /// Whether a 4-device multi-GPU run under the `ideal` interconnect
+    /// merged bitwise identically to the single-device sharded run, with
+    /// zero link traffic (must always be true — the interconnect model
+    /// is the only permitted source of multi-GPU divergence).
+    multigpu_ideal_identical: bool,
 }
 
 /// The checked-in expectations (`BENCH_BASELINE.json`).
@@ -110,11 +117,22 @@ fn measure(reps: u32) -> GateReport {
             .cycles
     });
 
+    // Path 3 (correctness only): the multi-GPU merge identity. Under the
+    // zero-cost `ideal` interconnect a 4-device run must reproduce the
+    // single-device sharded measurement bitwise and move zero link
+    // bytes; SimConfig::default() is the ideal configuration.
+    let sim_ideal = Simulator::new(GpuSpec::titan_xp(), config);
+    let multi = sim_ideal.run_multi(&layer, 4);
+    let multigpu_ideal_identical = multi.merged == sim_ideal.run_sharded(&layer, 1)
+        && multi.link_bytes == 0.0
+        && multi.link_seconds == 0.0;
+
     GateReport {
         cores: rayon::current_num_threads(),
         engine_cached_speedup: t_loop / t_engine,
         shard_speedup_4w: t1 / t4,
         shard_identical: e1 == e4,
+        multigpu_ideal_identical,
     }
 }
 
@@ -171,9 +189,14 @@ fn main() {
     let (check, out, reps) = parse_args();
     let report = measure(reps);
     println!(
-        "perf_gate ({} cores, best of {reps}):\n  engine_cached_speedup = {:.2}x\n  \
-         shard_speedup_4w      = {:.2}x\n  shard_identical       = {}",
-        report.cores, report.engine_cached_speedup, report.shard_speedup_4w, report.shard_identical
+        "perf_gate ({} cores, best of {reps}):\n  engine_cached_speedup    = {:.2}x\n  \
+         shard_speedup_4w         = {:.2}x\n  shard_identical          = {}\n  \
+         multigpu_ideal_identical = {}",
+        report.cores,
+        report.engine_cached_speedup,
+        report.shard_speedup_4w,
+        report.shard_identical,
+        report.multigpu_ideal_identical
     );
 
     if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
@@ -193,6 +216,13 @@ fn main() {
     if !report.shard_identical {
         failures
             .push("sharded measurement is not bitwise identical to the 1-worker run".to_string());
+    }
+    if !report.multigpu_ideal_identical {
+        failures.push(
+            "ideal-interconnect multi-GPU run is not bitwise identical to the \
+             single-device sharded run (or moved link bytes)"
+                .to_string(),
+        );
     }
     if let Some(path) = check {
         let text = match std::fs::read_to_string(&path) {

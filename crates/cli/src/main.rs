@@ -14,11 +14,17 @@
 //! Every multi-layer command runs through the parallel cached evaluation
 //! engine (`delta_model::engine`), so `--backend sim` fans the
 //! trace-driven simulator across cores and reuses repeated layer shapes.
+//! `network` and `train` additionally take `--gpus G --interconnect
+//! ideal|nvlink|pcie` (sim only) to simulate each layer partitioned
+//! across G devices with cross-device traffic priced by the interconnect
+//! model, and `--cache-file F` to persist the engine's result cache
+//! across processes.
 
 use delta_model::engine::{self, Engine, NetworkEvaluation};
 use delta_model::{Backend, ConvLayer, Delta, DesignOption, GpuSpec};
-use delta_sim::{SimConfig, Simulator};
+use delta_sim::{InterconnectKind, SimConfig, Simulator};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
@@ -84,7 +90,103 @@ fn sim_config_from(flags: &HashMap<String, String>) -> Result<SimConfig, String>
             .ok_or(format!("--shards expects a worker count >= 1, got `{v}`"))?;
         config.shards = Some(n);
     }
+    match flags.get("interconnect") {
+        Some(v) => config.interconnect = v.parse().map_err(|e| format!("--interconnect: {e}"))?,
+        // A multi-GPU request without an explicit interconnect gets the
+        // realistic NVLink pricing; `--interconnect ideal` opts into the
+        // zero-cost identity configuration.
+        None if flags.contains_key("gpus") => config.interconnect = InterconnectKind::NvLink,
+        None => {}
+    }
     Ok(config)
+}
+
+/// Parses `--gpus G` and validates the multi-GPU flag pairing: both
+/// `--gpus` and `--interconnect` need the trace-driven backend, and
+/// `--interconnect` is meaningless without a device count.
+fn multi_gpu_from(
+    flags: &HashMap<String, String>,
+    backend: BackendChoice,
+) -> Result<Option<u32>, String> {
+    let gpus = match flags.get("gpus") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u32>()
+                .ok()
+                .filter(|g| *g >= 1)
+                .ok_or(format!("--gpus expects a device count >= 1, got `{v}`"))?,
+        ),
+    };
+    if backend == BackendChoice::Model && (gpus.is_some() || flags.contains_key("interconnect")) {
+        return Err(
+            "--gpus/--interconnect require --backend sim (the model has no multi-device partition)"
+                .into(),
+        );
+    }
+    if flags.contains_key("interconnect") && gpus.is_none() {
+        return Err("--interconnect requires --gpus G".into());
+    }
+    Ok(gpus)
+}
+
+/// Rejects the multi-GPU flags on commands that do not support them.
+fn reject_multi_gpu(flags: &HashMap<String, String>, command: &str) -> Result<(), String> {
+    if flags.contains_key("gpus") || flags.contains_key("interconnect") {
+        return Err(format!(
+            "--gpus/--interconnect are not supported by `{command}` \
+             (use network or train with --backend sim)"
+        ));
+    }
+    Ok(())
+}
+
+/// Satellite of the sharding seam: tile columns are the ownership unit,
+/// so a worker count beyond a layer's column count leaves the surplus
+/// workers idle (narrow GEMMs, Co ≤ 128, have only one or two columns).
+/// Say so instead of silently under-using them.
+fn warn_surplus_shards(sim: &Simulator, layers: &[ConvLayer]) {
+    let Some(n) = sim.config().shards else {
+        return;
+    };
+    let columns: Vec<u64> = layers.iter().map(|l| sim.tiling(l).cta_columns()).collect();
+    let short = columns.iter().filter(|c| u64::from(n) > **c).count();
+    if short == 0 {
+        return;
+    }
+    let min = columns.iter().copied().min().unwrap_or(0);
+    eprintln!(
+        "note: --shards {n} exceeds the tile-column count of {short} of {} layer(s) \
+         (narrowest has {min}); surplus workers idle there — results are unchanged, \
+         only the speedup saturates",
+        columns.len()
+    );
+}
+
+/// Wraps an engine run with the optional `--cache-file` persistence:
+/// load previously computed estimates before, save the (possibly grown)
+/// cache after. Notes go to stderr so `--json` output stays clean.
+fn with_cache_file<B: Backend, T>(
+    engine: &Engine<B>,
+    flags: &HashMap<String, String>,
+    run: impl FnOnce(&Engine<B>) -> Result<T, String>,
+) -> Result<T, String> {
+    let path = flags.get("cache-file").map(PathBuf::from);
+    if let Some(p) = &path {
+        if p.exists() {
+            let n = engine
+                .load_cache(p)
+                .map_err(|e| format!("cannot load --cache-file {}: {e}", p.display()))?;
+            eprintln!("cache: loaded {n} entries from {}", p.display());
+        }
+    }
+    let out = run(engine)?;
+    if let Some(p) = &path {
+        let n = engine
+            .save_cache(p)
+            .map_err(|e| format!("cannot save --cache-file {}: {e}", p.display()))?;
+        eprintln!("cache: saved {n} entries to {}", p.display());
+    }
+    Ok(out)
 }
 
 /// `--shards` only has meaning for the trace-driven simulator; reject it
@@ -153,6 +255,7 @@ fn cmd_layer(flags: &HashMap<String, String>) -> Result<(), String> {
     let gpu = gpu_from(flags)?;
     // `layer` always runs the analytical model.
     reject_shards_on_model(flags, BackendChoice::Model)?;
+    reject_multi_gpu(flags, "layer")?;
     let layer = layer_from(flags)?;
     let report = Delta::new(gpu).analyze(&layer).map_err(|e| e.to_string())?;
     if flags.contains_key("json") {
@@ -167,15 +270,18 @@ fn cmd_layer(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 /// Shared engine-driven network evaluation used by `network` for both
-/// backends.
+/// backends. `gpus = Some(G)` routes through the multi-device path.
 fn print_network_eval<B: Backend>(
     engine: &Engine<B>,
     net: &delta_networks::Network,
     json: bool,
+    gpus: Option<u32>,
 ) -> Result<(), String> {
-    let eval: NetworkEvaluation = engine
-        .evaluate_network(net.layers())
-        .map_err(|e| e.to_string())?;
+    let eval: NetworkEvaluation = match gpus {
+        Some(g) => engine.evaluate_network_multi(net.layers(), g),
+        None => engine.evaluate_network(net.layers()),
+    }
+    .map_err(|e| e.to_string())?;
     if json {
         println!(
             "{}",
@@ -197,28 +303,36 @@ fn cmd_network(name: &str, flags: &HashMap<String, String>) -> Result<(), String
     let gpu = gpu_from(flags)?;
     let backend = backend_from(flags)?;
     reject_shards_on_model(flags, backend)?;
+    let gpus = multi_gpu_from(flags, backend)?;
     let batch = batch_from(flags, backend, 256)?;
     let net = find_network(name, batch)?;
     let json = flags.contains_key("json");
     match backend {
-        BackendChoice::Model => print_network_eval(&Engine::new(Delta::new(gpu)), &net, json),
-        BackendChoice::Sim => print_network_eval(
-            &Engine::new(Simulator::new(gpu, sim_config_from(flags)?)),
-            &net,
-            json,
-        ),
+        BackendChoice::Model => {
+            let engine = Engine::new(Delta::new(gpu));
+            with_cache_file(&engine, flags, |e| print_network_eval(e, &net, json, None))
+        }
+        BackendChoice::Sim => {
+            let sim = Simulator::new(gpu, sim_config_from(flags)?);
+            warn_surplus_shards(&sim, net.layers());
+            let engine = Engine::new(sim);
+            with_cache_file(&engine, flags, |e| print_network_eval(e, &net, json, gpus))
+        }
     }
 }
 
 fn cmd_sim(flags: &HashMap<String, String>) -> Result<(), String> {
     let gpu = gpu_from(flags)?;
+    reject_multi_gpu(flags, "sim")?;
     let mut layer = layer_from(flags)?;
     if !flags.contains_key("batch") {
         // Simulation defaults to a laptop-scale batch unless told
         // otherwise.
         layer = layer.with_batch(8).map_err(|e| e.to_string())?;
     }
-    let m = Simulator::new(gpu.clone(), sim_config_from(flags)?).run(&layer);
+    let sim = Simulator::new(gpu.clone(), sim_config_from(flags)?);
+    warn_surplus_shards(&sim, std::slice::from_ref(&layer));
+    let m = sim.run(&layer);
     let est = Delta::new(gpu)
         .estimate_traffic(&layer)
         .map_err(|e| e.to_string())?;
@@ -279,6 +393,7 @@ fn cmd_scaling(flags: &HashMap<String, String>) -> Result<(), String> {
     let base = gpu_from(flags)?;
     let backend = backend_from(flags)?;
     reject_shards_on_model(flags, backend)?;
+    reject_multi_gpu(flags, "scaling")?;
     let batch = batch_from(flags, backend, 256)?;
     let net = delta_networks::resnet152_full(batch).map_err(|e| e.to_string())?;
     let options = DesignOption::paper_options();
@@ -335,16 +450,28 @@ fn cmd_train(name: &str, flags: &HashMap<String, String>) -> Result<(), String> 
     let gpu = gpu_from(flags)?;
     let backend = backend_from(flags)?;
     reject_shards_on_model(flags, backend)?;
+    let gpus = multi_gpu_from(flags, backend)?;
     let batch = batch_from(flags, backend, 64)?;
     let net = find_network(name, batch)?;
+    let step = |engine: &Engine<_>| match gpus {
+        Some(g) => engine.evaluate_training_step_multi(net.layers(), g),
+        None => engine.evaluate_training_step(net.layers()),
+    };
     let eval = match backend {
         BackendChoice::Model => {
-            Engine::new(Delta::new(gpu.clone())).evaluate_training_step(net.layers())
+            let engine = Engine::new(Delta::new(gpu.clone()));
+            with_cache_file(&engine, flags, |e| {
+                e.evaluate_training_step(net.layers())
+                    .map_err(|e| e.to_string())
+            })
         }
-        BackendChoice::Sim => Engine::new(Simulator::new(gpu.clone(), sim_config_from(flags)?))
-            .evaluate_training_step(net.layers()),
-    }
-    .map_err(|e| e.to_string())?;
+        BackendChoice::Sim => {
+            let sim = Simulator::new(gpu.clone(), sim_config_from(flags)?);
+            warn_surplus_shards(&sim, net.layers());
+            let engine = Engine::new(sim);
+            with_cache_file(&engine, flags, |e| step(e).map_err(|e| e.to_string()))
+        }
+    }?;
 
     println!("{net} training step on {gpu}");
     println!(
@@ -382,19 +509,26 @@ fn usage() -> String {
     "usage: delta <command> [flags]\n\
      commands:\n  \
      layer    --ci N --hw N --co N [--filter N --stride N --pad N --batch N --gpu G --json]\n  \
-     network  <alexnet|vgg16|googlenet|resnet152> [--backend model|sim --batch N --gpu G --json --exhaustive --shards N]\n  \
+     network  <alexnet|vgg16|googlenet|resnet152> [--backend model|sim --batch N --gpu G --json\n           \
+     --exhaustive --shards N --gpus G --interconnect I --cache-file F]\n  \
      sim      --ci N --hw N --co N [--filter N ... --exhaustive --shards N]\n  \
-     train    <alexnet|vgg16|googlenet|resnet152> [--backend model|sim --batch N --gpu G --shards N]\n  \
+     train    <alexnet|vgg16|googlenet|resnet152> [--backend model|sim --batch N --gpu G\n           \
+     --shards N --gpus G --interconnect I --cache-file F]\n  \
      scaling  [--backend model|sim --batch N --gpu G --shards N]\n  \
      gpus\n  \
      help\n\
      flags:\n  \
-     --gpu      titanxp (default) | p100 | v100\n  \
-     --backend  model (default: instant analytical model) | sim (trace-driven simulator)\n  \
-     --batch    mini-batch size (default 256 for model, 16 for sim)\n  \
-     --shards   sim only: partition each layer's tile columns over N parallel workers\n             \
+     --gpu          titanxp (default) | p100 | v100\n  \
+     --backend      model (default: instant analytical model) | sim (trace-driven simulator)\n  \
+     --batch        mini-batch size (default 256 for model, 16 for sim)\n  \
+     --shards       sim only: partition each layer's tile columns over N parallel workers\n                 \
      (results are bitwise identical for every N)\n  \
-     --json     machine-readable output where supported\n\
+     --gpus         sim only: simulate the layer partitioned across G devices\n  \
+     --interconnect ideal | nvlink (default with --gpus) | pcie — prices cross-device halo\n                 \
+     and gradient all-reduce traffic; `ideal` is zero-cost, so its output is\n                 \
+     byte-identical for every --gpus count\n  \
+     --cache-file   persist the engine's shape-keyed results to F and reuse them next run\n  \
+     --json         machine-readable output where supported\n\
      multi-layer commands run on all cores with shape-keyed result caching"
         .to_string()
 }
@@ -618,6 +752,124 @@ mod tests {
             &flags(&[("backend", "sim"), ("batch", "2"), ("shards", "2")]),
         )
         .unwrap();
+    }
+
+    #[test]
+    fn gpus_flag_parses_and_validates() {
+        assert_eq!(
+            multi_gpu_from(&flags(&[]), BackendChoice::Sim).unwrap(),
+            None
+        );
+        assert_eq!(
+            multi_gpu_from(&flags(&[("gpus", "4")]), BackendChoice::Sim).unwrap(),
+            Some(4)
+        );
+        for bad in ["0", "-2", "x"] {
+            let err = multi_gpu_from(&flags(&[("gpus", bad)]), BackendChoice::Sim).unwrap_err();
+            assert!(err.contains("--gpus"), "{err}");
+        }
+        // Model backend rejects both multi-GPU flags.
+        for f in [("gpus", "2"), ("interconnect", "nvlink")] {
+            let err = multi_gpu_from(&flags(&[f]), BackendChoice::Model).unwrap_err();
+            assert!(err.contains("--backend sim"), "{err}");
+        }
+        // --interconnect without --gpus is a pairing error.
+        let err =
+            multi_gpu_from(&flags(&[("interconnect", "pcie")]), BackendChoice::Sim).unwrap_err();
+        assert!(err.contains("--gpus"), "{err}");
+    }
+
+    #[test]
+    fn interconnect_flag_flows_into_sim_config() {
+        use delta_sim::InterconnectKind;
+        // Without --gpus the library default (ideal) stands.
+        assert_eq!(
+            sim_config_from(&flags(&[])).unwrap().interconnect,
+            InterconnectKind::Ideal
+        );
+        // With --gpus but no explicit choice, realistic NVLink pricing.
+        assert_eq!(
+            sim_config_from(&flags(&[("gpus", "4")]))
+                .unwrap()
+                .interconnect,
+            InterconnectKind::NvLink
+        );
+        for (name, kind) in [
+            ("ideal", InterconnectKind::Ideal),
+            ("nvlink", InterconnectKind::NvLink),
+            ("pcie", InterconnectKind::Pcie),
+        ] {
+            assert_eq!(
+                sim_config_from(&flags(&[("gpus", "2"), ("interconnect", name)]))
+                    .unwrap()
+                    .interconnect,
+                kind
+            );
+        }
+        let err = sim_config_from(&flags(&[("interconnect", "ethernet")])).unwrap_err();
+        assert!(err.contains("ethernet") && err.contains("nvlink"), "{err}");
+    }
+
+    #[test]
+    fn multi_gpu_commands_run_end_to_end() {
+        // network and train accept the flags on the sim backend…
+        cmd_network(
+            "alexnet",
+            &flags(&[
+                ("backend", "sim"),
+                ("batch", "2"),
+                ("gpus", "2"),
+                ("interconnect", "ideal"),
+            ]),
+        )
+        .unwrap();
+        // …and reject them on the model backend and other commands.
+        let err = cmd_network("alexnet", &flags(&[("gpus", "2")])).unwrap_err();
+        assert!(err.contains("--backend sim"), "{err}");
+        let err = cmd_scaling(&flags(&[("backend", "sim"), ("gpus", "2")])).unwrap_err();
+        assert!(err.contains("scaling"), "{err}");
+        let err = cmd_sim(&flags(&[
+            ("ci", "16"),
+            ("hw", "14"),
+            ("co", "32"),
+            ("gpus", "2"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("sim"), "{err}");
+        let err = cmd_layer(&flags(&[
+            ("ci", "16"),
+            ("hw", "14"),
+            ("co", "32"),
+            ("interconnect", "pcie"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("layer"), "{err}");
+    }
+
+    #[test]
+    fn cache_file_round_trips_across_engine_processes() {
+        let dir = std::env::temp_dir().join("delta_cli_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.json");
+        let _ = std::fs::remove_file(&path);
+        let f = flags(&[("batch", "16"), ("cache-file", path.to_str().unwrap())]);
+        // First run computes and saves; second run loads and reuses.
+        cmd_network("alexnet", &f).unwrap();
+        assert!(path.exists());
+        let first = std::fs::read_to_string(&path).unwrap();
+        cmd_network("alexnet", &f).unwrap();
+        assert_eq!(first, std::fs::read_to_string(&path).unwrap());
+        // A mismatched engine (different GPU) refuses the stale file.
+        let err = cmd_network(
+            "alexnet",
+            &flags(&[
+                ("batch", "16"),
+                ("gpu", "v100"),
+                ("cache-file", path.to_str().unwrap()),
+            ]),
+        )
+        .unwrap_err();
+        assert!(err.contains("cache-file"), "{err}");
     }
 
     #[test]

@@ -62,11 +62,21 @@ pub struct LayerEstimate {
     pub cycles: f64,
     /// Execution time in seconds at the device clock.
     pub seconds: f64,
+    /// Cross-device interconnect traffic in bytes — halo IFmap refetches
+    /// and gradient all-reduce volume charged by a multi-GPU estimate.
+    /// Zero for single-device estimates and for the zero-cost `ideal`
+    /// interconnect.
+    #[serde(default = "default_link_bytes")]
+    pub link_bytes: f64,
     /// The limiting resource — `None` for backends (like the simulator)
     /// that measure time without attributing it to one resource.
     pub bottleneck: Option<Bottleneck>,
     /// Which estimator produced this estimate.
     pub source: EstimateSource,
+}
+
+fn default_link_bytes() -> f64 {
+    0.0
 }
 
 impl LayerEstimate {
@@ -78,6 +88,14 @@ impl LayerEstimate {
     /// Total DRAM traffic, reads plus writes.
     pub fn dram_total_bytes(&self) -> f64 {
         self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// Total off-chip traffic: DRAM reads + writes + cross-device
+    /// interconnect bytes. The quantity a multi-GPU configuration can
+    /// only increase — the interconnect model adds link traffic and never
+    /// removes DRAM traffic.
+    pub fn dram_and_link_bytes(&self) -> f64 {
+        self.dram_total_bytes() + self.link_bytes
     }
 
     /// Builds the estimate equivalent of a model [`LayerReport`].
@@ -95,6 +113,7 @@ impl LayerEstimate {
             l2_miss_rate: report.traffic.l2_miss_rate(),
             cycles: report.perf.cycles,
             seconds: report.perf.seconds,
+            link_bytes: 0.0,
             bottleneck: Some(report.perf.bottleneck),
             source: EstimateSource::Model,
         }
@@ -113,6 +132,9 @@ impl fmt::Display for LayerEstimate {
             self.dram_write_bytes / 1e9,
             self.millis()
         )?;
+        if self.link_bytes > 0.0 {
+            write!(f, ", link {:.3} GB", self.link_bytes / 1e9)?;
+        }
         if let Some(b) = self.bottleneck {
             write!(f, " ({b})")?;
         }
@@ -133,6 +155,17 @@ pub trait Backend: Send + Sync {
 
     /// The device this backend evaluates on.
     fn gpu(&self) -> &GpuSpec;
+
+    /// An opaque fingerprint of every configuration knob (beyond the
+    /// backend name and GPU) that changes this backend's estimates —
+    /// e.g. the simulator's sampling limits and interconnect. The
+    /// engine's persistent cache ([`crate::engine::Engine::save_cache`])
+    /// stores it and refuses to load results produced under a different
+    /// fingerprint. The default (empty string) is for backends with no
+    /// such knobs.
+    fn config_fingerprint(&self) -> String {
+        String::new()
+    }
 
     /// Estimates one forward conv layer.
     ///
@@ -164,6 +197,50 @@ pub trait Backend: Send + Sync {
         self.estimate_layer(layer)
     }
 
+    /// Estimates one forward conv layer executed across `devices` GPUs,
+    /// with cross-device traffic (halo IFmap refetches) charged through
+    /// the backend's interconnect model.
+    ///
+    /// The default ignores the device count and answers the single-device
+    /// estimate — correct only for backends with no multi-device model
+    /// (callers such as the CLI reject multi-GPU requests on those
+    /// backends rather than silently accepting this default).
+    /// `delta_sim::Simulator` overrides it with its device-partitioned
+    /// replay: under the `ideal` interconnect the result is bitwise
+    /// identical for every device count, and a non-ideal interconnect
+    /// only ever adds link traffic and time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/GPU validation failures.
+    fn estimate_layer_multi(
+        &self,
+        layer: &ConvLayer,
+        devices: u32,
+    ) -> Result<LayerEstimate, Error> {
+        let _ = devices;
+        self.estimate_layer(layer)
+    }
+
+    /// Estimates the weight-gradient pass of `layer` across `devices`
+    /// GPUs, including the per-training-step gradient all-reduce traffic
+    /// a data-parallel minibatch partition exchanges.
+    ///
+    /// The default ignores the device count like
+    /// [`Backend::estimate_layer_multi`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates pass-construction and estimation failures.
+    fn estimate_wgrad_multi(
+        &self,
+        layer: &ConvLayer,
+        devices: u32,
+    ) -> Result<LayerEstimate, Error> {
+        let _ = devices;
+        self.estimate_wgrad(layer)
+    }
+
     /// Estimates the weight-gradient pass of `layer`.
     ///
     /// The default routes the wgrad GEMM through `estimate_layer` as the
@@ -185,6 +262,10 @@ impl Backend for Delta {
 
     fn gpu(&self) -> &GpuSpec {
         Delta::gpu(self)
+    }
+
+    fn config_fingerprint(&self) -> String {
+        serde_json::to_string(&self.options()).unwrap_or_default()
     }
 
     fn estimate_layer(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
@@ -209,6 +290,10 @@ impl<B: Backend + ?Sized> Backend for &B {
         (**self).gpu()
     }
 
+    fn config_fingerprint(&self) -> String {
+        (**self).config_fingerprint()
+    }
+
     fn estimate_layer(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
         (**self).estimate_layer(layer)
     }
@@ -219,6 +304,22 @@ impl<B: Backend + ?Sized> Backend for &B {
         n_workers: u32,
     ) -> Result<LayerEstimate, Error> {
         (**self).estimate_layer_sharded(layer, n_workers)
+    }
+
+    fn estimate_layer_multi(
+        &self,
+        layer: &ConvLayer,
+        devices: u32,
+    ) -> Result<LayerEstimate, Error> {
+        (**self).estimate_layer_multi(layer, devices)
+    }
+
+    fn estimate_wgrad_multi(
+        &self,
+        layer: &ConvLayer,
+        devices: u32,
+    ) -> Result<LayerEstimate, Error> {
+        (**self).estimate_wgrad_multi(layer, devices)
     }
 
     fn estimate_wgrad(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
@@ -290,6 +391,45 @@ mod tests {
         // The reference-forwarding impl routes the sharded call too.
         let by_ref: &dyn Backend = &&delta;
         assert_eq!(by_ref.estimate_layer_sharded(&layer(), 2).unwrap(), plain);
+    }
+
+    #[test]
+    fn multi_default_ignores_device_count() {
+        // Backends without a multi-GPU model answer the single-device
+        // estimate, with no link traffic.
+        let delta = Delta::new(GpuSpec::titan_xp());
+        let plain = Backend::estimate_layer(&delta, &layer()).unwrap();
+        assert_eq!(plain.link_bytes, 0.0);
+        assert_eq!(plain.dram_and_link_bytes(), plain.dram_total_bytes());
+        for g in [1, 2, 8] {
+            let multi = Backend::estimate_layer_multi(&delta, &layer(), g).unwrap();
+            assert_eq!(multi, plain, "devices={g}");
+        }
+        let wgrad = Backend::estimate_wgrad(&delta, &layer()).unwrap();
+        assert_eq!(
+            Backend::estimate_wgrad_multi(&delta, &layer(), 4).unwrap(),
+            wgrad
+        );
+        // The reference-forwarding impl routes both multi calls.
+        let by_ref: &dyn Backend = &&delta;
+        assert_eq!(by_ref.estimate_layer_multi(&layer(), 4).unwrap(), plain);
+        assert_eq!(by_ref.estimate_wgrad_multi(&layer(), 4).unwrap(), wgrad);
+    }
+
+    #[test]
+    fn estimate_json_without_link_bytes_still_parses() {
+        // link_bytes was added with a serde default so archived estimates
+        // keep deserializing.
+        let delta = Delta::new(GpuSpec::titan_xp());
+        let est = Backend::estimate_layer(&delta, &layer()).unwrap();
+        let mut json = serde_json::to_string(&est).unwrap();
+        assert!(json.contains("\"link_bytes\""));
+        json = json.replace("\"link_bytes\":0,", "");
+        json = json.replace("\"link_bytes\":0.0,", "");
+        assert!(!json.contains("link_bytes"), "{json}");
+        let back: LayerEstimate = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.link_bytes, 0.0);
+        assert_eq!(back, est);
     }
 
     #[test]

@@ -45,6 +45,8 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -92,13 +94,83 @@ impl LayerShape {
 /// Which estimation path a cache entry came from. Forward and wgrad
 /// estimates of the same source shape are distinct quantities (wgrad may
 /// use a split-K tiling), so the pass is part of the cache key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 enum Pass {
     Forward,
     Wgrad,
 }
 
-type CacheKey = (LayerShape, Pass);
+impl Pass {
+    /// Stable ordering index (for deterministic cache-file output).
+    fn rank(self) -> u8 {
+        match self {
+            Pass::Forward => 0,
+            Pass::Wgrad => 1,
+        }
+    }
+}
+
+/// The device count a cached estimate was produced for. `SINGLE_DEVICE`
+/// (0) marks the backend's default single-device path; any positive
+/// count marks an explicit multi-device estimate
+/// ([`Backend::estimate_layer_multi`]). The two must never mix: even
+/// `devices = 1` through the multi path can differ from the default path
+/// (the simulator's device partition replays tile columns in isolation),
+/// so the device count is part of the cache key.
+type DeviceKey = u32;
+
+const SINGLE_DEVICE: DeviceKey = 0;
+
+type CacheKey = (LayerShape, Pass, DeviceKey);
+
+/// One persisted cache entry ([`Engine::save_cache`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CacheFileEntry {
+    shape: LayerShape,
+    pass: Pass,
+    devices: DeviceKey,
+    estimate: LayerEstimate,
+}
+
+impl CacheFileEntry {
+    /// Deterministic file ordering: shape dims, then pass, then devices.
+    #[allow(clippy::type_complexity)]
+    fn sort_key(&self) -> (u32, u32, u32, u32, u32, u32, u32, u32, u32, u8, u32) {
+        let s = self.shape;
+        (
+            s.batch,
+            s.in_channels,
+            s.in_height,
+            s.in_width,
+            s.out_channels,
+            s.filter_height,
+            s.filter_width,
+            s.stride,
+            s.pad,
+            self.pass.rank(),
+            self.devices,
+        )
+    }
+}
+
+/// The on-disk cache format: entries plus the backend/GPU/configuration
+/// fingerprint that guards against replaying results into a different
+/// estimator.
+#[derive(Debug, Serialize, Deserialize)]
+struct CacheFile {
+    backend: String,
+    gpu: String,
+    /// [`Backend::config_fingerprint`] of the producing engine; empty
+    /// for files written before the field existed (loaded only into
+    /// backends whose fingerprint is also empty).
+    #[serde(default = "empty_fingerprint")]
+    config: String,
+    entries: Vec<CacheFileEntry>,
+}
+
+fn empty_fingerprint() -> String {
+    String::new()
+}
 
 /// Engine tuning knobs; the defaults (parallel, cached) are what every
 /// production caller wants. The ablation switches exist for benchmarks
@@ -192,6 +264,105 @@ impl<B: Backend> Engine<B> {
         self.cache.lock().expect("engine cache poisoned").clear();
     }
 
+    /// Serializes the result cache to `path` as JSON, so a later process
+    /// can [`Engine::load_cache`] it and skip re-evaluating shapes it has
+    /// already seen. Entries are written in a deterministic order (sorted
+    /// by shape, pass, devices); the file records the backend name, GPU
+    /// name, and [`Backend::config_fingerprint`] so it cannot be replayed
+    /// against a different estimator or configuration. The write is
+    /// atomic (temp file + rename), so a concurrent reader never sees a
+    /// truncated file. Returns the number of entries written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and serialization failures.
+    pub fn save_cache(&self, path: &Path) -> io::Result<usize> {
+        let mut entries: Vec<CacheFileEntry> = {
+            let cache = self.cache.lock().expect("engine cache poisoned");
+            cache
+                .iter()
+                .map(|(&(shape, pass, devices), estimate)| CacheFileEntry {
+                    shape,
+                    pass,
+                    devices,
+                    estimate: estimate.clone(),
+                })
+                .collect()
+        };
+        entries.sort_by_key(CacheFileEntry::sort_key);
+        let n = entries.len();
+        let file = CacheFile {
+            backend: self.backend.name().to_string(),
+            gpu: self.backend.gpu().name().to_string(),
+            config: self.backend.config_fingerprint(),
+            entries,
+        };
+        let json = serde_json::to_string_pretty(&file)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        // Write-then-rename so concurrent loaders (several CLI processes
+        // sharing one --cache-file) never observe a half-written file;
+        // the PID suffix keeps concurrent writers off each other's temp
+        // files.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })?;
+        Ok(n)
+    }
+
+    /// Loads a cache file previously written by [`Engine::save_cache`]
+    /// into this engine's cache (merging over anything already present).
+    /// Returns the number of entries loaded.
+    ///
+    /// Loaded results are served as cache hits; the backend is never
+    /// consulted for them, so the file must come from the *same* backend
+    /// kind, GPU, **and configuration**. All three are verified: a file
+    /// produced under different simulator sampling limits or a different
+    /// interconnect is refused rather than silently replayed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures; returns
+    /// [`io::ErrorKind::InvalidData`] for malformed files or a
+    /// backend/GPU/configuration mismatch.
+    pub fn load_cache(&self, path: &Path) -> io::Result<usize> {
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let text = std::fs::read_to_string(path)?;
+        let file: CacheFile = serde_json::from_str(&text)
+            .map_err(|e| invalid(format!("malformed cache file {}: {e}", path.display())))?;
+        if file.backend != self.backend.name() || file.gpu != self.backend.gpu().name() {
+            return Err(invalid(format!(
+                "cache file {} was produced by backend `{}` on `{}`, \
+                 but this engine runs `{}` on `{}`",
+                path.display(),
+                file.backend,
+                file.gpu,
+                self.backend.name(),
+                self.backend.gpu().name()
+            )));
+        }
+        if file.config != self.backend.config_fingerprint() {
+            return Err(invalid(format!(
+                "cache file {} was produced under a different backend \
+                 configuration (e.g. sampling limits or interconnect): \
+                 file has `{}`, this engine has `{}`",
+                path.display(),
+                file.config,
+                self.backend.config_fingerprint()
+            )));
+        }
+        let n = file.entries.len();
+        let mut cache = self.cache.lock().expect("engine cache poisoned");
+        for e in file.entries {
+            cache.insert((e.shape, e.pass, e.devices), e.estimate);
+        }
+        Ok(n)
+    }
+
     /// Estimates one layer through the cache.
     ///
     /// # Errors
@@ -199,7 +370,26 @@ impl<B: Backend> Engine<B> {
     /// Propagates backend estimation failures.
     pub fn evaluate_layer(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
         Ok(self
-            .evaluate_batch(std::slice::from_ref(layer), Pass::Forward)?
+            .evaluate_batch(std::slice::from_ref(layer), Pass::Forward, SINGLE_DEVICE)?
+            .remove(0))
+    }
+
+    /// Estimates one layer executed across `devices` GPUs
+    /// ([`Backend::estimate_layer_multi`]) through the cache. Multi-device
+    /// estimates are cached like single-device ones, keyed on (shape,
+    /// devices), so a sweep over device counts caches each point
+    /// separately; `devices` is clamped to at least 1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend estimation failures.
+    pub fn evaluate_layer_multi(
+        &self,
+        layer: &ConvLayer,
+        devices: u32,
+    ) -> Result<LayerEstimate, Error> {
+        Ok(self
+            .evaluate_batch(std::slice::from_ref(layer), Pass::Forward, devices.max(1))?
             .remove(0))
     }
 
@@ -234,7 +424,7 @@ impl<B: Backend> Engine<B> {
     ///
     /// Propagates the first backend estimation failure.
     pub fn evaluate_layers(&self, layers: &[ConvLayer]) -> Result<Vec<LayerEstimate>, Error> {
-        self.evaluate_batch(layers, Pass::Forward)
+        self.evaluate_batch(layers, Pass::Forward, SINGLE_DEVICE)
     }
 
     /// Evaluates a whole network (any ordered layer slice) and bundles
@@ -244,7 +434,33 @@ impl<B: Backend> Engine<B> {
     ///
     /// Propagates the first backend estimation failure.
     pub fn evaluate_network(&self, layers: &[ConvLayer]) -> Result<NetworkEvaluation, Error> {
-        let estimates = self.evaluate_batch(layers, Pass::Forward)?;
+        self.network_eval(layers, SINGLE_DEVICE)
+    }
+
+    /// Evaluates a whole network executed across `devices` GPUs: every
+    /// layer goes through [`Backend::estimate_layer_multi`] with the same
+    /// parallel fan-out and (shape, devices)-keyed caching as the
+    /// single-device path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first backend estimation failure.
+    pub fn evaluate_network_multi(
+        &self,
+        layers: &[ConvLayer],
+        devices: u32,
+    ) -> Result<NetworkEvaluation, Error> {
+        self.network_eval(layers, devices.max(1))
+    }
+
+    /// The shared network driver behind the single- and multi-device
+    /// entry points.
+    fn network_eval(
+        &self,
+        layers: &[ConvLayer],
+        devices: DeviceKey,
+    ) -> Result<NetworkEvaluation, Error> {
+        let estimates = self.evaluate_batch(layers, Pass::Forward, devices)?;
         Ok(NetworkEvaluation {
             backend: self.backend.name().to_string(),
             gpu: self.backend.gpu().name().to_string(),
@@ -270,6 +486,33 @@ impl<B: Backend> Engine<B> {
         &self,
         layers: &[ConvLayer],
     ) -> Result<TrainingStepEvaluation, Error> {
+        self.training_eval(layers, SINGLE_DEVICE)
+    }
+
+    /// Evaluates one whole training step executed across `devices` GPUs.
+    /// Forward and dgrad passes route through
+    /// [`Backend::estimate_layer_multi`]; wgrad passes route through
+    /// [`Backend::estimate_wgrad_multi`], which for multi-device-aware
+    /// backends includes the per-step gradient all-reduce traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pass-construction and estimation failures.
+    pub fn evaluate_training_step_multi(
+        &self,
+        layers: &[ConvLayer],
+        devices: u32,
+    ) -> Result<TrainingStepEvaluation, Error> {
+        self.training_eval(layers, devices.max(1))
+    }
+
+    /// The shared training-step driver behind the single- and
+    /// multi-device entry points.
+    fn training_eval(
+        &self,
+        layers: &[ConvLayer],
+        devices: DeviceKey,
+    ) -> Result<TrainingStepEvaluation, Error> {
         // Build the dgrad companions first (pure shape transforms).
         let dgrads: Vec<Option<ConvLayer>> = layers
             .iter()
@@ -288,9 +531,9 @@ impl<B: Backend> Engine<B> {
         // and the cache.
         let mut plain: Vec<ConvLayer> = layers.to_vec();
         plain.extend(dgrads.iter().flatten().cloned());
-        let mut plain_est = self.evaluate_batch(&plain, Pass::Forward)?;
+        let mut plain_est = self.evaluate_batch(&plain, Pass::Forward, devices)?;
         let dgrad_est: Vec<LayerEstimate> = plain_est.split_off(layers.len());
-        let wgrad_est = self.evaluate_batch(layers, Pass::Wgrad)?;
+        let wgrad_est = self.evaluate_batch(layers, Pass::Wgrad, devices)?;
 
         let mut dgrad_iter = dgrad_est.into_iter();
         let rows = layers
@@ -322,15 +565,19 @@ impl<B: Backend> Engine<B> {
         &self,
         layers: &[ConvLayer],
         pass: Pass,
+        devices: DeviceKey,
     ) -> Result<Vec<LayerEstimate>, Error> {
         if !self.options.cache {
             self.misses
                 .fetch_add(layers.len() as u64, Ordering::Relaxed);
-            let results = self.run_backend(&layers.iter().collect::<Vec<_>>(), pass);
+            let results = self.run_backend(&layers.iter().collect::<Vec<_>>(), pass, devices);
             return results.into_iter().collect();
         }
 
-        let keys: Vec<CacheKey> = layers.iter().map(|l| (LayerShape::of(l), pass)).collect();
+        let keys: Vec<CacheKey> = layers
+            .iter()
+            .map(|l| (LayerShape::of(l), pass, devices))
+            .collect();
         let mut missing: Vec<(CacheKey, &ConvLayer)> = Vec::new();
         {
             let cache = self.cache.lock().expect("engine cache poisoned");
@@ -347,7 +594,7 @@ impl<B: Backend> Engine<B> {
             .fetch_add(missing.len() as u64, Ordering::Relaxed);
 
         let fresh: Vec<&ConvLayer> = missing.iter().map(|(_, l)| *l).collect();
-        let results = self.run_backend(&fresh, pass);
+        let results = self.run_backend(&fresh, pass, devices);
 
         let mut cache = self.cache.lock().expect("engine cache poisoned");
         for ((key, _), result) in missing.iter().zip(results) {
@@ -365,11 +612,19 @@ impl<B: Backend> Engine<B> {
     }
 
     /// Runs the backend over `layers`, in parallel when enabled and
-    /// worthwhile.
-    fn run_backend(&self, layers: &[&ConvLayer], pass: Pass) -> Vec<Result<LayerEstimate, Error>> {
-        let eval = |layer: &ConvLayer| match pass {
-            Pass::Forward => self.backend.estimate_layer(layer),
-            Pass::Wgrad => self.backend.estimate_wgrad(layer),
+    /// worthwhile. `devices = SINGLE_DEVICE` takes the backend's default
+    /// path; a positive count takes the explicit multi-device path.
+    fn run_backend(
+        &self,
+        layers: &[&ConvLayer],
+        pass: Pass,
+        devices: DeviceKey,
+    ) -> Vec<Result<LayerEstimate, Error>> {
+        let eval = |layer: &ConvLayer| match (pass, devices) {
+            (Pass::Forward, SINGLE_DEVICE) => self.backend.estimate_layer(layer),
+            (Pass::Forward, g) => self.backend.estimate_layer_multi(layer, g),
+            (Pass::Wgrad, SINGLE_DEVICE) => self.backend.estimate_wgrad(layer),
+            (Pass::Wgrad, g) => self.backend.estimate_wgrad_multi(layer, g),
         };
         if self.options.parallel && layers.len() > 1 {
             layers.par_iter().map(|l| eval(l)).collect()
@@ -680,6 +935,90 @@ mod tests {
         }
         assert_eq!(engine.cache_stats().misses, 4, "1 cached + 3 direct");
         assert_eq!(engine.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn multi_device_estimates_use_their_own_cache_keys() {
+        let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        let l = conv("m", 32, 14, 64);
+        engine.evaluate_layer(&l).unwrap();
+        // Each distinct device count is a distinct cache entry, even for
+        // the model backend (whose multi default answers identically).
+        engine.evaluate_layer_multi(&l, 2).unwrap();
+        engine.evaluate_layer_multi(&l, 4).unwrap();
+        assert_eq!(engine.cache_stats().misses, 3, "1 plain + 2 device counts");
+        // Repeats of every path are hits.
+        engine.evaluate_layer(&l).unwrap();
+        engine.evaluate_layer_multi(&l, 2).unwrap();
+        engine.evaluate_layer_multi(&l, 4).unwrap();
+        assert_eq!(engine.cache_stats().misses, 3);
+        assert_eq!(engine.cache_stats().hits, 3);
+        // devices = 0 clamps to 1 (a distinct key from the default path).
+        engine.evaluate_layer_multi(&l, 0).unwrap();
+        engine.evaluate_layer_multi(&l, 1).unwrap();
+        assert_eq!(engine.cache_stats().misses, 4);
+        assert_eq!(engine.cache_stats().hits, 4);
+    }
+
+    #[test]
+    fn multi_network_and_training_match_model_defaults() {
+        // The model backend has no multi-GPU path, so the multi drivers
+        // reproduce the single-device evaluations row for row.
+        let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        let net = repeated_net();
+        let plain = engine.evaluate_network(&net).unwrap();
+        let multi = engine.evaluate_network_multi(&net, 4).unwrap();
+        assert_eq!(plain.rows, multi.rows);
+        let step = engine.evaluate_training_step(&net).unwrap();
+        let step4 = engine.evaluate_training_step_multi(&net, 4).unwrap();
+        assert_eq!(step.rows, step4.rows);
+    }
+
+    #[test]
+    fn cache_round_trips_through_a_file() {
+        let dir = std::env::temp_dir().join("delta_engine_cache_test");
+        let path = dir.join("cache.json");
+        let net = repeated_net();
+
+        let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        engine.evaluate_network(&net).unwrap();
+        engine.evaluate_layer_multi(&net[0], 2).unwrap();
+        let saved = engine.save_cache(&path).unwrap();
+        assert_eq!(saved, 3, "two unique shapes + one multi entry");
+
+        // A fresh engine answers everything from the loaded file.
+        let fresh = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        assert_eq!(fresh.load_cache(&path).unwrap(), saved);
+        let eval = fresh.evaluate_network(&net).unwrap();
+        assert_eq!(eval.rows, engine.evaluate_network(&net).unwrap().rows);
+        assert_eq!(fresh.cache_stats().misses, 0, "all served from the file");
+        assert_eq!(fresh.cache_stats().hits, net.len() as u64);
+
+        // Deterministic bytes: saving the same cache twice is identical.
+        let first = std::fs::read_to_string(&path).unwrap();
+        engine.save_cache(&path).unwrap();
+        assert_eq!(first, std::fs::read_to_string(&path).unwrap());
+    }
+
+    #[test]
+    fn cache_file_rejects_backend_and_gpu_mismatch() {
+        let dir = std::env::temp_dir().join("delta_engine_cache_mismatch_test");
+        let path = dir.join("cache.json");
+        let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        engine.evaluate_layer(&conv("x", 16, 14, 32)).unwrap();
+        engine.save_cache(&path).unwrap();
+
+        let other = Engine::new(Delta::new(GpuSpec::v100()));
+        let err = other.load_cache(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("TITAN Xp"), "{err}");
+
+        // Malformed JSON is InvalidData too, not a panic.
+        std::fs::write(&path, "{not json").unwrap();
+        let err = engine.load_cache(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // A missing file is a plain filesystem error.
+        assert!(engine.load_cache(&dir.join("absent.json")).is_err());
     }
 
     #[test]

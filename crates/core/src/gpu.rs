@@ -272,6 +272,13 @@ impl GpuSpec {
         clks / (self.core_clock_ghz * 1e9)
     }
 
+    /// Converts seconds into core clocks on this device — the inverse of
+    /// [`GpuSpec::clks_to_seconds`], used to charge off-device time (e.g.
+    /// interconnect transfers) in the cycle domain.
+    pub fn seconds_to_clks(&self, seconds: f64) -> f64 {
+        seconds * self.core_clock_ghz * 1e9
+    }
+
     /// Validates internal consistency; presets always pass.
     ///
     /// # Errors
@@ -496,6 +503,9 @@ mod tests {
         let g = GpuSpec::titan_xp();
         assert!((g.gbps_to_bytes_per_clk(1.58) - 1.0).abs() < 1e-12);
         assert!((g.clks_to_seconds(1.58e9) - 1.0).abs() < 1e-12);
+        // seconds_to_clks is the exact inverse.
+        assert!((g.seconds_to_clks(g.clks_to_seconds(12345.0)) - 12345.0).abs() < 1e-6);
+        assert_eq!(g.seconds_to_clks(0.0), 0.0);
     }
 
     #[test]

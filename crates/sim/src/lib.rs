@@ -29,6 +29,12 @@
 //! workers, each replaying its disjoint column set against a private
 //! hierarchy, and the per-shard counters merge exactly through
 //! [`hierarchy::HierarchyStats`] ([`hierarchy::MergeableHierarchy`]).
+//! The same contract scales past one device: [`multigpu`] partitions
+//! columns (and the minibatch) across per-device GPUs via
+//! [`multigpu::DevicePlan`] and charges cross-device halo and
+//! gradient-all-reduce traffic through an [`interconnect`] model —
+//! under the zero-cost `ideal` preset a G-device run is bitwise
+//! identical to the single-device sharded run.
 //! The simulator also implements `delta_model::Backend`, so the
 //! parallel evaluation engine (`delta_model::engine`) can drive it over
 //! whole networks interchangeably with the analytical model.
@@ -59,6 +65,8 @@ pub mod cache;
 pub mod coalesce;
 pub mod dram;
 pub mod hierarchy;
+pub mod interconnect;
+pub mod multigpu;
 pub mod sched;
 pub mod shard;
 pub mod sim;
@@ -69,5 +77,7 @@ pub mod trace;
 
 pub use dram::DramChannelModel;
 pub use hierarchy::{HierarchyStats, MemoryHierarchy, MergeableHierarchy};
+pub use interconnect::{Interconnect, InterconnectKind};
+pub use multigpu::{DevicePlan, MultiGpuMeasurement};
 pub use shard::ShardPlan;
 pub use sim::{Measurement, SimConfig, Simulator};

@@ -1,0 +1,341 @@
+//! Multi-GPU simulation: device-level partitioning on top of the
+//! mergeable-hierarchy contract.
+//!
+//! PR 2's shard layer established the invariant this module builds on:
+//! every tile column replays from identical cold state no matter who
+//! owns it, and per-owner [`HierarchyStats`](crate::HierarchyStats)
+//! snapshots merge exactly when walked in ascending column order. A
+//! *device* is just a shard with a price tag: [`DevicePlan`] assigns
+//! each GPU a contiguous column range (and, for the data-parallel
+//! training view, a minibatch slice), every device replays its columns
+//! against private hierarchies, and the merged measurement is **bitwise
+//! identical to the single-device sharded run** — by construction, for
+//! every device count.
+//!
+//! What makes G devices different from G worker threads is the
+//! [`Interconnect`]: non-owner
+//! devices refetch the layer's IFmap over links (the halo flow), and a
+//! data-parallel training step all-reduces weight gradients once per
+//! layer. Under the `ideal` preset both flows cost zero bytes and zero
+//! seconds, so the interconnect model is the *only* source of multi-GPU
+//! divergence and can be validated in isolation — the same
+//! testing-by-identity trick the shard layer used.
+
+use crate::interconnect::Interconnect;
+use crate::shard::ShardPlan;
+use crate::sim::{Measurement, Simulator};
+use delta_model::backend::LayerEstimate;
+use delta_model::{ConvLayer, GpuSpec};
+use std::ops::Range;
+
+/// A partition of one layer's work across `G` devices: per-device GPU
+/// specifications, a contiguous tile-column range each device replays
+/// (the model-parallel view the simulator executes), and a minibatch
+/// slice each device owns (the data-parallel view the training step's
+/// all-reduce accounting uses).
+///
+/// Column ranges reuse [`ShardPlan`]'s balanced/disjoint/exhaustive
+/// split, so concatenating the devices' ranges in order re-yields
+/// `0..columns` — the property that makes the merged multi-device
+/// measurement bitwise identical to the single-device sharded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DevicePlan {
+    gpus: Vec<GpuSpec>,
+    columns: ShardPlan,
+    minibatch: Vec<Range<u32>>,
+}
+
+impl DevicePlan {
+    /// Partitions `columns` tile columns and `batch` minibatch samples
+    /// across `devices` copies of `gpu` (`devices = 0` is clamped to 1).
+    pub fn partition(gpu: &GpuSpec, columns: u64, batch: u32, devices: u32) -> DevicePlan {
+        let g = devices.max(1);
+        let b = u64::from(batch);
+        DevicePlan {
+            gpus: (0..g).map(|_| gpu.clone()).collect(),
+            columns: ShardPlan::partition(columns, g),
+            minibatch: (0..u64::from(g))
+                .map(|i| {
+                    let lo = i * b / u64::from(g);
+                    let hi = (i + 1) * b / u64::from(g);
+                    (lo as u32)..(hi as u32)
+                })
+                .collect(),
+        }
+    }
+
+    /// The plan for `layer` as `sim` would tile it.
+    pub fn for_layer(sim: &Simulator, layer: &ConvLayer, devices: u32) -> DevicePlan {
+        DevicePlan::partition(
+            sim.gpu(),
+            sim.tiling(layer).cta_columns(),
+            layer.batch(),
+            devices,
+        )
+    }
+
+    /// Number of devices (including idle ones).
+    pub fn devices(&self) -> u32 {
+        self.gpus.len() as u32
+    }
+
+    /// The per-device GPU specifications (homogeneous today; the plan
+    /// carries one spec per device so heterogeneity stays a local
+    /// change).
+    pub fn gpus(&self) -> &[GpuSpec] {
+        &self.gpus
+    }
+
+    /// Per-device tile-column ranges, in device order.
+    pub fn column_ranges(&self) -> &[Range<u64>] {
+        self.columns.shards()
+    }
+
+    /// Per-device minibatch sample ranges, in device order.
+    pub fn minibatch_ranges(&self) -> &[Range<u32>] {
+        &self.minibatch
+    }
+
+    /// Devices that own at least one tile column; the rest idle (a
+    /// narrow GEMM cannot occupy more devices than it has columns).
+    pub fn active_devices(&self) -> u32 {
+        self.columns
+            .shards()
+            .iter()
+            .filter(|r| !r.is_empty())
+            .count() as u32
+    }
+
+    /// Devices with no columns to replay.
+    pub fn idle_devices(&self) -> u32 {
+        self.devices() - self.active_devices()
+    }
+}
+
+/// One layer's multi-GPU simulation outcome: the merged measurement
+/// (identical to the single-device sharded run), the per-device critical
+/// paths, and the interconnect charges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiGpuMeasurement {
+    /// The merged per-device measurements — bitwise identical to
+    /// [`Simulator::run_sharded`]`(layer, 1)` for every device count and
+    /// interconnect.
+    pub merged: Measurement,
+    /// Cycles each device spends on its own columns (prologue included;
+    /// 0 for idle devices), in device order.
+    pub per_device_cycles: Vec<f64>,
+    /// Bytes crossing the interconnect (halo IFmap refetches; topology
+    /// factor applied). 0 under the `ideal` preset and for single-device
+    /// runs.
+    pub link_bytes: f64,
+    /// Seconds spent in interconnect transfers.
+    pub link_seconds: f64,
+    /// Devices the plan spanned.
+    pub devices: u32,
+    /// Devices that owned at least one tile column.
+    pub active_devices: u32,
+}
+
+impl MultiGpuMeasurement {
+    /// The busiest device's cycles — the on-device critical path of the
+    /// multi-GPU execution.
+    pub fn max_device_cycles(&self) -> f64 {
+        self.per_device_cycles.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Wall-clock seconds of the multi-GPU step: the busiest device plus
+    /// the interconnect transfers (devices compute concurrently; link
+    /// traffic serializes behind the slowest one).
+    pub fn step_seconds(&self, gpu: &GpuSpec) -> f64 {
+        gpu.clks_to_seconds(self.max_device_cycles()) + self.link_seconds
+    }
+
+    /// Converts to the backend-neutral estimate.
+    ///
+    /// Traffic and time are the merged single-device-equivalent totals
+    /// (so the `ideal` interconnect yields a byte-identical estimate for
+    /// every device count) with the interconnect charges added on top:
+    /// `link_bytes` carries the cross-device traffic and `seconds` /
+    /// `cycles` grow by the transfer time. Per-device speedup questions
+    /// go through [`MultiGpuMeasurement::step_seconds`] instead.
+    pub fn to_estimate(&self, gpu: &GpuSpec) -> LayerEstimate {
+        let mut est = self.merged.to_estimate(gpu);
+        est.link_bytes = self.link_bytes;
+        est.seconds += self.link_seconds;
+        est.cycles += gpu.seconds_to_clks(self.link_seconds);
+        est
+    }
+}
+
+impl Simulator {
+    /// Runs `layer` partitioned across `devices` GPUs ([`DevicePlan`]),
+    /// each replaying its tile-column range against private hierarchies,
+    /// and charges cross-device halo traffic through the configured
+    /// interconnect ([`crate::SimConfig::interconnect`]).
+    ///
+    /// The merged measurement inherits the shard layer's contract: it is
+    /// **bitwise identical for every device count** (and equal to
+    /// [`Simulator::run_sharded`] at any worker count). Only
+    /// `link_bytes`/`link_seconds` and the per-device critical paths
+    /// vary with `devices` — and under the `ideal` interconnect the link
+    /// charges are exactly zero.
+    pub fn run_multi(&self, layer: &ConvLayer, devices: u32) -> MultiGpuMeasurement {
+        let plan = DevicePlan::for_layer(self, layer, devices);
+        let run = self.run_sharded_detail(layer, plan.devices());
+        let ic: Interconnect = self.config().interconnect.params();
+        let active = plan.active_devices();
+        let ifmap = layer.ifmap_bytes() as f64;
+        MultiGpuMeasurement {
+            merged: run.measurement,
+            per_device_cycles: run.per_shard_cycles,
+            link_bytes: ic.halo_bytes(ifmap, active),
+            link_seconds: ic.halo_seconds(ifmap, active),
+            devices: plan.devices(),
+            active_devices: active,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interconnect::InterconnectKind;
+    use crate::SimConfig;
+
+    fn wide_layer() -> ConvLayer {
+        // Co = 512 -> LARGE tile -> 4 tile columns.
+        ConvLayer::builder("wide")
+            .batch(2)
+            .input(16, 14, 14)
+            .output_channels(512)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap()
+    }
+
+    fn sim(kind: InterconnectKind) -> Simulator {
+        Simulator::new(
+            GpuSpec::titan_xp(),
+            SimConfig {
+                interconnect: kind,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn plan_partitions_columns_and_minibatch() {
+        let plan = DevicePlan::partition(&GpuSpec::titan_xp(), 16, 64, 4);
+        assert_eq!(plan.devices(), 4);
+        assert_eq!(plan.active_devices(), 4);
+        assert_eq!(plan.idle_devices(), 0);
+        assert_eq!(plan.gpus().len(), 4);
+        // Columns: contiguous, exhaustive, in order.
+        let cols: Vec<u64> = plan
+            .column_ranges()
+            .iter()
+            .flat_map(|r| r.clone())
+            .collect();
+        assert_eq!(cols, (0..16).collect::<Vec<_>>());
+        // Minibatch: 64 samples, 16 each.
+        let samples: Vec<u32> = plan
+            .minibatch_ranges()
+            .iter()
+            .flat_map(|r| r.clone())
+            .collect();
+        assert_eq!(samples, (0..64).collect::<Vec<_>>());
+        assert!(plan
+            .minibatch_ranges()
+            .iter()
+            .all(|r| r.end - r.start == 16));
+    }
+
+    #[test]
+    fn surplus_devices_idle() {
+        let plan = DevicePlan::partition(&GpuSpec::titan_xp(), 2, 8, 6);
+        assert_eq!(plan.devices(), 6);
+        assert_eq!(plan.active_devices(), 2);
+        assert_eq!(plan.idle_devices(), 4);
+        // Zero devices clamps to one.
+        let one = DevicePlan::partition(&GpuSpec::titan_xp(), 4, 8, 0);
+        assert_eq!(one.devices(), 1);
+        assert_eq!(one.active_devices(), 1);
+    }
+
+    #[test]
+    fn ideal_multi_gpu_is_bitwise_identical_to_sharded() {
+        let l = wide_layer();
+        let s = sim(InterconnectKind::Ideal);
+        let reference = s.run_sharded(&l, 1);
+        for g in [1, 2, 4, 8] {
+            let m = s.run_multi(&l, g);
+            assert_eq!(m.merged, reference, "devices={g}");
+            assert_eq!(m.link_bytes, 0.0, "devices={g}");
+            assert_eq!(m.link_seconds, 0.0, "devices={g}");
+            assert_eq!(m.per_device_cycles.len(), g.max(1) as usize);
+        }
+    }
+
+    #[test]
+    fn per_device_cycles_shrink_with_more_devices() {
+        let l = wide_layer();
+        let s = sim(InterconnectKind::Ideal);
+        let one = s.run_multi(&l, 1);
+        let four = s.run_multi(&l, 4);
+        assert!(four.max_device_cycles() < one.max_device_cycles());
+        // Total column work is conserved (each device re-charges only
+        // the prologue).
+        assert!(four.step_seconds(s.gpu()) < one.step_seconds(s.gpu()));
+        // Idle devices report zero cycles.
+        let eight = s.run_multi(&l, 8);
+        assert_eq!(eight.active_devices, 4);
+        assert_eq!(
+            eight
+                .per_device_cycles
+                .iter()
+                .filter(|c| **c == 0.0)
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn nonideal_interconnect_charges_halo_traffic() {
+        let l = wide_layer();
+        let ideal = sim(InterconnectKind::Ideal).run_multi(&l, 4);
+        for kind in [InterconnectKind::NvLink, InterconnectKind::Pcie] {
+            let m = sim(kind).run_multi(&l, 4);
+            assert_eq!(m.merged, ideal.merged, "{kind}: merge must not change");
+            assert!(m.link_bytes > 0.0, "{kind}");
+            assert!(m.link_seconds > 0.0, "{kind}");
+            // Expected volume: (active-1) x IFmap x topology factor.
+            let expected = kind.params().effective_bytes(3.0 * l.ifmap_bytes() as f64);
+            assert!((m.link_bytes - expected).abs() < 1e-9, "{kind}");
+            // Single device: nothing crosses links even on slow fabrics.
+            let single = sim(kind).run_multi(&l, 1);
+            assert_eq!(single.link_bytes, 0.0, "{kind}");
+            assert_eq!(single.link_seconds, 0.0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn estimate_folds_link_charges_on_top_of_merged() {
+        let l = wide_layer();
+        let gpu = GpuSpec::titan_xp();
+        let ideal = sim(InterconnectKind::Ideal).run_multi(&l, 4);
+        let ideal_est = ideal.to_estimate(&gpu);
+        assert_eq!(ideal_est.link_bytes, 0.0);
+        assert_eq!(ideal_est, ideal.merged.to_estimate(&gpu), "zero-cost");
+
+        let nv = sim(InterconnectKind::NvLink).run_multi(&l, 4);
+        let nv_est = nv.to_estimate(&gpu);
+        assert_eq!(nv_est.link_bytes, nv.link_bytes);
+        assert!(nv_est.seconds > ideal_est.seconds);
+        assert!(nv_est.cycles > ideal_est.cycles);
+        assert!(nv_est.dram_and_link_bytes() > ideal_est.dram_and_link_bytes());
+        // On-chip and DRAM traffic are untouched by the interconnect.
+        assert_eq!(nv_est.l1_bytes, ideal_est.l1_bytes);
+        assert_eq!(nv_est.dram_read_bytes, ideal_est.dram_read_bytes);
+    }
+}

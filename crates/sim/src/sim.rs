@@ -15,6 +15,7 @@
 
 use crate::coalesce::Transaction;
 use crate::hierarchy::{HierarchyStats, MemoryHierarchy, MergeableHierarchy};
+use crate::interconnect::InterconnectKind;
 use crate::sched::ColumnScheduler;
 use crate::shard::ShardPlan;
 use crate::stages::{BatchLimits, BatchStats, CtaBatch, SteadyState};
@@ -56,6 +57,14 @@ pub struct SimConfig {
     /// tile columns.
     #[serde(default = "default_shards")]
     pub shards: Option<u32>,
+    /// Which interconnect multi-GPU estimates
+    /// ([`Simulator::run_multi`], `Backend::estimate_layer_multi`) charge
+    /// cross-device traffic through. [`InterconnectKind::Ideal`] (the
+    /// default) charges nothing, making a G-device run bitwise identical
+    /// to the single-device sharded run; single-device simulation ignores
+    /// the field entirely.
+    #[serde(default = "default_interconnect")]
+    pub interconnect: InterconnectKind,
 }
 
 fn default_tile_scale() -> Option<u32> {
@@ -64,6 +73,10 @@ fn default_tile_scale() -> Option<u32> {
 
 fn default_shards() -> Option<u32> {
     None
+}
+
+fn default_interconnect() -> InterconnectKind {
+    InterconnectKind::Ideal
 }
 
 impl Default for SimConfig {
@@ -75,6 +88,7 @@ impl Default for SimConfig {
             max_loops_per_batch: Some(32),
             tile_scale: None,
             shards: None,
+            interconnect: InterconnectKind::Ideal,
         }
     }
 }
@@ -135,6 +149,7 @@ impl Measurement {
             l2_miss_rate: self.l2_miss_rate,
             cycles: self.cycles,
             seconds: self.seconds(gpu),
+            link_bytes: 0.0,
             bottleneck: None,
             source: EstimateSource::Simulation,
         }
@@ -284,6 +299,13 @@ impl Simulator {
     /// (paper Eq. 10) and typically moves measurements by a few percent
     /// on multi-column layers; single-column layers are unaffected.
     pub fn run_sharded(&self, layer: &ConvLayer, n_workers: u32) -> Measurement {
+        self.run_sharded_detail(layer, n_workers).measurement
+    }
+
+    /// [`Simulator::run_sharded`] plus per-shard cycle accounting — the
+    /// primitive the multi-GPU layer (`run_multi`) builds on, where each
+    /// shard is one device and the per-device critical path matters.
+    pub(crate) fn run_sharded_detail(&self, layer: &ConvLayer, n_workers: u32) -> ShardedRun {
         let tiling = self.tiling(layer);
         let tile = tiling.tile();
         let active = self.active_ctas(tile);
@@ -330,6 +352,19 @@ impl Simulator {
                 plan.shards().par_iter().map(simulate_shard).collect()
             };
 
+        // Per-shard critical paths: an active shard charges its own
+        // layer prologue plus its columns; an empty shard is idle.
+        let per_shard_cycles: Vec<f64> = shard_outcomes
+            .iter()
+            .map(|cols| {
+                if cols.is_empty() {
+                    0.0
+                } else {
+                    prologue.cycles() + cols.iter().map(|(_, _, c)| c).sum::<f64>()
+                }
+            })
+            .collect();
+
         // Merge in ascending column order: the u64 counters are
         // associative, and pinning the f64 accumulation order to the
         // column index makes the totals bitwise identical for every
@@ -353,18 +388,21 @@ impl Simulator {
             sampled |= sim.sampled;
         }
 
-        Measurement {
-            l1_bytes: measured.l1_bytes + extrapolated.l1_bytes,
-            l2_bytes: measured.l2_bytes + extrapolated.l2_bytes,
-            dram_read_bytes: measured.dram_bytes + extrapolated.dram_bytes,
-            dram_write_bytes: hstats.dram_write_bytes as f64 + extrapolated.store_bytes,
-            l1_miss_rate: hstats.l1.miss_rate(),
-            l2_miss_rate: hstats.l2.miss_rate(),
-            cycles,
-            sampled,
-            simulated_ctas,
-            total_ctas: tiling.num_ctas(),
-            active_ctas: active,
+        ShardedRun {
+            measurement: Measurement {
+                l1_bytes: measured.l1_bytes + extrapolated.l1_bytes,
+                l2_bytes: measured.l2_bytes + extrapolated.l2_bytes,
+                dram_read_bytes: measured.dram_bytes + extrapolated.dram_bytes,
+                dram_write_bytes: hstats.dram_write_bytes as f64 + extrapolated.store_bytes,
+                l1_miss_rate: hstats.l1.miss_rate(),
+                l2_miss_rate: hstats.l2.miss_rate(),
+                cycles,
+                sampled,
+                simulated_ctas,
+                total_ctas: tiling.num_ctas(),
+                active_ctas: active,
+            },
+            per_shard_cycles,
         }
     }
 
@@ -443,6 +481,17 @@ impl Simulator {
     }
 }
 
+/// A sharded run's merged measurement plus the per-shard critical paths
+/// (cycles each shard's owner spent, prologue included; 0 for idle
+/// shards). Consumed by the multi-GPU layer, where shards are devices.
+#[derive(Debug)]
+pub(crate) struct ShardedRun {
+    /// The merged measurement — bitwise identical for every shard count.
+    pub(crate) measurement: Measurement,
+    /// Per-shard cycles in shard order.
+    pub(crate) per_shard_cycles: Vec<f64>,
+}
+
 /// One tile column's simulation outcome — the merge unit of the sharded
 /// path and the accumulation unit of the sequential path.
 #[derive(Debug)]
@@ -470,6 +519,13 @@ impl Backend for Simulator {
         &self.gpu
     }
 
+    fn config_fingerprint(&self) -> String {
+        // Every SimConfig field changes measurements (sampling limits,
+        // tile scale, shard semantics) or estimates (interconnect), so
+        // the whole config is the fingerprint.
+        serde_json::to_string(&self.config).unwrap_or_default()
+    }
+
     fn estimate_layer(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
         self.gpu.validate()?;
         Ok(self.run(layer).to_estimate(&self.gpu))
@@ -482,6 +538,36 @@ impl Backend for Simulator {
     ) -> Result<LayerEstimate, Error> {
         self.gpu.validate()?;
         Ok(self.run_sharded(layer, n_workers).to_estimate(&self.gpu))
+    }
+
+    fn estimate_layer_multi(
+        &self,
+        layer: &ConvLayer,
+        devices: u32,
+    ) -> Result<LayerEstimate, Error> {
+        self.gpu.validate()?;
+        Ok(self.run_multi(layer, devices).to_estimate(&self.gpu))
+    }
+
+    fn estimate_wgrad_multi(
+        &self,
+        layer: &ConvLayer,
+        devices: u32,
+    ) -> Result<LayerEstimate, Error> {
+        self.gpu.validate()?;
+        // The wgrad GEMM replays like any layer; on top of it, a
+        // data-parallel step all-reduces this layer's weight gradients
+        // (|∇W| = the filter footprint) once across the devices.
+        let wgrad = delta_model::training::wgrad_layer(layer)?;
+        let mut est = self.run_multi(&wgrad, devices).to_estimate(&self.gpu);
+        let ic = self.config.interconnect.params();
+        let payload = layer.filter_bytes() as f64;
+        let g = devices.max(1);
+        est.link_bytes += ic.all_reduce_bytes(payload, g);
+        let seconds = ic.all_reduce_seconds(payload, g);
+        est.seconds += seconds;
+        est.cycles += self.gpu.seconds_to_clks(seconds);
+        Ok(est)
     }
 }
 
@@ -726,6 +812,7 @@ mod tests {
         let cfg: SimConfig = serde_json::from_str(json).unwrap();
         assert_eq!(cfg.tile_scale, None);
         assert_eq!(cfg.shards, None);
+        assert_eq!(cfg.interconnect, InterconnectKind::Ideal);
         assert_eq!(cfg.max_batches_per_column, Some(4));
     }
 

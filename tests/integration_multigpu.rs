@@ -1,0 +1,206 @@
+//! Cross-crate integration of the multi-GPU subsystem: the
+//! `--gpus G --interconnect I` path from `SimConfig` through `Backend`
+//! and `Engine`.
+//!
+//! Two acceptance contracts are pinned here (mirroring the CI perf
+//! gate):
+//!
+//! 1. under the zero-cost `ideal` interconnect, a G-device evaluation is
+//!    **byte-identical** (down to the serialized JSON) for every G — the
+//!    device partition inherits the shard layer's merge identity, so the
+//!    interconnect model is the only permitted source of divergence;
+//! 2. a non-ideal interconnect **strictly increases** the reported
+//!    DRAM+link traffic and time for G > 1, and never perturbs the
+//!    on-device measurements.
+
+use delta_model::engine::Engine;
+use delta_model::{Backend, ConvLayer, GpuSpec};
+use delta_sim::{InterconnectKind, SimConfig, Simulator};
+
+fn config(kind: InterconnectKind) -> SimConfig {
+    SimConfig {
+        interconnect: kind,
+        ..SimConfig::default()
+    }
+}
+
+fn sim(kind: InterconnectKind) -> Simulator {
+    Simulator::new(GpuSpec::titan_xp(), config(kind))
+}
+
+/// A 16-column conv layer so 4 devices all own real work.
+fn wide_layer() -> ConvLayer {
+    ConvLayer::builder("conv5_1x1")
+        .batch(4)
+        .input(512, 7, 7)
+        .output_channels(2048)
+        .filter(1, 1)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn ideal_network_json_is_byte_identical_for_1_2_4_devices() {
+    // The acceptance criterion behind `delta network --backend sim
+    // --gpus G --interconnect ideal --json`: the engine-level evaluation
+    // serializes to exactly the same bytes for G in {1, 2, 4}.
+    let net = delta_networks::alexnet(2).expect("builtin network");
+    let reference = Engine::new(sim(InterconnectKind::Ideal))
+        .evaluate_network_multi(net.layers(), 1)
+        .expect("simulable network");
+    let reference_json = serde_json::to_string_pretty(&reference).unwrap();
+    for g in [2, 4] {
+        let eval = Engine::new(sim(InterconnectKind::Ideal))
+            .evaluate_network_multi(net.layers(), g)
+            .expect("simulable network");
+        assert_eq!(
+            serde_json::to_string_pretty(&eval).unwrap(),
+            reference_json,
+            "devices={g}"
+        );
+    }
+}
+
+#[test]
+fn ideal_multi_estimate_equals_single_device_sharded_estimate() {
+    // The layer-level identity: G devices under ideal == the
+    // single-device sharded run, bitwise, through the Backend trait.
+    let l = wide_layer();
+    let s = sim(InterconnectKind::Ideal);
+    let sharded = Backend::estimate_layer_sharded(&s, &l, 1).unwrap();
+    for g in [1, 2, 4] {
+        let multi = Backend::estimate_layer_multi(&s, &l, g).unwrap();
+        assert_eq!(multi, sharded, "devices={g}");
+        assert_eq!(multi.link_bytes, 0.0, "devices={g}");
+    }
+}
+
+#[test]
+fn nonideal_interconnect_strictly_increases_offchip_traffic_and_time() {
+    let l = wide_layer();
+    let ideal = Backend::estimate_layer_multi(&sim(InterconnectKind::Ideal), &l, 4).unwrap();
+    for kind in [InterconnectKind::NvLink, InterconnectKind::Pcie] {
+        for g in [2u32, 4] {
+            let est = Backend::estimate_layer_multi(&sim(kind), &l, g).unwrap();
+            assert!(est.link_bytes > 0.0, "{kind} devices={g}");
+            assert!(
+                est.dram_and_link_bytes() > ideal.dram_and_link_bytes(),
+                "{kind} devices={g}: {} <= {}",
+                est.dram_and_link_bytes(),
+                ideal.dram_and_link_bytes()
+            );
+            assert!(est.seconds > ideal.seconds, "{kind} devices={g}");
+            assert!(est.cycles > ideal.cycles, "{kind} devices={g}");
+            // On-device measurements are untouched: the interconnect is
+            // the only source of divergence.
+            assert_eq!(est.l1_bytes, ideal.l1_bytes, "{kind} devices={g}");
+            assert_eq!(est.l2_bytes, ideal.l2_bytes, "{kind} devices={g}");
+            assert_eq!(est.dram_read_bytes, ideal.dram_read_bytes);
+            assert_eq!(est.dram_write_bytes, ideal.dram_write_bytes);
+        }
+        // One device never crosses a link, whatever the fabric.
+        let single = Backend::estimate_layer_multi(&sim(kind), &l, 1).unwrap();
+        assert_eq!(single.link_bytes, 0.0, "{kind}");
+        assert_eq!(single.seconds, ideal.seconds, "{kind}");
+    }
+}
+
+#[test]
+fn training_step_all_reduces_gradients_per_layer() {
+    // The data-parallel view: wgrad passes gain ring-all-reduce link
+    // traffic on a non-ideal interconnect; forward/dgrad only the halo.
+    let net = delta_networks::alexnet(2).expect("builtin network");
+    let ideal = Engine::new(sim(InterconnectKind::Ideal))
+        .evaluate_training_step_multi(net.layers(), 4)
+        .unwrap();
+    let nvlink = Engine::new(sim(InterconnectKind::NvLink))
+        .evaluate_training_step_multi(net.layers(), 4)
+        .unwrap();
+    for (i, (r0, r1)) in ideal.rows.iter().zip(&nvlink.rows).enumerate() {
+        assert_eq!(
+            r0.wgrad.link_bytes, 0.0,
+            "row {i}: ideal all-reduce is free"
+        );
+        // 2 (G-1) x |gradient| on a ring of 4, topology factor 1.
+        let expected = 2.0 * 3.0 * net.layers()[i].filter_bytes() as f64;
+        assert!(
+            r1.wgrad.link_bytes >= expected,
+            "row {i}: {} < {expected}",
+            r1.wgrad.link_bytes
+        );
+        assert!(r1.wgrad.seconds > r0.wgrad.seconds, "row {i}");
+    }
+    let total_link: f64 = nvlink
+        .rows
+        .iter()
+        .map(|r| {
+            r.forward.link_bytes
+                + r.dgrad.as_ref().map_or(0.0, |d| d.link_bytes)
+                + r.wgrad.link_bytes
+        })
+        .sum();
+    assert!(total_link > 0.0);
+}
+
+#[test]
+fn engine_caches_each_device_count_separately() {
+    let l = wide_layer();
+    let engine = Engine::new(sim(InterconnectKind::NvLink));
+    let two = engine.evaluate_layer_multi(&l, 2).unwrap();
+    let four = engine.evaluate_layer_multi(&l, 4).unwrap();
+    assert_eq!(
+        engine.cache_stats().misses,
+        2,
+        "distinct (shape, devices) keys"
+    );
+    // More active devices refetch more halo: the cached entries really
+    // are different quantities.
+    assert!(four.link_bytes > two.link_bytes);
+    // Repeats are hits, bitwise equal.
+    assert_eq!(engine.evaluate_layer_multi(&l, 2).unwrap(), two);
+    assert_eq!(engine.evaluate_layer_multi(&l, 4).unwrap(), four);
+    assert_eq!(engine.cache_stats().misses, 2);
+    assert_eq!(engine.cache_stats().hits, 2);
+    // The single-device default path is yet another key.
+    engine.evaluate_layer(&l).unwrap();
+    assert_eq!(engine.cache_stats().misses, 3);
+}
+
+#[test]
+fn multi_gpu_estimates_survive_the_persistent_cache() {
+    // --cache-file end to end: multi-device entries round-trip with
+    // their device key intact.
+    let dir = std::env::temp_dir().join("delta_multigpu_cache_test");
+    let path = dir.join("cache.json");
+    let l = wide_layer();
+
+    let engine = Engine::new(sim(InterconnectKind::Pcie));
+    let four = engine.evaluate_layer_multi(&l, 4).unwrap();
+    let plain = engine.evaluate_layer(&l).unwrap();
+    assert_eq!(engine.save_cache(&path).unwrap(), 2);
+
+    let fresh = Engine::new(sim(InterconnectKind::Pcie));
+    fresh.load_cache(&path).unwrap();
+    assert_eq!(fresh.evaluate_layer_multi(&l, 4).unwrap(), four);
+    assert_eq!(fresh.evaluate_layer(&l).unwrap(), plain);
+    assert_eq!(fresh.cache_stats().misses, 0, "both served from the file");
+    // An unseen device count still reaches the backend.
+    fresh.evaluate_layer_multi(&l, 2).unwrap();
+    assert_eq!(fresh.cache_stats().misses, 1);
+
+    // A different simulator configuration (another interconnect, or
+    // different sampling limits) refuses the file instead of silently
+    // replaying estimates computed under the old pricing.
+    let other = Engine::new(sim(InterconnectKind::NvLink));
+    let err = other.load_cache(&path).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("configuration"), "{err}");
+    let exhaustive = Engine::new(Simulator::new(
+        GpuSpec::titan_xp(),
+        SimConfig {
+            interconnect: InterconnectKind::Pcie,
+            ..SimConfig::exhaustive()
+        },
+    ));
+    assert!(exhaustive.load_cache(&path).is_err());
+}

@@ -75,6 +75,44 @@ fn engine_sharded_entry_point_matches_backend() {
 }
 
 #[test]
+fn sharded_evaluation_bypasses_and_never_pollutes_the_cache() {
+    // The simulator's sharded replay isolates tile columns, so it is a
+    // *different quantity* from the sequential replay of the same shape.
+    // `Engine::evaluate_layer_sharded` must therefore (a) bypass the
+    // shape cache and (b) leave it untouched, so a later cached
+    // `evaluate_layer` still answers the sequential measurement.
+    let l = wide_layer();
+    let engine = Engine::new(Simulator::new(GpuSpec::titan_xp(), SimConfig::default()));
+
+    let sequential = engine.evaluate_layer(&l).unwrap();
+    assert_eq!(engine.cache_stats().misses, 1);
+
+    let sharded = engine.evaluate_layer_sharded(&l, 4).unwrap();
+    // Distinct quantities on this multi-column layer (the sharded replay
+    // refetches the IFmap per column).
+    assert!(
+        sharded.dram_read_bytes > sequential.dram_read_bytes,
+        "sharded {} vs sequential {}",
+        sharded.dram_read_bytes,
+        sequential.dram_read_bytes
+    );
+    // The sharded call ran the backend (a miss), not the cache.
+    assert_eq!(engine.cache_stats().misses, 2);
+    assert_eq!(engine.cache_stats().hits, 0);
+
+    // And it did not overwrite the cached sequential entry: the next
+    // evaluate_layer is a hit that still returns the sequential numbers.
+    let again = engine.evaluate_layer(&l).unwrap();
+    assert_eq!(again, sequential, "cache polluted by the sharded result");
+    assert_eq!(engine.cache_stats().misses, 2);
+    assert_eq!(engine.cache_stats().hits, 1);
+
+    // Symmetrically, a repeated sharded call re-runs the backend.
+    engine.evaluate_layer_sharded(&l, 4).unwrap();
+    assert_eq!(engine.cache_stats().misses, 3);
+}
+
+#[test]
 fn sharded_estimates_stay_in_band_of_sequential_sim() {
     // Sharding isolates tile columns (no cross-column L2 residency), a
     // deliberate semantic difference from the sequential replay that
