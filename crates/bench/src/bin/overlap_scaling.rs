@@ -1,0 +1,10 @@
+//! Measures compute/communication overlap of the collective scheduler
+//! (exposed-comm fraction and speedup over the serial schedule vs.
+//! device count, topology, and gradient bucket size). Flags: --full,
+//! --smoke, --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary(
+        "overlap_scaling",
+        delta_bench::experiments::overlap_scaling::run,
+    );
+}

@@ -17,10 +17,13 @@
 //! `baseline × (1 − tolerance)` or the process exits non-zero. The
 //! shard-speedup check is skipped (with a notice) on hosts with fewer
 //! than 4 cores, where the 4-worker floor is physically unattainable
-//! (speedup ≤ min(workers, columns, cores)); the bitwise identity checks
-//! — shard (4 workers vs. 1) and multi-GPU (4 devices under the `ideal`
-//! interconnect vs. the single-device sharded run) — run everywhere and
-//! are never skipped.
+//! (speedup ≤ min(workers, columns, cores)); the correctness checks —
+//! shard bitwise identity (4 workers vs. 1), multi-GPU identity (4
+//! devices under the `ideal` interconnect vs. the single-device sharded
+//! run), and the collective scheduler's bounds
+//! (`max(compute, comm) ≤ step ≤ serial`, overlap-off `step == serial`,
+//! across every topology preset) — run everywhere and are never
+//! skipped.
 
 use delta_bench::experiments::shard_scaling;
 use delta_model::engine::Engine;
@@ -49,6 +52,11 @@ struct GateReport {
     /// zero link traffic (must always be true — the interconnect model
     /// is the only permitted source of multi-GPU divergence).
     multigpu_ideal_identical: bool,
+    /// Whether the collective scheduler's timelines satisfied
+    /// `max(compute, comm) <= step <= serial` with overlap on, and
+    /// `step == serial` bitwise with overlap off, across every topology
+    /// preset (must always be true).
+    overlap_bounds_ok: bool,
 }
 
 /// The checked-in expectations (`BENCH_BASELINE.json`).
@@ -127,12 +135,49 @@ fn measure(reps: u32) -> GateReport {
         && multi.link_bytes == 0.0
         && multi.link_seconds == 0.0;
 
+    // Path 4 (correctness only): the collective scheduler's bounds —
+    // with overlap on, every emitted step time must sit between
+    // max(compute, comm) and the serial schedule; with overlap off it
+    // must *be* the serial schedule, bitwise. Checked on a small AlexNet
+    // step across every topology preset so the invariant is enforced on
+    // the whole pricing matrix, not one lucky cell.
+    let net_small = delta_networks::alexnet(2).expect("builtin network");
+    let mut overlap_bounds_ok = true;
+    for kind in delta_sim::TopologyKind::ALL {
+        let sched_config = SimConfig {
+            interconnect: delta_sim::InterconnectKind::NvLink,
+            topology: Some(kind),
+            bucket_mb: 4,
+            overlap: true,
+            ..SimConfig::default()
+        };
+        let sim = Simulator::new(GpuSpec::titan_xp(), sched_config);
+        let overlapped = sim
+            .schedule_training_step(net_small.layers(), 4)
+            .expect("schedulable network");
+        let serial_sim = Simulator::new(
+            GpuSpec::titan_xp(),
+            SimConfig {
+                overlap: false,
+                ..sched_config
+            },
+        );
+        let serial = serial_sim
+            .schedule_training_step(net_small.layers(), 4)
+            .expect("schedulable network");
+        overlap_bounds_ok &= overlapped.bounds_hold()
+            && serial.bounds_hold()
+            && serial.step_seconds == serial.serial_seconds
+            && overlapped.step_seconds <= serial.step_seconds;
+    }
+
     GateReport {
         cores: rayon::current_num_threads(),
         engine_cached_speedup: t_loop / t_engine,
         shard_speedup_4w: t1 / t4,
         shard_identical: e1 == e4,
         multigpu_ideal_identical,
+        overlap_bounds_ok,
     }
 }
 
@@ -191,12 +236,13 @@ fn main() {
     println!(
         "perf_gate ({} cores, best of {reps}):\n  engine_cached_speedup    = {:.2}x\n  \
          shard_speedup_4w         = {:.2}x\n  shard_identical          = {}\n  \
-         multigpu_ideal_identical = {}",
+         multigpu_ideal_identical = {}\n  overlap_bounds_ok        = {}",
         report.cores,
         report.engine_cached_speedup,
         report.shard_speedup_4w,
         report.shard_identical,
-        report.multigpu_ideal_identical
+        report.multigpu_ideal_identical,
+        report.overlap_bounds_ok
     );
 
     if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
@@ -221,6 +267,13 @@ fn main() {
         failures.push(
             "ideal-interconnect multi-GPU run is not bitwise identical to the \
              single-device sharded run (or moved link bytes)"
+                .to_string(),
+        );
+    }
+    if !report.overlap_bounds_ok {
+        failures.push(
+            "collective scheduler violated max(compute, comm) <= step <= serial \
+             (or overlap-off step != serial) on some topology"
                 .to_string(),
         );
     }

@@ -6,6 +6,7 @@
 //! delta network <alexnet|vgg16|googlenet|resnet152> [--backend model|sim] [--batch N --gpu G --json]
 //! delta sim     --ci 64 --hw 14 --co 64 [--filter 3 ... --exhaustive]     single-layer model-vs-measured
 //! delta train   <alexnet|vgg16|googlenet|resnet152> [--backend model|sim] [--batch N --gpu G]
+//! delta timeline <alexnet|...> --backend sim --gpus G [--topology T --bucket-mb M --overlap on]
 //! delta scaling [--backend model|sim] [--batch N --gpu G]                 the 9 design options on ResNet152
 //! delta gpus                                                              list device presets
 //! delta help
@@ -18,9 +19,14 @@
 //! ideal|nvlink|pcie` (sim only) to simulate each layer partitioned
 //! across G devices with cross-device traffic priced by the interconnect
 //! model, and `--cache-file F` to persist the engine's result cache
-//! across processes.
+//! across processes. `--topology ring|switch|mesh|hierarchical` swaps
+//! the scalar fabric pricing for an explicit device graph, and `train
+//! --overlap on` / `timeline` run the collective scheduler: weight
+//! gradients bucket up (`--bucket-mb`) and each bucket's all-reduce
+//! overlaps the remaining backward compute.
 
 use delta_model::engine::{self, Engine, NetworkEvaluation};
+use delta_model::schedule::StepTimeline;
 use delta_model::{Backend, ConvLayer, Delta, DesignOption, GpuSpec};
 use delta_sim::{InterconnectKind, SimConfig, Simulator};
 use std::collections::HashMap;
@@ -98,8 +104,30 @@ fn sim_config_from(flags: &HashMap<String, String>) -> Result<SimConfig, String>
         None if flags.contains_key("gpus") => config.interconnect = InterconnectKind::NvLink,
         None => {}
     }
+    if let Some(v) = flags.get("topology") {
+        config.topology = Some(v.parse().map_err(|e| format!("--topology: {e}"))?);
+    }
+    if let Some(v) = flags.get("bucket-mb") {
+        let n: u32 = v
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or(format!("--bucket-mb expects a size in MiB >= 1, got `{v}`"))?;
+        config.bucket_mb = n;
+    }
+    match flags.get("overlap").map(String::as_str) {
+        None => {}
+        Some("on" | "true") => config.overlap = true,
+        Some("off" | "false") => config.overlap = false,
+        Some(other) => return Err(format!("--overlap expects on or off, got `{other}`")),
+    }
     Ok(config)
 }
+
+/// The collective-scheduler flags, honored by `train` and `timeline`
+/// only (`--topology` instead rides with `--gpus` and is validated by
+/// [`multi_gpu_from`] / [`reject_multi_gpu`]).
+const SCHED_FLAGS: [&str; 2] = ["bucket-mb", "overlap"];
 
 /// Parses `--gpus G` and validates the multi-GPU flag pairing: both
 /// `--gpus` and `--interconnect` need the trace-driven backend, and
@@ -117,37 +145,71 @@ fn multi_gpu_from(
                 .ok_or(format!("--gpus expects a device count >= 1, got `{v}`"))?,
         ),
     };
-    if backend == BackendChoice::Model && (gpus.is_some() || flags.contains_key("interconnect")) {
-        return Err(
-            "--gpus/--interconnect require --backend sim (the model has no multi-device partition)"
-                .into(),
-        );
+    let fabric_flag = flags.contains_key("interconnect") || flags.contains_key("topology");
+    if backend == BackendChoice::Model && (gpus.is_some() || fabric_flag) {
+        return Err("--gpus/--interconnect/--topology require --backend sim \
+             (the model has no multi-device partition)"
+            .into());
     }
     if flags.contains_key("interconnect") && gpus.is_none() {
         return Err("--interconnect requires --gpus G".into());
+    }
+    if flags.contains_key("topology") && gpus.is_none() {
+        return Err("--topology requires --gpus G".into());
+    }
+    // Overlap with a single device is meaningless (nothing to exchange)
+    // and would print a zero-comm schedule that contradicts the
+    // sequential table; require an explicit device count.
+    if matches!(
+        flags.get("overlap").map(String::as_str),
+        Some("on" | "true")
+    ) && gpus.is_none()
+    {
+        return Err("--overlap on requires --gpus G (a single device exchanges nothing)".into());
     }
     Ok(gpus)
 }
 
 /// Rejects the multi-GPU flags on commands that do not support them.
 fn reject_multi_gpu(flags: &HashMap<String, String>, command: &str) -> Result<(), String> {
-    if flags.contains_key("gpus") || flags.contains_key("interconnect") {
+    if flags.contains_key("gpus")
+        || flags.contains_key("interconnect")
+        || flags.contains_key("topology")
+    {
         return Err(format!(
-            "--gpus/--interconnect are not supported by `{command}` \
-             (use network or train with --backend sim)"
+            "--gpus/--interconnect/--topology are not supported by `{command}` \
+             (use network, train, or timeline with --backend sim)"
         ));
     }
     Ok(())
 }
 
-/// Satellite of the sharding seam: tile columns are the ownership unit,
-/// so a worker count beyond a layer's column count leaves the surplus
-/// workers idle (narrow GEMMs, Co ≤ 128, have only one or two columns).
-/// Say so instead of silently under-using them.
-fn warn_surplus_shards(sim: &Simulator, layers: &[ConvLayer]) {
-    let Some(n) = sim.config().shards else {
-        return;
-    };
+/// Rejects the collective-scheduler flags (`--overlap`, `--bucket-mb`)
+/// on commands without a scheduled training step.
+fn reject_sched_flags(flags: &HashMap<String, String>, command: &str) -> Result<(), String> {
+    for f in SCHED_FLAGS {
+        if flags.contains_key(f) {
+            return Err(format!(
+                "--{f} is not supported by `{command}` \
+                 (use train or timeline with --backend sim)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Tile columns are the ownership unit of both the shard and the device
+/// partition, so a worker/device count beyond a layer's column count
+/// leaves the surplus idle (narrow GEMMs, Co ≤ 128, have only one or
+/// two columns). Say so on stderr instead of silently under-using them.
+fn warn_surplus_columns(
+    sim: &Simulator,
+    layers: &[ConvLayer],
+    n: u32,
+    flag: &str,
+    unit: &str,
+    tail: &str,
+) {
     let columns: Vec<u64> = layers.iter().map(|l| sim.tiling(l).cta_columns()).collect();
     let short = columns.iter().filter(|c| u64::from(n) > **c).count();
     if short == 0 {
@@ -155,10 +217,39 @@ fn warn_surplus_shards(sim: &Simulator, layers: &[ConvLayer]) {
     }
     let min = columns.iter().copied().min().unwrap_or(0);
     eprintln!(
-        "note: --shards {n} exceeds the tile-column count of {short} of {} layer(s) \
-         (narrowest has {min}); surplus workers idle there — results are unchanged, \
-         only the speedup saturates",
+        "note: --{flag} {n} exceeds the tile-column count of {short} of {} layer(s) \
+         (narrowest has {min}); surplus {unit} idle there — {tail}",
         columns.len()
+    );
+}
+
+/// Satellite of the multi-GPU seam, mirroring [`warn_surplus_shards`]:
+/// ideal scaling saturates at `min(G, columns)` — say so instead of
+/// letting the flat speedup curve surprise.
+fn warn_surplus_gpus(sim: &Simulator, layers: &[ConvLayer], gpus: u32) {
+    warn_surplus_columns(
+        sim,
+        layers,
+        gpus,
+        "gpus",
+        "devices",
+        "ideal scaling saturates at min(G, columns)",
+    );
+}
+
+/// Satellite of the sharding seam (`--shards N` beyond the narrowest
+/// layer's columns).
+fn warn_surplus_shards(sim: &Simulator, layers: &[ConvLayer]) {
+    let Some(n) = sim.config().shards else {
+        return;
+    };
+    warn_surplus_columns(
+        sim,
+        layers,
+        n,
+        "shards",
+        "workers",
+        "results are unchanged, only the speedup saturates",
     );
 }
 
@@ -256,6 +347,7 @@ fn cmd_layer(flags: &HashMap<String, String>) -> Result<(), String> {
     // `layer` always runs the analytical model.
     reject_shards_on_model(flags, BackendChoice::Model)?;
     reject_multi_gpu(flags, "layer")?;
+    reject_sched_flags(flags, "layer")?;
     let layer = layer_from(flags)?;
     let report = Delta::new(gpu).analyze(&layer).map_err(|e| e.to_string())?;
     if flags.contains_key("json") {
@@ -303,6 +395,7 @@ fn cmd_network(name: &str, flags: &HashMap<String, String>) -> Result<(), String
     let gpu = gpu_from(flags)?;
     let backend = backend_from(flags)?;
     reject_shards_on_model(flags, backend)?;
+    reject_sched_flags(flags, "network")?;
     let gpus = multi_gpu_from(flags, backend)?;
     let batch = batch_from(flags, backend, 256)?;
     let net = find_network(name, batch)?;
@@ -315,6 +408,9 @@ fn cmd_network(name: &str, flags: &HashMap<String, String>) -> Result<(), String
         BackendChoice::Sim => {
             let sim = Simulator::new(gpu, sim_config_from(flags)?);
             warn_surplus_shards(&sim, net.layers());
+            if let Some(g) = gpus {
+                warn_surplus_gpus(&sim, net.layers(), g);
+            }
             let engine = Engine::new(sim);
             with_cache_file(&engine, flags, |e| print_network_eval(e, &net, json, gpus))
         }
@@ -324,6 +420,7 @@ fn cmd_network(name: &str, flags: &HashMap<String, String>) -> Result<(), String
 fn cmd_sim(flags: &HashMap<String, String>) -> Result<(), String> {
     let gpu = gpu_from(flags)?;
     reject_multi_gpu(flags, "sim")?;
+    reject_sched_flags(flags, "sim")?;
     let mut layer = layer_from(flags)?;
     if !flags.contains_key("batch") {
         // Simulation defaults to a laptop-scale batch unless told
@@ -394,6 +491,7 @@ fn cmd_scaling(flags: &HashMap<String, String>) -> Result<(), String> {
     let backend = backend_from(flags)?;
     reject_shards_on_model(flags, backend)?;
     reject_multi_gpu(flags, "scaling")?;
+    reject_sched_flags(flags, "scaling")?;
     let batch = batch_from(flags, backend, 256)?;
     let net = delta_networks::resnet152_full(batch).map_err(|e| e.to_string())?;
     let options = DesignOption::paper_options();
@@ -450,6 +548,9 @@ fn cmd_train(name: &str, flags: &HashMap<String, String>) -> Result<(), String> 
     let gpu = gpu_from(flags)?;
     let backend = backend_from(flags)?;
     reject_shards_on_model(flags, backend)?;
+    if backend == BackendChoice::Model {
+        reject_sched_flags(flags, "train --backend model")?;
+    }
     let gpus = multi_gpu_from(flags, backend)?;
     let batch = batch_from(flags, backend, 64)?;
     let net = find_network(name, batch)?;
@@ -457,6 +558,10 @@ fn cmd_train(name: &str, flags: &HashMap<String, String>) -> Result<(), String> 
         Some(g) => engine.evaluate_training_step_multi(net.layers(), g),
         None => engine.evaluate_training_step(net.layers()),
     };
+    // With `--overlap on`, the collective scheduler's timeline is
+    // appended after the per-layer table; with the default `--overlap
+    // off` the output is byte-identical to the serial-era CLI.
+    let mut timeline: Option<StepTimeline> = None;
     let eval = match backend {
         BackendChoice::Model => {
             let engine = Engine::new(Delta::new(gpu.clone()));
@@ -466,10 +571,22 @@ fn cmd_train(name: &str, flags: &HashMap<String, String>) -> Result<(), String> 
             })
         }
         BackendChoice::Sim => {
-            let sim = Simulator::new(gpu.clone(), sim_config_from(flags)?);
+            let config = sim_config_from(flags)?;
+            let sim = Simulator::new(gpu.clone(), config);
             warn_surplus_shards(&sim, net.layers());
+            if let Some(g) = gpus {
+                warn_surplus_gpus(&sim, net.layers(), g);
+            }
             let engine = Engine::new(sim);
-            with_cache_file(&engine, flags, |e| step(e).map_err(|e| e.to_string()))
+            let eval = with_cache_file(&engine, flags, |e| step(e).map_err(|e| e.to_string()))?;
+            if config.overlap {
+                timeline = Some(
+                    engine
+                        .evaluate_training_step_scheduled(net.layers(), gpus.unwrap_or(1))
+                        .map_err(|e| e.to_string())?,
+                );
+            }
+            Ok(eval)
         }
     }?;
 
@@ -496,6 +613,63 @@ fn cmd_train(name: &str, flags: &HashMap<String, String>) -> Result<(), String> 
         bwd / fwd,
         (fwd + bwd) * 1e3
     );
+    if let Some(t) = &timeline {
+        println!(
+            "overlap: bucket {} MiB, comm {:.3} ms ({:.0}% hidden behind backward), \
+             exposed {:.3} ms",
+            t.bucket_bytes >> 20,
+            t.comm_seconds * 1e3,
+            ((1.0 - t.exposed_fraction()) * 100.0).max(0.0),
+            t.exposed_comm_seconds * 1e3,
+        );
+        println!(
+            "scheduled step: {:.3} ms overlapped vs {:.3} ms serial ({:.2}x); \
+             compute {:.3} ms, see `delta timeline` for spans",
+            t.step_seconds * 1e3,
+            t.serial_seconds * 1e3,
+            t.speedup_over_serial(),
+            t.compute_seconds * 1e3,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_timeline(name: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let gpu = gpu_from(flags)?;
+    let backend = backend_from(flags)?;
+    reject_shards_on_model(flags, backend)?;
+    let gpus = multi_gpu_from(flags, backend)?;
+    let batch = batch_from(flags, backend, 64)?;
+    let net = find_network(name, batch)?;
+    let timeline = match backend {
+        BackendChoice::Model => {
+            // The serial fallback: every backend schedules, backends
+            // without a collective scheduler just have no comm stream.
+            reject_sched_flags(flags, "timeline --backend model")?;
+            Engine::new(Delta::new(gpu))
+                .evaluate_training_step_scheduled(net.layers(), 1)
+                .map_err(|e| e.to_string())?
+        }
+        BackendChoice::Sim => {
+            let sim = Simulator::new(gpu, sim_config_from(flags)?);
+            warn_surplus_shards(&sim, net.layers());
+            if let Some(g) = gpus {
+                warn_surplus_gpus(&sim, net.layers(), g);
+            }
+            Engine::new(sim)
+                .evaluate_training_step_scheduled(net.layers(), gpus.unwrap_or(1))
+                .map_err(|e| e.to_string())?
+        }
+    };
+    if flags.contains_key("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&timeline).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("{net}");
+        print!("{timeline}");
+    }
     Ok(())
 }
 
@@ -510,10 +684,13 @@ fn usage() -> String {
      commands:\n  \
      layer    --ci N --hw N --co N [--filter N --stride N --pad N --batch N --gpu G --json]\n  \
      network  <alexnet|vgg16|googlenet|resnet152> [--backend model|sim --batch N --gpu G --json\n           \
-     --exhaustive --shards N --gpus G --interconnect I --cache-file F]\n  \
+     --exhaustive --shards N --gpus G --interconnect I --topology T --cache-file F]\n  \
      sim      --ci N --hw N --co N [--filter N ... --exhaustive --shards N]\n  \
      train    <alexnet|vgg16|googlenet|resnet152> [--backend model|sim --batch N --gpu G\n           \
-     --shards N --gpus G --interconnect I --cache-file F]\n  \
+     --shards N --gpus G --interconnect I --topology T --bucket-mb M --overlap on|off\n           \
+     --cache-file F]\n  \
+     timeline <alexnet|vgg16|googlenet|resnet152> [--backend model|sim --batch N --gpu G\n           \
+     --gpus G --interconnect I --topology T --bucket-mb M --overlap on|off --json]\n  \
      scaling  [--backend model|sim --batch N --gpu G --shards N]\n  \
      gpus\n  \
      help\n\
@@ -527,6 +704,13 @@ fn usage() -> String {
      --interconnect ideal | nvlink (default with --gpus) | pcie — prices cross-device halo\n                 \
      and gradient all-reduce traffic; `ideal` is zero-cost, so its output is\n                 \
      byte-identical for every --gpus count\n  \
+     --topology     ring | switch | mesh | hierarchical — explicit device graph; hop counts\n                 \
+     and link contention derive the byte multiplier instead of the preset's\n                 \
+     scalar topology factor (omit for the legacy scalar pricing)\n  \
+     --bucket-mb    gradient bucket size in MiB for the collective scheduler (default 25)\n  \
+     --overlap      on | off (default) — overlap each bucket's all-reduce with the\n                 \
+     remaining backward compute (train appends the scheduled step; timeline\n                 \
+     shows the spans; `on` requires --gpus G)\n  \
      --cache-file   persist the engine's shape-keyed results to F and reuse them next run\n  \
      --json         machine-readable output where supported\n\
      multi-layer commands run on all cores with shape-keyed result caching"
@@ -544,6 +728,10 @@ fn run(positional: &[String], flags: &HashMap<String, String>) -> Result<(), Str
         Some("train") => match positional.get(1) {
             Some(name) => cmd_train(name, flags),
             None => Err("train command needs a network name".into()),
+        },
+        Some("timeline") => match positional.get(1) {
+            Some(name) => cmd_timeline(name, flags),
+            None => Err("timeline command needs a network name".into()),
         },
         Some("scaling") => cmd_scaling(flags),
         Some("gpus") => {
@@ -844,6 +1032,132 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("layer"), "{err}");
+    }
+
+    #[test]
+    fn topology_bucket_and_overlap_flags_parse_and_validate() {
+        use delta_sim::TopologyKind;
+        // Defaults: legacy scalar pricing, 25 MiB buckets, overlap off.
+        let cfg = sim_config_from(&flags(&[])).unwrap();
+        assert_eq!(cfg.topology, None);
+        assert_eq!(cfg.bucket_mb, 25);
+        assert!(!cfg.overlap);
+        for (name, kind) in [
+            ("ring", TopologyKind::Ring),
+            ("switch", TopologyKind::Switch),
+            ("mesh", TopologyKind::Mesh),
+            ("hierarchical", TopologyKind::Hierarchical),
+        ] {
+            let cfg = sim_config_from(&flags(&[("gpus", "4"), ("topology", name)])).unwrap();
+            assert_eq!(cfg.topology, Some(kind));
+        }
+        let cfg = sim_config_from(&flags(&[("bucket-mb", "4"), ("overlap", "on")])).unwrap();
+        assert_eq!(cfg.bucket_mb, 4);
+        assert!(cfg.overlap);
+        assert!(
+            !sim_config_from(&flags(&[("overlap", "off")]))
+                .unwrap()
+                .overlap
+        );
+        // Malformed values are rejected, not silently dropped.
+        for (k, v) in [
+            ("topology", "torus"),
+            ("bucket-mb", "0"),
+            ("bucket-mb", "x"),
+            ("overlap", "maybe"),
+        ] {
+            let err = sim_config_from(&flags(&[(k, v)])).unwrap_err();
+            assert!(err.contains(&format!("--{k}")), "{err}");
+        }
+        // --topology needs --gpus and the sim backend.
+        let err = multi_gpu_from(&flags(&[("topology", "ring")]), BackendChoice::Sim).unwrap_err();
+        assert!(err.contains("--gpus"), "{err}");
+        let err =
+            multi_gpu_from(&flags(&[("topology", "ring")]), BackendChoice::Model).unwrap_err();
+        assert!(err.contains("--backend sim"), "{err}");
+    }
+
+    #[test]
+    fn sched_flags_rejected_where_meaningless() {
+        // network has no scheduled step.
+        let err =
+            cmd_network("alexnet", &flags(&[("backend", "sim"), ("overlap", "on")])).unwrap_err();
+        assert!(
+            err.contains("--overlap") && err.contains("timeline"),
+            "{err}"
+        );
+        let err = cmd_scaling(&flags(&[("backend", "sim"), ("bucket-mb", "8")])).unwrap_err();
+        assert!(err.contains("--bucket-mb"), "{err}");
+        let err = cmd_layer(&flags(&[
+            ("ci", "16"),
+            ("hw", "14"),
+            ("co", "32"),
+            ("overlap", "on"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--overlap"), "{err}");
+        // The model backend has no collective scheduler configuration.
+        let err = cmd_train("alexnet", &flags(&[("overlap", "on")])).unwrap_err();
+        assert!(err.contains("--overlap"), "{err}");
+        // --topology on a non-multi-GPU command rides the multi-GPU
+        // rejection.
+        let err = cmd_sim(&flags(&[
+            ("ci", "16"),
+            ("hw", "14"),
+            ("co", "32"),
+            ("topology", "ring"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--topology"), "{err}");
+    }
+
+    #[test]
+    fn train_and_timeline_run_the_scheduler_end_to_end() {
+        // train with overlap on appends the scheduled step.
+        cmd_train(
+            "alexnet",
+            &flags(&[
+                ("backend", "sim"),
+                ("batch", "2"),
+                ("gpus", "2"),
+                ("topology", "ring"),
+                ("bucket-mb", "1"),
+                ("overlap", "on"),
+            ]),
+        )
+        .unwrap();
+        // timeline works on the sim backend with and without --gpus...
+        cmd_timeline(
+            "alexnet",
+            &flags(&[
+                ("backend", "sim"),
+                ("batch", "2"),
+                ("gpus", "2"),
+                ("interconnect", "pcie"),
+                ("overlap", "on"),
+                ("json", "true"),
+            ]),
+        )
+        .unwrap();
+        cmd_timeline("alexnet", &flags(&[("backend", "sim"), ("batch", "2")])).unwrap();
+        // ...and on the model backend (serial fallback), where the
+        // scheduler flags are rejected.
+        cmd_timeline("alexnet", &flags(&[("batch", "4")])).unwrap();
+        let err = cmd_timeline("alexnet", &flags(&[("overlap", "on")])).unwrap_err();
+        assert!(err.contains("--overlap"), "{err}");
+        let err = cmd_timeline("alexnet", &flags(&[("gpus", "2")])).unwrap_err();
+        assert!(err.contains("--backend sim"), "{err}");
+        // Overlap with one device exchanges nothing: --overlap on needs
+        // an explicit --gpus on both scheduled commands.
+        for cmd in [cmd_train, cmd_timeline] {
+            let err = cmd("alexnet", &flags(&[("backend", "sim"), ("overlap", "on")])).unwrap_err();
+            assert!(err.contains("--overlap on requires --gpus"), "{err}");
+        }
+        cmd_train(
+            "alexnet",
+            &flags(&[("backend", "sim"), ("batch", "2"), ("overlap", "off")]),
+        )
+        .unwrap();
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::layer::ConvLayer;
 use crate::model::Delta;
 use crate::perf::Bottleneck;
 use crate::report::LayerReport;
+use crate::schedule::{SpanKind, StepTimeline};
 use crate::training;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -253,6 +254,48 @@ pub trait Backend: Send + Sync {
     fn estimate_wgrad(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
         self.estimate_layer(&training::wgrad_layer(layer)?)
     }
+
+    /// Schedules one whole training step of `layers` across `devices`
+    /// GPUs and returns the per-device [`StepTimeline`]: compute spans
+    /// (forward in order, then dgrad/wgrad in reverse layer order),
+    /// communication spans, and the derived step/serial/exposed totals.
+    ///
+    /// The default is the **serial fallback**: every pass back-to-back
+    /// through the single-/multi-device estimators, no communication
+    /// stream, `step == serial`. Backends with a collective scheduler
+    /// (the trace-driven simulator's bucketed all-reduce overlap)
+    /// override it; every override must keep
+    /// [`StepTimeline::bounds_hold`] true.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pass-construction and estimation failures.
+    fn estimate_training_step_scheduled(
+        &self,
+        layers: &[ConvLayer],
+        devices: u32,
+    ) -> Result<StepTimeline, Error> {
+        let g = devices.max(1);
+        let mut spans = Vec::with_capacity(3 * layers.len());
+        for l in layers {
+            let f = self.estimate_layer_multi(l, g)?;
+            spans.push((l.label().to_string(), SpanKind::Forward, f.seconds));
+        }
+        for (i, l) in layers.iter().enumerate().rev() {
+            if i > 0 {
+                let d = self.estimate_layer_multi(&training::dgrad_layer(l)?, g)?;
+                spans.push((l.label().to_string(), SpanKind::Dgrad, d.seconds));
+            }
+            let w = self.estimate_wgrad_multi(l, g)?;
+            spans.push((l.label().to_string(), SpanKind::Wgrad, w.seconds));
+        }
+        Ok(StepTimeline::serial_compute(
+            self.name(),
+            self.gpu().name(),
+            g,
+            spans,
+        ))
+    }
 }
 
 impl Backend for Delta {
@@ -324,6 +367,14 @@ impl<B: Backend + ?Sized> Backend for &B {
 
     fn estimate_wgrad(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
         (**self).estimate_wgrad(layer)
+    }
+
+    fn estimate_training_step_scheduled(
+        &self,
+        layers: &[ConvLayer],
+        devices: u32,
+    ) -> Result<StepTimeline, Error> {
+        (**self).estimate_training_step_scheduled(layers, devices)
     }
 }
 
@@ -414,6 +465,38 @@ mod tests {
         let by_ref: &dyn Backend = &&delta;
         assert_eq!(by_ref.estimate_layer_multi(&layer(), 4).unwrap(), plain);
         assert_eq!(by_ref.estimate_wgrad_multi(&layer(), 4).unwrap(), wgrad);
+    }
+
+    #[test]
+    fn scheduled_default_is_the_serial_fallback() {
+        // Backends without a collective scheduler answer the serial
+        // step: forward spans in order, backward in reverse order, no
+        // communication, step == serial, bounds hold.
+        let delta = Delta::new(GpuSpec::titan_xp());
+        let net = [layer(), layer().with_label("second")];
+        let t = Backend::estimate_training_step_scheduled(&delta, &net, 4).unwrap();
+        assert_eq!(t.backend, "model");
+        assert_eq!(t.devices, 4);
+        assert!(!t.overlap);
+        assert_eq!(t.comm_seconds, 0.0);
+        assert_eq!(t.step_seconds, t.serial_seconds);
+        assert!(t.bounds_hold());
+        // 2 forward + 1 dgrad (first layer skips it) + 2 wgrad.
+        let dev = &t.per_device[0];
+        assert_eq!(dev.compute.len(), 5);
+        assert!(dev.comm.is_empty());
+        // The total matches the pass estimators it was assembled from.
+        let f = Backend::estimate_layer(&delta, &layer()).unwrap().seconds;
+        let d = Backend::estimate_layer(&delta, &training::dgrad_layer(&layer()).unwrap())
+            .unwrap()
+            .seconds;
+        let w = Backend::estimate_wgrad(&delta, &layer()).unwrap().seconds;
+        let expected = 2.0 * f + d + 2.0 * w;
+        assert!((t.step_seconds - expected).abs() < 1e-12 * expected);
+        // The reference-forwarding impl routes the scheduled call too.
+        let by_ref: &dyn Backend = &&delta;
+        let via_ref = by_ref.estimate_training_step_scheduled(&net, 4).unwrap();
+        assert_eq!(via_ref, t);
     }
 
     #[test]

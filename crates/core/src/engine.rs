@@ -506,6 +506,31 @@ impl<B: Backend> Engine<B> {
         self.training_eval(layers, devices.max(1))
     }
 
+    /// Schedules one whole training step across `devices` GPUs through
+    /// the backend's collective scheduler
+    /// ([`Backend::estimate_training_step_scheduled`]): forward + dgrad +
+    /// wgrad compute spans plus bucketed gradient all-reduce spans, with
+    /// the overlapped (or serial) step time read off the returned
+    /// [`StepTimeline`](crate::schedule::StepTimeline).
+    ///
+    /// Bypasses the shape cache: the timeline is a whole-step quantity
+    /// whose communication schedule depends on layer *order*, not just
+    /// shapes, so per-shape entries cannot serve it. The call is counted
+    /// as one cache miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pass-construction and estimation failures.
+    pub fn evaluate_training_step_scheduled(
+        &self,
+        layers: &[ConvLayer],
+        devices: u32,
+    ) -> Result<crate::schedule::StepTimeline, Error> {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.backend
+            .estimate_training_step_scheduled(layers, devices.max(1))
+    }
+
     /// The shared training-step driver behind the single- and
     /// multi-device entry points.
     fn training_eval(
@@ -972,6 +997,26 @@ mod tests {
         let step = engine.evaluate_training_step(&net).unwrap();
         let step4 = engine.evaluate_training_step_multi(&net, 4).unwrap();
         assert_eq!(step.rows, step4.rows);
+    }
+
+    #[test]
+    fn scheduled_training_step_bypasses_cache_and_matches_serial_total() {
+        let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        let net = repeated_net();
+        let t = engine
+            .evaluate_training_step_scheduled(&net, 4)
+            .expect("schedulable network");
+        assert_eq!(engine.cache_stats().misses, 1, "one bypass miss");
+        assert_eq!(engine.cache_stats().hits, 0);
+        // The model backend's serial fallback reproduces the training
+        // evaluation's total (same estimators, same passes).
+        let step = engine.evaluate_training_step(&net).unwrap();
+        assert!((t.step_seconds - step.total_seconds()).abs() < 1e-12 * t.step_seconds);
+        assert_eq!(t.comm_seconds, 0.0);
+        assert!(t.bounds_hold());
+        // devices = 0 clamps to 1.
+        let one = engine.evaluate_training_step_scheduled(&net, 0).unwrap();
+        assert_eq!(one.devices, 1);
     }
 
     #[test]

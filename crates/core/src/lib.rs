@@ -68,6 +68,7 @@ pub mod model;
 pub mod perf;
 pub mod report;
 pub mod scaling;
+pub mod schedule;
 pub mod sweep;
 pub mod tiling;
 pub mod traffic;
@@ -82,6 +83,7 @@ pub use model::{Delta, DeltaOptions, MliMode};
 pub use perf::{Bottleneck, PerfEstimate};
 pub use report::LayerReport;
 pub use scaling::DesignOption;
+pub use schedule::StepTimeline;
 pub use tiling::CtaTile;
 pub use traffic::TrafficEstimate;
 pub use training::TrainingEstimate;

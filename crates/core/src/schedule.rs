@@ -1,0 +1,339 @@
+//! Scheduled training-step timelines: the backend-neutral result of
+//! [`crate::backend::Backend::estimate_training_step_scheduled`].
+//!
+//! A data-parallel training step is two interleaved resource streams per
+//! device: *compute* (forward, then dgrad+wgrad in reverse layer order)
+//! and *communication* (the gradient all-reduce). Serializing them — all
+//! compute, then all exchange — is what the PR-3 multi-GPU layer priced;
+//! real frameworks instead bucket gradients and launch each bucket's
+//! all-reduce as soon as its last gradient is produced, hiding most of
+//! the exchange behind the remaining backward compute. [`StepTimeline`]
+//! records both streams as explicit spans plus the derived totals, so a
+//! caller can read off the overlapped step time, the serial step time,
+//! and how much communication stayed *exposed* (unhidden past the end of
+//! compute).
+//!
+//! Two bounds hold for every valid timeline, by construction and in
+//! floating point ([`StepTimeline::bounds_hold`]):
+//!
+//! ```text
+//! max(compute, comm) <= step <= serial
+//! ```
+//!
+//! The CI perf gate enforces them on every emitted schedule.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a timeline span spends its time on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// Forward convolution of one layer.
+    Forward,
+    /// Data-gradient pass of one layer.
+    Dgrad,
+    /// Weight-gradient pass of one layer.
+    Wgrad,
+    /// All-reduce of one gradient bucket.
+    AllReduce,
+}
+
+impl fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SpanKind::Forward => "forward",
+            SpanKind::Dgrad => "dgrad",
+            SpanKind::Wgrad => "wgrad",
+            SpanKind::AllReduce => "allreduce",
+        })
+    }
+}
+
+/// One contiguous interval of work on a device's compute or
+/// communication stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// What the interval does (layer label, or bucket description for
+    /// all-reduce spans).
+    pub label: String,
+    /// Which kind of work it is.
+    pub kind: SpanKind,
+    /// Interval start, seconds from the step's start.
+    pub start_seconds: f64,
+    /// Interval end, seconds from the step's start.
+    pub end_seconds: f64,
+}
+
+impl Span {
+    /// The interval's duration in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.end_seconds - self.start_seconds
+    }
+}
+
+/// One device's view of the step: its compute stream and its
+/// communication stream. Homogeneous data-parallel replicas execute the
+/// same schedule, so today every device's timeline is identical; the
+/// per-device shape is the seam heterogeneous fleets will fill in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceTimeline {
+    /// Device index.
+    pub device: u32,
+    /// Compute spans in execution order (forward 0..L, then backward
+    /// L−1..0 as dgrad/wgrad pairs).
+    pub compute: Vec<Span>,
+    /// Communication spans in launch order (one per gradient bucket;
+    /// empty for single-device or zero-communication runs).
+    pub comm: Vec<Span>,
+    /// Communication that ran past the end of this device's compute.
+    pub exposed_comm_seconds: f64,
+}
+
+/// A whole training step's schedule across `devices` data-parallel
+/// replicas: per-device span streams plus the derived totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepTimeline {
+    /// Which backend produced the schedule (`"model"` / `"sim"`).
+    pub backend: String,
+    /// Device name.
+    pub gpu: String,
+    /// Number of data-parallel devices.
+    pub devices: u32,
+    /// Whether bucket all-reduces were overlapped with backward compute
+    /// (`false` = the serial schedule: all communication after compute).
+    pub overlap: bool,
+    /// Gradient bucket size in bytes (0 when the backend has no
+    /// bucketing, e.g. the serial fallback).
+    pub bucket_bytes: u64,
+    /// Per-device timelines, in device order.
+    pub per_device: Vec<DeviceTimeline>,
+    /// End of the busiest device's compute stream, seconds.
+    pub compute_seconds: f64,
+    /// Total all-reduce time (sum of bucket durations), seconds.
+    pub comm_seconds: f64,
+    /// Communication left exposed past the end of compute, seconds.
+    pub exposed_comm_seconds: f64,
+    /// The scheduled step time: `max(compute end, last comm end)`.
+    pub step_seconds: f64,
+    /// The serial step time: compute followed by every bucket
+    /// back-to-back. Equal to `step_seconds` when `overlap` is off.
+    pub serial_seconds: f64,
+}
+
+impl StepTimeline {
+    /// Communication hidden behind backward compute, seconds.
+    pub fn hidden_comm_seconds(&self) -> f64 {
+        self.comm_seconds - self.exposed_comm_seconds
+    }
+
+    /// Fraction of communication left exposed (`0` when there is no
+    /// communication at all).
+    pub fn exposed_fraction(&self) -> f64 {
+        if self.comm_seconds == 0.0 {
+            0.0
+        } else {
+            self.exposed_comm_seconds / self.comm_seconds
+        }
+    }
+
+    /// Speedup of the scheduled step over the serial step (`>= 1`).
+    pub fn speedup_over_serial(&self) -> f64 {
+        if self.step_seconds == 0.0 {
+            1.0
+        } else {
+            self.serial_seconds / self.step_seconds
+        }
+    }
+
+    /// The scheduling bounds every valid timeline satisfies:
+    /// `max(compute, comm) <= step <= serial`. Exact in floating point
+    /// for schedules built by this crate's constructors (a tiny relative
+    /// slack absorbs backends that assemble totals in another order).
+    pub fn bounds_hold(&self) -> bool {
+        let eps = 1e-12 * self.serial_seconds.abs().max(1e-30);
+        let floor = self.compute_seconds.max(self.comm_seconds);
+        floor <= self.step_seconds + eps && self.step_seconds <= self.serial_seconds + eps
+    }
+
+    /// Builds the **serial fallback** timeline: the given compute spans
+    /// back-to-back on every device, no communication. This is what
+    /// backends without a collective scheduler (the analytical model)
+    /// return from
+    /// [`crate::backend::Backend::estimate_training_step_scheduled`] —
+    /// step and serial time coincide and the bounds hold trivially.
+    pub fn serial_compute(
+        backend: &str,
+        gpu: &str,
+        devices: u32,
+        spans: Vec<(String, SpanKind, f64)>,
+    ) -> StepTimeline {
+        let mut t = 0.0f64;
+        let compute: Vec<Span> = spans
+            .into_iter()
+            .map(|(label, kind, seconds)| {
+                let start = t;
+                t += seconds;
+                Span {
+                    label,
+                    kind,
+                    start_seconds: start,
+                    end_seconds: t,
+                }
+            })
+            .collect();
+        let g = devices.max(1);
+        StepTimeline {
+            backend: backend.to_string(),
+            gpu: gpu.to_string(),
+            devices: g,
+            overlap: false,
+            bucket_bytes: 0,
+            per_device: (0..g)
+                .map(|device| DeviceTimeline {
+                    device,
+                    compute: compute.clone(),
+                    comm: Vec::new(),
+                    exposed_comm_seconds: 0.0,
+                })
+                .collect(),
+            compute_seconds: t,
+            comm_seconds: 0.0,
+            exposed_comm_seconds: 0.0,
+            step_seconds: t,
+            serial_seconds: t,
+        }
+    }
+}
+
+impl fmt::Display for StepTimeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "training-step timeline ({} on {}, {} device(s), overlap {})",
+            self.backend,
+            self.gpu,
+            self.devices,
+            if self.overlap { "on" } else { "off" }
+        )?;
+        writeln!(
+            f,
+            "  compute {:.3} ms | comm {:.3} ms | exposed {:.3} ms ({:.0}% hidden)",
+            self.compute_seconds * 1e3,
+            self.comm_seconds * 1e3,
+            self.exposed_comm_seconds * 1e3,
+            ((1.0 - self.exposed_fraction()) * 100.0).max(0.0)
+        )?;
+        writeln!(
+            f,
+            "  step {:.3} ms | serial {:.3} ms | {:.2}x over serial",
+            self.step_seconds * 1e3,
+            self.serial_seconds * 1e3,
+            self.speedup_over_serial()
+        )?;
+        // All devices execute the same schedule; render device 0.
+        if let Some(dev) = self.per_device.first() {
+            writeln!(f, "  device {} compute:", dev.device)?;
+            for s in &dev.compute {
+                writeln!(
+                    f,
+                    "    [{:>10.4} ..{:>10.4}] {:<9} {}",
+                    s.start_seconds * 1e3,
+                    s.end_seconds * 1e3,
+                    s.kind,
+                    s.label
+                )?;
+            }
+            if !dev.comm.is_empty() {
+                writeln!(f, "  device {} comm:", dev.device)?;
+                for s in &dev.comm {
+                    writeln!(
+                        f,
+                        "    [{:>10.4} ..{:>10.4}] {:<9} {}",
+                        s.start_seconds * 1e3,
+                        s.end_seconds * 1e3,
+                        s.kind,
+                        s.label
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans() -> Vec<(String, SpanKind, f64)> {
+        vec![
+            ("a".to_string(), SpanKind::Forward, 1.0),
+            ("b".to_string(), SpanKind::Forward, 2.0),
+            ("b".to_string(), SpanKind::Dgrad, 2.5),
+            ("b".to_string(), SpanKind::Wgrad, 1.5),
+            ("a".to_string(), SpanKind::Wgrad, 1.0),
+        ]
+    }
+
+    #[test]
+    fn serial_compute_chains_spans_and_has_no_comm() {
+        let t = StepTimeline::serial_compute("model", "TITAN Xp", 4, spans());
+        assert_eq!(t.devices, 4);
+        assert_eq!(t.per_device.len(), 4);
+        assert_eq!(t.compute_seconds, 8.0);
+        assert_eq!(t.step_seconds, 8.0);
+        assert_eq!(t.serial_seconds, 8.0);
+        assert_eq!(t.comm_seconds, 0.0);
+        assert_eq!(t.exposed_fraction(), 0.0);
+        assert_eq!(t.speedup_over_serial(), 1.0);
+        assert!(t.bounds_hold());
+        let dev = &t.per_device[0];
+        assert_eq!(dev.compute.len(), 5);
+        // Spans are contiguous and ordered.
+        for w in dev.compute.windows(2) {
+            assert_eq!(w[0].end_seconds, w[1].start_seconds);
+        }
+        assert_eq!(dev.compute[0].start_seconds, 0.0);
+        assert_eq!(dev.compute[4].end_seconds, 8.0);
+        assert!(dev.comm.is_empty());
+        // Zero devices clamps to one.
+        let one = StepTimeline::serial_compute("model", "g", 0, Vec::new());
+        assert_eq!(one.devices, 1);
+        assert_eq!(one.step_seconds, 0.0);
+        assert!(one.bounds_hold());
+    }
+
+    #[test]
+    fn bounds_reject_inverted_totals() {
+        let mut t = StepTimeline::serial_compute("model", "g", 1, spans());
+        assert!(t.bounds_hold());
+        t.step_seconds = t.serial_seconds + 1.0;
+        assert!(!t.bounds_hold(), "step above serial must fail");
+        t.step_seconds = t.compute_seconds.max(t.comm_seconds) - 1.0;
+        assert!(!t.bounds_hold(), "step below the floor must fail");
+    }
+
+    #[test]
+    fn display_and_serde_round_trip() {
+        let t = StepTimeline::serial_compute("sim", "V100", 2, spans());
+        let s = t.to_string();
+        assert!(s.contains("overlap off") && s.contains("device 0 compute"));
+        assert!(s.contains("wgrad"));
+        let json = serde_json::to_string(&t).unwrap();
+        let back: StepTimeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn span_seconds_and_kind_display() {
+        let s = Span {
+            label: "x".into(),
+            kind: SpanKind::AllReduce,
+            start_seconds: 1.0,
+            end_seconds: 3.5,
+        };
+        assert_eq!(s.seconds(), 2.5);
+        assert_eq!(SpanKind::AllReduce.to_string(), "allreduce");
+        assert_eq!(SpanKind::Forward.to_string(), "forward");
+    }
+}

@@ -34,7 +34,13 @@
 //! [`multigpu::DevicePlan`] and charges cross-device halo and
 //! gradient-all-reduce traffic through an [`interconnect`] model —
 //! under the zero-cost `ideal` preset a G-device run is bitwise
-//! identical to the single-device sharded run.
+//! identical to the single-device sharded run. The fabric can be priced
+//! two ways: the legacy scalar presets, or an explicit [`topology`]
+//! graph (ring/switch/mesh/hierarchical) whose hop counts and link
+//! contention *derive* the effective byte multiplier; on top of either,
+//! the [`collective`] scheduler buckets weight gradients and overlaps
+//! each bucket's all-reduce with the remaining backward compute,
+//! emitting a per-device step timeline.
 //! The simulator also implements `delta_model::Backend`, so the
 //! parallel evaluation engine (`delta_model::engine`) can drive it over
 //! whole networks interchangeably with the analytical model.
@@ -63,6 +69,7 @@
 
 pub mod cache;
 pub mod coalesce;
+pub mod collective;
 pub mod dram;
 pub mod hierarchy;
 pub mod interconnect;
@@ -73,11 +80,14 @@ pub mod sim;
 pub mod stages;
 pub mod tensor;
 pub mod timing;
+pub mod topology;
 pub mod trace;
 
+pub use collective::{bucketize, GradBucket, LayerPasses};
 pub use dram::DramChannelModel;
 pub use hierarchy::{HierarchyStats, MemoryHierarchy, MergeableHierarchy};
 pub use interconnect::{Interconnect, InterconnectKind};
 pub use multigpu::{DevicePlan, MultiGpuMeasurement};
 pub use shard::ShardPlan;
 pub use sim::{Measurement, SimConfig, Simulator};
+pub use topology::{Topology, TopologyKind};

@@ -182,7 +182,9 @@ impl Simulator {
     pub fn run_multi(&self, layer: &ConvLayer, devices: u32) -> MultiGpuMeasurement {
         let plan = DevicePlan::for_layer(self, layer, devices);
         let run = self.run_sharded_detail(layer, plan.devices());
-        let ic: Interconnect = self.config().interconnect.params();
+        // Scalar preset, or topology-derived parameters when
+        // `SimConfig::topology` names a graph.
+        let ic: Interconnect = self.fabric(plan.devices());
         let active = plan.active_devices();
         let ifmap = layer.ifmap_bytes() as f64;
         MultiGpuMeasurement {

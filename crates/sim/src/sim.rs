@@ -15,12 +15,13 @@
 
 use crate::coalesce::Transaction;
 use crate::hierarchy::{HierarchyStats, MemoryHierarchy, MergeableHierarchy};
-use crate::interconnect::InterconnectKind;
+use crate::interconnect::{Interconnect, InterconnectKind};
 use crate::sched::ColumnScheduler;
 use crate::shard::ShardPlan;
 use crate::stages::{BatchLimits, BatchStats, CtaBatch, SteadyState};
 use crate::tensor::TensorMap;
 use crate::timing::TimingEngine;
+use crate::topology::{Topology, TopologyKind};
 use delta_model::backend::{Backend, EstimateSource, LayerEstimate};
 use delta_model::tiling::{CtaTile, LayerTiling};
 use delta_model::{ConvLayer, Error, GpuSpec, BYTES_PER_ELEMENT};
@@ -65,6 +66,27 @@ pub struct SimConfig {
     /// the field entirely.
     #[serde(default = "default_interconnect")]
     pub interconnect: InterconnectKind,
+    /// Explicit interconnect topology graph
+    /// ([`crate::topology::Topology`]): hop counts and contention
+    /// *derive* the effective byte multiplier and bandwidth from the
+    /// base fabric's per-hop parameters. `None` (the default) keeps the
+    /// legacy scalar preset pricing — bitwise identical to the PR-3
+    /// interconnect model.
+    #[serde(default = "default_topology")]
+    pub topology: Option<TopologyKind>,
+    /// Gradient bucket size in MiB for the collective scheduler
+    /// ([`Simulator::schedule_training_step`]): backward-pass gradients
+    /// pack into buckets of this size and each bucket all-reduces as one
+    /// transfer. The default (25 MiB) mirrors DDP-style framework
+    /// defaults.
+    #[serde(default = "default_bucket_mb")]
+    pub bucket_mb: u32,
+    /// Overlap each gradient bucket's all-reduce with the remaining
+    /// backward compute in scheduled step estimates. `false` (the
+    /// default) keeps the serial schedule: all communication after all
+    /// compute.
+    #[serde(default = "default_overlap")]
+    pub overlap: bool,
 }
 
 fn default_tile_scale() -> Option<u32> {
@@ -79,6 +101,18 @@ fn default_interconnect() -> InterconnectKind {
     InterconnectKind::Ideal
 }
 
+fn default_topology() -> Option<TopologyKind> {
+    None
+}
+
+fn default_bucket_mb() -> u32 {
+    25
+}
+
+fn default_overlap() -> bool {
+    false
+}
+
 impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
@@ -89,6 +123,9 @@ impl Default for SimConfig {
             tile_scale: None,
             shards: None,
             interconnect: InterconnectKind::Ideal,
+            topology: None,
+            bucket_mb: 25,
+            overlap: false,
         }
     }
 }
@@ -183,6 +220,40 @@ impl Simulator {
     /// plus any configured tile scaling).
     pub fn tiling(&self, layer: &ConvLayer) -> LayerTiling {
         LayerTiling::with_scale(layer, self.config.tile_scale)
+    }
+
+    /// The effective point-to-point fabric pricing for a `devices`-wide
+    /// run: the legacy scalar preset when [`SimConfig::topology`] is
+    /// `None` (bitwise identical to PR 3), otherwise the parameters
+    /// derived from the topology graph built for `devices`
+    /// ([`Topology::price`]).
+    pub fn fabric(&self, devices: u32) -> Interconnect {
+        let base = self.config.interconnect.params();
+        match self.config.topology {
+            None => base,
+            Some(kind) => Topology::build(kind, devices).price(&base),
+        }
+    }
+
+    /// All-reduce pricing of `payload` logical bytes across `devices`:
+    /// `(link bytes, seconds)`. Dispatches between the legacy scalar
+    /// ring formula and the topology graph's algorithm-aware pricing
+    /// (ring on ring/mesh/hierarchical, tree on switch).
+    pub fn all_reduce_pricing(&self, payload: f64, devices: u32) -> (f64, f64) {
+        let base = self.config.interconnect.params();
+        match self.config.topology {
+            None => (
+                base.all_reduce_bytes(payload, devices),
+                base.all_reduce_seconds(payload, devices),
+            ),
+            Some(kind) => {
+                let topo = Topology::build(kind, devices);
+                (
+                    topo.all_reduce_bytes(&base, payload),
+                    topo.all_reduce_seconds(&base, payload),
+                )
+            }
+        }
     }
 
     /// The occupancy (active CTAs per SM) the schedule will use for
@@ -560,14 +631,21 @@ impl Backend for Simulator {
         // (|∇W| = the filter footprint) once across the devices.
         let wgrad = delta_model::training::wgrad_layer(layer)?;
         let mut est = self.run_multi(&wgrad, devices).to_estimate(&self.gpu);
-        let ic = self.config.interconnect.params();
         let payload = layer.filter_bytes() as f64;
         let g = devices.max(1);
-        est.link_bytes += ic.all_reduce_bytes(payload, g);
-        let seconds = ic.all_reduce_seconds(payload, g);
-        est.seconds += seconds;
-        est.cycles += self.gpu.seconds_to_clks(seconds);
+        let (ar_bytes, ar_seconds) = self.all_reduce_pricing(payload, g);
+        est.link_bytes += ar_bytes;
+        est.seconds += ar_seconds;
+        est.cycles += self.gpu.seconds_to_clks(ar_seconds);
         Ok(est)
+    }
+
+    fn estimate_training_step_scheduled(
+        &self,
+        layers: &[ConvLayer],
+        devices: u32,
+    ) -> Result<delta_model::schedule::StepTimeline, Error> {
+        self.schedule_training_step(layers, devices)
     }
 }
 
@@ -813,7 +891,53 @@ mod tests {
         assert_eq!(cfg.tile_scale, None);
         assert_eq!(cfg.shards, None);
         assert_eq!(cfg.interconnect, InterconnectKind::Ideal);
+        assert_eq!(cfg.topology, None);
+        assert_eq!(cfg.bucket_mb, 25);
+        assert!(!cfg.overlap);
         assert_eq!(cfg.max_batches_per_column, Some(4));
+    }
+
+    #[test]
+    fn fabric_and_all_reduce_dispatch_on_the_topology() {
+        let gpu = GpuSpec::titan_xp();
+        // topology = None: the legacy scalar preset, verbatim.
+        let legacy = Simulator::new(
+            gpu.clone(),
+            SimConfig {
+                interconnect: InterconnectKind::NvLink,
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(legacy.fabric(4), InterconnectKind::NvLink.params());
+        let ic = InterconnectKind::NvLink.params();
+        assert_eq!(
+            legacy.all_reduce_pricing(1e6, 4),
+            (ic.all_reduce_bytes(1e6, 4), ic.all_reduce_seconds(1e6, 4))
+        );
+        // topology = Some: parameters derived from the graph.
+        let topo = Simulator::new(
+            gpu,
+            SimConfig {
+                interconnect: InterconnectKind::NvLink,
+                topology: Some(TopologyKind::Switch),
+                ..SimConfig::default()
+            },
+        );
+        let fab = topo.fabric(4);
+        assert_eq!(fab.topology_factor, 2.0, "star: every pair is 2 hops");
+        let (bytes, secs) = topo.all_reduce_pricing(1e6, 4);
+        assert!(bytes > ic.all_reduce_bytes(1e6, 4), "tree crosses the hub");
+        assert!(secs > 0.0);
+        // Ideal stays free under every topology.
+        let ideal_topo = Simulator::new(
+            GpuSpec::titan_xp(),
+            SimConfig {
+                topology: Some(TopologyKind::Hierarchical),
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(ideal_topo.all_reduce_pricing(1e9, 8), (0.0, 0.0));
+        assert_eq!(ideal_topo.fabric(8), InterconnectKind::Ideal.params());
     }
 
     /// A layer with four tile columns (Co = 512, LARGE tile blkN = 128)

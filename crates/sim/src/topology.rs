@@ -1,0 +1,581 @@
+//! Explicit interconnect topology graphs: hop counts and link contention
+//! *derived* from a device graph instead of the scalar `topology_factor`
+//! the [`crate::interconnect`] presets hard-code.
+//!
+//! PR 3 priced the fabric with three scalars (link bandwidth, latency,
+//! byte multiplier). That collapses every real machine shape — NVLink
+//! rings, NVSwitch stars, mesh boards, multi-node hierarchies — into one
+//! hand-picked factor. A [`Topology`] instead *builds the graph* for a
+//! device count and derives the pricing from it:
+//!
+//! * **byte multiplier** = mean shortest-path hop count over ordered
+//!   device pairs (every logical byte crosses that many links on
+//!   average);
+//! * **contention** = the busiest link's share of uniform all-to-all
+//!   routing relative to the mean link load (slow links count more:
+//!   loads are weighted by the inverse of the link's bandwidth scale),
+//!   which derates the effective per-device bandwidth;
+//! * **per-hop latency** accumulates along the mean path.
+//!
+//! The base fabric ([`Interconnect`] preset: `nvlink`/`pcie`) supplies
+//! the *per-hop* bandwidth and latency; the graph supplies the shape.
+//! The zero-cost `ideal` fabric passes through every topology unchanged,
+//! preserving the repository's testing-by-identity contract (an ideal
+//! multi-GPU run stays bitwise identical to the single-device sharded
+//! run under **any** topology).
+//!
+//! All-reduce is priced per algorithm, not per scalar: ring-like
+//! topologies (`ring`, `mesh`, `hierarchical`) run the bandwidth-optimal
+//! ring all-reduce over neighbor links — `2·(G−1)` steps of `payload/G`,
+//! bottlenecked by the slowest link on the ring — while the `switch`
+//! star runs a tree reduce+broadcast through the hub —
+//! `2·ceil(log2 G)` steps of the full payload crossing two links each.
+
+use crate::interconnect::{Interconnect, InterconnectKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Devices per group in the [`TopologyKind::Hierarchical`] preset
+/// (NVLink island size of a typical multi-GPU node).
+pub const HIERARCHICAL_GROUP: u32 = 4;
+
+/// Bandwidth scale of the inter-group uplinks in the hierarchical
+/// preset (a host/NIC hop at a quarter of the intra-group link speed).
+pub const HIERARCHICAL_UPLINK_SCALE: f64 = 0.25;
+
+/// Which topology graph a multi-GPU simulation prices cross-device
+/// traffic through. `None` in [`crate::SimConfig::topology`] keeps the
+/// legacy scalar pricing (bitwise identical to PR 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// Each device linked to its two neighbors in a cycle.
+    Ring,
+    /// Every device linked to one central switch (star / NVSwitch).
+    Switch,
+    /// Devices in a near-square 2D grid, Manhattan routing.
+    Mesh,
+    /// Full-speed islands of [`HIERARCHICAL_GROUP`] devices whose
+    /// leaders connect over slow uplinks (multi-node shape).
+    Hierarchical,
+}
+
+impl TopologyKind {
+    /// Every preset, in CLI/documentation order.
+    pub const ALL: [TopologyKind; 4] = [
+        TopologyKind::Ring,
+        TopologyKind::Switch,
+        TopologyKind::Mesh,
+        TopologyKind::Hierarchical,
+    ];
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TopologyKind::Ring => "ring",
+            TopologyKind::Switch => "switch",
+            TopologyKind::Mesh => "mesh",
+            TopologyKind::Hierarchical => "hierarchical",
+        })
+    }
+}
+
+impl FromStr for TopologyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ring" => Ok(TopologyKind::Ring),
+            "switch" => Ok(TopologyKind::Switch),
+            "mesh" => Ok(TopologyKind::Mesh),
+            "hierarchical" => Ok(TopologyKind::Hierarchical),
+            other => Err(format!(
+                "unknown topology `{other}` (expected ring, switch, mesh, or hierarchical)"
+            )),
+        }
+    }
+}
+
+/// One undirected link of a topology graph. `bw_scale` scales the base
+/// fabric's per-hop bandwidth (1.0 = full speed; the hierarchical
+/// uplinks run at [`HIERARCHICAL_UPLINK_SCALE`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopoLink {
+    /// One endpoint (node index; the switch hub is node `devices`).
+    pub a: u32,
+    /// The other endpoint.
+    pub b: u32,
+    /// Bandwidth of this link relative to the base fabric's per-hop
+    /// bandwidth.
+    pub bw_scale: f64,
+}
+
+/// A built topology: the link list for a concrete device count plus the
+/// quantities derived from it (mean hops, contention, ring bottleneck).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    kind: TopologyKind,
+    devices: u32,
+    links: Vec<TopoLink>,
+    avg_hops: f64,
+    contention: f64,
+    ring_bottleneck_scale: f64,
+}
+
+impl Topology {
+    /// Builds the `kind` graph over `devices` GPUs (clamped to at least
+    /// 1) and derives its pricing quantities.
+    pub fn build(kind: TopologyKind, devices: u32) -> Topology {
+        let g = devices.max(1);
+        let links = match kind {
+            TopologyKind::Ring => ring_links(g),
+            TopologyKind::Switch => switch_links(g),
+            TopologyKind::Mesh => mesh_links(g),
+            TopologyKind::Hierarchical => hierarchical_links(g),
+        };
+        // Node count: the switch preset has one extra (the hub).
+        let nodes = match kind {
+            TopologyKind::Switch if g > 1 => g + 1,
+            _ => g,
+        };
+        let (avg_hops, contention) = derive_routing(g, nodes, &links);
+        let ring_bottleneck_scale = links
+            .iter()
+            .map(|l| l.bw_scale)
+            .fold(f64::INFINITY, f64::min)
+            .clamp(f64::MIN_POSITIVE, 1.0);
+        Topology {
+            kind,
+            devices: g,
+            links,
+            avg_hops,
+            contention,
+            ring_bottleneck_scale,
+        }
+    }
+
+    /// The preset this graph was built from.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Device count the graph spans.
+    pub fn devices(&self) -> u32 {
+        self.devices
+    }
+
+    /// The link list (empty for a single device).
+    pub fn links(&self) -> &[TopoLink] {
+        &self.links
+    }
+
+    /// Mean shortest-path hop count over ordered device pairs — the
+    /// *derived* effective byte multiplier (1.0 for a single device).
+    pub fn avg_hops(&self) -> f64 {
+        self.avg_hops
+    }
+
+    /// Busiest link's weighted load relative to the mean link load under
+    /// uniform all-to-all shortest-path routing (`>= 1`); derates the
+    /// effective per-device bandwidth.
+    pub fn contention(&self) -> f64 {
+        self.contention
+    }
+
+    /// Bandwidth scale of the slowest link — the bottleneck of a ring
+    /// all-reduce embedded in this graph (1.0 except for hierarchical
+    /// uplinks).
+    pub fn ring_bottleneck_scale(&self) -> f64 {
+        self.ring_bottleneck_scale
+    }
+
+    /// Derives the effective point-to-point pricing from the graph: byte
+    /// multiplier = mean hop count, per-device bandwidth derated by the
+    /// contention of the busiest link, setup latency accumulated per
+    /// hop. The `ideal` fabric passes through unchanged so the
+    /// zero-cost identity configuration stays zero-cost under every
+    /// topology.
+    pub fn price(&self, fabric: &Interconnect) -> Interconnect {
+        if fabric.kind == InterconnectKind::Ideal {
+            return *fabric;
+        }
+        Interconnect {
+            kind: fabric.kind,
+            link_bw_gbps: fabric.link_bw_gbps / self.contention,
+            latency_s: fabric.latency_s * self.avg_hops,
+            topology_factor: self.avg_hops,
+        }
+    }
+
+    /// Total link bytes of an all-reduce of `payload` logical bytes over
+    /// this graph (0 for fewer than 2 devices and under `ideal`).
+    ///
+    /// Ring-like graphs run the ring algorithm: every chunk crosses
+    /// exactly one (neighbor) link per step, `2·(G−1)·payload` in total.
+    /// The switch star runs a tree reduce+broadcast: `2·(G−1)` messages
+    /// of the full payload, each crossing two links (up and down the
+    /// hub).
+    pub fn all_reduce_bytes(&self, fabric: &Interconnect, payload: f64) -> f64 {
+        if fabric.kind == InterconnectKind::Ideal || self.devices < 2 {
+            return 0.0;
+        }
+        let g = f64::from(self.devices);
+        match self.kind {
+            TopologyKind::Ring | TopologyKind::Mesh | TopologyKind::Hierarchical => {
+                2.0 * (g - 1.0) * payload
+            }
+            TopologyKind::Switch => 2.0 * 2.0 * (g - 1.0) * payload,
+        }
+    }
+
+    /// Seconds of an all-reduce of `payload` logical bytes over this
+    /// graph (0 for fewer than 2 devices and under `ideal`).
+    ///
+    /// Ring-like graphs: `2·(G−1)` steps, each moving `payload/G` over
+    /// the slowest link on the ring. Switch: `2·ceil(log2 G)` tree
+    /// steps, each moving the full payload through the hub (two hops of
+    /// latency and bandwidth).
+    pub fn all_reduce_seconds(&self, fabric: &Interconnect, payload: f64) -> f64 {
+        if fabric.kind == InterconnectKind::Ideal || self.devices < 2 {
+            return 0.0;
+        }
+        let g = f64::from(self.devices);
+        let bw = fabric.link_bw_gbps * 1e9;
+        match self.kind {
+            TopologyKind::Ring | TopologyKind::Mesh | TopologyKind::Hierarchical => {
+                let eff_bw = bw * self.ring_bottleneck_scale;
+                2.0 * (g - 1.0) * (fabric.latency_s + (payload / g) / eff_bw)
+            }
+            TopologyKind::Switch => {
+                let steps = 2.0 * g.log2().ceil().max(1.0);
+                steps * (2.0 * fabric.latency_s + 2.0 * payload / bw)
+            }
+        }
+    }
+}
+
+/// Cycle over `g` devices (a single link for 2, none for 1).
+fn ring_links(g: u32) -> Vec<TopoLink> {
+    match g {
+        0 | 1 => Vec::new(),
+        2 => vec![TopoLink {
+            a: 0,
+            b: 1,
+            bw_scale: 1.0,
+        }],
+        _ => (0..g)
+            .map(|i| TopoLink {
+                a: i,
+                b: (i + 1) % g,
+                bw_scale: 1.0,
+            })
+            .collect(),
+    }
+}
+
+/// Star: every device linked to the hub node `g`.
+fn switch_links(g: u32) -> Vec<TopoLink> {
+    if g < 2 {
+        return Vec::new();
+    }
+    (0..g)
+        .map(|i| TopoLink {
+            a: i,
+            b: g,
+            bw_scale: 1.0,
+        })
+        .collect()
+}
+
+/// Near-square 2D grid, row-major, partial last row allowed.
+fn mesh_links(g: u32) -> Vec<TopoLink> {
+    if g < 2 {
+        return Vec::new();
+    }
+    let cols = (f64::from(g).sqrt().ceil() as u32).max(1);
+    let mut links = Vec::new();
+    for i in 0..g {
+        let c = i % cols;
+        if c + 1 < cols && i + 1 < g {
+            links.push(TopoLink {
+                a: i,
+                b: i + 1,
+                bw_scale: 1.0,
+            });
+        }
+        if i + cols < g {
+            links.push(TopoLink {
+                a: i,
+                b: i + cols,
+                bw_scale: 1.0,
+            });
+        }
+    }
+    links
+}
+
+/// Full-speed islands of [`HIERARCHICAL_GROUP`] with their leaders (the
+/// first device of each group) ringed over slow uplinks.
+fn hierarchical_links(g: u32) -> Vec<TopoLink> {
+    if g < 2 {
+        return Vec::new();
+    }
+    let mut links = Vec::new();
+    let groups = g.div_ceil(HIERARCHICAL_GROUP);
+    for grp in 0..groups {
+        let lo = grp * HIERARCHICAL_GROUP;
+        let hi = (lo + HIERARCHICAL_GROUP).min(g);
+        // All-to-all within the island (NVLink mesh on one board).
+        for a in lo..hi {
+            for b in (a + 1)..hi {
+                links.push(TopoLink {
+                    a,
+                    b,
+                    bw_scale: 1.0,
+                });
+            }
+        }
+    }
+    // Leaders ring over the uplinks.
+    let leaders: Vec<u32> = (0..groups).map(|grp| grp * HIERARCHICAL_GROUP).collect();
+    match leaders.len() {
+        0 | 1 => {}
+        2 => links.push(TopoLink {
+            a: leaders[0],
+            b: leaders[1],
+            bw_scale: HIERARCHICAL_UPLINK_SCALE,
+        }),
+        n => {
+            for i in 0..n {
+                links.push(TopoLink {
+                    a: leaders[i],
+                    b: leaders[(i + 1) % n],
+                    bw_scale: HIERARCHICAL_UPLINK_SCALE,
+                });
+            }
+        }
+    }
+    links
+}
+
+/// All-pairs shortest-path routing over the graph: returns (mean hops
+/// over ordered device pairs, busiest-link weighted load over the mean
+/// link load). Each pair's unit flow splits **equally across every
+/// shortest path** (Brandes-style accumulation), so symmetric graphs
+/// derive symmetric loads (a plain ring's contention is exactly 1); a
+/// link's load is weighted by `1 / bw_scale` so slow links contend
+/// harder.
+fn derive_routing(devices: u32, nodes: u32, links: &[TopoLink]) -> (f64, f64) {
+    if devices < 2 || links.is_empty() {
+        return (1.0, 1.0);
+    }
+    let n = nodes as usize;
+    let d = devices as usize;
+    // Adjacency: (neighbor, link index).
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (idx, l) in links.iter().enumerate() {
+        adj[l.a as usize].push((l.b as usize, idx));
+        adj[l.b as usize].push((l.a as usize, idx));
+    }
+    let mut total_hops = 0.0f64;
+    let mut load = vec![0.0f64; links.len()];
+    for src in 0..d {
+        // BFS with shortest-path counts and predecessor links.
+        let mut dist = vec![usize::MAX; n];
+        let mut sigma = vec![0.0f64; n];
+        let mut preds: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        let mut order = Vec::with_capacity(n);
+        let mut queue = std::collections::VecDeque::new();
+        dist[src] = 0;
+        sigma[src] = 1.0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &(v, link) in &adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+                if dist[v] == dist[u] + 1 {
+                    sigma[v] += sigma[u];
+                    preds[v].push((u, link));
+                }
+            }
+        }
+        // Unit flow from src to every other device, split equally over
+        // that pair's shortest paths; walk nodes in reverse BFS order
+        // and push each node's demand back toward the source.
+        let mut flow = vec![0.0f64; n];
+        for &v in order.iter().rev() {
+            let mut demand = flow[v];
+            if v != src && v < d {
+                demand += 1.0;
+                total_hops += dist[v] as f64;
+            }
+            if v == src || demand == 0.0 {
+                continue;
+            }
+            for &(u, link) in &preds[v] {
+                let share = demand * sigma[u] / sigma[v];
+                load[link] += share;
+                flow[u] += share;
+            }
+        }
+    }
+    let pairs = f64::from(devices) * f64::from(devices - 1);
+    let avg_hops = total_hops / pairs;
+    let weighted: Vec<f64> = load
+        .iter()
+        .zip(links)
+        .map(|(&l, link)| l / link.bw_scale)
+        .collect();
+    let max = weighted.iter().copied().fold(0.0, f64::max);
+    let mean = weighted.iter().sum::<f64>() / weighted.len() as f64;
+    let contention = if mean > 0.0 {
+        (max / mean).max(1.0)
+    } else {
+        1.0
+    };
+    (avg_hops, contention)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip_through_strings() {
+        for kind in TopologyKind::ALL {
+            let s = kind.to_string();
+            assert_eq!(s.parse::<TopologyKind>().unwrap(), kind);
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: TopologyKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, kind);
+        }
+        let err = "torus".parse::<TopologyKind>().unwrap_err();
+        assert!(err.contains("torus") && err.contains("ring"), "{err}");
+    }
+
+    #[test]
+    fn graph_shapes_have_the_expected_link_counts() {
+        assert_eq!(Topology::build(TopologyKind::Ring, 1).links().len(), 0);
+        assert_eq!(Topology::build(TopologyKind::Ring, 2).links().len(), 1);
+        assert_eq!(Topology::build(TopologyKind::Ring, 8).links().len(), 8);
+        assert_eq!(Topology::build(TopologyKind::Switch, 4).links().len(), 4);
+        // 2x2 grid: 4 links (it is the 4-ring).
+        assert_eq!(Topology::build(TopologyKind::Mesh, 4).links().len(), 4);
+        // 3x3 grid: 12 links.
+        assert_eq!(Topology::build(TopologyKind::Mesh, 9).links().len(), 12);
+        // Two islands of 4 (6 intra links each) + 1 uplink.
+        let h = Topology::build(TopologyKind::Hierarchical, 8);
+        assert_eq!(h.links().len(), 13);
+        assert_eq!(h.links().iter().filter(|l| l.bw_scale < 1.0).count(), 1);
+        assert_eq!(h.ring_bottleneck_scale(), HIERARCHICAL_UPLINK_SCALE);
+    }
+
+    #[test]
+    fn derived_hops_match_hand_counts() {
+        // Ring of 4: distances 1,2,1 per node -> mean 4/3.
+        let r4 = Topology::build(TopologyKind::Ring, 4);
+        assert!((r4.avg_hops() - 4.0 / 3.0).abs() < 1e-12);
+        assert!((r4.contention() - 1.0).abs() < 1e-12, "{}", r4.contention());
+        // Star: every pair is exactly 2 hops, all links balanced.
+        let s4 = Topology::build(TopologyKind::Switch, 4);
+        assert!((s4.avg_hops() - 2.0).abs() < 1e-12);
+        assert!((s4.contention() - 1.0).abs() < 1e-12);
+        // 2x2 mesh is the 4-ring.
+        let m4 = Topology::build(TopologyKind::Mesh, 4);
+        assert!((m4.avg_hops() - 4.0 / 3.0).abs() < 1e-12);
+        // Hierarchical 8: cross-island paths pile onto one slow uplink.
+        let h8 = Topology::build(TopologyKind::Hierarchical, 8);
+        assert!(h8.avg_hops() > 1.0);
+        assert!(h8.contention() > 2.0, "{}", h8.contention());
+        // Single device degenerates cleanly.
+        let one = Topology::build(TopologyKind::Hierarchical, 1);
+        assert_eq!(one.avg_hops(), 1.0);
+        assert_eq!(one.contention(), 1.0);
+    }
+
+    #[test]
+    fn pricing_derives_the_byte_multiplier_and_passes_ideal_through() {
+        let nv = Interconnect::nvlink();
+        let r8 = Topology::build(TopologyKind::Ring, 8);
+        let priced = r8.price(&nv);
+        // The factor is derived (mean hops), not the preset scalar.
+        assert_eq!(priced.topology_factor, r8.avg_hops());
+        assert!(priced.topology_factor > 1.0);
+        assert_eq!(priced.latency_s, nv.latency_s * r8.avg_hops());
+        assert!(priced.link_bw_gbps <= nv.link_bw_gbps);
+        // Ideal stays the zero-cost identity under every topology.
+        for kind in TopologyKind::ALL {
+            let t = Topology::build(kind, 8);
+            let p = t.price(&Interconnect::ideal());
+            assert_eq!(p, Interconnect::ideal(), "{kind}");
+            assert_eq!(p.halo_bytes(1e9, 8), 0.0, "{kind}");
+            assert_eq!(t.all_reduce_bytes(&Interconnect::ideal(), 1e9), 0.0);
+            assert_eq!(t.all_reduce_seconds(&Interconnect::ideal(), 1e9), 0.0);
+        }
+    }
+
+    #[test]
+    fn ring_all_reduce_matches_the_legacy_scalar_formula() {
+        // On a plain ring with factor-1 per-hop pricing, the graph's
+        // all-reduce is exactly the legacy 2(G-1)(alpha + p/(G*B))
+        // formula — the derivation generalizes the scalar, it does not
+        // drift from it.
+        let nv = Interconnect::nvlink();
+        for g in [2u32, 4, 8] {
+            let t = Topology::build(TopologyKind::Ring, g);
+            let payload = 64e6;
+            assert_eq!(
+                t.all_reduce_seconds(&nv, payload),
+                nv.all_reduce_seconds(payload, g),
+                "g={g}"
+            );
+            assert_eq!(
+                t.all_reduce_bytes(&nv, payload),
+                nv.all_reduce_bytes(payload, g),
+                "g={g}"
+            );
+        }
+    }
+
+    #[test]
+    fn topology_ordering_is_physically_sensible() {
+        let nv = Interconnect::nvlink();
+        let payload = 100e6;
+        let g = 8;
+        let ring = Topology::build(TopologyKind::Ring, g);
+        let switch = Topology::build(TopologyKind::Switch, g);
+        let hier = Topology::build(TopologyKind::Hierarchical, g);
+        // The slow uplink makes the hierarchical ring all-reduce the
+        // most expensive.
+        assert!(hier.all_reduce_seconds(&nv, payload) > ring.all_reduce_seconds(&nv, payload));
+        // The switch tree pays log-depth full-payload steps: slower than
+        // the bandwidth-optimal ring for large payloads...
+        assert!(switch.all_reduce_seconds(&nv, payload) > ring.all_reduce_seconds(&nv, payload));
+        // ...but wins on latency for tiny payloads at higher device
+        // counts (fewer steps).
+        let tiny = 1e3;
+        let ring16 = Topology::build(TopologyKind::Ring, 16);
+        let switch16 = Topology::build(TopologyKind::Switch, 16);
+        assert!(switch16.all_reduce_seconds(&nv, tiny) < ring16.all_reduce_seconds(&nv, tiny));
+        // All-reduce over <2 devices is free.
+        assert_eq!(
+            Topology::build(TopologyKind::Ring, 1).all_reduce_seconds(&nv, payload),
+            0.0
+        );
+    }
+
+    #[test]
+    fn mesh_scales_better_than_ring_on_hops() {
+        // A 4x4 mesh has shorter mean paths than a 16-ring.
+        let mesh = Topology::build(TopologyKind::Mesh, 16);
+        let ring = Topology::build(TopologyKind::Ring, 16);
+        assert!(mesh.avg_hops() < ring.avg_hops());
+        // Both derive contention >= 1.
+        assert!(mesh.contention() >= 1.0);
+        assert!(ring.contention() >= 1.0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Cross-crate integration of the topology-aware collective scheduler:
+//! `SimConfig::{topology, bucket_mb, overlap}` through `Backend`,
+//! `Engine`, and the persistent cache.
+//!
+//! Three acceptance contracts are pinned here (mirroring the CI perf
+//! gate):
+//!
+//! 1. **legacy identity** — with the scalar interconnect presets (no
+//!    `--topology`) the multi-GPU evaluation is byte-identical, down to
+//!    the serialized JSON, to the pre-scheduler output (a golden file
+//!    captured before the topology subsystem landed);
+//! 2. **scheduling bounds** — for every topology × device count ×
+//!    bucket size, the overlapped step satisfies
+//!    `max(compute, comm) <= step <= serial`, and with overlap off the
+//!    step *is* the serial schedule, bitwise;
+//! 3. **cache hygiene** — a persistent cache file written under a
+//!    different interconnect, topology, or sampling configuration is
+//!    refused, never silently replayed.
+
+use delta_model::engine::Engine;
+use delta_model::schedule::SpanKind;
+use delta_model::{Backend, Delta, GpuSpec};
+use delta_sim::{InterconnectKind, SimConfig, Simulator, TopologyKind};
+
+fn sim(config: SimConfig) -> Simulator {
+    Simulator::new(GpuSpec::titan_xp(), config)
+}
+
+fn nvlink() -> SimConfig {
+    SimConfig {
+        interconnect: InterconnectKind::NvLink,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn legacy_scalar_presets_match_the_pre_scheduler_golden_bytes() {
+    // The acceptance criterion behind `delta network alexnet --backend
+    // sim --gpus 4 --batch 2 --json` with the default (nvlink) scalar
+    // preset: the serialized evaluation must be byte-identical to the
+    // output captured before the topology/overlap subsystem existed.
+    // This is what keeps `topology: None` an exact superset of PR 3.
+    let net = delta_networks::alexnet(2).expect("builtin network");
+    let eval = Engine::new(sim(nvlink()))
+        .evaluate_network_multi(net.layers(), 4)
+        .expect("simulable network");
+    let json = serde_json::to_string_pretty(&eval).unwrap();
+    let golden = include_str!("golden/net_alexnet_sim_gpus4_nvlink_b2.json");
+    assert_eq!(json.trim_end(), golden.trim_end());
+}
+
+#[test]
+fn topology_changes_pricing_but_never_the_merge() {
+    // An explicit topology reprices link traffic and time; the on-device
+    // measurement (the merge) must stay bitwise identical.
+    let net = delta_networks::alexnet(2).expect("builtin network");
+    let legacy = Engine::new(sim(nvlink()))
+        .evaluate_network_multi(net.layers(), 4)
+        .unwrap();
+    for kind in TopologyKind::ALL {
+        let topo = Engine::new(sim(SimConfig {
+            topology: Some(kind),
+            ..nvlink()
+        }))
+        .evaluate_network_multi(net.layers(), 4)
+        .unwrap();
+        for (a, b) in legacy.rows.iter().zip(&topo.rows) {
+            assert_eq!(a.estimate.l1_bytes, b.estimate.l1_bytes, "{kind}");
+            assert_eq!(a.estimate.l2_bytes, b.estimate.l2_bytes, "{kind}");
+            assert_eq!(
+                a.estimate.dram_read_bytes, b.estimate.dram_read_bytes,
+                "{kind}"
+            );
+            assert_eq!(
+                a.estimate.dram_write_bytes, b.estimate.dram_write_bytes,
+                "{kind}"
+            );
+        }
+        // The derived multiplier actually bites: the switch star (2 hops
+        // everywhere) moves more halo bytes than the scalar preset's
+        // factor 1.0.
+        if kind == TopologyKind::Switch {
+            let link_legacy: f64 = legacy.rows.iter().map(|r| r.estimate.link_bytes).sum();
+            let link_topo: f64 = topo.rows.iter().map(|r| r.estimate.link_bytes).sum();
+            assert!(link_topo > link_legacy, "{link_topo} vs {link_legacy}");
+        }
+    }
+    // Under ideal, every topology is the zero-cost identity.
+    for kind in TopologyKind::ALL {
+        let ideal = Engine::new(sim(SimConfig {
+            topology: Some(kind),
+            ..SimConfig::default()
+        }))
+        .evaluate_network_multi(net.layers(), 4)
+        .unwrap();
+        let ideal_plain = Engine::new(sim(SimConfig::default()))
+            .evaluate_network_multi(net.layers(), 4)
+            .unwrap();
+        assert_eq!(ideal.rows, ideal_plain.rows, "{kind}");
+    }
+}
+
+#[test]
+fn scheduled_step_satisfies_the_bounds_for_every_config() {
+    let net = delta_networks::alexnet(2).expect("builtin network");
+    for kind in TopologyKind::ALL {
+        for g in [1u32, 2, 4, 8] {
+            for bucket_mb in [1u32, 25, 1024] {
+                let overlapped = sim(SimConfig {
+                    topology: Some(kind),
+                    bucket_mb,
+                    overlap: true,
+                    ..nvlink()
+                })
+                .schedule_training_step(net.layers(), g)
+                .unwrap();
+                assert!(
+                    overlapped.bounds_hold(),
+                    "{kind} g={g} bucket={bucket_mb}: compute {}, comm {}, step {}, serial {}",
+                    overlapped.compute_seconds,
+                    overlapped.comm_seconds,
+                    overlapped.step_seconds,
+                    overlapped.serial_seconds
+                );
+                let serial = sim(SimConfig {
+                    topology: Some(kind),
+                    bucket_mb,
+                    overlap: false,
+                    ..nvlink()
+                })
+                .schedule_training_step(net.layers(), g)
+                .unwrap();
+                // Overlap off: the step IS the serial schedule, bitwise.
+                assert_eq!(serial.step_seconds, serial.serial_seconds);
+                // The overlapped step never loses to the serial one.
+                assert!(overlapped.step_seconds <= serial.step_seconds);
+                if g == 1 {
+                    // One device exchanges nothing.
+                    assert_eq!(overlapped.comm_seconds, 0.0);
+                    assert_eq!(overlapped.step_seconds, overlapped.compute_seconds);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn smaller_buckets_hide_more_communication() {
+    // One giant bucket cannot launch before the last gradient is ready,
+    // so everything is exposed; fine buckets stream behind backward
+    // compute. The hierarchical topology's slow uplink makes the effect
+    // visible on a small network.
+    let net = delta_networks::alexnet(2).expect("builtin network");
+    let schedule = |bucket_mb: u32| {
+        sim(SimConfig {
+            topology: Some(TopologyKind::Hierarchical),
+            bucket_mb,
+            overlap: true,
+            ..nvlink()
+        })
+        .schedule_training_step(net.layers(), 8)
+        .unwrap()
+    };
+    let fine = schedule(1);
+    let coarse = schedule(1024);
+    assert_eq!(coarse.per_device[0].comm.len(), 1, "one giant bucket");
+    assert!(fine.per_device[0].comm.len() > 1);
+    assert!(
+        fine.exposed_comm_seconds <= coarse.exposed_comm_seconds,
+        "fine {} vs coarse {}",
+        fine.exposed_comm_seconds,
+        coarse.exposed_comm_seconds
+    );
+    assert!(fine.step_seconds <= coarse.step_seconds);
+    // Both agree on the compute stream.
+    assert_eq!(fine.compute_seconds, coarse.compute_seconds);
+}
+
+#[test]
+fn engine_routes_the_scheduled_step_and_model_falls_back_to_serial() {
+    let net = delta_networks::alexnet(2).expect("builtin network");
+    // Sim backend through the engine == direct simulator call.
+    let config = SimConfig {
+        topology: Some(TopologyKind::Ring),
+        bucket_mb: 4,
+        overlap: true,
+        ..nvlink()
+    };
+    let via_engine = Engine::new(sim(config))
+        .evaluate_training_step_scheduled(net.layers(), 4)
+        .unwrap();
+    let direct = sim(config).schedule_training_step(net.layers(), 4).unwrap();
+    assert_eq!(via_engine, direct);
+    assert!(via_engine.overlap);
+    assert!(via_engine.comm_seconds > 0.0);
+    assert_eq!(via_engine.per_device.len(), 4);
+    // Spans: forward in order, then backward reversed; comm buckets in
+    // ready order starting from the last layer.
+    let dev = &via_engine.per_device[0];
+    assert_eq!(dev.compute[0].kind, SpanKind::Forward);
+    assert_eq!(dev.compute[0].label, "conv1");
+    assert_eq!(dev.compute.last().unwrap().kind, SpanKind::Wgrad);
+    assert_eq!(dev.compute.last().unwrap().label, "conv1");
+    assert!(dev.comm[0].label.contains("conv5"), "{}", dev.comm[0].label);
+    // Model backend: the serial fallback, no comm stream, bounds hold.
+    let model = Engine::new(Delta::new(GpuSpec::titan_xp()))
+        .evaluate_training_step_scheduled(net.layers(), 4)
+        .unwrap();
+    assert_eq!(model.comm_seconds, 0.0);
+    assert_eq!(model.step_seconds, model.serial_seconds);
+    assert!(model.bounds_hold());
+}
+
+#[test]
+fn cache_files_from_other_configurations_are_refused() {
+    // Satellite: the persistent cache must reject files whose producing
+    // configuration differs — interconnect, topology, scheduler knobs,
+    // or sampling limits — instead of silently replaying stale prices.
+    let dir = std::env::temp_dir().join("delta_overlap_cache_refusal_test");
+    let path = dir.join("cache.json");
+    let net = delta_networks::alexnet(2).expect("builtin network");
+
+    let producer = Engine::new(sim(nvlink()));
+    producer.evaluate_network_multi(net.layers(), 4).unwrap();
+    assert!(producer.save_cache(&path).unwrap() > 0);
+
+    // Same configuration: loads fine.
+    let same = Engine::new(sim(nvlink()));
+    assert!(same.load_cache(&path).is_ok());
+
+    // Different interconnect preset: refused.
+    let other_ic = Engine::new(sim(SimConfig {
+        interconnect: InterconnectKind::Pcie,
+        ..SimConfig::default()
+    }));
+    let err = other_ic.load_cache(&path).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("configuration"), "{err}");
+
+    // A topology graph vs. the scalar preset: refused (the halo
+    // multiplier differs, so cached link charges would be wrong).
+    for kind in TopologyKind::ALL {
+        let topo = Engine::new(sim(SimConfig {
+            topology: Some(kind),
+            ..nvlink()
+        }));
+        let err = topo.load_cache(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{kind}");
+    }
+
+    // Different sampling fingerprint: refused.
+    let exhaustive = Engine::new(sim(SimConfig {
+        interconnect: InterconnectKind::NvLink,
+        ..SimConfig::exhaustive()
+    }));
+    assert!(exhaustive.load_cache(&path).is_err());
+
+    // Different scheduler knobs: the fingerprint covers the whole
+    // SimConfig, so these are refused too (coarse but safe).
+    let overlap = Engine::new(sim(SimConfig {
+        overlap: true,
+        ..nvlink()
+    }));
+    assert!(overlap.load_cache(&path).is_err());
+    let bucket = Engine::new(sim(SimConfig {
+        bucket_mb: 4,
+        ..nvlink()
+    }));
+    assert!(bucket.load_cache(&path).is_err());
+
+    // And a topology-produced cache round-trips into the same topology.
+    let topo_path = dir.join("topo_cache.json");
+    let topo_cfg = SimConfig {
+        topology: Some(TopologyKind::Switch),
+        ..nvlink()
+    };
+    let topo_producer = Engine::new(sim(topo_cfg));
+    let est = topo_producer
+        .evaluate_layer_multi(&net.layers()[0], 4)
+        .unwrap();
+    topo_producer.save_cache(&topo_path).unwrap();
+    let topo_consumer = Engine::new(sim(topo_cfg));
+    topo_consumer.load_cache(&topo_path).unwrap();
+    assert_eq!(
+        topo_consumer
+            .evaluate_layer_multi(&net.layers()[0], 4)
+            .unwrap(),
+        est
+    );
+    assert_eq!(topo_consumer.cache_stats().misses, 0);
+}
+
+#[test]
+fn backend_trait_routes_the_scheduled_estimate() {
+    // The `Backend` seam itself: the simulator's override and the
+    // reference-forwarding impl both reach the collective scheduler.
+    let net = delta_networks::alexnet(2).expect("builtin network");
+    let config = SimConfig {
+        topology: Some(TopologyKind::Mesh),
+        bucket_mb: 8,
+        overlap: true,
+        ..nvlink()
+    };
+    let s = sim(config);
+    let direct = s.schedule_training_step(net.layers(), 4).unwrap();
+    let via_trait = Backend::estimate_training_step_scheduled(&s, net.layers(), 4).unwrap();
+    assert_eq!(via_trait, direct);
+    let by_ref: &dyn Backend = &&s;
+    assert_eq!(
+        by_ref
+            .estimate_training_step_scheduled(net.layers(), 4)
+            .unwrap(),
+        direct
+    );
+}

@@ -177,6 +177,52 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
+    /// The gradient bucketizer is an ordered, disjoint, exhaustive
+    /// partition of the per-layer |∇W| byte list — for arbitrary layer
+    /// mixes (three random conv shapes, each repeated 0..=5 times) and
+    /// bucket sizes from 0 (one bucket per gradient) through 1 TiB
+    /// (larger than any model, collapsing to a single bucket).
+    #[test]
+    fn bucketizer_partitions_wgrad_bytes_exactly(
+        (a, b, c, na, nb, nc, bucket_pow) in
+            (arb_layer(), arb_layer(), arb_layer(),
+             0u32..=5, 0u32..=5, 0u32..=5, 0u32..=40)
+    ) {
+        // The gradient list a data-parallel step would all-reduce, in
+        // backward (ready) order: each layer contributes its filter
+        // footprint.
+        let mut grads: Vec<u64> = Vec::new();
+        for (layer, n) in [(&a, na), (&b, nb), (&c, nc)] {
+            grads.extend(std::iter::repeat_n(layer.filter_bytes(), n as usize));
+        }
+        let bucket_bytes = match bucket_pow {
+            0 => 0,
+            p => 1u64 << p, // 2 B ..= 1 TiB
+        };
+        let buckets = delta_sim::bucketize(&grads, bucket_bytes);
+        // Ordered + disjoint + exhaustive: concatenating the buckets'
+        // items re-yields 0..len exactly.
+        let flat: Vec<usize> = buckets.iter().flat_map(|bk| bk.items.iter().copied()).collect();
+        prop_assert_eq!(flat, (0..grads.len()).collect::<Vec<_>>());
+        // Byte conservation, per bucket and in total; no empty buckets.
+        for bk in &buckets {
+            prop_assert!(!bk.items.is_empty());
+            let sum: u64 = bk.items.iter().map(|&i| grads[i]).sum();
+            prop_assert_eq!(bk.bytes, sum);
+        }
+        let total: u64 = buckets.iter().map(|bk| bk.bytes).sum();
+        prop_assert_eq!(total, grads.iter().sum::<u64>());
+        // Greedy closure: every bucket but the last reaches the
+        // threshold (the tail may stay short).
+        for bk in buckets.iter().rev().skip(1) {
+            prop_assert!(bk.bytes >= bucket_bytes);
+        }
+        // A bucket larger than the whole model yields a single bucket.
+        if !grads.is_empty() && bucket_bytes > total {
+            prop_assert_eq!(buckets.len(), 1);
+        }
+    }
+
     /// Shard partitions are a disjoint, exhaustive cover of the
     /// scheduler's batch list: replaying every batch of every
     /// shard-owned column visits exactly the CTA list the unsharded
