@@ -11,6 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use delta_model::engine::{Engine, EngineOptions};
+use delta_model::query::{Parallelism, StepQuery};
 use delta_model::{Delta, GpuSpec};
 use delta_sim::{SimConfig, Simulator};
 use std::hint::black_box;
@@ -58,7 +59,7 @@ fn bench_full_network_sim(c: &mut Criterion) {
                 },
                 |engine| {
                     engine
-                        .evaluate_network(black_box(net.layers()))
+                        .evaluate_network(black_box(net.layers()), &Parallelism::Single)
                         .expect("simulable network")
                         .total_seconds()
                 },
@@ -100,7 +101,7 @@ fn bench_whole_resnet_sim(c: &mut Criterion) {
             },
             |engine| {
                 engine
-                    .evaluate_network(black_box(net.layers()))
+                    .evaluate_network(black_box(net.layers()), &Parallelism::Single)
                     .expect("simulable network")
                     .total_seconds()
             },
@@ -138,7 +139,7 @@ fn bench_full_network_model(c: &mut Criterion) {
             || Engine::new(Delta::new(gpu.clone())),
             |engine| {
                 engine
-                    .evaluate_network(black_box(net.layers()))
+                    .evaluate_network(black_box(net.layers()), &Parallelism::Single)
                     .expect("analyzable network")
                     .total_seconds()
             },
@@ -158,8 +159,12 @@ fn bench_training_step(c: &mut Criterion) {
             || Engine::new(Delta::new(gpu.clone())),
             |engine| {
                 engine
-                    .evaluate_training_step(black_box(net.layers()))
+                    .evaluate_step(black_box(&StepQuery::new(
+                        net.layers(),
+                        Parallelism::Single,
+                    )))
                     .expect("estimable step")
+                    .table
                     .total_seconds()
             },
             BatchSize::SmallInput,

@@ -2,9 +2,9 @@
 //! architecture depends on:
 //!
 //! 1. **cached engine** — full-ResNet152 simulation through the parallel,
-//!    shape-cached engine vs. the hand-rolled sequential per-layer loop;
-//! 2. **sharded sim** — one big ResNet152 conv layer through
-//!    `Simulator::run_sharded` at 4 workers vs. 1 worker.
+//!    query-cached engine vs. the hand-rolled sequential per-layer loop;
+//! 2. **sharded sim** — one big ResNet152 conv layer through a
+//!    `Sharded { workers }` query at 4 workers vs. 1 worker.
 //!
 //! Both are measured as **speedup ratios**, not absolute times, so the
 //! gate is portable across CI machines of different raw speed. Usage:
@@ -20,18 +20,29 @@
 //! (speedup ≤ min(workers, columns, cores)); the correctness checks —
 //! shard bitwise identity (4 workers vs. 1), multi-GPU identity (4
 //! devices under the `ideal` interconnect vs. the single-device sharded
-//! run), and the collective scheduler's bounds
+//! run), the collective scheduler's bounds
 //! (`max(compute, comm) ≤ step ≤ serial`, overlap-off `step == serial`,
-//! across every topology preset) — run everywhere and are never
-//! skipped.
+//! across every topology preset), and the PR-4 golden byte identity of
+//! the pinned multi-GPU evaluation through the query API — run
+//! everywhere and are never skipped.
 
 use delta_bench::experiments::shard_scaling;
-use delta_model::engine::Engine;
-use delta_model::GpuSpec;
-use delta_sim::{SimConfig, Simulator};
+use delta_model::engine::{Engine, EngineOptions};
+use delta_model::query::{EvalQuery, Parallelism, StepQuery};
+use delta_model::{Backend, GpuSpec};
+use delta_sim::{InterconnectKind, SimConfig, Simulator};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// The pinned multi-GPU evaluation captured before the topology/overlap
+/// subsystem landed (PR 4's acceptance artifact). The gate re-runs it
+/// through the query API on every CI build: the redesign must reproduce
+/// the bytes exactly.
+const GOLDEN_NET_ALEXNET_GPUS4_NVLINK_B2: &str = include_str!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/golden/net_alexnet_sim_gpus4_nvlink_b2.json"
+));
 
 /// Measured ratios, written as the bench artifact.
 #[derive(Debug, Serialize, Deserialize)]
@@ -41,22 +52,27 @@ struct GateReport {
     /// Cached parallel engine speedup over the sequential per-layer loop
     /// (full ResNet152 simulation).
     engine_cached_speedup: f64,
-    /// `run_sharded(4)` speedup over `run_sharded(1)` on a 16-column
+    /// 4-worker over 1-worker sharded-query speedup on a 16-column
     /// ResNet152 conv layer.
     shard_speedup_4w: f64,
-    /// Whether the 4-worker measurement was bitwise identical to the
-    /// 1-worker measurement (must always be true).
+    /// Whether the 4-worker query answered bitwise identically to the
+    /// 1-worker query (must always be true).
     shard_identical: bool,
-    /// Whether a 4-device multi-GPU run under the `ideal` interconnect
-    /// merged bitwise identically to the single-device sharded run, with
-    /// zero link traffic (must always be true — the interconnect model
-    /// is the only permitted source of multi-GPU divergence).
+    /// Whether a 4-device multi-GPU query under the `ideal` interconnect
+    /// answered bitwise identically to the single-device sharded query,
+    /// with zero link traffic (must always be true — the interconnect
+    /// model is the only permitted source of multi-GPU divergence).
     multigpu_ideal_identical: bool,
     /// Whether the collective scheduler's timelines satisfied
     /// `max(compute, comm) <= step <= serial` with overlap on, and
     /// `step == serial` bitwise with overlap off, across every topology
     /// preset (must always be true).
     overlap_bounds_ok: bool,
+    /// Whether the query-API evaluation of the pinned configuration
+    /// (`network alexnet --backend sim --gpus 4 --batch 2`, nvlink
+    /// scalar preset) serialized byte-identically to the golden file
+    /// captured in PR 4 (must always be true).
+    golden_identical: bool,
 }
 
 /// The checked-in expectations (`BENCH_BASELINE.json`).
@@ -95,45 +111,51 @@ fn measure(reps: u32) -> GateReport {
         // A fresh engine per rep keeps the cache cold and the comparison
         // honest.
         Engine::new(Simulator::new(gpu.clone(), config))
-            .evaluate_network(net.layers())
+            .evaluate_network(net.layers(), &Parallelism::Single)
             .expect("simulable network")
             .total_seconds()
     });
 
     // Path 2: one big layer, sharded — the sweep's widest (most tile
     // columns), so 4 workers all get real work. Driven through
-    // `Engine::evaluate_layer_sharded` so the gate times the production
-    // seam (Engine → Backend → run_sharded), not a shortcut.
+    // `Engine::evaluate` with a `Sharded` query so the gate times the
+    // production seam (Engine → Backend → run_sharded), not a shortcut;
+    // the cache is disabled so every timed rep re-runs the replay.
     let layer = shard_scaling::widest_layer(16).expect("valid layer");
-    let engine = Engine::new(Simulator::new(gpu, config));
-    let e1 = engine
-        .evaluate_layer_sharded(&layer, 1)
-        .expect("simulable layer");
-    let e4 = engine
-        .evaluate_layer_sharded(&layer, 4)
-        .expect("simulable layer");
+    let engine = Engine::with_options(
+        Simulator::new(gpu.clone(), config),
+        EngineOptions {
+            parallel: true,
+            cache: false,
+        },
+    );
+    let sharded = |workers: u32| EvalQuery::forward(&layer, Parallelism::Sharded { workers });
+    let e1 = engine.evaluate(&sharded(1)).expect("simulable layer");
+    let e4 = engine.evaluate(&sharded(4)).expect("simulable layer");
     let t1 = best_of(reps, || {
         engine
-            .evaluate_layer_sharded(&layer, 1)
+            .evaluate(&sharded(1))
             .expect("simulable layer")
             .cycles
     });
     let t4 = best_of(reps, || {
         engine
-            .evaluate_layer_sharded(&layer, 4)
+            .evaluate(&sharded(4))
             .expect("simulable layer")
             .cycles
     });
 
-    // Path 3 (correctness only): the multi-GPU merge identity. Under the
-    // zero-cost `ideal` interconnect a 4-device run must reproduce the
-    // single-device sharded measurement bitwise and move zero link
-    // bytes; SimConfig::default() is the ideal configuration.
-    let sim_ideal = Simulator::new(GpuSpec::titan_xp(), config);
-    let multi = sim_ideal.run_multi(&layer, 4);
-    let multigpu_ideal_identical = multi.merged == sim_ideal.run_sharded(&layer, 1)
-        && multi.link_bytes == 0.0
-        && multi.link_seconds == 0.0;
+    // Path 3 (correctness only): the multi-GPU merge identity through
+    // the query API. Under the zero-cost `ideal` interconnect a 4-device
+    // query must reproduce the single-device sharded answer bitwise and
+    // move zero link bytes.
+    let ideal4 = engine
+        .evaluate(&EvalQuery::forward(
+            &layer,
+            Parallelism::multi(&gpu, 4, InterconnectKind::Ideal),
+        ))
+        .expect("simulable layer");
+    let multigpu_ideal_identical = ideal4 == e1 && ideal4.link_bytes == 0.0;
 
     // Path 4 (correctness only): the collective scheduler's bounds —
     // with overlap on, every emitted step time must sit between
@@ -144,32 +166,41 @@ fn measure(reps: u32) -> GateReport {
     let net_small = delta_networks::alexnet(2).expect("builtin network");
     let mut overlap_bounds_ok = true;
     for kind in delta_sim::TopologyKind::ALL {
-        let sched_config = SimConfig {
-            interconnect: delta_sim::InterconnectKind::NvLink,
-            topology: Some(kind),
+        let sim = Simulator::new(GpuSpec::titan_xp(), config);
+        let mut query = StepQuery {
+            layers: net_small.layers().to_vec(),
+            parallelism: Parallelism::Multi {
+                devices: vec![GpuSpec::titan_xp(); 4],
+                interconnect: InterconnectKind::NvLink,
+                topology: Some(kind),
+            },
             bucket_mb: 4,
             overlap: true,
-            ..SimConfig::default()
         };
-        let sim = Simulator::new(GpuSpec::titan_xp(), sched_config);
-        let overlapped = sim
-            .schedule_training_step(net_small.layers(), 4)
-            .expect("schedulable network");
-        let serial_sim = Simulator::new(
-            GpuSpec::titan_xp(),
-            SimConfig {
-                overlap: false,
-                ..sched_config
-            },
-        );
-        let serial = serial_sim
-            .schedule_training_step(net_small.layers(), 4)
-            .expect("schedulable network");
-        overlap_bounds_ok &= overlapped.bounds_hold()
-            && serial.bounds_hold()
-            && serial.step_seconds == serial.serial_seconds
-            && overlapped.step_seconds <= serial.step_seconds;
+        let overlapped = sim.evaluate_step(&query).expect("schedulable network");
+        query.overlap = false;
+        let serial = sim.evaluate_step(&query).expect("schedulable network");
+        overlap_bounds_ok &= overlapped.timeline.bounds_hold()
+            && serial.timeline.bounds_hold()
+            && serial.timeline.step_seconds == serial.timeline.serial_seconds
+            && overlapped.timeline.step_seconds <= serial.timeline.step_seconds
+            // Both views of one step come from the same replays: the
+            // tables must agree bitwise across the overlap flag.
+            && overlapped.table == serial.table;
     }
+
+    // Path 5 (correctness only): the pinned-output identity. The query
+    // API must reproduce PR 4's golden multi-GPU evaluation bytes.
+    let golden_eval = Engine::new(Simulator::new(GpuSpec::titan_xp(), config))
+        .evaluate_network(
+            net_small.layers(),
+            &Parallelism::multi(&GpuSpec::titan_xp(), 4, InterconnectKind::NvLink),
+        )
+        .expect("simulable network");
+    let golden_identical = serde_json::to_string_pretty(&golden_eval)
+        .expect("serializable evaluation")
+        .trim_end()
+        == GOLDEN_NET_ALEXNET_GPUS4_NVLINK_B2.trim_end();
 
     GateReport {
         cores: rayon::current_num_threads(),
@@ -178,6 +209,7 @@ fn measure(reps: u32) -> GateReport {
         shard_identical: e1 == e4,
         multigpu_ideal_identical,
         overlap_bounds_ok,
+        golden_identical,
     }
 }
 
@@ -236,13 +268,15 @@ fn main() {
     println!(
         "perf_gate ({} cores, best of {reps}):\n  engine_cached_speedup    = {:.2}x\n  \
          shard_speedup_4w         = {:.2}x\n  shard_identical          = {}\n  \
-         multigpu_ideal_identical = {}\n  overlap_bounds_ok        = {}",
+         multigpu_ideal_identical = {}\n  overlap_bounds_ok        = {}\n  \
+         golden_identical         = {}",
         report.cores,
         report.engine_cached_speedup,
         report.shard_speedup_4w,
         report.shard_identical,
         report.multigpu_ideal_identical,
-        report.overlap_bounds_ok
+        report.overlap_bounds_ok,
+        report.golden_identical
     );
 
     if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
@@ -273,7 +307,15 @@ fn main() {
     if !report.overlap_bounds_ok {
         failures.push(
             "collective scheduler violated max(compute, comm) <= step <= serial \
-             (or overlap-off step != serial) on some topology"
+             (or overlap-off step != serial, or the table depended on the overlap \
+             flag) on some topology"
+                .to_string(),
+        );
+    }
+    if !report.golden_identical {
+        failures.push(
+            "query-API evaluation of the pinned --gpus 4 nvlink configuration is \
+             not byte-identical to tests/golden/net_alexnet_sim_gpus4_nvlink_b2.json"
                 .to_string(),
         );
     }

@@ -8,7 +8,7 @@ use crate::table::{f3, Table};
 use delta_model::engine::Engine;
 use delta_model::sweep::{self, ranges};
 use delta_model::tiling::LayerTiling;
-use delta_model::{ConvLayer, Delta, Error, GpuSpec};
+use delta_model::{ConvLayer, Delta, Error, GpuSpec, Parallelism};
 use delta_sim::Simulator;
 
 /// Sub-sampling stride over the paper's x-axes so the single-core default
@@ -55,7 +55,9 @@ fn sweep_table(
         })
         .collect::<Result<_, _>>()?;
     // All sweep points simulate in parallel through the engine.
-    let measured = engine.evaluate_layers(&layers)?;
+    let measured = engine
+        .evaluate_network(&layers, &Parallelism::Single)?
+        .into_estimates();
     for ((x, layer), meas) in xs.iter().zip(&layers).zip(measured) {
         let est = delta.estimate_traffic(layer)?;
         t.push(vec![

@@ -191,23 +191,27 @@ mod tests {
     #[test]
     fn experiment_pricing_matches_the_simulator_scheduler() {
         // The repricing shortcut must agree with the production seam:
-        // Simulator::schedule_training_step under the same topology,
-        // bucket size, and device count produces the same timeline
-        // totals.
+        // the simulator's step query under the same topology, bucket
+        // size, and device count produces the same timeline totals.
+        use delta_model::query::{Parallelism, StepQuery};
+        use delta_model::Backend;
         let ctx = Ctx::smoke();
         let net = delta_networks::alexnet(ctx.sim_batch).unwrap();
         let g = 4;
-        let sim = Simulator::new(
-            GpuSpec::titan_xp(),
-            SimConfig {
-                interconnect: InterconnectKind::NvLink,
-                topology: Some(TopologyKind::Ring),
+        let sim = Simulator::new(GpuSpec::titan_xp(), ctx.sim_config);
+        let direct = sim
+            .evaluate_step(&StepQuery {
+                layers: net.layers().to_vec(),
+                parallelism: Parallelism::Multi {
+                    devices: vec![GpuSpec::titan_xp(); g as usize],
+                    interconnect: InterconnectKind::NvLink,
+                    topology: Some(TopologyKind::Ring),
+                },
                 bucket_mb: 4,
                 overlap: true,
-                ..ctx.sim_config
-            },
-        );
-        let direct = sim.schedule_training_step(net.layers(), g).unwrap();
+            })
+            .unwrap()
+            .timeline;
 
         // Rebuild the same cell the experiment way.
         let ideal = Simulator::new(

@@ -10,7 +10,9 @@
 use crate::ctx::Ctx;
 use delta_model::engine::Engine;
 use delta_model::model::MliMode;
-use delta_model::{ConvLayer, Delta, DeltaOptions, GpuSpec, LayerEstimate, LayerReport};
+use delta_model::{
+    ConvLayer, Delta, DeltaOptions, GpuSpec, LayerEstimate, LayerReport, Parallelism,
+};
 use delta_networks::Network;
 use delta_sim::Simulator;
 
@@ -83,7 +85,9 @@ fn compare_with_engine(
         },
     );
     // Fan the expensive trace simulations across cores first…
-    let measured = engine.evaluate_layers(net.layers())?;
+    let measured: Vec<LayerEstimate> = engine
+        .evaluate_network(net.layers(), &Parallelism::Single)?
+        .into_estimates();
     // …then attach the (instant) model analyses layer by layer.
     net.layers()
         .iter()

@@ -26,7 +26,7 @@
 //! overlaps the remaining backward compute.
 
 use delta_model::engine::{self, Engine, NetworkEvaluation};
-use delta_model::schedule::StepTimeline;
+use delta_model::query::{Parallelism, StepQuery};
 use delta_model::{Backend, ConvLayer, Delta, DesignOption, GpuSpec};
 use delta_sim::{InterconnectKind, SimConfig, Simulator};
 use std::collections::HashMap;
@@ -156,6 +156,16 @@ fn multi_gpu_from(
     }
     if flags.contains_key("topology") && gpus.is_none() {
         return Err("--topology requires --gpus G".into());
+    }
+    // Devices already partition the tile columns, so a worker count has
+    // nothing left to split; reject the combination instead of silently
+    // ignoring one flag.
+    if gpus.is_some() && flags.contains_key("shards") {
+        return Err(
+            "--shards and --gpus are mutually exclusive (devices already partition \
+             the tile columns)"
+                .into(),
+        );
     }
     // Overlap with a single device is meaningless (nothing to exchange)
     // and would print a zero-comm schedule that contradicts the
@@ -361,19 +371,35 @@ fn cmd_layer(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// The execution configuration the sim backend's flags describe:
+/// `--gpus G` wins (a homogeneous G-device fleet priced by the
+/// configured interconnect/topology), then `--shards N`, then the
+/// sequential single-device replay.
+fn parallelism_from(gpu: &GpuSpec, gpus: Option<u32>, config: &SimConfig) -> Parallelism {
+    match gpus {
+        Some(g) => Parallelism::Multi {
+            devices: vec![gpu.clone(); g.max(1) as usize],
+            interconnect: config.interconnect,
+            topology: config.topology,
+        },
+        None => match config.shards {
+            Some(n) => Parallelism::Sharded { workers: n },
+            None => Parallelism::Single,
+        },
+    }
+}
+
 /// Shared engine-driven network evaluation used by `network` for both
-/// backends. `gpus = Some(G)` routes through the multi-device path.
+/// backends.
 fn print_network_eval<B: Backend>(
     engine: &Engine<B>,
     net: &delta_networks::Network,
     json: bool,
-    gpus: Option<u32>,
+    parallelism: &Parallelism,
 ) -> Result<(), String> {
-    let eval: NetworkEvaluation = match gpus {
-        Some(g) => engine.evaluate_network_multi(net.layers(), g),
-        None => engine.evaluate_network(net.layers()),
-    }
-    .map_err(|e| e.to_string())?;
+    let eval: NetworkEvaluation = engine
+        .evaluate_network(net.layers(), parallelism)
+        .map_err(|e| e.to_string())?;
     if json {
         println!(
             "{}",
@@ -403,16 +429,20 @@ fn cmd_network(name: &str, flags: &HashMap<String, String>) -> Result<(), String
     match backend {
         BackendChoice::Model => {
             let engine = Engine::new(Delta::new(gpu));
-            with_cache_file(&engine, flags, |e| print_network_eval(e, &net, json, None))
+            with_cache_file(&engine, flags, |e| {
+                print_network_eval(e, &net, json, &Parallelism::Single)
+            })
         }
         BackendChoice::Sim => {
-            let sim = Simulator::new(gpu, sim_config_from(flags)?);
+            let config = sim_config_from(flags)?;
+            let sim = Simulator::new(gpu.clone(), config);
             warn_surplus_shards(&sim, net.layers());
             if let Some(g) = gpus {
                 warn_surplus_gpus(&sim, net.layers(), g);
             }
+            let par = parallelism_from(&gpu, gpus, &config);
             let engine = Engine::new(sim);
-            with_cache_file(&engine, flags, |e| print_network_eval(e, &net, json, gpus))
+            with_cache_file(&engine, flags, |e| print_network_eval(e, &net, json, &par))
         }
     }
 }
@@ -500,7 +530,7 @@ fn cmd_scaling(flags: &HashMap<String, String>) -> Result<(), String> {
     let (t0, points) = match backend {
         BackendChoice::Model => {
             let t0 = Engine::new(Delta::new(base.clone()))
-                .evaluate_network(net.layers())
+                .evaluate_network(net.layers(), &Parallelism::Single)
                 .map_err(|e| e.to_string())?
                 .total_seconds();
             let points =
@@ -511,7 +541,7 @@ fn cmd_scaling(flags: &HashMap<String, String>) -> Result<(), String> {
         BackendChoice::Sim => {
             let config = sim_config_from(flags)?;
             let t0 = Engine::new(Simulator::new(base.clone(), config))
-                .evaluate_network(net.layers())
+                .evaluate_network(net.layers(), &Parallelism::Single)
                 .map_err(|e| e.to_string())?
                 .total_seconds();
             let points = engine::evaluate_design_space(&options, net.layers(), |opt| {
@@ -554,21 +584,18 @@ fn cmd_train(name: &str, flags: &HashMap<String, String>) -> Result<(), String> 
     let gpus = multi_gpu_from(flags, backend)?;
     let batch = batch_from(flags, backend, 64)?;
     let net = find_network(name, batch)?;
-    let step = |engine: &Engine<_>| match gpus {
-        Some(g) => engine.evaluate_training_step_multi(net.layers(), g),
-        None => engine.evaluate_training_step(net.layers()),
-    };
-    // With `--overlap on`, the collective scheduler's timeline is
-    // appended after the per-layer table; with the default `--overlap
-    // off` the output is byte-identical to the serial-era CLI.
-    let mut timeline: Option<StepTimeline> = None;
-    let eval = match backend {
+    // One step query answers both views: the per-layer table always, and
+    // (with `--overlap on`) the collective scheduler's timeline appended
+    // after it — derived from the same replays, so the opt-in no longer
+    // doubles the simulation cost.
+    let (eval, show_timeline) = match backend {
         BackendChoice::Model => {
             let engine = Engine::new(Delta::new(gpu.clone()));
-            with_cache_file(&engine, flags, |e| {
-                e.evaluate_training_step(net.layers())
-                    .map_err(|e| e.to_string())
-            })
+            let query = StepQuery::new(net.layers(), Parallelism::Single);
+            let eval = with_cache_file(&engine, flags, |e| {
+                e.evaluate_step(&query).map_err(|e| e.to_string())
+            })?;
+            (eval, false)
         }
         BackendChoice::Sim => {
             let config = sim_config_from(flags)?;
@@ -577,18 +604,21 @@ fn cmd_train(name: &str, flags: &HashMap<String, String>) -> Result<(), String> 
             if let Some(g) = gpus {
                 warn_surplus_gpus(&sim, net.layers(), g);
             }
+            let query = StepQuery {
+                layers: net.layers().to_vec(),
+                parallelism: parallelism_from(&gpu, gpus, &config),
+                bucket_mb: config.bucket_mb,
+                overlap: config.overlap,
+            };
             let engine = Engine::new(sim);
-            let eval = with_cache_file(&engine, flags, |e| step(e).map_err(|e| e.to_string()))?;
-            if config.overlap {
-                timeline = Some(
-                    engine
-                        .evaluate_training_step_scheduled(net.layers(), gpus.unwrap_or(1))
-                        .map_err(|e| e.to_string())?,
-                );
-            }
-            Ok(eval)
+            let eval = with_cache_file(&engine, flags, |e| {
+                e.evaluate_step(&query).map_err(|e| e.to_string())
+            })?;
+            (eval, config.overlap)
         }
-    }?;
+    };
+    let timeline = show_timeline.then_some(&eval.timeline);
+    let eval = &eval.table;
 
     println!("{net} training step on {gpu}");
     println!(
@@ -637,7 +667,16 @@ fn cmd_train(name: &str, flags: &HashMap<String, String>) -> Result<(), String> 
 fn cmd_timeline(name: &str, flags: &HashMap<String, String>) -> Result<(), String> {
     let gpu = gpu_from(flags)?;
     let backend = backend_from(flags)?;
-    reject_shards_on_model(flags, backend)?;
+    // `timeline` schedules a device fleet (one device without --gpus);
+    // a worker count plays no role in that query, so reject it instead
+    // of silently ignoring it.
+    if flags.contains_key("shards") {
+        return Err(
+            "--shards is not supported by `timeline` (the step schedules a device \
+             fleet; use --gpus G)"
+                .into(),
+        );
+    }
     let gpus = multi_gpu_from(flags, backend)?;
     let batch = batch_from(flags, backend, 64)?;
     let net = find_network(name, batch)?;
@@ -647,18 +686,33 @@ fn cmd_timeline(name: &str, flags: &HashMap<String, String>) -> Result<(), Strin
             // without a collective scheduler just have no comm stream.
             reject_sched_flags(flags, "timeline --backend model")?;
             Engine::new(Delta::new(gpu))
-                .evaluate_training_step_scheduled(net.layers(), 1)
+                .evaluate_step(&StepQuery::new(net.layers(), Parallelism::Single))
                 .map_err(|e| e.to_string())?
+                .timeline
         }
         BackendChoice::Sim => {
-            let sim = Simulator::new(gpu, sim_config_from(flags)?);
-            warn_surplus_shards(&sim, net.layers());
+            let config = sim_config_from(flags)?;
+            let sim = Simulator::new(gpu.clone(), config);
             if let Some(g) = gpus {
                 warn_surplus_gpus(&sim, net.layers(), g);
             }
+            // `timeline` always schedules a device fleet (one device
+            // without --gpus), so the spans reflect the per-device
+            // critical path even when nothing crosses a link.
+            let query = StepQuery {
+                layers: net.layers().to_vec(),
+                parallelism: Parallelism::Multi {
+                    devices: vec![gpu.clone(); gpus.unwrap_or(1).max(1) as usize],
+                    interconnect: config.interconnect,
+                    topology: config.topology,
+                },
+                bucket_mb: config.bucket_mb,
+                overlap: config.overlap,
+            };
             Engine::new(sim)
-                .evaluate_training_step_scheduled(net.layers(), gpus.unwrap_or(1))
+                .evaluate_step(&query)
                 .map_err(|e| e.to_string())?
+                .timeline
         }
     };
     if flags.contains_key("json") {
@@ -965,6 +1019,34 @@ mod tests {
         let err =
             multi_gpu_from(&flags(&[("interconnect", "pcie")]), BackendChoice::Sim).unwrap_err();
         assert!(err.contains("--gpus"), "{err}");
+        // --shards with --gpus: devices already own the columns, so the
+        // worker count is dead weight — rejected, not silently dropped.
+        let err = multi_gpu_from(
+            &flags(&[("gpus", "4"), ("shards", "2")]),
+            BackendChoice::Sim,
+        )
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        let err = cmd_train(
+            "alexnet",
+            &flags(&[("backend", "sim"), ("gpus", "2"), ("shards", "2")]),
+        )
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn timeline_rejects_shards() {
+        // The timeline query schedules a device fleet; a worker count
+        // plays no role in it and is rejected on either backend.
+        for backend in ["sim", "model"] {
+            let err = cmd_timeline("alexnet", &flags(&[("backend", backend), ("shards", "2")]))
+                .unwrap_err();
+            assert!(
+                err.contains("--shards") && err.contains("timeline"),
+                "{err}"
+            );
+        }
     }
 
     #[test]

@@ -1,22 +1,32 @@
-//! The [`Backend`] abstraction: one interface over the repository's two
-//! estimators of the same physical quantities.
+//! The [`Backend`] abstraction: one query-answering interface over the
+//! repository's two estimators of the same physical quantities.
 //!
 //! DeLTA is two things at once — a closed-form analytical model
 //! ([`Delta`], §IV–§V of the paper) and, in this reproduction, a
 //! trace-driven simulator (`delta_sim::Simulator`) that measures the same
-//! traffic and time at the address level. Historically the two exposed
-//! divergent APIs (`analyze -> LayerReport` vs `run -> Measurement`),
-//! forcing every consumer (CLI, experiments, examples) to carry its own
-//! glue. [`Backend`] unifies them behind `estimate_layer`, returning the
-//! common [`LayerEstimate`], so whole-network drivers
-//! ([`crate::engine`]) can fan either estimator across cores without
-//! knowing which one they hold.
+//! traffic and time at the address level. Earlier revisions grew one
+//! trait method per execution-configuration axis (`estimate_layer`,
+//! `estimate_layer_sharded`, `estimate_layer_multi`, `estimate_wgrad`,
+//! `estimate_wgrad_multi`, `estimate_training_step_scheduled`); the
+//! method family is now gone. A backend answers exactly two requests:
+//!
+//! * [`Backend::evaluate`] — one layer-pass [`EvalQuery`] (shape + pass
+//!   + [`Parallelism`](crate::query::Parallelism)) → [`LayerEstimate`];
+//! * [`Backend::evaluate_step`] — one training-step [`StepQuery`]
+//!   (layer list + schedule knobs) → [`StepEvaluation`], bundling the
+//!   per-layer table *and* the scheduled timeline derived from one
+//!   evaluation pass.
+//!
+//! Every consumer ([`crate::engine`], the CLI, the experiments) builds
+//! queries instead of picking methods, so new configuration axes extend
+//! the query vocabulary without touching this trait.
 
 use crate::error::Error;
 use crate::gpu::GpuSpec;
 use crate::layer::ConvLayer;
 use crate::model::Delta;
 use crate::perf::Bottleneck;
+use crate::query::{EvalQuery, Pass, StepEvaluation, StepQuery};
 use crate::report::LayerReport;
 use crate::schedule::{SpanKind, StepTimeline};
 use crate::training;
@@ -143,12 +153,34 @@ impl fmt::Display for LayerEstimate {
     }
 }
 
-/// A layer estimator bound to one GPU description: the common interface
-/// of the analytical model and the trace-driven simulator.
+/// Builds the serial compute-span list of a training step from its
+/// per-layer pass estimates: forward spans in network order, then
+/// dgrad/wgrad pairs in reverse layer order (the first layer skips
+/// dgrad). Shared by the default [`Backend::evaluate_step`] and any
+/// backend that derives a serial timeline from a finished table.
+pub fn serial_step_spans(
+    layers: &[ConvLayer],
+    rows: &[crate::engine::TrainingRow],
+) -> Vec<(String, SpanKind, f64)> {
+    let mut spans = Vec::with_capacity(3 * layers.len());
+    for (l, r) in layers.iter().zip(rows) {
+        spans.push((l.label().to_string(), SpanKind::Forward, r.forward.seconds));
+    }
+    for (l, r) in layers.iter().zip(rows).rev() {
+        if let Some(d) = &r.dgrad {
+            spans.push((l.label().to_string(), SpanKind::Dgrad, d.seconds));
+        }
+        spans.push((l.label().to_string(), SpanKind::Wgrad, r.wgrad.seconds));
+    }
+    spans
+}
+
+/// A query-answering estimator bound to one GPU description: the common
+/// interface of the analytical model and the trace-driven simulator.
 ///
 /// `Send + Sync` is a supertrait so any backend can be fanned across
 /// threads by [`crate::engine::Engine`]; implementations keep all
-/// per-evaluation state on the stack of `estimate_layer`.
+/// per-evaluation state on the stack of `evaluate`.
 pub trait Backend: Send + Sync {
     /// Short stable identifier (`"model"`, `"sim"`) used in CLI flags and
     /// report headers.
@@ -158,143 +190,80 @@ pub trait Backend: Send + Sync {
     fn gpu(&self) -> &GpuSpec;
 
     /// An opaque fingerprint of every configuration knob (beyond the
-    /// backend name and GPU) that changes this backend's estimates —
-    /// e.g. the simulator's sampling limits and interconnect. The
-    /// engine's persistent cache ([`crate::engine::Engine::save_cache`])
-    /// stores it and refuses to load results produced under a different
-    /// fingerprint. The default (empty string) is for backends with no
-    /// such knobs.
+    /// backend name, the GPU, and the axes a query itself carries) that
+    /// changes this backend's answers — e.g. the simulator's sampling
+    /// limits. The engine's persistent cache
+    /// ([`crate::engine::Engine::save_cache`]) stores it and refuses to
+    /// load results produced under a different fingerprint; axes encoded
+    /// in the query key (pass, shards, devices, interconnect, topology)
+    /// need no guard, because a mismatched configuration simply never
+    /// matches the key. The default (empty string) is for backends with
+    /// no such knobs.
     fn config_fingerprint(&self) -> String {
         String::new()
     }
 
-    /// Estimates one forward conv layer.
+    /// Answers one layer-pass evaluation request.
+    ///
+    /// Backends without a model for the query's
+    /// [`Parallelism`](crate::query::Parallelism) axis answer the
+    /// single-device estimate (the analytical model has no intra-layer
+    /// partition and no fabric); callers that must not silently accept
+    /// that fallback — the CLI rejecting `--gpus` on the model backend —
+    /// validate before querying.
     ///
     /// # Errors
     ///
-    /// Propagates layer/GPU validation failures.
-    fn estimate_layer(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error>;
+    /// Propagates layer/GPU validation and pass-construction failures.
+    fn evaluate(&self, query: &EvalQuery) -> Result<LayerEstimate, Error>;
 
-    /// Estimates one forward conv layer with its internal work
-    /// partitioned over `n_workers` parallel workers — intra-layer
-    /// parallelism for backends whose per-layer evaluation is expensive
-    /// and shardable.
+    /// Answers one whole-training-step request: the per-layer
+    /// forward/dgrad/wgrad table *and* the scheduled [`StepTimeline`],
+    /// both derived from one evaluation pass over the step's unique
+    /// layer shapes.
     ///
-    /// The default ignores the worker count and delegates to
-    /// [`Backend::estimate_layer`], which is correct for instant backends
-    /// like the analytical model. `delta_sim::Simulator` overrides this
-    /// with its column-sharded replay, whose result is bitwise identical
-    /// for every `n_workers` (its merge walks shards in a fixed order).
-    ///
-    /// # Errors
-    ///
-    /// Propagates layer/GPU validation failures.
-    fn estimate_layer_sharded(
-        &self,
-        layer: &ConvLayer,
-        n_workers: u32,
-    ) -> Result<LayerEstimate, Error> {
-        let _ = n_workers;
-        self.estimate_layer(layer)
-    }
-
-    /// Estimates one forward conv layer executed across `devices` GPUs,
-    /// with cross-device traffic (halo IFmap refetches) charged through
-    /// the backend's interconnect model.
-    ///
-    /// The default ignores the device count and answers the single-device
-    /// estimate — correct only for backends with no multi-device model
-    /// (callers such as the CLI reject multi-GPU requests on those
-    /// backends rather than silently accepting this default).
-    /// `delta_sim::Simulator` overrides it with its device-partitioned
-    /// replay: under the `ideal` interconnect the result is bitwise
-    /// identical for every device count, and a non-ideal interconnect
-    /// only ever adds link traffic and time.
-    ///
-    /// # Errors
-    ///
-    /// Propagates layer/GPU validation failures.
-    fn estimate_layer_multi(
-        &self,
-        layer: &ConvLayer,
-        devices: u32,
-    ) -> Result<LayerEstimate, Error> {
-        let _ = devices;
-        self.estimate_layer(layer)
-    }
-
-    /// Estimates the weight-gradient pass of `layer` across `devices`
-    /// GPUs, including the per-training-step gradient all-reduce traffic
-    /// a data-parallel minibatch partition exchanges.
-    ///
-    /// The default ignores the device count like
-    /// [`Backend::estimate_layer_multi`].
+    /// The default assembles the table from per-pass
+    /// [`Backend::evaluate`] calls and a **serial** timeline (every pass
+    /// back-to-back, no communication stream, `step == serial`) — what a
+    /// backend without a collective scheduler can say. The trace-driven
+    /// simulator overrides it with the bucketed-all-reduce schedule;
+    /// every override must keep [`StepTimeline::bounds_hold`] true and
+    /// must derive table and timeline from the *same* measurements.
     ///
     /// # Errors
     ///
     /// Propagates pass-construction and estimation failures.
-    fn estimate_wgrad_multi(
-        &self,
-        layer: &ConvLayer,
-        devices: u32,
-    ) -> Result<LayerEstimate, Error> {
-        let _ = devices;
-        self.estimate_wgrad(layer)
-    }
-
-    /// Estimates the weight-gradient pass of `layer`.
-    ///
-    /// The default routes the wgrad GEMM through `estimate_layer` as the
-    /// FC-shaped layer [`training::wgrad_layer`] builds; backends with a
-    /// better-suited path (the model's split-K tiling) override this.
-    ///
-    /// # Errors
-    ///
-    /// Propagates pass-construction and estimation failures.
-    fn estimate_wgrad(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
-        self.estimate_layer(&training::wgrad_layer(layer)?)
-    }
-
-    /// Schedules one whole training step of `layers` across `devices`
-    /// GPUs and returns the per-device [`StepTimeline`]: compute spans
-    /// (forward in order, then dgrad/wgrad in reverse layer order),
-    /// communication spans, and the derived step/serial/exposed totals.
-    ///
-    /// The default is the **serial fallback**: every pass back-to-back
-    /// through the single-/multi-device estimators, no communication
-    /// stream, `step == serial`. Backends with a collective scheduler
-    /// (the trace-driven simulator's bucketed all-reduce overlap)
-    /// override it; every override must keep
-    /// [`StepTimeline::bounds_hold`] true.
-    ///
-    /// # Errors
-    ///
-    /// Propagates pass-construction and estimation failures.
-    fn estimate_training_step_scheduled(
-        &self,
-        layers: &[ConvLayer],
-        devices: u32,
-    ) -> Result<StepTimeline, Error> {
-        let g = devices.max(1);
-        let mut spans = Vec::with_capacity(3 * layers.len());
-        for l in layers {
-            let f = self.estimate_layer_multi(l, g)?;
-            spans.push((l.label().to_string(), SpanKind::Forward, f.seconds));
+    fn evaluate_step(&self, query: &StepQuery) -> Result<StepEvaluation, Error> {
+        let mut rows = Vec::with_capacity(query.layers.len());
+        for (i, l) in query.layers.iter().enumerate() {
+            let forward = self.evaluate(&query.pass_query(l, Pass::Fwd))?;
+            let dgrad = if i == 0 {
+                None
+            } else {
+                Some(self.evaluate(&query.pass_query(l, Pass::Dgrad))?)
+            };
+            let wgrad = self.evaluate(&query.pass_query(l, Pass::Wgrad))?;
+            rows.push(crate::engine::TrainingRow {
+                label: l.label().to_string(),
+                forward,
+                dgrad,
+                wgrad,
+            });
         }
-        for (i, l) in layers.iter().enumerate().rev() {
-            if i > 0 {
-                let d = self.estimate_layer_multi(&training::dgrad_layer(l)?, g)?;
-                spans.push((l.label().to_string(), SpanKind::Dgrad, d.seconds));
-            }
-            let w = self.estimate_wgrad_multi(l, g)?;
-            spans.push((l.label().to_string(), SpanKind::Wgrad, w.seconds));
-        }
-        Ok(StepTimeline::serial_compute(
+        let timeline = StepTimeline::serial_compute(
             self.name(),
             self.gpu().name(),
-            g,
-            spans,
-        ))
+            query.parallelism.device_count(),
+            serial_step_spans(&query.layers, &rows),
+        );
+        Ok(StepEvaluation {
+            table: crate::engine::TrainingStepEvaluation {
+                backend: self.name().to_string(),
+                gpu: self.gpu().name().to_string(),
+                rows,
+            },
+            timeline,
+        })
     }
 }
 
@@ -311,15 +280,18 @@ impl Backend for Delta {
         serde_json::to_string(&self.options()).unwrap_or_default()
     }
 
-    fn estimate_layer(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
-        let report = self.analyze(layer)?;
-        Ok(LayerEstimate::from_report(&report, Delta::gpu(self)))
-    }
-
-    fn estimate_wgrad(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
-        // cuDNN runs wgrad as a split-K kernel; mirror the training
-        // module's device-filling tiling instead of the naive FC path.
-        let report = training::analyze_wgrad(self, layer)?;
+    /// The analytical model answers every parallelism the same way — it
+    /// has no intra-layer partition and no fabric — so only the shape
+    /// and the pass matter. Wgrad routes through the split-K tiling
+    /// (cuDNN runs wgrad as a split-K kernel), dgrad through the
+    /// transposed-convolution transform.
+    fn evaluate(&self, query: &EvalQuery) -> Result<LayerEstimate, Error> {
+        let layer = query.layer()?;
+        let report = match query.pass {
+            Pass::Fwd => self.analyze(&layer)?,
+            Pass::Dgrad => self.analyze(&training::dgrad_layer(&layer)?)?,
+            Pass::Wgrad => training::analyze_wgrad(self, &layer)?,
+        };
         Ok(LayerEstimate::from_report(&report, Delta::gpu(self)))
     }
 }
@@ -337,50 +309,19 @@ impl<B: Backend + ?Sized> Backend for &B {
         (**self).config_fingerprint()
     }
 
-    fn estimate_layer(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
-        (**self).estimate_layer(layer)
+    fn evaluate(&self, query: &EvalQuery) -> Result<LayerEstimate, Error> {
+        (**self).evaluate(query)
     }
 
-    fn estimate_layer_sharded(
-        &self,
-        layer: &ConvLayer,
-        n_workers: u32,
-    ) -> Result<LayerEstimate, Error> {
-        (**self).estimate_layer_sharded(layer, n_workers)
-    }
-
-    fn estimate_layer_multi(
-        &self,
-        layer: &ConvLayer,
-        devices: u32,
-    ) -> Result<LayerEstimate, Error> {
-        (**self).estimate_layer_multi(layer, devices)
-    }
-
-    fn estimate_wgrad_multi(
-        &self,
-        layer: &ConvLayer,
-        devices: u32,
-    ) -> Result<LayerEstimate, Error> {
-        (**self).estimate_wgrad_multi(layer, devices)
-    }
-
-    fn estimate_wgrad(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
-        (**self).estimate_wgrad(layer)
-    }
-
-    fn estimate_training_step_scheduled(
-        &self,
-        layers: &[ConvLayer],
-        devices: u32,
-    ) -> Result<StepTimeline, Error> {
-        (**self).estimate_training_step_scheduled(layers, devices)
+    fn evaluate_step(&self, query: &StepQuery) -> Result<StepEvaluation, Error> {
+        (**self).evaluate_step(query)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::Parallelism;
 
     fn layer() -> ConvLayer {
         ConvLayer::builder("backend_test")
@@ -393,11 +334,15 @@ mod tests {
             .unwrap()
     }
 
+    fn fwd(l: &ConvLayer) -> EvalQuery {
+        EvalQuery::forward(l, Parallelism::Single)
+    }
+
     #[test]
     fn model_backend_matches_analyze() {
         let delta = Delta::new(GpuSpec::titan_xp());
         let report = delta.analyze(&layer()).unwrap();
-        let est = Backend::estimate_layer(&delta, &layer()).unwrap();
+        let est = delta.evaluate(&fwd(&layer())).unwrap();
         assert_eq!(est.l1_bytes, report.traffic.l1_bytes);
         assert_eq!(est.l2_bytes, report.traffic.l2_bytes);
         assert_eq!(est.dram_read_bytes, report.traffic.dram_bytes);
@@ -412,13 +357,27 @@ mod tests {
     #[test]
     fn model_wgrad_uses_split_k_path() {
         let delta = Delta::new(GpuSpec::titan_xp());
-        let via_backend = Backend::estimate_wgrad(&delta, &layer()).unwrap();
+        let via_query = delta
+            .evaluate(&EvalQuery::new(&layer(), Pass::Wgrad, Parallelism::Single))
+            .unwrap();
         let via_training = training::analyze_wgrad(&delta, &layer()).unwrap();
-        assert_eq!(via_backend.cycles, via_training.perf.cycles);
+        assert_eq!(via_query.cycles, via_training.perf.cycles);
         // The split-K tiling must beat the naive single-CTA-column path.
-        let naive =
-            Backend::estimate_layer(&delta, &training::wgrad_layer(&layer()).unwrap()).unwrap();
-        assert!(via_backend.seconds <= naive.seconds * 1.001);
+        let naive = delta
+            .evaluate(&fwd(&training::wgrad_layer(&layer()).unwrap()))
+            .unwrap();
+        assert!(via_query.seconds <= naive.seconds * 1.001);
+    }
+
+    #[test]
+    fn model_dgrad_matches_transposed_forward() {
+        let delta = Delta::new(GpuSpec::titan_xp());
+        let via_query = delta
+            .evaluate(&EvalQuery::new(&layer(), Pass::Dgrad, Parallelism::Single))
+            .unwrap();
+        let transformed = training::dgrad_layer(&layer()).unwrap();
+        let direct = delta.evaluate(&fwd(&transformed)).unwrap();
+        assert_eq!(via_query, direct);
     }
 
     #[test]
@@ -426,55 +385,66 @@ mod tests {
         let delta = Delta::new(GpuSpec::v100());
         let by_ref: &dyn Backend = &&delta;
         assert_eq!(by_ref.name(), "model");
-        assert!(by_ref.estimate_layer(&layer()).is_ok());
+        assert!(by_ref.evaluate(&fwd(&layer())).is_ok());
+        let net = [layer()];
+        let step = StepQuery::new(&net, Parallelism::Single);
+        assert_eq!(
+            by_ref.evaluate_step(&step).unwrap(),
+            Backend::evaluate_step(&delta, &step).unwrap()
+        );
     }
 
     #[test]
-    fn sharded_default_ignores_worker_count() {
-        // Backends without an intra-layer parallel path (the analytical
-        // model) treat the worker count as a hint and answer identically.
-        let delta = Delta::new(GpuSpec::titan_xp());
-        let plain = Backend::estimate_layer(&delta, &layer()).unwrap();
-        for n in [0, 1, 4, 64] {
-            let sharded = Backend::estimate_layer_sharded(&delta, &layer(), n).unwrap();
-            assert_eq!(sharded, plain, "n_workers={n}");
-        }
-        // The reference-forwarding impl routes the sharded call too.
-        let by_ref: &dyn Backend = &&delta;
-        assert_eq!(by_ref.estimate_layer_sharded(&layer(), 2).unwrap(), plain);
-    }
-
-    #[test]
-    fn multi_default_ignores_device_count() {
-        // Backends without a multi-GPU model answer the single-device
+    fn model_answers_every_parallelism_identically() {
+        // Backends without an intra-layer partition or a fabric treat
+        // the parallelism as a hint and answer the single-device
         // estimate, with no link traffic.
         let delta = Delta::new(GpuSpec::titan_xp());
-        let plain = Backend::estimate_layer(&delta, &layer()).unwrap();
+        let plain = delta.evaluate(&fwd(&layer())).unwrap();
         assert_eq!(plain.link_bytes, 0.0);
         assert_eq!(plain.dram_and_link_bytes(), plain.dram_total_bytes());
-        for g in [1, 2, 8] {
-            let multi = Backend::estimate_layer_multi(&delta, &layer(), g).unwrap();
-            assert_eq!(multi, plain, "devices={g}");
+        for par in [
+            Parallelism::Sharded { workers: 0 },
+            Parallelism::Sharded { workers: 4 },
+            Parallelism::Sharded { workers: 64 },
+            Parallelism::multi(
+                Backend::gpu(&delta),
+                2,
+                crate::interconnect::InterconnectKind::NvLink,
+            ),
+            Parallelism::multi(
+                Backend::gpu(&delta),
+                8,
+                crate::interconnect::InterconnectKind::Pcie,
+            ),
+        ] {
+            let est = delta
+                .evaluate(&EvalQuery::forward(&layer(), par.clone()))
+                .unwrap();
+            assert_eq!(est, plain, "{par:?}");
         }
-        let wgrad = Backend::estimate_wgrad(&delta, &layer()).unwrap();
-        assert_eq!(
-            Backend::estimate_wgrad_multi(&delta, &layer(), 4).unwrap(),
-            wgrad
-        );
-        // The reference-forwarding impl routes both multi calls.
-        let by_ref: &dyn Backend = &&delta;
-        assert_eq!(by_ref.estimate_layer_multi(&layer(), 4).unwrap(), plain);
-        assert_eq!(by_ref.estimate_wgrad_multi(&layer(), 4).unwrap(), wgrad);
     }
 
     #[test]
-    fn scheduled_default_is_the_serial_fallback() {
+    fn default_step_is_the_serial_fallback() {
         // Backends without a collective scheduler answer the serial
         // step: forward spans in order, backward in reverse order, no
         // communication, step == serial, bounds hold.
         let delta = Delta::new(GpuSpec::titan_xp());
         let net = [layer(), layer().with_label("second")];
-        let t = Backend::estimate_training_step_scheduled(&delta, &net, 4).unwrap();
+        let eval = Backend::evaluate_step(
+            &delta,
+            &StepQuery::new(
+                &net,
+                Parallelism::multi(
+                    Backend::gpu(&delta),
+                    4,
+                    crate::interconnect::InterconnectKind::NvLink,
+                ),
+            ),
+        )
+        .unwrap();
+        let t = &eval.timeline;
         assert_eq!(t.backend, "model");
         assert_eq!(t.devices, 4);
         assert!(!t.overlap);
@@ -485,18 +455,19 @@ mod tests {
         let dev = &t.per_device[0];
         assert_eq!(dev.compute.len(), 5);
         assert!(dev.comm.is_empty());
-        // The total matches the pass estimators it was assembled from.
-        let f = Backend::estimate_layer(&delta, &layer()).unwrap().seconds;
-        let d = Backend::estimate_layer(&delta, &training::dgrad_layer(&layer()).unwrap())
-            .unwrap()
-            .seconds;
-        let w = Backend::estimate_wgrad(&delta, &layer()).unwrap().seconds;
-        let expected = 2.0 * f + d + 2.0 * w;
-        assert!((t.step_seconds - expected).abs() < 1e-12 * expected);
-        // The reference-forwarding impl routes the scheduled call too.
-        let by_ref: &dyn Backend = &&delta;
-        let via_ref = by_ref.estimate_training_step_scheduled(&net, 4).unwrap();
-        assert_eq!(via_ref, t);
+        // The timeline total matches the table it was derived from.
+        let table_total: f64 = eval
+            .table
+            .rows
+            .iter()
+            .map(crate::engine::TrainingRow::seconds)
+            .sum();
+        assert!((t.step_seconds - table_total).abs() < 1e-12 * table_total);
+        // And the table matches the per-pass estimators.
+        let f = delta.evaluate(&fwd(&layer())).unwrap();
+        assert_eq!(eval.table.rows[0].forward, f);
+        assert!(eval.table.rows[0].dgrad.is_none());
+        assert!(eval.table.rows[1].dgrad.is_some());
     }
 
     #[test]
@@ -504,7 +475,7 @@ mod tests {
         // link_bytes was added with a serde default so archived estimates
         // keep deserializing.
         let delta = Delta::new(GpuSpec::titan_xp());
-        let est = Backend::estimate_layer(&delta, &layer()).unwrap();
+        let est = delta.evaluate(&fwd(&layer())).unwrap();
         let mut json = serde_json::to_string(&est).unwrap();
         assert!(json.contains("\"link_bytes\""));
         json = json.replace("\"link_bytes\":0,", "");
@@ -518,7 +489,7 @@ mod tests {
     #[test]
     fn estimate_display_and_serde_round_trip() {
         let delta = Delta::new(GpuSpec::titan_xp());
-        let est = Backend::estimate_layer(&delta, &layer()).unwrap();
+        let est = delta.evaluate(&fwd(&layer())).unwrap();
         let s = est.to_string();
         assert!(s.contains("[model]") && s.contains("ms"));
         let json = serde_json::to_string(&est).unwrap();
@@ -529,7 +500,7 @@ mod tests {
     #[test]
     fn miss_rates_and_funnel_are_consistent() {
         let delta = Delta::new(GpuSpec::titan_xp());
-        let est = Backend::estimate_layer(&delta, &layer()).unwrap();
+        let est = delta.evaluate(&fwd(&layer())).unwrap();
         assert!(est.l1_bytes >= est.l2_bytes);
         assert!(est.l2_bytes >= est.dram_read_bytes);
         assert!((0.0..=1.0).contains(&est.l1_miss_rate));

@@ -1,26 +1,31 @@
-//! The network-evaluation engine: fans any [`Backend`] over whole
-//! networks, training steps, and design-space sweeps — in parallel, with
-//! a shape-keyed result cache.
+//! The query-evaluation engine: fans any [`Backend`] over whole
+//! networks and training steps — in parallel, with one result cache
+//! keyed on the query fingerprint.
 //!
 //! Two observations make this the right architecture for the ROADMAP's
 //! production-scale goal:
 //!
-//! 1. **Layer evaluations are independent.** Both the analytical model
-//!    and the trace-driven simulator evaluate one layer at a time with no
-//!    shared mutable state, so a network's layers parallelize perfectly
+//! 1. **Evaluations are independent.** Both the analytical model and the
+//!    trace-driven simulator answer one [`EvalQuery`] at a time with no
+//!    shared mutable state, so a network's queries parallelize perfectly
 //!    across cores ([`rayon`]).
 //! 2. **Real CNNs repeat layer shapes.** GoogLeNet's inception branches
 //!    and ResNet152's residual blocks reuse identical `(B, Ci, H, W, Co,
 //!    Hf, Wf, stride, pad)` configurations many times; a cache keyed on
-//!    [`LayerShape`] evaluates each unique shape once. ResNet152's full
-//!    151-conv forward pass collapses to ~17 unique simulations.
+//!    [`EvalQuery::fingerprint`] evaluates each unique query once.
+//!    ResNet152's full 151-conv forward pass collapses to ~17 unique
+//!    simulations.
 //!
-//! Combined, the cached parallel engine turns a full-network simulation
-//! from minutes of sequential per-layer loops into seconds, and the same
-//! driver serves the model backend unchanged.
+//! The fingerprint is **injective across every configuration axis**
+//! (pass, shard workers, device list, interconnect, topology), so one
+//! flat map caches all of them without collisions, and the persistent
+//! cache file carries the query keys themselves — results computed under
+//! a different parallelism simply never match, with no bespoke guard
+//! fields.
 //!
 //! ```rust
 //! use delta_model::engine::Engine;
+//! use delta_model::query::Parallelism;
 //! use delta_model::{ConvLayer, Delta, GpuSpec};
 //!
 //! # fn main() -> Result<(), delta_model::Error> {
@@ -28,7 +33,7 @@
 //! let a = ConvLayer::builder("a").batch(8).input(16, 14, 14)
 //!     .output_channels(32).filter(3, 3).pad(1).build()?;
 //! let b = a.with_label("b"); // same shape, different label
-//! let eval = engine.evaluate_network(&[a, b])?;
+//! let eval = engine.evaluate_network(&[a, b], &Parallelism::Single)?;
 //! assert_eq!(eval.rows.len(), 2);
 //! assert_eq!(engine.cache_stats().misses, 1); // shape evaluated once
 //! # Ok(())
@@ -39,10 +44,10 @@ use crate::backend::{Backend, LayerEstimate};
 use crate::error::Error;
 use crate::layer::ConvLayer;
 use crate::perf::Bottleneck;
+use crate::query::{EvalQuery, Parallelism, Pass, StepEvaluation, StepQuery};
 use crate::scaling::DesignOption;
-use crate::training;
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::io;
@@ -50,126 +55,39 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// The cache key: every dimension that determines a layer's estimate,
-/// i.e. a [`ConvLayer`] minus its label.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct LayerShape {
-    /// Mini-batch size.
-    pub batch: u32,
-    /// Input channels.
-    pub in_channels: u32,
-    /// Input height.
-    pub in_height: u32,
-    /// Input width.
-    pub in_width: u32,
-    /// Output channels.
-    pub out_channels: u32,
-    /// Filter height.
-    pub filter_height: u32,
-    /// Filter width.
-    pub filter_width: u32,
-    /// Stride.
-    pub stride: u32,
-    /// Padding.
-    pub pad: u32,
-}
+pub use crate::query::LayerShape;
 
-impl LayerShape {
-    /// Extracts the shape of `layer`.
-    pub fn of(layer: &ConvLayer) -> LayerShape {
-        LayerShape {
-            batch: layer.batch(),
-            in_channels: layer.in_channels(),
-            in_height: layer.in_height(),
-            in_width: layer.in_width(),
-            out_channels: layer.out_channels(),
-            filter_height: layer.filter_height(),
-            filter_width: layer.filter_width(),
-            stride: layer.stride(),
-            pad: layer.pad(),
-        }
-    }
-}
+/// The persistent cache format revision this engine writes and accepts.
+/// v1 (the pre-query format keyed on `(shape, pass, devices)`) cannot
+/// express shard/topology axes and is refused with a clear error.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
-/// Which estimation path a cache entry came from. Forward and wgrad
-/// estimates of the same source shape are distinct quantities (wgrad may
-/// use a split-K tiling), so the pass is part of the cache key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-enum Pass {
-    Forward,
-    Wgrad,
-}
-
-impl Pass {
-    /// Stable ordering index (for deterministic cache-file output).
-    fn rank(self) -> u8 {
-        match self {
-            Pass::Forward => 0,
-            Pass::Wgrad => 1,
-        }
-    }
-}
-
-/// The device count a cached estimate was produced for. `SINGLE_DEVICE`
-/// (0) marks the backend's default single-device path; any positive
-/// count marks an explicit multi-device estimate
-/// ([`Backend::estimate_layer_multi`]). The two must never mix: even
-/// `devices = 1` through the multi path can differ from the default path
-/// (the simulator's device partition replays tile columns in isolation),
-/// so the device count is part of the cache key.
-type DeviceKey = u32;
-
-const SINGLE_DEVICE: DeviceKey = 0;
-
-type CacheKey = (LayerShape, Pass, DeviceKey);
-
-/// One persisted cache entry ([`Engine::save_cache`]).
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct CacheFileEntry {
-    shape: LayerShape,
-    pass: Pass,
-    devices: DeviceKey,
+/// One cached result: the query that produced it (kept so the persistent
+/// cache can write structured keys) and the estimate.
+#[derive(Debug, Clone)]
+struct CacheSlot {
+    query: EvalQuery,
     estimate: LayerEstimate,
 }
 
-impl CacheFileEntry {
-    /// Deterministic file ordering: shape dims, then pass, then devices.
-    #[allow(clippy::type_complexity)]
-    fn sort_key(&self) -> (u32, u32, u32, u32, u32, u32, u32, u32, u32, u8, u32) {
-        let s = self.shape;
-        (
-            s.batch,
-            s.in_channels,
-            s.in_height,
-            s.in_width,
-            s.out_channels,
-            s.filter_height,
-            s.filter_width,
-            s.stride,
-            s.pad,
-            self.pass.rank(),
-            self.devices,
-        )
-    }
+/// One persisted cache entry ([`Engine::save_cache`]): the full query as
+/// the key, the estimate as the value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CacheFileEntry {
+    query: EvalQuery,
+    estimate: LayerEstimate,
 }
 
-/// The on-disk cache format: entries plus the backend/GPU/configuration
-/// fingerprint that guards against replaying results into a different
-/// estimator.
+/// The on-disk cache format (v2): versioned, query-keyed entries plus
+/// the backend/GPU/sampling fingerprint that guards the knobs a query
+/// does not carry.
 #[derive(Debug, Serialize, Deserialize)]
 struct CacheFile {
+    version: u32,
     backend: String,
     gpu: String,
-    /// [`Backend::config_fingerprint`] of the producing engine; empty
-    /// for files written before the field existed (loaded only into
-    /// backends whose fingerprint is also empty).
-    #[serde(default = "empty_fingerprint")]
     config: String,
     entries: Vec<CacheFileEntry>,
-}
-
-fn empty_fingerprint() -> String {
-    String::new()
 }
 
 /// Engine tuning knobs; the defaults (parallel, cached) are what every
@@ -177,9 +95,9 @@ fn empty_fingerprint() -> String {
 /// that quantify each mechanism's contribution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineOptions {
-    /// Evaluate independent layers on multiple cores.
+    /// Evaluate independent queries on multiple cores.
     pub parallel: bool,
-    /// Reuse results across repeated layer shapes.
+    /// Reuse results across repeated queries.
     pub cache: bool,
 }
 
@@ -195,10 +113,10 @@ impl Default for EngineOptions {
 /// Cache-effectiveness counters (cumulative over the engine's lifetime).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Layer evaluations answered from the cache (or deduplicated within
-    /// one call).
+    /// Queries answered from the cache (or deduplicated within one
+    /// call).
     pub hits: u64,
-    /// Layer evaluations that ran a backend estimation.
+    /// Queries that ran a backend evaluation.
     pub misses: u64,
 }
 
@@ -219,7 +137,7 @@ impl CacheStats {
 pub struct Engine<B: Backend> {
     backend: B,
     options: EngineOptions,
-    cache: Mutex<HashMap<CacheKey, LayerEstimate>>,
+    cache: Mutex<HashMap<String, CacheSlot>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -264,38 +182,46 @@ impl<B: Backend> Engine<B> {
         self.cache.lock().expect("engine cache poisoned").clear();
     }
 
-    /// Serializes the result cache to `path` as JSON, so a later process
-    /// can [`Engine::load_cache`] it and skip re-evaluating shapes it has
-    /// already seen. Entries are written in a deterministic order (sorted
-    /// by shape, pass, devices); the file records the backend name, GPU
-    /// name, and [`Backend::config_fingerprint`] so it cannot be replayed
-    /// against a different estimator or configuration. The write is
-    /// atomic (temp file + rename), so a concurrent reader never sees a
-    /// truncated file. Returns the number of entries written.
+    /// Serializes the result cache to `path` as versioned JSON
+    /// ([`CACHE_FORMAT_VERSION`]), so a later process can
+    /// [`Engine::load_cache`] it and skip re-evaluating queries it has
+    /// already answered. Every entry carries its full [`EvalQuery`] as
+    /// the key, so shard/device/interconnect/topology configurations
+    /// coexist in one file; the header additionally records the backend
+    /// name, GPU name, and [`Backend::config_fingerprint`] guarding the
+    /// knobs a query does not carry (sampling limits). Entries are
+    /// written in a deterministic order (sorted by fingerprint) and the
+    /// write is atomic (temp file + rename), so a concurrent reader
+    /// never sees a truncated file. Returns the number of entries
+    /// written.
     ///
     /// # Errors
     ///
     /// Propagates filesystem and serialization failures.
     pub fn save_cache(&self, path: &Path) -> io::Result<usize> {
-        let mut entries: Vec<CacheFileEntry> = {
+        let mut entries: Vec<(String, CacheFileEntry)> = {
             let cache = self.cache.lock().expect("engine cache poisoned");
             cache
                 .iter()
-                .map(|(&(shape, pass, devices), estimate)| CacheFileEntry {
-                    shape,
-                    pass,
-                    devices,
-                    estimate: estimate.clone(),
+                .map(|(key, slot)| {
+                    (
+                        key.clone(),
+                        CacheFileEntry {
+                            query: slot.query.clone(),
+                            estimate: slot.estimate.clone(),
+                        },
+                    )
                 })
                 .collect()
         };
-        entries.sort_by_key(CacheFileEntry::sort_key);
+        entries.sort_by(|(a, _), (b, _)| a.cmp(b));
         let n = entries.len();
         let file = CacheFile {
+            version: CACHE_FORMAT_VERSION,
             backend: self.backend.name().to_string(),
             gpu: self.backend.gpu().name().to_string(),
             config: self.backend.config_fingerprint(),
-            entries,
+            entries: entries.into_iter().map(|(_, e)| e).collect(),
         };
         let json = serde_json::to_string_pretty(&file)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
@@ -319,20 +245,55 @@ impl<B: Backend> Engine<B> {
     /// Returns the number of entries loaded.
     ///
     /// Loaded results are served as cache hits; the backend is never
-    /// consulted for them, so the file must come from the *same* backend
-    /// kind, GPU, **and configuration**. All three are verified: a file
-    /// produced under different simulator sampling limits or a different
-    /// interconnect is refused rather than silently replayed.
+    /// consulted for them. Three guards apply, in order:
+    ///
+    /// 1. **format version** — a file without a `version` field is the
+    ///    pre-query v1 format and is refused with a "cache format v1,
+    ///    expected v2" error (its `(shape, pass, devices)` keys cannot
+    ///    express the query axes); any other version is refused too;
+    /// 2. **backend/GPU/sampling fingerprint** — the header must match
+    ///    this engine's backend exactly (these knobs are not part of the
+    ///    query key);
+    /// 3. **key equality** — everything else (pass, shards, devices,
+    ///    interconnect, topology) lives in each entry's query, so
+    ///    results from a different configuration load harmlessly and
+    ///    simply never match a lookup.
     ///
     /// # Errors
     ///
     /// Propagates filesystem failures; returns
-    /// [`io::ErrorKind::InvalidData`] for malformed files or a
-    /// backend/GPU/configuration mismatch.
+    /// [`io::ErrorKind::InvalidData`] for malformed files, a format
+    /// version mismatch, or a backend/GPU/configuration mismatch.
     pub fn load_cache(&self, path: &Path) -> io::Result<usize> {
         let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
         let text = std::fs::read_to_string(path)?;
-        let file: CacheFile = serde_json::from_str(&text)
+        let probe: Value = serde_json::from_str(&text)
+            .map_err(|e| invalid(format!("malformed cache file {}: {e}", path.display())))?;
+        match probe.get("version") {
+            Some(Value::U64(v)) if *v == u64::from(CACHE_FORMAT_VERSION) => {}
+            None => {
+                return Err(invalid(format!(
+                    "cache file {} is cache format v1 (pre-query, no `version` field), \
+                     expected v{CACHE_FORMAT_VERSION}: its (shape, pass, devices) keys cannot \
+                     express the query's shard/interconnect/topology axes — delete the file \
+                     and let this binary regenerate it",
+                    path.display()
+                )))
+            }
+            Some(other) => {
+                return Err(invalid(format!(
+                    "cache file {} is cache format v{}, expected v{CACHE_FORMAT_VERSION}",
+                    path.display(),
+                    match other {
+                        Value::U64(v) => v.to_string(),
+                        v => format!("<{}>", v.kind()),
+                    }
+                )))
+            }
+        }
+        // The version probe already parsed the document; deserialize the
+        // typed view from the same tree instead of re-parsing the text.
+        let file: CacheFile = Deserialize::from_value(&probe)
             .map_err(|e| invalid(format!("malformed cache file {}: {e}", path.display())))?;
         if file.backend != self.backend.name() || file.gpu != self.backend.gpu().name() {
             return Err(invalid(format!(
@@ -348,7 +309,7 @@ impl<B: Backend> Engine<B> {
         if file.config != self.backend.config_fingerprint() {
             return Err(invalid(format!(
                 "cache file {} was produced under a different backend \
-                 configuration (e.g. sampling limits or interconnect): \
+                 configuration (e.g. sampling limits): \
                  file has `{}`, this engine has `{}`",
                 path.display(),
                 file.config,
@@ -358,109 +319,46 @@ impl<B: Backend> Engine<B> {
         let n = file.entries.len();
         let mut cache = self.cache.lock().expect("engine cache poisoned");
         for e in file.entries {
-            cache.insert((e.shape, e.pass, e.devices), e.estimate);
+            cache.insert(
+                e.query.fingerprint(),
+                CacheSlot {
+                    query: e.query,
+                    estimate: e.estimate,
+                },
+            );
         }
         Ok(n)
     }
 
-    /// Estimates one layer through the cache.
+    /// Answers one evaluation query through the cache.
     ///
     /// # Errors
     ///
     /// Propagates backend estimation failures.
-    pub fn evaluate_layer(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
+    pub fn evaluate(&self, query: &EvalQuery) -> Result<LayerEstimate, Error> {
         Ok(self
-            .evaluate_batch(std::slice::from_ref(layer), Pass::Forward, SINGLE_DEVICE)?
+            .evaluate_queries(std::slice::from_ref(query))?
             .remove(0))
     }
 
-    /// Estimates one layer executed across `devices` GPUs
-    /// ([`Backend::estimate_layer_multi`]) through the cache. Multi-device
-    /// estimates are cached like single-device ones, keyed on (shape,
-    /// devices), so a sweep over device counts caches each point
-    /// separately; `devices` is clamped to at least 1.
-    ///
-    /// # Errors
-    ///
-    /// Propagates backend estimation failures.
-    pub fn evaluate_layer_multi(
-        &self,
-        layer: &ConvLayer,
-        devices: u32,
-    ) -> Result<LayerEstimate, Error> {
-        Ok(self
-            .evaluate_batch(std::slice::from_ref(layer), Pass::Forward, devices.max(1))?
-            .remove(0))
-    }
-
-    /// Estimates one layer with the backend's intra-layer parallelism
-    /// ([`Backend::estimate_layer_sharded`]) — the path for a *single*
-    /// large layer, where the engine's layer-level fan-out has nothing to
-    /// parallelize.
-    ///
-    /// Bypasses the shape cache: sharded and unsharded evaluations of the
-    /// same shape are distinct quantities for backends (like the
-    /// simulator) whose sharded replay changes cross-partition state, so
-    /// a cache keyed on shape alone must not mix them. The call is
-    /// counted as a cache miss.
-    ///
-    /// # Errors
-    ///
-    /// Propagates backend estimation failures.
-    pub fn evaluate_layer_sharded(
-        &self,
-        layer: &ConvLayer,
-        n_workers: u32,
-    ) -> Result<LayerEstimate, Error> {
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.backend.estimate_layer_sharded(layer, n_workers)
-    }
-
-    /// Estimates every layer, in order. This is the primitive the
-    /// network/training/sweep drivers build on: unique uncached shapes
-    /// are evaluated in parallel, repeated shapes are served once.
+    /// Evaluates a whole network (any ordered layer slice) under one
+    /// parallelism: every layer becomes a forward-pass [`EvalQuery`],
+    /// unique uncached queries are evaluated in parallel, repeated
+    /// shapes are served once.
     ///
     /// # Errors
     ///
     /// Propagates the first backend estimation failure.
-    pub fn evaluate_layers(&self, layers: &[ConvLayer]) -> Result<Vec<LayerEstimate>, Error> {
-        self.evaluate_batch(layers, Pass::Forward, SINGLE_DEVICE)
-    }
-
-    /// Evaluates a whole network (any ordered layer slice) and bundles
-    /// per-layer rows with summary accessors.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first backend estimation failure.
-    pub fn evaluate_network(&self, layers: &[ConvLayer]) -> Result<NetworkEvaluation, Error> {
-        self.network_eval(layers, SINGLE_DEVICE)
-    }
-
-    /// Evaluates a whole network executed across `devices` GPUs: every
-    /// layer goes through [`Backend::estimate_layer_multi`] with the same
-    /// parallel fan-out and (shape, devices)-keyed caching as the
-    /// single-device path.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first backend estimation failure.
-    pub fn evaluate_network_multi(
+    pub fn evaluate_network(
         &self,
         layers: &[ConvLayer],
-        devices: u32,
+        parallelism: &Parallelism,
     ) -> Result<NetworkEvaluation, Error> {
-        self.network_eval(layers, devices.max(1))
-    }
-
-    /// The shared network driver behind the single- and multi-device
-    /// entry points.
-    fn network_eval(
-        &self,
-        layers: &[ConvLayer],
-        devices: DeviceKey,
-    ) -> Result<NetworkEvaluation, Error> {
-        let estimates = self.evaluate_batch(layers, Pass::Forward, devices)?;
+        let queries: Vec<EvalQuery> = layers
+            .iter()
+            .map(|l| EvalQuery::forward(l, parallelism.clone()))
+            .collect();
+        let estimates = self.evaluate_queries(&queries)?;
         Ok(NetworkEvaluation {
             backend: self.backend.name().to_string(),
             gpu: self.backend.gpu().name().to_string(),
@@ -475,155 +373,157 @@ impl<B: Backend> Engine<B> {
         })
     }
 
-    /// Evaluates one whole training step (forward + dgrad + wgrad per
-    /// layer; the first layer skips dgrad). All passes of all layers go
-    /// through the same parallel cached pipeline.
+    /// Evaluates one whole training step: the per-layer
+    /// forward/dgrad/wgrad table plus the scheduled timeline, both
+    /// derived from **one** evaluation pass over the step's unique layer
+    /// shapes.
+    ///
+    /// Under `Single`/`Sharded` parallelism the step is assembled from
+    /// per-pass queries through the cache (parallel fan-out, repeats and
+    /// previously-loaded results served without replay) and the serial
+    /// timeline is derived from the cached estimates — bitwise what
+    /// [`Backend::evaluate_step`] would answer. Under `Multi` the
+    /// backend always runs (its overlapped timeline needs per-device
+    /// measurement detail that cached estimates do not carry), and the
+    /// engine folds the step's per-pass estimates into its cache so
+    /// later calls hit. Counters: each unique pass query counts as one
+    /// miss, each repeat (or cache-served query) as one hit.
     ///
     /// # Errors
     ///
     /// Propagates pass-construction and estimation failures.
-    pub fn evaluate_training_step(
-        &self,
-        layers: &[ConvLayer],
-    ) -> Result<TrainingStepEvaluation, Error> {
-        self.training_eval(layers, SINGLE_DEVICE)
+    pub fn evaluate_step(&self, query: &StepQuery) -> Result<StepEvaluation, Error> {
+        if !matches!(query.parallelism, Parallelism::Multi { .. }) {
+            return self.step_from_queries(query);
+        }
+        let result = self.backend.evaluate_step(query)?;
+        let mut fresh = 0u64;
+        let mut seen = 0u64;
+        if self.options.cache {
+            let mut cache = self.cache.lock().expect("engine cache poisoned");
+            let mut insert =
+                |q: EvalQuery, estimate: &LayerEstimate| match cache.entry(q.fingerprint()) {
+                    std::collections::hash_map::Entry::Occupied(_) => seen += 1,
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(CacheSlot {
+                            query: q,
+                            estimate: estimate.clone(),
+                        });
+                        fresh += 1;
+                    }
+                };
+            for (l, row) in query.layers.iter().zip(&result.table.rows) {
+                insert(query.pass_query(l, Pass::Fwd), &row.forward);
+                if let Some(d) = &row.dgrad {
+                    insert(query.pass_query(l, Pass::Dgrad), d);
+                }
+                insert(query.pass_query(l, Pass::Wgrad), &row.wgrad);
+            }
+        } else {
+            // No cache to fold into, but the counter contract is the
+            // same: unique pass queries are misses, repeats are hits.
+            let mut unique = HashSet::new();
+            for (i, l) in query.layers.iter().enumerate() {
+                for pass in [
+                    Some(Pass::Fwd),
+                    (i > 0).then_some(Pass::Dgrad),
+                    Some(Pass::Wgrad),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    if unique.insert(query.pass_query(l, pass).fingerprint()) {
+                        fresh += 1;
+                    } else {
+                        seen += 1;
+                    }
+                }
+            }
+        }
+        self.misses.fetch_add(fresh, Ordering::Relaxed);
+        self.hits.fetch_add(seen, Ordering::Relaxed);
+        Ok(result)
     }
 
-    /// Evaluates one whole training step executed across `devices` GPUs.
-    /// Forward and dgrad passes route through
-    /// [`Backend::estimate_layer_multi`]; wgrad passes route through
-    /// [`Backend::estimate_wgrad_multi`], which for multi-device-aware
-    /// backends includes the per-step gradient all-reduce traffic.
-    ///
-    /// # Errors
-    ///
-    /// Propagates pass-construction and estimation failures.
-    pub fn evaluate_training_step_multi(
-        &self,
-        layers: &[ConvLayer],
-        devices: u32,
-    ) -> Result<TrainingStepEvaluation, Error> {
-        self.training_eval(layers, devices.max(1))
-    }
-
-    /// Schedules one whole training step across `devices` GPUs through
-    /// the backend's collective scheduler
-    /// ([`Backend::estimate_training_step_scheduled`]): forward + dgrad +
-    /// wgrad compute spans plus bucketed gradient all-reduce spans, with
-    /// the overlapped (or serial) step time read off the returned
-    /// [`StepTimeline`](crate::schedule::StepTimeline).
-    ///
-    /// Bypasses the shape cache: the timeline is a whole-step quantity
-    /// whose communication schedule depends on layer *order*, not just
-    /// shapes, so per-shape entries cannot serve it. The call is counted
-    /// as one cache miss.
-    ///
-    /// # Errors
-    ///
-    /// Propagates pass-construction and estimation failures.
-    pub fn evaluate_training_step_scheduled(
-        &self,
-        layers: &[ConvLayer],
-        devices: u32,
-    ) -> Result<crate::schedule::StepTimeline, Error> {
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.backend
-            .estimate_training_step_scheduled(layers, devices.max(1))
-    }
-
-    /// The shared training-step driver behind the single- and
-    /// multi-device entry points.
-    fn training_eval(
-        &self,
-        layers: &[ConvLayer],
-        devices: DeviceKey,
-    ) -> Result<TrainingStepEvaluation, Error> {
-        // Build the dgrad companions first (pure shape transforms).
-        let dgrads: Vec<Option<ConvLayer>> = layers
+    /// The cache-served step path for `Single`/`Sharded` parallelism:
+    /// every pass goes through [`Engine::evaluate_queries`] (dedup,
+    /// parallel fan-out, persistent-cache reuse) and the serial timeline
+    /// is derived from the resulting rows.
+    fn step_from_queries(&self, query: &StepQuery) -> Result<StepEvaluation, Error> {
+        let mut pass_queries = Vec::with_capacity(3 * query.layers.len());
+        for (i, l) in query.layers.iter().enumerate() {
+            pass_queries.push(query.pass_query(l, Pass::Fwd));
+            if i > 0 {
+                pass_queries.push(query.pass_query(l, Pass::Dgrad));
+            }
+            pass_queries.push(query.pass_query(l, Pass::Wgrad));
+        }
+        let mut estimates = self.evaluate_queries(&pass_queries)?.into_iter();
+        let rows: Vec<TrainingRow> = query
+            .layers
             .iter()
             .enumerate()
-            .map(|(i, l)| {
-                if i == 0 {
-                    Ok(None)
-                } else {
-                    training::dgrad_layer(l).map(Some)
-                }
-            })
-            .collect::<Result<_, _>>()?;
-
-        // Forward and dgrad passes are ordinary convolutions: evaluate
-        // them as one batch so their shapes share the parallel fan-out
-        // and the cache.
-        let mut plain: Vec<ConvLayer> = layers.to_vec();
-        plain.extend(dgrads.iter().flatten().cloned());
-        let mut plain_est = self.evaluate_batch(&plain, Pass::Forward, devices)?;
-        let dgrad_est: Vec<LayerEstimate> = plain_est.split_off(layers.len());
-        let wgrad_est = self.evaluate_batch(layers, Pass::Wgrad, devices)?;
-
-        let mut dgrad_iter = dgrad_est.into_iter();
-        let rows = layers
-            .iter()
-            .zip(plain_est)
-            .zip(wgrad_est)
-            .zip(&dgrads)
-            .map(|(((l, forward), wgrad), dgrad)| TrainingRow {
+            .map(|(i, l)| TrainingRow {
                 label: l.label().to_string(),
-                forward,
-                dgrad: dgrad.as_ref().map(|_| {
-                    dgrad_iter
-                        .next()
-                        .expect("one dgrad estimate per non-first layer")
-                }),
-                wgrad,
+                forward: estimates.next().expect("one estimate per query"),
+                dgrad: (i > 0).then(|| estimates.next().expect("one estimate per query")),
+                wgrad: estimates.next().expect("one estimate per query"),
             })
             .collect();
-        Ok(TrainingStepEvaluation {
-            backend: self.backend.name().to_string(),
-            gpu: self.backend.gpu().name().to_string(),
-            rows,
+        let timeline = crate::schedule::StepTimeline::serial_compute(
+            self.backend.name(),
+            self.backend.gpu().name(),
+            query.parallelism.device_count(),
+            crate::backend::serial_step_spans(&query.layers, &rows),
+        );
+        Ok(StepEvaluation {
+            table: TrainingStepEvaluation {
+                backend: self.backend.name().to_string(),
+                gpu: self.backend.gpu().name().to_string(),
+                rows,
+            },
+            timeline,
         })
     }
 
     /// The shared batched path: dedup against the cache, evaluate what is
     /// missing (in parallel when enabled), then assemble in input order.
-    fn evaluate_batch(
-        &self,
-        layers: &[ConvLayer],
-        pass: Pass,
-        devices: DeviceKey,
-    ) -> Result<Vec<LayerEstimate>, Error> {
+    fn evaluate_queries(&self, queries: &[EvalQuery]) -> Result<Vec<LayerEstimate>, Error> {
         if !self.options.cache {
             self.misses
-                .fetch_add(layers.len() as u64, Ordering::Relaxed);
-            let results = self.run_backend(&layers.iter().collect::<Vec<_>>(), pass, devices);
+                .fetch_add(queries.len() as u64, Ordering::Relaxed);
+            let results = self.run_backend(&queries.iter().collect::<Vec<_>>());
             return results.into_iter().collect();
         }
 
-        let keys: Vec<CacheKey> = layers
-            .iter()
-            .map(|l| (LayerShape::of(l), pass, devices))
-            .collect();
-        let mut missing: Vec<(CacheKey, &ConvLayer)> = Vec::new();
+        let keys: Vec<String> = queries.iter().map(EvalQuery::fingerprint).collect();
+        let mut missing: Vec<(&str, &EvalQuery)> = Vec::new();
         {
             let cache = self.cache.lock().expect("engine cache poisoned");
             let mut queued = HashSet::new();
-            for (key, layer) in keys.iter().zip(layers) {
-                if !cache.contains_key(key) && queued.insert(*key) {
-                    missing.push((*key, layer));
+            for (key, query) in keys.iter().zip(queries) {
+                if !cache.contains_key(key.as_str()) && queued.insert(key.as_str()) {
+                    missing.push((key.as_str(), query));
                 }
             }
         }
         self.hits
-            .fetch_add((layers.len() - missing.len()) as u64, Ordering::Relaxed);
+            .fetch_add((queries.len() - missing.len()) as u64, Ordering::Relaxed);
         self.misses
             .fetch_add(missing.len() as u64, Ordering::Relaxed);
 
-        let fresh: Vec<&ConvLayer> = missing.iter().map(|(_, l)| *l).collect();
-        let results = self.run_backend(&fresh, pass, devices);
+        let fresh: Vec<&EvalQuery> = missing.iter().map(|(_, q)| *q).collect();
+        let results = self.run_backend(&fresh);
 
         let mut cache = self.cache.lock().expect("engine cache poisoned");
-        for ((key, _), result) in missing.iter().zip(results) {
-            cache.insert(*key, result?);
+        for ((key, query), result) in missing.iter().zip(results) {
+            cache.insert(
+                key.to_string(),
+                CacheSlot {
+                    query: (*query).clone(),
+                    estimate: result?,
+                },
+            );
         }
         Ok(keys
             .iter()
@@ -631,30 +531,22 @@ impl<B: Backend> Engine<B> {
                 cache
                     .get(key)
                     .expect("every key was inserted above")
+                    .estimate
                     .clone()
             })
             .collect())
     }
 
-    /// Runs the backend over `layers`, in parallel when enabled and
-    /// worthwhile. `devices = SINGLE_DEVICE` takes the backend's default
-    /// path; a positive count takes the explicit multi-device path.
-    fn run_backend(
-        &self,
-        layers: &[&ConvLayer],
-        pass: Pass,
-        devices: DeviceKey,
-    ) -> Vec<Result<LayerEstimate, Error>> {
-        let eval = |layer: &ConvLayer| match (pass, devices) {
-            (Pass::Forward, SINGLE_DEVICE) => self.backend.estimate_layer(layer),
-            (Pass::Forward, g) => self.backend.estimate_layer_multi(layer, g),
-            (Pass::Wgrad, SINGLE_DEVICE) => self.backend.estimate_wgrad(layer),
-            (Pass::Wgrad, g) => self.backend.estimate_wgrad_multi(layer, g),
-        };
-        if self.options.parallel && layers.len() > 1 {
-            layers.par_iter().map(|l| eval(l)).collect()
+    /// Runs the backend over `queries`, in parallel when enabled and
+    /// worthwhile.
+    fn run_backend(&self, queries: &[&EvalQuery]) -> Vec<Result<LayerEstimate, Error>> {
+        if self.options.parallel && queries.len() > 1 {
+            queries
+                .par_iter()
+                .map(|q| self.backend.evaluate(q))
+                .collect()
         } else {
-            layers.iter().map(|l| eval(l)).collect()
+            queries.iter().map(|q| self.backend.evaluate(q)).collect()
         }
     }
 }
@@ -681,6 +573,13 @@ pub struct NetworkEvaluation {
 }
 
 impl NetworkEvaluation {
+    /// Unwraps the per-layer estimates in network order, discarding the
+    /// labels — for sweep drivers that pair estimates with layers they
+    /// already hold.
+    pub fn into_estimates(self) -> Vec<LayerEstimate> {
+        self.rows.into_iter().map(|r| r.estimate).collect()
+    }
+
     /// Sum of per-layer predicted/measured seconds.
     pub fn total_seconds(&self) -> f64 {
         self.rows.iter().map(|r| r.estimate.seconds).sum()
@@ -772,8 +671,8 @@ impl TrainingRow {
     }
 }
 
-/// A whole network's training-step evaluation, produced by
-/// [`Engine::evaluate_training_step`].
+/// A whole network's training-step table: the per-layer half of a
+/// [`StepEvaluation`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainingStepEvaluation {
     /// Which backend produced the rows.
@@ -822,7 +721,7 @@ impl DesignPointEvaluation {
 /// study generalized over backends. `make_backend` builds the
 /// option-scaled backend (e.g. `opt.model(&base)` for the analytical
 /// model, or a simulator on `opt.apply(&base)`); each option gets its own
-/// engine so shape caching applies within — but never across — device
+/// engine so query caching applies within — but never across — device
 /// configurations.
 ///
 /// # Errors
@@ -843,7 +742,7 @@ where
             let engine = Engine::new(make_backend(option)?);
             Ok(DesignPointEvaluation {
                 option: option.clone(),
-                evaluation: engine.evaluate_network(layers)?,
+                evaluation: engine.evaluate_network(layers, &Parallelism::Single)?,
             })
         })
         .collect()
@@ -852,6 +751,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::interconnect::InterconnectKind;
     use crate::{Delta, GpuSpec};
 
     fn conv(label: &str, ci: u32, hw: u32, co: u32) -> ConvLayer {
@@ -874,17 +774,28 @@ mod tests {
         ]
     }
 
+    fn fwd(l: &ConvLayer) -> EvalQuery {
+        EvalQuery::forward(l, Parallelism::Single)
+    }
+
+    fn multi(l: &ConvLayer, g: u32) -> EvalQuery {
+        EvalQuery::forward(
+            l,
+            Parallelism::multi(&GpuSpec::titan_xp(), g, InterconnectKind::Ideal),
+        )
+    }
+
     #[test]
     fn network_rows_match_direct_backend_calls() {
         let delta = Delta::new(GpuSpec::titan_xp());
         let engine = Engine::new(delta.clone());
         let net = repeated_net();
-        let eval = engine.evaluate_network(&net).unwrap();
+        let eval = engine.evaluate_network(&net, &Parallelism::Single).unwrap();
         assert_eq!(eval.rows.len(), 4);
         assert_eq!(eval.backend, "model");
         for (row, layer) in eval.rows.iter().zip(&net) {
             assert_eq!(row.label, layer.label());
-            let direct = Backend::estimate_layer(&delta, layer).unwrap();
+            let direct = delta.evaluate(&fwd(layer)).unwrap();
             assert_eq!(row.estimate, direct, "{}", layer.label());
         }
     }
@@ -892,12 +803,16 @@ mod tests {
     #[test]
     fn cache_deduplicates_repeated_shapes() {
         let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
-        engine.evaluate_network(&repeated_net()).unwrap();
+        engine
+            .evaluate_network(&repeated_net(), &Parallelism::Single)
+            .unwrap();
         let stats = engine.cache_stats();
         assert_eq!(stats.misses, 2, "two unique shapes");
         assert_eq!(stats.hits, 2, "two repeats");
         // Second run is fully cached.
-        engine.evaluate_network(&repeated_net()).unwrap();
+        engine
+            .evaluate_network(&repeated_net(), &Parallelism::Single)
+            .unwrap();
         assert_eq!(engine.cache_stats().misses, 2);
         assert_eq!(engine.cache_stats().hits, 6);
         assert!(engine.cache_stats().hit_rate() > 0.7);
@@ -915,8 +830,12 @@ mod tests {
             },
         );
         assert_eq!(
-            par.evaluate_network(&net).unwrap().rows,
-            seq.evaluate_network(&net).unwrap().rows
+            par.evaluate_network(&net, &Parallelism::Single)
+                .unwrap()
+                .rows,
+            seq.evaluate_network(&net, &Parallelism::Single)
+                .unwrap()
+                .rows
         );
     }
 
@@ -929,94 +848,100 @@ mod tests {
                 cache: false,
             },
         );
-        engine.evaluate_network(&repeated_net()).unwrap();
+        engine
+            .evaluate_network(&repeated_net(), &Parallelism::Single)
+            .unwrap();
         assert_eq!(engine.cache_stats().misses, 4);
         assert_eq!(engine.cache_stats().hits, 0);
     }
 
     #[test]
-    fn training_step_matches_training_module() {
+    fn step_table_matches_training_module() {
         let delta = Delta::new(GpuSpec::titan_xp());
         let engine = Engine::new(delta.clone());
         let net = vec![conv("first", 3, 28, 16), conv("second", 16, 28, 32)];
-        let eval = engine.evaluate_training_step(&net).unwrap();
-        assert!(eval.rows[0].dgrad.is_none(), "first layer skips dgrad");
-        assert!(eval.rows[1].dgrad.is_some());
-        let reference = training::training_step(&delta, &net).unwrap();
+        let eval = engine
+            .evaluate_step(&StepQuery::new(&net, Parallelism::Single))
+            .unwrap();
+        let table = &eval.table;
+        assert!(table.rows[0].dgrad.is_none(), "first layer skips dgrad");
+        assert!(table.rows[1].dgrad.is_some());
+        let reference = crate::training::training_step(&delta, &net).unwrap();
         let ref_total: f64 = reference.iter().map(|t| t.seconds()).sum();
-        assert!((eval.total_seconds() - ref_total).abs() < 1e-12 * ref_total.abs());
-        assert!(eval.backward_seconds() > eval.forward_seconds() * 0.5);
+        assert!((table.total_seconds() - ref_total).abs() < 1e-12 * ref_total.abs());
+        assert!(table.backward_seconds() > table.forward_seconds() * 0.5);
+        // The bundled timeline is the serial fallback derived from the
+        // same estimates.
+        assert_eq!(eval.timeline.comm_seconds, 0.0);
+        assert!(
+            (eval.timeline.step_seconds - table.total_seconds()).abs()
+                < 1e-12 * table.total_seconds()
+        );
+        assert!(eval.timeline.bounds_hold());
     }
 
     #[test]
-    fn evaluate_layer_sharded_bypasses_cache() {
+    fn step_populates_the_query_cache() {
+        let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        let net = repeated_net();
+        let step = StepQuery::new(&net, Parallelism::Single);
+        let eval = engine.evaluate_step(&step).unwrap();
+        // 4 layers → 4 fwd + 3 dgrad + 4 wgrad = 11 pass queries; shapes
+        // repeat (a1 == a2 == a3), so unique queries are fewer.
+        let stats = engine.cache_stats();
+        assert_eq!(stats.hits + stats.misses, 11);
+        assert!(stats.misses < 11, "repeated shapes dedup");
+        // Follow-up single-query evaluations are pure hits.
+        let misses_before = engine.cache_stats().misses;
+        let est = engine.evaluate(&fwd(&net[0])).unwrap();
+        assert_eq!(est, eval.table.rows[0].forward);
+        assert_eq!(engine.cache_stats().misses, misses_before);
+    }
+
+    #[test]
+    fn sharded_queries_cache_under_their_own_keys() {
         let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
         let l = conv("big", 64, 28, 256);
-        let plain = engine.evaluate_layer(&l).unwrap();
-        // The model backend ignores the worker hint, so the estimate is
-        // identical — but each sharded call must re-run the backend.
-        for n in [1, 2, 4] {
-            assert_eq!(engine.evaluate_layer_sharded(&l, n).unwrap(), plain);
+        let plain = engine.evaluate(&fwd(&l)).unwrap();
+        for n in [1u32, 2, 4] {
+            let q = EvalQuery::forward(&l, Parallelism::Sharded { workers: n });
+            // The model ignores the hint, so values agree…
+            assert_eq!(engine.evaluate(&q).unwrap(), plain);
         }
-        assert_eq!(engine.cache_stats().misses, 4, "1 cached + 3 direct");
+        // …but each worker count is its own cache entry.
+        assert_eq!(engine.cache_stats().misses, 4, "1 single + 3 shard counts");
         assert_eq!(engine.cache_stats().hits, 0);
+        // Repeats hit.
+        engine
+            .evaluate(&EvalQuery::forward(&l, Parallelism::Sharded { workers: 2 }))
+            .unwrap();
+        assert_eq!(engine.cache_stats().hits, 1);
     }
 
     #[test]
-    fn multi_device_estimates_use_their_own_cache_keys() {
+    fn multi_device_queries_use_their_own_cache_keys() {
         let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
         let l = conv("m", 32, 14, 64);
-        engine.evaluate_layer(&l).unwrap();
+        engine.evaluate(&fwd(&l)).unwrap();
         // Each distinct device count is a distinct cache entry, even for
-        // the model backend (whose multi default answers identically).
-        engine.evaluate_layer_multi(&l, 2).unwrap();
-        engine.evaluate_layer_multi(&l, 4).unwrap();
-        assert_eq!(engine.cache_stats().misses, 3, "1 plain + 2 device counts");
-        // Repeats of every path are hits.
-        engine.evaluate_layer(&l).unwrap();
-        engine.evaluate_layer_multi(&l, 2).unwrap();
-        engine.evaluate_layer_multi(&l, 4).unwrap();
+        // the model backend (whose answer ignores the fleet).
+        engine.evaluate(&multi(&l, 2)).unwrap();
+        engine.evaluate(&multi(&l, 4)).unwrap();
+        assert_eq!(engine.cache_stats().misses, 3, "1 single + 2 device counts");
+        // Repeats of every configuration are hits.
+        engine.evaluate(&fwd(&l)).unwrap();
+        engine.evaluate(&multi(&l, 2)).unwrap();
+        engine.evaluate(&multi(&l, 4)).unwrap();
         assert_eq!(engine.cache_stats().misses, 3);
         assert_eq!(engine.cache_stats().hits, 3);
-        // devices = 0 clamps to 1 (a distinct key from the default path).
-        engine.evaluate_layer_multi(&l, 0).unwrap();
-        engine.evaluate_layer_multi(&l, 1).unwrap();
+        // A different interconnect is a different key too.
+        engine
+            .evaluate(&EvalQuery::forward(
+                &l,
+                Parallelism::multi(&GpuSpec::titan_xp(), 2, InterconnectKind::NvLink),
+            ))
+            .unwrap();
         assert_eq!(engine.cache_stats().misses, 4);
-        assert_eq!(engine.cache_stats().hits, 4);
-    }
-
-    #[test]
-    fn multi_network_and_training_match_model_defaults() {
-        // The model backend has no multi-GPU path, so the multi drivers
-        // reproduce the single-device evaluations row for row.
-        let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
-        let net = repeated_net();
-        let plain = engine.evaluate_network(&net).unwrap();
-        let multi = engine.evaluate_network_multi(&net, 4).unwrap();
-        assert_eq!(plain.rows, multi.rows);
-        let step = engine.evaluate_training_step(&net).unwrap();
-        let step4 = engine.evaluate_training_step_multi(&net, 4).unwrap();
-        assert_eq!(step.rows, step4.rows);
-    }
-
-    #[test]
-    fn scheduled_training_step_bypasses_cache_and_matches_serial_total() {
-        let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
-        let net = repeated_net();
-        let t = engine
-            .evaluate_training_step_scheduled(&net, 4)
-            .expect("schedulable network");
-        assert_eq!(engine.cache_stats().misses, 1, "one bypass miss");
-        assert_eq!(engine.cache_stats().hits, 0);
-        // The model backend's serial fallback reproduces the training
-        // evaluation's total (same estimators, same passes).
-        let step = engine.evaluate_training_step(&net).unwrap();
-        assert!((t.step_seconds - step.total_seconds()).abs() < 1e-12 * t.step_seconds);
-        assert_eq!(t.comm_seconds, 0.0);
-        assert!(t.bounds_hold());
-        // devices = 0 clamps to 1.
-        let one = engine.evaluate_training_step_scheduled(&net, 0).unwrap();
-        assert_eq!(one.devices, 1);
     }
 
     #[test]
@@ -1026,18 +951,30 @@ mod tests {
         let net = repeated_net();
 
         let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
-        engine.evaluate_network(&net).unwrap();
-        engine.evaluate_layer_multi(&net[0], 2).unwrap();
+        engine.evaluate_network(&net, &Parallelism::Single).unwrap();
+        engine.evaluate(&multi(&net[0], 2)).unwrap();
         let saved = engine.save_cache(&path).unwrap();
         assert_eq!(saved, 3, "two unique shapes + one multi entry");
+        // The file is the versioned format.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"version\": 2"), "{text}");
 
         // A fresh engine answers everything from the loaded file.
         let fresh = Engine::new(Delta::new(GpuSpec::titan_xp()));
         assert_eq!(fresh.load_cache(&path).unwrap(), saved);
-        let eval = fresh.evaluate_network(&net).unwrap();
-        assert_eq!(eval.rows, engine.evaluate_network(&net).unwrap().rows);
+        let eval = fresh.evaluate_network(&net, &Parallelism::Single).unwrap();
+        assert_eq!(
+            eval.rows,
+            engine
+                .evaluate_network(&net, &Parallelism::Single)
+                .unwrap()
+                .rows
+        );
         assert_eq!(fresh.cache_stats().misses, 0, "all served from the file");
         assert_eq!(fresh.cache_stats().hits, net.len() as u64);
+        // The multi entry round-tripped with its device key intact.
+        fresh.evaluate(&multi(&net[0], 2)).unwrap();
+        assert_eq!(fresh.cache_stats().misses, 0);
 
         // Deterministic bytes: saving the same cache twice is identical.
         let first = std::fs::read_to_string(&path).unwrap();
@@ -1046,11 +983,62 @@ mod tests {
     }
 
     #[test]
+    fn v1_cache_files_are_refused_with_a_version_error() {
+        // Satellite: a file written by the pre-query cache (no `version`
+        // field, (shape, pass, devices) keys) must be refused with a
+        // clear format error — not a panic, not a silent miss.
+        let dir = std::env::temp_dir().join("delta_engine_cache_v1_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("v1.json");
+        std::fs::write(
+            &path,
+            r#"{
+  "backend": "model",
+  "gpu": "TITAN Xp",
+  "config": "",
+  "entries": [
+    {
+      "shape": {"batch": 8, "in_channels": 16, "in_height": 14, "in_width": 14,
+                "out_channels": 32, "filter_height": 3, "filter_width": 3,
+                "stride": 1, "pad": 1},
+      "pass": "Forward",
+      "devices": 0,
+      "estimate": {"l1_bytes": 1.0, "l2_bytes": 1.0, "dram_read_bytes": 1.0,
+                   "dram_write_bytes": 1.0, "l1_miss_rate": 0.5, "l2_miss_rate": 0.5,
+                   "cycles": 1.0, "seconds": 1.0, "link_bytes": 0.0,
+                   "bottleneck": null, "source": "Model"}
+    }
+  ]
+}"#,
+        )
+        .unwrap();
+        let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        let err = engine.load_cache(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("cache format v1"), "{msg}");
+        assert!(msg.contains("expected v2"), "{msg}");
+        // Nothing was loaded.
+        engine.evaluate(&fwd(&conv("x", 16, 14, 32))).unwrap();
+        assert_eq!(engine.cache_stats().misses, 1);
+
+        // A future version number is refused too, mentioning both.
+        std::fs::write(
+            &path,
+            r#"{"version": 3, "backend": "model", "gpu": "TITAN Xp", "config": "", "entries": []}"#,
+        )
+        .unwrap();
+        let err = engine.load_cache(&path).unwrap_err();
+        assert!(err.to_string().contains("v3"), "{err}");
+        assert!(err.to_string().contains("expected v2"), "{err}");
+    }
+
+    #[test]
     fn cache_file_rejects_backend_and_gpu_mismatch() {
         let dir = std::env::temp_dir().join("delta_engine_cache_mismatch_test");
         let path = dir.join("cache.json");
         let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
-        engine.evaluate_layer(&conv("x", 16, 14, 32)).unwrap();
+        engine.evaluate(&fwd(&conv("x", 16, 14, 32))).unwrap();
         engine.save_cache(&path).unwrap();
 
         let other = Engine::new(Delta::new(GpuSpec::v100()));
@@ -1067,16 +1055,16 @@ mod tests {
     }
 
     #[test]
-    fn evaluate_layer_uses_cache() {
+    fn evaluate_uses_cache() {
         let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
         let l = conv("x", 16, 14, 32);
-        let a = engine.evaluate_layer(&l).unwrap();
-        let b = engine.evaluate_layer(&l).unwrap();
+        let a = engine.evaluate(&fwd(&l)).unwrap();
+        let b = engine.evaluate(&fwd(&l)).unwrap();
         assert_eq!(a, b);
         assert_eq!(engine.cache_stats().misses, 1);
         assert_eq!(engine.cache_stats().hits, 1);
         engine.clear_cache();
-        engine.evaluate_layer(&l).unwrap();
+        engine.evaluate(&fwd(&l)).unwrap();
         assert_eq!(engine.cache_stats().misses, 2);
     }
 
@@ -1088,7 +1076,7 @@ mod tests {
         let points = evaluate_design_space(&options, &net, |opt| opt.model(&base)).unwrap();
         assert_eq!(points.len(), options.len());
         let baseline = Engine::new(Delta::new(base))
-            .evaluate_network(&net)
+            .evaluate_network(&net, &Parallelism::Single)
             .unwrap()
             .total_seconds();
         for p in &points {
@@ -1111,7 +1099,9 @@ mod tests {
     #[test]
     fn display_renders_summary_table() {
         let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
-        let eval = engine.evaluate_network(&repeated_net()).unwrap();
+        let eval = engine
+            .evaluate_network(&repeated_net(), &Parallelism::Single)
+            .unwrap();
         let s = eval.to_string();
         assert!(s.contains("bottleneck"));
         assert!(s.contains("a1") && s.contains("total (model on TITAN Xp)"));
@@ -1120,7 +1110,9 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
-        let eval = engine.evaluate_network(&repeated_net()).unwrap();
+        let eval = engine
+            .evaluate_network(&repeated_net(), &Parallelism::Single)
+            .unwrap();
         let json = serde_json::to_string(&eval).unwrap();
         let back: NetworkEvaluation = serde_json::from_str(&json).unwrap();
         assert_eq!(eval, back);

@@ -27,10 +27,11 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
-/// Which interconnect preset a simulation charges cross-device traffic
-/// through. This is the serializable configuration knob
-/// ([`crate::SimConfig::interconnect`]); [`InterconnectKind::params`]
-/// expands it to the numeric model.
+/// Which interconnect preset a multi-device evaluation charges
+/// cross-device traffic through. This is the serializable configuration
+/// knob carried by [`crate::query::Parallelism::Multi`] (and mirrored by
+/// the simulator's `SimConfig`); [`InterconnectKind::params`] expands it
+/// to the numeric model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum InterconnectKind {
     /// Zero-cost, zero-traffic interconnect: multi-GPU results are

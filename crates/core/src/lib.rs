@@ -52,8 +52,11 @@
 //! | [`perf`] | §V performance model (Eqs. 11–18, Fig. 10 cases) |
 //! | [`scaling`] | §VII-C GPU design-space scaling study (Fig. 16) |
 //! | [`sweep`] | Appendix A sensitivity-study sweeps (Fig. 17) |
-//! | [`backend`] | — unified estimator interface (model & simulator) |
-//! | [`engine`] | — parallel cached network/training/sweep driver |
+//! | [`query`] | — the evaluation-request vocabulary (`EvalQuery`, `StepQuery`) |
+//! | [`backend`] | — unified query-answering estimator interface (model & simulator) |
+//! | [`engine`] | — parallel, fingerprint-cached query driver |
+//! | [`interconnect`] | — cross-device fabric presets and pricing |
+//! | [`topology`] | — explicit device-graph pricing (ring/switch/mesh/hierarchical) |
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
@@ -63,14 +66,17 @@ pub mod backend;
 pub mod engine;
 pub mod error;
 pub mod gpu;
+pub mod interconnect;
 pub mod layer;
 pub mod model;
 pub mod perf;
+pub mod query;
 pub mod report;
 pub mod scaling;
 pub mod schedule;
 pub mod sweep;
 pub mod tiling;
+pub mod topology;
 pub mod traffic;
 pub mod training;
 
@@ -78,13 +84,16 @@ pub use backend::{Backend, EstimateSource, LayerEstimate};
 pub use engine::{Engine, NetworkEvaluation};
 pub use error::Error;
 pub use gpu::GpuSpec;
+pub use interconnect::{Interconnect, InterconnectKind};
 pub use layer::ConvLayer;
 pub use model::{Delta, DeltaOptions, MliMode};
 pub use perf::{Bottleneck, PerfEstimate};
+pub use query::{EvalQuery, LayerShape, Parallelism, Pass, StepEvaluation, StepQuery};
 pub use report::LayerReport;
 pub use scaling::DesignOption;
 pub use schedule::StepTimeline;
 pub use tiling::CtaTile;
+pub use topology::{Topology, TopologyKind};
 pub use traffic::TrafficEstimate;
 pub use training::TrainingEstimate;
 

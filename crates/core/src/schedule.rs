@@ -1,5 +1,6 @@
-//! Scheduled training-step timelines: the backend-neutral result of
-//! [`crate::backend::Backend::estimate_training_step_scheduled`].
+//! Scheduled training-step timelines: the timeline half of a
+//! [`StepEvaluation`](crate::query::StepEvaluation), produced by
+//! [`crate::backend::Backend::evaluate_step`].
 //!
 //! A data-parallel training step is two interleaved resource streams per
 //! device: *compute* (forward, then dgrad+wgrad in reverse layer order)
@@ -158,8 +159,7 @@ impl StepTimeline {
     /// Builds the **serial fallback** timeline: the given compute spans
     /// back-to-back on every device, no communication. This is what
     /// backends without a collective scheduler (the analytical model)
-    /// return from
-    /// [`crate::backend::Backend::estimate_training_step_scheduled`] —
+    /// bundle into [`crate::backend::Backend::evaluate_step`]'s answer —
     /// step and serial time coincide and the bounds hold trivially.
     pub fn serial_compute(
         backend: &str,

@@ -44,9 +44,9 @@ pub const HIERARCHICAL_GROUP: u32 = 4;
 /// preset (a host/NIC hop at a quarter of the intra-group link speed).
 pub const HIERARCHICAL_UPLINK_SCALE: f64 = 0.25;
 
-/// Which topology graph a multi-GPU simulation prices cross-device
-/// traffic through. `None` in [`crate::SimConfig::topology`] keeps the
-/// legacy scalar pricing (bitwise identical to PR 3).
+/// Which topology graph a multi-GPU evaluation prices cross-device
+/// traffic through. `None` in [`crate::query::Parallelism::Multi`]
+/// keeps the legacy scalar pricing (bitwise identical to PR 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TopologyKind {
     /// Each device linked to its two neighbors in a cycle.

@@ -18,11 +18,13 @@
 //!   serial communication channel that processes buckets in ready order,
 //!   each bucket starting at `max(ready, previous bucket end)` (or after
 //!   all compute, when overlap is off);
-//! * [`Simulator::schedule_training_step`] — the trace-driven
-//!   instantiation: per-pass compute times from the multi-GPU replay's
-//!   per-device critical path, all-reduce durations from the configured
-//!   interconnect/topology, bucket size and overlap from
-//!   [`SimConfig`](crate::SimConfig).
+//! * the simulator's step evaluation
+//!   ([`Backend::evaluate_step`](delta_model::backend::Backend::evaluate_step)
+//!   for `Simulator`) — the trace-driven instantiation: per-pass compute
+//!   times from the multi-GPU replay's per-device critical path,
+//!   all-reduce durations from the query's interconnect/topology, bucket
+//!   size and overlap from the [`StepQuery`]. The per-layer table and
+//!   the timeline come from **one** replay per unique shape.
 //!
 //! The resulting [`StepTimeline`] satisfies
 //! `max(compute, comm) <= step <= serial` *exactly in floating point*
@@ -30,11 +32,16 @@
 //! communication chain), which is what lets the CI perf gate assert the
 //! bound bitwise.
 
+use crate::multigpu::MultiGpuMeasurement;
 use crate::sim::Simulator;
 use crate::topology::Topology;
-use delta_model::engine::LayerShape;
+use delta_model::backend::serial_step_spans;
+use delta_model::engine::{LayerShape, TrainingRow, TrainingStepEvaluation};
+use delta_model::query::{Parallelism, StepEvaluation, StepQuery};
 use delta_model::schedule::{DeviceTimeline, Span, SpanKind, StepTimeline};
 use delta_model::{training, ConvLayer, Error};
+use rayon::prelude::*;
+use std::collections::HashMap;
 
 /// One gradient bucket: the positions (into the ready-ordered gradient
 /// list handed to [`bucketize`]) it covers, and their total bytes.
@@ -211,70 +218,187 @@ pub fn schedule_step(
     }
 }
 
+/// One layer's three pass workloads plus its gradient payload — the
+/// per-layer unit a step evaluation expands into.
+#[derive(Debug)]
+struct PassWorkloads {
+    label: String,
+    fwd: ConvLayer,
+    dgrad: Option<ConvLayer>,
+    wgrad: ConvLayer,
+    grad_bytes: u64,
+}
+
 impl Simulator {
-    /// Schedules one whole training step of `layers` across `devices`
-    /// GPUs with the configured topology, bucket size, and overlap mode
-    /// ([`crate::SimConfig`]).
+    /// Answers one [`StepQuery`]: the per-layer forward/dgrad/wgrad
+    /// table *and* the scheduled timeline, both derived from **one**
+    /// replay per unique transformed layer shape (the memoized map PR 4
+    /// kept private to the timeline now feeds the table too, which is
+    /// what halves `--overlap on`'s cost).
     ///
-    /// Per-pass compute times are the multi-GPU replay's per-device
-    /// critical path ([`crate::MultiGpuMeasurement::step_seconds`]:
-    /// busiest device plus halo transfers), memoized per layer *shape*
-    /// so repeated shapes (deep ResNet-style networks) replay once;
-    /// gradient payloads are the layers' filter footprints; all-reduce
-    /// durations come from the configured interconnect/topology
-    /// (equivalent to [`Simulator::all_reduce_pricing`], with the
-    /// topology graph built once for the whole step). The returned
-    /// timeline always satisfies [`StepTimeline::bounds_hold`].
+    /// Under [`Parallelism::Multi`], per-pass compute times are the
+    /// multi-GPU replay's per-device critical path
+    /// ([`MultiGpuMeasurement::step_seconds`]: busiest device plus halo
+    /// transfers); gradient payloads are the layers' filter footprints;
+    /// all-reduce durations come from the query's
+    /// interconnect/topology, with the topology graph built once for
+    /// the whole step. The returned timeline always satisfies
+    /// [`StepTimeline::bounds_hold`]. Under `Single`/`Sharded`, the
+    /// rows come from the corresponding on-device replay and the
+    /// timeline is the serial compute schedule (no communication
+    /// stream).
     ///
     /// # Errors
     ///
     /// Propagates GPU validation and backward-pass construction
     /// failures.
-    pub fn schedule_training_step(
-        &self,
-        layers: &[ConvLayer],
-        devices: u32,
-    ) -> Result<StepTimeline, Error> {
+    pub(crate) fn evaluate_step_query(&self, query: &StepQuery) -> Result<StepEvaluation, Error> {
         self.gpu().validate()?;
-        let g = devices.max(1);
-        let mut by_shape: std::collections::HashMap<LayerShape, f64> =
-            std::collections::HashMap::new();
-        let mut step_of = |l: &ConvLayer| {
-            *by_shape
-                .entry(LayerShape::of(l))
-                .or_insert_with(|| self.run_multi(l, g).step_seconds(self.gpu()))
-        };
-        let mut passes = Vec::with_capacity(layers.len());
-        for (i, l) in layers.iter().enumerate() {
-            passes.push(LayerPasses {
-                label: l.label().to_string(),
-                forward_seconds: step_of(l),
-                dgrad_seconds: if i == 0 {
-                    None
-                } else {
-                    Some(step_of(&training::dgrad_layer(l)?))
-                },
-                wgrad_seconds: step_of(&training::wgrad_layer(l)?),
-                grad_bytes: l.filter_bytes(),
-            });
+
+        // Expand each layer into its pass workloads (pure shape
+        // transforms), then dedup the transformed shapes: a deep
+        // ResNet-style step collapses to a handful of unique replays,
+        // shared across passes when their transforms coincide.
+        let passes: Vec<PassWorkloads> = query
+            .layers
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                Ok(PassWorkloads {
+                    label: l.label().to_string(),
+                    fwd: l.clone(),
+                    dgrad: if i == 0 {
+                        None
+                    } else {
+                        Some(training::dgrad_layer(l)?)
+                    },
+                    wgrad: training::wgrad_layer(l)?,
+                    grad_bytes: l.filter_bytes(),
+                })
+            })
+            .collect::<Result<_, Error>>()?;
+        let mut unique: Vec<&ConvLayer> = Vec::new();
+        let mut index: HashMap<LayerShape, usize> = HashMap::new();
+        for p in &passes {
+            for l in [Some(&p.fwd), p.dgrad.as_ref(), Some(&p.wgrad)]
+                .into_iter()
+                .flatten()
+            {
+                index.entry(LayerShape::of(l)).or_insert_with(|| {
+                    unique.push(l);
+                    unique.len() - 1
+                });
+            }
         }
-        let config = self.config();
-        // The graph is a function of (kind, devices) only: build it once
-        // for the whole step instead of once per bucket.
-        let base = config.interconnect.params();
-        let topo = config.topology.map(|kind| Topology::build(kind, g));
-        Ok(schedule_step(
-            "sim",
-            self.gpu().name(),
-            g,
-            &passes,
-            u64::from(config.bucket_mb) << 20,
-            config.overlap,
-            |bytes| match &topo {
-                None => base.all_reduce_seconds(bytes, g),
-                Some(t) => t.all_reduce_seconds(&base, bytes),
-            },
-        ))
+
+        let table = |rows: Vec<TrainingRow>| TrainingStepEvaluation {
+            backend: "sim".to_string(),
+            gpu: self.gpu().name().to_string(),
+            rows,
+        };
+
+        match &query.parallelism {
+            Parallelism::Multi {
+                devices,
+                interconnect,
+                topology,
+            } => {
+                self.require_homogeneous(devices)?;
+                let g = (devices.len() as u32).max(1);
+                // One replay per unique shape, fanned across cores — the
+                // single source both views below are derived from.
+                let runs: Vec<MultiGpuMeasurement> = unique
+                    .par_iter()
+                    .map(|l| self.run_multi_fabric(l, g, *interconnect, *topology))
+                    .collect();
+                let of = |l: &ConvLayer| &runs[index[&LayerShape::of(l)]];
+
+                // The graph is a function of (kind, devices) only: build
+                // it once for the whole step and share it between the
+                // per-row all-reduce charges and the scheduler, instead
+                // of rebuilding per layer or per bucket.
+                let base = interconnect.params();
+                let topo = topology.map(|kind| Topology::build(kind, g));
+                let all_reduce = |payload: f64| match &topo {
+                    None => (
+                        base.all_reduce_bytes(payload, g),
+                        base.all_reduce_seconds(payload, g),
+                    ),
+                    Some(t) => (
+                        t.all_reduce_bytes(&base, payload),
+                        t.all_reduce_seconds(&base, payload),
+                    ),
+                };
+
+                let rows: Vec<TrainingRow> = passes
+                    .iter()
+                    .map(|p| TrainingRow {
+                        label: p.label.clone(),
+                        forward: of(&p.fwd).to_estimate(self.gpu()),
+                        dgrad: p.dgrad.as_ref().map(|d| of(d).to_estimate(self.gpu())),
+                        wgrad: {
+                            let mut est = of(&p.wgrad).to_estimate(self.gpu());
+                            let (ar_bytes, ar_seconds) = all_reduce(p.grad_bytes as f64);
+                            est.link_bytes += ar_bytes;
+                            est.seconds += ar_seconds;
+                            est.cycles += self.gpu().seconds_to_clks(ar_seconds);
+                            est
+                        },
+                    })
+                    .collect();
+
+                let layer_passes: Vec<LayerPasses> = passes
+                    .iter()
+                    .map(|p| LayerPasses {
+                        label: p.label.clone(),
+                        forward_seconds: of(&p.fwd).step_seconds(self.gpu()),
+                        dgrad_seconds: p.dgrad.as_ref().map(|d| of(d).step_seconds(self.gpu())),
+                        wgrad_seconds: of(&p.wgrad).step_seconds(self.gpu()),
+                        grad_bytes: p.grad_bytes,
+                    })
+                    .collect();
+                let timeline = schedule_step(
+                    "sim",
+                    self.gpu().name(),
+                    g,
+                    &layer_passes,
+                    u64::from(query.bucket_mb) << 20,
+                    query.overlap,
+                    |bytes| all_reduce(bytes).1,
+                );
+                Ok(StepEvaluation {
+                    table: table(rows),
+                    timeline,
+                })
+            }
+            Parallelism::Single | Parallelism::Sharded { .. } => {
+                let run_one = |l: &ConvLayer| match &query.parallelism {
+                    Parallelism::Sharded { workers } => self.run_sharded(l, (*workers).max(1)),
+                    _ => self.run_sequential(l),
+                };
+                let runs: Vec<crate::Measurement> = unique.par_iter().map(|l| run_one(l)).collect();
+                let of = |l: &ConvLayer| runs[index[&LayerShape::of(l)]].to_estimate(self.gpu());
+                let rows: Vec<TrainingRow> = passes
+                    .iter()
+                    .map(|p| TrainingRow {
+                        label: p.label.clone(),
+                        forward: of(&p.fwd),
+                        dgrad: p.dgrad.as_ref().map(&of),
+                        wgrad: of(&p.wgrad),
+                    })
+                    .collect();
+                let timeline = StepTimeline::serial_compute(
+                    "sim",
+                    self.gpu().name(),
+                    1,
+                    serial_step_spans(&query.layers, &rows),
+                );
+                Ok(StepEvaluation {
+                    table: table(rows),
+                    timeline,
+                })
+            }
+        }
     }
 }
 

@@ -72,7 +72,6 @@ pub mod coalesce;
 pub mod collective;
 pub mod dram;
 pub mod hierarchy;
-pub mod interconnect;
 pub mod multigpu;
 pub mod sched;
 pub mod shard;
@@ -80,8 +79,13 @@ pub mod sim;
 pub mod stages;
 pub mod tensor;
 pub mod timing;
-pub mod topology;
 pub mod trace;
+
+// The interconnect and topology pricing moved into `delta_model` when
+// the query API landed (the query's `Parallelism::Multi` carries their
+// kinds); the familiar `delta_sim` paths keep working via re-export.
+pub use delta_model::interconnect;
+pub use delta_model::topology;
 
 pub use collective::{bucketize, GradBucket, LayerPasses};
 pub use dram::DramChannelModel;

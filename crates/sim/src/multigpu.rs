@@ -180,11 +180,31 @@ impl Simulator {
     /// vary with `devices` — and under the `ideal` interconnect the link
     /// charges are exactly zero.
     pub fn run_multi(&self, layer: &ConvLayer, devices: u32) -> MultiGpuMeasurement {
+        self.run_multi_fabric(
+            layer,
+            devices,
+            self.config().interconnect,
+            self.config().topology,
+        )
+    }
+
+    /// [`Simulator::run_multi`] with the fabric named explicitly instead
+    /// of read from [`crate::SimConfig`] — the primitive behind
+    /// query-driven evaluation, where
+    /// [`Parallelism::Multi`](delta_model::query::Parallelism) carries
+    /// its own interconnect and topology.
+    pub fn run_multi_fabric(
+        &self,
+        layer: &ConvLayer,
+        devices: u32,
+        interconnect: crate::interconnect::InterconnectKind,
+        topology: Option<crate::topology::TopologyKind>,
+    ) -> MultiGpuMeasurement {
         let plan = DevicePlan::for_layer(self, layer, devices);
         let run = self.run_sharded_detail(layer, plan.devices());
-        // Scalar preset, or topology-derived parameters when
-        // `SimConfig::topology` names a graph.
-        let ic: Interconnect = self.fabric(plan.devices());
+        // Scalar preset, or topology-derived parameters when a graph is
+        // named.
+        let ic: Interconnect = crate::sim::fabric_of(interconnect, topology, plan.devices());
         let active = plan.active_devices();
         let ifmap = layer.ifmap_bytes() as f64;
         MultiGpuMeasurement {

@@ -23,10 +23,13 @@ use crate::tensor::TensorMap;
 use crate::timing::TimingEngine;
 use crate::topology::{Topology, TopologyKind};
 use delta_model::backend::{Backend, EstimateSource, LayerEstimate};
+use delta_model::query::{EvalQuery, Parallelism, Pass, StepEvaluation, StepQuery};
 use delta_model::tiling::{CtaTile, LayerTiling};
-use delta_model::{ConvLayer, Error, GpuSpec, BYTES_PER_ELEMENT};
+use delta_model::{training, ConvLayer, Error, GpuSpec, BYTES_PER_ELEMENT};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Simulation controls.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -58,12 +61,14 @@ pub struct SimConfig {
     /// tile columns.
     #[serde(default = "default_shards")]
     pub shards: Option<u32>,
-    /// Which interconnect multi-GPU estimates
-    /// ([`Simulator::run_multi`], `Backend::estimate_layer_multi`) charge
-    /// cross-device traffic through. [`InterconnectKind::Ideal`] (the
-    /// default) charges nothing, making a G-device run bitwise identical
-    /// to the single-device sharded run; single-device simulation ignores
-    /// the field entirely.
+    /// Which interconnect the direct multi-GPU convenience
+    /// ([`Simulator::run_multi`]) charges cross-device traffic through.
+    /// Query-driven evaluations carry their own interconnect
+    /// (`Parallelism::Multi`); the CLI copies its `--interconnect` flag
+    /// into both. [`InterconnectKind::Ideal`] (the default) charges
+    /// nothing, making a G-device run bitwise identical to the
+    /// single-device sharded run; single-device simulation ignores the
+    /// field entirely.
     #[serde(default = "default_interconnect")]
     pub interconnect: InterconnectKind,
     /// Explicit interconnect topology graph
@@ -74,11 +79,11 @@ pub struct SimConfig {
     /// interconnect model.
     #[serde(default = "default_topology")]
     pub topology: Option<TopologyKind>,
-    /// Gradient bucket size in MiB for the collective scheduler
-    /// ([`Simulator::schedule_training_step`]): backward-pass gradients
-    /// pack into buckets of this size and each bucket all-reduces as one
-    /// transfer. The default (25 MiB) mirrors DDP-style framework
-    /// defaults.
+    /// Gradient bucket size in MiB the CLI copies into its
+    /// [`StepQuery`]s (the collective scheduler itself reads the query,
+    /// not this field): backward-pass gradients pack into buckets of
+    /// this size and each bucket all-reduces as one transfer. The
+    /// default (25 MiB) mirrors DDP-style framework defaults.
     #[serde(default = "default_bucket_mb")]
     pub bucket_mb: u32,
     /// Overlap each gradient bucket's all-reduce with the remaining
@@ -198,12 +203,27 @@ impl Measurement {
 pub struct Simulator {
     gpu: GpuSpec,
     config: SimConfig,
+    /// Full-layer replays performed (shared across clones): the
+    /// expensive unit of work, counted so tests can assert that a step
+    /// evaluation replays each unique shape exactly once.
+    replays: Arc<AtomicU64>,
 }
 
 impl Simulator {
     /// Creates a simulator for `gpu`.
     pub fn new(gpu: GpuSpec, config: SimConfig) -> Simulator {
-        Simulator { gpu, config }
+        Simulator {
+            gpu,
+            config,
+            replays: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// How many full-layer replays (sequential, sharded, or per-device)
+    /// this simulator has performed. Clones share the counter, so the
+    /// count survives the engine's parallel fan-out.
+    pub fn replay_count(&self) -> u64 {
+        self.replays.load(Ordering::Relaxed)
     }
 
     /// The device being simulated.
@@ -223,37 +243,27 @@ impl Simulator {
     }
 
     /// The effective point-to-point fabric pricing for a `devices`-wide
-    /// run: the legacy scalar preset when [`SimConfig::topology`] is
-    /// `None` (bitwise identical to PR 3), otherwise the parameters
-    /// derived from the topology graph built for `devices`
-    /// ([`Topology::price`]).
+    /// run under this simulator's configured interconnect/topology: the
+    /// legacy scalar preset when [`SimConfig::topology`] is `None`
+    /// (bitwise identical to PR 3), otherwise the parameters derived
+    /// from the topology graph built for `devices`
+    /// ([`Topology::price`]). Query-driven evaluations use
+    /// [`fabric_of`] with the query's own kinds instead.
     pub fn fabric(&self, devices: u32) -> Interconnect {
-        let base = self.config.interconnect.params();
-        match self.config.topology {
-            None => base,
-            Some(kind) => Topology::build(kind, devices).price(&base),
-        }
+        fabric_of(self.config.interconnect, self.config.topology, devices)
     }
 
-    /// All-reduce pricing of `payload` logical bytes across `devices`:
-    /// `(link bytes, seconds)`. Dispatches between the legacy scalar
-    /// ring formula and the topology graph's algorithm-aware pricing
-    /// (ring on ring/mesh/hierarchical, tree on switch).
+    /// All-reduce pricing of `payload` logical bytes across `devices`
+    /// under this simulator's configured interconnect/topology:
+    /// `(link bytes, seconds)`. Query-driven evaluations use
+    /// [`all_reduce_pricing_of`] with the query's own kinds instead.
     pub fn all_reduce_pricing(&self, payload: f64, devices: u32) -> (f64, f64) {
-        let base = self.config.interconnect.params();
-        match self.config.topology {
-            None => (
-                base.all_reduce_bytes(payload, devices),
-                base.all_reduce_seconds(payload, devices),
-            ),
-            Some(kind) => {
-                let topo = Topology::build(kind, devices);
-                (
-                    topo.all_reduce_bytes(&base, payload),
-                    topo.all_reduce_seconds(&base, payload),
-                )
-            }
-        }
+        all_reduce_pricing_of(
+            self.config.interconnect,
+            self.config.topology,
+            payload,
+            devices,
+        )
     }
 
     /// The occupancy (active CTAs per SM) the schedule will use for
@@ -297,7 +307,8 @@ impl Simulator {
 
     /// The sequential replay: one hierarchy, columns drained in order,
     /// cache residency persisting from each tile column to the next.
-    fn run_sequential(&self, layer: &ConvLayer) -> Measurement {
+    pub(crate) fn run_sequential(&self, layer: &ConvLayer) -> Measurement {
+        self.replays.fetch_add(1, Ordering::Relaxed);
         let tiling = self.tiling(layer);
         let tile = tiling.tile();
         let active = self.active_ctas(tile);
@@ -377,6 +388,7 @@ impl Simulator {
     /// primitive the multi-GPU layer (`run_multi`) builds on, where each
     /// shard is one device and the per-device critical path matters.
     pub(crate) fn run_sharded_detail(&self, layer: &ConvLayer, n_workers: u32) -> ShardedRun {
+        self.replays.fetch_add(1, Ordering::Relaxed);
         let tiling = self.tiling(layer);
         let tile = tiling.tile();
         let active = self.active_ctas(tile);
@@ -581,6 +593,95 @@ struct ColumnSim {
     extra_cycles: f64,
 }
 
+/// The serializable sampling fingerprint behind
+/// [`Backend::config_fingerprint`]: only the knobs a query does *not*
+/// carry. The parallelism axes (`shards`, `interconnect`, `topology`)
+/// and the schedule knobs (`bucket_mb`, `overlap`) are encoded in every
+/// query key, so cache files written under different values of those
+/// need no refusal — their entries simply never match.
+#[derive(Debug, Serialize)]
+struct SamplingFingerprint {
+    max_batches_per_column: Option<u64>,
+    active_ctas_override: Option<u32>,
+    simulate_stores: bool,
+    max_loops_per_batch: Option<u64>,
+    tile_scale: Option<u32>,
+}
+
+/// The effective point-to-point fabric for a `devices`-wide run: the
+/// scalar preset when `topology` is `None` (bitwise identical to PR 3),
+/// otherwise the parameters derived from the topology graph
+/// ([`Topology::price`]).
+pub fn fabric_of(
+    interconnect: InterconnectKind,
+    topology: Option<TopologyKind>,
+    devices: u32,
+) -> Interconnect {
+    let base = interconnect.params();
+    match topology {
+        None => base,
+        Some(kind) => Topology::build(kind, devices).price(&base),
+    }
+}
+
+/// All-reduce pricing of `payload` logical bytes across `devices` under
+/// an interconnect/topology pair: `(link bytes, seconds)`. Dispatches
+/// between the legacy scalar ring formula and the topology graph's
+/// algorithm-aware pricing (ring on ring/mesh/hierarchical, tree on
+/// switch).
+pub fn all_reduce_pricing_of(
+    interconnect: InterconnectKind,
+    topology: Option<TopologyKind>,
+    payload: f64,
+    devices: u32,
+) -> (f64, f64) {
+    let base = interconnect.params();
+    match topology {
+        None => (
+            base.all_reduce_bytes(payload, devices),
+            base.all_reduce_seconds(payload, devices),
+        ),
+        Some(kind) => {
+            let topo = Topology::build(kind, devices);
+            (
+                topo.all_reduce_bytes(&base, payload),
+                topo.all_reduce_seconds(&base, payload),
+            )
+        }
+    }
+}
+
+impl Simulator {
+    /// The concrete workload a query pass replays: the forward layer
+    /// itself, or its dgrad/wgrad transform.
+    pub(crate) fn pass_workload(layer: &ConvLayer, pass: Pass) -> Result<ConvLayer, Error> {
+        match pass {
+            Pass::Fwd => Ok(layer.clone()),
+            Pass::Dgrad => training::dgrad_layer(layer),
+            Pass::Wgrad => training::wgrad_layer(layer),
+        }
+    }
+
+    /// Today's multi-device replay assumes a homogeneous fleet of this
+    /// simulator's GPU; a query naming any other device spec is rejected
+    /// rather than silently simulated on the wrong hardware.
+    /// (Capacity-weighted heterogeneous partitioning is the ROADMAP
+    /// follow-up that lands behind this same query signature.)
+    pub(crate) fn require_homogeneous(&self, devices: &[GpuSpec]) -> Result<(), Error> {
+        match devices.iter().find(|d| **d != self.gpu) {
+            None => Ok(()),
+            Some(other) => Err(Error::InvalidGpu {
+                name: other.name().to_string(),
+                reason: format!(
+                    "multi-device queries currently require a homogeneous fleet of the \
+                     simulator's own GPU ({}); mixed fleets are not simulated yet",
+                    self.gpu.name()
+                ),
+            }),
+        }
+    }
+}
+
 impl Backend for Simulator {
     fn name(&self) -> &'static str {
         "sim"
@@ -591,61 +692,58 @@ impl Backend for Simulator {
     }
 
     fn config_fingerprint(&self) -> String {
-        // Every SimConfig field changes measurements (sampling limits,
-        // tile scale, shard semantics) or estimates (interconnect), so
-        // the whole config is the fingerprint.
-        serde_json::to_string(&self.config).unwrap_or_default()
+        let c = &self.config;
+        serde_json::to_string(&SamplingFingerprint {
+            max_batches_per_column: c.max_batches_per_column,
+            active_ctas_override: c.active_ctas_override,
+            simulate_stores: c.simulate_stores,
+            max_loops_per_batch: c.max_loops_per_batch,
+            tile_scale: c.tile_scale,
+        })
+        .unwrap_or_default()
     }
 
-    fn estimate_layer(&self, layer: &ConvLayer) -> Result<LayerEstimate, Error> {
+    fn evaluate(&self, query: &EvalQuery) -> Result<LayerEstimate, Error> {
         self.gpu.validate()?;
-        Ok(self.run(layer).to_estimate(&self.gpu))
+        let layer = query.layer()?;
+        let replayed = Simulator::pass_workload(&layer, query.pass)?;
+        match &query.parallelism {
+            Parallelism::Single => Ok(self.run_sequential(&replayed).to_estimate(&self.gpu)),
+            Parallelism::Sharded { workers } => Ok(self
+                .run_sharded(&replayed, (*workers).max(1))
+                .to_estimate(&self.gpu)),
+            Parallelism::Multi {
+                devices,
+                interconnect,
+                topology,
+            } => {
+                self.require_homogeneous(devices)?;
+                let g = (devices.len() as u32).max(1);
+                let mut est = self
+                    .run_multi_fabric(&replayed, g, *interconnect, *topology)
+                    .to_estimate(&self.gpu);
+                if query.pass == Pass::Wgrad {
+                    // On top of the wgrad GEMM replay, a data-parallel
+                    // step all-reduces this layer's weight gradients
+                    // (|∇W| = the filter footprint) once across the
+                    // devices.
+                    let (ar_bytes, ar_seconds) = all_reduce_pricing_of(
+                        *interconnect,
+                        *topology,
+                        layer.filter_bytes() as f64,
+                        g,
+                    );
+                    est.link_bytes += ar_bytes;
+                    est.seconds += ar_seconds;
+                    est.cycles += self.gpu.seconds_to_clks(ar_seconds);
+                }
+                Ok(est)
+            }
+        }
     }
 
-    fn estimate_layer_sharded(
-        &self,
-        layer: &ConvLayer,
-        n_workers: u32,
-    ) -> Result<LayerEstimate, Error> {
-        self.gpu.validate()?;
-        Ok(self.run_sharded(layer, n_workers).to_estimate(&self.gpu))
-    }
-
-    fn estimate_layer_multi(
-        &self,
-        layer: &ConvLayer,
-        devices: u32,
-    ) -> Result<LayerEstimate, Error> {
-        self.gpu.validate()?;
-        Ok(self.run_multi(layer, devices).to_estimate(&self.gpu))
-    }
-
-    fn estimate_wgrad_multi(
-        &self,
-        layer: &ConvLayer,
-        devices: u32,
-    ) -> Result<LayerEstimate, Error> {
-        self.gpu.validate()?;
-        // The wgrad GEMM replays like any layer; on top of it, a
-        // data-parallel step all-reduces this layer's weight gradients
-        // (|∇W| = the filter footprint) once across the devices.
-        let wgrad = delta_model::training::wgrad_layer(layer)?;
-        let mut est = self.run_multi(&wgrad, devices).to_estimate(&self.gpu);
-        let payload = layer.filter_bytes() as f64;
-        let g = devices.max(1);
-        let (ar_bytes, ar_seconds) = self.all_reduce_pricing(payload, g);
-        est.link_bytes += ar_bytes;
-        est.seconds += ar_seconds;
-        est.cycles += self.gpu.seconds_to_clks(ar_seconds);
-        Ok(est)
-    }
-
-    fn estimate_training_step_scheduled(
-        &self,
-        layers: &[ConvLayer],
-        devices: u32,
-    ) -> Result<delta_model::schedule::StepTimeline, Error> {
-        self.schedule_training_step(layers, devices)
+    fn evaluate_step(&self, query: &StepQuery) -> Result<StepEvaluation, Error> {
+        self.evaluate_step_query(query)
     }
 }
 
@@ -839,12 +937,14 @@ mod tests {
     }
 
     #[test]
-    fn backend_estimate_matches_run() {
+    fn single_query_matches_run() {
         let gpu = GpuSpec::titan_xp();
         let sim = Simulator::new(gpu.clone(), SimConfig::default());
         let l = small_layer();
         let m = sim.run(&l);
-        let est = Backend::estimate_layer(&sim, &l).unwrap();
+        let est = sim
+            .evaluate(&EvalQuery::forward(&l, Parallelism::Single))
+            .unwrap();
         assert_eq!(est.l1_bytes, m.l1_bytes);
         assert_eq!(est.l2_bytes, m.l2_bytes);
         assert_eq!(est.dram_read_bytes, m.dram_read_bytes);
@@ -853,6 +953,64 @@ mod tests {
         assert_eq!(est.bottleneck, None);
         assert_eq!(est.source, EstimateSource::Simulation);
         assert_eq!(Backend::name(&sim), "sim");
+    }
+
+    #[test]
+    fn replay_counter_counts_full_layer_replays() {
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+        assert_eq!(sim.replay_count(), 0);
+        sim.run(&small_layer());
+        assert_eq!(sim.replay_count(), 1);
+        sim.run_sharded(&small_layer(), 2);
+        assert_eq!(sim.replay_count(), 2);
+        // Clones share the counter (the engine clones backends freely).
+        let clone = sim.clone();
+        clone.run(&small_layer());
+        assert_eq!(sim.replay_count(), 3);
+    }
+
+    #[test]
+    fn pass_queries_replay_the_transformed_workloads() {
+        // A dgrad query replays the transposed layer, a wgrad query the
+        // FC-shaped wgrad GEMM — exactly what a forward query of the
+        // transformed shape replays.
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+        let l = small_layer();
+        for (pass, transformed) in [
+            (Pass::Dgrad, training::dgrad_layer(&l).unwrap()),
+            (Pass::Wgrad, training::wgrad_layer(&l).unwrap()),
+        ] {
+            let via_pass = sim
+                .evaluate(&EvalQuery::new(&l, pass, Parallelism::Single))
+                .unwrap();
+            let via_fwd = sim
+                .evaluate(&EvalQuery::forward(&transformed, Parallelism::Single))
+                .unwrap();
+            assert_eq!(via_pass, via_fwd, "{pass}");
+        }
+    }
+
+    #[test]
+    fn multi_queries_reject_foreign_device_specs() {
+        // Heterogeneous (or simply mismatched) fleets are not simulated
+        // yet: the query API admits them, the backend refuses them.
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+        let q = EvalQuery::forward(
+            &small_layer(),
+            Parallelism::Multi {
+                devices: vec![GpuSpec::titan_xp(), GpuSpec::v100()],
+                interconnect: InterconnectKind::Ideal,
+                topology: None,
+            },
+        );
+        let err = sim.evaluate(&q).unwrap_err();
+        assert!(err.to_string().contains("homogeneous"), "{err}");
+        // A matching fleet is accepted.
+        let ok = EvalQuery::forward(
+            &small_layer(),
+            Parallelism::multi(sim.gpu(), 2, InterconnectKind::Ideal),
+        );
+        assert!(sim.evaluate(&ok).is_ok());
     }
 
     #[test]
@@ -980,9 +1138,11 @@ mod tests {
         )
         .run(&l);
         assert_eq!(via_config, explicit);
-        // And the Backend entry points agree with both.
+        // And the query entry point agrees with both.
         let sim = Simulator::new(gpu, SimConfig::default());
-        let est = Backend::estimate_layer_sharded(&sim, &l, 2).unwrap();
+        let est = sim
+            .evaluate(&EvalQuery::forward(&l, Parallelism::Sharded { workers: 2 }))
+            .unwrap();
         assert_eq!(est.l1_bytes, explicit.l1_bytes);
         assert_eq!(est.cycles, explicit.cycles);
         assert_eq!(est.source, EstimateSource::Simulation);

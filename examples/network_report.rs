@@ -9,7 +9,7 @@
 //! ```
 
 use delta_model::engine::Engine;
-use delta_model::{Delta, GpuSpec};
+use delta_model::{Delta, GpuSpec, Parallelism};
 use delta_sim::{SimConfig, Simulator};
 
 fn main() -> Result<(), delta_model::Error> {
@@ -36,8 +36,8 @@ fn main() -> Result<(), delta_model::Error> {
     let model = Engine::new(Delta::new(gpu.clone()));
     let sim = Engine::new(Simulator::new(gpu.clone(), SimConfig::default()));
 
-    let model_eval = model.evaluate_network(net.layers())?;
-    let sim_eval = sim.evaluate_network(net.layers())?;
+    let model_eval = model.evaluate_network(net.layers(), &Parallelism::Single)?;
+    let sim_eval = sim.evaluate_network(net.layers(), &Parallelism::Single)?;
 
     println!(
         "{:<14} {:>10} {:>10} {:>10} {:>12} {:>10}",

@@ -8,13 +8,14 @@
 //! ```
 
 use delta_model::engine::{self, Engine};
-use delta_model::{Delta, DesignOption, GpuSpec};
+use delta_model::{Delta, DesignOption, GpuSpec, Parallelism};
 
 fn main() -> Result<(), delta_model::Error> {
     let base = GpuSpec::titan_xp();
     let net = delta_networks::resnet152_full(256)?;
 
-    let baseline = Engine::new(Delta::new(base.clone())).evaluate_network(net.layers())?;
+    let baseline = Engine::new(Delta::new(base.clone()))
+        .evaluate_network(net.layers(), &Parallelism::Single)?;
     let t0 = baseline.total_seconds();
     println!(
         "baseline {}: ResNet152 forward {:.1} ms\n",

@@ -10,6 +10,7 @@
 //! ```
 
 use delta_model::engine::Engine;
+use delta_model::query::{Parallelism, StepQuery};
 use delta_model::{Bottleneck, Delta, GpuSpec};
 
 fn main() -> Result<(), delta_model::Error> {
@@ -26,7 +27,9 @@ fn main() -> Result<(), delta_model::Error> {
         .unwrap_or_else(|| delta_networks::vgg16(64).expect("builtin network"));
 
     let engine = Engine::new(Delta::new(gpu.clone()));
-    let eval = engine.evaluate_training_step(net.layers())?;
+    let eval = engine
+        .evaluate_step(&StepQuery::new(net.layers(), Parallelism::Single))?
+        .table;
 
     println!("{net} — one training step on {}\n", gpu.name());
     println!(

@@ -19,6 +19,7 @@
 //!   a 2x per-layer band (conv5's short loops are the worst case).
 
 use delta_model::model::MliMode;
+use delta_model::query::{EvalQuery, Parallelism};
 use delta_model::{Backend, Delta, DeltaOptions, Engine, GpuSpec, LayerEstimate};
 use delta_sim::{SimConfig, Simulator};
 
@@ -38,7 +39,9 @@ fn alexnet_estimates(backend: &dyn Backend) -> Vec<(String, LayerEstimate)> {
         .map(|l| {
             (
                 l.label().to_string(),
-                backend.estimate_layer(l).expect("estimable layer"),
+                backend
+                    .evaluate(&EvalQuery::forward(l, Parallelism::Single))
+                    .expect("estimable layer"),
             )
         })
         .collect()
@@ -90,12 +93,14 @@ fn engine_results_equal_direct_backend_calls_for_both_backends() {
 
     let model = Delta::new(gpu.clone());
     let engine_rows = Engine::new(model.clone())
-        .evaluate_network(net.layers())
+        .evaluate_network(net.layers(), &Parallelism::Single)
         .unwrap();
     for (row, layer) in engine_rows.rows.iter().zip(net.layers()) {
         assert_eq!(
             row.estimate,
-            model.estimate_layer(layer).unwrap(),
+            model
+                .evaluate(&EvalQuery::forward(layer, Parallelism::Single))
+                .unwrap(),
             "{}",
             layer.label()
         );
@@ -103,12 +108,13 @@ fn engine_results_equal_direct_backend_calls_for_both_backends() {
 
     let sim = Simulator::new(gpu, SimConfig::default());
     let engine_rows = Engine::new(sim.clone())
-        .evaluate_network(net.layers())
+        .evaluate_network(net.layers(), &Parallelism::Single)
         .unwrap();
     for (row, layer) in engine_rows.rows.iter().zip(net.layers()) {
         assert_eq!(
             row.estimate,
-            sim.estimate_layer(layer).unwrap(),
+            sim.evaluate(&EvalQuery::forward(layer, Parallelism::Single))
+                .unwrap(),
             "{}",
             layer.label()
         );

@@ -1,6 +1,6 @@
 //! Cross-crate integration of the multi-GPU subsystem: the
-//! `--gpus G --interconnect I` path from `SimConfig` through `Backend`
-//! and `Engine`.
+//! `Parallelism::Multi { devices, interconnect, .. }` query (the CLI's
+//! `--gpus G --interconnect I`) through `Backend` and `Engine`.
 //!
 //! Two acceptance contracts are pinned here (mirroring the CI perf
 //! gate):
@@ -14,18 +14,17 @@
 //!    on-device measurements.
 
 use delta_model::engine::Engine;
+use delta_model::query::{EvalQuery, Parallelism, Pass, StepQuery};
 use delta_model::{Backend, ConvLayer, GpuSpec};
 use delta_sim::{InterconnectKind, SimConfig, Simulator};
 
-fn config(kind: InterconnectKind) -> SimConfig {
-    SimConfig {
-        interconnect: kind,
-        ..SimConfig::default()
-    }
+fn sim() -> Simulator {
+    Simulator::new(GpuSpec::titan_xp(), SimConfig::default())
 }
 
-fn sim(kind: InterconnectKind) -> Simulator {
-    Simulator::new(GpuSpec::titan_xp(), config(kind))
+/// A homogeneous Titan Xp fleet with the scalar preset pricing.
+fn fleet(g: u32, kind: InterconnectKind) -> Parallelism {
+    Parallelism::multi(&GpuSpec::titan_xp(), g, kind)
 }
 
 /// A 16-column conv layer so 4 devices all own real work.
@@ -45,13 +44,13 @@ fn ideal_network_json_is_byte_identical_for_1_2_4_devices() {
     // --gpus G --interconnect ideal --json`: the engine-level evaluation
     // serializes to exactly the same bytes for G in {1, 2, 4}.
     let net = delta_networks::alexnet(2).expect("builtin network");
-    let reference = Engine::new(sim(InterconnectKind::Ideal))
-        .evaluate_network_multi(net.layers(), 1)
+    let reference = Engine::new(sim())
+        .evaluate_network(net.layers(), &fleet(1, InterconnectKind::Ideal))
         .expect("simulable network");
     let reference_json = serde_json::to_string_pretty(&reference).unwrap();
     for g in [2, 4] {
-        let eval = Engine::new(sim(InterconnectKind::Ideal))
-            .evaluate_network_multi(net.layers(), g)
+        let eval = Engine::new(sim())
+            .evaluate_network(net.layers(), &fleet(g, InterconnectKind::Ideal))
             .expect("simulable network");
         assert_eq!(
             serde_json::to_string_pretty(&eval).unwrap(),
@@ -64,12 +63,16 @@ fn ideal_network_json_is_byte_identical_for_1_2_4_devices() {
 #[test]
 fn ideal_multi_estimate_equals_single_device_sharded_estimate() {
     // The layer-level identity: G devices under ideal == the
-    // single-device sharded run, bitwise, through the Backend trait.
+    // single-device sharded run, bitwise, through the query interface.
     let l = wide_layer();
-    let s = sim(InterconnectKind::Ideal);
-    let sharded = Backend::estimate_layer_sharded(&s, &l, 1).unwrap();
+    let s = sim();
+    let sharded = s
+        .evaluate(&EvalQuery::forward(&l, Parallelism::Sharded { workers: 1 }))
+        .unwrap();
     for g in [1, 2, 4] {
-        let multi = Backend::estimate_layer_multi(&s, &l, g).unwrap();
+        let multi = s
+            .evaluate(&EvalQuery::forward(&l, fleet(g, InterconnectKind::Ideal)))
+            .unwrap();
         assert_eq!(multi, sharded, "devices={g}");
         assert_eq!(multi.link_bytes, 0.0, "devices={g}");
     }
@@ -78,10 +81,13 @@ fn ideal_multi_estimate_equals_single_device_sharded_estimate() {
 #[test]
 fn nonideal_interconnect_strictly_increases_offchip_traffic_and_time() {
     let l = wide_layer();
-    let ideal = Backend::estimate_layer_multi(&sim(InterconnectKind::Ideal), &l, 4).unwrap();
+    let s = sim();
+    let ideal = s
+        .evaluate(&EvalQuery::forward(&l, fleet(4, InterconnectKind::Ideal)))
+        .unwrap();
     for kind in [InterconnectKind::NvLink, InterconnectKind::Pcie] {
         for g in [2u32, 4] {
-            let est = Backend::estimate_layer_multi(&sim(kind), &l, g).unwrap();
+            let est = s.evaluate(&EvalQuery::forward(&l, fleet(g, kind))).unwrap();
             assert!(est.link_bytes > 0.0, "{kind} devices={g}");
             assert!(
                 est.dram_and_link_bytes() > ideal.dram_and_link_bytes(),
@@ -99,7 +105,7 @@ fn nonideal_interconnect_strictly_increases_offchip_traffic_and_time() {
             assert_eq!(est.dram_write_bytes, ideal.dram_write_bytes);
         }
         // One device never crosses a link, whatever the fabric.
-        let single = Backend::estimate_layer_multi(&sim(kind), &l, 1).unwrap();
+        let single = s.evaluate(&EvalQuery::forward(&l, fleet(1, kind))).unwrap();
         assert_eq!(single.link_bytes, 0.0, "{kind}");
         assert_eq!(single.seconds, ideal.seconds, "{kind}");
     }
@@ -110,12 +116,20 @@ fn training_step_all_reduces_gradients_per_layer() {
     // The data-parallel view: wgrad passes gain ring-all-reduce link
     // traffic on a non-ideal interconnect; forward/dgrad only the halo.
     let net = delta_networks::alexnet(2).expect("builtin network");
-    let ideal = Engine::new(sim(InterconnectKind::Ideal))
-        .evaluate_training_step_multi(net.layers(), 4)
-        .unwrap();
-    let nvlink = Engine::new(sim(InterconnectKind::NvLink))
-        .evaluate_training_step_multi(net.layers(), 4)
-        .unwrap();
+    let ideal = Engine::new(sim())
+        .evaluate_step(&StepQuery::new(
+            net.layers(),
+            fleet(4, InterconnectKind::Ideal),
+        ))
+        .unwrap()
+        .table;
+    let nvlink = Engine::new(sim())
+        .evaluate_step(&StepQuery::new(
+            net.layers(),
+            fleet(4, InterconnectKind::NvLink),
+        ))
+        .unwrap()
+        .table;
     for (i, (r0, r1)) in ideal.rows.iter().zip(&nvlink.rows).enumerate() {
         assert_eq!(
             r0.wgrad.link_bytes, 0.0,
@@ -145,62 +159,120 @@ fn training_step_all_reduces_gradients_per_layer() {
 #[test]
 fn engine_caches_each_device_count_separately() {
     let l = wide_layer();
-    let engine = Engine::new(sim(InterconnectKind::NvLink));
-    let two = engine.evaluate_layer_multi(&l, 2).unwrap();
-    let four = engine.evaluate_layer_multi(&l, 4).unwrap();
+    let engine = Engine::new(sim());
+    let two = engine
+        .evaluate(&EvalQuery::forward(&l, fleet(2, InterconnectKind::NvLink)))
+        .unwrap();
+    let four = engine
+        .evaluate(&EvalQuery::forward(&l, fleet(4, InterconnectKind::NvLink)))
+        .unwrap();
     assert_eq!(
         engine.cache_stats().misses,
         2,
-        "distinct (shape, devices) keys"
+        "distinct device lists, distinct keys"
     );
     // More active devices refetch more halo: the cached entries really
     // are different quantities.
     assert!(four.link_bytes > two.link_bytes);
     // Repeats are hits, bitwise equal.
-    assert_eq!(engine.evaluate_layer_multi(&l, 2).unwrap(), two);
-    assert_eq!(engine.evaluate_layer_multi(&l, 4).unwrap(), four);
+    assert_eq!(
+        engine
+            .evaluate(&EvalQuery::forward(&l, fleet(2, InterconnectKind::NvLink)))
+            .unwrap(),
+        two
+    );
+    assert_eq!(
+        engine
+            .evaluate(&EvalQuery::forward(&l, fleet(4, InterconnectKind::NvLink)))
+            .unwrap(),
+        four
+    );
     assert_eq!(engine.cache_stats().misses, 2);
     assert_eq!(engine.cache_stats().hits, 2);
-    // The single-device default path is yet another key.
-    engine.evaluate_layer(&l).unwrap();
+    // The single-device sequential path is yet another key.
+    engine
+        .evaluate(&EvalQuery::forward(&l, Parallelism::Single))
+        .unwrap();
     assert_eq!(engine.cache_stats().misses, 3);
 }
 
 #[test]
 fn multi_gpu_estimates_survive_the_persistent_cache() {
     // --cache-file end to end: multi-device entries round-trip with
-    // their device key intact.
+    // their full query key intact.
     let dir = std::env::temp_dir().join("delta_multigpu_cache_test");
     let path = dir.join("cache.json");
     let l = wide_layer();
 
-    let engine = Engine::new(sim(InterconnectKind::Pcie));
-    let four = engine.evaluate_layer_multi(&l, 4).unwrap();
-    let plain = engine.evaluate_layer(&l).unwrap();
+    let engine = Engine::new(sim());
+    let four = engine
+        .evaluate(&EvalQuery::forward(&l, fleet(4, InterconnectKind::Pcie)))
+        .unwrap();
+    let plain = engine
+        .evaluate(&EvalQuery::forward(&l, Parallelism::Single))
+        .unwrap();
     assert_eq!(engine.save_cache(&path).unwrap(), 2);
 
-    let fresh = Engine::new(sim(InterconnectKind::Pcie));
+    let fresh = Engine::new(sim());
     fresh.load_cache(&path).unwrap();
-    assert_eq!(fresh.evaluate_layer_multi(&l, 4).unwrap(), four);
-    assert_eq!(fresh.evaluate_layer(&l).unwrap(), plain);
+    assert_eq!(
+        fresh
+            .evaluate(&EvalQuery::forward(&l, fleet(4, InterconnectKind::Pcie)))
+            .unwrap(),
+        four
+    );
+    assert_eq!(
+        fresh
+            .evaluate(&EvalQuery::forward(&l, Parallelism::Single))
+            .unwrap(),
+        plain
+    );
     assert_eq!(fresh.cache_stats().misses, 0, "both served from the file");
     // An unseen device count still reaches the backend.
-    fresh.evaluate_layer_multi(&l, 2).unwrap();
+    fresh
+        .evaluate(&EvalQuery::forward(&l, fleet(2, InterconnectKind::Pcie)))
+        .unwrap();
     assert_eq!(fresh.cache_stats().misses, 1);
 
-    // A different simulator configuration (another interconnect, or
-    // different sampling limits) refuses the file instead of silently
-    // replaying estimates computed under the old pricing.
-    let other = Engine::new(sim(InterconnectKind::NvLink));
-    let err = other.load_cache(&path).unwrap_err();
-    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
-    assert!(err.to_string().contains("configuration"), "{err}");
-    let exhaustive = Engine::new(Simulator::new(
-        GpuSpec::titan_xp(),
-        SimConfig {
-            interconnect: InterconnectKind::Pcie,
-            ..SimConfig::exhaustive()
-        },
-    ));
+    // A different sampling configuration refuses the file instead of
+    // silently replaying estimates computed under other limits.
+    let exhaustive = Engine::new(Simulator::new(GpuSpec::titan_xp(), SimConfig::exhaustive()));
     assert!(exhaustive.load_cache(&path).is_err());
+}
+
+#[test]
+fn wgrad_multi_queries_price_the_all_reduce_on_top() {
+    // A wgrad query under Multi = the wgrad GEMM replay plus the ring
+    // all-reduce of the *original* layer's filter gradients.
+    let l = wide_layer();
+    let s = sim();
+    let ideal = s
+        .evaluate(&EvalQuery::new(
+            &l,
+            Pass::Wgrad,
+            fleet(4, InterconnectKind::Ideal),
+        ))
+        .unwrap();
+    assert_eq!(ideal.link_bytes, 0.0);
+    let nv = s
+        .evaluate(&EvalQuery::new(
+            &l,
+            Pass::Wgrad,
+            fleet(4, InterconnectKind::NvLink),
+        ))
+        .unwrap();
+    let halo_only = s
+        .evaluate(&EvalQuery::forward(
+            &delta_model::training::wgrad_layer(&l).unwrap(),
+            fleet(4, InterconnectKind::NvLink),
+        ))
+        .unwrap();
+    let ring = 2.0 * 3.0 * l.filter_bytes() as f64;
+    assert!(
+        (nv.link_bytes - halo_only.link_bytes - ring).abs() < 1e-6,
+        "wgrad link {} = halo {} + ring {ring}",
+        nv.link_bytes,
+        halo_only.link_bytes
+    );
+    assert!(nv.seconds > halo_only.seconds);
 }

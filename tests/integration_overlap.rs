@@ -1,35 +1,57 @@
-//! Cross-crate integration of the topology-aware collective scheduler:
-//! `SimConfig::{topology, bucket_mb, overlap}` through `Backend`,
-//! `Engine`, and the persistent cache.
+//! Cross-crate integration of the topology-aware collective scheduler
+//! through the query API: `Parallelism::Multi { interconnect, topology }`
+//! and `StepQuery { bucket_mb, overlap }` through `Backend`, `Engine`,
+//! and the persistent cache.
 //!
 //! Three acceptance contracts are pinned here (mirroring the CI perf
 //! gate):
 //!
 //! 1. **legacy identity** — with the scalar interconnect presets (no
-//!    `--topology`) the multi-GPU evaluation is byte-identical, down to
-//!    the serialized JSON, to the pre-scheduler output (a golden file
-//!    captured before the topology subsystem landed);
+//!    topology) the multi-GPU evaluation is byte-identical, down to the
+//!    serialized JSON, to the pre-scheduler output (a golden file
+//!    captured before the topology subsystem landed) — now produced by
+//!    the query API;
 //! 2. **scheduling bounds** — for every topology × device count ×
 //!    bucket size, the overlapped step satisfies
-//!    `max(compute, comm) <= step <= serial`, and with overlap off the
-//!    step *is* the serial schedule, bitwise;
-//! 3. **cache hygiene** — a persistent cache file written under a
-//!    different interconnect, topology, or sampling configuration is
-//!    refused, never silently replayed.
+//!    `max(compute, comm) <= step <= serial`, with overlap off the step
+//!    *is* the serial schedule bitwise, and the per-layer table is
+//!    independent of the overlap flag (both views come from one set of
+//!    replays);
+//! 3. **cache hygiene** — entries computed under one
+//!    interconnect/topology never serve a query under another (key
+//!    inequality), and files from a different *sampling* configuration
+//!    are refused.
 
 use delta_model::engine::Engine;
+use delta_model::query::{EvalQuery, Parallelism, StepQuery};
 use delta_model::schedule::SpanKind;
 use delta_model::{Backend, Delta, GpuSpec};
 use delta_sim::{InterconnectKind, SimConfig, Simulator, TopologyKind};
 
-fn sim(config: SimConfig) -> Simulator {
-    Simulator::new(GpuSpec::titan_xp(), config)
+fn sim() -> Simulator {
+    Simulator::new(GpuSpec::titan_xp(), SimConfig::default())
 }
 
-fn nvlink() -> SimConfig {
-    SimConfig {
-        interconnect: InterconnectKind::NvLink,
-        ..SimConfig::default()
+/// A homogeneous Titan Xp fleet under the given fabric.
+fn fleet(g: u32, interconnect: InterconnectKind, topology: Option<TopologyKind>) -> Parallelism {
+    Parallelism::Multi {
+        devices: vec![GpuSpec::titan_xp(); g as usize],
+        interconnect,
+        topology,
+    }
+}
+
+fn step_query(
+    layers: &[delta_model::ConvLayer],
+    parallelism: Parallelism,
+    bucket_mb: u32,
+    overlap: bool,
+) -> StepQuery {
+    StepQuery {
+        layers: layers.to_vec(),
+        parallelism,
+        bucket_mb,
+        overlap,
     }
 }
 
@@ -38,11 +60,11 @@ fn legacy_scalar_presets_match_the_pre_scheduler_golden_bytes() {
     // The acceptance criterion behind `delta network alexnet --backend
     // sim --gpus 4 --batch 2 --json` with the default (nvlink) scalar
     // preset: the serialized evaluation must be byte-identical to the
-    // output captured before the topology/overlap subsystem existed.
-    // This is what keeps `topology: None` an exact superset of PR 3.
+    // output captured before the topology/overlap subsystem existed —
+    // and now also to what the redesigned query API produces.
     let net = delta_networks::alexnet(2).expect("builtin network");
-    let eval = Engine::new(sim(nvlink()))
-        .evaluate_network_multi(net.layers(), 4)
+    let eval = Engine::new(sim())
+        .evaluate_network(net.layers(), &fleet(4, InterconnectKind::NvLink, None))
         .expect("simulable network");
     let json = serde_json::to_string_pretty(&eval).unwrap();
     let golden = include_str!("golden/net_alexnet_sim_gpus4_nvlink_b2.json");
@@ -54,16 +76,16 @@ fn topology_changes_pricing_but_never_the_merge() {
     // An explicit topology reprices link traffic and time; the on-device
     // measurement (the merge) must stay bitwise identical.
     let net = delta_networks::alexnet(2).expect("builtin network");
-    let legacy = Engine::new(sim(nvlink()))
-        .evaluate_network_multi(net.layers(), 4)
+    let legacy = Engine::new(sim())
+        .evaluate_network(net.layers(), &fleet(4, InterconnectKind::NvLink, None))
         .unwrap();
     for kind in TopologyKind::ALL {
-        let topo = Engine::new(sim(SimConfig {
-            topology: Some(kind),
-            ..nvlink()
-        }))
-        .evaluate_network_multi(net.layers(), 4)
-        .unwrap();
+        let topo = Engine::new(sim())
+            .evaluate_network(
+                net.layers(),
+                &fleet(4, InterconnectKind::NvLink, Some(kind)),
+            )
+            .unwrap();
         for (a, b) in legacy.rows.iter().zip(&topo.rows) {
             assert_eq!(a.estimate.l1_bytes, b.estimate.l1_bytes, "{kind}");
             assert_eq!(a.estimate.l2_bytes, b.estimate.l2_bytes, "{kind}");
@@ -86,15 +108,12 @@ fn topology_changes_pricing_but_never_the_merge() {
         }
     }
     // Under ideal, every topology is the zero-cost identity.
-    for kind in TopologyKind::ALL {
-        let ideal = Engine::new(sim(SimConfig {
-            topology: Some(kind),
-            ..SimConfig::default()
-        }))
-        .evaluate_network_multi(net.layers(), 4)
+    let ideal_plain = Engine::new(sim())
+        .evaluate_network(net.layers(), &fleet(4, InterconnectKind::Ideal, None))
         .unwrap();
-        let ideal_plain = Engine::new(sim(SimConfig::default()))
-            .evaluate_network_multi(net.layers(), 4)
+    for kind in TopologyKind::ALL {
+        let ideal = Engine::new(sim())
+            .evaluate_network(net.layers(), &fleet(4, InterconnectKind::Ideal, Some(kind)))
             .unwrap();
         assert_eq!(ideal.rows, ideal_plain.rows, "{kind}");
     }
@@ -103,41 +122,38 @@ fn topology_changes_pricing_but_never_the_merge() {
 #[test]
 fn scheduled_step_satisfies_the_bounds_for_every_config() {
     let net = delta_networks::alexnet(2).expect("builtin network");
+    let s = sim();
     for kind in TopologyKind::ALL {
         for g in [1u32, 2, 4, 8] {
             for bucket_mb in [1u32, 25, 1024] {
-                let overlapped = sim(SimConfig {
-                    topology: Some(kind),
-                    bucket_mb,
-                    overlap: true,
-                    ..nvlink()
-                })
-                .schedule_training_step(net.layers(), g)
-                .unwrap();
+                let par = fleet(g, InterconnectKind::NvLink, Some(kind));
+                let overlapped = s
+                    .evaluate_step(&step_query(net.layers(), par.clone(), bucket_mb, true))
+                    .unwrap();
+                let t = &overlapped.timeline;
                 assert!(
-                    overlapped.bounds_hold(),
+                    t.bounds_hold(),
                     "{kind} g={g} bucket={bucket_mb}: compute {}, comm {}, step {}, serial {}",
-                    overlapped.compute_seconds,
-                    overlapped.comm_seconds,
-                    overlapped.step_seconds,
-                    overlapped.serial_seconds
+                    t.compute_seconds,
+                    t.comm_seconds,
+                    t.step_seconds,
+                    t.serial_seconds
                 );
-                let serial = sim(SimConfig {
-                    topology: Some(kind),
-                    bucket_mb,
-                    overlap: false,
-                    ..nvlink()
-                })
-                .schedule_training_step(net.layers(), g)
-                .unwrap();
+                let serial = s
+                    .evaluate_step(&step_query(net.layers(), par, bucket_mb, false))
+                    .unwrap();
                 // Overlap off: the step IS the serial schedule, bitwise.
-                assert_eq!(serial.step_seconds, serial.serial_seconds);
+                assert_eq!(serial.timeline.step_seconds, serial.timeline.serial_seconds);
                 // The overlapped step never loses to the serial one.
-                assert!(overlapped.step_seconds <= serial.step_seconds);
+                assert!(t.step_seconds <= serial.timeline.step_seconds);
+                // The per-layer table is a function of the replays, not
+                // of the schedule: flipping the overlap flag must not
+                // move a single bit of it.
+                assert_eq!(overlapped.table, serial.table, "{kind} g={g}");
                 if g == 1 {
                     // One device exchanges nothing.
-                    assert_eq!(overlapped.comm_seconds, 0.0);
-                    assert_eq!(overlapped.step_seconds, overlapped.compute_seconds);
+                    assert_eq!(t.comm_seconds, 0.0);
+                    assert_eq!(t.step_seconds, t.compute_seconds);
                 }
             }
         }
@@ -151,15 +167,20 @@ fn smaller_buckets_hide_more_communication() {
     // compute. The hierarchical topology's slow uplink makes the effect
     // visible on a small network.
     let net = delta_networks::alexnet(2).expect("builtin network");
+    let s = sim();
     let schedule = |bucket_mb: u32| {
-        sim(SimConfig {
-            topology: Some(TopologyKind::Hierarchical),
+        s.evaluate_step(&step_query(
+            net.layers(),
+            fleet(
+                8,
+                InterconnectKind::NvLink,
+                Some(TopologyKind::Hierarchical),
+            ),
             bucket_mb,
-            overlap: true,
-            ..nvlink()
-        })
-        .schedule_training_step(net.layers(), 8)
+            true,
+        ))
         .unwrap()
+        .timeline
     };
     let fine = schedule(1);
     let coarse = schedule(1024);
@@ -177,26 +198,25 @@ fn smaller_buckets_hide_more_communication() {
 }
 
 #[test]
-fn engine_routes_the_scheduled_step_and_model_falls_back_to_serial() {
+fn engine_routes_the_step_and_model_falls_back_to_serial() {
     let net = delta_networks::alexnet(2).expect("builtin network");
-    // Sim backend through the engine == direct simulator call.
-    let config = SimConfig {
-        topology: Some(TopologyKind::Ring),
-        bucket_mb: 4,
-        overlap: true,
-        ..nvlink()
-    };
-    let via_engine = Engine::new(sim(config))
-        .evaluate_training_step_scheduled(net.layers(), 4)
-        .unwrap();
-    let direct = sim(config).schedule_training_step(net.layers(), 4).unwrap();
+    // Sim backend through the engine == direct backend call.
+    let query = step_query(
+        net.layers(),
+        fleet(4, InterconnectKind::NvLink, Some(TopologyKind::Ring)),
+        4,
+        true,
+    );
+    let via_engine = Engine::new(sim()).evaluate_step(&query).unwrap();
+    let direct = sim().evaluate_step(&query).unwrap();
     assert_eq!(via_engine, direct);
-    assert!(via_engine.overlap);
-    assert!(via_engine.comm_seconds > 0.0);
-    assert_eq!(via_engine.per_device.len(), 4);
+    let t = &via_engine.timeline;
+    assert!(t.overlap);
+    assert!(t.comm_seconds > 0.0);
+    assert_eq!(t.per_device.len(), 4);
     // Spans: forward in order, then backward reversed; comm buckets in
     // ready order starting from the last layer.
-    let dev = &via_engine.per_device[0];
+    let dev = &t.per_device[0];
     assert_eq!(dev.compute[0].kind, SpanKind::Forward);
     assert_eq!(dev.compute[0].label, "conv1");
     assert_eq!(dev.compute.last().unwrap().kind, SpanKind::Wgrad);
@@ -204,86 +224,179 @@ fn engine_routes_the_scheduled_step_and_model_falls_back_to_serial() {
     assert!(dev.comm[0].label.contains("conv5"), "{}", dev.comm[0].label);
     // Model backend: the serial fallback, no comm stream, bounds hold.
     let model = Engine::new(Delta::new(GpuSpec::titan_xp()))
-        .evaluate_training_step_scheduled(net.layers(), 4)
-        .unwrap();
+        .evaluate_step(&StepQuery::new(net.layers(), Parallelism::Single))
+        .unwrap()
+        .timeline;
     assert_eq!(model.comm_seconds, 0.0);
     assert_eq!(model.step_seconds, model.serial_seconds);
     assert!(model.bounds_hold());
 }
 
 #[test]
-fn cache_files_from_other_configurations_are_refused() {
-    // Satellite: the persistent cache must reject files whose producing
-    // configuration differs — interconnect, topology, scheduler knobs,
-    // or sampling limits — instead of silently replaying stale prices.
-    let dir = std::env::temp_dir().join("delta_overlap_cache_refusal_test");
+fn table_and_timeline_come_from_one_replay_per_unique_shape() {
+    // The double-replay fix, asserted via the simulator's replay
+    // counter: one step query answers both the per-layer table and the
+    // scheduled timeline from exactly one replay per unique transformed
+    // layer shape (fwd ∪ dgrad ∪ wgrad). PR 4 ran the set twice — once
+    // for the table, once for the timeline.
+    use delta_model::engine::LayerShape;
+    use delta_model::training;
+    let net = delta_networks::alexnet(2).expect("builtin network");
+    let mut unique = std::collections::HashSet::new();
+    for (i, l) in net.layers().iter().enumerate() {
+        unique.insert(LayerShape::of(l));
+        if i > 0 {
+            unique.insert(LayerShape::of(&training::dgrad_layer(l).unwrap()));
+        }
+        unique.insert(LayerShape::of(&training::wgrad_layer(l).unwrap()));
+    }
+
+    let s = sim();
+    assert_eq!(s.replay_count(), 0);
+    let eval = s
+        .evaluate_step(&step_query(
+            net.layers(),
+            fleet(4, InterconnectKind::NvLink, None),
+            25,
+            true,
+        ))
+        .unwrap();
+    assert_eq!(
+        s.replay_count(),
+        unique.len() as u64,
+        "each unique shape replays exactly once"
+    );
+    // Both views were actually produced.
+    assert_eq!(eval.table.rows.len(), net.len());
+    assert!(eval.timeline.comm_seconds > 0.0);
+
+    // The engine path replays the same count (its cache cannot serve a
+    // timeline, but it must not *add* replays either).
+    let s2 = sim();
+    let engine = Engine::new(s2.clone());
+    engine
+        .evaluate_step(&step_query(
+            net.layers(),
+            fleet(4, InterconnectKind::NvLink, None),
+            25,
+            true,
+        ))
+        .unwrap();
+    assert_eq!(s2.replay_count(), unique.len() as u64);
+}
+
+#[test]
+fn cache_entries_from_other_fabrics_never_collide() {
+    // The key-equality half of stale-config protection: one engine, one
+    // cache, every fabric configuration keyed apart. An nvlink-priced
+    // entry can never answer a pcie (or topology-priced) query.
+    let net = delta_networks::alexnet(2).expect("builtin network");
+    let engine = Engine::new(sim());
+    let l = &net.layers()[0];
+    engine
+        .evaluate(&EvalQuery::forward(
+            l,
+            fleet(4, InterconnectKind::NvLink, None),
+        ))
+        .unwrap();
+    assert_eq!(engine.cache_stats().misses, 1);
+    // Key distinctness is the contract — even where the values happen to
+    // coincide (a 1–2 column layer moves no halo bytes), the pcie query
+    // must reach the backend rather than replay the nvlink entry.
+    engine
+        .evaluate(&EvalQuery::forward(
+            l,
+            fleet(4, InterconnectKind::Pcie, None),
+        ))
+        .unwrap();
+    assert_eq!(
+        engine.cache_stats().misses,
+        2,
+        "distinct fabric, distinct key"
+    );
+    for kind in TopologyKind::ALL {
+        engine
+            .evaluate(&EvalQuery::forward(
+                l,
+                fleet(4, InterconnectKind::NvLink, Some(kind)),
+            ))
+            .unwrap();
+    }
+    assert_eq!(
+        engine.cache_stats().misses,
+        2 + TopologyKind::ALL.len() as u64
+    );
+    // Repeats of every configuration hit.
+    engine
+        .evaluate(&EvalQuery::forward(
+            l,
+            fleet(4, InterconnectKind::NvLink, None),
+        ))
+        .unwrap();
+    assert_eq!(engine.cache_stats().hits, 1);
+}
+
+#[test]
+fn cache_files_carry_fabric_keys_and_refuse_sampling_mismatch() {
+    // The persistent-cache half: a file written under one fabric loads
+    // into an engine querying another (the keys simply never match),
+    // while a different *sampling* configuration — which the query
+    // cannot express — is refused outright.
+    let dir = std::env::temp_dir().join("delta_overlap_cache_keys_test");
     let path = dir.join("cache.json");
     let net = delta_networks::alexnet(2).expect("builtin network");
+    let l = &net.layers()[0];
 
-    let producer = Engine::new(sim(nvlink()));
-    producer.evaluate_network_multi(net.layers(), 4).unwrap();
+    let producer = Engine::new(sim());
+    let nv = producer
+        .evaluate(&EvalQuery::forward(
+            l,
+            fleet(4, InterconnectKind::NvLink, None),
+        ))
+        .unwrap();
     assert!(producer.save_cache(&path).unwrap() > 0);
 
-    // Same configuration: loads fine.
-    let same = Engine::new(sim(nvlink()));
-    assert!(same.load_cache(&path).is_ok());
+    // Same sampling configuration: loads fine, nvlink queries hit,
+    // pcie queries miss to the backend (never served stale prices).
+    let consumer = Engine::new(sim());
+    consumer.load_cache(&path).unwrap();
+    assert_eq!(
+        consumer
+            .evaluate(&EvalQuery::forward(
+                l,
+                fleet(4, InterconnectKind::NvLink, None)
+            ))
+            .unwrap(),
+        nv
+    );
+    assert_eq!(consumer.cache_stats().misses, 0);
+    consumer
+        .evaluate(&EvalQuery::forward(
+            l,
+            fleet(4, InterconnectKind::Pcie, None),
+        ))
+        .unwrap();
+    assert_eq!(consumer.cache_stats().misses, 1, "pcie reached the backend");
 
-    // Different interconnect preset: refused.
-    let other_ic = Engine::new(sim(SimConfig {
-        interconnect: InterconnectKind::Pcie,
-        ..SimConfig::default()
-    }));
-    let err = other_ic.load_cache(&path).unwrap_err();
+    // Different sampling fingerprint: refused.
+    let exhaustive = Engine::new(Simulator::new(GpuSpec::titan_xp(), SimConfig::exhaustive()));
+    let err = exhaustive.load_cache(&path).unwrap_err();
     assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     assert!(err.to_string().contains("configuration"), "{err}");
 
-    // A topology graph vs. the scalar preset: refused (the halo
-    // multiplier differs, so cached link charges would be wrong).
-    for kind in TopologyKind::ALL {
-        let topo = Engine::new(sim(SimConfig {
-            topology: Some(kind),
-            ..nvlink()
-        }));
-        let err = topo.load_cache(&path).unwrap_err();
-        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{kind}");
-    }
-
-    // Different sampling fingerprint: refused.
-    let exhaustive = Engine::new(sim(SimConfig {
-        interconnect: InterconnectKind::NvLink,
-        ..SimConfig::exhaustive()
-    }));
-    assert!(exhaustive.load_cache(&path).is_err());
-
-    // Different scheduler knobs: the fingerprint covers the whole
-    // SimConfig, so these are refused too (coarse but safe).
-    let overlap = Engine::new(sim(SimConfig {
-        overlap: true,
-        ..nvlink()
-    }));
-    assert!(overlap.load_cache(&path).is_err());
-    let bucket = Engine::new(sim(SimConfig {
-        bucket_mb: 4,
-        ..nvlink()
-    }));
-    assert!(bucket.load_cache(&path).is_err());
-
-    // And a topology-produced cache round-trips into the same topology.
+    // And a topology-priced cache round-trips into a topology query.
     let topo_path = dir.join("topo_cache.json");
-    let topo_cfg = SimConfig {
-        topology: Some(TopologyKind::Switch),
-        ..nvlink()
-    };
-    let topo_producer = Engine::new(sim(topo_cfg));
+    let topo_par = fleet(4, InterconnectKind::NvLink, Some(TopologyKind::Switch));
+    let topo_producer = Engine::new(sim());
     let est = topo_producer
-        .evaluate_layer_multi(&net.layers()[0], 4)
+        .evaluate(&EvalQuery::forward(l, topo_par.clone()))
         .unwrap();
     topo_producer.save_cache(&topo_path).unwrap();
-    let topo_consumer = Engine::new(sim(topo_cfg));
+    let topo_consumer = Engine::new(sim());
     topo_consumer.load_cache(&topo_path).unwrap();
     assert_eq!(
         topo_consumer
-            .evaluate_layer_multi(&net.layers()[0], 4)
+            .evaluate(&EvalQuery::forward(l, topo_par))
             .unwrap(),
         est
     );
@@ -291,25 +404,19 @@ fn cache_files_from_other_configurations_are_refused() {
 }
 
 #[test]
-fn backend_trait_routes_the_scheduled_estimate() {
+fn backend_trait_routes_the_step_evaluation() {
     // The `Backend` seam itself: the simulator's override and the
     // reference-forwarding impl both reach the collective scheduler.
     let net = delta_networks::alexnet(2).expect("builtin network");
-    let config = SimConfig {
-        topology: Some(TopologyKind::Mesh),
-        bucket_mb: 8,
-        overlap: true,
-        ..nvlink()
-    };
-    let s = sim(config);
-    let direct = s.schedule_training_step(net.layers(), 4).unwrap();
-    let via_trait = Backend::estimate_training_step_scheduled(&s, net.layers(), 4).unwrap();
-    assert_eq!(via_trait, direct);
-    let by_ref: &dyn Backend = &&s;
-    assert_eq!(
-        by_ref
-            .estimate_training_step_scheduled(net.layers(), 4)
-            .unwrap(),
-        direct
+    let query = step_query(
+        net.layers(),
+        fleet(4, InterconnectKind::NvLink, Some(TopologyKind::Mesh)),
+        8,
+        true,
     );
+    let s = sim();
+    let direct = s.evaluate_step(&query).unwrap();
+    let by_ref: &dyn Backend = &&s;
+    assert_eq!(by_ref.evaluate_step(&query).unwrap(), direct);
+    assert!(direct.timeline.comm_seconds > 0.0);
 }

@@ -1,17 +1,20 @@
 //! Cross-crate integration of the intra-layer sharding seam: the
-//! `--shards N` path from `SimConfig` through `Backend` and `Engine`
-//! must produce bitwise-identical estimates for every worker count —
-//! the acceptance contract the CI perf gate also enforces.
+//! `Parallelism::Sharded { workers }` query from the CLI's `--shards N`
+//! through `Backend` and `Engine` must produce bitwise-identical
+//! estimates for every worker count — the acceptance contract the CI
+//! perf gate also enforces.
 
 use delta_model::engine::Engine;
+use delta_model::query::{EvalQuery, Parallelism};
 use delta_model::{Backend, ConvLayer, GpuSpec};
 use delta_sim::{SimConfig, Simulator};
 
-fn sharded_config(n: u32) -> SimConfig {
-    SimConfig {
-        shards: Some(n),
-        ..SimConfig::default()
-    }
+fn sim() -> Simulator {
+    Simulator::new(GpuSpec::titan_xp(), SimConfig::default())
+}
+
+fn sharded(l: &ConvLayer, workers: u32) -> EvalQuery {
+    EvalQuery::forward(l, Parallelism::Sharded { workers })
 }
 
 /// A 16-column ResNet152-style conv layer — wide enough that 4 workers
@@ -29,86 +32,99 @@ fn wide_layer() -> ConvLayer {
 #[test]
 fn network_estimates_identical_for_shards_1_2_4() {
     // The end-to-end `delta network --backend sim --shards N` path: a
-    // whole network through the engine with a sharded simulator backend.
-    let gpu = GpuSpec::titan_xp();
+    // whole network through the engine with sharded queries.
     let net = delta_networks::alexnet(2).expect("builtin network");
-    let reference = Engine::new(Simulator::new(gpu.clone(), sharded_config(1)))
-        .evaluate_network(net.layers())
+    let reference = Engine::new(sim())
+        .evaluate_network(net.layers(), &Parallelism::Sharded { workers: 1 })
         .expect("simulable network");
     assert_eq!(reference.rows.len(), net.len());
     for n in [2, 4] {
-        let eval = Engine::new(Simulator::new(gpu.clone(), sharded_config(n)))
-            .evaluate_network(net.layers())
+        let eval = Engine::new(sim())
+            .evaluate_network(net.layers(), &Parallelism::Sharded { workers: n })
             .expect("simulable network");
-        // LayerEstimate is PartialEq over raw f64 fields: bitwise equal.
-        assert_eq!(eval.rows, reference.rows, "shards={n}");
+        // LayerEstimate is PartialEq over raw f64 fields: bitwise equal
+        // values (the labels — and only the labels — match too).
+        for (a, b) in eval.rows.iter().zip(&reference.rows) {
+            assert_eq!(a.estimate, b.estimate, "shards={n} layer {}", a.label);
+        }
     }
 }
 
 #[test]
 fn wide_layer_identical_across_worker_counts_via_backend() {
-    let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+    let s = sim();
     let l = wide_layer();
-    let one = Backend::estimate_layer_sharded(&sim, &l, 1).unwrap();
+    let one = s.evaluate(&sharded(&l, 1)).unwrap();
     for n in [2, 4, 16, 32] {
-        assert_eq!(
-            Backend::estimate_layer_sharded(&sim, &l, n).unwrap(),
-            one,
-            "n_workers={n}"
-        );
+        assert_eq!(s.evaluate(&sharded(&l, n)).unwrap(), one, "n_workers={n}");
     }
 }
 
 #[test]
-fn engine_sharded_entry_point_matches_backend() {
-    let gpu = GpuSpec::titan_xp();
+fn engine_sharded_queries_match_backend_and_config_dispatch() {
     let l = wide_layer();
-    let engine = Engine::new(Simulator::new(gpu.clone(), SimConfig::default()));
-    let via_engine = engine.evaluate_layer_sharded(&l, 4).unwrap();
-    let direct = Backend::estimate_layer_sharded(engine.backend(), &l, 4).unwrap();
+    let engine = Engine::new(sim());
+    let via_engine = engine.evaluate(&sharded(&l, 4)).unwrap();
+    let direct = engine.backend().evaluate(&sharded(&l, 4)).unwrap();
     assert_eq!(via_engine, direct);
-    // And the config-selected dispatch agrees with the explicit call.
-    let via_config = Simulator::new(gpu, sharded_config(4)).run(&l);
+    // And the config-selected dispatch (`SimConfig::shards`, the direct
+    // `Simulator::run` convenience) agrees with the query.
+    let via_config = Simulator::new(
+        GpuSpec::titan_xp(),
+        SimConfig {
+            shards: Some(4),
+            ..SimConfig::default()
+        },
+    )
+    .run(&l);
     assert_eq!(via_config.cycles, direct.cycles);
     assert_eq!(via_config.l1_bytes, direct.l1_bytes);
     assert_eq!(via_config.dram_write_bytes, direct.dram_write_bytes);
 }
 
 #[test]
-fn sharded_evaluation_bypasses_and_never_pollutes_the_cache() {
+fn sharded_and_single_queries_cache_apart() {
     // The simulator's sharded replay isolates tile columns, so it is a
     // *different quantity* from the sequential replay of the same shape.
-    // `Engine::evaluate_layer_sharded` must therefore (a) bypass the
-    // shape cache and (b) leave it untouched, so a later cached
-    // `evaluate_layer` still answers the sequential measurement.
+    // The query fingerprint keys them apart: both cache, neither ever
+    // answers the other.
     let l = wide_layer();
-    let engine = Engine::new(Simulator::new(GpuSpec::titan_xp(), SimConfig::default()));
+    let engine = Engine::new(sim());
 
-    let sequential = engine.evaluate_layer(&l).unwrap();
+    let sequential = engine
+        .evaluate(&EvalQuery::forward(&l, Parallelism::Single))
+        .unwrap();
     assert_eq!(engine.cache_stats().misses, 1);
 
-    let sharded = engine.evaluate_layer_sharded(&l, 4).unwrap();
+    let shd = engine.evaluate(&sharded(&l, 4)).unwrap();
     // Distinct quantities on this multi-column layer (the sharded replay
     // refetches the IFmap per column).
     assert!(
-        sharded.dram_read_bytes > sequential.dram_read_bytes,
+        shd.dram_read_bytes > sequential.dram_read_bytes,
         "sharded {} vs sequential {}",
-        sharded.dram_read_bytes,
+        shd.dram_read_bytes,
         sequential.dram_read_bytes
     );
-    // The sharded call ran the backend (a miss), not the cache.
+    // The sharded query ran the backend under its own key.
     assert_eq!(engine.cache_stats().misses, 2);
     assert_eq!(engine.cache_stats().hits, 0);
 
-    // And it did not overwrite the cached sequential entry: the next
-    // evaluate_layer is a hit that still returns the sequential numbers.
-    let again = engine.evaluate_layer(&l).unwrap();
+    // The single-device entry is untouched: the next single query is a
+    // hit that still returns the sequential numbers.
+    let again = engine
+        .evaluate(&EvalQuery::forward(&l, Parallelism::Single))
+        .unwrap();
     assert_eq!(again, sequential, "cache polluted by the sharded result");
     assert_eq!(engine.cache_stats().misses, 2);
     assert_eq!(engine.cache_stats().hits, 1);
 
-    // Symmetrically, a repeated sharded call re-runs the backend.
-    engine.evaluate_layer_sharded(&l, 4).unwrap();
+    // And the sharded entry now hits too — equal queries always hit.
+    assert_eq!(engine.evaluate(&sharded(&l, 4)).unwrap(), shd);
+    assert_eq!(engine.cache_stats().misses, 2);
+    assert_eq!(engine.cache_stats().hits, 2);
+    // A different worker count is a different key (evaluated afresh,
+    // identical value by the shard-identity contract).
+    assert_eq!(engine.evaluate(&sharded(&l, 2)).unwrap(), shd);
     assert_eq!(engine.cache_stats().misses, 3);
 }
 
@@ -129,9 +145,11 @@ fn sharded_estimates_stay_in_band_of_sequential_sim() {
         .filter(1, 1)
         .build()
         .unwrap();
-    let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
-    let seq = Backend::estimate_layer(&sim, &l).unwrap();
-    let shd = Backend::estimate_layer_sharded(&sim, &l, 4).unwrap();
+    let s = sim();
+    let seq = s
+        .evaluate(&EvalQuery::forward(&l, Parallelism::Single))
+        .unwrap();
+    let shd = s.evaluate(&sharded(&l, 4)).unwrap();
     for (a, b, what) in [
         (shd.l1_bytes, seq.l1_bytes, "l1"),
         (shd.l2_bytes, seq.l2_bytes, "l2"),
@@ -153,11 +171,13 @@ fn sharded_dram_excess_is_bounded_by_per_column_refetch() {
     // replay refetches it per column. The excess is physically bounded
     // by (columns − 1) × IFmap bytes — never more.
     let l = wide_layer();
-    let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
-    let columns = sim.tiling(&l).cta_columns();
+    let s = sim();
+    let columns = s.tiling(&l).cta_columns();
     assert!(columns >= 4);
-    let seq = Backend::estimate_layer(&sim, &l).unwrap();
-    let shd = Backend::estimate_layer_sharded(&sim, &l, 4).unwrap();
+    let seq = s
+        .evaluate(&EvalQuery::forward(&l, Parallelism::Single))
+        .unwrap();
+    let shd = s.evaluate(&sharded(&l, 4)).unwrap();
     assert!(
         shd.dram_read_bytes >= seq.dram_read_bytes * 0.99,
         "losing residency cannot reduce DRAM traffic: {} < {}",

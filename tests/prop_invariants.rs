@@ -269,3 +269,108 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Query-fingerprint invariants (the evaluation API's cache contract)
+// ---------------------------------------------------------------------
+
+/// A random execution configuration spanning every query axis: pass,
+/// shard workers, device count, device spec, interconnect, topology.
+fn arb_parallelism() -> impl Strategy<Value = delta_model::Parallelism> {
+    use delta_model::{GpuSpec, InterconnectKind, Parallelism, TopologyKind};
+    let gpu = prop_oneof![
+        Just(GpuSpec::titan_xp()),
+        Just(GpuSpec::p100()),
+        Just(GpuSpec::v100()),
+    ];
+    let interconnect = prop_oneof![
+        Just(InterconnectKind::Ideal),
+        Just(InterconnectKind::NvLink),
+        Just(InterconnectKind::Pcie),
+    ];
+    let topology = prop_oneof![
+        Just(None),
+        Just(Some(TopologyKind::Ring)),
+        Just(Some(TopologyKind::Switch)),
+        Just(Some(TopologyKind::Mesh)),
+        Just(Some(TopologyKind::Hierarchical)),
+    ];
+    prop_oneof![
+        Just(Parallelism::Single),
+        (1u32..=64).prop_map(|workers| Parallelism::Sharded { workers }),
+        (1u32..=8, gpu, interconnect, topology).prop_map(|(g, gpu, ic, topo)| {
+            Parallelism::Multi {
+                devices: vec![gpu; g as usize],
+                interconnect: ic,
+                topology: topo,
+            }
+        }),
+    ]
+}
+
+fn arb_pass() -> impl Strategy<Value = delta_model::Pass> {
+    use delta_model::Pass;
+    prop_oneof![Just(Pass::Fwd), Just(Pass::Dgrad), Just(Pass::Wgrad)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn query_fingerprints_are_injective_and_equal_queries_hit_the_cache(
+        (layer_a, layer_b, pass_a, pass_b, par_a, par_b) in (
+            arb_layer(), arb_layer(), arb_pass(), arb_pass(),
+            arb_parallelism(), arb_parallelism(),
+        )
+    ) {
+        use delta_model::{Engine, EvalQuery};
+        let a = EvalQuery::new(&layer_a, pass_a, par_a);
+        let b = EvalQuery::new(&layer_b, pass_b, par_b);
+        // Injective: fingerprints collide iff the queries are equal —
+        // across shape, pass, worker count, device list (count AND
+        // spec), interconnect, and topology.
+        prop_assert_eq!(a == b, a.fingerprint() == b.fingerprint());
+        // The fingerprint is a pure function of the query.
+        prop_assert_eq!(a.fingerprint(), a.clone().fingerprint());
+
+        // Equal queries always hit: evaluating the same query twice runs
+        // the backend once (the model backend answers any parallelism).
+        // Queries whose pass workload cannot be constructed (dgrad of a
+        // pad >= filter layer) error both times and are never cached.
+        let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        match engine.evaluate(&a) {
+            Ok(first) => {
+                let second = engine.evaluate(&a.clone()).unwrap();
+                prop_assert_eq!(first, second);
+                prop_assert_eq!(engine.cache_stats().misses, 1);
+                prop_assert_eq!(engine.cache_stats().hits, 1);
+            }
+            Err(_) => {
+                prop_assert!(engine.evaluate(&a.clone()).is_err());
+                prop_assert_eq!(engine.cache_stats().hits, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn step_fingerprints_separate_schedule_knobs(
+        (layer, par, bucket_a, bucket_b, overlap_a, overlap_b) in (
+            arb_layer(), arb_parallelism(), 1u32..=1024, 1u32..=1024,
+            prop_oneof![Just(false), Just(true)],
+            prop_oneof![Just(false), Just(true)],
+        )
+    ) {
+        use delta_model::StepQuery;
+        let net = [layer.clone(), layer];
+        let mk = |bucket_mb: u32, overlap: bool| StepQuery {
+            layers: net.to_vec(),
+            parallelism: par.clone(),
+            bucket_mb,
+            overlap,
+        };
+        let a = mk(bucket_a, overlap_a);
+        let b = mk(bucket_b, overlap_b);
+        let equal = bucket_a == bucket_b && overlap_a == overlap_b;
+        prop_assert_eq!(equal, a.fingerprint() == b.fingerprint());
+    }
+}

@@ -91,6 +91,21 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, DeError>;
 }
 
+// A value tree is trivially its own serialization, which lets callers
+// build dynamic documents (or probe unknown ones, e.g. a version field)
+// through the same `serde_json` entry points as typed data.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 // ---------------------------------------------------------------------
 // Primitive impls
 // ---------------------------------------------------------------------
