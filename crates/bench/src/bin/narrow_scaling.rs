@@ -1,0 +1,8 @@
+//! Measures row-sharded narrow-layer simulation speedup vs. worker
+//! count. Flags: --full, --smoke, --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary(
+        "narrow_scaling",
+        delta_bench::experiments::narrow_scaling::run,
+    );
+}

@@ -1,12 +1,16 @@
-//! CI perf-regression gate for the two hot paths the evaluation engine
+//! CI perf-regression gate for the hot paths the evaluation engine
 //! architecture depends on:
 //!
 //! 1. **cached engine** — full-ResNet152 simulation through the parallel,
 //!    query-cached engine vs. the hand-rolled sequential per-layer loop;
 //! 2. **sharded sim** — one big ResNet152 conv layer through a
-//!    `Sharded { workers }` query at 4 workers vs. 1 worker.
+//!    `Sharded { workers }` query at 4 workers vs. 1 worker;
+//! 3. **narrow shard (row axis)** — a 1–2-column conv layer at 4 workers
+//!    vs. 1 worker, the regime only row-level sharding can speed up;
+//! 4. **warm step cache** — a multi-GPU training-step evaluation
+//!    answered from a persisted v3 cache file vs. simulated cold.
 //!
-//! Both are measured as **speedup ratios**, not absolute times, so the
+//! All are measured as **speedup ratios**, not absolute times, so the
 //! gate is portable across CI machines of different raw speed. Usage:
 //!
 //! ```text
@@ -14,19 +18,23 @@
 //! ```
 //!
 //! With `--check`, each measured ratio must stay above
-//! `baseline × (1 − tolerance)` or the process exits non-zero. The
-//! shard-speedup check is skipped (with a notice) on hosts with fewer
-//! than 4 cores, where the 4-worker floor is physically unattainable
-//! (speedup ≤ min(workers, columns, cores)); the correctness checks —
-//! shard bitwise identity (4 workers vs. 1), multi-GPU identity (4
-//! devices under the `ideal` interconnect vs. the single-device sharded
-//! run), the collective scheduler's bounds
+//! `baseline × (1 − tolerance)` or the process exits non-zero. The two
+//! shard-speedup checks are skipped (with a notice) on hosts with fewer
+//! than 4 cores, where the 4-worker floors are physically unattainable
+//! (speedup ≤ min(workers, work units, cores)); the warm-step-cache
+//! check runs everywhere because a warm hit simulates nothing and so
+//! does not depend on the core count. The correctness checks —
+//! shard bitwise identity (4 workers vs. 1, on both the wide and the
+//! narrow layer), warm-step identity (the cache-file answer must match
+//! the cold simulation bitwise with zero replays), multi-GPU identity
+//! (4 devices under the `ideal` interconnect vs. the single-device
+//! sharded run), the collective scheduler's bounds
 //! (`max(compute, comm) ≤ step ≤ serial`, overlap-off `step == serial`,
 //! across every topology preset), and the PR-4 golden byte identity of
 //! the pinned multi-GPU evaluation through the query API — run
 //! everywhere and are never skipped.
 
-use delta_bench::experiments::shard_scaling;
+use delta_bench::experiments::{narrow_scaling, shard_scaling};
 use delta_model::engine::{Engine, EngineOptions};
 use delta_model::query::{EvalQuery, Parallelism, StepQuery};
 use delta_model::{Backend, GpuSpec};
@@ -58,6 +66,18 @@ struct GateReport {
     /// Whether the 4-worker query answered bitwise identically to the
     /// 1-worker query (must always be true).
     shard_identical: bool,
+    /// 4-worker over 1-worker sharded-query speedup on a narrow
+    /// (1–2-column) ResNet152 conv layer — the row-sharding regime.
+    narrow_shard_speedup: f64,
+    /// Whether the narrow 4-worker query answered bitwise identically
+    /// to the 1-worker query (must always be true).
+    narrow_shard_identical: bool,
+    /// Warm over cold multi-GPU step-evaluation speedup, where the warm
+    /// engine answers from a persisted v3 cache file.
+    warm_step_cache_speedup: f64,
+    /// Whether the warm step evaluation was bitwise identical to the
+    /// cold one AND performed zero layer replays (must always be true).
+    warm_step_identical: bool,
     /// Whether a 4-device multi-GPU query under the `ideal` interconnect
     /// answered bitwise identically to the single-device sharded query,
     /// with zero link traffic (must always be true — the interconnect
@@ -84,6 +104,10 @@ struct Baseline {
     engine_cached_speedup: f64,
     /// Expected 4-worker shard speedup.
     shard_speedup_4w: f64,
+    /// Expected 4-worker narrow-layer (row-axis) shard speedup.
+    narrow_shard_speedup: f64,
+    /// Expected warm-over-cold step-cache speedup.
+    warm_step_cache_speedup: f64,
 }
 
 fn best_of<F: FnMut() -> f64>(reps: u32, mut run: F) -> f64 {
@@ -145,6 +169,27 @@ fn measure(reps: u32) -> GateReport {
             .cycles
     });
 
+    // Path 2b: the same seam on a *narrow* layer (1–2 tile columns),
+    // where the column axis alone cannot use 4 workers and the plan
+    // switches to row-level sharding (CTA-batch sub-ranges). The
+    // speedup is bounded by min(workers, columns × batches, cores).
+    let narrow = narrow_scaling::narrowest_layer(16).expect("valid layer");
+    let narrow_q = |workers: u32| EvalQuery::forward(&narrow, Parallelism::Sharded { workers });
+    let ne1 = engine.evaluate(&narrow_q(1)).expect("simulable layer");
+    let ne4 = engine.evaluate(&narrow_q(4)).expect("simulable layer");
+    let nt1 = best_of(reps, || {
+        engine
+            .evaluate(&narrow_q(1))
+            .expect("simulable layer")
+            .cycles
+    });
+    let nt4 = best_of(reps, || {
+        engine
+            .evaluate(&narrow_q(4))
+            .expect("simulable layer")
+            .cycles
+    });
+
     // Path 3 (correctness only): the multi-GPU merge identity through
     // the query API. Under the zero-cost `ideal` interconnect a 4-device
     // query must reproduce the single-device sharded answer bitwise and
@@ -202,11 +247,56 @@ fn measure(reps: u32) -> GateReport {
         .trim_end()
         == GOLDEN_NET_ALEXNET_GPUS4_NVLINK_B2.trim_end();
 
+    // Path 6: the warm step-cache path. A cold engine simulates the
+    // multi-GPU training step and persists the v3 cache file; a warm
+    // engine loads the file and must answer the same step bitwise
+    // identically with zero layer replays — and much faster, even on a
+    // single core, because nothing is simulated at all.
+    let step_query = StepQuery {
+        layers: net_small.layers().to_vec(),
+        parallelism: Parallelism::multi(&gpu, 4, InterconnectKind::NvLink),
+        bucket_mb: 4,
+        overlap: true,
+    };
+    let cache_file = std::env::temp_dir().join(format!(
+        "delta_perf_gate_step_cache_{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&cache_file);
+    let cold_engine = Engine::new(Simulator::new(gpu.clone(), config));
+    let cold_eval = cold_engine
+        .evaluate_step(&step_query)
+        .expect("schedulable network");
+    cold_engine.save_cache(&cache_file).expect("writable tmp");
+    let t_cold = best_of(reps, || {
+        Engine::new(Simulator::new(gpu.clone(), config))
+            .evaluate_step(&step_query)
+            .expect("schedulable network")
+            .timeline
+            .step_seconds
+    });
+    let mut warm_step_identical = true;
+    let t_warm = best_of(reps, || {
+        let sim = Simulator::new(gpu.clone(), config);
+        let warm_engine = Engine::new(sim.clone());
+        warm_engine.load_cache(&cache_file).expect("readable tmp");
+        let eval = warm_engine
+            .evaluate_step(&step_query)
+            .expect("schedulable network");
+        warm_step_identical &= eval == cold_eval && sim.replay_count() == 0;
+        eval.timeline.step_seconds
+    });
+    let _ = std::fs::remove_file(&cache_file);
+
     GateReport {
         cores: rayon::current_num_threads(),
         engine_cached_speedup: t_loop / t_engine,
         shard_speedup_4w: t1 / t4,
         shard_identical: e1 == e4,
+        narrow_shard_speedup: nt1 / nt4,
+        narrow_shard_identical: ne1 == ne4,
+        warm_step_cache_speedup: t_cold / t_warm,
+        warm_step_identical,
         multigpu_ideal_identical,
         overlap_bounds_ok,
         golden_identical,
@@ -268,12 +358,18 @@ fn main() {
     println!(
         "perf_gate ({} cores, best of {reps}):\n  engine_cached_speedup    = {:.2}x\n  \
          shard_speedup_4w         = {:.2}x\n  shard_identical          = {}\n  \
+         narrow_shard_speedup     = {:.2}x\n  narrow_shard_identical   = {}\n  \
+         warm_step_cache_speedup  = {:.2}x\n  warm_step_identical      = {}\n  \
          multigpu_ideal_identical = {}\n  overlap_bounds_ok        = {}\n  \
          golden_identical         = {}",
         report.cores,
         report.engine_cached_speedup,
         report.shard_speedup_4w,
         report.shard_identical,
+        report.narrow_shard_speedup,
+        report.narrow_shard_identical,
+        report.warm_step_cache_speedup,
+        report.warm_step_identical,
         report.multigpu_ideal_identical,
         report.overlap_bounds_ok,
         report.golden_identical
@@ -296,6 +392,20 @@ fn main() {
     if !report.shard_identical {
         failures
             .push("sharded measurement is not bitwise identical to the 1-worker run".to_string());
+    }
+    if !report.narrow_shard_identical {
+        failures.push(
+            "narrow-layer (row-axis) sharded measurement is not bitwise identical \
+             to the 1-worker run"
+                .to_string(),
+        );
+    }
+    if !report.warm_step_identical {
+        failures.push(
+            "warm step evaluation from the cache file is not bitwise identical to \
+             the cold one (or performed layer replays)"
+                .to_string(),
+        );
     }
     if !report.multigpu_ideal_identical {
         failures.push(
@@ -351,18 +461,31 @@ fn main() {
             report.engine_cached_speedup,
             base.engine_cached_speedup,
         );
-        // The 4-worker floor is only attainable with 4 cores: speedup is
-        // bounded by min(workers, columns, cores), so on 2–3 core hosts
-        // the check would fail with no real regression.
+        // The warm path simulates nothing, so its speedup does not
+        // depend on the core count: gate it everywhere.
+        gate(
+            "warm_step_cache_speedup",
+            report.warm_step_cache_speedup,
+            base.warm_step_cache_speedup,
+        );
+        // The 4-worker floors are only attainable with 4 cores: speedup
+        // is bounded by min(workers, work units, cores), so on 2–3 core
+        // hosts the checks would fail with no real regression.
         if report.cores >= 4 {
             gate(
                 "shard_speedup_4w",
                 report.shard_speedup_4w,
                 base.shard_speedup_4w,
             );
+            gate(
+                "narrow_shard_speedup",
+                report.narrow_shard_speedup,
+                base.narrow_shard_speedup,
+            );
         } else {
             println!(
-                "check shard_speedup_4w: skipped ({} cores; the 4-worker floor needs >= 4)",
+                "check shard_speedup_4w, narrow_shard_speedup: skipped \
+                 ({} cores; the 4-worker floors need >= 4)",
                 report.cores
             );
         }

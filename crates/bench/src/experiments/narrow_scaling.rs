@@ -1,0 +1,149 @@
+//! narrow_scaling — wall-clock speedup of sharded simulation versus
+//! worker count on *narrow* GEMM layers (one or two tile columns).
+//!
+//! The column axis saturates immediately on these layers: with `C`
+//! columns, workers beyond `C` used to idle. Row-level sharding
+//! ([`delta_sim::ShardPlan`] with the `Rows` axis) splits each column's
+//! CTA-batch list instead, so the useful worker ceiling becomes
+//! `columns × simulated batches` ([`Simulator::partition_units`]). This
+//! experiment records the speedup curve past the column count — the
+//! regime the row axis exists for — and, like `shard_scaling`, an
+//! `identical` column asserting the sharded measurement stays bitwise
+//! identical to the one-worker run at every worker count.
+//!
+//! Speedups are bounded by `min(workers, columns × batches, cores)`;
+//! the table title records the host's core count so CI artifacts from
+//! different runners stay interpretable.
+
+use crate::ctx::Ctx;
+use crate::experiments::shard_scaling::time_sharded;
+use crate::table::{f3, Table};
+use delta_model::{ConvLayer, Error, GpuSpec};
+use delta_sim::Simulator;
+
+/// Worker counts swept by the experiment — past the 1–2-column count on
+/// purpose, into row-axis territory.
+pub const WORKER_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+/// The paper networks' early, narrow conv layers — the ones whose GEMMs
+/// have too few tile columns (Co ≤ 128) for the column axis alone.
+///
+/// # Errors
+///
+/// Propagates layer validation failures.
+pub fn narrow_layers(batch: u32) -> Result<Vec<ConvLayer>, Error> {
+    Ok(vec![
+        // ResNet152 conv2 bottleneck 3x3: 64 -> 64 @ 56x56.
+        ConvLayer::builder("resnet152_conv2_3x3")
+            .batch(batch)
+            .input(64, 56, 56)
+            .output_channels(64)
+            .filter(3, 3)
+            .pad(1)
+            .build()?,
+        // ResNet152 conv3 bottleneck 3x3: 128 -> 128 @ 28x28.
+        ConvLayer::builder("resnet152_conv3_3x3")
+            .batch(batch)
+            .input(128, 28, 28)
+            .output_channels(128)
+            .filter(3, 3)
+            .pad(1)
+            .build()?,
+    ])
+}
+
+/// The sweep layer with the fewest tile columns — the one the CI perf
+/// gate times, selected structurally so editing [`narrow_layers`]
+/// cannot silently change what CI measures.
+///
+/// # Errors
+///
+/// Propagates layer validation failures.
+pub fn narrowest_layer(batch: u32) -> Result<ConvLayer, Error> {
+    Ok(narrow_layers(batch)?
+        .into_iter()
+        .min_by_key(|l| delta_model::tiling::LayerTiling::new(l).cta_columns())
+        .expect("narrow_layers is non-empty"))
+}
+
+/// Runs the narrow-layer scaling sweep.
+///
+/// # Errors
+///
+/// Propagates layer validation failures.
+pub fn run(ctx: &Ctx) -> Result<Vec<Table>, Error> {
+    let gpu = GpuSpec::titan_xp();
+    let sim = Simulator::new(gpu, ctx.sim_config);
+    let reps = if ctx.sim_batch <= 4 { 1 } else { 2 };
+    let mut t = Table::new(
+        format!(
+            "narrow_scaling — row-sharded narrow-layer simulation, B={} ({} cores available)",
+            ctx.sim_batch,
+            rayon::current_num_threads()
+        ),
+        &[
+            "layer",
+            "columns",
+            "units",
+            "workers",
+            "seconds",
+            "speedup",
+            "identical",
+        ],
+    );
+    for layer in narrow_layers(ctx.sim_batch)? {
+        let (columns, batches) = sim.partition_units(&layer);
+        let (reference, t1) = time_sharded(&sim, &layer, 1, reps);
+        for workers in WORKER_COUNTS {
+            let (m, secs) = if workers == 1 {
+                (reference, t1)
+            } else {
+                time_sharded(&sim, &layer, workers, reps)
+            };
+            t.push(vec![
+                layer.label().to_string(),
+                columns.to_string(),
+                (columns * batches).to_string(),
+                workers.to_string(),
+                format!("{secs:.4}"),
+                f3(t1 / secs),
+                (m == reference).to_string(),
+            ]);
+        }
+    }
+    Ok(vec![t])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_layers_are_actually_narrow() {
+        for l in narrow_layers(4).unwrap() {
+            let columns = delta_model::tiling::LayerTiling::new(&l).cta_columns();
+            assert!(columns <= 2, "{}: {columns} columns", l.label());
+        }
+        assert_eq!(
+            delta_model::tiling::LayerTiling::new(&narrowest_layer(4).unwrap()).cta_columns(),
+            narrow_layers(4)
+                .unwrap()
+                .iter()
+                .map(|l| delta_model::tiling::LayerTiling::new(l).cta_columns())
+                .min()
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn smoke_run_reports_identical_rows_past_the_column_count() {
+        let ctx = Ctx::smoke();
+        let tables = run(&ctx).unwrap();
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.rows().len(), 2 * WORKER_COUNTS.len());
+        for row in t.rows() {
+            assert_eq!(row[6], "true", "sharded run diverged: {row:?}");
+        }
+    }
+}

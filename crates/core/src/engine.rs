@@ -57,10 +57,17 @@ use std::sync::Mutex;
 
 pub use crate::query::LayerShape;
 
-/// The persistent cache format revision this engine writes and accepts.
+/// The persistent cache format revision this engine writes. v3 adds a
+/// second entry kind — whole-step evaluations keyed on
+/// [`StepQuery::fingerprint`] — next to v2's per-layer query entries.
 /// v1 (the pre-query format keyed on `(shape, pass, devices)`) cannot
 /// express shard/topology axes and is refused with a clear error.
-pub const CACHE_FORMAT_VERSION: u32 = 2;
+pub const CACHE_FORMAT_VERSION: u32 = 3;
+
+/// The oldest persistent format this engine still reads. v2 files load
+/// read-compatibly: their per-layer entries are accepted as-is and the
+/// step-entry section is simply absent.
+pub const CACHE_FORMAT_READ_FLOOR: u32 = 2;
 
 /// One cached result: the query that produced it (kept so the persistent
 /// cache can write structured keys) and the estimate.
@@ -78,9 +85,24 @@ struct CacheFileEntry {
     estimate: LayerEstimate,
 }
 
-/// The on-disk cache format (v2): versioned, query-keyed entries plus
-/// the backend/GPU/sampling fingerprint that guards the knobs a query
-/// does not carry.
+/// One persisted whole-step entry (cache v3): the step fingerprint as
+/// the key, the full table-plus-timeline evaluation as the value. The
+/// fingerprint is label-free, so the engine relabels on every hit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct StepCacheFileEntry {
+    key: String,
+    evaluation: StepEvaluation,
+}
+
+fn no_step_entries() -> Vec<StepCacheFileEntry> {
+    Vec::new()
+}
+
+/// The on-disk cache format (v3): versioned, query-keyed per-layer
+/// entries plus step-keyed whole-step entries, plus the
+/// backend/GPU/sampling fingerprint that guards the knobs a query does
+/// not carry. The `step_entries` default is what makes v2 files load
+/// read-compatibly — they simply have none.
 #[derive(Debug, Serialize, Deserialize)]
 struct CacheFile {
     version: u32,
@@ -88,6 +110,8 @@ struct CacheFile {
     gpu: String,
     config: String,
     entries: Vec<CacheFileEntry>,
+    #[serde(default = "no_step_entries")]
+    step_entries: Vec<StepCacheFileEntry>,
 }
 
 /// Engine tuning knobs; the defaults (parallel, cached) are what every
@@ -118,6 +142,11 @@ pub struct CacheStats {
     pub hits: u64,
     /// Queries that ran a backend evaluation.
     pub misses: u64,
+    /// Whole-step queries answered from the step cache (zero backend
+    /// work, zero replays).
+    pub step_hits: u64,
+    /// Whole-step queries that ran an evaluation.
+    pub step_misses: u64,
 }
 
 impl CacheStats {
@@ -138,8 +167,11 @@ pub struct Engine<B: Backend> {
     backend: B,
     options: EngineOptions,
     cache: Mutex<HashMap<String, CacheSlot>>,
+    step_cache: Mutex<HashMap<String, StepEvaluation>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    step_hits: AtomicU64,
+    step_misses: AtomicU64,
 }
 
 impl<B: Backend> Engine<B> {
@@ -154,8 +186,11 @@ impl<B: Backend> Engine<B> {
             backend,
             options,
             cache: Mutex::new(HashMap::new()),
+            step_cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            step_hits: AtomicU64::new(0),
+            step_misses: AtomicU64::new(0),
         }
     }
 
@@ -174,26 +209,37 @@ impl<B: Backend> Engine<B> {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            step_hits: self.step_hits.load(Ordering::Relaxed),
+            step_misses: self.step_misses.load(Ordering::Relaxed),
         }
     }
 
-    /// Drops all cached results (the counters are preserved).
+    /// Drops all cached results — per-layer and whole-step — (the
+    /// counters are preserved).
     pub fn clear_cache(&self) {
         self.cache.lock().expect("engine cache poisoned").clear();
+        self.step_cache
+            .lock()
+            .expect("engine step cache poisoned")
+            .clear();
     }
 
     /// Serializes the result cache to `path` as versioned JSON
     /// ([`CACHE_FORMAT_VERSION`]), so a later process can
     /// [`Engine::load_cache`] it and skip re-evaluating queries it has
-    /// already answered. Every entry carries its full [`EvalQuery`] as
-    /// the key, so shard/device/interconnect/topology configurations
-    /// coexist in one file; the header additionally records the backend
-    /// name, GPU name, and [`Backend::config_fingerprint`] guarding the
-    /// knobs a query does not carry (sampling limits). Entries are
-    /// written in a deterministic order (sorted by fingerprint) and the
-    /// write is atomic (temp file + rename), so a concurrent reader
-    /// never sees a truncated file. Returns the number of entries
-    /// written.
+    /// already answered. Every per-layer entry carries its full
+    /// [`EvalQuery`] as the key, so
+    /// shard/device/interconnect/topology configurations coexist in one
+    /// file; whole-step results are written as a second entry kind
+    /// keyed on [`StepQuery::fingerprint`], which is what lets a warm
+    /// process answer a repeated `evaluate_step` with zero backend
+    /// work. The header additionally records the backend name, GPU
+    /// name, and [`Backend::config_fingerprint`] guarding the knobs a
+    /// query does not carry (sampling limits). Entries of both kinds
+    /// are written in a deterministic order (sorted by fingerprint) and
+    /// the write is atomic (temp file + rename), so a concurrent reader
+    /// never sees a truncated file. Returns the total number of entries
+    /// written (per-layer plus step).
     ///
     /// # Errors
     ///
@@ -215,13 +261,25 @@ impl<B: Backend> Engine<B> {
                 .collect()
         };
         entries.sort_by(|(a, _), (b, _)| a.cmp(b));
-        let n = entries.len();
+        let mut step_entries: Vec<StepCacheFileEntry> = {
+            let step_cache = self.step_cache.lock().expect("engine step cache poisoned");
+            step_cache
+                .iter()
+                .map(|(key, evaluation)| StepCacheFileEntry {
+                    key: key.clone(),
+                    evaluation: evaluation.clone(),
+                })
+                .collect()
+        };
+        step_entries.sort_by(|a, b| a.key.cmp(&b.key));
+        let n = entries.len() + step_entries.len();
         let file = CacheFile {
             version: CACHE_FORMAT_VERSION,
             backend: self.backend.name().to_string(),
             gpu: self.backend.gpu().name().to_string(),
             config: self.backend.config_fingerprint(),
             entries: entries.into_iter().map(|(_, e)| e).collect(),
+            step_entries,
         };
         let json = serde_json::to_string_pretty(&file)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
@@ -241,16 +299,20 @@ impl<B: Backend> Engine<B> {
     }
 
     /// Loads a cache file previously written by [`Engine::save_cache`]
-    /// into this engine's cache (merging over anything already present).
-    /// Returns the number of entries loaded.
+    /// into this engine's caches (merging over anything already
+    /// present). Returns the total number of entries loaded (per-layer
+    /// plus step).
     ///
     /// Loaded results are served as cache hits; the backend is never
     /// consulted for them. Three guards apply, in order:
     ///
-    /// 1. **format version** — a file without a `version` field is the
-    ///    pre-query v1 format and is refused with a "cache format v1,
-    ///    expected v2" error (its `(shape, pass, devices)` keys cannot
-    ///    express the query axes); any other version is refused too;
+    /// 1. **format version** — v3 files load in full; v2 files load
+    ///    read-compatibly (their per-layer entries are accepted, the
+    ///    step section is absent). A file without a `version` field is
+    ///    the pre-query v1 format and is refused with a "cache format
+    ///    v1, expected v3" error (its `(shape, pass, devices)` keys
+    ///    cannot express the query axes); versions newer than v3 are
+    ///    refused too;
     /// 2. **backend/GPU/sampling fingerprint** — the header must match
     ///    this engine's backend exactly (these knobs are not part of the
     ///    query key);
@@ -270,19 +332,24 @@ impl<B: Backend> Engine<B> {
         let probe: Value = serde_json::from_str(&text)
             .map_err(|e| invalid(format!("malformed cache file {}: {e}", path.display())))?;
         match probe.get("version") {
-            Some(Value::U64(v)) if *v == u64::from(CACHE_FORMAT_VERSION) => {}
+            Some(Value::U64(v))
+                if (u64::from(CACHE_FORMAT_READ_FLOOR)..=u64::from(CACHE_FORMAT_VERSION))
+                    .contains(v) => {}
             None => {
                 return Err(invalid(format!(
                     "cache file {} is cache format v1 (pre-query, no `version` field), \
-                     expected v{CACHE_FORMAT_VERSION}: its (shape, pass, devices) keys cannot \
-                     express the query's shard/interconnect/topology axes — delete the file \
-                     and let this binary regenerate it",
+                     expected v{CACHE_FORMAT_VERSION} (v{CACHE_FORMAT_READ_FLOOR} files are \
+                     still read): its (shape, pass, devices) keys cannot express the query's \
+                     shard/interconnect/topology axes — delete the file and let this binary \
+                     regenerate it",
                     path.display()
                 )))
             }
             Some(other) => {
                 return Err(invalid(format!(
-                    "cache file {} is cache format v{}, expected v{CACHE_FORMAT_VERSION}",
+                    "cache file {} is cache format v{}, expected \
+                     v{CACHE_FORMAT_VERSION} (v{CACHE_FORMAT_READ_FLOOR} files load \
+                     read-compatibly)",
                     path.display(),
                     match other {
                         Value::U64(v) => v.to_string(),
@@ -316,16 +383,22 @@ impl<B: Backend> Engine<B> {
                 self.backend.config_fingerprint()
             )));
         }
-        let n = file.entries.len();
-        let mut cache = self.cache.lock().expect("engine cache poisoned");
-        for e in file.entries {
-            cache.insert(
-                e.query.fingerprint(),
-                CacheSlot {
-                    query: e.query,
-                    estimate: e.estimate,
-                },
-            );
+        let n = file.entries.len() + file.step_entries.len();
+        {
+            let mut cache = self.cache.lock().expect("engine cache poisoned");
+            for e in file.entries {
+                cache.insert(
+                    e.query.fingerprint(),
+                    CacheSlot {
+                        query: e.query,
+                        estimate: e.estimate,
+                    },
+                );
+            }
+        }
+        let mut step_cache = self.step_cache.lock().expect("engine step cache poisoned");
+        for e in file.step_entries {
+            step_cache.insert(e.key, e.evaluation);
         }
         Ok(n)
     }
@@ -378,21 +451,59 @@ impl<B: Backend> Engine<B> {
     /// derived from **one** evaluation pass over the step's unique layer
     /// shapes.
     ///
-    /// Under `Single`/`Sharded` parallelism the step is assembled from
-    /// per-pass queries through the cache (parallel fan-out, repeats and
-    /// previously-loaded results served without replay) and the serial
-    /// timeline is derived from the cached estimates — bitwise what
-    /// [`Backend::evaluate_step`] would answer. Under `Multi` the
-    /// backend always runs (its overlapped timeline needs per-device
-    /// measurement detail that cached estimates do not carry), and the
-    /// engine folds the step's per-pass estimates into its cache so
-    /// later calls hit. Counters: each unique pass query counts as one
-    /// miss, each repeat (or cache-served query) as one hit.
+    /// The whole step is consulted against the **step cache** first
+    /// (cache v3's second entry kind, keyed on
+    /// [`StepQuery::fingerprint`]): a hit answers with zero backend
+    /// work — no per-pass queries, no replays — after relabeling the
+    /// rows and spans to this query's layer labels (the fingerprint is
+    /// label-free). A miss evaluates and stores the result, so any
+    /// repeated `evaluate_step` — same process or warmed through
+    /// [`Engine::load_cache`] — skips evaluation entirely.
+    ///
+    /// On a miss, under `Single`/`Sharded` parallelism the step is
+    /// assembled from per-pass queries through the per-layer cache
+    /// (parallel fan-out, repeats and previously-loaded results served
+    /// without replay) and the serial timeline is derived from the
+    /// cached estimates — bitwise what [`Backend::evaluate_step`] would
+    /// answer. Under `Multi` the backend runs (its overlapped timeline
+    /// needs per-device measurement detail that cached estimates do not
+    /// carry), and the engine folds the step's per-pass estimates into
+    /// its per-layer cache so later pass queries hit too. Counters:
+    /// each unique pass query counts as one miss, each repeat (or
+    /// cache-served query) as one hit; whole-step lookups count under
+    /// [`CacheStats::step_hits`]/[`CacheStats::step_misses`].
     ///
     /// # Errors
     ///
     /// Propagates pass-construction and estimation failures.
     pub fn evaluate_step(&self, query: &StepQuery) -> Result<StepEvaluation, Error> {
+        if !self.options.cache {
+            self.step_misses.fetch_add(1, Ordering::Relaxed);
+            return self.evaluate_step_fresh(query);
+        }
+        let key = query.fingerprint();
+        let cached = self
+            .step_cache
+            .lock()
+            .expect("engine step cache poisoned")
+            .get(&key)
+            .cloned();
+        if let Some(hit) = cached {
+            self.step_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(relabel_step(hit, query));
+        }
+        self.step_misses.fetch_add(1, Ordering::Relaxed);
+        let result = self.evaluate_step_fresh(query)?;
+        self.step_cache
+            .lock()
+            .expect("engine step cache poisoned")
+            .insert(key, result.clone());
+        Ok(result)
+    }
+
+    /// The step-cache miss path: evaluate the step from scratch (per
+    /// the parallelism split documented on [`Engine::evaluate_step`]).
+    fn evaluate_step_fresh(&self, query: &StepQuery) -> Result<StepEvaluation, Error> {
         if !matches!(query.parallelism, Parallelism::Multi { .. }) {
             return self.step_from_queries(query);
         }
@@ -549,6 +660,56 @@ impl<B: Backend> Engine<B> {
             queries.iter().map(|q| self.backend.evaluate(q)).collect()
         }
     }
+}
+
+/// Rewrites a cached step evaluation's labels to `query`'s layer
+/// labels. [`StepQuery::fingerprint`] is label-free, so a step-cache
+/// hit may come from a step whose layers were named differently; every
+/// numeric field is already bitwise what a fresh evaluation would
+/// produce, and the labels are a pure function of the query. Row `i`
+/// takes layer `i`'s label; in the compute stream the `k`-th forward
+/// span is layer `k` and the `j`-th dgrad/wgrad span is layer `L−1−j`
+/// (the serial-order convention shared by
+/// [`crate::backend::serial_step_spans`] and the collective
+/// scheduler); all-reduce spans are re-bucketized from this query's
+/// gradient payloads in ready (reverse-layer) order and labeled via
+/// [`crate::schedule::bucket_label`].
+fn relabel_step(mut eval: StepEvaluation, query: &StepQuery) -> StepEvaluation {
+    let labels: Vec<&str> = query.layers.iter().map(ConvLayer::label).collect();
+    let n = labels.len();
+    for (row, label) in eval.table.rows.iter_mut().zip(&labels) {
+        row.label = (*label).to_string();
+    }
+    let grads: Vec<u64> = query
+        .layers
+        .iter()
+        .rev()
+        .map(ConvLayer::filter_bytes)
+        .collect();
+    let rev_labels: Vec<&str> = labels.iter().rev().copied().collect();
+    let buckets = crate::schedule::bucketize(&grads, u64::from(query.bucket_mb) << 20);
+    for dev in &mut eval.timeline.per_device {
+        let (mut fwd, mut dgrad, mut wgrad) = (0usize, 0usize, 0usize);
+        let next = |c: &mut usize| {
+            let i = *c;
+            *c += 1;
+            i
+        };
+        for span in &mut dev.compute {
+            use crate::schedule::SpanKind;
+            let label = match span.kind {
+                SpanKind::Forward => labels[next(&mut fwd)],
+                SpanKind::Dgrad => labels[n - 1 - next(&mut dgrad)],
+                SpanKind::Wgrad => labels[n - 1 - next(&mut wgrad)],
+                SpanKind::AllReduce => continue,
+            };
+            span.label = label.to_string();
+        }
+        for (k, (span, b)) in dev.comm.iter_mut().zip(&buckets).enumerate() {
+            span.label = crate::schedule::bucket_label(k, b, &rev_labels);
+        }
+    }
+    eval
 }
 
 /// One labeled per-layer result inside a [`NetworkEvaluation`].
@@ -957,7 +1118,7 @@ mod tests {
         assert_eq!(saved, 3, "two unique shapes + one multi entry");
         // The file is the versioned format.
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("\"version\": 2"), "{text}");
+        assert!(text.contains("\"version\": 3"), "{text}");
 
         // A fresh engine answers everything from the loaded file.
         let fresh = Engine::new(Delta::new(GpuSpec::titan_xp()));
@@ -1017,20 +1178,136 @@ mod tests {
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         let msg = err.to_string();
         assert!(msg.contains("cache format v1"), "{msg}");
-        assert!(msg.contains("expected v2"), "{msg}");
+        assert!(msg.contains("expected v3"), "{msg}");
+        assert!(msg.contains("v2"), "refusal names the read floor: {msg}");
         // Nothing was loaded.
         engine.evaluate(&fwd(&conv("x", 16, 14, 32))).unwrap();
         assert_eq!(engine.cache_stats().misses, 1);
 
-        // A future version number is refused too, mentioning both.
+        // A future version number is refused too, mentioning both the
+        // written version and the read floor.
         std::fs::write(
             &path,
-            r#"{"version": 3, "backend": "model", "gpu": "TITAN Xp", "config": "", "entries": []}"#,
+            r#"{"version": 4, "backend": "model", "gpu": "TITAN Xp", "config": "", "entries": []}"#,
         )
         .unwrap();
         let err = engine.load_cache(&path).unwrap_err();
-        assert!(err.to_string().contains("v3"), "{err}");
-        assert!(err.to_string().contains("expected v2"), "{err}");
+        assert!(err.to_string().contains("v4"), "{err}");
+        assert!(err.to_string().contains("expected v3"), "{err}");
+        assert!(err.to_string().contains("v2"), "{err}");
+    }
+
+    #[test]
+    fn v2_cache_files_load_read_compatibly() {
+        // A v2 file is a v3 file minus the step-entry section: its
+        // per-layer entries must load and serve hits, with no step
+        // entries present.
+        let dir = std::env::temp_dir().join("delta_engine_cache_v2_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let v3_path = dir.join("v3.json");
+        let v2_path = dir.join("v2.json");
+        let net = repeated_net();
+        let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        engine.evaluate_network(&net, &Parallelism::Single).unwrap();
+        let saved = engine.save_cache(&v3_path).unwrap();
+        assert_eq!(saved, 2, "two unique shapes");
+
+        // Rewrite the saved file as a faithful v2 document: version 2,
+        // no `step_entries` field at all.
+        let text = std::fs::read_to_string(&v3_path).unwrap();
+        let mut doc: Value = serde_json::from_str(&text).unwrap();
+        if let Value::Map(fields) = &mut doc {
+            fields.retain(|(k, _)| k != "step_entries");
+            for (k, val) in fields.iter_mut() {
+                if k == "version" {
+                    *val = Value::U64(2);
+                }
+            }
+        } else {
+            panic!("cache file is a JSON object");
+        }
+        std::fs::write(&v2_path, serde_json::to_string(&doc).unwrap()).unwrap();
+
+        let fresh = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        assert_eq!(fresh.load_cache(&v2_path).unwrap(), 2);
+        fresh.evaluate_network(&net, &Parallelism::Single).unwrap();
+        assert_eq!(fresh.cache_stats().misses, 0, "served from the v2 file");
+        assert_eq!(fresh.cache_stats().hits, net.len() as u64);
+    }
+
+    #[test]
+    fn step_cache_round_trips_and_relabels() {
+        let engine = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        let net = vec![conv("first", 3, 28, 16), conv("second", 16, 28, 32)];
+        let step = StepQuery::new(&net, Parallelism::Single);
+        let cold = engine.evaluate_step(&step).unwrap();
+        assert_eq!(engine.cache_stats().step_misses, 1);
+        assert_eq!(engine.cache_stats().step_hits, 0);
+
+        // Warm repeat: answered from the step cache, zero per-pass
+        // lookups, bitwise-equal result.
+        let before = engine.cache_stats();
+        let warm = engine.evaluate_step(&step).unwrap();
+        assert_eq!(warm, cold);
+        let after = engine.cache_stats();
+        assert_eq!(after.step_hits, 1);
+        assert_eq!(after.step_misses, 1);
+        assert_eq!(after.hits, before.hits, "no per-pass lookups on a step hit");
+        assert_eq!(after.misses, before.misses);
+
+        // Renamed layers share the (label-free) fingerprint; the hit is
+        // relabeled to bitwise what a fresh engine computes.
+        let renamed: Vec<ConvLayer> = net
+            .iter()
+            .enumerate()
+            .map(|(i, l)| l.with_label(format!("renamed{i}")))
+            .collect();
+        let renamed_step = StepQuery::new(&renamed, Parallelism::Single);
+        let hit = engine.evaluate_step(&renamed_step).unwrap();
+        assert_eq!(engine.cache_stats().step_hits, 2);
+        let fresh = Engine::new(Delta::new(GpuSpec::titan_xp()))
+            .evaluate_step(&renamed_step)
+            .unwrap();
+        assert_eq!(hit, fresh);
+        assert_eq!(hit.table.rows[0].label, "renamed0");
+        assert_eq!(hit.timeline.per_device[0].compute[0].label, "renamed0");
+
+        // Round-trip through a v3 file: a fresh engine answers the step
+        // from the file with zero backend work.
+        let dir = std::env::temp_dir().join("delta_engine_step_cache_test");
+        let path = dir.join("cache.json");
+        let saved = engine.save_cache(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"step_entries\""), "{text}");
+        let loaded = Engine::new(Delta::new(GpuSpec::titan_xp()));
+        assert_eq!(loaded.load_cache(&path).unwrap(), saved);
+        let from_file = loaded.evaluate_step(&step).unwrap();
+        assert_eq!(from_file, cold);
+        assert_eq!(loaded.cache_stats().step_hits, 1);
+        assert_eq!(loaded.cache_stats().misses, 0, "no backend evaluations");
+
+        // clear_cache drops the step side too.
+        loaded.clear_cache();
+        loaded.evaluate_step(&step).unwrap();
+        assert_eq!(loaded.cache_stats().step_misses, 1);
+    }
+
+    #[test]
+    fn uncached_engines_skip_the_step_cache() {
+        let engine = Engine::with_options(
+            Delta::new(GpuSpec::titan_xp()),
+            EngineOptions {
+                parallel: false,
+                cache: false,
+            },
+        );
+        let net = vec![conv("a", 3, 28, 16), conv("b", 16, 28, 32)];
+        let step = StepQuery::new(&net, Parallelism::Single);
+        let first = engine.evaluate_step(&step).unwrap();
+        let second = engine.evaluate_step(&step).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(engine.cache_stats().step_misses, 2, "every call evaluates");
+        assert_eq!(engine.cache_stats().step_hits, 0);
     }
 
     #[test]

@@ -261,6 +261,65 @@ impl fmt::Display for StepTimeline {
     }
 }
 
+/// One gradient bucket: the positions (into the ready-ordered gradient
+/// list handed to [`bucketize`]) it covers, and their total bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GradBucket {
+    /// Indices into the bucketized slice, in ready order.
+    pub items: Vec<usize>,
+    /// Sum of the covered gradients' bytes.
+    pub bytes: u64,
+}
+
+/// Partitions `grad_bytes` (per-gradient byte counts, already in
+/// all-reduce-ready order — i.e. reverse layer order for backprop) into
+/// buckets of at least `bucket_bytes` each, closing a bucket as soon as
+/// it reaches the threshold.
+///
+/// The partition is **ordered, disjoint, and exhaustive**: concatenating
+/// the buckets' `items` re-yields `0..grad_bytes.len()` exactly, and the
+/// buckets' `bytes` sum to the input's total. Gradients are never split
+/// across buckets (a single gradient larger than `bucket_bytes` gets a
+/// bucket of its own size); `bucket_bytes` larger than the whole model
+/// yields a single bucket, and `bucket_bytes == 0` degenerates to one
+/// bucket per gradient.
+pub fn bucketize(grad_bytes: &[u64], bucket_bytes: u64) -> Vec<GradBucket> {
+    let mut buckets = Vec::new();
+    let mut items = Vec::new();
+    let mut bytes = 0u64;
+    for (i, &b) in grad_bytes.iter().enumerate() {
+        items.push(i);
+        bytes += b;
+        if bytes >= bucket_bytes {
+            buckets.push(GradBucket {
+                items: std::mem::take(&mut items),
+                bytes,
+            });
+            bytes = 0;
+        }
+    }
+    if !items.is_empty() {
+        buckets.push(GradBucket { items, bytes });
+    }
+    buckets
+}
+
+/// The canonical all-reduce span label for bucket `k`: its size in MiB
+/// and the range of (ready-ordered) gradient labels it covers. Shared
+/// by the collective scheduler and the engine's step-cache relabeling,
+/// so a warm step-cache hit reproduces a fresh schedule's span labels
+/// bitwise.
+pub fn bucket_label(k: usize, bucket: &GradBucket, ready_labels: &[&str]) -> String {
+    let first = ready_labels[*bucket.items.first().expect("buckets are non-empty")];
+    let last = ready_labels[*bucket.items.last().expect("buckets are non-empty")];
+    let mib = bucket.bytes as f64 / (1 << 20) as f64;
+    if first == last {
+        format!("bucket {k} ({mib:.2} MiB: {first})")
+    } else {
+        format!("bucket {k} ({mib:.2} MiB: {first}..{last})")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +381,21 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: StepTimeline = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn bucket_labels_render_single_and_ranged_buckets() {
+        let buckets = bucketize(&[8 << 20, 8 << 20, 4 << 20], 16 << 20);
+        assert_eq!(buckets.len(), 2);
+        let labels = ["l2", "l1", "l0"];
+        assert_eq!(
+            bucket_label(0, &buckets[0], &labels),
+            "bucket 0 (16.00 MiB: l2..l1)"
+        );
+        assert_eq!(
+            bucket_label(1, &buckets[1], &labels),
+            "bucket 1 (4.00 MiB: l0)"
+        );
     }
 
     #[test]

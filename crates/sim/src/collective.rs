@@ -38,53 +38,16 @@ use crate::topology::Topology;
 use delta_model::backend::serial_step_spans;
 use delta_model::engine::{LayerShape, TrainingRow, TrainingStepEvaluation};
 use delta_model::query::{Parallelism, StepEvaluation, StepQuery};
-use delta_model::schedule::{DeviceTimeline, Span, SpanKind, StepTimeline};
+use delta_model::schedule::{bucket_label, DeviceTimeline, Span, SpanKind, StepTimeline};
 use delta_model::{training, ConvLayer, Error};
 use rayon::prelude::*;
 use std::collections::HashMap;
 
-/// One gradient bucket: the positions (into the ready-ordered gradient
-/// list handed to [`bucketize`]) it covers, and their total bytes.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct GradBucket {
-    /// Indices into the bucketized slice, in ready order.
-    pub items: Vec<usize>,
-    /// Sum of the covered gradients' bytes.
-    pub bytes: u64,
-}
-
-/// Partitions `grad_bytes` (per-gradient byte counts, already in
-/// all-reduce-ready order — i.e. reverse layer order for backprop) into
-/// buckets of at least `bucket_bytes` each, closing a bucket as soon as
-/// it reaches the threshold.
-///
-/// The partition is **ordered, disjoint, and exhaustive**: concatenating
-/// the buckets' `items` re-yields `0..grad_bytes.len()` exactly, and the
-/// buckets' `bytes` sum to the input's total. Gradients are never split
-/// across buckets (a single gradient larger than `bucket_bytes` gets a
-/// bucket of its own size); `bucket_bytes` larger than the whole model
-/// yields a single bucket, and `bucket_bytes == 0` degenerates to one
-/// bucket per gradient.
-pub fn bucketize(grad_bytes: &[u64], bucket_bytes: u64) -> Vec<GradBucket> {
-    let mut buckets = Vec::new();
-    let mut items = Vec::new();
-    let mut bytes = 0u64;
-    for (i, &b) in grad_bytes.iter().enumerate() {
-        items.push(i);
-        bytes += b;
-        if bytes >= bucket_bytes {
-            buckets.push(GradBucket {
-                items: std::mem::take(&mut items),
-                bytes,
-            });
-            bytes = 0;
-        }
-    }
-    if !items.is_empty() {
-        buckets.push(GradBucket { items, bytes });
-    }
-    buckets
-}
+// The bucketizer moved into the core crate (cache v3's step-cache
+// relabeling needs it to rebuild all-reduce span labels on a hit);
+// re-exported here so existing `collective::bucketize` callers keep
+// compiling unchanged.
+pub use delta_model::schedule::{bucketize, GradBucket};
 
 /// One layer's pass durations and gradient payload — the compute-side
 /// input to [`schedule_step`].
@@ -171,21 +134,8 @@ pub fn schedule_step(
         chan_end = start + dur;
         comm_seconds += dur;
         serial_end += dur;
-        let first = labels[*b.items.first().expect("buckets are non-empty")];
-        let last = labels[*b.items.last().expect("buckets are non-empty")];
-        let label = if first == last {
-            format!(
-                "bucket {k} ({:.2} MiB: {first})",
-                b.bytes as f64 / (1 << 20) as f64
-            )
-        } else {
-            format!(
-                "bucket {k} ({:.2} MiB: {first}..{last})",
-                b.bytes as f64 / (1 << 20) as f64
-            )
-        };
         comm.push(Span {
-            label,
+            label: bucket_label(k, b, &labels),
             kind: SpanKind::AllReduce,
             start_seconds: start,
             end_seconds: chan_end,

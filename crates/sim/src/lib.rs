@@ -92,6 +92,6 @@ pub use dram::DramChannelModel;
 pub use hierarchy::{HierarchyStats, MemoryHierarchy, MergeableHierarchy};
 pub use interconnect::{Interconnect, InterconnectKind};
 pub use multigpu::{DevicePlan, MultiGpuMeasurement};
-pub use shard::ShardPlan;
+pub use shard::{ColumnSegment, ShardAxis, ShardPlan};
 pub use sim::{Measurement, SimConfig, Simulator};
 pub use topology::{Topology, TopologyKind};

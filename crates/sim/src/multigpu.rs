@@ -96,8 +96,11 @@ impl DevicePlan {
         &self.minibatch
     }
 
-    /// Devices that own at least one tile column; the rest idle (a
-    /// narrow GEMM cannot occupy more devices than it has columns).
+    /// Devices that own at least one tile column under the plan's
+    /// column-axis view. The simulator's actual replay may spread a
+    /// narrow layer's tall columns over *more* devices via row-level
+    /// sharding — [`MultiGpuMeasurement::active_devices`] reports the
+    /// effective count.
     pub fn active_devices(&self) -> u32 {
         self.columns
             .shards()
@@ -132,7 +135,8 @@ pub struct MultiGpuMeasurement {
     pub link_seconds: f64,
     /// Devices the plan spanned.
     pub devices: u32,
-    /// Devices that owned at least one tile column.
+    /// Devices that performed replay work (whole columns, or row-level
+    /// sub-ranges of a tall column when devices outnumber columns).
     pub active_devices: u32,
 }
 
@@ -205,7 +209,12 @@ impl Simulator {
         // Scalar preset, or topology-derived parameters when a graph is
         // named.
         let ic: Interconnect = crate::sim::fabric_of(interconnect, topology, plan.devices());
-        let active = plan.active_devices();
+        // Devices that actually replayed work. With row-level sharding
+        // this can exceed the column count ([`DevicePlan::
+        // active_devices`] is the column-axis view): a narrow layer's
+        // tall columns split across devices, and each participating
+        // device refetches the IFmap halo.
+        let active = run.per_shard_cycles.iter().filter(|c| **c > 0.0).count() as u32;
         let ifmap = layer.ifmap_bytes() as f64;
         MultiGpuMeasurement {
             merged: run.measurement,
@@ -320,6 +329,38 @@ mod tests {
                 .count(),
             4
         );
+    }
+
+    #[test]
+    fn narrow_layer_spreads_over_more_devices_than_columns() {
+        // Co = 128 -> at most 2 tile columns, but 64 samples make the
+        // columns tall: row-level sharding hands every device a batch
+        // sub-range, so the fleet no longer idles at 2.
+        let l = ConvLayer::builder("narrow")
+            .batch(64)
+            .input(64, 14, 14)
+            .output_channels(128)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap();
+        let s = sim(InterconnectKind::Ideal);
+        let cols = s.tiling(&l).cta_columns();
+        assert!(cols <= 2);
+        let reference = s.run_sharded(&l, 1);
+        let eight = s.run_multi(&l, 8);
+        assert_eq!(eight.merged, reference, "identity survives the row axis");
+        assert!(
+            eight.active_devices > cols as u32,
+            "active {} should beat the {cols}-column cap",
+            eight.active_devices
+        );
+        assert_eq!(
+            eight.per_device_cycles.iter().filter(|c| **c > 0.0).count() as u32,
+            eight.active_devices
+        );
+        // More devices than (columns x simulated batches) still idle.
+        assert!(eight.max_device_cycles() < s.run_multi(&l, 1).max_device_cycles());
     }
 
     #[test]

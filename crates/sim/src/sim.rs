@@ -17,7 +17,7 @@ use crate::coalesce::Transaction;
 use crate::hierarchy::{HierarchyStats, MemoryHierarchy, MergeableHierarchy};
 use crate::interconnect::{Interconnect, InterconnectKind};
 use crate::sched::ColumnScheduler;
-use crate::shard::ShardPlan;
+use crate::shard::{ColumnSegment, ShardAxis, ShardPlan};
 use crate::stages::{BatchLimits, BatchStats, CtaBatch, SteadyState};
 use crate::tensor::TensorMap;
 use crate::timing::TimingEngine;
@@ -222,6 +222,14 @@ impl Simulator {
     /// How many full-layer replays (sequential, sharded, or per-device)
     /// this simulator has performed. Clones share the counter, so the
     /// count survives the engine's parallel fan-out.
+    ///
+    /// The unit is one *layer* replay regardless of how the work was
+    /// partitioned internally: a row-sharded run that splits a column
+    /// into sub-ranges (each with its private warm-up batch) still
+    /// counts as exactly one replay, the same as the sequential and
+    /// column-sharded paths — the counter answers "how many times was
+    /// this layer simulated", not "how many worker tasks ran". A warm
+    /// step-cache hit performs zero replays.
     pub fn replay_count(&self) -> u64 {
         self.replays.load(Ordering::Relaxed)
     }
@@ -240,6 +248,23 @@ impl Simulator {
     /// plus any configured tile scaling).
     pub fn tiling(&self, layer: &ConvLayer) -> LayerTiling {
         LayerTiling::with_scale(layer, self.config.tile_scale)
+    }
+
+    /// The two partitioning axes [`ShardPlan::auto`] can split `layer`
+    /// on: `(tile columns, simulated CTA batches per column)`. Their
+    /// product is the row-axis work-unit count — the true ceiling on
+    /// useful shard/device parallelism for this layer (the batch count
+    /// reflects [`SimConfig::max_batches_per_column`] sampling, exactly
+    /// as the sharded runner sees it).
+    pub fn partition_units(&self, layer: &ConvLayer) -> (u64, u64) {
+        let tiling = self.tiling(layer);
+        let sched = ColumnScheduler::new(&tiling, &self.gpu, self.active_ctas(tiling.tile()));
+        let batches = sched.batches_per_column();
+        let sim_batches = self
+            .config
+            .max_batches_per_column
+            .map_or(batches, |m| batches.min(m.max(1)));
+        (sched.columns(), sim_batches)
     }
 
     /// The effective point-to-point fabric pricing for a `devices`-wide
@@ -380,6 +405,14 @@ impl Simulator {
     /// matches the analytical model's per-column IFmap refetch assumption
     /// (paper Eq. 10) and typically moves measurements by a few percent
     /// on multi-column layers; single-column layers are unaffected.
+    ///
+    /// When `n_workers` exceeds the column count the plan switches to
+    /// the row axis ([`ShardPlan::auto`]): each worker replays a
+    /// contiguous sub-range of a column's CTA-batch list (preceded by
+    /// one discarded warm-up batch when the range does not start the
+    /// column), and the merge reconstructs the sequential column's
+    /// statistics and f64 accumulation order exactly — so narrow layers
+    /// scale past their column count with the identity intact.
     pub fn run_sharded(&self, layer: &ConvLayer, n_workers: u32) -> Measurement {
         self.run_sharded_detail(layer, n_workers).measurement
     }
@@ -394,12 +427,21 @@ impl Simulator {
         let active = self.active_ctas(tile);
         let map = TensorMap::new(layer);
         let sched = ColumnScheduler::new(&tiling, &self.gpu, active);
-        let plan = ShardPlan::partition(sched.columns(), n_workers);
+        let batches = sched.batches_per_column();
+        let sim_batches = self
+            .config
+            .max_batches_per_column
+            .map_or(batches, |m| batches.min(m.max(1)));
+        let plan = ShardPlan::auto(sched.columns(), sim_batches, n_workers);
 
         // The prologue is charged once per layer, as in the sequential
         // path.
         let mut prologue = TimingEngine::new(&self.gpu, tile);
         self.charge_layer_prologue(&mut prologue, tile);
+
+        if plan.axis() == ShardAxis::Rows {
+            return self.run_row_sharded(&plan, &map, &sched, &tiling, active, &prologue);
+        }
 
         let simulate_shard = |range: &std::ops::Range<u64>| {
             let mut out = Vec::with_capacity((range.end - range.start) as usize);
@@ -489,6 +531,191 @@ impl Simulator {
         }
     }
 
+    /// The row-axis sharded replay: each worker owns contiguous
+    /// sub-ranges of the columns' CTA-batch lists ([`ShardPlan::
+    /// partition_rows`]). A sub-range that does not start its column
+    /// first replays the immediately preceding batch against its fresh
+    /// hierarchy with a scratch timing engine (charges discarded) — one
+    /// batch of warm-up is enough to reproduce the sequential column's
+    /// per-batch statistics bitwise (per-batch traffic within a column
+    /// is stationary; see the probe test below). The merge then walks
+    /// columns in ascending order, folds each column's recorded cycle
+    /// charges in batch order from zero (the timing engine's charges
+    /// are pure functions of their arguments, so this reconstructs the
+    /// sequential column's f64 accumulation exactly), and runs the
+    /// steady-state batch extrapolation over the reassembled per-batch
+    /// stats — yielding a [`Measurement`] bitwise identical to the
+    /// column-axis plan's for every worker count.
+    fn run_row_sharded(
+        &self,
+        plan: &ShardPlan,
+        map: &TensorMap,
+        sched: &ColumnScheduler,
+        tiling: &LayerTiling,
+        active: u32,
+        prologue: &TimingEngine,
+    ) -> ShardedRun {
+        let batches = sched.batches_per_column();
+        let sim_batches = plan.batches();
+
+        let simulate_shard = |shard: usize| {
+            let mut tx_buf = Vec::with_capacity(64);
+            plan.shard_segments(shard)
+                .iter()
+                .map(|seg| self.simulate_segment(map, sched, tiling, active, seg, &mut tx_buf))
+                .collect::<Vec<SegmentSim>>()
+        };
+        // Same nested-parallelism guard as the column axis: inside the
+        // engine's layer fan-out, walk the shards on this thread.
+        let shard_ids: Vec<usize> = (0..plan.n_workers()).collect();
+        let shard_outcomes: Vec<Vec<SegmentSim>> = if rayon::current_thread_index().is_some() {
+            shard_ids.iter().map(|&s| simulate_shard(s)).collect()
+        } else {
+            shard_ids.par_iter().map(|&s| simulate_shard(s)).collect()
+        };
+
+        // Per-shard critical paths: an active shard charges its own
+        // layer prologue plus the simulated work of its segments
+        // (warm-up replays are simulator overhead, not modeled GPU
+        // work, so they are not charged); an empty shard is idle.
+        let mut per_shard_cycles: Vec<f64> = shard_outcomes
+            .iter()
+            .map(|segs| {
+                if segs.is_empty() {
+                    0.0
+                } else {
+                    prologue.cycles() + segs.iter().map(|s| s.cycles).sum::<f64>()
+                }
+            })
+            .collect();
+
+        // Merge in ascending (column, batch) order — the flattened
+        // segment list is already sorted because shards own contiguous
+        // ascending unit ranges.
+        let flat: Vec<(usize, &SegmentSim)> = shard_outcomes
+            .iter()
+            .enumerate()
+            .flat_map(|(s, segs)| segs.iter().map(move |seg| (s, seg)))
+            .collect();
+        let mut hstats = HierarchyStats::default();
+        let mut measured = Totals::default();
+        let mut extrapolated = Totals::default();
+        let mut cycles = prologue.cycles();
+        let mut simulated_ctas = 0u64;
+        let mut sampled = false;
+        let mut pos = 0usize;
+        for col in 0..plan.columns() {
+            let mut col_stats: Vec<BatchStats> = Vec::with_capacity(sim_batches as usize);
+            let mut col_hs = HierarchyStats::default();
+            let mut col_cycles = 0.0;
+            let mut next_b = 0u64;
+            let mut last_shard = 0usize;
+            while pos < flat.len() && flat[pos].1.col == col {
+                let (shard, seg) = flat[pos];
+                assert_eq!(
+                    seg.first_batch, next_b,
+                    "row merge must walk column {col}'s batches in order"
+                );
+                next_b += seg.stats.len() as u64;
+                col_hs.merge(&seg.delta);
+                for t in &seg.charges {
+                    col_cycles += t;
+                }
+                col_stats.extend_from_slice(&seg.stats);
+                simulated_ctas += seg.simulated_ctas;
+                last_shard = shard;
+                pos += 1;
+            }
+            assert_eq!(
+                next_b, sim_batches,
+                "row merge must cover column {col}'s simulated prefix exactly"
+            );
+            let (extrap, extra_cycles, aged) =
+                extrapolate_batches(&col_stats, batches, sim_batches);
+            col_hs.aged_l2_bytes += aged;
+            sampled |= col_stats.iter().any(|s| s.loop_extrapolated) || sim_batches < batches;
+            hstats.merge(&col_hs);
+            measured.accumulate(&col_stats);
+            extrapolated.add(&extrap);
+            // Mirrors the column axis: the column's folded charges plus
+            // its extrapolated tail, then added to the running total.
+            let col_total = col_cycles + extra_cycles;
+            cycles += col_total;
+            // The extrapolated tail extends the shard that finished the
+            // column.
+            per_shard_cycles[last_shard] += extra_cycles;
+        }
+
+        ShardedRun {
+            measurement: Measurement {
+                l1_bytes: measured.l1_bytes + extrapolated.l1_bytes,
+                l2_bytes: measured.l2_bytes + extrapolated.l2_bytes,
+                dram_read_bytes: measured.dram_bytes + extrapolated.dram_bytes,
+                dram_write_bytes: hstats.dram_write_bytes as f64 + extrapolated.store_bytes,
+                l1_miss_rate: hstats.l1.miss_rate(),
+                l2_miss_rate: hstats.l2.miss_rate(),
+                cycles,
+                sampled,
+                simulated_ctas,
+                total_ctas: tiling.num_ctas(),
+                active_ctas: active,
+            },
+            per_shard_cycles,
+        }
+    }
+
+    /// Replays one [`ColumnSegment`] — a contiguous sub-range of one
+    /// column's batches — against a fresh hierarchy, warming up with the
+    /// immediately preceding batch when the range does not start the
+    /// column. The warm-up's cycle charges go to a scratch engine and
+    /// its counter activity is subtracted out via a snapshot delta, so
+    /// the segment contributes exactly the activity the sequential
+    /// replay would have counted for these batches.
+    fn simulate_segment(
+        &self,
+        map: &TensorMap,
+        sched: &ColumnScheduler,
+        tiling: &LayerTiling,
+        active: u32,
+        seg: &ColumnSegment,
+        tx_buf: &mut Vec<Transaction>,
+    ) -> SegmentSim {
+        let tile = tiling.tile();
+        let loops = tiling.main_loops();
+        let limits = self.batch_limits();
+        let mut hier = MemoryHierarchy::new(&self.gpu);
+        if seg.batches.start > 0 {
+            let mut scratch = TimingEngine::new(&self.gpu, tile);
+            let warm = CtaBatch::new(
+                map,
+                tile,
+                sched.batch(seg.col, seg.batches.start - 1),
+                loops,
+                active,
+            );
+            warm.simulate(&mut hier, &mut scratch, limits, tx_buf, None);
+        }
+        let warm_base = hier.snapshot();
+        let mut timing = TimingEngine::new(&self.gpu, tile);
+        let mut stats = Vec::with_capacity((seg.batches.end - seg.batches.start) as usize);
+        let mut charges = Vec::new();
+        let mut simulated_ctas = 0u64;
+        for b in seg.batches.clone() {
+            let batch = CtaBatch::new(map, tile, sched.batch(seg.col, b), loops, active);
+            simulated_ctas += batch.len();
+            stats.push(batch.simulate(&mut hier, &mut timing, limits, tx_buf, Some(&mut charges)));
+        }
+        SegmentSim {
+            col: seg.col,
+            first_batch: seg.batches.start,
+            stats,
+            charges,
+            delta: hier.snapshot().delta_since(&warm_base),
+            simulated_ctas,
+            cycles: timing.cycles(),
+        }
+    }
+
     /// Simulates one tile column — its sampled batch prefix plus the
     /// steady-state extrapolation of the remainder — against the given
     /// hierarchy and timing state. Shared by the sequential path (shared
@@ -524,27 +751,18 @@ impl Simulator {
         for b in 0..sim_batches {
             let batch = CtaBatch::new(map, tile, sched.batch(col, b), loops, active);
             simulated_ctas += batch.len();
-            let s = batch.simulate(hier, timing, limits, tx_buf);
+            let s = batch.simulate(hier, timing, limits, tx_buf, None);
             sampled |= s.loop_extrapolated;
             stats.push(s);
         }
 
-        let mut extrapolated = Totals::default();
-        let mut extra_cycles = 0.0;
+        let (extrapolated, extra_cycles, aged) = extrapolate_batches(&stats, batches, sim_batches);
         if sim_batches < batches {
-            let steady = SteadyState::of(&stats);
-            let rem = (batches - sim_batches) as f64;
-            extrapolated.l1_bytes = steady.l1_bytes * rem;
-            extrapolated.l2_bytes = steady.l2_bytes * rem;
-            extrapolated.dram_bytes = steady.dram_bytes * rem;
-            extrapolated.store_bytes = steady.store_bytes * rem;
-            extra_cycles = steady.cycles * rem;
             // Age L2 by the skipped batches' unique-traffic volume so
             // later work against this hierarchy starts from realistic
             // residency; when the hierarchy dies with the column, only
             // the counter is kept (identical measurements, no pollution
             // work).
-            let aged = (steady.l2_bytes * rem) as u64;
             if hier_persists {
                 hier.age_l2(aged);
             } else {
@@ -573,6 +791,51 @@ pub(crate) struct ShardedRun {
     pub(crate) measurement: Measurement,
     /// Per-shard cycles in shard order.
     pub(crate) per_shard_cycles: Vec<f64>,
+}
+
+/// One column sub-range's simulation outcome — the merge unit of the
+/// row-axis sharded path. Warm-up activity is already subtracted out.
+#[derive(Debug)]
+struct SegmentSim {
+    /// The segment's column (primary merge key).
+    col: u64,
+    /// First batch of the sub-range (secondary merge key).
+    first_batch: u64,
+    /// Per-batch stats of the sub-range, in batch order.
+    stats: Vec<BatchStats>,
+    /// Every cycle charge the sub-range made, in charge order (the
+    /// column merge folds these from zero to reconstruct the sequential
+    /// accumulation).
+    charges: Vec<f64>,
+    /// Hierarchy counter activity of the sub-range (warm-up excluded).
+    delta: HierarchyStats,
+    /// CTAs actually traced (warm-up excluded).
+    simulated_ctas: u64,
+    /// Cycles of the sub-range's own timing engine (per-shard critical
+    /// path contribution; warm-up excluded).
+    cycles: f64,
+}
+
+/// Steady-state extrapolation of a column's unsimulated batch tail,
+/// computed from the simulated prefix `stats`: `(per-level totals,
+/// extrapolated cycles, L2 bytes to age)`. Pure in its arguments so the
+/// sequential, column-sharded, and row-sharded paths produce bitwise
+/// identical extrapolations from identical prefixes.
+fn extrapolate_batches(stats: &[BatchStats], batches: u64, sim_batches: u64) -> (Totals, f64, u64) {
+    let mut extrapolated = Totals::default();
+    let mut extra_cycles = 0.0;
+    let mut aged = 0u64;
+    if sim_batches < batches {
+        let steady = SteadyState::of(stats);
+        let rem = (batches - sim_batches) as f64;
+        extrapolated.l1_bytes = steady.l1_bytes * rem;
+        extrapolated.l2_bytes = steady.l2_bytes * rem;
+        extrapolated.dram_bytes = steady.dram_bytes * rem;
+        extrapolated.store_bytes = steady.store_bytes * rem;
+        extra_cycles = steady.cycles * rem;
+        aged = (steady.l2_bytes * rem) as u64;
+    }
+    (extrapolated, extra_cycles, aged)
 }
 
 /// One tile column's simulation outcome — the merge unit of the sharded
@@ -1194,6 +1457,185 @@ mod tests {
         assert_eq!(one.l1_miss_rate, seq.l1_miss_rate);
         assert_eq!(one.l2_miss_rate, seq.l2_miss_rate);
         assert!((one.cycles - seq.cycles).abs() <= 1e-9 * seq.cycles);
+    }
+
+    /// A narrow layer (Co = 128 ⇒ at most 2 tile columns) whose columns
+    /// are tall enough that row-level sharding engages warm-up segments.
+    fn narrow_layer() -> ConvLayer {
+        ConvLayer::builder("narrow")
+            .batch(64)
+            .input(64, 14, 14)
+            .output_channels(128)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn narrow_layer_row_sharding_is_identical_for_every_worker_count() {
+        let l = narrow_layer();
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+        let tiling = sim.tiling(&l);
+        assert!(tiling.cta_columns() <= 2, "need a narrow layer");
+        let sched = ColumnScheduler::new(&tiling, sim.gpu(), sim.active_ctas(tiling.tile()));
+        assert!(
+            sched.batches_per_column() > 1,
+            "need tall columns so sub-ranges split"
+        );
+        let one = sim.run_sharded(&l, 1);
+        assert!(one.l1_bytes > 0.0 && one.cycles > 0.0);
+        // Bitwise-equal Measurement for every worker count, including
+        // counts far beyond the column count (the row axis).
+        for n in 2..=8 {
+            assert_eq!(sim.run_sharded(&l, n), one, "n_workers={n}");
+        }
+        // And with sampling disabled (full columns, warm-up segments in
+        // the middle of long batch lists).
+        let full = Simulator::new(GpuSpec::titan_xp(), SimConfig::exhaustive());
+        let ref_full = full.run_sharded(&l, 1);
+        for n in [3, 8] {
+            assert_eq!(full.run_sharded(&l, n), ref_full, "exhaustive n={n}");
+        }
+    }
+
+    #[test]
+    fn row_sharding_engages_more_workers_than_columns() {
+        // The plan the simulator builds for a narrow layer at n >
+        // columns is a row plan in which every worker owns work.
+        let l = narrow_layer();
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+        let (columns, sim_batches) = sim.partition_units(&l);
+        // The public helper reports exactly what the sharded runner
+        // will partition on.
+        assert_eq!(columns, sim.tiling(&l).cta_columns());
+        let plan = ShardPlan::auto(columns, sim_batches, 8);
+        assert_eq!(plan.axis(), crate::shard::ShardAxis::Rows);
+        let busy = (0..plan.n_workers())
+            .filter(|&s| !plan.shard_segments(s).is_empty())
+            .count() as u64;
+        assert_eq!(
+            busy,
+            8.min(columns * sim_batches),
+            "every worker up to the unit count owns a sub-range"
+        );
+        assert!(busy > columns, "row axis beats the column cap");
+    }
+
+    #[test]
+    fn probe_one_warmup_batch_reproduces_sequential_batch_stats() {
+        // PROBE (design gate for row-level sharding): batch b replayed
+        // against a hierarchy warmed ONLY by batch b-1 must bitwise
+        // reproduce the sequential cold-column replay's batch-b stats.
+        let tall_3x3 = ConvLayer::builder("tall")
+            .batch(64)
+            .input(16, 14, 14)
+            .output_channels(64)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap();
+        // High K (Ci*R*S = 2304 -> hundreds of main loops) so the
+        // loop-extrapolation path (age_l2 with a shifted aging cursor)
+        // is exercised too.
+        let deep_3x3 = ConvLayer::builder("deep")
+            .batch(64)
+            .input(256, 14, 14)
+            .output_channels(64)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap();
+        let narrow_1x1 = ConvLayer::builder("narrow1x1")
+            .batch(256)
+            .input(256, 7, 7)
+            .output_channels(128)
+            .filter(1, 1)
+            .build()
+            .unwrap();
+        for l in [&tall_3x3, &deep_3x3, &narrow_1x1] {
+            let sim = Simulator::new(
+                GpuSpec::titan_xp(),
+                SimConfig {
+                    active_ctas_override: Some(1),
+                    ..SimConfig::default()
+                },
+            );
+            let tiling = sim.tiling(l);
+            let map = TensorMap::new(l);
+            let sched = ColumnScheduler::new(&tiling, sim.gpu(), 1);
+            assert!(
+                sched.batches_per_column() >= 4,
+                "{}: need a tall column",
+                l.label()
+            );
+            let limits = BatchLimits {
+                max_loops: Some(32),
+                simulate_stores: true,
+            };
+            let run_range = |start: u64, end: u64| {
+                let mut hier = MemoryHierarchy::new(sim.gpu());
+                let mut timing = TimingEngine::new(sim.gpu(), tiling.tile());
+                let mut buf = Vec::new();
+                let mut stats = Vec::new();
+                let mut snaps = Vec::new();
+                for b in start..end {
+                    let batch = CtaBatch::new(
+                        &map,
+                        tiling.tile(),
+                        sched.batch(0, b),
+                        tiling.main_loops(),
+                        1,
+                    );
+                    stats.push(batch.simulate(&mut hier, &mut timing, limits, &mut buf, None));
+                    snaps.push(hier.snapshot());
+                }
+                (stats, snaps)
+            };
+            let (ref_stats, ref_snaps) = run_range(0, 4);
+            for b0 in 1..4u64 {
+                let (st, sn) = run_range(b0 - 1, 4);
+                for i in 1..st.len() {
+                    let want = &ref_stats[(b0 - 1) as usize + i];
+                    let got = &st[i];
+                    let tag = format!("{} b0={b0} i={i}", l.label());
+                    assert_eq!(got.traffic, want.traffic, "{tag} traffic");
+                    assert_eq!(got.store_bytes, want.store_bytes, "{tag} stores");
+                    assert!(
+                        got.cycles == want.cycles,
+                        "{tag} cycles {} vs {}",
+                        got.cycles,
+                        want.cycles
+                    );
+                }
+                // Snapshot deltas past the warm-up batch must match the
+                // sequential replay's deltas over the same batch range.
+                let dl = |a: &HierarchyStats, b: &HierarchyStats| {
+                    (
+                        a.reads.l1_bytes - b.reads.l1_bytes,
+                        a.reads.l2_bytes - b.reads.l2_bytes,
+                        a.reads.dram_bytes - b.reads.dram_bytes,
+                        a.l1.accesses - b.l1.accesses,
+                        a.l1.sector_hits - b.l1.sector_hits,
+                        a.l1.sector_misses - b.l1.sector_misses,
+                        a.l2.accesses - b.l2.accesses,
+                        a.l2.sector_hits - b.l2.sector_hits,
+                        a.l2.sector_misses - b.l2.sector_misses,
+                        a.l2_write_bytes - b.l2_write_bytes,
+                        a.dram_write_bytes - b.dram_write_bytes,
+                        a.aged_l2_bytes - b.aged_l2_bytes,
+                    )
+                };
+                // Per-batch deltas (not just the whole tail) so any
+                // segment boundary reconstructs exactly.
+                for i in 1..sn.len() {
+                    let got = dl(&sn[i], &sn[i - 1]);
+                    let j = (b0 - 1) as usize + i;
+                    let want = dl(&ref_snaps[j], &ref_snaps[j - 1]);
+                    assert_eq!(got, want, "{} b0={b0} i={i} snapshot delta", l.label());
+                }
+            }
+        }
     }
 
     #[test]

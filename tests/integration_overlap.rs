@@ -123,11 +123,12 @@ fn topology_changes_pricing_but_never_the_merge() {
 fn scheduled_step_satisfies_the_bounds_for_every_config() {
     let net = delta_networks::alexnet(2).expect("builtin network");
     let s = sim();
+    let engine = Engine::new(s.clone());
     for kind in TopologyKind::ALL {
         for g in [1u32, 2, 4, 8] {
             for bucket_mb in [1u32, 25, 1024] {
                 let par = fleet(g, InterconnectKind::NvLink, Some(kind));
-                let overlapped = s
+                let overlapped = engine
                     .evaluate_step(&step_query(net.layers(), par.clone(), bucket_mb, true))
                     .unwrap();
                 let t = &overlapped.timeline;
@@ -140,7 +141,7 @@ fn scheduled_step_satisfies_the_bounds_for_every_config() {
                     t.serial_seconds
                 );
                 let serial = s
-                    .evaluate_step(&step_query(net.layers(), par, bucket_mb, false))
+                    .evaluate_step(&step_query(net.layers(), par.clone(), bucket_mb, false))
                     .unwrap();
                 // Overlap off: the step IS the serial schedule, bitwise.
                 assert_eq!(serial.timeline.step_seconds, serial.timeline.serial_seconds);
@@ -155,6 +156,15 @@ fn scheduled_step_satisfies_the_bounds_for_every_config() {
                     assert_eq!(t.comm_seconds, 0.0);
                     assert_eq!(t.step_seconds, t.compute_seconds);
                 }
+                // A repeated step at this cell is a warm step-cache hit:
+                // bitwise identical, zero additional replays — across
+                // the whole topology × G × bucket matrix.
+                let replays = s.replay_count();
+                let warm = engine
+                    .evaluate_step(&step_query(net.layers(), par, bucket_mb, true))
+                    .unwrap();
+                assert_eq!(warm, overlapped, "{kind} g={g} bucket={bucket_mb}");
+                assert_eq!(s.replay_count(), replays, "{kind} g={g} bucket={bucket_mb}");
             }
         }
     }
@@ -283,6 +293,59 @@ fn table_and_timeline_come_from_one_replay_per_unique_shape() {
         ))
         .unwrap();
     assert_eq!(s2.replay_count(), unique.len() as u64);
+}
+
+#[test]
+fn warm_step_cache_answers_with_zero_replays() {
+    // Cache v3's acceptance contract: a repeated step query — same
+    // process or warmed through a cache file — is answered from the
+    // step cache with ZERO layer replays and a byte-identical result.
+    let net = delta_networks::alexnet(2).expect("builtin network");
+    let par = || fleet(4, InterconnectKind::NvLink, Some(TopologyKind::Ring));
+    let query = step_query(net.layers(), par(), 25, true);
+    let s = sim();
+    let engine = Engine::new(s.clone());
+    let cold = engine.evaluate_step(&query).unwrap();
+    let cold_replays = s.replay_count();
+    assert!(cold_replays > 0);
+    let warm = engine.evaluate_step(&query).unwrap();
+    assert_eq!(warm, cold);
+    assert_eq!(
+        s.replay_count(),
+        cold_replays,
+        "a warm step hit performs zero replays"
+    );
+    assert_eq!(engine.cache_stats().step_hits, 1);
+
+    // Through a v3 cache file: a fresh engine on a fresh simulator
+    // answers byte-identically having replayed nothing at all.
+    let dir = std::env::temp_dir().join("delta_warm_step_cache_test");
+    let path = dir.join("cache.json");
+    engine.save_cache(&path).unwrap();
+    let s2 = sim();
+    let loaded = Engine::new(s2.clone());
+    loaded.load_cache(&path).unwrap();
+    let from_file = loaded.evaluate_step(&query).unwrap();
+    assert_eq!(from_file, cold);
+    assert_eq!(s2.replay_count(), 0, "zero replays on a warm file");
+    assert_eq!(loaded.cache_stats().step_hits, 1);
+
+    // Renamed layers (same shapes) share the label-free fingerprint:
+    // the hit is relabeled — rows, compute spans, and bucket span
+    // labels — to bitwise what a fresh engine computes.
+    let renamed: Vec<delta_model::ConvLayer> = net
+        .layers()
+        .iter()
+        .enumerate()
+        .map(|(i, l)| l.with_label(format!("x{i}")))
+        .collect();
+    let renamed_query = step_query(&renamed, par(), 25, true);
+    let hit = loaded.evaluate_step(&renamed_query).unwrap();
+    assert_eq!(s2.replay_count(), 0, "relabeled hit still replays nothing");
+    let fresh = Engine::new(sim()).evaluate_step(&renamed_query).unwrap();
+    assert_eq!(hit, fresh);
+    let comm0 = &hit.timeline.per_device[0].comm[0];
+    assert!(comm0.label.contains("x4"), "{}", comm0.label);
 }
 
 #[test]
