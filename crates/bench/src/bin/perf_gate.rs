@@ -30,16 +30,22 @@
 //! (4 devices under the `ideal` interconnect vs. the single-device
 //! sharded run), the collective scheduler's bounds
 //! (`max(compute, comm) ≤ step ≤ serial`, overlap-off `step == serial`,
-//! across every topology preset), and the PR-4 golden byte identity of
-//! the pinned multi-GPU evaluation through the query API — run
-//! everywhere and are never skipped.
+//! across every topology preset), the PR-4 golden byte identity of
+//! the pinned multi-GPU evaluation through the query API, and the
+//! serving layer's warm/dedup identity (`serve_warm_dedup`: concurrent
+//! duplicate requests over a real socket collapse onto one evaluation,
+//! and a server restarted from its persisted warm store answers
+//! byte-identically with zero layer replays) — run everywhere and are
+//! never skipped.
 
 use delta_bench::experiments::{narrow_scaling, shard_scaling};
+use delta_bench::serve_client;
 use delta_model::engine::{Engine, EngineOptions};
 use delta_model::query::{EvalQuery, Parallelism, StepQuery};
 use delta_model::{Backend, GpuSpec};
+use delta_serve::{spawn, ServeConfig};
 use delta_sim::{InterconnectKind, SimConfig, Simulator};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -93,6 +99,12 @@ struct GateReport {
     /// scalar preset) serialized byte-identically to the golden file
     /// captured in PR 4 (must always be true).
     golden_identical: bool,
+    /// Whether `delta serve` held its end-to-end identity over a real
+    /// socket: concurrent duplicate step requests all answered 200 with
+    /// identical bytes and cost exactly one engine evaluation, and a
+    /// server restarted from the persisted warm store reproduced the
+    /// same bytes with zero layer replays (must always be true).
+    serve_warm_dedup: bool,
 }
 
 /// The checked-in expectations (`BENCH_BASELINE.json`).
@@ -108,6 +120,111 @@ struct Baseline {
     narrow_shard_speedup: f64,
     /// Expected warm-over-cold step-cache speedup.
     warm_step_cache_speedup: f64,
+}
+
+/// Reads a `u64` counter at `path` (e.g. `["cache", "misses"]`) out of
+/// a parsed `/stats` body; `None` when absent or not a number.
+fn stat_u64(stats: &Value, path: &[&str]) -> Option<u64> {
+    let mut v = stats;
+    for key in path {
+        v = v.get(key)?;
+    }
+    match v {
+        Value::U64(n) => Some(*n),
+        _ => None,
+    }
+}
+
+/// The `serve_warm_dedup` check: runs the full daemon twice on an
+/// ephemeral port — cold with concurrent duplicate clients (all bytes
+/// identical, exactly one engine miss on `/stats`), then warm from the
+/// persisted store (same bytes, zero simulator replays). Any failure
+/// is reported on stderr and returned as `false`; nothing here is
+/// timed, so the check is core-count independent.
+fn serve_identity_holds(gpu: &GpuSpec, config: SimConfig, step_query: &StepQuery) -> bool {
+    const DUPS: usize = 4;
+    let warm_store = std::env::temp_dir().join(format!(
+        "delta_perf_gate_serve_store_{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&warm_store);
+    let body = serde_json::to_string(step_query).expect("serializable query");
+    let serve_config = || ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        cache_file: Some(warm_store.clone()),
+        ..ServeConfig::default()
+    };
+
+    let cold = match spawn(Simulator::new(gpu.clone(), config), serve_config()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("perf_gate: cannot spawn serve daemon: {e}");
+            return false;
+        }
+    };
+    let addr = cold.addr();
+    let mut ok = true;
+    let responses: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..DUPS)
+            .map(|_| scope.spawn(|| serve_client::post(addr, "/step", &body)))
+            .collect();
+        clients
+            .into_iter()
+            .filter_map(|c| match c.join().expect("client thread") {
+                Ok(reply) => Some(reply),
+                Err(e) => {
+                    eprintln!("perf_gate: serve request failed: {e}");
+                    None
+                }
+            })
+            .collect()
+    });
+    ok &= responses.len() == DUPS;
+    let reference = responses.first().map(|(_, b)| b.clone());
+    if let Some(reference) = &reference {
+        ok &= responses.iter().all(|(s, b)| *s == 200 && b == reference);
+    }
+    match serve_client::get(addr, "/stats") {
+        Ok((200, stats_body)) => {
+            let stats: Value = serde_json::from_str(&stats_body).unwrap_or(Value::Null);
+            ok &= stat_u64(&stats, &["cache", "misses"]) == Some(1);
+            ok &= stat_u64(&stats, &["engine", "step_misses"]) == Some(1);
+        }
+        Ok((status, stats_body)) => {
+            eprintln!("perf_gate: /stats answered {status}: {stats_body}");
+            ok = false;
+        }
+        Err(e) => {
+            eprintln!("perf_gate: /stats unreachable: {e}");
+            ok = false;
+        }
+    }
+    // Consuming the handle saves the engine caches into the warm store.
+    cold.shutdown();
+
+    let warm_sim = Simulator::new(gpu.clone(), config);
+    let warm = match spawn(warm_sim.clone(), serve_config()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("perf_gate: cannot respawn serve daemon: {e}");
+            let _ = std::fs::remove_file(&warm_store);
+            return false;
+        }
+    };
+    match serve_client::post(warm.addr(), "/step", &body) {
+        Ok((status, warm_body)) => {
+            ok &= status == 200
+                && Some(&warm_body) == reference.as_ref()
+                && warm_sim.replay_count() == 0;
+        }
+        Err(e) => {
+            eprintln!("perf_gate: warm serve request failed: {e}");
+            ok = false;
+        }
+    }
+    warm.shutdown();
+    let _ = std::fs::remove_file(&warm_store);
+    ok
 }
 
 fn best_of<F: FnMut() -> f64>(reps: u32, mut run: F) -> f64 {
@@ -288,6 +405,15 @@ fn measure(reps: u32) -> GateReport {
     });
     let _ = std::fs::remove_file(&cache_file);
 
+    // Path 7 (correctness only): the serving layer end to end, over a
+    // real socket. A cold `delta serve` daemon takes the same step
+    // query from several concurrent clients at once: all must answer
+    // 200 with identical bytes while /stats shows exactly one engine
+    // miss (single-flight dedup). Shutdown persists the v3 warm store;
+    // a restarted server over a fresh counted simulator must reproduce
+    // the bytes with zero layer replays.
+    let serve_warm_dedup = serve_identity_holds(&gpu, config, &step_query);
+
     GateReport {
         cores: rayon::current_num_threads(),
         engine_cached_speedup: t_loop / t_engine,
@@ -300,6 +426,7 @@ fn measure(reps: u32) -> GateReport {
         multigpu_ideal_identical,
         overlap_bounds_ok,
         golden_identical,
+        serve_warm_dedup,
     }
 }
 
@@ -361,7 +488,7 @@ fn main() {
          narrow_shard_speedup     = {:.2}x\n  narrow_shard_identical   = {}\n  \
          warm_step_cache_speedup  = {:.2}x\n  warm_step_identical      = {}\n  \
          multigpu_ideal_identical = {}\n  overlap_bounds_ok        = {}\n  \
-         golden_identical         = {}",
+         golden_identical         = {}\n  serve_warm_dedup         = {}",
         report.cores,
         report.engine_cached_speedup,
         report.shard_speedup_4w,
@@ -372,7 +499,8 @@ fn main() {
         report.warm_step_identical,
         report.multigpu_ideal_identical,
         report.overlap_bounds_ok,
-        report.golden_identical
+        report.golden_identical,
+        report.serve_warm_dedup
     );
 
     if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
@@ -426,6 +554,15 @@ fn main() {
         failures.push(
             "query-API evaluation of the pinned --gpus 4 nvlink configuration is \
              not byte-identical to tests/golden/net_alexnet_sim_gpus4_nvlink_b2.json"
+                .to_string(),
+        );
+    }
+    if !report.serve_warm_dedup {
+        failures.push(
+            "delta serve broke the warm/dedup identity: concurrent duplicate step \
+             requests did not collapse onto one evaluation with identical bytes, \
+             or the warm restart from the persisted store replayed layers or \
+             answered different bytes (details on stderr above)"
                 .to_string(),
         );
     }

@@ -1,0 +1,247 @@
+//! Throughput/latency harness for the `delta serve` daemon.
+//!
+//! Spawns the server **in-process** (analytical `Delta` backend, so the
+//! numbers isolate the serving layer: socket accept, HTTP parse,
+//! validation, cache/single-flight, serialization) and drives it over
+//! real TCP connections with a pool of client threads, measuring qps
+//! and p50/p99 latency for three query mixes:
+//!
+//! * **cold** — N distinct `/eval` queries, none seen before: every
+//!   request misses the body cache and runs the backend;
+//! * **warm** — the same N queries again: every request is answered
+//!   from the sharded body cache without re-evaluation;
+//! * **duplicate** — N copies of one previously-unseen `/step` query
+//!   fired concurrently: the first wave collapses onto a single
+//!   evaluation (single-flight) and the rest are cache hits.
+//!
+//! Usage:
+//!
+//! ```text
+//! serve_throughput [--requests N] [--clients C] [--out results/serve_throughput.csv] [--no-csv]
+//! ```
+//!
+//! Prints one row per mix and writes the same rows as CSV. Exits
+//! non-zero if any request fails or returns a non-200 status — a
+//! throughput number over error responses would be meaningless.
+
+use delta_bench::serve_client;
+use delta_model::query::{EvalQuery, Parallelism, Pass, StepQuery};
+use delta_model::{ConvLayer, Delta, GpuSpec, InterconnectKind, TopologyKind};
+use delta_serve::{spawn, ServeConfig};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// One measured mix: latencies are per-request wall times in seconds.
+struct MixResult {
+    mix: &'static str,
+    requests: usize,
+    clients: usize,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+/// Interpolated percentile of an unsorted sample (p in [0, 1]).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = p * (sorted.len() - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    let frac = idx - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// A distinct, cheap, valid conv layer per index (varying batch and
+/// output channels keeps every query fingerprint unique).
+fn unique_layer(i: usize) -> ConvLayer {
+    ConvLayer::builder(format!("bench{i}"))
+        .batch(1 + (i % 8) as u32)
+        .input(16, 8, 8)
+        .output_channels(16 + (i / 8) as u32)
+        .filter(3, 3)
+        .pad(1)
+        .build()
+        .expect("valid layer")
+}
+
+/// Fires `bodies[i]` at `path` from `clients` threads (shared work
+/// queue), returning the mix summary. Panics on any non-200 response.
+fn run_mix(
+    mix: &'static str,
+    addr: SocketAddr,
+    path: &str,
+    bodies: &[String],
+    clients: usize,
+) -> MixResult {
+    let next = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= bodies.len() {
+                            return mine;
+                        }
+                        let t = Instant::now();
+                        let (status, body) =
+                            serve_client::post(addr, path, &bodies[i]).expect("request succeeds");
+                        mine.push(t.elapsed().as_secs_f64());
+                        assert_eq!(status, 200, "{mix} request {i} failed: {body}");
+                    }
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("client thread"))
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    MixResult {
+        mix,
+        requests: bodies.len(),
+        clients,
+        qps: bodies.len() as f64 / wall,
+        p50_ms: percentile(&latencies, 0.50) * 1e3,
+        p99_ms: percentile(&latencies, 0.99) * 1e3,
+    }
+}
+
+/// The value following flag `i`, or exit 2.
+fn require_value<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
+    match args.get(i + 1) {
+        Some(v) => v,
+        None => {
+            eprintln!("serve_throughput: {flag} needs a value");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_count(v: &str, flag: &str) -> usize {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("serve_throughput: {flag} expects a count >= 1, got `{v}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_args() -> (usize, usize, Option<PathBuf>) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut requests = 256usize;
+    let mut clients = 4usize;
+    let mut out = Some(PathBuf::from("results/serve_throughput.csv"));
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--requests" => {
+                requests = parse_count(require_value(&args, i, "--requests"), "--requests");
+                i += 1;
+            }
+            "--clients" => {
+                clients = parse_count(require_value(&args, i, "--clients"), "--clients");
+                i += 1;
+            }
+            "--out" => {
+                out = Some(PathBuf::from(require_value(&args, i, "--out")));
+                i += 1;
+            }
+            "--no-csv" => out = None,
+            other => {
+                eprintln!("serve_throughput: unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    (requests, clients, out)
+}
+
+fn main() {
+    let (requests, clients, out) = parse_args();
+    let server = spawn(
+        Delta::new(GpuSpec::titan_xp()),
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: clients,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind 127.0.0.1:0");
+    let addr = server.addr();
+
+    // Cold and warm share one body set: N distinct forward queries.
+    let eval_bodies: Vec<String> = (0..requests)
+        .map(|i| {
+            let q = EvalQuery::new(&unique_layer(i), Pass::Fwd, Parallelism::Single);
+            serde_json::to_string(&q).expect("serializable query")
+        })
+        .collect();
+    // The duplicate mix is one previously-unseen multi-GPU step query,
+    // repeated: the interesting path is N clients colliding on one key.
+    let step = StepQuery {
+        layers: vec![unique_layer(0), unique_layer(1)],
+        parallelism: Parallelism::Multi {
+            devices: vec![GpuSpec::titan_xp(); 4],
+            interconnect: InterconnectKind::NvLink,
+            topology: Some(TopologyKind::Ring),
+        },
+        bucket_mb: 4,
+        overlap: true,
+    };
+    let step_bodies = vec![serde_json::to_string(&step).expect("serializable query"); requests];
+
+    let results = [
+        run_mix("cold", addr, "/eval", &eval_bodies, clients),
+        run_mix("warm", addr, "/eval", &eval_bodies, clients),
+        run_mix("duplicate", addr, "/step", &step_bodies, clients),
+    ];
+
+    let (status, stats) = serve_client::get(addr, "/stats").expect("stats reachable");
+    assert_eq!(status, 200, "{stats}");
+    server.shutdown();
+
+    println!(
+        "serve_throughput ({requests} requests/mix, {clients} clients):\n  \
+         {:<10} {:>10} {:>10} {:>10}",
+        "mix", "qps", "p50_ms", "p99_ms"
+    );
+    for r in &results {
+        println!(
+            "  {:<10} {:>10.0} {:>10.3} {:>10.3}",
+            r.mix, r.qps, r.p50_ms, r.p99_ms
+        );
+    }
+    println!("server stats after the run: {stats}");
+
+    if let Some(out) = out {
+        if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("serve_throughput: cannot create {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        }
+        let mut csv = String::from("mix,requests,clients,qps,p50_ms,p99_ms\n");
+        for r in &results {
+            csv.push_str(&format!(
+                "{},{},{},{:.1},{:.4},{:.4}\n",
+                r.mix, r.requests, r.clients, r.qps, r.p50_ms, r.p99_ms
+            ));
+        }
+        if let Err(e) = std::fs::write(&out, csv) {
+            eprintln!("serve_throughput: cannot write {}: {e}", out.display());
+            std::process::exit(2);
+        }
+        println!("wrote {}", out.display());
+    }
+}

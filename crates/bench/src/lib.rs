@@ -25,6 +25,7 @@
 pub mod ctx;
 pub mod experiments;
 pub mod measure;
+pub mod serve_client;
 pub mod stats;
 pub mod table;
 

@@ -8,6 +8,7 @@
 //! delta train   <alexnet|vgg16|googlenet|resnet152> [--backend model|sim] [--batch N --gpu G]
 //! delta timeline <alexnet|...> --backend sim --gpus G [--topology T --bucket-mb M --overlap on]
 //! delta scaling [--backend model|sim] [--batch N --gpu G]                 the 9 design options on ResNet152
+//! delta serve   [--addr A --backend model|sim --threads N --cache-file F] evaluation as an HTTP service
 //! delta gpus                                                              list device presets
 //! delta help
 //! ```
@@ -752,6 +753,64 @@ fn cmd_gpus() {
     }
 }
 
+/// Parses the daemon flags (`--addr`, `--threads`, `--cache-file`) into
+/// a [`delta_serve::ServeConfig`].
+fn serve_config_from(flags: &HashMap<String, String>) -> Result<delta_serve::ServeConfig, String> {
+    let mut config = delta_serve::ServeConfig::default();
+    if let Some(a) = flags.get("addr") {
+        config.addr = a.clone();
+    }
+    if let Some(v) = flags.get("threads") {
+        config.threads = v
+            .parse()
+            .ok()
+            .filter(|n| *n >= 1)
+            .ok_or(format!("--threads expects a worker count >= 1, got `{v}`"))?;
+    }
+    config.cache_file = flags.get("cache-file").map(PathBuf::from);
+    Ok(config)
+}
+
+/// `delta serve`: run the evaluation daemon in the foreground until
+/// SIGINT/SIGTERM. The execution-configuration flags other commands take
+/// (`--shards`, `--gpus`, `--interconnect`, ...) are per-request here —
+/// every query carries its own `parallelism` and schedule knobs — so
+/// only the backend choice, the device, and the sampling mode configure
+/// the server itself.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let gpu = gpu_from(flags)?;
+    let backend = backend_from(flags)?;
+    for f in [
+        "shards",
+        "gpus",
+        "interconnect",
+        "topology",
+        "bucket-mb",
+        "overlap",
+        "batch",
+    ] {
+        if flags.contains_key(f) {
+            return Err(format!(
+                "--{f} is per-query in serve: send it in each request's parallelism/schedule \
+                 fields instead (see docs/PROTOCOL.md)"
+            ));
+        }
+    }
+    let config = serve_config_from(flags)?;
+    match backend {
+        BackendChoice::Model => delta_serve::run(Delta::new(gpu), config),
+        BackendChoice::Sim => {
+            let sim_config = if flags.contains_key("exhaustive") {
+                SimConfig::exhaustive()
+            } else {
+                SimConfig::default()
+            };
+            delta_serve::run(Simulator::new(gpu, sim_config), config)
+        }
+    }
+    .map_err(|e| format!("serve: {e}"))
+}
+
 fn usage() -> String {
     "usage: delta <command> [flags]\n\
      commands:\n  \
@@ -765,6 +824,7 @@ fn usage() -> String {
      timeline <alexnet|vgg16|googlenet|resnet152> [--backend model|sim --batch N --gpu G\n           \
      --gpus G --interconnect I --topology T --bucket-mb M --overlap on|off --json]\n  \
      scaling  [--backend model|sim --batch N --gpu G --shards N]\n  \
+     serve    [--addr A --backend model|sim --gpu G --threads N --cache-file F --exhaustive]\n  \
      gpus\n  \
      help\n\
      flags:\n  \
@@ -786,9 +846,14 @@ fn usage() -> String {
      remaining backward compute (train appends the scheduled step; timeline\n                 \
      shows the spans; `on` requires --gpus G)\n  \
      --cache-file   persist the engine's shape- and step-keyed results to F and reuse them\n                 \
-     next run (a warm multi-GPU train step replays nothing)\n  \
+     next run (a warm multi-GPU train step replays nothing; serve uses F as\n                 \
+     its warm store, saved on shutdown and periodically)\n  \
+     --addr         serve only: bind address (default 127.0.0.1:7878; port 0 picks a port)\n  \
+     --threads      serve only: worker-thread count (default 4)\n  \
      --json         machine-readable output where supported\n\
-     multi-layer commands run on all cores with shape-keyed result caching"
+     multi-layer commands run on all cores with shape-keyed result caching;\n\
+     serve answers POST /eval, POST /step, POST /sweep and GET /stats over HTTP\n\
+     (wire contract: docs/PROTOCOL.md)"
         .to_string()
 }
 
@@ -809,6 +874,7 @@ fn run(positional: &[String], flags: &HashMap<String, String>) -> Result<(), Str
             None => Err("timeline command needs a network name".into()),
         },
         Some("scaling") => cmd_scaling(flags),
+        Some("serve") => cmd_serve(flags),
         Some("gpus") => {
             cmd_gpus();
             Ok(())
@@ -865,6 +931,44 @@ mod tests {
             .iter()
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect()
+    }
+
+    #[test]
+    fn serve_config_parses_daemon_flags() {
+        let c = serve_config_from(&flags(&[
+            ("addr", "0.0.0.0:9000"),
+            ("threads", "8"),
+            ("cache-file", "warm.json"),
+        ]))
+        .unwrap();
+        assert_eq!(c.addr, "0.0.0.0:9000");
+        assert_eq!(c.threads, 8);
+        assert_eq!(c.cache_file, Some(PathBuf::from("warm.json")));
+        // Defaults apply when unset.
+        let d = serve_config_from(&flags(&[])).unwrap();
+        assert_eq!(d.addr, "127.0.0.1:7878");
+        assert_eq!(d.threads, 4);
+        assert_eq!(d.cache_file, None);
+        // Zero/garbage worker counts are rejected.
+        assert!(serve_config_from(&flags(&[("threads", "0")])).is_err());
+        assert!(serve_config_from(&flags(&[("threads", "many")])).is_err());
+    }
+
+    #[test]
+    fn serve_rejects_per_query_flags() {
+        for f in [
+            "shards",
+            "gpus",
+            "interconnect",
+            "topology",
+            "bucket-mb",
+            "overlap",
+            "batch",
+        ] {
+            let err = cmd_serve(&flags(&[(f, "4")])).unwrap_err();
+            assert!(err.contains("per-query"), "--{f}: {err}");
+            assert!(err.contains("PROTOCOL.md"), "--{f}: {err}");
+        }
     }
 
     #[test]

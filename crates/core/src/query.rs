@@ -243,6 +243,33 @@ pub struct EvalQuery {
 
 impl EvalQuery {
     /// Builds a query for one pass of `layer` under `parallelism`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use delta_model::{ConvLayer, EvalQuery, GpuSpec, InterconnectKind, Parallelism, Pass};
+    ///
+    /// let layer = ConvLayer::builder("conv1")
+    ///     .batch(8)
+    ///     .input(64, 28, 28)
+    ///     .output_channels(64)
+    ///     .filter(3, 3)
+    ///     .pad(1)
+    ///     .build()?;
+    /// // The same layer-pass question under three execution configurations —
+    /// // only the data changes, never the call:
+    /// let single = EvalQuery::new(&layer, Pass::Fwd, Parallelism::Single);
+    /// let sharded = EvalQuery::new(&layer, Pass::Fwd, Parallelism::Sharded { workers: 4 });
+    /// let multi = EvalQuery::new(
+    ///     &layer,
+    ///     Pass::Wgrad,
+    ///     Parallelism::multi(&GpuSpec::titan_xp(), 4, InterconnectKind::NvLink),
+    /// );
+    /// // Fingerprints are injective: distinct configurations never collide.
+    /// assert_ne!(single.fingerprint(), sharded.fingerprint());
+    /// assert_ne!(sharded.fingerprint(), multi.fingerprint());
+    /// # Ok::<(), delta_model::Error>(())
+    /// ```
     pub fn new(layer: &ConvLayer, pass: Pass, parallelism: Parallelism) -> EvalQuery {
         EvalQuery {
             shape: LayerShape::of(layer),
@@ -283,7 +310,13 @@ impl EvalQuery {
 
 /// One whole-training-step evaluation request: layer list plus schedule
 /// knobs, answered by [`crate::backend::Backend::evaluate_step`].
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializes as a named-field object (`layers`, `parallelism`,
+/// `bucket_mb`, `overlap`) — the wire shape `delta serve`'s `POST /step`
+/// accepts (see `docs/PROTOCOL.md`). Unlike [`StepQuery::fingerprint`],
+/// the serialized form keeps the layer labels: they name the response's
+/// rows and timeline spans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StepQuery {
     /// The network's layers, in execution order (labels are kept — they
     /// name the rows and timeline spans).
@@ -301,6 +334,34 @@ pub struct StepQuery {
 impl StepQuery {
     /// Builds a step query with the default schedule knobs (25 MiB
     /// buckets, overlap off — DDP-style framework defaults).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use delta_model::{ConvLayer, GpuSpec, InterconnectKind, Parallelism, StepQuery};
+    ///
+    /// let layers = vec![
+    ///     ConvLayer::builder("conv1")
+    ///         .batch(4)
+    ///         .input(3, 32, 32)
+    ///         .output_channels(16)
+    ///         .filter(3, 3)
+    ///         .pad(1)
+    ///         .build()?,
+    /// ];
+    /// let mut step = StepQuery::new(
+    ///     &layers,
+    ///     Parallelism::multi(&GpuSpec::titan_xp(), 4, InterconnectKind::NvLink),
+    /// );
+    /// assert_eq!(step.bucket_mb, 25);
+    /// assert!(!step.overlap);
+    /// // Schedule knobs are plain fields — and part of the fingerprint:
+    /// let serial = step.fingerprint();
+    /// step.bucket_mb = 4;
+    /// step.overlap = true;
+    /// assert_ne!(step.fingerprint(), serial);
+    /// # Ok::<(), delta_model::Error>(())
+    /// ```
     pub fn new(layers: &[ConvLayer], parallelism: Parallelism) -> StepQuery {
         StepQuery {
             layers: layers.to_vec(),
@@ -459,6 +520,27 @@ mod tests {
             queries[0].fingerprint(),
             EvalQuery::forward(&layer(), Parallelism::Single).fingerprint()
         );
+    }
+
+    #[test]
+    fn step_query_serde_round_trips_with_labels() {
+        let q = StepQuery {
+            layers: vec![layer(), layer().with_label("b")],
+            parallelism: Parallelism::Multi {
+                devices: vec![GpuSpec::v100(); 2],
+                interconnect: InterconnectKind::Pcie,
+                topology: Some(TopologyKind::Switch),
+            },
+            bucket_mb: 4,
+            overlap: true,
+        };
+        let json = serde_json::to_string(&q).unwrap();
+        let back: StepQuery = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, q);
+        // The wire form keeps labels (they name output rows)…
+        assert_eq!(back.layers[1].label(), "b");
+        // …while the fingerprint stays label-free.
+        assert_eq!(back.fingerprint(), q.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! A minimal HTTP/1.1 layer over `std::net` — exactly the subset the
+//! daemon needs: parse one request per connection (method, path,
+//! `Content-Length`-framed body), write one `Connection: close` response
+//! (buffered or streamed). No keep-alive, no chunked *requests*, no TLS;
+//! `curl` and every HTTP client speak this subset natively.
+
+use crate::error::ApiError;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Upper bound on a request body. Step queries carry whole layer lists
+/// and sweeps carry many queries, but 64 MiB is orders of magnitude past
+/// any real sweep.
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// One parsed request: the routing triple plus the raw body.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path (query strings are not used by this protocol and are
+    /// kept attached — no route carries one).
+    pub path: String,
+    /// The raw body bytes (`Content-Length`-framed; empty when absent).
+    pub body: Vec<u8>,
+}
+
+/// Reads one request off `stream`. The outer `Err` is a transport
+/// failure (peer vanished — nothing can be written back); the inner
+/// `Err` is a protocol mistake that deserves a structured 400 response.
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Result<Request, ApiError>> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed before a request line",
+        ));
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v.to_string()),
+        _ => {
+            return Ok(Err(ApiError::bad_request(
+                "malformed_request",
+                format!("malformed request line `{}`", line.trim_end()),
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(Err(ApiError::bad_request(
+            "malformed_request",
+            format!("unsupported protocol version `{version}`"),
+        )));
+    }
+    // Headers: only Content-Length matters to this protocol.
+    let mut content_length: Option<usize> = None;
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Ok(Err(ApiError::bad_request(
+                "malformed_request",
+                "connection closed inside the header block",
+            )));
+        }
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Ok(Err(ApiError::bad_request(
+                "malformed_request",
+                format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+            )));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                match value.trim().parse::<usize>() {
+                    Ok(n) => content_length = Some(n),
+                    Err(_) => {
+                        return Ok(Err(ApiError::bad_request(
+                            "malformed_request",
+                            format!("unparseable Content-Length `{}`", value.trim()),
+                        )))
+                    }
+                }
+            }
+        }
+    }
+    let n = content_length.unwrap_or(0);
+    if n > MAX_BODY_BYTES {
+        return Ok(Err(ApiError::payload_too_large(MAX_BODY_BYTES)));
+    }
+    let mut body = vec![0u8; n];
+    reader.read_exact(&mut body)?;
+    Ok(Ok(Request { method, path, body }))
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete `Connection: close` response with a
+/// `Content-Length`-framed body.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        status_text(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes the head of a streamed NDJSON response. The body has no
+/// `Content-Length`; `Connection: close` delimits it — each line is
+/// flushed as it is produced, and the close marks the end.
+pub fn write_stream_head(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+/// Serializes `err` and writes it as a complete response.
+pub fn write_error(stream: &mut TcpStream, err: &ApiError) -> std::io::Result<()> {
+    write_response(
+        stream,
+        err.status,
+        "application/json",
+        err.body().as_bytes(),
+    )
+}

@@ -1,0 +1,57 @@
+//! `delta serve` — the DeLTA evaluation engine as a long-running
+//! HTTP/1.1 network service.
+//!
+//! The daemon wraps a [`delta_model::engine::Engine`] over any
+//! [`delta_model::Backend`] and answers the query API over the wire
+//! (the full contract lives in `docs/PROTOCOL.md`):
+//!
+//! | endpoint      | request                  | response                          |
+//! |---------------|--------------------------|-----------------------------------|
+//! | `POST /eval`  | `EvalQuery` JSON         | `LayerEstimate` JSON              |
+//! | `POST /step`  | `StepQuery` JSON         | `StepEvaluation` JSON             |
+//! | `POST /sweep` | JSON array of queries    | NDJSON lines, completion order    |
+//! | `GET /stats`  | —                        | counters, in-flight count, uptime |
+//!
+//! Three mechanisms make it a service rather than a CLI loop:
+//!
+//! * a **sharded concurrent body cache** keyed on each query's
+//!   idempotency key (its canonical serialization), so repeats cost a
+//!   map lookup and return byte-identical responses;
+//! * **single-flight dedup**: identical queries that arrive while the
+//!   first is still evaluating join its flight instead of evaluating
+//!   again (N concurrent duplicates → one backend evaluation, visible
+//!   in `GET /stats` as N requests, one miss);
+//! * the **persistent v3 cache file** as warm store — loaded at
+//!   startup, saved periodically and on shutdown — so a restarted
+//!   server answers previously-served step queries with **zero layer
+//!   replays**.
+//!
+//! Everything is `std::net` + the vendored serde stand-ins; there are no
+//! external dependencies. Spawn an in-process server (tests, benches) or
+//! run one in the foreground (the `delta serve` subcommand):
+//!
+//! ```
+//! use delta_model::{Delta, GpuSpec};
+//! use delta_serve::{spawn, ServeConfig};
+//!
+//! let config = ServeConfig {
+//!     addr: "127.0.0.1:0".into(), // port 0: pick a free port
+//!     ..ServeConfig::default()
+//! };
+//! let server = spawn(Delta::new(GpuSpec::titan_xp()), config)?;
+//! let url = format!("http://{}", server.addr());
+//! // ... POST queries at `url` ...
+//! server.shutdown(); // graceful: final cache save, workers joined
+//! # Ok::<(), std::io::Error>(())
+//! ```
+#![deny(missing_docs)]
+
+pub mod error;
+pub mod http;
+pub mod server;
+pub mod state;
+pub mod validate;
+
+pub use error::ApiError;
+pub use server::{run, spawn, ServeConfig, ServerHandle};
+pub use state::{ServeState, StatsResponse};

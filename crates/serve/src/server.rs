@@ -1,0 +1,463 @@
+//! The daemon: a pool of accept/worker threads over one listener,
+//! request routing, the four endpoint handlers, and graceful shutdown
+//! (SIGINT/SIGTERM or [`ServerHandle::shutdown`]) with a final cache
+//! save.
+//!
+//! The connection model is deliberately simple: one request per
+//! connection, `Connection: close` on every response. Each worker owns a
+//! clone of the nonblocking listener and polls a shared shutdown flag
+//! between accepts, so shutdown never hangs on a blocked `accept(2)`.
+
+use crate::error::ApiError;
+use crate::http;
+use crate::state::{Endpoint, ServeState};
+use crate::validate;
+use delta_model::query::{EvalQuery, StepQuery};
+use delta_model::Backend;
+use serde::{Deserialize, Value};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long workers sleep between accept polls while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Server construction options.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port 0 picks a free port —
+    /// the bound address is on the returned handle).
+    pub addr: String,
+    /// Worker-thread count (each accepts and handles connections).
+    pub threads: usize,
+    /// Optional persistent warm store: a cache-format-v3 file loaded at
+    /// startup and saved on shutdown and periodically while dirty.
+    pub cache_file: Option<PathBuf>,
+    /// Interval between periodic cache saves.
+    pub save_every: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".into(),
+            threads: 4,
+            cache_file: None,
+            save_every: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A running server: its bound address and the means to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+    housekeeper: Option<JoinHandle<()>>,
+    finish: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals every worker to stop, joins them, and runs the final
+    /// cache save. Idempotent with [`Drop`] (dropping an un-shutdown
+    /// handle also stops the server).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(h) = self.housekeeper.take() {
+            let _ = h.join();
+        }
+        if let Some(finish) = self.finish.take() {
+            finish();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds `config.addr` and starts the worker pool. Returns once the
+/// listener is live; the handle's address is ready for clients
+/// immediately. Prints a startup line (and the warm-store size, if any)
+/// to stderr.
+pub fn spawn<B>(backend: B, config: ServeConfig) -> std::io::Result<ServerHandle>
+where
+    B: Backend + Send + Sync + 'static,
+{
+    let (state, warm) = ServeState::new(backend, config.cache_file.clone())?;
+    let state = Arc::new(state);
+    if warm > 0 {
+        eprintln!(
+            "serve: warm store loaded {warm} entries from {}",
+            config
+                .cache_file
+                .as_ref()
+                .expect("warm > 0 implies a cache file")
+                .display()
+        );
+    }
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let threads = config.threads.max(1);
+    let mut workers = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let listener = listener.try_clone()?;
+        let state = Arc::clone(&state);
+        let shutdown = Arc::clone(&shutdown);
+        workers.push(std::thread::spawn(move || {
+            accept_loop(&listener, &state, &shutdown)
+        }));
+    }
+    // Housekeeping: periodic cache saves while dirty.
+    let housekeeper = {
+        let state = Arc::clone(&state);
+        let shutdown = Arc::clone(&shutdown);
+        let save_every = config.save_every;
+        std::thread::spawn(move || {
+            let mut since_save = Duration::ZERO;
+            while !shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(ACCEPT_POLL);
+                since_save += ACCEPT_POLL;
+                if since_save >= save_every {
+                    since_save = Duration::ZERO;
+                    report_save(&state);
+                }
+            }
+        })
+    };
+    eprintln!("serve: listening on http://{addr} ({threads} worker threads)");
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        workers,
+        housekeeper: Some(housekeeper),
+        finish: Some(Box::new(move || report_save(&state))),
+    })
+}
+
+/// Runs a save-if-dirty pass and reports the outcome to stderr.
+fn report_save<B: Backend>(state: &ServeState<B>) {
+    match state.save_if_dirty() {
+        Some(Ok(n)) => eprintln!("serve: saved {n} cache entries"),
+        Some(Err(e)) => eprintln!("serve: cache save failed: {e}"),
+        None => {}
+    }
+}
+
+/// Runs the server in the foreground until SIGINT/SIGTERM, then shuts
+/// down gracefully (final cache save included). This is what `delta
+/// serve` calls.
+pub fn run<B>(backend: B, config: ServeConfig) -> std::io::Result<()>
+where
+    B: Backend + Send + Sync + 'static,
+{
+    install_signal_handlers();
+    let handle = spawn(backend, config)?;
+    while !signal_received() {
+        std::thread::sleep(ACCEPT_POLL);
+    }
+    eprintln!("serve: shutting down");
+    handle.shutdown();
+    Ok(())
+}
+
+/// Set by the signal handler; polled by [`run`].
+static SIGNALED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    SIGNALED.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGINT/SIGTERM handlers that request a graceful shutdown.
+/// Uses `signal(2)` straight from the C runtime Rust already links — the
+/// environment has no `libc`/`signal-hook` crate to lean on.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// Whether a termination signal has arrived.
+fn signal_received() -> bool {
+    SIGNALED.load(Ordering::SeqCst)
+}
+
+/// One worker's accept loop: poll-accept until shutdown.
+fn accept_loop<B: Backend>(
+    listener: &TcpListener,
+    state: &Arc<ServeState<B>>,
+    shutdown: &AtomicBool,
+) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _guard = state.enter();
+                // Connection handling errors mean the peer went away
+                // mid-exchange; there is nobody left to tell.
+                let _ = handle_connection(stream, state);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Reads one request, routes it, writes one response.
+fn handle_connection<B: Backend>(
+    mut stream: TcpStream,
+    state: &Arc<ServeState<B>>,
+) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let request = match http::read_request(&mut stream)? {
+        Ok(r) => r,
+        Err(e) => return http::write_error(&mut stream, &e),
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/eval") => {
+            state.count_request(Endpoint::Eval);
+            respond(&mut stream, handle_eval(state, &request.body))
+        }
+        ("POST", "/step") => {
+            state.count_request(Endpoint::Step);
+            respond(&mut stream, handle_step(state, &request.body))
+        }
+        ("POST", "/sweep") => {
+            state.count_request(Endpoint::Sweep);
+            handle_sweep(state, &request.body, &mut stream)
+        }
+        ("GET", "/stats") => {
+            state.count_request(Endpoint::Stats);
+            let body = serde_json::to_string(&state.snapshot())
+                .map_err(|e| ApiError::internal(format!("stats serialization failed: {e}")));
+            respond(&mut stream, body)
+        }
+        (method, path @ ("/eval" | "/step" | "/sweep")) => http::write_error(
+            &mut stream,
+            &ApiError::method_not_allowed(method, path, "POST"),
+        ),
+        (method, "/stats") => http::write_error(
+            &mut stream,
+            &ApiError::method_not_allowed(method, "/stats", "GET"),
+        ),
+        (_, path) => http::write_error(&mut stream, &ApiError::not_found(path)),
+    }
+}
+
+/// Writes a handler outcome as a complete JSON response.
+fn respond(stream: &mut TcpStream, result: Result<String, ApiError>) -> std::io::Result<()> {
+    match result {
+        Ok(body) => http::write_response(stream, 200, "application/json", body.as_bytes()),
+        Err(e) => http::write_error(stream, &e),
+    }
+}
+
+/// Parses `body` as a JSON document (or a structured 400).
+fn parse_body(body: &[u8]) -> Result<Value, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::bad_request("invalid_json", "request body is not UTF-8"))?;
+    serde_json::from_str(text)
+        .map_err(|e| ApiError::bad_request("invalid_json", format!("invalid JSON body: {e}")))
+}
+
+/// Typed deserialization of a validated tree (or a structured 400).
+fn typed<T: Deserialize>(v: &Value, what: &str) -> Result<T, ApiError> {
+    T::from_value(v)
+        .map_err(|e| ApiError::bad_request("invalid_query", format!("cannot decode {what}: {e}")))
+}
+
+/// The idempotency key of an eval query: its injective fingerprint
+/// (`EvalQuery` is label-free already).
+fn eval_key(query: &EvalQuery) -> String {
+    format!("eval:{}", query.fingerprint())
+}
+
+/// The idempotency key of a step query: its canonical serialization,
+/// which — unlike [`StepQuery::fingerprint`] — keeps the layer labels,
+/// because the response body names rows and spans after them. The
+/// engine's step cache underneath is keyed on the label-free
+/// fingerprint, so two steps differing only in labels still share one
+/// evaluation (the second is relabeled, not replayed).
+fn step_key(query: &StepQuery) -> String {
+    serde_json::to_string(query)
+        .map(|json| format!("step:{json}"))
+        .unwrap_or_else(|_| format!("step:debug:{query:?}"))
+}
+
+fn handle_eval<B: Backend>(state: &Arc<ServeState<B>>, body: &[u8]) -> Result<String, ApiError> {
+    let tree = parse_body(body)?;
+    validate::eval_query(&tree)?;
+    let query: EvalQuery = typed(&tree, "an EvalQuery")?;
+    state.cached(&eval_key(&query), || {
+        let estimate = state.engine.evaluate(&query).map_err(ApiError::from)?;
+        serde_json::to_string(&estimate)
+            .map_err(|e| ApiError::internal(format!("result serialization failed: {e}")))
+    })
+}
+
+fn handle_step<B: Backend>(state: &Arc<ServeState<B>>, body: &[u8]) -> Result<String, ApiError> {
+    let tree = parse_body(body)?;
+    validate::step_query(&tree)?;
+    let query: StepQuery = typed(&tree, "a StepQuery")?;
+    state.cached(&step_key(&query), || {
+        let evaluation = state.engine.evaluate_step(&query).map_err(ApiError::from)?;
+        serde_json::to_string(&evaluation)
+            .map_err(|e| ApiError::internal(format!("result serialization failed: {e}")))
+    })
+}
+
+/// One sweep element, auto-detected by shape: an object with a `shape`
+/// key is an `EvalQuery`, one with a `layers` key is a `StepQuery`.
+enum SweepItem {
+    Eval(EvalQuery),
+    Step(StepQuery),
+}
+
+/// Parses and validates one sweep element.
+fn sweep_item(v: &Value, index: usize) -> Result<SweepItem, ApiError> {
+    let is_map = matches!(v, Value::Map(_));
+    if is_map && v.get("shape").is_some() {
+        validate::eval_query(v)?;
+        Ok(SweepItem::Eval(typed(v, "an EvalQuery")?))
+    } else if is_map && v.get("layers").is_some() {
+        validate::step_query(v)?;
+        Ok(SweepItem::Step(typed(v, "a StepQuery")?))
+    } else {
+        Err(ApiError::bad_request(
+            "invalid_query",
+            format!(
+                "sweep element {index} is neither an EvalQuery (needs `shape`) \
+                 nor a StepQuery (needs `layers`)"
+            ),
+        ))
+    }
+}
+
+/// `POST /sweep`: a JSON array of queries, answered as NDJSON lines in
+/// completion order. Each line is `{"index": i, "result": ...}` or
+/// `{"index": i, "error": {...}}`; the whole batch shares the body cache
+/// and single-flight dedup, so duplicate elements cost one evaluation.
+fn handle_sweep<B: Backend>(
+    state: &Arc<ServeState<B>>,
+    body: &[u8],
+    stream: &mut TcpStream,
+) -> std::io::Result<()> {
+    let items: Vec<Value> = match parse_body(body) {
+        Ok(Value::Seq(items)) => items,
+        Ok(_) => {
+            return http::write_error(
+                stream,
+                &ApiError::bad_request("invalid_query", "sweep body must be a JSON array"),
+            )
+        }
+        Err(e) => return http::write_error(stream, &e),
+    };
+    state.count_sweep_queries(items.len() as u64);
+    http::write_stream_head(stream)?;
+    // Fan the elements over a small worker pool; lines stream back in
+    // completion order. Workers pull indices from a shared counter, so
+    // an expensive step query never blocks the cheap eval next to it.
+    let (tx, rx) = mpsc::channel::<(usize, String)>();
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let items = &items;
+            let state = Arc::clone(state);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let line = sweep_line(&state, item, i);
+                if tx.send((i, line)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // Stream lines as they complete. A write failure means the
+        // client hung up; stop writing but let the workers drain (their
+        // sends fail silently once the receiver is dropped).
+        let mut alive = true;
+        for (_, line) in rx {
+            if alive {
+                alive = stream
+                    .write_all(line.as_bytes())
+                    .and_then(|()| stream.write_all(b"\n"))
+                    .and_then(|()| stream.flush())
+                    .is_ok();
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Evaluates one sweep element into its NDJSON line.
+fn sweep_line<B: Backend>(state: &Arc<ServeState<B>>, item: &Value, index: usize) -> String {
+    let outcome = sweep_item(item, index).and_then(|q| match q {
+        SweepItem::Eval(query) => state.cached(&eval_key(&query), || {
+            let estimate = state.engine.evaluate(&query).map_err(ApiError::from)?;
+            serde_json::to_string(&estimate)
+                .map_err(|e| ApiError::internal(format!("result serialization failed: {e}")))
+        }),
+        SweepItem::Step(query) => state.cached(&step_key(&query), || {
+            let evaluation = state.engine.evaluate_step(&query).map_err(ApiError::from)?;
+            serde_json::to_string(&evaluation)
+                .map_err(|e| ApiError::internal(format!("result serialization failed: {e}")))
+        }),
+    });
+    match outcome {
+        // `body` is already a serialized JSON document, so splicing it
+        // into the line keeps the result bytes identical to the
+        // dedicated endpoints' responses.
+        Ok(body) => format!("{{\"index\":{index},\"result\":{body}}}"),
+        Err(e) => {
+            let line = Value::Map(vec![
+                ("index".into(), Value::U64(index as u64)),
+                (
+                    "error".into(),
+                    e.to_value().get("error").cloned().unwrap_or(Value::Null),
+                ),
+            ]);
+            serde_json::to_string(&line)
+                .unwrap_or_else(|_| format!("{{\"index\":{index},\"error\":null}}"))
+        }
+    }
+}

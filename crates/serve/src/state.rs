@@ -1,0 +1,434 @@
+//! Shared server state: the wrapped [`Engine`], a sharded concurrent
+//! cache of serialized response bodies, single-flight deduplication of
+//! identical in-flight queries, and the counters behind `GET /stats`.
+//!
+//! Two cache layers cooperate:
+//!
+//! * the **body cache** (here) maps an idempotency key — the query's
+//!   canonical serialization — to the exact response bytes, so a repeat
+//!   of a served query costs one shard-map lookup and no serialization;
+//! * the **engine caches** (`delta_model::engine`, persisted as cache
+//!   format v3) map query fingerprints to results, so even a body-cache
+//!   miss after a warm restart re-serializes a stored result instead of
+//!   replaying the backend — zero layer replays, byte-identical bytes.
+//!
+//! Single-flight: the first thread to miss on a key becomes the
+//! **leader** and evaluates; threads that arrive with the same key while
+//! the evaluation is in flight park on the leader's `Flight` and share
+//! its result. `GET /stats` therefore shows N concurrent duplicates as N
+//! requests but a single miss.
+
+use crate::error::ApiError;
+use delta_model::engine::Engine;
+use delta_model::Backend;
+use serde::Serialize;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Shard count for the body cache: enough to keep a handful of worker
+/// threads off each other's locks, small enough that `/stats` can sum
+/// entry counts cheaply.
+const BODY_CACHE_SHARDS: usize = 16;
+
+/// One in-flight evaluation that duplicate requests can join.
+#[derive(Default)]
+struct Flight {
+    slot: Mutex<Option<Result<String, ApiError>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn wait(&self) -> Result<String, ApiError> {
+        let mut slot = self.slot.lock().expect("flight slot poisoned");
+        while slot.is_none() {
+            slot = self.done.wait(slot).expect("flight slot poisoned");
+        }
+        slot.clone().expect("checked above")
+    }
+
+    fn fulfill(&self, result: Result<String, ApiError>) {
+        *self.slot.lock().expect("flight slot poisoned") = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// Per-endpoint request counters (cumulative since startup).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct RequestCounters {
+    /// `POST /eval` requests.
+    pub eval: u64,
+    /// `POST /step` requests.
+    pub step: u64,
+    /// `POST /sweep` requests (one per sweep, not per query).
+    pub sweep: u64,
+    /// Individual queries carried by sweeps.
+    pub sweep_queries: u64,
+    /// `GET /stats` requests.
+    pub stats: u64,
+}
+
+/// Body-cache effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct BodyCacheCounters {
+    /// Responses served straight from the body cache.
+    pub hits: u64,
+    /// Evaluations actually performed (single-flight leaders).
+    pub misses: u64,
+    /// Requests that joined an identical in-flight evaluation instead of
+    /// starting their own.
+    pub deduped: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+/// Mirror of [`delta_model::engine::CacheStats`] with a serializable
+/// shape (the core type does not derive `Serialize`).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct EngineCacheCounters {
+    /// Per-layer queries answered from the engine cache.
+    pub hits: u64,
+    /// Per-layer queries that ran a backend evaluation.
+    pub misses: u64,
+    /// Whole-step queries answered from the step cache (zero replays).
+    pub step_hits: u64,
+    /// Whole-step queries that ran an evaluation.
+    pub step_misses: u64,
+}
+
+/// The `GET /stats` response document.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct StatsResponse {
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
+    /// Requests currently being handled (includes this `/stats` call).
+    pub in_flight: u64,
+    /// Per-endpoint request counters.
+    pub requests: RequestCounters,
+    /// Body-cache counters (the serve-layer cache).
+    pub cache: BodyCacheCounters,
+    /// Engine-cache counters (the layer/step result cache beneath).
+    pub engine: EngineCacheCounters,
+}
+
+/// Everything the worker threads share.
+pub struct ServeState<B: Backend> {
+    /// The wrapped evaluation engine (its own caches are the persistent
+    /// warm store).
+    pub engine: Engine<B>,
+    shards: Vec<Mutex<HashMap<String, String>>>,
+    flights: Mutex<HashMap<String, Arc<Flight>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    deduped: AtomicU64,
+    in_flight: AtomicU64,
+    requests_eval: AtomicU64,
+    requests_step: AtomicU64,
+    requests_sweep: AtomicU64,
+    requests_sweep_queries: AtomicU64,
+    requests_stats: AtomicU64,
+    started: Instant,
+    cache_file: Option<PathBuf>,
+    dirty: AtomicBool,
+}
+
+/// Which endpoint a request counter tick belongs to.
+#[derive(Debug, Clone, Copy)]
+pub enum Endpoint {
+    /// `POST /eval`.
+    Eval,
+    /// `POST /step`.
+    Step,
+    /// `POST /sweep`.
+    Sweep,
+    /// `GET /stats`.
+    Stats,
+}
+
+impl<B: Backend> ServeState<B> {
+    /// Wraps `backend` in an engine; if `cache_file` exists it is loaded
+    /// as the warm store (errors propagate — a mismatched cache file is
+    /// a configuration mistake, not something to silently ignore).
+    /// Returns the state and the number of warm entries loaded.
+    pub fn new(backend: B, cache_file: Option<PathBuf>) -> std::io::Result<(ServeState<B>, usize)> {
+        let engine = Engine::new(backend);
+        let mut warm = 0;
+        if let Some(path) = &cache_file {
+            if path.exists() {
+                warm = engine.load_cache(path)?;
+            }
+        }
+        Ok((
+            ServeState {
+                engine,
+                shards: (0..BODY_CACHE_SHARDS)
+                    .map(|_| Mutex::new(HashMap::new()))
+                    .collect(),
+                flights: Mutex::new(HashMap::new()),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                deduped: AtomicU64::new(0),
+                in_flight: AtomicU64::new(0),
+                requests_eval: AtomicU64::new(0),
+                requests_step: AtomicU64::new(0),
+                requests_sweep: AtomicU64::new(0),
+                requests_sweep_queries: AtomicU64::new(0),
+                requests_stats: AtomicU64::new(0),
+                started: Instant::now(),
+                cache_file,
+                dirty: AtomicBool::new(false),
+            },
+            warm,
+        ))
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<HashMap<String, String>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// The cached single-flight evaluation path. `key` is the query's
+    /// idempotency key; `evaluate` runs at most once per key across all
+    /// concurrent callers (errors are shared with the flight's joiners
+    /// but not cached — a later retry re-evaluates).
+    pub fn cached(
+        &self,
+        key: &str,
+        evaluate: impl FnOnce() -> Result<String, ApiError>,
+    ) -> Result<String, ApiError> {
+        // Fast path: a settled result needs no coordination.
+        if let Some(body) = self
+            .shard(key)
+            .lock()
+            .expect("body cache poisoned")
+            .get(key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(body.clone());
+        }
+        enum Role {
+            Hit(String),
+            Join(Arc<Flight>),
+            Lead(Arc<Flight>),
+        }
+        // Slow path: the flights map is the coordination point. The
+        // re-check under its lock closes the race against a leader that
+        // settled between our fast-path miss and here (leaders insert
+        // into the shard before removing their flight).
+        let role = {
+            let mut flights = self.flights.lock().expect("flights poisoned");
+            if let Some(body) = self
+                .shard(key)
+                .lock()
+                .expect("body cache poisoned")
+                .get(key)
+            {
+                Role::Hit(body.clone())
+            } else if let Some(f) = flights.get(key) {
+                Role::Join(f.clone())
+            } else {
+                let f = Arc::new(Flight::default());
+                flights.insert(key.to_string(), f.clone());
+                Role::Lead(f)
+            }
+        };
+        match role {
+            Role::Hit(body) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(body)
+            }
+            Role::Join(flight) => {
+                self.deduped.fetch_add(1, Ordering::Relaxed);
+                flight.wait()
+            }
+            Role::Lead(flight) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let result = evaluate();
+                if let Ok(body) = &result {
+                    self.shard(key)
+                        .lock()
+                        .expect("body cache poisoned")
+                        .insert(key.to_string(), body.clone());
+                    self.dirty.store(true, Ordering::Relaxed);
+                }
+                flight.fulfill(result.clone());
+                self.flights.lock().expect("flights poisoned").remove(key);
+                result
+            }
+        }
+    }
+
+    /// Counts one request against `endpoint`.
+    pub fn count_request(&self, endpoint: Endpoint) {
+        let counter = match endpoint {
+            Endpoint::Eval => &self.requests_eval,
+            Endpoint::Step => &self.requests_step,
+            Endpoint::Sweep => &self.requests_sweep,
+            Endpoint::Stats => &self.requests_stats,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` queries carried by a sweep.
+    pub fn count_sweep_queries(&self, n: u64) {
+        self.requests_sweep_queries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Marks a connection as being handled; the guard decrements on
+    /// drop.
+    pub fn enter(&self) -> InFlightGuard<'_> {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard {
+            counter: &self.in_flight,
+        }
+    }
+
+    /// A point-in-time stats snapshot.
+    pub fn snapshot(&self) -> StatsResponse {
+        let engine = self.engine.cache_stats();
+        StatsResponse {
+            uptime_seconds: self.started.elapsed().as_secs_f64(),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            requests: RequestCounters {
+                eval: self.requests_eval.load(Ordering::Relaxed),
+                step: self.requests_step.load(Ordering::Relaxed),
+                sweep: self.requests_sweep.load(Ordering::Relaxed),
+                sweep_queries: self.requests_sweep_queries.load(Ordering::Relaxed),
+                stats: self.requests_stats.load(Ordering::Relaxed),
+            },
+            cache: BodyCacheCounters {
+                hits: self.hits.load(Ordering::Relaxed),
+                misses: self.misses.load(Ordering::Relaxed),
+                deduped: self.deduped.load(Ordering::Relaxed),
+                entries: self
+                    .shards
+                    .iter()
+                    .map(|s| s.lock().expect("body cache poisoned").len() as u64)
+                    .sum(),
+            },
+            engine: EngineCacheCounters {
+                hits: engine.hits,
+                misses: engine.misses,
+                step_hits: engine.step_hits,
+                step_misses: engine.step_misses,
+            },
+        }
+    }
+
+    /// Persists the engine caches to the configured cache file if any
+    /// new result landed since the last save. Returns the entry count
+    /// written, `None` when nothing needed saving or no file is
+    /// configured. Failures are returned for the caller to report; the
+    /// dirty flag is re-armed so the next save retries.
+    pub fn save_if_dirty(&self) -> Option<std::io::Result<usize>> {
+        let path = self.cache_file.as_ref()?;
+        if !self.dirty.swap(false, Ordering::Relaxed) {
+            return None;
+        }
+        let result = self.engine.save_cache(path);
+        if result.is_err() {
+            self.dirty.store(true, Ordering::Relaxed);
+        }
+        Some(result)
+    }
+}
+
+/// RAII in-flight marker returned by [`ServeState::enter`].
+pub struct InFlightGuard<'a> {
+    counter: &'a AtomicU64,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_model::{Delta, GpuSpec};
+
+    fn state() -> ServeState<Delta> {
+        ServeState::new(Delta::new(GpuSpec::titan_xp()), None)
+            .expect("no cache file, cannot fail")
+            .0
+    }
+
+    #[test]
+    fn cached_serves_repeats_without_reevaluating() {
+        let s = state();
+        let calls = AtomicU64::new(0);
+        for _ in 0..3 {
+            let body = s
+                .cached("k", || {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    Ok("body".into())
+                })
+                .unwrap();
+            assert_eq!(body, "body");
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.cache.misses, 1);
+        assert_eq!(snap.cache.hits, 2);
+        assert_eq!(snap.cache.entries, 1);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let s = state();
+        let err = s
+            .cached("k", || Err(ApiError::bad_request("invalid_query", "no")))
+            .unwrap_err();
+        assert_eq!(err.status, 400);
+        // The retry evaluates again and can succeed.
+        let body = s.cached("k", || Ok("fine".into())).unwrap();
+        assert_eq!(body, "fine");
+        assert_eq!(s.snapshot().cache.misses, 2);
+    }
+
+    #[test]
+    fn concurrent_duplicates_share_one_evaluation() {
+        let s = Arc::new(state());
+        let calls = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = s.clone();
+            let calls = calls.clone();
+            handles.push(std::thread::spawn(move || {
+                s.cached("dup", move || {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    // Hold the flight open long enough for the others to
+                    // pile in.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    Ok("shared".into())
+                })
+                .unwrap()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), "shared");
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "single-flight");
+        let snap = s.snapshot();
+        assert_eq!(snap.cache.misses, 1);
+        assert_eq!(snap.cache.hits + snap.cache.deduped, 7);
+    }
+
+    #[test]
+    fn in_flight_guard_counts() {
+        let s = state();
+        {
+            let _a = s.enter();
+            let _b = s.enter();
+            assert_eq!(s.snapshot().in_flight, 2);
+        }
+        assert_eq!(s.snapshot().in_flight, 0);
+    }
+}

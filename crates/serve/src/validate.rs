@@ -1,0 +1,188 @@
+//! Strict request validation: unknown fields are 400s, not silence.
+//!
+//! The vendored serde derive (like real serde's default) *ignores* map
+//! keys it does not recognize, which is the wrong contract for a wire
+//! protocol — a client that misspells `bucket_mb` as `bucket_mib` would
+//! silently get the default instead of an error. So before the typed
+//! deserialization runs, every request body is walked as a [`Value`]
+//! tree and each object's keys are checked against the schema's allowed
+//! set. Type mismatches and missing fields are left to the typed
+//! deserializer, whose errors are surfaced as `invalid_query` 400s.
+
+use crate::error::ApiError;
+use serde::Value;
+
+/// `EvalQuery` top-level fields.
+const EVAL_QUERY_KEYS: &[&str] = &["shape", "pass", "parallelism"];
+/// `StepQuery` top-level fields.
+const STEP_QUERY_KEYS: &[&str] = &["layers", "parallelism", "bucket_mb", "overlap"];
+/// `LayerShape` fields (label-free).
+const SHAPE_KEYS: &[&str] = &[
+    "batch",
+    "in_channels",
+    "in_height",
+    "in_width",
+    "out_channels",
+    "filter_height",
+    "filter_width",
+    "stride",
+    "pad",
+];
+/// `ConvLayer` fields: a shape plus its label.
+const LAYER_KEYS: &[&str] = &[
+    "label",
+    "batch",
+    "in_channels",
+    "in_height",
+    "in_width",
+    "out_channels",
+    "filter_height",
+    "filter_width",
+    "stride",
+    "pad",
+];
+/// `GpuSpec` fields (the full device description `Parallelism::Multi`
+/// carries per device).
+const GPU_KEYS: &[&str] = &[
+    "name",
+    "num_sm",
+    "core_clock_ghz",
+    "mac_gflops",
+    "reg_bytes_per_sm",
+    "smem_bytes_per_sm",
+    "l1_bytes_per_sm",
+    "l2_bytes",
+    "l1_bw_gbps_per_sm",
+    "l2_bw_gbps",
+    "dram_bw_gbps",
+    "smem_ld_bytes_per_clk",
+    "smem_st_bytes_per_clk",
+    "lat_smem_clks",
+    "lat_l1_clks",
+    "lat_l2_clks",
+    "lat_dram_clks",
+    "l1_request_bytes",
+    "max_ctas_per_sm",
+];
+
+/// Rejects any key of `v` (when it is an object) outside `allowed`.
+fn check_keys(v: &Value, allowed: &[&str], context: &str) -> Result<(), ApiError> {
+    if let Value::Map(entries) = v {
+        for (key, _) in entries {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ApiError::bad_request(
+                    "unknown_field",
+                    format!(
+                        "unknown field `{key}` in {context} (allowed: {})",
+                        allowed.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a `Parallelism` object's keys against its `mode` tag.
+fn parallelism(v: &Value) -> Result<(), ApiError> {
+    let mode = match v.get("mode") {
+        Some(Value::Str(s)) => s.as_str(),
+        // Missing/mis-typed mode: let the typed deserializer report it.
+        _ => return Ok(()),
+    };
+    match mode {
+        "single" => check_keys(v, &["mode"], "parallelism (mode: single)")?,
+        "sharded" => check_keys(v, &["mode", "workers"], "parallelism (mode: sharded)")?,
+        "multi" => {
+            check_keys(
+                v,
+                &["mode", "devices", "interconnect", "topology"],
+                "parallelism (mode: multi)",
+            )?;
+            if let Some(Value::Seq(devices)) = v.get("devices") {
+                for (i, d) in devices.iter().enumerate() {
+                    check_keys(d, GPU_KEYS, &format!("devices[{i}] (a GpuSpec)"))?;
+                }
+            }
+        }
+        // Unknown mode: the typed deserializer's error names it.
+        _ => {}
+    }
+    Ok(())
+}
+
+/// Validates an `EvalQuery` body's keys at every nesting level.
+pub fn eval_query(v: &Value) -> Result<(), ApiError> {
+    check_keys(v, EVAL_QUERY_KEYS, "EvalQuery")?;
+    if let Some(shape) = v.get("shape") {
+        check_keys(shape, SHAPE_KEYS, "shape (a LayerShape)")?;
+    }
+    if let Some(p) = v.get("parallelism") {
+        parallelism(p)?;
+    }
+    Ok(())
+}
+
+/// Validates a `StepQuery` body's keys at every nesting level.
+pub fn step_query(v: &Value) -> Result<(), ApiError> {
+    check_keys(v, STEP_QUERY_KEYS, "StepQuery")?;
+    if let Some(Value::Seq(layers)) = v.get("layers") {
+        for (i, l) in layers.iter().enumerate() {
+            check_keys(l, LAYER_KEYS, &format!("layers[{i}] (a ConvLayer)"))?;
+        }
+    }
+    if let Some(p) = v.get("parallelism") {
+        parallelism(p)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Value {
+        serde_json::from_str(s).unwrap()
+    }
+
+    #[test]
+    fn unknown_top_level_field_is_rejected() {
+        let v = parse(r#"{"shape": {}, "pass": "Fwd", "parallelism": {"mode": "single"}, "x": 1}"#);
+        let err = eval_query(&v).unwrap_err();
+        assert_eq!(err.code, "unknown_field");
+        assert!(err.message.contains("`x`"), "{}", err.message);
+    }
+
+    #[test]
+    fn unknown_nested_fields_are_rejected_with_context() {
+        let v = parse(r#"{"shape": {"batch": 1, "depth": 3}}"#);
+        let err = eval_query(&v).unwrap_err();
+        assert!(err.message.contains("`depth`"), "{}", err.message);
+        assert!(err.message.contains("LayerShape"), "{}", err.message);
+
+        let v = parse(
+            r#"{"parallelism": {"mode": "multi", "devices": [{"name": "g", "hbm": 1}],
+                "interconnect": "Ideal", "topology": null}}"#,
+        );
+        let err = eval_query(&v).unwrap_err();
+        assert!(err.message.contains("`hbm`"), "{}", err.message);
+        assert!(err.message.contains("GpuSpec"), "{}", err.message);
+    }
+
+    #[test]
+    fn mode_scoped_keys() {
+        let v = parse(r#"{"parallelism": {"mode": "single", "workers": 4}}"#);
+        assert!(eval_query(&v).is_err(), "workers is a sharded-only field");
+        let v = parse(r#"{"parallelism": {"mode": "sharded", "workers": 4}}"#);
+        assert!(eval_query(&v).is_ok());
+    }
+
+    #[test]
+    fn step_query_layers_are_label_carrying() {
+        let v = parse(r#"{"layers": [{"label": "c1", "batch": 1}]}"#);
+        assert!(step_query(&v).is_ok());
+        let v = parse(r#"{"layers": [{"label": "c1", "nonsense": 1}]}"#);
+        let err = step_query(&v).unwrap_err();
+        assert!(err.message.contains("layers[0]"), "{}", err.message);
+    }
+}
