@@ -1,0 +1,8 @@
+//! Measures distributed fleet replay vs. executor count, plus the
+//! kill-one recovery row. Flags: --full, --smoke, --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary(
+        "fleet_scaling",
+        delta_bench::experiments::fleet_scaling::run,
+    );
+}

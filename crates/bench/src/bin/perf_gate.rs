@@ -31,12 +31,15 @@
 //! sharded run), the collective scheduler's bounds
 //! (`max(compute, comm) ≤ step ≤ serial`, overlap-off `step == serial`,
 //! across every topology preset), the PR-4 golden byte identity of
-//! the pinned multi-GPU evaluation through the query API, and the
+//! the pinned multi-GPU evaluation through the query API, the
 //! serving layer's warm/dedup identity (`serve_warm_dedup`: concurrent
 //! duplicate requests over a real socket collapse onto one evaluation,
 //! and a server restarted from its persisted warm store answers
-//! byte-identically with zero layer replays) — run everywhere and are
-//! never skipped.
+//! byte-identically with zero layer replays), and the distributed
+//! fleet's identity (`fleet_identical`: a socket-connected executor
+//! fleet — with one executor rigged to die mid-run, forcing a
+//! re-dispatch — answers byte-identically to the in-process
+//! evaluation) — run everywhere and are never skipped.
 
 use delta_bench::experiments::{narrow_scaling, shard_scaling};
 use delta_bench::serve_client;
@@ -105,6 +108,11 @@ struct GateReport {
     /// server restarted from the persisted warm store reproduced the
     /// same bytes with zero layer replays (must always be true).
     serve_warm_dedup: bool,
+    /// Whether a 2-executor socket fleet — one executor killed after
+    /// its first job, forcing at least one re-dispatch onto the
+    /// survivor — answered the 4-way sharded query byte-identically to
+    /// the in-process evaluation (must always be true).
+    fleet_identical: bool,
 }
 
 /// The checked-in expectations (`BENCH_BASELINE.json`).
@@ -224,6 +232,86 @@ fn serve_identity_holds(gpu: &GpuSpec, config: SimConfig, step_query: &StepQuery
     }
     warm.shutdown();
     let _ = std::fs::remove_file(&warm_store);
+    ok
+}
+
+/// The `fleet_identical` check: a 2-executor distributed fleet — one
+/// executor rigged to die after its first job — answers the
+/// widest-layer 4-way sharded query over real sockets. The distributed
+/// estimate must serialize byte-identically to the in-process one, and
+/// the run must actually have exercised the recovery path (at least one
+/// re-dispatch and one executor lost — a kill that forced no recovery
+/// proves nothing). Any failure is reported on stderr and returned as
+/// `false`; nothing here is timed, so the check is core-count
+/// independent and never skipped.
+fn fleet_identity_holds(gpu: &GpuSpec, config: SimConfig) -> bool {
+    use delta_fleet::{Coordinator, ExecutorConfig, FaultPlan, FleetConfig};
+
+    let sim = Simulator::new(gpu.clone(), config);
+    let layer = match shard_scaling::widest_layer(16) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("perf_gate: fleet check layer invalid: {e}");
+            return false;
+        }
+    };
+    let query = EvalQuery::forward(&layer, Parallelism::Sharded { workers: 4 });
+    let reference = match sim.evaluate(&query) {
+        Ok(e) => serde_json::to_string(&e).expect("serializable estimate"),
+        Err(e) => {
+            eprintln!("perf_gate: local reference evaluation failed: {e}");
+            return false;
+        }
+    };
+
+    let mut faulty = ExecutorConfig::new("127.0.0.1:0");
+    faulty.fault = FaultPlan {
+        die_after_jobs: Some(1),
+        ..FaultPlan::default()
+    };
+    let executors = [faulty, ExecutorConfig::new("127.0.0.1:0")]
+        .into_iter()
+        .map(|c| delta_fleet::executor::spawn(sim.clone(), c))
+        .collect::<Result<Vec<_>, _>>();
+    let executors = match executors {
+        Ok(handles) => handles,
+        Err(e) => {
+            eprintln!("perf_gate: cannot spawn fleet executors: {e}");
+            return false;
+        }
+    };
+    let mut fleet_config =
+        FleetConfig::new(executors.iter().map(|h| h.addr().to_string()).collect());
+    fleet_config.retry_budget = 5;
+    let coordinator = match Coordinator::connect(sim, fleet_config) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("perf_gate: fleet handshake failed: {e}");
+            return false;
+        }
+    };
+    let distributed = match coordinator.evaluate(&query) {
+        Ok(e) => serde_json::to_string(&e).expect("serializable estimate"),
+        Err(e) => {
+            eprintln!("perf_gate: distributed evaluation failed: {e}");
+            return false;
+        }
+    };
+    let stats = coordinator.stats();
+    let mut ok = true;
+    if distributed != reference {
+        eprintln!("perf_gate: distributed estimate differs from the in-process bytes");
+        ok = false;
+    }
+    if stats.redispatches < 1 || stats.executors_lost < 1 {
+        eprintln!(
+            "perf_gate: the rigged executor kill forced no recovery \
+             ({} re-dispatches, {} executors lost) — the check did not \
+             exercise the re-dispatch path",
+            stats.redispatches, stats.executors_lost
+        );
+        ok = false;
+    }
     ok
 }
 
@@ -414,6 +502,12 @@ fn measure(reps: u32) -> GateReport {
     // the bytes with zero layer replays.
     let serve_warm_dedup = serve_identity_holds(&gpu, config, &step_query);
 
+    // Path 8 (correctness only): the distributed executor fleet end to
+    // end, over real sockets and through a forced mid-run executor
+    // death. The coordinator's merged answer must reproduce the
+    // in-process bytes exactly — including across a re-dispatch.
+    let fleet_identical = fleet_identity_holds(&gpu, config);
+
     GateReport {
         cores: rayon::current_num_threads(),
         engine_cached_speedup: t_loop / t_engine,
@@ -427,6 +521,7 @@ fn measure(reps: u32) -> GateReport {
         overlap_bounds_ok,
         golden_identical,
         serve_warm_dedup,
+        fleet_identical,
     }
 }
 
@@ -488,7 +583,8 @@ fn main() {
          narrow_shard_speedup     = {:.2}x\n  narrow_shard_identical   = {}\n  \
          warm_step_cache_speedup  = {:.2}x\n  warm_step_identical      = {}\n  \
          multigpu_ideal_identical = {}\n  overlap_bounds_ok        = {}\n  \
-         golden_identical         = {}\n  serve_warm_dedup         = {}",
+         golden_identical         = {}\n  serve_warm_dedup         = {}\n  \
+         fleet_identical          = {}",
         report.cores,
         report.engine_cached_speedup,
         report.shard_speedup_4w,
@@ -500,7 +596,8 @@ fn main() {
         report.multigpu_ideal_identical,
         report.overlap_bounds_ok,
         report.golden_identical,
-        report.serve_warm_dedup
+        report.serve_warm_dedup,
+        report.fleet_identical
     );
 
     if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
@@ -563,6 +660,14 @@ fn main() {
              requests did not collapse onto one evaluation with identical bytes, \
              or the warm restart from the persisted store replayed layers or \
              answered different bytes (details on stderr above)"
+                .to_string(),
+        );
+    }
+    if !report.fleet_identical {
+        failures.push(
+            "distributed fleet evaluation is not byte-identical to the in-process \
+             one, or the forced executor kill did not exercise the re-dispatch \
+             path (details on stderr above)"
                 .to_string(),
         );
     }

@@ -9,6 +9,8 @@
 //! delta timeline <alexnet|...> --backend sim --gpus G [--topology T --bucket-mb M --overlap on]
 //! delta scaling [--backend model|sim] [--batch N --gpu G]                 the 9 design options on ResNet152
 //! delta serve   [--addr A --backend model|sim --threads N --cache-file F] evaluation as an HTTP service
+//! delta executor [--addr A --gpu G --exhaustive]                          one fleet executor daemon
+//! delta fleet-run <alexnet|...> (--executors a,b,... | --local-executors N) distributed evaluation
 //! delta gpus                                                              list device presets
 //! delta help
 //! ```
@@ -811,6 +813,128 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     .map_err(|e| format!("serve: {e}"))
 }
 
+/// `delta executor`: run one fleet executor daemon in the foreground
+/// until SIGINT/SIGTERM. Like `serve`, the execution-configuration
+/// flags are per-job — the coordinator sends each unit's coordinates —
+/// so only the device and the sampling mode configure the executor, and
+/// both must match the coordinator's (the handshake refuses a
+/// mismatch).
+fn cmd_executor(flags: &HashMap<String, String>) -> Result<(), String> {
+    let gpu = gpu_from(flags)?;
+    for f in [
+        "shards",
+        "gpus",
+        "interconnect",
+        "topology",
+        "bucket-mb",
+        "overlap",
+        "batch",
+        "backend",
+    ] {
+        if flags.contains_key(f) {
+            return Err(format!(
+                "--{f} is not an executor knob: the coordinator sends each job's \
+                 configuration (see docs/FLEET.md)"
+            ));
+        }
+    }
+    let sim_config = if flags.contains_key("exhaustive") {
+        SimConfig::exhaustive()
+    } else {
+        SimConfig::default()
+    };
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7979".to_string());
+    delta_fleet::executor::run(
+        Simulator::new(gpu, sim_config),
+        delta_fleet::ExecutorConfig::new(addr),
+    )
+    .map_err(|e| format!("executor: {e}"))
+}
+
+/// The fleet membership `fleet-run` flags describe: explicit
+/// `--executors host:port,...`, or `--local-executors N` spawned
+/// in-process (handles keep them alive until the run finishes).
+fn fleet_members(
+    flags: &HashMap<String, String>,
+    sim: &Simulator,
+) -> Result<(Vec<delta_fleet::ExecutorHandle>, Vec<String>), String> {
+    match (flags.get("executors"), flags.get("local-executors")) {
+        (Some(_), Some(_)) => {
+            Err("--executors and --local-executors are mutually exclusive".into())
+        }
+        (Some(list), None) => {
+            let addrs: Vec<String> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|a| !a.is_empty())
+                .map(String::from)
+                .collect();
+            if addrs.is_empty() {
+                return Err("--executors expects a comma-separated host:port list".into());
+            }
+            Ok((Vec::new(), addrs))
+        }
+        (None, Some(v)) => {
+            let n: u32 = v.parse().ok().filter(|n| *n >= 1).ok_or(format!(
+                "--local-executors expects an executor count >= 1, got `{v}`"
+            ))?;
+            let handles = delta_fleet::spawn_local_executors(sim, n)
+                .map_err(|e| format!("cannot spawn local executors: {e}"))?;
+            let addrs = handles.iter().map(|h| h.addr().to_string()).collect();
+            Ok((handles, addrs))
+        }
+        (None, None) => Err(
+            "fleet-run needs a fleet: --executors host:port,... (daemons started with \
+             `delta executor`) or --local-executors N (spawned in-process)"
+                .into(),
+        ),
+    }
+}
+
+/// `delta fleet-run`: evaluate a network with the replay work fanned
+/// across executor processes — same engine, same caching, same output
+/// as `network --backend sim`, and bitwise-identical numbers (the
+/// fleet merge contract). Fleet health counters go to stderr.
+fn cmd_fleet_run(name: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    reject_sched_flags(flags, "fleet-run")?;
+    let gpu = gpu_from(flags)?;
+    if flags.contains_key("backend") && flags.get("backend").map(String::as_str) != Some("sim") {
+        return Err("fleet-run is sim-only: executors replay the trace-driven simulator".into());
+    }
+    let config = sim_config_from(flags)?;
+    let gpus = multi_gpu_from(flags, BackendChoice::Sim)?;
+    let batch = batch_from(flags, BackendChoice::Sim, 256)?;
+    let net = find_network(name, batch)?;
+    let json = flags.contains_key("json");
+    let sim = Simulator::new(gpu.clone(), config);
+    warn_surplus_shards(&sim, net.layers());
+    if let Some(g) = gpus {
+        warn_surplus_gpus(&sim, net.layers(), g);
+    }
+    let par = parallelism_from(&gpu, gpus, &config);
+    let (handles, executors) = fleet_members(flags, &sim)?;
+    let coordinator =
+        delta_fleet::Coordinator::connect(sim, delta_fleet::FleetConfig::new(executors))
+            .map_err(|e| e.to_string())?;
+    let engine = Engine::new(coordinator);
+    with_cache_file(&engine, flags, |e| print_network_eval(e, &net, json, &par))?;
+    let stats = engine.backend().stats();
+    eprintln!(
+        "fleet: {} jobs dispatched, {} completed, {} re-dispatched, \
+         {} duplicates dropped, {} executors lost",
+        stats.dispatched,
+        stats.completed,
+        stats.redispatches,
+        stats.duplicates_dropped,
+        stats.executors_lost
+    );
+    drop(handles);
+    Ok(())
+}
+
 fn usage() -> String {
     "usage: delta <command> [flags]\n\
      commands:\n  \
@@ -825,6 +949,10 @@ fn usage() -> String {
      --gpus G --interconnect I --topology T --bucket-mb M --overlap on|off --json]\n  \
      scaling  [--backend model|sim --batch N --gpu G --shards N]\n  \
      serve    [--addr A --backend model|sim --gpu G --threads N --cache-file F --exhaustive]\n  \
+     executor [--addr A --gpu G --exhaustive]\n  \
+     fleet-run <alexnet|vgg16|googlenet|resnet152> (--executors host:port,... | --local-executors N)\n           \
+     [--batch N --gpu G --shards N --gpus G --interconnect I --topology T\n           \
+     --cache-file F --json --exhaustive]\n  \
      gpus\n  \
      help\n\
      flags:\n  \
@@ -848,12 +976,18 @@ fn usage() -> String {
      --cache-file   persist the engine's shape- and step-keyed results to F and reuse them\n                 \
      next run (a warm multi-GPU train step replays nothing; serve uses F as\n                 \
      its warm store, saved on shutdown and periodically)\n  \
-     --addr         serve only: bind address (default 127.0.0.1:7878; port 0 picks a port)\n  \
+     --addr         serve: bind address (default 127.0.0.1:7878); executor: likewise\n                 \
+     (default 127.0.0.1:7979; port 0 picks a port)\n  \
      --threads      serve only: worker-thread count (default 4)\n  \
+     --executors    fleet-run only: comma-separated executor addresses (daemons started\n                 \
+     with `delta executor`; every executor must match the coordinator's\n                 \
+     GPU and sampling mode — the handshake refuses a mismatch)\n  \
+     --local-executors  fleet-run only: spawn N executors in-process instead\n  \
      --json         machine-readable output where supported\n\
      multi-layer commands run on all cores with shape-keyed result caching;\n\
-     serve answers POST /eval, POST /step, POST /sweep and GET /stats over HTTP\n\
-     (wire contract: docs/PROTOCOL.md)"
+     serve answers POST /eval, POST /step, POST /sweep, GET /healthz and GET /stats over\n\
+     HTTP (wire contract: docs/PROTOCOL.md); fleet-run fans replays across executor\n\
+     processes with a bitwise-exact merge (wire contract: docs/FLEET.md)"
         .to_string()
 }
 
@@ -875,6 +1009,11 @@ fn run(positional: &[String], flags: &HashMap<String, String>) -> Result<(), Str
         },
         Some("scaling") => cmd_scaling(flags),
         Some("serve") => cmd_serve(flags),
+        Some("executor") => cmd_executor(flags),
+        Some("fleet-run") => match positional.get(1) {
+            Some(name) => cmd_fleet_run(name, flags),
+            None => Err("fleet-run command needs a network name".into()),
+        },
         Some("gpus") => {
             cmd_gpus();
             Ok(())

@@ -153,6 +153,71 @@ impl fmt::Display for LayerEstimate {
     }
 }
 
+/// The identity triple a [`Backend`]'s answers depend on: backend name,
+/// GPU name, and the opaque [`Backend::config_fingerprint`]. Two
+/// backends with equal fingerprints answer every query identically, so
+/// the triple is the compatibility check shared by the persistent
+/// cache header guard ([`crate::engine::Engine::load_cache`]), the
+/// fleet coordinator/executor handshake, and `delta serve`'s
+/// `GET /healthz` probe.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackendFingerprint {
+    /// [`Backend::name`] — `"model"`, `"sim"`.
+    pub backend: String,
+    /// [`crate::gpu::GpuSpec::name`] of the device evaluated on.
+    pub gpu: String,
+    /// [`Backend::config_fingerprint`] — every knob beyond the name,
+    /// the GPU, and the axes a query itself carries.
+    pub config: String,
+}
+
+/// How two [`BackendFingerprint`]s disagree, ordered by severity:
+/// identity (wrong backend or device) before configuration (same
+/// estimator, different knobs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FingerprintMismatch {
+    /// Backend name or GPU name differ — results measure a different
+    /// estimator or device entirely.
+    Identity,
+    /// Same backend and GPU, but the configuration fingerprint (e.g.
+    /// sampling limits) differs.
+    Config,
+}
+
+impl BackendFingerprint {
+    /// Captures the fingerprint of a live backend.
+    pub fn of<B: Backend + ?Sized>(backend: &B) -> BackendFingerprint {
+        BackendFingerprint {
+            backend: backend.name().to_string(),
+            gpu: backend.gpu().name().to_string(),
+            config: backend.config_fingerprint(),
+        }
+    }
+
+    /// Compares against another fingerprint: `None` when compatible
+    /// (results interchange bitwise), otherwise the most severe
+    /// disagreement.
+    pub fn mismatch(&self, other: &BackendFingerprint) -> Option<FingerprintMismatch> {
+        if self.backend != other.backend || self.gpu != other.gpu {
+            Some(FingerprintMismatch::Identity)
+        } else if self.config != other.config {
+            Some(FingerprintMismatch::Config)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for BackendFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "backend `{}` on `{}` (config `{}`)",
+            self.backend, self.gpu, self.config
+        )
+    }
+}
+
 /// Builds the serial compute-span list of a training step from its
 /// per-layer pass estimates: forward spans in network order, then
 /// dgrad/wgrad pairs in reverse layer order (the first layer skips
@@ -495,6 +560,50 @@ mod tests {
         let json = serde_json::to_string(&est).unwrap();
         let back: LayerEstimate = serde_json::from_str(&json).unwrap();
         assert_eq!(est, back);
+    }
+
+    #[test]
+    fn fingerprint_captures_the_identity_triple() {
+        let delta = Delta::new(GpuSpec::titan_xp());
+        let fp = BackendFingerprint::of(&delta);
+        assert_eq!(fp.backend, "model");
+        assert_eq!(fp.gpu, "TITAN Xp");
+        assert_eq!(fp.config, delta.config_fingerprint());
+        assert_eq!(fp.mismatch(&fp), None);
+        let s = fp.to_string();
+        assert!(
+            s.contains("backend `model`") && s.contains("`TITAN Xp`"),
+            "{s}"
+        );
+        // Serde round trip — the handshake and /healthz ship it as JSON.
+        let json = serde_json::to_string(&fp).unwrap();
+        let back: BackendFingerprint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fp);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_ranks_identity_over_config() {
+        let a = BackendFingerprint {
+            backend: "sim".into(),
+            gpu: "TITAN Xp".into(),
+            config: "{}".into(),
+        };
+        let mut other_backend = a.clone();
+        other_backend.backend = "model".into();
+        let mut other_gpu = a.clone();
+        other_gpu.gpu = "V100".into();
+        let mut other_config = a.clone();
+        other_config.config = "{\"shards\":2}".into();
+        assert_eq!(
+            a.mismatch(&other_backend),
+            Some(FingerprintMismatch::Identity)
+        );
+        assert_eq!(a.mismatch(&other_gpu), Some(FingerprintMismatch::Identity));
+        assert_eq!(a.mismatch(&other_config), Some(FingerprintMismatch::Config));
+        // Identity wins even when the config also differs.
+        let mut both = other_backend.clone();
+        both.config = other_config.config.clone();
+        assert_eq!(a.mismatch(&both), Some(FingerprintMismatch::Identity));
     }
 
     #[test]

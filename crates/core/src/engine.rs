@@ -40,7 +40,7 @@
 //! # }
 //! ```
 
-use crate::backend::{Backend, LayerEstimate};
+use crate::backend::{Backend, BackendFingerprint, FingerprintMismatch, LayerEstimate};
 use crate::error::Error;
 use crate::layer::ConvLayer;
 use crate::perf::Bottleneck;
@@ -362,26 +362,38 @@ impl<B: Backend> Engine<B> {
         // typed view from the same tree instead of re-parsing the text.
         let file: CacheFile = Deserialize::from_value(&probe)
             .map_err(|e| invalid(format!("malformed cache file {}: {e}", path.display())))?;
-        if file.backend != self.backend.name() || file.gpu != self.backend.gpu().name() {
-            return Err(invalid(format!(
-                "cache file {} was produced by backend `{}` on `{}`, \
-                 but this engine runs `{}` on `{}`",
-                path.display(),
-                file.backend,
-                file.gpu,
-                self.backend.name(),
-                self.backend.gpu().name()
-            )));
-        }
-        if file.config != self.backend.config_fingerprint() {
-            return Err(invalid(format!(
-                "cache file {} was produced under a different backend \
-                 configuration (e.g. sampling limits): \
-                 file has `{}`, this engine has `{}`",
-                path.display(),
-                file.config,
-                self.backend.config_fingerprint()
-            )));
+        // The compatibility decision is the shared fingerprint triple
+        // (also the fleet handshake and `/healthz` check); only the
+        // wording of the refusal is cache-specific.
+        let ours = BackendFingerprint::of(&self.backend);
+        let theirs = BackendFingerprint {
+            backend: file.backend.clone(),
+            gpu: file.gpu.clone(),
+            config: file.config.clone(),
+        };
+        match theirs.mismatch(&ours) {
+            Some(FingerprintMismatch::Identity) => {
+                return Err(invalid(format!(
+                    "cache file {} was produced by backend `{}` on `{}`, \
+                     but this engine runs `{}` on `{}`",
+                    path.display(),
+                    theirs.backend,
+                    theirs.gpu,
+                    ours.backend,
+                    ours.gpu
+                )));
+            }
+            Some(FingerprintMismatch::Config) => {
+                return Err(invalid(format!(
+                    "cache file {} was produced under a different backend \
+                     configuration (e.g. sampling limits): \
+                     file has `{}`, this engine has `{}`",
+                    path.display(),
+                    theirs.config,
+                    ours.config
+                )));
+            }
+            None => {}
         }
         let n = file.entries.len() + file.step_entries.len();
         {

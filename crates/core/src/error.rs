@@ -41,6 +41,15 @@ pub enum Error {
         /// Why the option is invalid.
         reason: String,
     },
+    /// A distributed (fleet) evaluation failed: a handshake was refused,
+    /// malformed replay parts reached a merge, or the retry budget ran
+    /// out before every work unit completed.
+    Fleet {
+        /// Which stage failed (`"handshake"`, `"merge"`, `"dispatch"`, …).
+        context: String,
+        /// Why that stage failed.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -54,6 +63,9 @@ impl fmt::Display for Error {
             }
             Error::InvalidDesignOption { name, reason } => {
                 write!(f, "invalid design option `{name}`: {reason}")
+            }
+            Error::Fleet { context, reason } => {
+                write!(f, "fleet evaluation failed during {context}: {reason}")
             }
         }
     }
@@ -80,6 +92,17 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn fleet_display_names_context_and_reason() {
+        let e = Error::Fleet {
+            context: "handshake".into(),
+            reason: "fingerprint mismatch".into(),
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("fleet evaluation failed during handshake"));
+        assert!(s.contains("fingerprint mismatch"));
     }
 
     #[test]

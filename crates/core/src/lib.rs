@@ -80,7 +80,9 @@ pub mod topology;
 pub mod traffic;
 pub mod training;
 
-pub use backend::{Backend, EstimateSource, LayerEstimate};
+pub use backend::{
+    Backend, BackendFingerprint, EstimateSource, FingerprintMismatch, LayerEstimate,
+};
 pub use engine::{Engine, NetworkEvaluation};
 pub use error::Error;
 pub use gpu::GpuSpec;

@@ -1,0 +1,746 @@
+//! The coordinator: partitions a query's replay into the plan's own
+//! work units, fans the jobs over executor connections, and merges the
+//! returned parts through the simulator's validated merge entry points.
+//!
+//! # Why the distributed answer is bitwise identical
+//!
+//! The coordinator never invents a decomposition. It asks the planning
+//! simulator for the exact [`ShardPlan`](delta_sim::ShardPlan) the
+//! in-process
+//! `run_sharded`/`run_multi` path would use
+//! ([`Simulator::shard_plan`]), turns each of the plan's units — whole
+//! tile columns on the column axis, per-column batch segments on the
+//! row axis — into one [`JobMsg`], and merges the replies with
+//! [`Simulator::merge_column_replays`] /
+//! [`Simulator::merge_segment_replays`], which regroup the parts by the
+//! plan's own shard boundaries and run the *same* merge code as the
+//! local path. Which executor computed which unit, in which order, and
+//! how many times is therefore invisible to the result.
+//!
+//! # Robustness
+//!
+//! Each worker thread owns one executor connection and drains a shared
+//! job board. A job that times out ([`FleetConfig::job_timeout`]) or
+//! whose connection drops is re-queued for any worker to claim
+//! (straggler re-dispatch / death recovery); replies carrying an
+//! already-recorded job id are dropped (duplicate delivery is
+//! idempotent — units are deterministic, so a duplicate is bitwise
+//! equal anyway); a job re-claimed more than
+//! [`FleetConfig::retry_budget`] times, or a fleet with no live
+//! executors left, surfaces a clean [`Error::Fleet`] instead of a hang
+//! or a partial result.
+
+use crate::protocol::{
+    read_frame, write_frame, Hello, HelloReply, JobKind, JobMsg, JobReply, PROTOCOL_VERSION,
+};
+use delta_model::{
+    Backend, BackendFingerprint, ConvLayer, Error, EvalQuery, GpuSpec, LayerEstimate, LayerShape,
+    Parallelism, Pass, StepEvaluation, StepQuery,
+};
+use delta_sim::{
+    add_wgrad_all_reduce, ColumnReplay, Measurement, MultiGpuMeasurement, ReplaySource,
+    SegmentReplay, ShardAxis, ShardedRun, Simulator,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Fleet configuration: where the executors are and how patient the
+/// coordinator is with them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Executor addresses (`host:port`), one worker connection each.
+    pub executors: Vec<String>,
+    /// Per-job reply deadline. A job unanswered past it is re-queued
+    /// for another executor and the slow connection is dropped.
+    pub job_timeout: Duration,
+    /// Maximum dispatch attempts per job. Exhausting it fails the whole
+    /// run with [`Error::Fleet`] — deterministic jobs that keep timing
+    /// out signal a sick fleet, not bad luck.
+    pub retry_budget: u32,
+}
+
+impl FleetConfig {
+    /// A config for `executors` with the default patience (30 s
+    /// per-job timeout, 3 attempts per job).
+    pub fn new(executors: Vec<String>) -> FleetConfig {
+        FleetConfig {
+            executors,
+            job_timeout: Duration::from_secs(30),
+            retry_budget: 3,
+        }
+    }
+}
+
+/// Run counters, updated across all of a coordinator's distributed
+/// runs. Cheap atomics — see [`Coordinator::stats`] for a snapshot.
+#[derive(Debug, Default)]
+struct FleetStats {
+    dispatched: AtomicU64,
+    completed: AtomicU64,
+    redispatches: AtomicU64,
+    duplicates_dropped: AtomicU64,
+    executors_lost: AtomicU64,
+}
+
+/// A point-in-time copy of the coordinator's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetStatsSnapshot {
+    /// Jobs written to an executor connection (re-dispatches included).
+    pub dispatched: u64,
+    /// Unit results recorded on the board.
+    pub completed: u64,
+    /// Jobs re-queued after a timeout or a dropped connection.
+    pub redispatches: u64,
+    /// Replies discarded because their job id was already recorded.
+    pub duplicates_dropped: u64,
+    /// Executor connections given up on (reconnect refused).
+    pub executors_lost: u64,
+}
+
+/// The distributed [`Backend`]: answers the same queries as the
+/// in-process [`Simulator`] — bitwise — by fanning unit replays over a
+/// fleet of executor processes.
+///
+/// The embedded simulator never replays whole layers; it is the
+/// *planner* (tilings, shard plans, merge validation, step assembly)
+/// and must be configured identically to the executors' simulators —
+/// the handshake enforces exactly that.
+#[derive(Debug)]
+pub struct Coordinator {
+    sim: Simulator,
+    config: FleetConfig,
+    fingerprint: BackendFingerprint,
+    stats: FleetStats,
+}
+
+/// The shared job board one distributed run drains.
+struct Board {
+    /// Indices into the run's job list, ready to claim.
+    pending: VecDeque<usize>,
+    /// Dispatch attempts per job (first dispatch counts as 1).
+    attempts: Vec<u32>,
+    /// Recorded replies, indexed by job. First write wins.
+    done: Vec<Option<JobReply>>,
+    /// How many `done` slots are filled.
+    completed: usize,
+    /// First fatal error; ends the run for every worker.
+    fatal: Option<Error>,
+}
+
+impl Coordinator {
+    /// Builds a coordinator over `config.executors`, eagerly
+    /// handshaking every executor so a misconfigured fleet is refused
+    /// at connection time, not replay time.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Fleet`] if the fleet is empty, an executor is
+    /// unreachable, or an executor's backend fingerprint differs from
+    /// the planning simulator's (the refusal names both fingerprints).
+    pub fn connect(sim: Simulator, config: FleetConfig) -> Result<Coordinator, Error> {
+        if config.executors.is_empty() {
+            return Err(Error::Fleet {
+                context: "handshake".into(),
+                reason: "no executors configured".into(),
+            });
+        }
+        let fingerprint = BackendFingerprint::of(&sim);
+        let coordinator = Coordinator {
+            sim,
+            config,
+            fingerprint,
+            stats: FleetStats::default(),
+        };
+        for addr in &coordinator.config.executors {
+            coordinator.dial(addr).map_err(|e| Error::Fleet {
+                context: "handshake".into(),
+                reason: format!("executor {addr}: {e}"),
+            })?;
+        }
+        Ok(coordinator)
+    }
+
+    /// The planning simulator (same GPU and sampling configuration as
+    /// every executor in the fleet).
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// A snapshot of the run counters accumulated so far.
+    pub fn stats(&self) -> FleetStatsSnapshot {
+        FleetStatsSnapshot {
+            dispatched: self.stats.dispatched.load(Ordering::Relaxed),
+            completed: self.stats.completed.load(Ordering::Relaxed),
+            redispatches: self.stats.redispatches.load(Ordering::Relaxed),
+            duplicates_dropped: self.stats.duplicates_dropped.load(Ordering::Relaxed),
+            executors_lost: self.stats.executors_lost.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Opens a connection to `addr` and handshakes it: protocol
+    /// revision and [`BackendFingerprint`] must match, checked on both
+    /// sides (the executor refuses our mismatch; we independently
+    /// refuse its echoed fingerprint).
+    fn dial(&self, addr: &str) -> io::Result<TcpStream> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(self.config.job_timeout))?;
+        write_frame(
+            &mut stream,
+            &Hello {
+                protocol: PROTOCOL_VERSION,
+                fingerprint: self.fingerprint.clone(),
+            },
+        )?;
+        let reply: HelloReply = read_frame(&mut stream)?;
+        if !reply.ok {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                reply
+                    .error
+                    .unwrap_or_else(|| "handshake refused without a reason".into()),
+            ));
+        }
+        if self.fingerprint.mismatch(&reply.fingerprint).is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "fingerprint mismatch: coordinator expects {}, executor runs {}; \
+                     results would not be interchangeable",
+                    self.fingerprint, reply.fingerprint
+                ),
+            ));
+        }
+        Ok(stream)
+    }
+
+    /// Fans `jobs` over the fleet and returns one reply per job, in job
+    /// order. Job ids are the indices into `jobs`, so replies land in
+    /// the pinned unit order the merge entry points validate.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Fleet`] when a job fails on an executor, a job's retry
+    /// budget is exhausted, or every executor is lost with work left.
+    fn run_jobs(&self, mut jobs: Vec<JobMsg>) -> Result<Vec<JobReply>, Error> {
+        let total = jobs.len();
+        if total == 0 {
+            return Ok(Vec::new());
+        }
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.id = i as u64;
+        }
+        let board = Mutex::new(Board {
+            pending: (0..total).collect(),
+            attempts: vec![0; total],
+            done: vec![None; total],
+            completed: 0,
+            fatal: None,
+        });
+        let work_left = Condvar::new();
+        let jobs = &jobs;
+        let board = &board;
+        let work_left = &work_left;
+        std::thread::scope(|scope| {
+            for addr in &self.config.executors {
+                scope.spawn(move || self.worker(addr, jobs, board, work_left));
+            }
+        });
+        let board = board.lock().unwrap();
+        if let Some(e) = &board.fatal {
+            return Err(e.clone());
+        }
+        if board.completed < total {
+            return Err(Error::Fleet {
+                context: "dispatch".into(),
+                reason: format!(
+                    "all {} executors lost with {} of {total} jobs incomplete",
+                    self.config.executors.len(),
+                    total - board.completed
+                ),
+            });
+        }
+        Ok(board
+            .done
+            .iter()
+            .map(|r| r.clone().expect("completed board has every slot filled"))
+            .collect())
+    }
+
+    /// One worker: a connection to `addr`, claiming jobs off the board
+    /// until the run completes, turns fatal, or the executor is lost.
+    fn worker(&self, addr: &str, jobs: &[JobMsg], board: &Mutex<Board>, work_left: &Condvar) {
+        let mut conn = match self.dial(addr) {
+            Ok(c) => c,
+            Err(_) => {
+                self.stats.executors_lost.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        while let Some(idx) = self.claim(jobs.len(), board, work_left) {
+            match self.dispatch(&mut conn, &jobs[idx], board, work_left) {
+                Outcome::Resolved => {}
+                Outcome::Retry => {
+                    // The connection is suspect (timed out, dropped, or
+                    // desynchronized): re-queue the unit for anyone and
+                    // replace the connection. An executor that refuses
+                    // the redial is lost; the remaining workers drain
+                    // the board.
+                    self.requeue(idx, board, work_left);
+                    match self.dial(addr) {
+                        Ok(c) => conn = c,
+                        Err(_) => {
+                            self.stats.executors_lost.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                Outcome::Fatal(e) => {
+                    let mut b = board.lock().unwrap();
+                    if b.fatal.is_none() {
+                        b.fatal = Some(e);
+                    }
+                    work_left.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Claims the next pending job, blocking while the board is empty
+    /// but the run unfinished. Returns `None` when the run is over
+    /// (complete or fatal); turns fatal itself when a claimed job's
+    /// retry budget is exhausted.
+    fn claim(&self, total: usize, board: &Mutex<Board>, work_left: &Condvar) -> Option<usize> {
+        let mut b = board.lock().unwrap();
+        loop {
+            if b.fatal.is_some() || b.completed == total {
+                return None;
+            }
+            if let Some(idx) = b.pending.pop_front() {
+                if b.done[idx].is_some() {
+                    // Recorded while queued (duplicate delivery beat a
+                    // re-dispatch): nothing to do.
+                    continue;
+                }
+                b.attempts[idx] += 1;
+                if b.attempts[idx] > self.config.retry_budget {
+                    b.fatal = Some(Error::Fleet {
+                        context: "dispatch".into(),
+                        reason: format!(
+                            "retry budget of {} dispatches exhausted for job {} \
+                             ({} of {} jobs completed)",
+                            self.config.retry_budget, idx, b.completed, total
+                        ),
+                    });
+                    work_left.notify_all();
+                    return None;
+                }
+                return Some(idx);
+            }
+            b = work_left.wait(b).unwrap();
+        }
+    }
+
+    /// Re-queues a job whose dispatch did not resolve.
+    fn requeue(&self, idx: usize, board: &Mutex<Board>, work_left: &Condvar) {
+        self.stats.redispatches.fetch_add(1, Ordering::Relaxed);
+        let mut b = board.lock().unwrap();
+        if b.done[idx].is_none() {
+            b.pending.push_back(idx);
+        }
+        work_left.notify_all();
+    }
+
+    /// Sends one job and reads until its reply arrives (recording any
+    /// stale replies encountered on the way — first result per id
+    /// wins, duplicates are dropped).
+    fn dispatch(
+        &self,
+        conn: &mut TcpStream,
+        job: &JobMsg,
+        board: &Mutex<Board>,
+        work_left: &Condvar,
+    ) -> Outcome {
+        self.stats.dispatched.fetch_add(1, Ordering::Relaxed);
+        if write_frame(conn, job).is_err() {
+            return Outcome::Retry;
+        }
+        loop {
+            let reply: JobReply = match read_frame(conn) {
+                Ok(r) => r,
+                // Timeouts and dropped connections alike: the straggler
+                // re-dispatch path.
+                Err(_) => return Outcome::Retry,
+            };
+            if !reply.ok {
+                return Outcome::Fatal(Error::Fleet {
+                    context: "replay".into(),
+                    reason: reply
+                        .error
+                        .unwrap_or_else(|| format!("job {} failed without a reason", reply.id)),
+                });
+            }
+            let id = reply.id as usize;
+            let mine = reply.id == job.id;
+            {
+                let mut b = board.lock().unwrap();
+                if id >= b.done.len() {
+                    // An id we never issued: the stream is corrupt.
+                    return Outcome::Retry;
+                }
+                if b.done[id].is_some() {
+                    self.stats
+                        .duplicates_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                } else {
+                    b.done[id] = Some(reply);
+                    b.completed += 1;
+                    self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    work_left.notify_all();
+                }
+            }
+            if mine {
+                return Outcome::Resolved;
+            }
+        }
+    }
+
+    /// The plan's work units for one layer replay as wire jobs, in
+    /// ascending unit order (ids are assigned by [`Self::run_jobs`]).
+    fn unit_jobs(&self, layer: &ConvLayer, n_workers: u32) -> (ShardAxis, Vec<JobMsg>) {
+        let plan = self.sim.shard_plan(layer, n_workers);
+        let shape = LayerShape::of(layer);
+        let job = |kind, col, batch_start, batch_end| JobMsg {
+            id: 0,
+            shape,
+            kind,
+            col,
+            batch_start,
+            batch_end,
+        };
+        match plan.axis() {
+            ShardAxis::Columns => (
+                ShardAxis::Columns,
+                (0..plan.columns())
+                    .map(|col| job(JobKind::Column, col, 0, 0))
+                    .collect(),
+            ),
+            ShardAxis::Rows => (
+                ShardAxis::Rows,
+                (0..plan.n_workers())
+                    .flat_map(|s| plan.shard_segments(s))
+                    .map(|seg| {
+                        job(
+                            JobKind::Segment,
+                            seg.col,
+                            seg.batches.start,
+                            seg.batches.end,
+                        )
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Distributed [`Simulator::run_sequential`]: the whole layer as
+    /// one job on one executor.
+    fn run_sequential_fleet(&self, layer: &ConvLayer) -> Result<Measurement, Error> {
+        let shape = LayerShape::of(layer);
+        let jobs = vec![JobMsg {
+            id: 0,
+            shape,
+            kind: JobKind::Sequential,
+            col: 0,
+            batch_start: 0,
+            batch_end: 0,
+        }];
+        let mut replies = self.run_jobs(jobs)?;
+        replies.remove(0).sequential.ok_or_else(|| Error::Fleet {
+            context: "merge".into(),
+            reason: "executor answered a sequential job without a measurement".into(),
+        })
+    }
+
+    /// Distributed [`Simulator::run_sharded_detail`]: the plan's units
+    /// fan over the fleet and the parts merge through the simulator's
+    /// validated entry points — bitwise identical to the in-process run
+    /// for every executor count.
+    fn run_sharded_fleet(&self, layer: &ConvLayer, n_workers: u32) -> Result<ShardedRun, Error> {
+        let (axis, jobs) = self.unit_jobs(layer, n_workers);
+        let replies = self.run_jobs(jobs)?;
+        let missing = |what: &str| Error::Fleet {
+            context: "merge".into(),
+            reason: format!("executor answered a {what} job without a {what} part"),
+        };
+        match axis {
+            ShardAxis::Columns => {
+                let parts: Vec<ColumnReplay> = replies
+                    .into_iter()
+                    .map(|r| r.column.ok_or_else(|| missing("column")))
+                    .collect::<Result<_, _>>()?;
+                self.sim.merge_column_replays(layer, n_workers, parts)
+            }
+            ShardAxis::Rows => {
+                let parts: Vec<SegmentReplay> = replies
+                    .into_iter()
+                    .map(|r| r.segment.ok_or_else(|| missing("segment")))
+                    .collect::<Result<_, _>>()?;
+                self.sim.merge_segment_replays(layer, n_workers, parts)
+            }
+        }
+    }
+
+    /// Distributed [`Simulator::run_multi_fabric`]: the per-device
+    /// sharded run comes from the fleet, the fabric pricing from the
+    /// planning simulator.
+    fn run_multi_fleet(
+        &self,
+        layer: &ConvLayer,
+        devices: u32,
+        interconnect: delta_model::InterconnectKind,
+        topology: Option<delta_model::TopologyKind>,
+    ) -> Result<MultiGpuMeasurement, Error> {
+        let g = devices.max(1);
+        let run = self.run_sharded_fleet(layer, g)?;
+        Ok(self
+            .sim
+            .multi_from_run(layer, run, g, interconnect, topology))
+    }
+}
+
+/// How one dispatch ended.
+enum Outcome {
+    /// The job's reply was recorded (by this read loop or a duplicate).
+    Resolved,
+    /// The connection is unusable; re-queue the job and redial.
+    Retry,
+    /// The run cannot succeed (executor reported a replay failure).
+    Fatal(Error),
+}
+
+/// The fleet-backed [`ReplaySource`]: batches every layer's unit jobs
+/// into **one** board drain, so a whole step's replays interleave
+/// across the fleet instead of running layer-by-layer.
+#[derive(Debug, Clone, Copy)]
+struct FleetReplays<'a>(&'a Coordinator);
+
+impl FleetReplays<'_> {
+    /// Runs each layer's job batch through one shared board and merges
+    /// per layer with `merge`.
+    fn batched<T>(
+        &self,
+        batches: Vec<(ShardAxis, Vec<JobMsg>)>,
+        merge: impl Fn(usize, ShardAxis, Vec<JobReply>) -> Result<T, Error>,
+    ) -> Result<Vec<T>, Error> {
+        let mut all = Vec::new();
+        let mut ranges = Vec::with_capacity(batches.len());
+        let mut axes = Vec::with_capacity(batches.len());
+        for (axis, jobs) in batches {
+            let start = all.len();
+            all.extend(jobs);
+            ranges.push(start..all.len());
+            axes.push(axis);
+        }
+        let mut replies = self.0.run_jobs(all)?;
+        let mut out = Vec::with_capacity(ranges.len());
+        for (i, range) in ranges.iter().enumerate().rev() {
+            let tail = replies.split_off(range.start);
+            out.push(merge(i, axes[i], tail)?);
+        }
+        out.reverse();
+        Ok(out)
+    }
+}
+
+impl ReplaySource for FleetReplays<'_> {
+    fn measure_all(
+        &self,
+        layers: &[&ConvLayer],
+        parallelism: &Parallelism,
+    ) -> Result<Vec<Measurement>, Error> {
+        match parallelism {
+            Parallelism::Sharded { workers } => {
+                let n = (*workers).max(1);
+                let batches = layers.iter().map(|l| self.0.unit_jobs(l, n)).collect();
+                self.batched(batches, |i, axis, replies| {
+                    let missing = |what: &str| Error::Fleet {
+                        context: "merge".into(),
+                        reason: format!("executor answered a {what} job without a {what} part"),
+                    };
+                    let run = match axis {
+                        ShardAxis::Columns => {
+                            let parts: Vec<ColumnReplay> = replies
+                                .into_iter()
+                                .map(|r| r.column.ok_or_else(|| missing("column")))
+                                .collect::<Result<_, _>>()?;
+                            self.0.sim.merge_column_replays(layers[i], n, parts)?
+                        }
+                        ShardAxis::Rows => {
+                            let parts: Vec<SegmentReplay> = replies
+                                .into_iter()
+                                .map(|r| r.segment.ok_or_else(|| missing("segment")))
+                                .collect::<Result<_, _>>()?;
+                            self.0.sim.merge_segment_replays(layers[i], n, parts)?
+                        }
+                    };
+                    Ok(run.measurement)
+                })
+            }
+            _ => {
+                let batches = layers
+                    .iter()
+                    .map(|l| {
+                        (
+                            ShardAxis::Columns,
+                            vec![JobMsg {
+                                id: 0,
+                                shape: LayerShape::of(l),
+                                kind: JobKind::Sequential,
+                                col: 0,
+                                batch_start: 0,
+                                batch_end: 0,
+                            }],
+                        )
+                    })
+                    .collect();
+                self.batched(batches, |_, _, mut replies| {
+                    replies.remove(0).sequential.ok_or_else(|| Error::Fleet {
+                        context: "merge".into(),
+                        reason: "executor answered a sequential job without a measurement".into(),
+                    })
+                })
+            }
+        }
+    }
+
+    fn multi_all(
+        &self,
+        layers: &[&ConvLayer],
+        devices: u32,
+        interconnect: delta_model::InterconnectKind,
+        topology: Option<delta_model::TopologyKind>,
+    ) -> Result<Vec<MultiGpuMeasurement>, Error> {
+        let g = devices.max(1);
+        let batches = layers.iter().map(|l| self.0.unit_jobs(l, g)).collect();
+        self.batched(batches, |i, axis, replies| {
+            let missing = |what: &str| Error::Fleet {
+                context: "merge".into(),
+                reason: format!("executor answered a {what} job without a {what} part"),
+            };
+            let run = match axis {
+                ShardAxis::Columns => {
+                    let parts: Vec<ColumnReplay> = replies
+                        .into_iter()
+                        .map(|r| r.column.ok_or_else(|| missing("column")))
+                        .collect::<Result<_, _>>()?;
+                    self.0.sim.merge_column_replays(layers[i], g, parts)?
+                }
+                ShardAxis::Rows => {
+                    let parts: Vec<SegmentReplay> = replies
+                        .into_iter()
+                        .map(|r| r.segment.ok_or_else(|| missing("segment")))
+                        .collect::<Result<_, _>>()?;
+                    self.0.sim.merge_segment_replays(layers[i], g, parts)?
+                }
+            };
+            Ok(self
+                .0
+                .sim
+                .multi_from_run(layers[i], run, g, interconnect, topology))
+        })
+    }
+}
+
+impl Backend for Coordinator {
+    /// `"sim"`, deliberately: the fleet answers the simulator's
+    /// questions with the simulator's exact numbers, so its cache files
+    /// and report headers interchange with the in-process backend.
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn gpu(&self) -> &GpuSpec {
+        self.sim.gpu()
+    }
+
+    fn config_fingerprint(&self) -> String {
+        self.sim.config_fingerprint()
+    }
+
+    fn evaluate(&self, query: &EvalQuery) -> Result<LayerEstimate, Error> {
+        self.sim.gpu().validate()?;
+        let layer = query.layer()?;
+        let replayed = Simulator::pass_workload(&layer, query.pass)?;
+        match &query.parallelism {
+            Parallelism::Single => Ok(self
+                .run_sequential_fleet(&replayed)?
+                .to_estimate(self.sim.gpu())),
+            Parallelism::Sharded { workers } => Ok(self
+                .run_sharded_fleet(&replayed, (*workers).max(1))?
+                .measurement
+                .to_estimate(self.sim.gpu())),
+            Parallelism::Multi {
+                devices,
+                interconnect,
+                topology,
+            } => {
+                self.sim.require_homogeneous(devices)?;
+                let g = (devices.len() as u32).max(1);
+                let mut est = self
+                    .run_multi_fleet(&replayed, g, *interconnect, *topology)?
+                    .to_estimate(self.sim.gpu());
+                if query.pass == Pass::Wgrad {
+                    // Same surcharge as the in-process path: the
+                    // data-parallel step all-reduces the ORIGINAL
+                    // layer's weight gradients once across the devices.
+                    add_wgrad_all_reduce(
+                        &mut est,
+                        self.sim.gpu(),
+                        *interconnect,
+                        *topology,
+                        layer.filter_bytes() as f64,
+                        g,
+                    );
+                }
+                Ok(est)
+            }
+        }
+    }
+
+    fn evaluate_step(&self, query: &StepQuery) -> Result<StepEvaluation, Error> {
+        self.sim.evaluate_step_with(query, &FleetReplays(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_refuses_an_empty_fleet() {
+        let sim = Simulator::new(GpuSpec::titan_xp(), delta_sim::SimConfig::default());
+        let err = Coordinator::connect(sim, FleetConfig::new(Vec::new())).unwrap_err();
+        assert!(matches!(err, Error::Fleet { .. }));
+        assert!(err.to_string().contains("no executors"));
+    }
+
+    #[test]
+    fn connect_refuses_an_unreachable_executor() {
+        let sim = Simulator::new(GpuSpec::titan_xp(), delta_sim::SimConfig::default());
+        // A port nothing listens on: bind-then-drop guarantees it was
+        // free a moment ago.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let err = Coordinator::connect(sim, FleetConfig::new(vec![addr.clone()])).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("handshake") && msg.contains(&addr), "{msg}");
+    }
+}

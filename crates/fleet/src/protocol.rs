@@ -1,0 +1,259 @@
+//! The fleet wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! Every message is one **frame**: a 4-byte big-endian length followed
+//! by that many bytes of UTF-8 JSON (the vendored `serde_json`
+//! encoding; finite `f64`s use the shortest round-trip form, so
+//! replay parts cross the wire bitwise). A connection speaks exactly
+//! one exchange pattern:
+//!
+//! 1. client → [`Hello`], server → [`HelloReply`] (the fingerprint
+//!    handshake; a refused handshake closes the connection);
+//! 2. then any number of client → [`JobMsg`], server → [`JobReply`]
+//!    pairs, in order, until either side closes.
+//!
+//! Schemas and retry semantics are documented for external
+//! implementors in `docs/FLEET.md`.
+
+use delta_model::{BackendFingerprint, LayerShape};
+use delta_sim::{ColumnReplay, Measurement, SegmentReplay};
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// Protocol revision. Bumped on any frame- or schema-incompatible
+/// change; the handshake refuses a peer speaking a different revision.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a frame's payload length. A length prefix beyond
+/// this is treated as a corrupt stream rather than an allocation
+/// request — replay parts for even exhaustive replays are far smaller.
+pub const MAX_FRAME: u32 = 256 << 20;
+
+/// Handshake request: the coordinator announces its protocol revision
+/// and the backend fingerprint its merge assumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hello {
+    /// [`PROTOCOL_VERSION`] of the sender.
+    pub protocol: u32,
+    /// The coordinator's backend/GPU/sampling fingerprint. Results are
+    /// only interchangeable between equal fingerprints, so the
+    /// executor refuses a mismatch (same comparison as the engine's
+    /// cache header guard).
+    pub fingerprint: BackendFingerprint,
+}
+
+/// Handshake response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HelloReply {
+    /// Whether the executor accepts jobs from this coordinator.
+    pub ok: bool,
+    /// On refusal, a structured explanation naming both fingerprints.
+    pub error: Option<String>,
+    /// The executor's own fingerprint, echoed so the coordinator can
+    /// verify the match independently (and render both sides of a
+    /// refusal).
+    pub fingerprint: BackendFingerprint,
+}
+
+/// Job kind: which replay entry point the executor runs. A plain enum
+/// (not data-carrying) so the vendored derive handles it; the unit
+/// coordinates live beside it in [`JobMsg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobKind {
+    /// Whole-layer sequential replay
+    /// ([`Simulator::run_sequential`](delta_sim::Simulator::run_sequential)):
+    /// the `Parallelism::Single` job. `col`/`batch_*` are ignored.
+    Sequential,
+    /// One tile column
+    /// ([`Simulator::replay_column_unit`](delta_sim::Simulator::replay_column_unit)):
+    /// the column-axis unit. `batch_*` are ignored.
+    Column,
+    /// One column sub-range
+    /// ([`Simulator::replay_segment_unit`](delta_sim::Simulator::replay_segment_unit)):
+    /// the row-axis unit, `batch_start..batch_end`.
+    Segment,
+}
+
+/// One work unit: replay `kind` of the layer `shape` describes.
+///
+/// The shape is the **already-transformed** workload (the
+/// coordinator applies the pass's dgrad/wgrad transform before
+/// partitioning), so executors need no pass logic and both sides
+/// derive the unit decomposition from the same layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobMsg {
+    /// Coordinator-chosen job id, echoed in the reply. Ids are unique
+    /// within one distributed run; replies carrying an id the
+    /// coordinator already recorded are dropped (idempotent duplicate
+    /// handling).
+    pub id: u64,
+    /// The replayed layer's dimensions.
+    pub shape: LayerShape,
+    /// Which replay entry point to run.
+    pub kind: JobKind,
+    /// Tile column of the unit (`Column`/`Segment` kinds).
+    pub col: u64,
+    /// First batch of the sub-range (`Segment` kind).
+    pub batch_start: u64,
+    /// One past the last batch of the sub-range (`Segment` kind).
+    pub batch_end: u64,
+}
+
+/// One job's result. Exactly one of the three payload fields is
+/// populated on success, matching the request's [`JobKind`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobReply {
+    /// The request's id.
+    pub id: u64,
+    /// Whether the replay succeeded.
+    pub ok: bool,
+    /// On failure, why.
+    pub error: Option<String>,
+    /// `Sequential` result: the whole-layer measurement.
+    pub sequential: Option<Measurement>,
+    /// `Column` result: the column's serialized merge part.
+    pub column: Option<ColumnReplay>,
+    /// `Segment` result: the sub-range's serialized merge part.
+    pub segment: Option<SegmentReplay>,
+}
+
+impl JobReply {
+    /// A failure reply for job `id`.
+    pub fn failure(id: u64, error: String) -> JobReply {
+        JobReply {
+            id,
+            ok: false,
+            error: Some(error),
+            sequential: None,
+            column: None,
+            segment: None,
+        }
+    }
+
+    /// An empty success skeleton for job `id` (callers fill exactly
+    /// one payload field).
+    pub fn success(id: u64) -> JobReply {
+        JobReply {
+            id,
+            ok: true,
+            error: None,
+            sequential: None,
+            column: None,
+            segment: None,
+        }
+    }
+}
+
+/// Writes one frame: 4-byte big-endian length, then the JSON payload.
+///
+/// # Errors
+///
+/// Propagates serialization and socket-write failures.
+pub fn write_frame<T: Serialize>(w: &mut impl Write, msg: &T) -> io::Result<()> {
+    let body = serde_json::to_string(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("encode frame: {e}")))?;
+    let bytes = body.as_bytes();
+    if bytes.len() as u64 > u64::from(MAX_FRAME) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds MAX_FRAME", bytes.len()),
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Reads one frame and decodes its JSON payload.
+///
+/// # Errors
+///
+/// Propagates socket-read failures (including timeouts configured via
+/// `set_read_timeout`); returns [`io::ErrorKind::InvalidData`] for an
+/// oversized length prefix, non-UTF-8 payload, or JSON that does not
+/// decode as `T`.
+pub fn read_frame<T: serde::Deserialize>(r: &mut impl Read) -> io::Result<T> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let text = String::from_utf8(body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("frame not UTF-8: {e}")))?;
+    serde_json::from_str(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("decode frame: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> LayerShape {
+        LayerShape {
+            batch: 2,
+            in_channels: 16,
+            in_height: 8,
+            in_width: 8,
+            out_channels: 32,
+            filter_height: 3,
+            filter_width: 3,
+            stride: 1,
+            pad: 1,
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let msg = JobMsg {
+            id: 7,
+            shape: shape(),
+            kind: JobKind::Segment,
+            col: 1,
+            batch_start: 2,
+            batch_end: 5,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        assert_eq!(
+            u32::from_be_bytes(buf[..4].try_into().unwrap()) as usize,
+            buf.len() - 4
+        );
+        let back: JobMsg = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_refused() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        let err = read_frame::<JobMsg>(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let mut truncated = Vec::new();
+        write_frame(&mut truncated, &JobReply::failure(1, "x".into())).unwrap();
+        truncated.pop();
+        let err = read_frame::<JobReply>(&mut truncated.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn hello_names_the_fingerprint() {
+        let hello = Hello {
+            protocol: PROTOCOL_VERSION,
+            fingerprint: BackendFingerprint {
+                backend: "sim".into(),
+                gpu: "TITAN Xp".into(),
+                config: "{}".into(),
+            },
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &hello).unwrap();
+        let back: Hello = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, hello);
+    }
+}

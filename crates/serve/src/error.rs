@@ -41,7 +41,8 @@ impl ApiError {
             status: 404,
             code: "not_found".into(),
             message: format!(
-                "no such endpoint `{path}` (have: POST /eval, POST /step, POST /sweep, GET /stats)"
+                "no such endpoint `{path}` (have: POST /eval, POST /step, POST /sweep, \
+                 GET /healthz, GET /stats)"
             ),
         }
     }

@@ -10,6 +10,7 @@
 //! | `POST /eval`  | `EvalQuery` JSON         | `LayerEstimate` JSON              |
 //! | `POST /step`  | `StepQuery` JSON         | `StepEvaluation` JSON             |
 //! | `POST /sweep` | JSON array of queries    | NDJSON lines, completion order    |
+//! | `GET /healthz`| —                        | version + backend fingerprint     |
 //! | `GET /stats`  | —                        | counters, in-flight count, uptime |
 //!
 //! Three mechanisms make it a service rather than a CLI loop:
@@ -53,5 +54,5 @@ pub mod state;
 pub mod validate;
 
 pub use error::ApiError;
-pub use server::{run, spawn, ServeConfig, ServerHandle};
+pub use server::{run, spawn, Health, ServeConfig, ServerHandle};
 pub use state::{ServeState, StatsResponse};

@@ -14,7 +14,7 @@ use crate::state::{Endpoint, ServeState};
 use crate::validate;
 use delta_model::query::{EvalQuery, StepQuery};
 use delta_model::Backend;
-use serde::{Deserialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -265,6 +265,11 @@ fn handle_connection<B: Backend>(
                 .map_err(|e| ApiError::internal(format!("stats serialization failed: {e}")));
             respond(&mut stream, body)
         }
+        ("GET", "/healthz") => {
+            let body = serde_json::to_string(&health(state))
+                .map_err(|e| ApiError::internal(format!("healthz serialization failed: {e}")));
+            respond(&mut stream, body)
+        }
         (method, path @ ("/eval" | "/step" | "/sweep")) => http::write_error(
             &mut stream,
             &ApiError::method_not_allowed(method, path, "POST"),
@@ -273,7 +278,40 @@ fn handle_connection<B: Backend>(
             &mut stream,
             &ApiError::method_not_allowed(method, "/stats", "GET"),
         ),
+        (method, "/healthz") => http::write_error(
+            &mut stream,
+            &ApiError::method_not_allowed(method, "/healthz", "GET"),
+        ),
         (_, path) => http::write_error(&mut stream, &ApiError::not_found(path)),
+    }
+}
+
+/// `GET /healthz` body: liveness plus the identity triple a client
+/// needs to decide whether this server's answers are interchangeable
+/// with another evaluator's — the same
+/// [`BackendFingerprint`](delta_model::BackendFingerprint) the
+/// engine's persistent-cache guard and the fleet handshake compare.
+#[derive(Debug, Clone, Serialize)]
+pub struct Health {
+    /// Crate version of the serving binary.
+    pub version: String,
+    /// Backend identifier (`"model"` or `"sim"`).
+    pub backend: String,
+    /// The device the backend evaluates on.
+    pub gpu: String,
+    /// The backend's configuration fingerprint (sampling limits etc.);
+    /// empty for backends without such knobs.
+    pub config_fingerprint: String,
+}
+
+/// Assembles the `GET /healthz` payload from the live backend.
+fn health<B: Backend>(state: &Arc<ServeState<B>>) -> Health {
+    let fp = delta_model::BackendFingerprint::of(state.engine.backend());
+    Health {
+        version: env!("CARGO_PKG_VERSION").to_string(),
+        backend: fp.backend,
+        gpu: fp.gpu,
+        config_fingerprint: fp.config,
     }
 }
 

@@ -179,6 +179,77 @@ struct PassWorkloads {
     grad_bytes: u64,
 }
 
+/// Where a step evaluation's per-layer replays come from. The step
+/// assembly (pass expansion, shape dedup, bucketed schedule) is
+/// identical whether the replays run in-process or on a fleet of
+/// executor processes; only this source differs. Implementations must
+/// return one result per input layer, in input order, and produce
+/// measurements bitwise identical to the local
+/// [`Simulator::run_sharded`]/`run_multi_fabric` paths — the fleet's
+/// merge contract.
+pub trait ReplaySource {
+    /// Measures every layer under `Single`/`Sharded` parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Propagates replay failures (a fleet source adds dispatch and
+    /// merge failures).
+    fn measure_all(
+        &self,
+        layers: &[&ConvLayer],
+        parallelism: &Parallelism,
+    ) -> Result<Vec<crate::Measurement>, Error>;
+
+    /// Measures every layer as a `devices`-wide multi-GPU replay under
+    /// the given fabric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates replay failures (a fleet source adds dispatch and
+    /// merge failures).
+    fn multi_all(
+        &self,
+        layers: &[&ConvLayer],
+        devices: u32,
+        interconnect: crate::interconnect::InterconnectKind,
+        topology: Option<crate::topology::TopologyKind>,
+    ) -> Result<Vec<MultiGpuMeasurement>, Error>;
+}
+
+/// The in-process [`ReplaySource`]: replays fan across this process's
+/// cores via rayon — the default behind
+/// [`Backend::evaluate_step`](delta_model::backend::Backend::evaluate_step)
+/// for [`Simulator`].
+#[derive(Debug, Clone, Copy)]
+pub struct LocalReplays<'a>(pub &'a Simulator);
+
+impl ReplaySource for LocalReplays<'_> {
+    fn measure_all(
+        &self,
+        layers: &[&ConvLayer],
+        parallelism: &Parallelism,
+    ) -> Result<Vec<crate::Measurement>, Error> {
+        let run_one = |l: &ConvLayer| match parallelism {
+            Parallelism::Sharded { workers } => self.0.run_sharded(l, (*workers).max(1)),
+            _ => self.0.run_sequential(l),
+        };
+        Ok(layers.par_iter().map(|l| run_one(l)).collect())
+    }
+
+    fn multi_all(
+        &self,
+        layers: &[&ConvLayer],
+        devices: u32,
+        interconnect: crate::interconnect::InterconnectKind,
+        topology: Option<crate::topology::TopologyKind>,
+    ) -> Result<Vec<MultiGpuMeasurement>, Error> {
+        Ok(layers
+            .par_iter()
+            .map(|l| self.0.run_multi_fabric(l, devices, interconnect, topology))
+            .collect())
+    }
+}
+
 impl Simulator {
     /// Answers one [`StepQuery`]: the per-layer forward/dgrad/wgrad
     /// table *and* the scheduled timeline, both derived from **one**
@@ -203,6 +274,27 @@ impl Simulator {
     /// Propagates GPU validation and backward-pass construction
     /// failures.
     pub(crate) fn evaluate_step_query(&self, query: &StepQuery) -> Result<StepEvaluation, Error> {
+        self.evaluate_step_with(query, &LocalReplays(self))
+    }
+
+    /// The step evaluation with the replay source made
+    /// explicit: the step assembly (pass expansion, shape dedup,
+    /// all-reduce pricing, bucketed schedule) runs here, and `replays`
+    /// supplies the per-layer measurements — in-process
+    /// ([`LocalReplays`]) or distributed across a fleet. Because a
+    /// conforming source returns measurements bitwise identical to the
+    /// local ones, the assembled table and timeline are bitwise
+    /// identical too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GPU validation, backward-pass construction, and
+    /// replay-source failures.
+    pub fn evaluate_step_with(
+        &self,
+        query: &StepQuery,
+        replays: &impl ReplaySource,
+    ) -> Result<StepEvaluation, Error> {
         self.gpu().validate()?;
 
         // Expand each layer into its pass workloads (pure shape
@@ -255,12 +347,10 @@ impl Simulator {
             } => {
                 self.require_homogeneous(devices)?;
                 let g = (devices.len() as u32).max(1);
-                // One replay per unique shape, fanned across cores — the
-                // single source both views below are derived from.
-                let runs: Vec<MultiGpuMeasurement> = unique
-                    .par_iter()
-                    .map(|l| self.run_multi_fabric(l, g, *interconnect, *topology))
-                    .collect();
+                // One replay per unique shape — the single source both
+                // views below are derived from.
+                let runs: Vec<MultiGpuMeasurement> =
+                    replays.multi_all(&unique, g, *interconnect, *topology)?;
                 let of = |l: &ConvLayer| &runs[index[&LayerShape::of(l)]];
 
                 // The graph is a function of (kind, devices) only: build
@@ -322,11 +412,8 @@ impl Simulator {
                 })
             }
             Parallelism::Single | Parallelism::Sharded { .. } => {
-                let run_one = |l: &ConvLayer| match &query.parallelism {
-                    Parallelism::Sharded { workers } => self.run_sharded(l, (*workers).max(1)),
-                    _ => self.run_sequential(l),
-                };
-                let runs: Vec<crate::Measurement> = unique.par_iter().map(|l| run_one(l)).collect();
+                let runs: Vec<crate::Measurement> =
+                    replays.measure_all(&unique, &query.parallelism)?;
                 let of = |l: &ConvLayer| runs[index[&LayerShape::of(l)]].to_estimate(self.gpu());
                 let rows: Vec<TrainingRow> = passes
                     .iter()

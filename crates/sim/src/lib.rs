@@ -87,11 +87,15 @@ pub mod trace;
 pub use delta_model::interconnect;
 pub use delta_model::topology;
 
-pub use collective::{bucketize, GradBucket, LayerPasses};
+pub use collective::{bucketize, GradBucket, LayerPasses, LocalReplays, ReplaySource};
 pub use dram::DramChannelModel;
 pub use hierarchy::{HierarchyStats, MemoryHierarchy, MergeableHierarchy};
 pub use interconnect::{Interconnect, InterconnectKind};
 pub use multigpu::{DevicePlan, MultiGpuMeasurement};
 pub use shard::{ColumnSegment, ShardAxis, ShardPlan};
-pub use sim::{Measurement, SimConfig, Simulator};
+pub use sim::{
+    add_wgrad_all_reduce, ColumnReplay, Measurement, SegmentReplay, ShardedRun, SimConfig,
+    Simulator, Totals,
+};
+pub use stages::BatchStats;
 pub use topology::{Topology, TopologyKind};

@@ -206,9 +206,29 @@ impl Simulator {
     ) -> MultiGpuMeasurement {
         let plan = DevicePlan::for_layer(self, layer, devices);
         let run = self.run_sharded_detail(layer, plan.devices());
+        self.multi_from_run(layer, run, plan.devices(), interconnect, topology)
+    }
+
+    /// Prices an already-merged G-shard [`ShardedRun`](crate::sim::ShardedRun)
+    /// as a `devices`-wide multi-GPU measurement — the fabric half of
+    /// [`Simulator::run_multi_fabric`], split out so a fleet
+    /// coordinator can distribute the replay, merge it with
+    /// [`Simulator::merge_column_replays`](crate::sim::Simulator::merge_column_replays)
+    /// /
+    /// [`Simulator::merge_segment_replays`](crate::sim::Simulator::merge_segment_replays)
+    /// at `n_workers = devices`, and price the result through exactly
+    /// this code.
+    pub fn multi_from_run(
+        &self,
+        layer: &ConvLayer,
+        run: crate::sim::ShardedRun,
+        devices: u32,
+        interconnect: crate::interconnect::InterconnectKind,
+        topology: Option<crate::topology::TopologyKind>,
+    ) -> MultiGpuMeasurement {
         // Scalar preset, or topology-derived parameters when a graph is
         // named.
-        let ic: Interconnect = crate::sim::fabric_of(interconnect, topology, plan.devices());
+        let ic: Interconnect = crate::sim::fabric_of(interconnect, topology, devices);
         // Devices that actually replayed work. With row-level sharding
         // this can exceed the column count ([`DevicePlan::
         // active_devices`] is the column-axis view): a narrow layer's
@@ -221,7 +241,7 @@ impl Simulator {
             per_device_cycles: run.per_shard_cycles,
             link_bytes: ic.halo_bytes(ifmap, active),
             link_seconds: ic.halo_seconds(ifmap, active),
-            devices: plan.devices(),
+            devices,
             active_devices: active,
         }
     }

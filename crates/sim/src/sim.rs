@@ -332,7 +332,11 @@ impl Simulator {
 
     /// The sequential replay: one hierarchy, columns drained in order,
     /// cache residency persisting from each tile column to the next.
-    pub(crate) fn run_sequential(&self, layer: &ConvLayer) -> Measurement {
+    /// Public so a fleet executor can answer a `Parallelism::Single`
+    /// job with exactly the measurement the local path produces (the
+    /// sequential replay is one indivisible work unit — residency makes
+    /// its columns non-distributable).
+    pub fn run_sequential(&self, layer: &ConvLayer) -> Measurement {
         self.replays.fetch_add(1, Ordering::Relaxed);
         let tiling = self.tiling(layer);
         let tile = tiling.tile();
@@ -420,7 +424,10 @@ impl Simulator {
     /// [`Simulator::run_sharded`] plus per-shard cycle accounting — the
     /// primitive the multi-GPU layer (`run_multi`) builds on, where each
     /// shard is one device and the per-device critical path matters.
-    pub(crate) fn run_sharded_detail(&self, layer: &ConvLayer, n_workers: u32) -> ShardedRun {
+    /// Public so the fleet's identity tests and perf gate can compare a
+    /// distributed merge against the single-process detail bitwise,
+    /// per-shard cycles included.
+    pub fn run_sharded_detail(&self, layer: &ConvLayer, n_workers: u32) -> ShardedRun {
         self.replays.fetch_add(1, Ordering::Relaxed);
         let tiling = self.tiling(layer);
         let tile = tiling.tile();
@@ -440,28 +447,14 @@ impl Simulator {
         self.charge_layer_prologue(&mut prologue, tile);
 
         if plan.axis() == ShardAxis::Rows {
-            return self.run_row_sharded(&plan, &map, &sched, &tiling, active, &prologue);
+            return self.run_row_sharded(&plan, &map, &sched, &tiling, active, prologue.cycles());
         }
 
         let simulate_shard = |range: &std::ops::Range<u64>| {
             let mut out = Vec::with_capacity((range.end - range.start) as usize);
             let mut tx_buf = Vec::with_capacity(64);
             for col in range.clone() {
-                let mut hier = MemoryHierarchy::new(&self.gpu);
-                let mut timing = TimingEngine::new(&self.gpu, tile);
-                let sim = self.simulate_column(
-                    &map,
-                    &sched,
-                    &tiling,
-                    active,
-                    col,
-                    &mut hier,
-                    &mut timing,
-                    &mut tx_buf,
-                    false,
-                );
-                timing.add_cycles(sim.extra_cycles);
-                out.push((sim, hier.snapshot(), timing.cycles()));
+                out.push(self.replay_column(&map, &sched, &tiling, active, col, &mut tx_buf));
             }
             out
         };
@@ -470,65 +463,18 @@ impl Simulator {
         // workers only oversubscribes the machine: walk the shards on
         // this thread instead. Results are identical either way — the
         // merge below is pinned to column order.
-        let shard_outcomes: Vec<Vec<(ColumnSim, HierarchyStats, f64)>> =
-            if rayon::current_thread_index().is_some() {
-                plan.shards().iter().map(simulate_shard).collect()
-            } else {
-                plan.shards().par_iter().map(simulate_shard).collect()
-            };
+        let shard_outcomes: Vec<Vec<ColumnReplay>> = if rayon::current_thread_index().is_some() {
+            plan.shards().iter().map(simulate_shard).collect()
+        } else {
+            plan.shards().par_iter().map(simulate_shard).collect()
+        };
 
-        // Per-shard critical paths: an active shard charges its own
-        // layer prologue plus its columns; an empty shard is idle.
-        let per_shard_cycles: Vec<f64> = shard_outcomes
-            .iter()
-            .map(|cols| {
-                if cols.is_empty() {
-                    0.0
-                } else {
-                    prologue.cycles() + cols.iter().map(|(_, _, c)| c).sum::<f64>()
-                }
-            })
-            .collect();
-
-        // Merge in ascending column order: the u64 counters are
-        // associative, and pinning the f64 accumulation order to the
-        // column index makes the totals bitwise identical for every
-        // worker count and every CI machine.
-        let mut hstats = HierarchyStats::default();
-        let mut measured = Totals::default();
-        let mut extrapolated = Totals::default();
-        let mut cycles = prologue.cycles();
-        let mut simulated_ctas = 0u64;
-        let mut sampled = false;
-        for (idx, (sim, snapshot, col_cycles)) in shard_outcomes.iter().flatten().enumerate() {
-            assert_eq!(
-                sim.col, idx as u64,
-                "shard merge must walk columns in ascending order"
-            );
-            hstats.merge(snapshot);
-            measured.accumulate(&sim.stats);
-            extrapolated.add(&sim.extrapolated);
-            cycles += col_cycles;
-            simulated_ctas += sim.simulated_ctas;
-            sampled |= sim.sampled;
-        }
-
-        ShardedRun {
-            measurement: Measurement {
-                l1_bytes: measured.l1_bytes + extrapolated.l1_bytes,
-                l2_bytes: measured.l2_bytes + extrapolated.l2_bytes,
-                dram_read_bytes: measured.dram_bytes + extrapolated.dram_bytes,
-                dram_write_bytes: hstats.dram_write_bytes as f64 + extrapolated.store_bytes,
-                l1_miss_rate: hstats.l1.miss_rate(),
-                l2_miss_rate: hstats.l2.miss_rate(),
-                cycles,
-                sampled,
-                simulated_ctas,
-                total_ctas: tiling.num_ctas(),
-                active_ctas: active,
-            },
-            per_shard_cycles,
-        }
+        merge_column_groups(
+            prologue.cycles(),
+            tiling.num_ctas(),
+            active,
+            &shard_outcomes,
+        )
     }
 
     /// The row-axis sharded replay: each worker owns contiguous
@@ -553,114 +499,71 @@ impl Simulator {
         sched: &ColumnScheduler,
         tiling: &LayerTiling,
         active: u32,
-        prologue: &TimingEngine,
+        prologue_cycles: f64,
     ) -> ShardedRun {
         let batches = sched.batches_per_column();
-        let sim_batches = plan.batches();
 
         let simulate_shard = |shard: usize| {
             let mut tx_buf = Vec::with_capacity(64);
             plan.shard_segments(shard)
                 .iter()
                 .map(|seg| self.simulate_segment(map, sched, tiling, active, seg, &mut tx_buf))
-                .collect::<Vec<SegmentSim>>()
+                .collect::<Vec<SegmentReplay>>()
         };
         // Same nested-parallelism guard as the column axis: inside the
         // engine's layer fan-out, walk the shards on this thread.
         let shard_ids: Vec<usize> = (0..plan.n_workers()).collect();
-        let shard_outcomes: Vec<Vec<SegmentSim>> = if rayon::current_thread_index().is_some() {
+        let shard_outcomes: Vec<Vec<SegmentReplay>> = if rayon::current_thread_index().is_some() {
             shard_ids.iter().map(|&s| simulate_shard(s)).collect()
         } else {
             shard_ids.par_iter().map(|&s| simulate_shard(s)).collect()
         };
 
-        // Per-shard critical paths: an active shard charges its own
-        // layer prologue plus the simulated work of its segments
-        // (warm-up replays are simulator overhead, not modeled GPU
-        // work, so they are not charged); an empty shard is idle.
-        let mut per_shard_cycles: Vec<f64> = shard_outcomes
-            .iter()
-            .map(|segs| {
-                if segs.is_empty() {
-                    0.0
-                } else {
-                    prologue.cycles() + segs.iter().map(|s| s.cycles).sum::<f64>()
-                }
-            })
-            .collect();
+        merge_segment_groups(
+            prologue_cycles,
+            tiling.num_ctas(),
+            active,
+            plan.columns(),
+            batches,
+            plan.batches(),
+            &shard_outcomes,
+        )
+    }
 
-        // Merge in ascending (column, batch) order — the flattened
-        // segment list is already sorted because shards own contiguous
-        // ascending unit ranges.
-        let flat: Vec<(usize, &SegmentSim)> = shard_outcomes
-            .iter()
-            .enumerate()
-            .flat_map(|(s, segs)| segs.iter().map(move |seg| (s, seg)))
-            .collect();
-        let mut hstats = HierarchyStats::default();
-        let mut measured = Totals::default();
-        let mut extrapolated = Totals::default();
-        let mut cycles = prologue.cycles();
-        let mut simulated_ctas = 0u64;
-        let mut sampled = false;
-        let mut pos = 0usize;
-        for col in 0..plan.columns() {
-            let mut col_stats: Vec<BatchStats> = Vec::with_capacity(sim_batches as usize);
-            let mut col_hs = HierarchyStats::default();
-            let mut col_cycles = 0.0;
-            let mut next_b = 0u64;
-            let mut last_shard = 0usize;
-            while pos < flat.len() && flat[pos].1.col == col {
-                let (shard, seg) = flat[pos];
-                assert_eq!(
-                    seg.first_batch, next_b,
-                    "row merge must walk column {col}'s batches in order"
-                );
-                next_b += seg.stats.len() as u64;
-                col_hs.merge(&seg.delta);
-                for t in &seg.charges {
-                    col_cycles += t;
-                }
-                col_stats.extend_from_slice(&seg.stats);
-                simulated_ctas += seg.simulated_ctas;
-                last_shard = shard;
-                pos += 1;
-            }
-            assert_eq!(
-                next_b, sim_batches,
-                "row merge must cover column {col}'s simulated prefix exactly"
-            );
-            let (extrap, extra_cycles, aged) =
-                extrapolate_batches(&col_stats, batches, sim_batches);
-            col_hs.aged_l2_bytes += aged;
-            sampled |= col_stats.iter().any(|s| s.loop_extrapolated) || sim_batches < batches;
-            hstats.merge(&col_hs);
-            measured.accumulate(&col_stats);
-            extrapolated.add(&extrap);
-            // Mirrors the column axis: the column's folded charges plus
-            // its extrapolated tail, then added to the running total.
-            let col_total = col_cycles + extra_cycles;
-            cycles += col_total;
-            // The extrapolated tail extends the shard that finished the
-            // column.
-            per_shard_cycles[last_shard] += extra_cycles;
-        }
-
-        ShardedRun {
-            measurement: Measurement {
-                l1_bytes: measured.l1_bytes + extrapolated.l1_bytes,
-                l2_bytes: measured.l2_bytes + extrapolated.l2_bytes,
-                dram_read_bytes: measured.dram_bytes + extrapolated.dram_bytes,
-                dram_write_bytes: hstats.dram_write_bytes as f64 + extrapolated.store_bytes,
-                l1_miss_rate: hstats.l1.miss_rate(),
-                l2_miss_rate: hstats.l2.miss_rate(),
-                cycles,
-                sampled,
-                simulated_ctas,
-                total_ctas: tiling.num_ctas(),
-                active_ctas: active,
-            },
-            per_shard_cycles,
+    /// Replays one tile column against a fresh hierarchy/timing pair —
+    /// the column-axis work unit — and packages it as the serializable
+    /// merge part.
+    fn replay_column(
+        &self,
+        map: &TensorMap,
+        sched: &ColumnScheduler,
+        tiling: &LayerTiling,
+        active: u32,
+        col: u64,
+        tx_buf: &mut Vec<Transaction>,
+    ) -> ColumnReplay {
+        let mut hier = MemoryHierarchy::new(&self.gpu);
+        let mut timing = TimingEngine::new(&self.gpu, tiling.tile());
+        let sim = self.simulate_column(
+            map,
+            sched,
+            tiling,
+            active,
+            col,
+            &mut hier,
+            &mut timing,
+            tx_buf,
+            false,
+        );
+        timing.add_cycles(sim.extra_cycles);
+        ColumnReplay {
+            col: sim.col,
+            stats: sim.stats,
+            simulated_ctas: sim.simulated_ctas,
+            sampled: sim.sampled,
+            extrapolated: sim.extrapolated,
+            snapshot: hier.snapshot(),
+            cycles: timing.cycles(),
         }
     }
 
@@ -679,7 +582,7 @@ impl Simulator {
         active: u32,
         seg: &ColumnSegment,
         tx_buf: &mut Vec<Transaction>,
-    ) -> SegmentSim {
+    ) -> SegmentReplay {
         let tile = tiling.tile();
         let loops = tiling.main_loops();
         let limits = self.batch_limits();
@@ -705,7 +608,7 @@ impl Simulator {
             simulated_ctas += batch.len();
             stats.push(batch.simulate(&mut hier, &mut timing, limits, tx_buf, Some(&mut charges)));
         }
-        SegmentSim {
+        SegmentReplay {
             col: seg.col,
             first_batch: seg.batches.start,
             stats,
@@ -784,36 +687,229 @@ impl Simulator {
 
 /// A sharded run's merged measurement plus the per-shard critical paths
 /// (cycles each shard's owner spent, prologue included; 0 for idle
-/// shards). Consumed by the multi-GPU layer, where shards are devices.
-#[derive(Debug)]
-pub(crate) struct ShardedRun {
+/// shards). Consumed by the multi-GPU layer, where shards are devices,
+/// and returned by the fleet merge entry points so distributed runs can
+/// be compared against local ones field for field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedRun {
     /// The merged measurement — bitwise identical for every shard count.
-    pub(crate) measurement: Measurement,
+    pub measurement: Measurement,
     /// Per-shard cycles in shard order.
-    pub(crate) per_shard_cycles: Vec<f64>,
+    pub per_shard_cycles: Vec<f64>,
 }
 
-/// One column sub-range's simulation outcome — the merge unit of the
-/// row-axis sharded path. Warm-up activity is already subtracted out.
-#[derive(Debug)]
-struct SegmentSim {
+/// One column sub-range's replay outcome — the merge unit of the
+/// row-axis sharded path and the `segment` job result on the fleet
+/// wire. Warm-up activity is already subtracted out. Every field is
+/// integers, flags, or f64s that the vendored JSON writer round-trips
+/// bitwise, so a part produced on a remote executor merges identically
+/// to one produced in-process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentReplay {
     /// The segment's column (primary merge key).
-    col: u64,
+    pub col: u64,
     /// First batch of the sub-range (secondary merge key).
-    first_batch: u64,
+    pub first_batch: u64,
     /// Per-batch stats of the sub-range, in batch order.
-    stats: Vec<BatchStats>,
+    pub stats: Vec<BatchStats>,
     /// Every cycle charge the sub-range made, in charge order (the
     /// column merge folds these from zero to reconstruct the sequential
     /// accumulation).
-    charges: Vec<f64>,
+    pub charges: Vec<f64>,
     /// Hierarchy counter activity of the sub-range (warm-up excluded).
-    delta: HierarchyStats,
+    pub delta: HierarchyStats,
     /// CTAs actually traced (warm-up excluded).
-    simulated_ctas: u64,
+    pub simulated_ctas: u64,
     /// Cycles of the sub-range's own timing engine (per-shard critical
     /// path contribution; warm-up excluded).
-    cycles: f64,
+    pub cycles: f64,
+}
+
+/// One tile column's replay outcome — the merge unit of the
+/// column-axis sharded path and the `column` job result on the fleet
+/// wire. Like [`SegmentReplay`], JSON round-trips bitwise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnReplay {
+    /// The column index (merge-order key).
+    pub col: u64,
+    /// Per-batch stats of the simulated batch prefix, in batch order.
+    pub stats: Vec<BatchStats>,
+    /// CTAs actually traced.
+    pub simulated_ctas: u64,
+    /// Whether batch or loop extrapolation was used.
+    pub sampled: bool,
+    /// Steady-state extrapolation of the unsimulated batches.
+    pub extrapolated: Totals,
+    /// The column's private hierarchy counters (aging included).
+    pub snapshot: HierarchyStats,
+    /// The column's timing-engine cycles, extrapolated tail included.
+    pub cycles: f64,
+}
+
+/// Merges column replays, pre-grouped by owning shard, in ascending
+/// column order: the u64 counters are associative, and pinning the f64
+/// accumulation order to the column index makes the totals bitwise
+/// identical for every worker count, every grouping, and every CI
+/// machine. The single merge implementation behind both the local
+/// column-sharded run and the fleet's distributed one.
+fn merge_column_groups(
+    prologue_cycles: f64,
+    total_ctas: u64,
+    active: u32,
+    groups: &[Vec<ColumnReplay>],
+) -> ShardedRun {
+    // Per-shard critical paths: an active shard charges its own layer
+    // prologue plus its columns; an empty shard is idle.
+    let per_shard_cycles: Vec<f64> = groups
+        .iter()
+        .map(|cols| {
+            if cols.is_empty() {
+                0.0
+            } else {
+                prologue_cycles + cols.iter().map(|c| c.cycles).sum::<f64>()
+            }
+        })
+        .collect();
+
+    let mut hstats = HierarchyStats::default();
+    let mut measured = Totals::default();
+    let mut extrapolated = Totals::default();
+    let mut cycles = prologue_cycles;
+    let mut simulated_ctas = 0u64;
+    let mut sampled = false;
+    for (idx, part) in groups.iter().flatten().enumerate() {
+        assert_eq!(
+            part.col, idx as u64,
+            "shard merge must walk columns in ascending order"
+        );
+        hstats.merge(&part.snapshot);
+        measured.accumulate(&part.stats);
+        extrapolated.add(&part.extrapolated);
+        cycles += part.cycles;
+        simulated_ctas += part.simulated_ctas;
+        sampled |= part.sampled;
+    }
+
+    ShardedRun {
+        measurement: Measurement {
+            l1_bytes: measured.l1_bytes + extrapolated.l1_bytes,
+            l2_bytes: measured.l2_bytes + extrapolated.l2_bytes,
+            dram_read_bytes: measured.dram_bytes + extrapolated.dram_bytes,
+            dram_write_bytes: hstats.dram_write_bytes as f64 + extrapolated.store_bytes,
+            l1_miss_rate: hstats.l1.miss_rate(),
+            l2_miss_rate: hstats.l2.miss_rate(),
+            cycles,
+            sampled,
+            simulated_ctas,
+            total_ctas,
+            active_ctas: active,
+        },
+        per_shard_cycles,
+    }
+}
+
+/// Merges segment replays, pre-grouped by owning shard, in ascending
+/// (column, batch) order — the flattened group list is already sorted
+/// because shards own contiguous ascending unit ranges. Folds each
+/// column's recorded cycle charges in batch order from zero (the
+/// timing engine's charges are pure functions of their arguments, so
+/// this reconstructs the sequential column's f64 accumulation exactly)
+/// and runs the steady-state batch extrapolation over the reassembled
+/// per-batch stats. The single merge implementation behind both the
+/// local row-sharded run and the fleet's distributed one.
+fn merge_segment_groups(
+    prologue_cycles: f64,
+    total_ctas: u64,
+    active: u32,
+    columns: u64,
+    batches: u64,
+    sim_batches: u64,
+    groups: &[Vec<SegmentReplay>],
+) -> ShardedRun {
+    // Per-shard critical paths: an active shard charges its own layer
+    // prologue plus the simulated work of its segments (warm-up replays
+    // are simulator overhead, not modeled GPU work, so they are not
+    // charged); an empty shard is idle.
+    let mut per_shard_cycles: Vec<f64> = groups
+        .iter()
+        .map(|segs| {
+            if segs.is_empty() {
+                0.0
+            } else {
+                prologue_cycles + segs.iter().map(|s| s.cycles).sum::<f64>()
+            }
+        })
+        .collect();
+
+    let flat: Vec<(usize, &SegmentReplay)> = groups
+        .iter()
+        .enumerate()
+        .flat_map(|(s, segs)| segs.iter().map(move |seg| (s, seg)))
+        .collect();
+    let mut hstats = HierarchyStats::default();
+    let mut measured = Totals::default();
+    let mut extrapolated = Totals::default();
+    let mut cycles = prologue_cycles;
+    let mut simulated_ctas = 0u64;
+    let mut sampled = false;
+    let mut pos = 0usize;
+    for col in 0..columns {
+        let mut col_stats: Vec<BatchStats> = Vec::with_capacity(sim_batches as usize);
+        let mut col_hs = HierarchyStats::default();
+        let mut col_cycles = 0.0;
+        let mut next_b = 0u64;
+        let mut last_shard = 0usize;
+        while pos < flat.len() && flat[pos].1.col == col {
+            let (shard, seg) = flat[pos];
+            assert_eq!(
+                seg.first_batch, next_b,
+                "row merge must walk column {col}'s batches in order"
+            );
+            next_b += seg.stats.len() as u64;
+            col_hs.merge(&seg.delta);
+            for t in &seg.charges {
+                col_cycles += t;
+            }
+            col_stats.extend_from_slice(&seg.stats);
+            simulated_ctas += seg.simulated_ctas;
+            last_shard = shard;
+            pos += 1;
+        }
+        assert_eq!(
+            next_b, sim_batches,
+            "row merge must cover column {col}'s simulated prefix exactly"
+        );
+        let (extrap, extra_cycles, aged) = extrapolate_batches(&col_stats, batches, sim_batches);
+        col_hs.aged_l2_bytes += aged;
+        sampled |= col_stats.iter().any(|s| s.loop_extrapolated) || sim_batches < batches;
+        hstats.merge(&col_hs);
+        measured.accumulate(&col_stats);
+        extrapolated.add(&extrap);
+        // Mirrors the column axis: the column's folded charges plus its
+        // extrapolated tail, then added to the running total.
+        let col_total = col_cycles + extra_cycles;
+        cycles += col_total;
+        // The extrapolated tail extends the shard that finished the
+        // column.
+        per_shard_cycles[last_shard] += extra_cycles;
+    }
+
+    ShardedRun {
+        measurement: Measurement {
+            l1_bytes: measured.l1_bytes + extrapolated.l1_bytes,
+            l2_bytes: measured.l2_bytes + extrapolated.l2_bytes,
+            dram_read_bytes: measured.dram_bytes + extrapolated.dram_bytes,
+            dram_write_bytes: hstats.dram_write_bytes as f64 + extrapolated.store_bytes,
+            l1_miss_rate: hstats.l1.miss_rate(),
+            l2_miss_rate: hstats.l2.miss_rate(),
+            cycles,
+            sampled,
+            simulated_ctas,
+            total_ctas,
+            active_ctas: active,
+        },
+        per_shard_cycles,
+    }
 }
 
 /// Steady-state extrapolation of a column's unsimulated batch tail,
@@ -914,10 +1010,32 @@ pub fn all_reduce_pricing_of(
     }
 }
 
+/// Adds the data-parallel weight-gradient all-reduce on top of a wgrad
+/// estimate: `filter_bytes` of gradients (|∇W| = the layer's filter
+/// footprint) all-reduced once across `devices`. One code path for the
+/// local backend and the fleet coordinator, so the add-on's f64
+/// operation order is identical everywhere.
+pub fn add_wgrad_all_reduce(
+    est: &mut LayerEstimate,
+    gpu: &GpuSpec,
+    interconnect: InterconnectKind,
+    topology: Option<TopologyKind>,
+    filter_bytes: f64,
+    devices: u32,
+) {
+    let (ar_bytes, ar_seconds) =
+        all_reduce_pricing_of(interconnect, topology, filter_bytes, devices);
+    est.link_bytes += ar_bytes;
+    est.seconds += ar_seconds;
+    est.cycles += gpu.seconds_to_clks(ar_seconds);
+}
+
 impl Simulator {
     /// The concrete workload a query pass replays: the forward layer
-    /// itself, or its dgrad/wgrad transform.
-    pub(crate) fn pass_workload(layer: &ConvLayer, pass: Pass) -> Result<ConvLayer, Error> {
+    /// itself, or its dgrad/wgrad transform. Public so a fleet
+    /// coordinator and its executors derive the replayed layer from the
+    /// same query with the same transform.
+    pub fn pass_workload(layer: &ConvLayer, pass: Pass) -> Result<ConvLayer, Error> {
         match pass {
             Pass::Fwd => Ok(layer.clone()),
             Pass::Dgrad => training::dgrad_layer(layer),
@@ -930,7 +1048,7 @@ impl Simulator {
     /// rather than silently simulated on the wrong hardware.
     /// (Capacity-weighted heterogeneous partitioning is the ROADMAP
     /// follow-up that lands behind this same query signature.)
-    pub(crate) fn require_homogeneous(&self, devices: &[GpuSpec]) -> Result<(), Error> {
+    pub fn require_homogeneous(&self, devices: &[GpuSpec]) -> Result<(), Error> {
         match devices.iter().find(|d| **d != self.gpu) {
             None => Ok(()),
             Some(other) => Err(Error::InvalidGpu {
@@ -942,6 +1060,252 @@ impl Simulator {
                 ),
             }),
         }
+    }
+
+    /// The exact [`ShardPlan`] a `run_sharded(layer, n_workers)` call
+    /// uses — the unit decomposition a fleet coordinator fans out, and
+    /// the merge order it must reassemble. Built from
+    /// [`Simulator::partition_units`], so sampling
+    /// ([`SimConfig::max_batches_per_column`]) is already applied.
+    pub fn shard_plan(&self, layer: &ConvLayer, n_workers: u32) -> ShardPlan {
+        let (columns, sim_batches) = self.partition_units(layer);
+        ShardPlan::auto(columns, sim_batches, n_workers)
+    }
+
+    /// The one-per-layer prologue charge in cycles (what an active
+    /// shard's critical path starts from).
+    fn layer_prologue_cycles(&self, tile: CtaTile) -> f64 {
+        let mut t = TimingEngine::new(&self.gpu, tile);
+        self.charge_layer_prologue(&mut t, tile);
+        t.cycles()
+    }
+
+    /// Replays one tile column — the column-axis work unit of a
+    /// [`ShardAxis::Columns`] plan — against fresh private state and
+    /// returns the serializable merge part. This is what a fleet
+    /// executor runs for a `column` job; feeding every column of a
+    /// layer (in any grouping) to [`Simulator::merge_column_replays`]
+    /// reproduces `run_sharded` bitwise.
+    ///
+    /// Does **not** bump [`Simulator::replay_count`]: the counter's
+    /// unit is one whole-layer replay, and a unit replay is a fraction
+    /// of one (the coordinator performing the merge owns the count).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a column index outside the layer's tile grid.
+    pub fn replay_column_unit(&self, layer: &ConvLayer, col: u64) -> Result<ColumnReplay, Error> {
+        let tiling = self.tiling(layer);
+        let active = self.active_ctas(tiling.tile());
+        let sched = ColumnScheduler::new(&tiling, &self.gpu, active);
+        if col >= sched.columns() {
+            return Err(Error::Fleet {
+                context: "replay".into(),
+                reason: format!(
+                    "column {col} out of range: layer `{}` has {} tile columns",
+                    layer.label(),
+                    sched.columns()
+                ),
+            });
+        }
+        let map = TensorMap::new(layer);
+        let mut tx_buf = Vec::with_capacity(64);
+        Ok(self.replay_column(&map, &sched, &tiling, active, col, &mut tx_buf))
+    }
+
+    /// Replays one column sub-range — the row-axis work unit of a
+    /// [`ShardAxis::Rows`] plan — and returns the serializable merge
+    /// part (warm-up already subtracted). This is what a fleet executor
+    /// runs for a `segment` job; the sub-range must be one of the
+    /// plan's own segments for [`Simulator::merge_segment_replays`] to
+    /// accept it.
+    ///
+    /// Does **not** bump [`Simulator::replay_count`] (see
+    /// [`Simulator::replay_column_unit`]).
+    ///
+    /// # Errors
+    ///
+    /// Rejects an out-of-range column, an empty batch range, and a
+    /// range extending past the column's simulated batch prefix.
+    pub fn replay_segment_unit(
+        &self,
+        layer: &ConvLayer,
+        col: u64,
+        batches: std::ops::Range<u64>,
+    ) -> Result<SegmentReplay, Error> {
+        let tiling = self.tiling(layer);
+        let active = self.active_ctas(tiling.tile());
+        let sched = ColumnScheduler::new(&tiling, &self.gpu, active);
+        let (columns, sim_batches) = self.partition_units(layer);
+        let reject = |reason: String| Error::Fleet {
+            context: "replay".into(),
+            reason,
+        };
+        if col >= columns {
+            return Err(reject(format!(
+                "column {col} out of range: layer `{}` has {columns} tile columns",
+                layer.label()
+            )));
+        }
+        if batches.start >= batches.end {
+            return Err(reject(format!(
+                "empty batch range {}..{} for column {col}",
+                batches.start, batches.end
+            )));
+        }
+        if batches.end > sim_batches {
+            return Err(reject(format!(
+                "batch range {}..{} exceeds column {col}'s simulated prefix of {sim_batches} \
+                 batches",
+                batches.start, batches.end
+            )));
+        }
+        let map = TensorMap::new(layer);
+        let mut tx_buf = Vec::with_capacity(64);
+        let seg = ColumnSegment { col, batches };
+        Ok(self.simulate_segment(&map, &sched, &tiling, active, &seg, &mut tx_buf))
+    }
+
+    /// Merges per-column replay parts — one [`ColumnReplay`] per tile
+    /// column, in any order of production — into exactly the
+    /// [`ShardedRun`] that `run_sharded_detail(layer, n_workers)` under
+    /// a [`ShardAxis::Columns`] plan produces, per-shard cycles
+    /// included. The merge itself is the same code the single-process
+    /// path runs; this entry point only validates the parts first
+    /// (sorted, exhaustive, duplicate-free coverage of the column
+    /// range), so malformed remote data surfaces as an [`Error::Fleet`]
+    /// instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a plan that shards on the row axis (segment replays are
+    /// required then) and any part list that is not exactly columns
+    /// `0..columns` in ascending order.
+    pub fn merge_column_replays(
+        &self,
+        layer: &ConvLayer,
+        n_workers: u32,
+        parts: Vec<ColumnReplay>,
+    ) -> Result<ShardedRun, Error> {
+        let plan = self.shard_plan(layer, n_workers);
+        let reject = |reason: String| Error::Fleet {
+            context: "merge".into(),
+            reason,
+        };
+        if plan.axis() != ShardAxis::Columns {
+            return Err(reject(format!(
+                "plan for {n_workers} workers shards layer `{}` on the row axis; \
+                 merge its segment replays instead",
+                layer.label()
+            )));
+        }
+        if parts.len() as u64 != plan.columns() {
+            return Err(reject(format!(
+                "expected one replay per tile column ({}), got {}",
+                plan.columns(),
+                parts.len()
+            )));
+        }
+        for (idx, p) in parts.iter().enumerate() {
+            if p.col != idx as u64 {
+                return Err(reject(format!(
+                    "replay parts must cover columns 0..{} in ascending order; \
+                     position {idx} holds column {}",
+                    plan.columns(),
+                    p.col
+                )));
+            }
+        }
+        // Regroup by the plan's own shard ranges so per-shard cycles
+        // fold in exactly the single-process order.
+        let mut it = parts.into_iter();
+        let groups: Vec<Vec<ColumnReplay>> = plan
+            .shards()
+            .iter()
+            .map(|r| it.by_ref().take((r.end - r.start) as usize).collect())
+            .collect();
+        let tiling = self.tiling(layer);
+        let active = self.active_ctas(tiling.tile());
+        Ok(merge_column_groups(
+            self.layer_prologue_cycles(tiling.tile()),
+            tiling.num_ctas(),
+            active,
+            &groups,
+        ))
+    }
+
+    /// Merges per-segment replay parts — one [`SegmentReplay`] per
+    /// segment of the plan's own row-axis decomposition — into exactly
+    /// the [`ShardedRun`] that `run_sharded_detail(layer, n_workers)`
+    /// under a [`ShardAxis::Rows`] plan produces. The parts must match
+    /// the plan's segment boundaries exactly: per-shard cycle totals
+    /// fold each shard's segment list in order, and f64 addition is not
+    /// associative across different segment splits, so only the plan's
+    /// own boundaries reconstruct the single-process result bitwise.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a column-axis plan (column replays are required then)
+    /// and any part list whose `(col, batch range, length)` sequence
+    /// differs from the plan's segments in flattened shard order.
+    pub fn merge_segment_replays(
+        &self,
+        layer: &ConvLayer,
+        n_workers: u32,
+        parts: Vec<SegmentReplay>,
+    ) -> Result<ShardedRun, Error> {
+        let plan = self.shard_plan(layer, n_workers);
+        let reject = |reason: String| Error::Fleet {
+            context: "merge".into(),
+            reason,
+        };
+        if plan.axis() != ShardAxis::Rows {
+            return Err(reject(format!(
+                "plan for {n_workers} workers shards layer `{}` on the column axis; \
+                 merge its column replays instead",
+                layer.label()
+            )));
+        }
+        let expected: Vec<(usize, ColumnSegment)> = (0..plan.n_workers())
+            .flat_map(|s| plan.shard_segments(s).into_iter().map(move |seg| (s, seg)))
+            .collect();
+        if parts.len() != expected.len() {
+            return Err(reject(format!(
+                "expected {} segment replays (the plan's own decomposition), got {}",
+                expected.len(),
+                parts.len()
+            )));
+        }
+        for (p, (_, seg)) in parts.iter().zip(&expected) {
+            let got_end = p.first_batch + p.stats.len() as u64;
+            if p.col != seg.col || p.first_batch != seg.batches.start || got_end != seg.batches.end
+            {
+                return Err(reject(format!(
+                    "segment replay (col {}, batches {}..{got_end}) does not match the \
+                     plan's segment (col {}, batches {}..{}); distributed segments must \
+                     use the plan's exact boundaries",
+                    p.col, p.first_batch, seg.col, seg.batches.start, seg.batches.end
+                )));
+            }
+        }
+        // Regroup by shard so per-shard cycles fold in the
+        // single-process order.
+        let mut it = parts.into_iter();
+        let groups: Vec<Vec<SegmentReplay>> = (0..plan.n_workers())
+            .map(|s| it.by_ref().take(plan.shard_segments(s).len()).collect())
+            .collect();
+        let tiling = self.tiling(layer);
+        let active = self.active_ctas(tiling.tile());
+        let sched = ColumnScheduler::new(&tiling, &self.gpu, active);
+        Ok(merge_segment_groups(
+            self.layer_prologue_cycles(tiling.tile()),
+            tiling.num_ctas(),
+            active,
+            plan.columns(),
+            sched.batches_per_column(),
+            plan.batches(),
+            &groups,
+        ))
     }
 }
 
@@ -988,17 +1352,15 @@ impl Backend for Simulator {
                 if query.pass == Pass::Wgrad {
                     // On top of the wgrad GEMM replay, a data-parallel
                     // step all-reduces this layer's weight gradients
-                    // (|∇W| = the filter footprint) once across the
-                    // devices.
-                    let (ar_bytes, ar_seconds) = all_reduce_pricing_of(
+                    // once across the devices.
+                    add_wgrad_all_reduce(
+                        &mut est,
+                        &self.gpu,
                         *interconnect,
                         *topology,
                         layer.filter_bytes() as f64,
                         g,
                     );
-                    est.link_bytes += ar_bytes;
-                    est.seconds += ar_seconds;
-                    est.cycles += self.gpu.seconds_to_clks(ar_seconds);
                 }
                 Ok(est)
             }
@@ -1010,13 +1372,20 @@ impl Backend for Simulator {
     }
 }
 
-/// Sum of per-batch traffic (simulated or extrapolated).
-#[derive(Debug, Default)]
-struct Totals {
-    l1_bytes: f64,
-    l2_bytes: f64,
-    dram_bytes: f64,
-    store_bytes: f64,
+/// Sum of per-batch traffic (simulated or extrapolated). Public (and
+/// serializable) because a [`ColumnReplay`] carries its column's
+/// extrapolated totals across the fleet wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Totals {
+    /// L1 bytes.
+    pub l1_bytes: f64,
+    /// L2 bytes.
+    pub l2_bytes: f64,
+    /// DRAM read bytes.
+    pub dram_bytes: f64,
+    /// Epilogue store bytes (extrapolated totals only; see
+    /// [`Totals::accumulate`]'s note).
+    pub store_bytes: f64,
 }
 
 impl Totals {
@@ -1025,7 +1394,7 @@ impl Totals {
     /// `MemoryHierarchy::warp_store` into `dram_write_bytes()`; only the
     /// extrapolated `Totals` carries `store_bytes` (set directly from
     /// the steady state). Summing them here too would double-count.
-    fn accumulate(&mut self, batches: &[BatchStats]) {
+    pub fn accumulate(&mut self, batches: &[BatchStats]) {
         for b in batches {
             self.l1_bytes += b.traffic.l1_bytes as f64;
             self.l2_bytes += b.traffic.l2_bytes as f64;
@@ -1034,7 +1403,7 @@ impl Totals {
     }
 
     /// Element-wise accumulation of another total.
-    fn add(&mut self, other: &Totals) {
+    pub fn add(&mut self, other: &Totals) {
         self.l1_bytes += other.l1_bytes;
         self.l2_bytes += other.l2_bytes;
         self.dram_bytes += other.dram_bytes;
@@ -1708,5 +2077,148 @@ mod tests {
             assert_eq!(s.store_bytes, steady1.store_bytes, "shards={n}");
             assert_eq!(s.cycles, steady1.cycles, "shards={n}");
         }
+    }
+
+    fn wide_layer() -> ConvLayer {
+        // Co = 512 -> LARGE tile -> 4 tile columns.
+        ConvLayer::builder("wide")
+            .batch(2)
+            .input(16, 14, 14)
+            .output_channels(512)
+            .filter(3, 3)
+            .pad(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn unit_replays_merge_to_the_column_sharded_run_bitwise() {
+        // The fleet contract on the column axis: replaying each column
+        // as an independent unit and merging through the validated
+        // public entry point reproduces run_sharded_detail exactly —
+        // Measurement AND per-shard cycles — for every worker count
+        // that stays on the column axis.
+        let l = wide_layer();
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+        for n in [1u32, 2, 3, 4] {
+            let plan = sim.shard_plan(&l, n);
+            assert_eq!(plan.axis(), ShardAxis::Columns, "workers={n}");
+            let parts: Vec<ColumnReplay> = (0..plan.columns())
+                .map(|c| sim.replay_column_unit(&l, c).unwrap())
+                .collect();
+            let merged = sim.merge_column_replays(&l, n, parts).unwrap();
+            let local = sim.run_sharded_detail(&l, n);
+            assert_eq!(merged, local, "workers={n}");
+        }
+    }
+
+    #[test]
+    fn unit_replays_merge_to_the_row_sharded_run_bitwise() {
+        // The fleet contract on the row axis: replaying each plan
+        // segment as an independent unit (plan-exact boundaries) and
+        // merging reproduces run_sharded_detail exactly. Workers must
+        // exceed the column count to force the row axis.
+        let l = narrow_layer();
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+        for n in [3u32, 4, 6] {
+            let plan = sim.shard_plan(&l, n);
+            assert_eq!(plan.axis(), ShardAxis::Rows, "workers={n}");
+            let parts: Vec<SegmentReplay> = (0..plan.n_workers())
+                .flat_map(|s| plan.shard_segments(s))
+                .map(|seg| {
+                    sim.replay_segment_unit(&l, seg.col, seg.batches.clone())
+                        .unwrap()
+                })
+                .collect();
+            let merged = sim.merge_segment_replays(&l, n, parts).unwrap();
+            let local = sim.run_sharded_detail(&l, n);
+            assert_eq!(merged, local, "workers={n}");
+        }
+    }
+
+    #[test]
+    fn replay_parts_round_trip_json_bitwise() {
+        // The wire contract: a part that crosses a JSON boundary (the
+        // vendored writer emits shortest-round-trip f64s) merges to the
+        // same bits as one that never left the process.
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+        let wide = wide_layer();
+        let col = sim.replay_column_unit(&wide, 1).unwrap();
+        let json = serde_json::to_string(&col).unwrap();
+        let back: ColumnReplay = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, col);
+
+        let narrow = narrow_layer();
+        let plan = sim.shard_plan(&narrow, 4);
+        let seg0 = plan.shard_segments(1).remove(0);
+        let seg = sim
+            .replay_segment_unit(&narrow, seg0.col, seg0.batches)
+            .unwrap();
+        let json = serde_json::to_string(&seg).unwrap();
+        let back: SegmentReplay = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, seg);
+    }
+
+    #[test]
+    fn unit_replays_do_not_bump_the_replay_counter() {
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+        let l = wide_layer();
+        sim.replay_column_unit(&l, 0).unwrap();
+        let narrow = narrow_layer();
+        let plan = sim.shard_plan(&narrow, 4);
+        let seg = (0..plan.n_workers())
+            .flat_map(|s| plan.shard_segments(s))
+            .next()
+            .unwrap();
+        sim.replay_segment_unit(&narrow, seg.col, seg.batches)
+            .unwrap();
+        assert_eq!(sim.replay_count(), 0);
+        sim.run_sharded(&l, 2);
+        assert_eq!(sim.replay_count(), 1);
+    }
+
+    #[test]
+    fn merge_entry_points_reject_malformed_parts() {
+        let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+        let wide = wide_layer();
+        let plan = sim.shard_plan(&wide, 2);
+        let parts: Vec<ColumnReplay> = (0..plan.columns())
+            .map(|c| sim.replay_column_unit(&wide, c).unwrap())
+            .collect();
+
+        // Missing column.
+        let mut missing = parts.clone();
+        missing.pop();
+        let err = sim.merge_column_replays(&wide, 2, missing).unwrap_err();
+        assert!(err.to_string().contains("merge"), "{err}");
+
+        // Out-of-order (duplicate-at-wrong-slot) coverage.
+        let mut swapped = parts.clone();
+        swapped.swap(0, 1);
+        assert!(sim.merge_column_replays(&wide, 2, swapped).is_err());
+
+        // Wrong axis: a row-axis plan refuses column parts.
+        let narrow = narrow_layer();
+        let err = sim.merge_column_replays(&narrow, 8, parts).unwrap_err();
+        assert!(err.to_string().contains("row axis"), "{err}");
+
+        // Segment merge: boundaries must be plan-exact.
+        let nplan = sim.shard_plan(&narrow, 4);
+        assert_eq!(nplan.axis(), ShardAxis::Rows);
+        let mut segs: Vec<SegmentReplay> = (0..nplan.n_workers())
+            .flat_map(|s| nplan.shard_segments(s))
+            .map(|seg| {
+                sim.replay_segment_unit(&narrow, seg.col, seg.batches)
+                    .unwrap()
+            })
+            .collect();
+        segs[0].first_batch += 1;
+        let err = sim.merge_segment_replays(&narrow, 4, segs).unwrap_err();
+        assert!(err.to_string().contains("exact boundaries"), "{err}");
+
+        // Out-of-range unit requests are refused, not panicked on.
+        assert!(sim.replay_column_unit(&wide, 1_000).is_err());
+        assert!(sim.replay_segment_unit(&narrow, 0, 5..5).is_err());
+        assert!(sim.replay_segment_unit(&narrow, 0, 0..1_000_000).is_err());
     }
 }

@@ -30,9 +30,14 @@ use crate::timing::TimingEngine;
 use crate::trace::CtaTrace;
 use delta_model::tiling::CtaTile;
 use delta_model::WARP_SIZE;
+use serde::{Deserialize, Serialize};
 
 /// Measured quantities of one simulated CTA batch.
-#[derive(Debug, Clone, Copy, Default)]
+///
+/// Serializable because batch stats ride inside the fleet wire types
+/// (`SegmentReplay`): every field is an integer, a flag, or an f64 that
+/// the vendored JSON writer round-trips bitwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct BatchStats {
     /// Per-level read-traffic bytes of the batch's main loops.
     pub traffic: TrafficDelta,

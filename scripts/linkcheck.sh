@@ -50,7 +50,7 @@ done
 # crates/cli/src/main.rs (plus `help`, handled before dispatch), so the
 # check tracks the binary instead of a hand-maintained list.
 valid=$(sed -n '/^fn run(positional/,/^}$/p' crates/cli/src/main.rs \
-  | grep -oE 'Some\("[a-z]+"\)' | sed 's/Some("//; s/")//')
+  | grep -oE 'Some\("[a-z-]+"\)' | sed 's/Some("//; s/")//')
 valid="$valid help"
 for doc in "${docs[@]}"; do
   while IFS= read -r word; do
@@ -62,7 +62,7 @@ for doc in "${docs[@]}"; do
       echo "linkcheck: $doc mentions unknown delta subcommand: delta $word"
       fail=1
     fi
-  done < <(grep -oE '\bdelta [a-z]+' "$doc" | sed 's/^delta //' | sort -u)
+  done < <(grep -oE '\bdelta [a-z-]+' "$doc" | sed 's/^delta //; s/-$//' | sort -u)
 done
 
 if [ "$fail" != 0 ]; then

@@ -385,3 +385,36 @@ fn stats_reports_uptime_and_in_flight() {
     );
     server.shutdown();
 }
+
+#[test]
+fn healthz_reports_the_backend_fingerprint() {
+    // The identity triple must match what the engine's cache guard and
+    // the fleet handshake would compute for the same backend.
+    let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+    let want = delta_model::BackendFingerprint::of(&sim);
+    let server = spawn(
+        sim,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind 127.0.0.1:0");
+
+    let (status, body) = request(server.addr(), "GET", "/healthz", "");
+    assert_eq!(status, 200, "{body}");
+    let v: Value = serde_json::from_str(&body).expect("healthz is JSON");
+    let field = |k: &str| match v.get(k) {
+        Some(Value::Str(s)) => s.clone(),
+        other => panic!("healthz field {k} missing or not a string: {other:?} in {body}"),
+    };
+    assert_eq!(field("version"), env!("CARGO_PKG_VERSION"));
+    assert_eq!(field("backend"), want.backend);
+    assert_eq!(field("gpu"), want.gpu);
+    assert_eq!(field("config_fingerprint"), want.config);
+
+    // Wrong method gets the structured 405, like every other endpoint.
+    let (status, body) = request(server.addr(), "POST", "/healthz", "");
+    assert_eq!(status, 405, "{body}");
+    server.shutdown();
+}
