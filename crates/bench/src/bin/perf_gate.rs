@@ -8,9 +8,12 @@
 //! 3. **narrow shard (row axis)** — a 1–2-column conv layer at 4 workers
 //!    vs. 1 worker, the regime only row-level sharding can speed up;
 //! 4. **warm step cache** — a multi-GPU training-step evaluation
-//!    answered from a persisted v3 cache file vs. simulated cold.
+//!    answered from a persisted v3 cache file vs. simulated cold;
+//! 5. **tracing overhead** — the sharded evaluation seam with span
+//!    recording armed vs. off, the one ratio gated against a *ceiling*
+//!    (`baseline × (1 + tolerance)`) instead of a floor.
 //!
-//! All are measured as **speedup ratios**, not absolute times, so the
+//! All are measured as **ratios**, not absolute times, so the
 //! gate is portable across CI machines of different raw speed. Usage:
 //!
 //! ```text
@@ -39,7 +42,11 @@
 //! fleet's identity (`fleet_identical`: a socket-connected executor
 //! fleet — with one executor rigged to die mid-run, forcing a
 //! re-dispatch — answers byte-identically to the in-process
-//! evaluation) — run everywhere and are never skipped.
+//! evaluation), and the tracing identity (`trace_identity`: the golden
+//! evaluation re-run with span recording armed must reproduce the
+//! pinned bytes, and the recorded spans must export as a valid
+//! non-empty Chrome trace document) — run everywhere and are never
+//! skipped.
 
 use delta_bench::experiments::{narrow_scaling, shard_scaling};
 use delta_bench::serve_client;
@@ -113,6 +120,14 @@ struct GateReport {
     /// survivor — answered the 4-way sharded query byte-identically to
     /// the in-process evaluation (must always be true).
     fleet_identical: bool,
+    /// Whether the golden evaluation re-run with span recording armed
+    /// stayed byte-identical to the pinned file AND the recorded spans
+    /// exported as a parseable, non-empty Chrome trace document
+    /// (must always be true — observability never perturbs results).
+    trace_identity: bool,
+    /// Tracing-on over tracing-off wall time on the sharded evaluation
+    /// seam — the one ratio gated against a **ceiling**, not a floor.
+    tracing_overhead: f64,
 }
 
 /// The checked-in expectations (`BENCH_BASELINE.json`).
@@ -128,6 +143,10 @@ struct Baseline {
     narrow_shard_speedup: f64,
     /// Expected warm-over-cold step-cache speedup.
     warm_step_cache_speedup: f64,
+    /// Expected tracing-on over tracing-off wall-time ratio; the gate
+    /// fails when the measured ratio *exceeds*
+    /// `baseline × (1 + tolerance)`.
+    tracing_overhead: f64,
 }
 
 /// Reads a `u64` counter at `path` (e.g. `["cache", "misses"]`) out of
@@ -508,6 +527,46 @@ fn measure(reps: u32) -> GateReport {
     // in-process bytes exactly — including across a re-dispatch.
     let fleet_identical = fleet_identity_holds(&gpu, config);
 
+    // Path 9: observability must never perturb results (the delta_obs
+    // hard invariant). Measured last so the enabled flag cannot leak
+    // into the other timed paths. First the off-baseline on the sharded
+    // seam, then the same closure with span recording armed — the
+    // ratio is the only metric gated against a ceiling. The golden
+    // evaluation re-runs with tracing on: its bytes must still match
+    // the pinned file, and the recorded spans must export as a
+    // parseable, non-empty Chrome trace document.
+    let t_trace_off = best_of(reps, || {
+        engine
+            .evaluate(&sharded(1))
+            .expect("simulable layer")
+            .cycles
+    });
+    delta_obs::trace::set_enabled(true);
+    let _ = delta_obs::trace::drain();
+    let t_trace_on = best_of(reps, || {
+        engine
+            .evaluate(&sharded(1))
+            .expect("simulable layer")
+            .cycles
+    });
+    let traced_golden = Engine::new(Simulator::new(GpuSpec::titan_xp(), config))
+        .evaluate_network(
+            net_small.layers(),
+            &Parallelism::multi(&GpuSpec::titan_xp(), 4, InterconnectKind::NvLink),
+        )
+        .expect("simulable network");
+    let events = delta_obs::trace::drain();
+    delta_obs::trace::set_enabled(false);
+    let trace_doc: Value =
+        serde_json::from_str(&delta_obs::trace::chrome_trace_json(&events)).unwrap_or(Value::Null);
+    let trace_parses_nonempty =
+        matches!(trace_doc.get("traceEvents"), Some(Value::Seq(items)) if !items.is_empty());
+    let trace_identity = trace_parses_nonempty
+        && serde_json::to_string_pretty(&traced_golden)
+            .expect("serializable evaluation")
+            .trim_end()
+            == GOLDEN_NET_ALEXNET_GPUS4_NVLINK_B2.trim_end();
+
     GateReport {
         cores: rayon::current_num_threads(),
         engine_cached_speedup: t_loop / t_engine,
@@ -522,6 +581,8 @@ fn measure(reps: u32) -> GateReport {
         golden_identical,
         serve_warm_dedup,
         fleet_identical,
+        trace_identity,
+        tracing_overhead: t_trace_on / t_trace_off,
     }
 }
 
@@ -584,7 +645,8 @@ fn main() {
          warm_step_cache_speedup  = {:.2}x\n  warm_step_identical      = {}\n  \
          multigpu_ideal_identical = {}\n  overlap_bounds_ok        = {}\n  \
          golden_identical         = {}\n  serve_warm_dedup         = {}\n  \
-         fleet_identical          = {}",
+         fleet_identical          = {}\n  trace_identity           = {}\n  \
+         tracing_overhead         = {:.2}x",
         report.cores,
         report.engine_cached_speedup,
         report.shard_speedup_4w,
@@ -597,7 +659,9 @@ fn main() {
         report.overlap_bounds_ok,
         report.golden_identical,
         report.serve_warm_dedup,
-        report.fleet_identical
+        report.fleet_identical,
+        report.trace_identity,
+        report.tracing_overhead
     );
 
     if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
@@ -671,6 +735,14 @@ fn main() {
                 .to_string(),
         );
     }
+    if !report.trace_identity {
+        failures.push(
+            "span recording perturbed results: the golden evaluation with tracing \
+             armed is not byte-identical to the pinned file, or the recorded \
+             spans did not export as a parseable non-empty Chrome trace document"
+                .to_string(),
+        );
+    }
     if let Some(path) = check {
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
@@ -730,6 +802,23 @@ fn main() {
                  ({} cores; the 4-worker floors need >= 4)",
                 report.cores
             );
+        }
+        // The tracing ratio is a *ceiling*: span recording measured
+        // slower than baseline × (1 + tolerance) means the
+        // instrumentation got expensive, the inverse of a speedup
+        // regression. It does not depend on the core count.
+        let ceiling = base.tracing_overhead * (1.0 + base.tolerance);
+        println!(
+            "check tracing_overhead: measured {:.2}x, baseline {:.2}x, ceiling {ceiling:.2}x",
+            report.tracing_overhead, base.tracing_overhead
+        );
+        if report.tracing_overhead > ceiling {
+            failures.push(format!(
+                "tracing_overhead regressed: {:.2}x > {ceiling:.2}x (baseline {:.2}x + {:.0}%)",
+                report.tracing_overhead,
+                base.tracing_overhead,
+                base.tolerance * 100.0
+            ));
         }
     }
 

@@ -16,6 +16,10 @@ pub struct Ctx {
     /// Directory for CSV output (`results/` by default); `None` disables
     /// CSV emission.
     pub out_dir: Option<PathBuf>,
+    /// When set, the `bin/` wrappers arm span recording before the
+    /// experiment and write the Chrome trace-event document here after
+    /// it (the `--trace-out F` flag).
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for Ctx {
@@ -28,6 +32,7 @@ impl Default for Ctx {
                 ..SimConfig::default()
             },
             out_dir: Some(PathBuf::from("results")),
+            trace_out: None,
         }
     }
 }
@@ -44,6 +49,7 @@ impl Ctx {
                 ..SimConfig::default()
             },
             out_dir: None,
+            trace_out: None,
         }
     }
 
@@ -55,11 +61,13 @@ impl Ctx {
             sim_batch: 256,
             sim_config: SimConfig::exhaustive(),
             out_dir: Some(PathBuf::from("results")),
+            trace_out: None,
         }
     }
 
-    /// Parses `--batch N`, `--full`, `--smoke`, and `--no-csv` from
-    /// command-line arguments (used by the `bin/` wrappers).
+    /// Parses `--batch N`, `--full`, `--smoke`, `--no-csv`, and
+    /// `--trace-out F` from command-line arguments (used by the `bin/`
+    /// wrappers).
     pub fn from_args(args: impl Iterator<Item = String>) -> Ctx {
         let mut ctx = Ctx::default();
         let args: Vec<String> = args.collect();
@@ -72,6 +80,12 @@ impl Ctx {
                 "--batch" => {
                     if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                         ctx.sim_batch = v;
+                        i += 1;
+                    }
+                }
+                "--trace-out" => {
+                    if let Some(v) = args.get(i + 1) {
+                        ctx.trace_out = Some(PathBuf::from(v));
                         i += 1;
                     }
                 }

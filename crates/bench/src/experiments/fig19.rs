@@ -60,6 +60,7 @@ mod tests {
                 ..delta_sim::SimConfig::default()
             },
             out_dir: None,
+            trace_out: None,
         };
         let gpu = GpuSpec::titan_xp();
         let net = delta_networks::alexnet(ctx.sim_batch).unwrap();

@@ -45,7 +45,21 @@ pub fn emit(ctx: &Ctx, id: &str, tables: &[Table]) {
 /// Runs one experiment end-to-end from a binary: parse args, run, emit.
 pub fn run_binary(id: &str, run: fn(&Ctx) -> Result<Vec<Table>, delta_model::Error>) {
     let ctx = Ctx::from_args(std::env::args().skip(1));
-    match run(&ctx) {
+    if ctx.trace_out.is_some() {
+        delta_obs::trace::set_enabled(true);
+    }
+    let outcome = run(&ctx);
+    if let Some(path) = &ctx.trace_out {
+        let events = delta_obs::trace::drain();
+        match std::fs::write(path, delta_obs::trace::chrome_trace_json(&events)) {
+            Ok(()) => eprintln!("wrote {} spans to {}", events.len(), path.display()),
+            Err(e) => {
+                eprintln!("{id}: cannot write trace {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    match outcome {
         Ok(tables) => emit(&ctx, id, &tables),
         Err(e) => {
             eprintln!("{id} failed: {e}");

@@ -11,6 +11,7 @@
 //! delta serve   [--addr A --backend model|sim --threads N --cache-file F] evaluation as an HTTP service
 //! delta executor [--addr A --gpu G --exhaustive]                          one fleet executor daemon
 //! delta fleet-run <alexnet|...> (--executors a,b,... | --local-executors N) distributed evaluation
+//! delta trace-summary <file>                                              per-stage table of a trace
 //! delta gpus                                                              list device presets
 //! delta help
 //! ```
@@ -27,6 +28,12 @@
 //! --overlap on` / `timeline` run the collective scheduler: weight
 //! gradients bucket up (`--bucket-mb`) and each bucket's all-reduce
 //! overlaps the remaining backward compute.
+//!
+//! Every command additionally takes `--trace-out FILE`: structured
+//! tracing (`delta_obs`) records spans across the engine, simulator,
+//! serve, and fleet layers, and the run writes them as a Chrome
+//! trace-event JSON document — open it in Perfetto, or aggregate it
+//! with `delta trace-summary FILE` (see `docs/OBSERVABILITY.md`).
 
 use delta_model::engine::{self, Engine, NetworkEvaluation};
 use delta_model::query::{Parallelism, StepQuery};
@@ -935,6 +942,82 @@ fn cmd_fleet_run(name: &str, flags: &HashMap<String, String>) -> Result<(), Stri
     Ok(())
 }
 
+/// One aggregated row of `trace-summary`: how often a span name fired
+/// and how much wall time it covered.
+struct StageRow {
+    name: String,
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+/// `delta trace-summary <file>`: reads a Chrome trace-event document
+/// (written by `--trace-out`) and prints a per-stage table — span
+/// count, total, mean, and max duration per span name, widest stages
+/// first.
+fn cmd_trace_summary(file: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let doc: serde::Value =
+        serde_json::from_str(&text).map_err(|e| format!("{file}: invalid JSON: {e}"))?;
+    let events = match doc.get("traceEvents") {
+        Some(serde::Value::Seq(items)) => items,
+        _ => {
+            return Err(format!(
+                "{file}: no `traceEvents` array (expected a document written by --trace-out)"
+            ))
+        }
+    };
+    let mut stages: Vec<StageRow> = Vec::new();
+    for event in events {
+        let Some(serde::Value::Str(name)) = event.get("name") else {
+            continue;
+        };
+        let dur = match event.get("dur") {
+            Some(serde::Value::U64(d)) => *d,
+            _ => 0,
+        };
+        match stages.iter_mut().find(|row| &row.name == name) {
+            Some(row) => {
+                row.count += 1;
+                row.total_us += dur;
+                row.max_us = row.max_us.max(dur);
+            }
+            None => stages.push(StageRow {
+                name: name.clone(),
+                count: 1,
+                total_us: dur,
+                max_us: dur,
+            }),
+        }
+    }
+    if stages.is_empty() {
+        println!("{file}: no spans recorded");
+        return Ok(());
+    }
+    stages.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+    let name_width = stages
+        .iter()
+        .map(|row| row.name.len())
+        .max()
+        .unwrap_or(0)
+        .max("span".len());
+    println!(
+        "{:<name_width$}  {:>7}  {:>12}  {:>10}  {:>10}",
+        "span", "count", "total µs", "mean µs", "max µs"
+    );
+    for row in &stages {
+        println!(
+            "{:<name_width$}  {:>7}  {:>12}  {:>10.1}  {:>10}",
+            row.name,
+            row.count,
+            row.total_us,
+            row.total_us as f64 / row.count as f64,
+            row.max_us
+        );
+    }
+    Ok(())
+}
+
 fn usage() -> String {
     "usage: delta <command> [flags]\n\
      commands:\n  \
@@ -953,6 +1036,7 @@ fn usage() -> String {
      fleet-run <alexnet|vgg16|googlenet|resnet152> (--executors host:port,... | --local-executors N)\n           \
      [--batch N --gpu G --shards N --gpus G --interconnect I --topology T\n           \
      --cache-file F --json --exhaustive]\n  \
+     trace-summary <file>   per-stage span table of a trace written by --trace-out\n  \
      gpus\n  \
      help\n\
      flags:\n  \
@@ -983,11 +1067,15 @@ fn usage() -> String {
      with `delta executor`; every executor must match the coordinator's\n                 \
      GPU and sampling mode — the handshake refuses a mismatch)\n  \
      --local-executors  fleet-run only: spawn N executors in-process instead\n  \
+     --trace-out    any command: record structured spans across every layer and write\n                 \
+     them to F as Chrome trace-event JSON (view in Perfetto, or summarize\n                 \
+     with `delta trace-summary F`; results are bitwise-unchanged)\n  \
      --json         machine-readable output where supported\n\
      multi-layer commands run on all cores with shape-keyed result caching;\n\
-     serve answers POST /eval, POST /step, POST /sweep, GET /healthz and GET /stats over\n\
-     HTTP (wire contract: docs/PROTOCOL.md); fleet-run fans replays across executor\n\
-     processes with a bitwise-exact merge (wire contract: docs/FLEET.md)"
+     serve answers POST /eval, POST /step, POST /sweep, GET /healthz, GET /stats and\n\
+     GET /metrics (Prometheus text) over HTTP (wire contract: docs/PROTOCOL.md);\n\
+     fleet-run fans replays across executor processes with a bitwise-exact merge\n\
+     (wire contract: docs/FLEET.md); observability: docs/OBSERVABILITY.md"
         .to_string()
 }
 
@@ -1013,6 +1101,10 @@ fn run(positional: &[String], flags: &HashMap<String, String>) -> Result<(), Str
         Some("fleet-run") => match positional.get(1) {
             Some(name) => cmd_fleet_run(name, flags),
             None => Err("fleet-run command needs a network name".into()),
+        },
+        Some("trace-summary") => match positional.get(1) {
+            Some(file) => cmd_trace_summary(file),
+            None => Err("trace-summary command needs a trace file (written by --trace-out)".into()),
         },
         Some("gpus") => {
             cmd_gpus();
@@ -1041,6 +1133,16 @@ fn exit_quietly_on_closed_stdout() {
     }));
 }
 
+/// Drains every recorded span (all threads, including finished ones)
+/// and writes the Chrome trace-event document to `path`.
+fn write_trace(path: &std::path::Path) -> Result<(), String> {
+    let events = delta_obs::trace::drain();
+    let json = delta_obs::trace::chrome_trace_json(&events);
+    std::fs::write(path, json).map_err(|e| format!("--trace-out {}: {e}", path.display()))?;
+    eprintln!("wrote {} spans to {}", events.len(), path.display());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     exit_quietly_on_closed_stdout();
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -1052,7 +1154,19 @@ fn main() -> ExitCode {
         println!("{}", usage());
         return ExitCode::SUCCESS;
     }
-    match run(&positional, &flags) {
+    // `--trace-out FILE` arms span recording process-wide before the
+    // command dispatches; the trace is written even when the command
+    // fails, so a partial trace is available for debugging.
+    let trace_out = flags.get("trace-out").map(PathBuf::from);
+    if trace_out.is_some() {
+        delta_obs::trace::set_enabled(true);
+    }
+    let outcome = run(&positional, &flags);
+    let trace_outcome = match trace_out {
+        Some(path) => write_trace(&path),
+        None => Ok(()),
+    };
+    match outcome.and(trace_outcome) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

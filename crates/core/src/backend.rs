@@ -268,6 +268,15 @@ pub trait Backend: Send + Sync {
         String::new()
     }
 
+    /// Cumulative count of full-layer replays this backend has run, for
+    /// backends that measure by replaying (the trace-driven simulator).
+    /// `None` for backends with no replay machinery (the analytical
+    /// model); the serve daemon's `/stats` and `/metrics` report it as
+    /// the engine replay counter.
+    fn replays(&self) -> Option<u64> {
+        None
+    }
+
     /// Answers one layer-pass evaluation request.
     ///
     /// Backends without a model for the query's

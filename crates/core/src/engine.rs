@@ -46,13 +46,13 @@ use crate::layer::ConvLayer;
 use crate::perf::Bottleneck;
 use crate::query::{EvalQuery, Parallelism, Pass, StepEvaluation, StepQuery};
 use crate::scaling::DesignOption;
+use delta_obs::{span, Counter};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 pub use crate::query::LayerShape;
@@ -161,6 +161,22 @@ impl CacheStats {
     }
 }
 
+/// Shared handles to the engine's cache counters ([`delta_obs`]
+/// instruments): what [`Engine::cache_counters`] hands a metrics
+/// registry so the same atomics that back [`Engine::cache_stats`] are
+/// scraped live, with no second bookkeeping surface.
+#[derive(Debug, Clone)]
+pub struct CacheCounters {
+    /// Per-layer queries answered from the cache.
+    pub hits: Counter,
+    /// Per-layer queries that ran a backend evaluation.
+    pub misses: Counter,
+    /// Whole-step queries answered from the step cache.
+    pub step_hits: Counter,
+    /// Whole-step queries that ran an evaluation.
+    pub step_misses: Counter,
+}
+
 /// The parallel cached evaluation driver over one [`Backend`].
 #[derive(Debug)]
 pub struct Engine<B: Backend> {
@@ -168,10 +184,7 @@ pub struct Engine<B: Backend> {
     options: EngineOptions,
     cache: Mutex<HashMap<String, CacheSlot>>,
     step_cache: Mutex<HashMap<String, StepEvaluation>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    step_hits: AtomicU64,
-    step_misses: AtomicU64,
+    counters: CacheCounters,
 }
 
 impl<B: Backend> Engine<B> {
@@ -187,10 +200,12 @@ impl<B: Backend> Engine<B> {
             options,
             cache: Mutex::new(HashMap::new()),
             step_cache: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            step_hits: AtomicU64::new(0),
-            step_misses: AtomicU64::new(0),
+            counters: CacheCounters {
+                hits: Counter::new(),
+                misses: Counter::new(),
+                step_hits: Counter::new(),
+                step_misses: Counter::new(),
+            },
         }
     }
 
@@ -207,11 +222,17 @@ impl<B: Backend> Engine<B> {
     /// Cumulative cache counters.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            step_hits: self.step_hits.load(Ordering::Relaxed),
-            step_misses: self.step_misses.load(Ordering::Relaxed),
+            hits: self.counters.hits.get(),
+            misses: self.counters.misses.get(),
+            step_hits: self.counters.step_hits.get(),
+            step_misses: self.counters.step_misses.get(),
         }
+    }
+
+    /// Shared handles to the counters behind [`Engine::cache_stats`],
+    /// for registration in a [`delta_obs::Registry`].
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.counters.clone()
     }
 
     /// Drops all cached results — per-layer and whole-step — (the
@@ -489,11 +510,15 @@ impl<B: Backend> Engine<B> {
     ///
     /// Propagates pass-construction and estimation failures.
     pub fn evaluate_step(&self, query: &StepQuery) -> Result<StepEvaluation, Error> {
+        let _span = span!("engine.evaluate_step", layers = query.layers.len());
         if !self.options.cache {
-            self.step_misses.fetch_add(1, Ordering::Relaxed);
+            self.counters.step_misses.inc();
             return self.evaluate_step_fresh(query);
         }
-        let key = query.fingerprint();
+        let key = {
+            let _lookup = span!("engine.step_cache_lookup");
+            query.fingerprint()
+        };
         let cached = self
             .step_cache
             .lock()
@@ -501,10 +526,11 @@ impl<B: Backend> Engine<B> {
             .get(&key)
             .cloned();
         if let Some(hit) = cached {
-            self.step_hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.step_hits.inc();
+            let _hit = span!("engine.step_cache_hit");
             return Ok(relabel_step(hit, query));
         }
-        self.step_misses.fetch_add(1, Ordering::Relaxed);
+        self.counters.step_misses.inc();
         let result = self.evaluate_step_fresh(query)?;
         self.step_cache
             .lock()
@@ -563,8 +589,8 @@ impl<B: Backend> Engine<B> {
                 }
             }
         }
-        self.misses.fetch_add(fresh, Ordering::Relaxed);
-        self.hits.fetch_add(seen, Ordering::Relaxed);
+        self.counters.misses.add(fresh);
+        self.counters.hits.add(seen);
         Ok(result)
     }
 
@@ -593,12 +619,15 @@ impl<B: Backend> Engine<B> {
                 wgrad: estimates.next().expect("one estimate per query"),
             })
             .collect();
-        let timeline = crate::schedule::StepTimeline::serial_compute(
-            self.backend.name(),
-            self.backend.gpu().name(),
-            query.parallelism.device_count(),
-            crate::backend::serial_step_spans(&query.layers, &rows),
-        );
+        let timeline = {
+            let _span = span!("engine.step_schedule", layers = query.layers.len());
+            crate::schedule::StepTimeline::serial_compute(
+                self.backend.name(),
+                self.backend.gpu().name(),
+                query.parallelism.device_count(),
+                crate::backend::serial_step_spans(&query.layers, &rows),
+            )
+        };
         Ok(StepEvaluation {
             table: TrainingStepEvaluation {
                 backend: self.backend.name().to_string(),
@@ -612,9 +641,9 @@ impl<B: Backend> Engine<B> {
     /// The shared batched path: dedup against the cache, evaluate what is
     /// missing (in parallel when enabled), then assemble in input order.
     fn evaluate_queries(&self, queries: &[EvalQuery]) -> Result<Vec<LayerEstimate>, Error> {
+        let _span = span!("engine.evaluate", queries = queries.len());
         if !self.options.cache {
-            self.misses
-                .fetch_add(queries.len() as u64, Ordering::Relaxed);
+            self.counters.misses.add(queries.len() as u64);
             let results = self.run_backend(&queries.iter().collect::<Vec<_>>());
             return results.into_iter().collect();
         }
@@ -622,6 +651,7 @@ impl<B: Backend> Engine<B> {
         let keys: Vec<String> = queries.iter().map(EvalQuery::fingerprint).collect();
         let mut missing: Vec<(&str, &EvalQuery)> = Vec::new();
         {
+            let _lookup = span!("engine.cache_lookup", queries = queries.len());
             let cache = self.cache.lock().expect("engine cache poisoned");
             let mut queued = HashSet::new();
             for (key, query) in keys.iter().zip(queries) {
@@ -630,10 +660,10 @@ impl<B: Backend> Engine<B> {
                 }
             }
         }
-        self.hits
-            .fetch_add((queries.len() - missing.len()) as u64, Ordering::Relaxed);
-        self.misses
-            .fetch_add(missing.len() as u64, Ordering::Relaxed);
+        self.counters
+            .hits
+            .add((queries.len() - missing.len()) as u64);
+        self.counters.misses.add(missing.len() as u64);
 
         let fresh: Vec<&EvalQuery> = missing.iter().map(|(_, q)| *q).collect();
         let results = self.run_backend(&fresh);
@@ -663,6 +693,7 @@ impl<B: Backend> Engine<B> {
     /// Runs the backend over `queries`, in parallel when enabled and
     /// worthwhile.
     fn run_backend(&self, queries: &[&EvalQuery]) -> Vec<Result<LayerEstimate, Error>> {
+        let _span = span!("engine.cache_miss_backend", queries = queries.len());
         if self.options.parallel && queries.len() > 1 {
             queries
                 .par_iter()

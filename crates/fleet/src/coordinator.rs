@@ -37,6 +37,7 @@ use delta_model::{
     Backend, BackendFingerprint, ConvLayer, Error, EvalQuery, GpuSpec, LayerEstimate, LayerShape,
     Parallelism, Pass, StepEvaluation, StepQuery,
 };
+use delta_obs::{span, CorrelationGuard, Counter, Registry, SpanEvent};
 use delta_sim::{
     add_wgrad_all_reduce, ColumnReplay, Measurement, MultiGpuMeasurement, ReplaySource,
     SegmentReplay, ShardAxis, ShardedRun, Simulator,
@@ -45,9 +46,18 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::io;
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
+
+/// Installs a fresh correlation id for one distributed query when
+/// tracing is on: spans recorded on this thread, on the worker threads
+/// dispatching the query's jobs, and on every executor that runs them
+/// then stitch together under one id. `None` (no id minted, no
+/// thread-local written) when tracing is off.
+fn trace_query() -> Option<CorrelationGuard> {
+    delta_obs::trace::enabled()
+        .then(|| delta_obs::trace::with_correlation(delta_obs::trace::next_correlation_id()))
+}
 
 /// Fleet configuration: where the executors are and how patient the
 /// coordinator is with them.
@@ -77,14 +87,16 @@ impl FleetConfig {
 }
 
 /// Run counters, updated across all of a coordinator's distributed
-/// runs. Cheap atomics — see [`Coordinator::stats`] for a snapshot.
+/// runs. [`delta_obs::Counter`]s (cheap shared atomics), so the same
+/// values behind [`Coordinator::stats`] can be registered for scraping
+/// via [`Coordinator::register_metrics`].
 #[derive(Debug, Default)]
 struct FleetStats {
-    dispatched: AtomicU64,
-    completed: AtomicU64,
-    redispatches: AtomicU64,
-    duplicates_dropped: AtomicU64,
-    executors_lost: AtomicU64,
+    dispatched: Counter,
+    completed: Counter,
+    redispatches: Counter,
+    duplicates_dropped: Counter,
+    executors_lost: Counter,
 }
 
 /// A point-in-time copy of the coordinator's counters.
@@ -174,12 +186,54 @@ impl Coordinator {
     /// A snapshot of the run counters accumulated so far.
     pub fn stats(&self) -> FleetStatsSnapshot {
         FleetStatsSnapshot {
-            dispatched: self.stats.dispatched.load(Ordering::Relaxed),
-            completed: self.stats.completed.load(Ordering::Relaxed),
-            redispatches: self.stats.redispatches.load(Ordering::Relaxed),
-            duplicates_dropped: self.stats.duplicates_dropped.load(Ordering::Relaxed),
-            executors_lost: self.stats.executors_lost.load(Ordering::Relaxed),
+            dispatched: self.stats.dispatched.get(),
+            completed: self.stats.completed.get(),
+            redispatches: self.stats.redispatches.get(),
+            duplicates_dropped: self.stats.duplicates_dropped.get(),
+            executors_lost: self.stats.executors_lost.get(),
         }
+    }
+
+    /// Registers the fleet counters (the same atomics behind
+    /// [`Self::stats`]) plus the planning simulator's replay counter
+    /// in `registry` under `delta_fleet_*` names.
+    pub fn register_metrics(&self, registry: &Registry) {
+        registry.register_counter(
+            "delta_fleet_jobs_dispatched_total",
+            "Jobs written to an executor connection (re-dispatches included)",
+            &[],
+            &self.stats.dispatched,
+        );
+        registry.register_counter(
+            "delta_fleet_jobs_completed_total",
+            "Unit results recorded on the job board",
+            &[],
+            &self.stats.completed,
+        );
+        registry.register_counter(
+            "delta_fleet_redispatches_total",
+            "Jobs re-queued after a timeout or dropped connection",
+            &[],
+            &self.stats.redispatches,
+        );
+        registry.register_counter(
+            "delta_fleet_duplicates_dropped_total",
+            "Replies discarded because their job id was already recorded",
+            &[],
+            &self.stats.duplicates_dropped,
+        );
+        registry.register_counter(
+            "delta_fleet_executors_lost_total",
+            "Executor connections given up on (reconnect refused)",
+            &[],
+            &self.stats.executors_lost,
+        );
+        registry.register_counter(
+            "delta_sim_replays_total",
+            "Full-layer replays run by the planning simulator",
+            &[],
+            &self.sim.replay_counter(),
+        );
     }
 
     /// Opens a connection to `addr` and handshakes it: protocol
@@ -195,6 +249,7 @@ impl Coordinator {
             &Hello {
                 protocol: PROTOCOL_VERSION,
                 fingerprint: self.fingerprint.clone(),
+                version: env!("CARGO_PKG_VERSION").to_string(),
             },
         )?;
         let reply: HelloReply = read_frame(&mut stream)?;
@@ -232,8 +287,12 @@ impl Coordinator {
         if total == 0 {
             return Ok(Vec::new());
         }
+        let trace = delta_obs::trace::enabled();
+        let corr = delta_obs::trace::current_correlation();
         for (i, j) in jobs.iter_mut().enumerate() {
             j.id = i as u64;
+            j.corr = corr;
+            j.trace = trace;
         }
         let board = Mutex::new(Board {
             pending: (0..total).collect(),
@@ -278,7 +337,7 @@ impl Coordinator {
         let mut conn = match self.dial(addr) {
             Ok(c) => c,
             Err(_) => {
-                self.stats.executors_lost.fetch_add(1, Ordering::Relaxed);
+                self.stats.executors_lost.inc();
                 return;
             }
         };
@@ -295,7 +354,7 @@ impl Coordinator {
                     match self.dial(addr) {
                         Ok(c) => conn = c,
                         Err(_) => {
-                            self.stats.executors_lost.fetch_add(1, Ordering::Relaxed);
+                            self.stats.executors_lost.inc();
                             return;
                         }
                     }
@@ -349,7 +408,7 @@ impl Coordinator {
 
     /// Re-queues a job whose dispatch did not resolve.
     fn requeue(&self, idx: usize, board: &Mutex<Board>, work_left: &Condvar) {
-        self.stats.redispatches.fetch_add(1, Ordering::Relaxed);
+        self.stats.redispatches.inc();
         let mut b = board.lock().unwrap();
         if b.done[idx].is_none() {
             b.pending.push_back(idx);
@@ -367,12 +426,17 @@ impl Coordinator {
         board: &Mutex<Board>,
         work_left: &Condvar,
     ) -> Outcome {
-        self.stats.dispatched.fetch_add(1, Ordering::Relaxed);
+        // Worker threads have no correlation of their own: adopt the
+        // job's, so the dispatch span stitches with the query it
+        // belongs to.
+        let _corr = (job.corr != 0).then(|| delta_obs::trace::with_correlation(job.corr));
+        let _span = span!("fleet.dispatch", job = job.id);
+        self.stats.dispatched.inc();
         if write_frame(conn, job).is_err() {
             return Outcome::Retry;
         }
         loop {
-            let reply: JobReply = match read_frame(conn) {
+            let mut reply: JobReply = match read_frame(conn) {
                 Ok(r) => r,
                 // Timeouts and dropped connections alike: the straggler
                 // re-dispatch path.
@@ -388,6 +452,14 @@ impl Coordinator {
             }
             let id = reply.id as usize;
             let mine = reply.id == job.id;
+            // Executor spans ride in the reply but do not belong on the
+            // board: lift them out and re-record them locally, only for
+            // the reply that wins the slot (a duplicate's spans would
+            // double every executor-side event in the trace).
+            let spans: Vec<SpanEvent> = std::mem::take(&mut reply.spans)
+                .into_iter()
+                .map(SpanEvent::from)
+                .collect();
             {
                 let mut b = board.lock().unwrap();
                 if id >= b.done.len() {
@@ -395,14 +467,13 @@ impl Coordinator {
                     return Outcome::Retry;
                 }
                 if b.done[id].is_some() {
-                    self.stats
-                        .duplicates_dropped
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.stats.duplicates_dropped.inc();
                 } else {
                     b.done[id] = Some(reply);
                     b.completed += 1;
-                    self.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    self.stats.completed.inc();
                     work_left.notify_all();
+                    delta_obs::trace::record_foreign(spans);
                 }
             }
             if mine {
@@ -423,6 +494,8 @@ impl Coordinator {
             col,
             batch_start,
             batch_end,
+            corr: 0,
+            trace: false,
         };
         match plan.axis() {
             ShardAxis::Columns => (
@@ -459,6 +532,8 @@ impl Coordinator {
             col: 0,
             batch_start: 0,
             batch_end: 0,
+            corr: 0,
+            trace: false,
         }];
         let mut replies = self.run_jobs(jobs)?;
         replies.remove(0).sequential.ok_or_else(|| Error::Fleet {
@@ -548,6 +623,7 @@ impl FleetReplays<'_> {
             axes.push(axis);
         }
         let mut replies = self.0.run_jobs(all)?;
+        let _span = span!("fleet.merge", layers = ranges.len());
         let mut out = Vec::with_capacity(ranges.len());
         for (i, range) in ranges.iter().enumerate().rev() {
             let tail = replies.split_off(range.start);
@@ -605,6 +681,8 @@ impl ReplaySource for FleetReplays<'_> {
                                 col: 0,
                                 batch_start: 0,
                                 batch_end: 0,
+                                corr: 0,
+                                trace: false,
                             }],
                         )
                     })
@@ -674,6 +752,8 @@ impl Backend for Coordinator {
     }
 
     fn evaluate(&self, query: &EvalQuery) -> Result<LayerEstimate, Error> {
+        let _corr = trace_query();
+        let _span = span!("fleet.query", kind = "eval");
         self.sim.gpu().validate()?;
         let layer = query.layer()?;
         let replayed = Simulator::pass_workload(&layer, query.pass)?;
@@ -714,7 +794,13 @@ impl Backend for Coordinator {
     }
 
     fn evaluate_step(&self, query: &StepQuery) -> Result<StepEvaluation, Error> {
+        let _corr = trace_query();
+        let _span = span!("fleet.query", kind = "step", layers = query.layers.len());
         self.sim.evaluate_step_with(query, &FleetReplays(self))
+    }
+
+    fn replays(&self) -> Option<u64> {
+        self.sim.replays()
     }
 }
 

@@ -18,8 +18,11 @@
 //! coverage this PR ships.
 
 use crate::protocol::PROTOCOL_VERSION;
-use crate::protocol::{read_frame, write_frame, Hello, HelloReply, JobKind, JobMsg, JobReply};
+use crate::protocol::{
+    read_frame, write_frame, Hello, HelloReply, JobKind, JobMsg, JobReply, WireSpan,
+};
 use delta_model::BackendFingerprint;
+use delta_obs::span;
 use delta_sim::Simulator;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -270,7 +273,7 @@ fn handle_connection(mut stream: TcpStream, state: &Arc<ExecutorState>) -> io::R
                 return Ok(());
             }
         }
-        let reply = answer(&state.sim, &job);
+        let reply = traced_answer(&state.sim, &job);
         write_frame(&mut stream, &reply)?;
         if state.fault.duplicate_replies && reply.ok {
             write_frame(&mut stream, &reply)?;
@@ -329,7 +332,39 @@ fn handshake_reply(hello: &Hello, ours: &BackendFingerprint) -> HelloReply {
         ok: error.is_none(),
         error,
         fingerprint: ours.clone(),
+        version: env!("CARGO_PKG_VERSION").to_string(),
     }
+}
+
+/// Runs one job, capturing executor-side spans when the coordinator
+/// asked for them ([`JobMsg::trace`]): recording is switched on, the
+/// job's correlation id is installed for the duration, and the spans
+/// this connection thread recorded are attached to the reply. One job
+/// runs at a time per connection thread and span buffers are
+/// per-thread, so `drain_thread` returns exactly this job's spans.
+fn traced_answer(sim: &Simulator, job: &JobMsg) -> JobReply {
+    if !job.trace {
+        return answer(sim, job);
+    }
+    delta_obs::trace::set_enabled(true);
+    // Anything left from earlier untraced work on this thread would
+    // misattribute to this job: discard it first.
+    let _ = delta_obs::trace::drain_thread();
+    let mut reply = {
+        let _corr = delta_obs::trace::with_correlation(job.corr);
+        let kind = match job.kind {
+            JobKind::Sequential => "sequential",
+            JobKind::Column => "column",
+            JobKind::Segment => "segment",
+        };
+        let _span = span!("fleet.execute", job = job.id, kind = kind);
+        answer(sim, job)
+    };
+    reply.spans = delta_obs::trace::drain_thread()
+        .into_iter()
+        .map(WireSpan::from)
+        .collect();
+    reply
 }
 
 /// Runs one job through the simulator's unit-replay entry points.
@@ -378,6 +413,7 @@ mod tests {
             &Hello {
                 protocol: PROTOCOL_VERSION,
                 fingerprint: theirs,
+                version: String::new(),
             },
             &ours,
         );
@@ -390,6 +426,7 @@ mod tests {
             &Hello {
                 protocol: PROTOCOL_VERSION + 1,
                 fingerprint: ours.clone(),
+                version: String::new(),
             },
             &ours,
         );
@@ -400,6 +437,7 @@ mod tests {
             &Hello {
                 protocol: PROTOCOL_VERSION,
                 fingerprint: ours.clone(),
+                version: String::new(),
             },
             &ours,
         );

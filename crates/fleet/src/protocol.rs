@@ -15,8 +15,10 @@
 //! implementors in `docs/FLEET.md`.
 
 use delta_model::{BackendFingerprint, LayerShape};
+use delta_obs::{ArgValue, SpanEvent};
 use delta_sim::{ColumnReplay, Measurement, SegmentReplay};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::io::{self, Read, Write};
 
 /// Protocol revision. Bumped on any frame- or schema-incompatible
@@ -27,6 +29,28 @@ pub const PROTOCOL_VERSION: u32 = 1;
 /// this is treated as a corrupt stream rather than an allocation
 /// request — replay parts for even exhaustive replays are far smaller.
 pub const MAX_FRAME: u32 = 256 << 20;
+
+/// Default for the additive version fields: frames from peers built
+/// before the field existed decode as an empty string.
+fn no_version() -> String {
+    String::new()
+}
+
+/// Default for [`JobMsg::corr`]: frames without the field decode as
+/// correlation id 0 (untraced).
+fn no_corr() -> u64 {
+    0
+}
+
+/// Default for [`JobMsg::trace`]: span capture stays off unless asked.
+fn no_trace() -> bool {
+    false
+}
+
+/// Default for [`JobReply::spans`]: no executor spans attached.
+fn no_spans() -> Vec<WireSpan> {
+    Vec::new()
+}
 
 /// Handshake request: the coordinator announces its protocol revision
 /// and the backend fingerprint its merge assumes.
@@ -39,6 +63,11 @@ pub struct Hello {
     /// executor refuses a mismatch (same comparison as the engine's
     /// cache header guard).
     pub fingerprint: BackendFingerprint,
+    /// The sender's crate version (`CARGO_PKG_VERSION`). Informational
+    /// only — compatibility is decided by `protocol` — and additive:
+    /// frames from older builds decode as the empty string.
+    #[serde(default = "no_version")]
+    pub version: String,
 }
 
 /// Handshake response.
@@ -52,6 +81,10 @@ pub struct HelloReply {
     /// verify the match independently (and render both sides of a
     /// refusal).
     pub fingerprint: BackendFingerprint,
+    /// The executor's crate version, echoed for diagnostics. Additive;
+    /// empty when the executor predates the field.
+    #[serde(default = "no_version")]
+    pub version: String,
 }
 
 /// Job kind: which replay entry point the executor runs. A plain enum
@@ -96,6 +129,15 @@ pub struct JobMsg {
     pub batch_start: u64,
     /// One past the last batch of the sub-range (`Segment` kind).
     pub batch_end: u64,
+    /// Correlation id of the coordinator query this job belongs to, so
+    /// executor-side spans stitch into the coordinator's trace. `0`
+    /// means untraced; frames from older coordinators decode as 0.
+    #[serde(default = "no_corr")]
+    pub corr: u64,
+    /// Whether the executor should record spans while running this job
+    /// and attach them to the reply.
+    #[serde(default = "no_trace")]
+    pub trace: bool,
 }
 
 /// One job's result. Exactly one of the three payload fields is
@@ -114,6 +156,11 @@ pub struct JobReply {
     pub column: Option<ColumnReplay>,
     /// `Segment` result: the sub-range's serialized merge part.
     pub segment: Option<SegmentReplay>,
+    /// Spans the executor recorded while running the job (only when the
+    /// request set [`JobMsg::trace`]). Additive: replies from older
+    /// executors decode as empty.
+    #[serde(default = "no_spans")]
+    pub spans: Vec<WireSpan>,
 }
 
 impl JobReply {
@@ -126,6 +173,7 @@ impl JobReply {
             sequential: None,
             column: None,
             segment: None,
+            spans: Vec::new(),
         }
     }
 
@@ -139,6 +187,82 @@ impl JobReply {
             sequential: None,
             column: None,
             segment: None,
+            spans: Vec::new(),
+        }
+    }
+}
+
+/// One completed executor span carried in a [`JobReply`]: a serde
+/// mirror of [`delta_obs::SpanEvent`] with owned strings (the obs
+/// crate is dependency-free, so its wire form lives here). Argument
+/// values are rendered to strings for transport; the trace viewer
+/// shows them identically either way.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireSpan {
+    /// Span id, unique within the executor process.
+    pub id: u64,
+    /// Executor-side parent span id (`0` = root).
+    pub parent: u64,
+    /// Span site name, e.g. `fleet.execute`.
+    pub name: String,
+    /// Start offset in microseconds since the executor's trace epoch.
+    pub ts_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Executor process id.
+    pub pid: u32,
+    /// Executor thread number (the obs crate's own numbering).
+    pub tid: u64,
+    /// Correlation id the span ran under.
+    pub corr: u64,
+    /// Span arguments, values rendered as strings.
+    pub args: Vec<(String, String)>,
+}
+
+impl From<SpanEvent> for WireSpan {
+    fn from(s: SpanEvent) -> WireSpan {
+        WireSpan {
+            id: s.id,
+            parent: s.parent,
+            name: s.name.into_owned(),
+            ts_us: s.ts_us,
+            dur_us: s.dur_us,
+            pid: s.pid,
+            tid: s.tid,
+            corr: s.corr,
+            args: s
+                .args
+                .into_iter()
+                .map(|(k, v)| {
+                    let rendered = match v {
+                        ArgValue::U64(n) => n.to_string(),
+                        ArgValue::I64(n) => n.to_string(),
+                        ArgValue::F64(x) => x.to_string(),
+                        ArgValue::Str(s) => s,
+                    };
+                    (k.into_owned(), rendered)
+                })
+                .collect(),
+        }
+    }
+}
+
+impl From<WireSpan> for SpanEvent {
+    fn from(w: WireSpan) -> SpanEvent {
+        SpanEvent {
+            id: w.id,
+            parent: w.parent,
+            name: Cow::Owned(w.name),
+            ts_us: w.ts_us,
+            dur_us: w.dur_us,
+            pid: w.pid,
+            tid: w.tid,
+            corr: w.corr,
+            args: w
+                .args
+                .into_iter()
+                .map(|(k, v)| (Cow::Owned(k), ArgValue::Str(v)))
+                .collect(),
         }
     }
 }
@@ -216,6 +340,8 @@ mod tests {
             col: 1,
             batch_start: 2,
             batch_end: 5,
+            corr: 42,
+            trace: true,
         };
         let mut buf = Vec::new();
         write_frame(&mut buf, &msg).unwrap();
@@ -241,6 +367,43 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 
+    /// Frames a hand-built JSON payload the way `write_frame` would.
+    fn frame_raw(json: &str) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(json.len() as u32).to_be_bytes());
+        buf.extend_from_slice(json.as_bytes());
+        buf
+    }
+
+    #[test]
+    fn frames_from_pre_observability_peers_decode_with_defaults() {
+        // The observability fields (`corr`/`trace`, `spans`, `version`)
+        // are additive within protocol revision 1: frames hand-built
+        // without them — as an older build would send — must decode
+        // with the documented defaults, not error.
+        let shape_json = serde_json::to_string(&shape()).unwrap();
+        let old_job = format!(
+            "{{\"id\":7,\"shape\":{shape_json},\"kind\":\"Segment\",\
+             \"col\":1,\"batch_start\":2,\"batch_end\":5}}"
+        );
+        let job: JobMsg = read_frame(&mut frame_raw(&old_job).as_slice()).unwrap();
+        assert_eq!(job.id, 7);
+        assert_eq!(job.corr, 0, "missing corr decodes as untraced");
+        assert!(!job.trace, "missing trace decodes as off");
+
+        let old_reply = "{\"id\":7,\"ok\":false,\"error\":\"boom\",\
+                         \"sequential\":null,\"column\":null,\"segment\":null}";
+        let reply: JobReply = read_frame(&mut frame_raw(old_reply).as_slice()).unwrap();
+        assert_eq!(reply.id, 7);
+        assert!(reply.spans.is_empty(), "missing spans decode as empty");
+
+        let old_hello = "{\"protocol\":1,\"fingerprint\":{\"backend\":\"sim\",\
+                         \"gpu\":\"TITAN Xp\",\"config\":\"{}\"}}";
+        let hello: Hello = read_frame(&mut frame_raw(old_hello).as_slice()).unwrap();
+        assert_eq!(hello.protocol, PROTOCOL_VERSION);
+        assert!(hello.version.is_empty(), "missing version decodes empty");
+    }
+
     #[test]
     fn hello_names_the_fingerprint() {
         let hello = Hello {
@@ -250,6 +413,7 @@ mod tests {
                 gpu: "TITAN Xp".into(),
                 config: "{}".into(),
             },
+            version: env!("CARGO_PKG_VERSION").to_string(),
         };
         let mut buf = Vec::new();
         write_frame(&mut buf, &hello).unwrap();

@@ -1,0 +1,34 @@
+//! `delta_obs` — the observability layer shared by every crate in the
+//! workspace: structured **tracing** (spans with monotonic timestamps,
+//! thread ids, parent links, and correlation ids, exported as Chrome
+//! trace-event JSON for Perfetto) and a **metrics** registry (counters,
+//! gauges, log-bucketed latency histograms, rendered in the Prometheus
+//! text exposition format).
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Never perturb results.** Nothing here touches the numbers an
+//!    evaluation produces; every bitwise-identity gate in the workspace
+//!    must pass with tracing enabled.
+//! 2. **Near-zero cost when disabled.** A span site with tracing off is
+//!    one relaxed atomic load and an early return — no allocation, no
+//!    clock read, no lock.
+//! 3. **Lock-cheap when enabled.** Finished spans are pushed into a
+//!    per-thread buffer behind a mutex that is only ever contended by
+//!    [`trace::drain`] — the common push is an uncontended lock.
+//! 4. **No dependencies.** The crate is `std`-only, so it can sit below
+//!    every other crate in the workspace (including `delta-model`)
+//!    without cycles, and its exports are hand-written text formats
+//!    (Chrome trace JSON, Prometheus exposition) rather than
+//!    serializer-derived ones.
+//!
+//! The two halves are independent: a binary can scrape metrics without
+//! ever enabling tracing, and vice versa.
+
+#![deny(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use trace::{ArgValue, CorrelationGuard, SpanEvent, SpanGuard};

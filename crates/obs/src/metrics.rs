@@ -1,0 +1,518 @@
+//! Counters, gauges, and log-bucketed latency histograms, collected in
+//! a [`Registry`] that renders the Prometheus text exposition format.
+//!
+//! All instruments are cheap shared handles (an `Arc` around atomics):
+//! cloning one yields another view of the same metric, which is how the
+//! pre-existing counter surfaces (`Engine`'s cache counters, the
+//! simulator's replay counter, the serve daemon's request counters, the
+//! fleet coordinator's job counters) are absorbed — each struct keeps
+//! its public accessors, backed by a handle that is *also* registered
+//! here for scraping.
+//!
+//! Registries are instantiable values, not process globals, so two
+//! servers in one process (as in the test suites) never share counts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (e.g. requests in flight).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh gauge at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts 1 (saturating at 0 is the caller's responsibility;
+    /// the daemon's inc/dec sites are strictly paired).
+    #[inline]
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of finite histogram buckets: upper bounds 2^0 .. 2^26
+/// microseconds (1 µs to ~67 s), doubling — plus the implicit `+Inf`
+/// overflow bucket.
+const HISTOGRAM_BUCKETS: usize = 27;
+
+/// Inner shared state of a [`Histogram`].
+#[derive(Debug)]
+struct HistogramInner {
+    /// Per-bucket observation counts (NOT cumulative; rendering
+    /// accumulates). `buckets[i]` counts observations with
+    /// `2^(i-1) µs < v ≤ 2^i µs` (bucket 0: `v ≤ 1 µs`), plus one
+    /// overflow slot at the end.
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS + 1],
+    /// Sum of all observations, in microseconds.
+    sum_us: AtomicU64,
+    /// Total observation count.
+    count: AtomicU64,
+}
+
+/// A latency histogram with power-of-two microsecond buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `us` microseconds.
+    #[inline]
+    pub fn observe_us(&self, us: u64) {
+        let idx = if us <= 1 {
+            0
+        } else {
+            let pow = 64 - (us - 1).leading_zeros() as usize;
+            pow.min(HISTOGRAM_BUCKETS)
+        };
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one observation of a [`Duration`].
+    #[inline]
+    pub fn observe(&self, d: Duration) {
+        self.observe_us(d.as_micros() as u64);
+    }
+
+    /// Total observation count.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.0.sum_us.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Cumulative per-bucket counts as `(upper_bound_seconds, count)`
+    /// pairs, ending with the `+Inf` bucket (`f64::INFINITY`). Counts
+    /// are non-decreasing by construction.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(HISTOGRAM_BUCKETS + 1);
+        let mut cum = 0u64;
+        for (i, bucket) in self.0.buckets.iter().enumerate() {
+            cum += bucket.load(Ordering::Relaxed);
+            let le = if i < HISTOGRAM_BUCKETS {
+                (1u64 << i) as f64 / 1e6
+            } else {
+                f64::INFINITY
+            };
+            out.push((le, cum));
+        }
+        out
+    }
+}
+
+/// The kinds of instrument a registry entry can hold. The `Fn`
+/// variants read a value computed elsewhere at scrape time (e.g. a
+/// cache's entry count), so surfaces without a dedicated atomic can
+/// still be exported.
+enum Instrument {
+    Counter(Counter),
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    Gauge(Gauge),
+    GaugeFn(Box<dyn Fn() -> f64 + Send + Sync>),
+    Histogram(Histogram),
+}
+
+/// One registered metric: name, help, label set, instrument.
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+/// A set of metrics that renders as one Prometheus text document.
+/// Registration order is rendering order (stable scrape output);
+/// several entries may share a name with different label sets (the
+/// `# HELP`/`# TYPE` header is emitted once, at the first).
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+fn lock(entries: &Mutex<Vec<Entry>>) -> MutexGuard<'_, Vec<Entry>> {
+    entries.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn owned_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&self, name: &str, help: &str, labels: &[(&str, &str)], instrument: Instrument) {
+        lock(&self.entries).push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels: owned_labels(labels),
+            instrument,
+        });
+    }
+
+    /// Creates, registers, and returns a new counter.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let c = Counter::new();
+        self.register_counter(name, help, labels, &c);
+        c
+    }
+
+    /// Registers an existing counter handle (shares its atomics).
+    pub fn register_counter(&self, name: &str, help: &str, labels: &[(&str, &str)], c: &Counter) {
+        self.push(name, help, labels, Instrument::Counter(c.clone()));
+    }
+
+    /// Registers a counter whose value is computed at scrape time.
+    pub fn counter_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> u64 + Send + Sync + 'static,
+    ) {
+        self.push(name, help, labels, Instrument::CounterFn(Box::new(f)));
+    }
+
+    /// Creates, registers, and returns a new gauge.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let g = Gauge::new();
+        self.push(name, help, labels, Instrument::Gauge(g.clone()));
+        g
+    }
+
+    /// Registers a gauge whose value is computed at scrape time.
+    pub fn gauge_fn(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        f: impl Fn() -> f64 + Send + Sync + 'static,
+    ) {
+        self.push(name, help, labels, Instrument::GaugeFn(Box::new(f)));
+    }
+
+    /// Creates, registers, and returns a new histogram.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        let h = Histogram::new();
+        self.push(name, help, labels, Instrument::Histogram(h.clone()));
+        h
+    }
+
+    /// Renders every registered metric as Prometheus text exposition
+    /// format (`text/plain; version=0.0.4`).
+    pub fn render(&self) -> String {
+        let entries = lock(&self.entries);
+        let mut out = String::new();
+        let mut seen: Vec<&str> = Vec::new();
+        for entry in entries.iter() {
+            if !seen.contains(&entry.name.as_str()) {
+                seen.push(&entry.name);
+                let kind = match entry.instrument {
+                    Instrument::Counter(_) | Instrument::CounterFn(_) => "counter",
+                    Instrument::Gauge(_) | Instrument::GaugeFn(_) => "gauge",
+                    Instrument::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# HELP {} {}\n", entry.name, entry.help));
+                out.push_str(&format!("# TYPE {} {}\n", entry.name, kind));
+            }
+            match &entry.instrument {
+                Instrument::Counter(c) => {
+                    render_line(
+                        &mut out,
+                        &entry.name,
+                        &entry.labels,
+                        None,
+                        &c.get().to_string(),
+                    );
+                }
+                Instrument::CounterFn(f) => {
+                    render_line(&mut out, &entry.name, &entry.labels, None, &f().to_string());
+                }
+                Instrument::Gauge(g) => {
+                    render_line(
+                        &mut out,
+                        &entry.name,
+                        &entry.labels,
+                        None,
+                        &g.get().to_string(),
+                    );
+                }
+                Instrument::GaugeFn(f) => {
+                    render_line(&mut out, &entry.name, &entry.labels, None, &fmt_f64(f()));
+                }
+                Instrument::Histogram(h) => {
+                    let bucket_name = format!("{}_bucket", entry.name);
+                    for (le, count) in h.cumulative_buckets() {
+                        let le = if le.is_finite() {
+                            fmt_f64(le)
+                        } else {
+                            "+Inf".to_string()
+                        };
+                        render_line(
+                            &mut out,
+                            &bucket_name,
+                            &entry.labels,
+                            Some(("le", &le)),
+                            &count.to_string(),
+                        );
+                    }
+                    render_line(
+                        &mut out,
+                        &format!("{}_sum", entry.name),
+                        &entry.labels,
+                        None,
+                        &fmt_f64(h.sum_seconds()),
+                    );
+                    render_line(
+                        &mut out,
+                        &format!("{}_count", entry.name),
+                        &entry.labels,
+                        None,
+                        &h.count().to_string(),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Formats an `f64` the way Prometheus expects (shortest round-trip;
+/// no exponent tricks needed for our magnitudes).
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}") // "1.0", not "1" — unambiguous float
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Writes one `name{labels} value` sample line.
+fn render_line(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+    value: &str,
+) {
+    out.push_str(name);
+    let has_labels = !labels.is_empty() || extra.is_some();
+    if has_labels {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            push_label_escaped(out, v);
+            out.push('"');
+        }
+        if let Some((k, v)) = extra {
+            if !first {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            push_label_escaped(out, v);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Escapes a label value per the exposition format.
+fn push_label_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_with_labels() {
+        let registry = Registry::new();
+        let c = registry.counter("delta_requests_total", "Requests.", &[("endpoint", "eval")]);
+        let c2 = registry.counter("delta_requests_total", "Requests.", &[("endpoint", "step")]);
+        let g = registry.gauge("delta_in_flight", "In-flight requests.", &[]);
+        c.add(3);
+        c2.inc();
+        g.set(2);
+        let text = registry.render();
+        assert!(
+            text.contains("# TYPE delta_requests_total counter"),
+            "{text}"
+        );
+        assert_eq!(
+            text.matches("# HELP delta_requests_total").count(),
+            1,
+            "one header per name: {text}"
+        );
+        assert!(
+            text.contains("delta_requests_total{endpoint=\"eval\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("delta_requests_total{endpoint=\"step\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("delta_in_flight 2\n"), "{text}");
+    }
+
+    #[test]
+    fn cloned_handles_share_the_metric() {
+        let c = Counter::new();
+        let view = c.clone();
+        c.add(5);
+        view.inc();
+        assert_eq!(c.get(), 6);
+        assert_eq!(view.get(), 6);
+    }
+
+    #[test]
+    fn scrape_time_instruments_read_live_values() {
+        let registry = Registry::new();
+        let source = Counter::new();
+        let reader = source.clone();
+        registry.counter_fn("delta_replays_total", "Replays.", &[], move || reader.get());
+        registry.gauge_fn("delta_uptime_seconds", "Uptime.", &[], || 1.5);
+        source.add(7);
+        let text = registry.render();
+        assert!(text.contains("delta_replays_total 7\n"), "{text}");
+        assert!(text.contains("delta_uptime_seconds 1.5\n"), "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let registry = Registry::new();
+        let h = registry.histogram("delta_request_seconds", "Latency.", &[("endpoint", "step")]);
+        h.observe_us(1); // ≤ 1 µs bucket
+        h.observe_us(3); // ≤ 4 µs bucket
+        h.observe_us(1_000_000); // ≤ ~1.05 s bucket
+        h.observe_us(u64::MAX / 2); // overflow bucket
+        assert_eq!(h.count(), 4);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.len(), HISTOGRAM_BUCKETS + 1);
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1), "monotone");
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "le ascending");
+        assert_eq!(buckets.last().unwrap().1, 4, "+Inf covers everything");
+        assert_eq!(buckets[0].1, 1);
+        assert_eq!(buckets[2].1, 2, "3 µs lands in le=4e-6");
+
+        let text = registry.render();
+        assert!(
+            text.contains("# TYPE delta_request_seconds histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("delta_request_seconds_bucket{endpoint=\"step\",le=\"+Inf\"} 4\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("delta_request_seconds_count{endpoint=\"step\"} 4\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("delta_request_seconds_sum{endpoint=\"step\"} "),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn exact_powers_of_two_land_in_their_own_bucket() {
+        let h = Histogram::new();
+        h.observe_us(2); // le=2e-6 bucket, not le=4e-6
+        h.observe_us(1024);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets[1].1, 1, "2 µs ≤ 2 µs");
+        assert_eq!(buckets[9].1, 1);
+        assert_eq!(buckets[10].1, 2, "1024 µs ≤ 2^10 µs");
+    }
+}

@@ -1,0 +1,114 @@
+//! Chrome trace-event JSON schema round-trip: export a known span set,
+//! parse the document back with the workspace JSON parser, and check
+//! that every field a trace viewer relies on survives verbatim.
+
+use delta_obs::trace::{chrome_trace_json, ArgValue, SpanEvent};
+use serde::Value;
+use std::borrow::Cow;
+
+fn events() -> Vec<SpanEvent> {
+    vec![
+        SpanEvent {
+            id: 1,
+            parent: 0,
+            name: Cow::Borrowed("engine.evaluate"),
+            ts_us: 100,
+            dur_us: 250,
+            pid: 10,
+            tid: 1,
+            corr: 42,
+            args: vec![
+                (Cow::Borrowed("hit"), ArgValue::U64(0)),
+                (
+                    Cow::Borrowed("layer"),
+                    ArgValue::Str("conv1 \"wide\"".into()),
+                ),
+            ],
+        },
+        SpanEvent {
+            id: 2,
+            parent: 1,
+            name: Cow::Borrowed("sim.replay_column"),
+            ts_us: 120,
+            dur_us: 80,
+            pid: 10,
+            tid: 2,
+            corr: 42,
+            args: vec![(Cow::Borrowed("col"), ArgValue::U64(3))],
+        },
+    ]
+}
+
+fn field<'a>(v: &'a Value, k: &str) -> &'a Value {
+    v.get(k)
+        .unwrap_or_else(|| panic!("event field {k} in {v:?}"))
+}
+
+fn as_u64(v: &Value) -> u64 {
+    match v {
+        Value::U64(n) => *n,
+        other => panic!("not a u64: {other:?}"),
+    }
+}
+
+#[test]
+fn exported_trace_parses_and_round_trips_every_field() {
+    let json = chrome_trace_json(&events());
+    let doc: Value = serde_json::from_str(&json).expect("export is valid JSON");
+    let trace_events = match field(&doc, "traceEvents") {
+        Value::Seq(items) => items,
+        other => panic!("traceEvents is not an array: {other:?}"),
+    };
+    assert_eq!(trace_events.len(), 2);
+
+    for (event, original) in trace_events.iter().zip(events()) {
+        assert_eq!(
+            field(event, "ph"),
+            &Value::Str("X".into()),
+            "complete events"
+        );
+        assert_eq!(field(event, "cat"), &Value::Str("delta".into()));
+        assert_eq!(
+            field(event, "name"),
+            &Value::Str(original.name.to_string()),
+            "names survive (including the quoted layer label)"
+        );
+        assert_eq!(as_u64(field(event, "ts")), original.ts_us);
+        assert_eq!(as_u64(field(event, "dur")), original.dur_us);
+        assert_eq!(as_u64(field(event, "pid")), u64::from(original.pid));
+        assert_eq!(as_u64(field(event, "tid")), original.tid);
+        let args = field(event, "args");
+        assert_eq!(as_u64(field(args, "span_id")), original.id);
+        assert_eq!(as_u64(field(args, "parent_id")), original.parent);
+        assert_eq!(as_u64(field(args, "correlation_id")), original.corr);
+        for (key, value) in original.args {
+            let got = field(args, &key);
+            match value {
+                ArgValue::U64(n) => assert_eq!(as_u64(got), n),
+                ArgValue::Str(s) => assert_eq!(got, &Value::Str(s)),
+                other => panic!("unexpected arg in fixture: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn parent_links_resolve_within_the_exported_document() {
+    let json = chrome_trace_json(&events());
+    let doc: Value = serde_json::from_str(&json).expect("valid JSON");
+    let trace_events = match field(&doc, "traceEvents") {
+        Value::Seq(items) => items,
+        other => panic!("traceEvents is not an array: {other:?}"),
+    };
+    let ids: Vec<u64> = trace_events
+        .iter()
+        .map(|e| as_u64(field(field(e, "args"), "span_id")))
+        .collect();
+    for event in trace_events {
+        let parent = as_u64(field(field(event, "args"), "parent_id"));
+        assert!(
+            parent == 0 || ids.contains(&parent),
+            "parent {parent} resolves in the document"
+        );
+    }
+}

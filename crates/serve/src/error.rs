@@ -42,7 +42,7 @@ impl ApiError {
             code: "not_found".into(),
             message: format!(
                 "no such endpoint `{path}` (have: POST /eval, POST /step, POST /sweep, \
-                 GET /healthz, GET /stats)"
+                 GET /healthz, GET /stats, GET /metrics)"
             ),
         }
     }

@@ -14,6 +14,7 @@ use crate::state::{Endpoint, ServeState};
 use crate::validate;
 use delta_model::query::{EvalQuery, StepQuery};
 use delta_model::Backend;
+use delta_obs::span;
 use serde::{Deserialize, Serialize, Value};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -21,7 +22,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long workers sleep between accept polls while idle.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
@@ -249,38 +250,58 @@ fn handle_connection<B: Backend>(
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/eval") => {
             state.count_request(Endpoint::Eval);
-            respond(&mut stream, handle_eval(state, &request.body))
+            let _span = span!("serve.request", endpoint = "eval");
+            let started = Instant::now();
+            let outcome = respond(&mut stream, handle_eval(state, &request.body));
+            state.observe_latency(Endpoint::Eval, started.elapsed());
+            outcome
         }
         ("POST", "/step") => {
             state.count_request(Endpoint::Step);
-            respond(&mut stream, handle_step(state, &request.body))
+            let _span = span!("serve.request", endpoint = "step");
+            let started = Instant::now();
+            let outcome = respond(&mut stream, handle_step(state, &request.body));
+            state.observe_latency(Endpoint::Step, started.elapsed());
+            outcome
         }
         ("POST", "/sweep") => {
             state.count_request(Endpoint::Sweep);
-            handle_sweep(state, &request.body, &mut stream)
+            let _span = span!("serve.request", endpoint = "sweep");
+            let started = Instant::now();
+            let outcome = handle_sweep(state, &request.body, &mut stream);
+            state.observe_latency(Endpoint::Sweep, started.elapsed());
+            outcome
         }
         ("GET", "/stats") => {
             state.count_request(Endpoint::Stats);
+            let started = Instant::now();
             let body = serde_json::to_string(&state.snapshot())
                 .map_err(|e| ApiError::internal(format!("stats serialization failed: {e}")));
-            respond(&mut stream, body)
+            let outcome = respond(&mut stream, body);
+            state.observe_latency(Endpoint::Stats, started.elapsed());
+            outcome
         }
         ("GET", "/healthz") => {
             let body = serde_json::to_string(&health(state))
                 .map_err(|e| ApiError::internal(format!("healthz serialization failed: {e}")));
             respond(&mut stream, body)
         }
+        ("GET", "/metrics") => {
+            let body = state.metrics_text();
+            http::write_response(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4",
+                body.as_bytes(),
+            )
+        }
         (method, path @ ("/eval" | "/step" | "/sweep")) => http::write_error(
             &mut stream,
             &ApiError::method_not_allowed(method, path, "POST"),
         ),
-        (method, "/stats") => http::write_error(
+        (method, path @ ("/stats" | "/healthz" | "/metrics")) => http::write_error(
             &mut stream,
-            &ApiError::method_not_allowed(method, "/stats", "GET"),
-        ),
-        (method, "/healthz") => http::write_error(
-            &mut stream,
-            &ApiError::method_not_allowed(method, "/healthz", "GET"),
+            &ApiError::method_not_allowed(method, path, "GET"),
         ),
         (_, path) => http::write_error(&mut stream, &ApiError::not_found(path)),
     }
@@ -295,6 +316,9 @@ fn handle_connection<B: Backend>(
 pub struct Health {
     /// Crate version of the serving binary.
     pub version: String,
+    /// On-disk engine cache format revision this server reads and
+    /// writes ([`delta_model::engine::CACHE_FORMAT_VERSION`]).
+    pub cache_format_version: u32,
     /// Backend identifier (`"model"` or `"sim"`).
     pub backend: String,
     /// The device the backend evaluates on.
@@ -309,6 +333,7 @@ fn health<B: Backend>(state: &Arc<ServeState<B>>) -> Health {
     let fp = delta_model::BackendFingerprint::of(state.engine.backend());
     Health {
         version: env!("CARGO_PKG_VERSION").to_string(),
+        cache_format_version: delta_model::engine::CACHE_FORMAT_VERSION,
         backend: fp.backend,
         gpu: fp.gpu,
         config_fingerprint: fp.config,
@@ -356,22 +381,30 @@ fn step_key(query: &StepQuery) -> String {
 }
 
 fn handle_eval<B: Backend>(state: &Arc<ServeState<B>>, body: &[u8]) -> Result<String, ApiError> {
-    let tree = parse_body(body)?;
-    validate::eval_query(&tree)?;
-    let query: EvalQuery = typed(&tree, "an EvalQuery")?;
+    let query: EvalQuery = {
+        let _span = span!("serve.parse", endpoint = "eval");
+        let tree = parse_body(body)?;
+        validate::eval_query(&tree)?;
+        typed(&tree, "an EvalQuery")?
+    };
     state.cached(&eval_key(&query), || {
         let estimate = state.engine.evaluate(&query).map_err(ApiError::from)?;
+        let _span = span!("serve.serialize", endpoint = "eval");
         serde_json::to_string(&estimate)
             .map_err(|e| ApiError::internal(format!("result serialization failed: {e}")))
     })
 }
 
 fn handle_step<B: Backend>(state: &Arc<ServeState<B>>, body: &[u8]) -> Result<String, ApiError> {
-    let tree = parse_body(body)?;
-    validate::step_query(&tree)?;
-    let query: StepQuery = typed(&tree, "a StepQuery")?;
+    let query: StepQuery = {
+        let _span = span!("serve.parse", endpoint = "step");
+        let tree = parse_body(body)?;
+        validate::step_query(&tree)?;
+        typed(&tree, "a StepQuery")?
+    };
     state.cached(&step_key(&query), || {
         let evaluation = state.engine.evaluate_step(&query).map_err(ApiError::from)?;
+        let _span = span!("serve.serialize", endpoint = "step");
         serde_json::to_string(&evaluation)
             .map_err(|e| ApiError::internal(format!("result serialization failed: {e}")))
     })

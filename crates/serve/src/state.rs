@@ -21,14 +21,15 @@
 use crate::error::ApiError;
 use delta_model::engine::Engine;
 use delta_model::Backend;
+use delta_obs::{span, Counter, Gauge, Histogram, Registry};
 use serde::Serialize;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Shard count for the body cache: enough to keep a handful of worker
 /// threads off each other's locks, small enough that `/stats` can sum
@@ -98,6 +99,9 @@ pub struct EngineCacheCounters {
     pub step_hits: u64,
     /// Whole-step queries that ran an evaluation.
     pub step_misses: u64,
+    /// Full-layer replays run by the backend (0 for backends without
+    /// replay machinery, like the analytical model).
+    pub replays: u64,
 }
 
 /// The `GET /stats` response document.
@@ -120,17 +124,27 @@ pub struct ServeState<B: Backend> {
     /// The wrapped evaluation engine (its own caches are the persistent
     /// warm store).
     pub engine: Engine<B>,
-    shards: Vec<Mutex<HashMap<String, String>>>,
+    /// Body-cache shards, behind an `Arc` so the metrics registry's
+    /// scrape-time entry gauge can read them.
+    shards: Arc<Vec<Mutex<HashMap<String, String>>>>,
     flights: Mutex<HashMap<String, Arc<Flight>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    deduped: AtomicU64,
-    in_flight: AtomicU64,
-    requests_eval: AtomicU64,
-    requests_step: AtomicU64,
-    requests_sweep: AtomicU64,
-    requests_sweep_queries: AtomicU64,
-    requests_stats: AtomicU64,
+    /// The metrics registry behind `GET /metrics`: every counter below
+    /// is registered in it (same atomics), plus the engine cache
+    /// counters and scrape-time gauges.
+    registry: Registry,
+    hits: Counter,
+    misses: Counter,
+    deduped: Counter,
+    in_flight: Gauge,
+    requests_eval: Counter,
+    requests_step: Counter,
+    requests_sweep: Counter,
+    requests_sweep_queries: Counter,
+    requests_stats: Counter,
+    latency_eval: Histogram,
+    latency_step: Histogram,
+    latency_sweep: Histogram,
+    latency_stats: Histogram,
     started: Instant,
     cache_file: Option<PathBuf>,
     dirty: AtomicBool,
@@ -162,28 +176,116 @@ impl<B: Backend> ServeState<B> {
                 warm = engine.load_cache(path)?;
             }
         }
-        Ok((
-            ServeState {
-                engine,
-                shards: (0..BODY_CACHE_SHARDS)
-                    .map(|_| Mutex::new(HashMap::new()))
-                    .collect(),
-                flights: Mutex::new(HashMap::new()),
-                hits: AtomicU64::new(0),
-                misses: AtomicU64::new(0),
-                deduped: AtomicU64::new(0),
-                in_flight: AtomicU64::new(0),
-                requests_eval: AtomicU64::new(0),
-                requests_step: AtomicU64::new(0),
-                requests_sweep: AtomicU64::new(0),
-                requests_sweep_queries: AtomicU64::new(0),
-                requests_stats: AtomicU64::new(0),
-                started: Instant::now(),
-                cache_file,
-                dirty: AtomicBool::new(false),
+        let shards: Arc<Vec<Mutex<HashMap<String, String>>>> = Arc::new(
+            (0..BODY_CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        );
+        let started = Instant::now();
+
+        // Every instrument lives in this per-server registry (NOT a
+        // process global — tests run several servers in one process and
+        // each asserts its own exact counts).
+        let registry = Registry::default();
+        let req = |endpoint| {
+            registry.counter(
+                "delta_serve_requests_total",
+                "Requests received, by endpoint",
+                &[("endpoint", endpoint)],
+            )
+        };
+        let lat = |endpoint| {
+            registry.histogram(
+                "delta_serve_request_seconds",
+                "Request handling latency, by endpoint",
+                &[("endpoint", endpoint)],
+            )
+        };
+        let state = ServeState {
+            hits: registry.counter(
+                "delta_serve_body_cache_hits_total",
+                "Responses served straight from the body cache",
+                &[],
+            ),
+            misses: registry.counter(
+                "delta_serve_body_cache_misses_total",
+                "Evaluations actually performed (single-flight leaders)",
+                &[],
+            ),
+            deduped: registry.counter(
+                "delta_serve_deduped_total",
+                "Requests that joined an identical in-flight evaluation",
+                &[],
+            ),
+            in_flight: registry.gauge(
+                "delta_serve_in_flight",
+                "Requests currently being handled",
+                &[],
+            ),
+            requests_eval: req("eval"),
+            requests_step: req("step"),
+            requests_sweep: req("sweep"),
+            requests_stats: req("stats"),
+            requests_sweep_queries: registry.counter(
+                "delta_serve_sweep_queries_total",
+                "Individual queries carried by sweep requests",
+                &[],
+            ),
+            latency_eval: lat("eval"),
+            latency_step: lat("step"),
+            latency_sweep: lat("sweep"),
+            latency_stats: lat("stats"),
+            engine,
+            shards: Arc::clone(&shards),
+            flights: Mutex::new(HashMap::new()),
+            registry,
+            started,
+            cache_file,
+            dirty: AtomicBool::new(false),
+        };
+        let counters = state.engine.cache_counters();
+        state.registry.register_counter(
+            "delta_engine_cache_hits_total",
+            "Per-layer queries answered from the engine cache",
+            &[],
+            &counters.hits,
+        );
+        state.registry.register_counter(
+            "delta_engine_cache_misses_total",
+            "Per-layer queries that ran a backend evaluation",
+            &[],
+            &counters.misses,
+        );
+        state.registry.register_counter(
+            "delta_engine_step_cache_hits_total",
+            "Whole-step queries answered from the step cache",
+            &[],
+            &counters.step_hits,
+        );
+        state.registry.register_counter(
+            "delta_engine_step_cache_misses_total",
+            "Whole-step queries that ran an evaluation",
+            &[],
+            &counters.step_misses,
+        );
+        state.registry.gauge_fn(
+            "delta_serve_body_cache_entries",
+            "Body-cache entries currently resident",
+            &[],
+            move || {
+                shards
+                    .iter()
+                    .map(|s| s.lock().map(|m| m.len()).unwrap_or(0) as f64)
+                    .sum()
             },
-            warm,
-        ))
+        );
+        state.registry.gauge_fn(
+            "delta_serve_uptime_seconds",
+            "Seconds since the server started",
+            &[],
+            move || started.elapsed().as_secs_f64(),
+        );
+        Ok((state, warm))
     }
 
     fn shard(&self, key: &str) -> &Mutex<HashMap<String, String>> {
@@ -201,6 +303,7 @@ impl<B: Backend> ServeState<B> {
         key: &str,
         evaluate: impl FnOnce() -> Result<String, ApiError>,
     ) -> Result<String, ApiError> {
+        let _span = span!("serve.dedup");
         // Fast path: a settled result needs no coordination.
         if let Some(body) = self
             .shard(key)
@@ -208,7 +311,7 @@ impl<B: Backend> ServeState<B> {
             .expect("body cache poisoned")
             .get(key)
         {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Ok(body.clone());
         }
         enum Role {
@@ -239,16 +342,19 @@ impl<B: Backend> ServeState<B> {
         };
         match role {
             Role::Hit(body) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Ok(body)
             }
             Role::Join(flight) => {
-                self.deduped.fetch_add(1, Ordering::Relaxed);
+                self.deduped.inc();
                 flight.wait()
             }
             Role::Lead(flight) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                let result = evaluate();
+                self.misses.inc();
+                let result = {
+                    let _span = span!("serve.evaluate");
+                    evaluate()
+                };
                 if let Ok(body) = &result {
                     self.shard(key)
                         .lock()
@@ -271,21 +377,45 @@ impl<B: Backend> ServeState<B> {
             Endpoint::Sweep => &self.requests_sweep,
             Endpoint::Stats => &self.requests_stats,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
+    }
+
+    /// Records one request's handling latency against `endpoint`.
+    pub fn observe_latency(&self, endpoint: Endpoint, elapsed: Duration) {
+        let histogram = match endpoint {
+            Endpoint::Eval => &self.latency_eval,
+            Endpoint::Step => &self.latency_step,
+            Endpoint::Sweep => &self.latency_sweep,
+            Endpoint::Stats => &self.latency_stats,
+        };
+        histogram.observe(elapsed);
     }
 
     /// Counts `n` queries carried by a sweep.
     pub fn count_sweep_queries(&self, n: u64) {
-        self.requests_sweep_queries.fetch_add(n, Ordering::Relaxed);
+        self.requests_sweep_queries.add(n);
     }
 
     /// Marks a connection as being handled; the guard decrements on
     /// drop.
-    pub fn enter(&self) -> InFlightGuard<'_> {
-        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    pub fn enter(&self) -> InFlightGuard {
+        self.in_flight.inc();
         InFlightGuard {
-            counter: &self.in_flight,
+            gauge: self.in_flight.clone(),
         }
+    }
+
+    /// The `GET /metrics` body: every registered instrument in the
+    /// Prometheus text exposition format, plus the backend's replay
+    /// counter (read at scrape time — the generic engine owns the
+    /// backend, so it cannot be registered as a shared handle).
+    pub fn metrics_text(&self) -> String {
+        let mut out = self.registry.render();
+        let replays = self.engine.backend().replays().unwrap_or(0);
+        out.push_str("# HELP delta_engine_replays_total Full-layer replays run by the backend\n");
+        out.push_str("# TYPE delta_engine_replays_total counter\n");
+        out.push_str(&format!("delta_engine_replays_total {replays}\n"));
+        out
     }
 
     /// A point-in-time stats snapshot.
@@ -293,18 +423,18 @@ impl<B: Backend> ServeState<B> {
         let engine = self.engine.cache_stats();
         StatsResponse {
             uptime_seconds: self.started.elapsed().as_secs_f64(),
-            in_flight: self.in_flight.load(Ordering::Relaxed),
+            in_flight: self.in_flight.get(),
             requests: RequestCounters {
-                eval: self.requests_eval.load(Ordering::Relaxed),
-                step: self.requests_step.load(Ordering::Relaxed),
-                sweep: self.requests_sweep.load(Ordering::Relaxed),
-                sweep_queries: self.requests_sweep_queries.load(Ordering::Relaxed),
-                stats: self.requests_stats.load(Ordering::Relaxed),
+                eval: self.requests_eval.get(),
+                step: self.requests_step.get(),
+                sweep: self.requests_sweep.get(),
+                sweep_queries: self.requests_sweep_queries.get(),
+                stats: self.requests_stats.get(),
             },
             cache: BodyCacheCounters {
-                hits: self.hits.load(Ordering::Relaxed),
-                misses: self.misses.load(Ordering::Relaxed),
-                deduped: self.deduped.load(Ordering::Relaxed),
+                hits: self.hits.get(),
+                misses: self.misses.get(),
+                deduped: self.deduped.get(),
                 entries: self
                     .shards
                     .iter()
@@ -316,6 +446,7 @@ impl<B: Backend> ServeState<B> {
                 misses: engine.misses,
                 step_hits: engine.step_hits,
                 step_misses: engine.step_misses,
+                replays: self.engine.backend().replays().unwrap_or(0),
             },
         }
     }
@@ -339,13 +470,13 @@ impl<B: Backend> ServeState<B> {
 }
 
 /// RAII in-flight marker returned by [`ServeState::enter`].
-pub struct InFlightGuard<'a> {
-    counter: &'a AtomicU64,
+pub struct InFlightGuard {
+    gauge: Gauge,
 }
 
-impl Drop for InFlightGuard<'_> {
+impl Drop for InFlightGuard {
     fn drop(&mut self) {
-        self.counter.fetch_sub(1, Ordering::Relaxed);
+        self.gauge.dec();
     }
 }
 
@@ -353,6 +484,7 @@ impl Drop for InFlightGuard<'_> {
 mod tests {
     use super::*;
     use delta_model::{Delta, GpuSpec};
+    use std::sync::atomic::AtomicU64;
 
     fn state() -> ServeState<Delta> {
         ServeState::new(Delta::new(GpuSpec::titan_xp()), None)

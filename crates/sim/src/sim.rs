@@ -26,10 +26,9 @@ use delta_model::backend::{Backend, EstimateSource, LayerEstimate};
 use delta_model::query::{EvalQuery, Parallelism, Pass, StepEvaluation, StepQuery};
 use delta_model::tiling::{CtaTile, LayerTiling};
 use delta_model::{training, ConvLayer, Error, GpuSpec, BYTES_PER_ELEMENT};
+use delta_obs::{span, Counter};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// Simulation controls.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -205,8 +204,10 @@ pub struct Simulator {
     config: SimConfig,
     /// Full-layer replays performed (shared across clones): the
     /// expensive unit of work, counted so tests can assert that a step
-    /// evaluation replays each unique shape exactly once.
-    replays: Arc<AtomicU64>,
+    /// evaluation replays each unique shape exactly once. A
+    /// [`delta_obs::Counter`] (shared atomics under the clone), so the
+    /// same count the accessors read can be registered for scraping.
+    replays: Counter,
 }
 
 impl Simulator {
@@ -215,7 +216,7 @@ impl Simulator {
         Simulator {
             gpu,
             config,
-            replays: Arc::new(AtomicU64::new(0)),
+            replays: Counter::new(),
         }
     }
 
@@ -231,7 +232,14 @@ impl Simulator {
     /// this layer simulated", not "how many worker tasks ran". A warm
     /// step-cache hit performs zero replays.
     pub fn replay_count(&self) -> u64 {
-        self.replays.load(Ordering::Relaxed)
+        self.replays.get()
+    }
+
+    /// A shared handle to the replay counter behind
+    /// [`Simulator::replay_count`], for registration in a
+    /// [`delta_obs::Registry`].
+    pub fn replay_counter(&self) -> Counter {
+        self.replays.clone()
     }
 
     /// The device being simulated.
@@ -337,7 +345,8 @@ impl Simulator {
     /// sequential replay is one indivisible work unit — residency makes
     /// its columns non-distributable).
     pub fn run_sequential(&self, layer: &ConvLayer) -> Measurement {
-        self.replays.fetch_add(1, Ordering::Relaxed);
+        let _span = span!("sim.replay", mode = "sequential", layer = layer.label());
+        self.replays.inc();
         let tiling = self.tiling(layer);
         let tile = tiling.tile();
         let active = self.active_ctas(tile);
@@ -428,7 +437,13 @@ impl Simulator {
     /// distributed merge against the single-process detail bitwise,
     /// per-shard cycles included.
     pub fn run_sharded_detail(&self, layer: &ConvLayer, n_workers: u32) -> ShardedRun {
-        self.replays.fetch_add(1, Ordering::Relaxed);
+        let _span = span!(
+            "sim.replay",
+            mode = "sharded",
+            layer = layer.label(),
+            workers = n_workers
+        );
+        self.replays.inc();
         let tiling = self.tiling(layer);
         let tile = tiling.tile();
         let active = self.active_ctas(tile);
@@ -1095,6 +1110,7 @@ impl Simulator {
     ///
     /// Rejects a column index outside the layer's tile grid.
     pub fn replay_column_unit(&self, layer: &ConvLayer, col: u64) -> Result<ColumnReplay, Error> {
+        let _span = span!("sim.replay_column", layer = layer.label(), col = col);
         let tiling = self.tiling(layer);
         let active = self.active_ctas(tiling.tile());
         let sched = ColumnScheduler::new(&tiling, &self.gpu, active);
@@ -1133,6 +1149,13 @@ impl Simulator {
         col: u64,
         batches: std::ops::Range<u64>,
     ) -> Result<SegmentReplay, Error> {
+        let _span = span!(
+            "sim.replay_segment",
+            layer = layer.label(),
+            col = col,
+            batch_start = batches.start,
+            batch_end = batches.end
+        );
         let tiling = self.tiling(layer);
         let active = self.active_ctas(tiling.tile());
         let sched = ColumnScheduler::new(&tiling, &self.gpu, active);
@@ -1187,6 +1210,12 @@ impl Simulator {
         n_workers: u32,
         parts: Vec<ColumnReplay>,
     ) -> Result<ShardedRun, Error> {
+        let _span = span!(
+            "sim.merge",
+            kind = "columns",
+            layer = layer.label(),
+            parts = parts.len()
+        );
         let plan = self.shard_plan(layer, n_workers);
         let reject = |reason: String| Error::Fleet {
             context: "merge".into(),
@@ -1254,6 +1283,12 @@ impl Simulator {
         n_workers: u32,
         parts: Vec<SegmentReplay>,
     ) -> Result<ShardedRun, Error> {
+        let _span = span!(
+            "sim.merge",
+            kind = "segments",
+            layer = layer.label(),
+            parts = parts.len()
+        );
         let plan = self.shard_plan(layer, n_workers);
         let reject = |reason: String| Error::Fleet {
             context: "merge".into(),
@@ -1369,6 +1404,10 @@ impl Backend for Simulator {
 
     fn evaluate_step(&self, query: &StepQuery) -> Result<StepEvaluation, Error> {
         self.evaluate_step_query(query)
+    }
+
+    fn replays(&self) -> Option<u64> {
+        Some(self.replay_count())
     }
 }
 

@@ -304,6 +304,48 @@ fn the_handshake_refuses_a_mismatched_fingerprint_naming_both_sides() {
 }
 
 #[test]
+fn trace_correlation_ids_stitch_coordinator_and_executor_spans() {
+    // Arm span recording (process-wide and sticky; the other tests in
+    // this binary never assert on spans, and the hard observability
+    // invariant — checked by the identity tests above, which keep
+    // passing whether or not this test armed tracing first — is that
+    // recording never changes results).
+    delta_obs::trace::set_enabled(true);
+    let (_handles, coordinator) = fleet(2);
+    let query = EvalQuery::new(
+        &wide_layer(),
+        Pass::Fwd,
+        Parallelism::Sharded { workers: 4 },
+    );
+    coordinator.evaluate(&query).expect("fleet evaluate");
+
+    // Correlation ids are minted from one process-global counter, so
+    // grouping the drained events by nonzero id is robust against
+    // spans other concurrently running tests may have recorded.
+    let events = delta_obs::trace::drain();
+    let mut by_corr: std::collections::HashMap<u64, Vec<String>> = std::collections::HashMap::new();
+    for e in &events {
+        if e.corr != 0 {
+            by_corr.entry(e.corr).or_default().push(e.name.to_string());
+        }
+    }
+    let stitched = by_corr
+        .values()
+        .filter(|names| {
+            names.iter().any(|n| n == "fleet.query")
+                && names.iter().any(|n| n == "fleet.dispatch")
+                && names.iter().any(|n| n == "fleet.execute")
+        })
+        .count();
+    assert!(
+        stitched >= 1,
+        "at least one coordinator-issued correlation id must group the \
+         query, its dispatches, and the executor-side execute spans \
+         shipped back in the replies: {by_corr:?}"
+    );
+}
+
+#[test]
 fn the_protocol_version_is_part_of_the_contract() {
     // A reminder that bumping the schema requires bumping the revision:
     // the constant is public API documented in docs/FLEET.md.

@@ -10,7 +10,10 @@
 //!   layer replays** (the simulator's shared replay counter proves it);
 //! * malformed input — invalid JSON, unknown fields, NaN bandwidths,
 //!   mixed-fleet `Multi` queries — gets a structured 400 over the
-//!   socket, never a dropped connection or a panic.
+//!   socket, never a dropped connection or a panic;
+//! * `GET /metrics` serves the Prometheus exposition format with the
+//!   engine cache counters, the backend replay counter, and per-endpoint
+//!   request counts and latency histograms.
 
 use delta_model::engine::Engine;
 use delta_model::query::{EvalQuery, Parallelism, Pass, StepQuery};
@@ -22,8 +25,8 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 
-/// Sends one request and returns `(status, body)`.
-fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+/// Sends one request and returns `(status, response headers, body)`.
+fn request_full(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     let head = format!(
         "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
@@ -43,7 +46,13 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Stri
         .expect("status line has a code")
         .parse()
         .expect("numeric status");
-    (status, body.to_string())
+    (status, head.to_string(), body.to_string())
+}
+
+/// Sends one request and returns `(status, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let (status, _head, body) = request_full(addr, method, path, body);
+    (status, body)
 }
 
 fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
@@ -207,6 +216,9 @@ fn concurrent_duplicate_steps_dedup_to_one_miss() {
         direct_counter.replay_count(),
         "the served step cost exactly one engine evaluation's replays"
     );
+    // The same replay count is visible on the wire (the counter /stats
+    // used to omit).
+    assert_eq!(count(&["engine", "replays"]), counter.replay_count());
     server.shutdown();
 }
 
@@ -387,6 +399,84 @@ fn stats_reports_uptime_and_in_flight() {
 }
 
 #[test]
+fn metrics_exposes_prometheus_text_with_cache_counters_and_latency() {
+    let sim = Simulator::new(GpuSpec::titan_xp(), SimConfig::default());
+    let counter = sim.clone();
+    let server = spawn(
+        sim,
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+    // Drive one step evaluation so the counters move.
+    let (status, body) = post(addr, "/step", &json(&step_query()));
+    assert_eq!(status, 200, "{body}");
+
+    let (status, head, text) = request_full(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200, "{text}");
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("content-type: text/plain; version=0.0.4"),
+        "Prometheus exposition content type: {head}"
+    );
+
+    // The engine's cache counters, absorbed into the registry behind
+    // the unchanged `CacheStats` accessors.
+    for metric in [
+        "delta_engine_cache_hits_total",
+        "delta_engine_cache_misses_total",
+        "delta_engine_step_cache_hits_total",
+        "delta_engine_step_cache_misses_total",
+    ] {
+        assert!(text.contains(&format!("# TYPE {metric} counter")), "{text}");
+        assert!(text.contains(&format!("\n{metric} ")), "{text}");
+    }
+    // The backend's replay counter rides along, appended at scrape
+    // time, and agrees with the simulator's own count.
+    assert!(
+        text.contains(&format!(
+            "\ndelta_engine_replays_total {}\n",
+            counter.replay_count()
+        )),
+        "replay counter must match the simulator's: {text}"
+    );
+    assert!(counter.replay_count() > 0, "the step simulated something");
+
+    // Request counters are labeled per endpoint (the one /step request
+    // is counted before handling, so the count is exact).
+    assert!(
+        text.contains("delta_serve_requests_total{endpoint=\"step\"} 1"),
+        "{text}"
+    );
+    // The latency histogram exposes cumulative log-spaced buckets:
+    // every count nondecreasing toward +Inf.
+    let step_bucket = "delta_serve_request_seconds_bucket{endpoint=\"step\",le=\"";
+    let counts: Vec<u64> = text
+        .lines()
+        .filter(|l| l.starts_with(step_bucket))
+        .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+        .collect();
+    assert!(!counts.is_empty(), "step latency buckets present: {text}");
+    assert!(
+        counts.windows(2).all(|w| w[0] <= w[1]),
+        "cumulative bucket counts are monotone: {counts:?}"
+    );
+    assert!(
+        text.contains("delta_serve_request_seconds_count{endpoint=\"step\"}"),
+        "{text}"
+    );
+
+    // Wrong method gets the structured 405, like every other endpoint.
+    let (status, body) = post(addr, "/metrics", "");
+    assert_eq!(status, 405, "{body}");
+    assert!(body.contains("method_not_allowed"), "{body}");
+    server.shutdown();
+}
+
+#[test]
 fn healthz_reports_the_backend_fingerprint() {
     // The identity triple must match what the engine's cache guard and
     // the fleet handshake would compute for the same backend.
@@ -412,6 +502,14 @@ fn healthz_reports_the_backend_fingerprint() {
     assert_eq!(field("backend"), want.backend);
     assert_eq!(field("gpu"), want.gpu);
     assert_eq!(field("config_fingerprint"), want.config);
+    // Build info: the on-disk cache format this server reads/writes.
+    assert_eq!(
+        v.get("cache_format_version"),
+        Some(&Value::U64(u64::from(
+            delta_model::engine::CACHE_FORMAT_VERSION
+        ))),
+        "{body}"
+    );
 
     // Wrong method gets the structured 405, like every other endpoint.
     let (status, body) = request(server.addr(), "POST", "/healthz", "");
