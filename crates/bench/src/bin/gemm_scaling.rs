@@ -1,0 +1,8 @@
+//! Measures transformer-block shard/executor scaling on the tensor-core
+//! datapath. Flags: --full, --smoke, --batch N, --no-csv.
+fn main() {
+    delta_bench::experiments::run_binary(
+        "gemm_scaling",
+        delta_bench::experiments::gemm_scaling::run,
+    );
+}

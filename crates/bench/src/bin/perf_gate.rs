@@ -42,13 +42,15 @@
 //! fleet's identity (`fleet_identical`: a socket-connected executor
 //! fleet — with one executor rigged to die mid-run, forcing a
 //! re-dispatch — answers byte-identically to the in-process
-//! evaluation), and the tracing identity (`trace_identity`: the golden
+//! evaluation), the tracing identity (`trace_identity`: the golden
 //! evaluation re-run with span recording armed must reproduce the
 //! pinned bytes, and the recorded spans must export as a valid
-//! non-empty Chrome trace document) — run everywhere and are never
-//! skipped.
+//! non-empty Chrome trace document), and the transformer identity
+//! (`transformer_shard_identical`: every GPT2-S block layer replayed
+//! on the A100's tensor-core datapath must answer bitwise identically
+//! at every worker count) — run everywhere and are never skipped.
 
-use delta_bench::experiments::{narrow_scaling, shard_scaling};
+use delta_bench::experiments::{gemm_scaling, narrow_scaling, shard_scaling};
 use delta_bench::serve_client;
 use delta_model::engine::{Engine, EngineOptions};
 use delta_model::query::{EvalQuery, Parallelism, StepQuery};
@@ -125,6 +127,13 @@ struct GateReport {
     /// exported as a parseable, non-empty Chrome trace document
     /// (must always be true — observability never perturbs results).
     trace_identity: bool,
+    /// Whether every layer of a GPT2-S transformer block — QKV,
+    /// attention, projection, and MLP GEMMs, all running the A100's
+    /// tensor-core datapath — answered bitwise identically at every
+    /// swept worker count (must always be true: datapath selection is a
+    /// pure function of GPU and layer kind, so sharding cannot change
+    /// the MMA charge).
+    transformer_shard_identical: bool,
     /// Tracing-on over tracing-off wall time on the sharded evaluation
     /// seam — the one ratio gated against a **ceiling**, not a floor.
     tracing_overhead: f64,
@@ -527,6 +536,28 @@ fn measure(reps: u32) -> GateReport {
     // in-process bytes exactly — including across a re-dispatch.
     let fleet_identical = fleet_identity_holds(&gpu, config);
 
+    // Path 8b (correctness only): the tensor-core datapath must not
+    // break the shard-merge contract. Every layer of a GPT2-S
+    // transformer block (QKV/projection/MLP GEMMs + attention),
+    // replayed on the A100's MMA datapath, must answer bitwise
+    // identically at every worker count — including 7, which does not
+    // divide any layer's column count.
+    let transformer_shard_identical = match gemm_scaling::block_layers(2) {
+        Ok(layers) => {
+            let tc_sim = Simulator::new(GpuSpec::a100(), config);
+            layers.iter().all(|layer| {
+                let reference = tc_sim.run_sharded(layer, 1);
+                [2, 4, 7]
+                    .iter()
+                    .all(|w| tc_sim.run_sharded(layer, *w) == reference)
+            })
+        }
+        Err(e) => {
+            eprintln!("perf_gate: transformer block layers invalid: {e}");
+            false
+        }
+    };
+
     // Path 9: observability must never perturb results (the delta_obs
     // hard invariant). Measured last so the enabled flag cannot leak
     // into the other timed paths. First the off-baseline on the sharded
@@ -582,6 +613,7 @@ fn measure(reps: u32) -> GateReport {
         serve_warm_dedup,
         fleet_identical,
         trace_identity,
+        transformer_shard_identical,
         tracing_overhead: t_trace_on / t_trace_off,
     }
 }
@@ -646,7 +678,7 @@ fn main() {
          multigpu_ideal_identical = {}\n  overlap_bounds_ok        = {}\n  \
          golden_identical         = {}\n  serve_warm_dedup         = {}\n  \
          fleet_identical          = {}\n  trace_identity           = {}\n  \
-         tracing_overhead         = {:.2}x",
+         transformer_shard_identical = {}\n  tracing_overhead         = {:.2}x",
         report.cores,
         report.engine_cached_speedup,
         report.shard_speedup_4w,
@@ -661,6 +693,7 @@ fn main() {
         report.serve_warm_dedup,
         report.fleet_identical,
         report.trace_identity,
+        report.transformer_shard_identical,
         report.tracing_overhead
     );
 
@@ -740,6 +773,14 @@ fn main() {
             "span recording perturbed results: the golden evaluation with tracing \
              armed is not byte-identical to the pinned file, or the recorded \
              spans did not export as a parseable non-empty Chrome trace document"
+                .to_string(),
+        );
+    }
+    if !report.transformer_shard_identical {
+        failures.push(
+            "tensor-core sharded replay of the GPT2-S block is not bitwise \
+             identical across worker counts — the MMA datapath broke the \
+             shard-merge contract"
                 .to_string(),
         );
     }

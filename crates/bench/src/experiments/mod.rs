@@ -15,6 +15,7 @@ pub mod fig18;
 pub mod fig19;
 pub mod fig20;
 pub mod fleet_scaling;
+pub mod gemm_scaling;
 pub mod gpu_scaling;
 pub mod narrow_scaling;
 pub mod overlap_scaling;

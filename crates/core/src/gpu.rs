@@ -9,6 +9,40 @@ use crate::error::Error;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// The shape of one tensor-core MMA instruction tile (`m × n × k`), e.g.
+/// 16×16×16 for Volta HMMA or 16×8×16 for Ampere.
+///
+/// The simulator quantizes each CTA tile's inner loop to whole MMA tiles
+/// when a layer runs on the tensor-core datapath, so the shape matters
+/// for throughput when CTA-tile dimensions are not multiples of the MMA
+/// dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MmaShape {
+    /// MMA tile height.
+    pub m: u32,
+    /// MMA tile width.
+    pub n: u32,
+    /// MMA reduction depth.
+    pub k: u32,
+}
+
+impl fmt::Display for MmaShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.n, self.k)
+    }
+}
+
+// Serde defaults for the tensor-core fields: specs serialized before the
+// fields existed (cache files, wire payloads) deserialize as
+// tensor-core-less devices.
+fn default_tc_gflops() -> f64 {
+    0.0
+}
+
+fn default_mma_shape() -> Option<MmaShape> {
+    None
+}
+
 /// A parameterized GPU hardware description.
 ///
 /// The three devices the paper evaluates are available as presets
@@ -53,6 +87,14 @@ pub struct GpuSpec {
     l1_request_bytes: u32,
     /// Hardware limit on concurrently resident CTAs per SM.
     max_ctas_per_sm: u32,
+    /// Tensor-core throughput in GFLOP/s (2 FLOPs per MAC); `0.0` means
+    /// the device has no tensor cores and every kind runs on FFMA.
+    #[serde(default = "default_tc_gflops")]
+    tc_gflops: f64,
+    /// Tensor-core MMA instruction tile; must be `Some` when
+    /// `tc_gflops > 0`.
+    #[serde(default = "default_mma_shape")]
+    mma_shape: Option<MmaShape>,
 }
 
 impl GpuSpec {
@@ -84,6 +126,8 @@ impl GpuSpec {
             lat_dram_clks: 500.0,
             l1_request_bytes: 128,
             max_ctas_per_sm: 32,
+            tc_gflops: 0.0,
+            mma_shape: None,
         }
     }
 
@@ -110,6 +154,8 @@ impl GpuSpec {
             lat_dram_clks: 580.0,
             l1_request_bytes: 128,
             max_ctas_per_sm: 32,
+            tc_gflops: 0.0,
+            mma_shape: None,
         }
     }
 
@@ -136,6 +182,57 @@ impl GpuSpec {
             lat_dram_clks: 500.0,
             l1_request_bytes: 32,
             max_ctas_per_sm: 32,
+            tc_gflops: 0.0,
+            mma_shape: None,
+        }
+    }
+
+    /// V100 with its tensor cores enabled: the same Table I device as
+    /// [`GpuSpec::v100`] plus the Volta HMMA datapath (512 tensor-core
+    /// MACs/clk/SM × 84 SMs × 1.38 GHz × 2 FLOPs/MAC ≈ 118.7 TFLOP/s,
+    /// 16×16×16 MMA tiles). The FFMA datapath — and therefore every conv
+    /// result — is identical to the plain `v100` preset.
+    pub fn v100_tensor() -> Self {
+        let mut g = GpuSpec::v100();
+        g.name = "V100-TC".into();
+        g.tc_gflops = 118_702.0;
+        g.mma_shape = Some(MmaShape {
+            m: 16,
+            n: 16,
+            k: 16,
+        });
+        g
+    }
+
+    /// An Ampere A100-class (SXM 40 GB) device: 108 SMs at 1.41 GHz,
+    /// 19.5 FP32 TFLOP/s, 312 TF16 tensor TFLOP/s with 16×8×16 MMA tiles,
+    /// 40 MiB L2, 1555 GB/s HBM2. Latencies and effective bandwidth
+    /// ratios extrapolate the paper's V100 microbenchmarks (the paper
+    /// predates Ampere); the preset exists to study the tensor-core
+    /// regime, not to re-validate Table I.
+    pub fn a100() -> Self {
+        GpuSpec {
+            name: "A100".into(),
+            num_sm: 108,
+            core_clock_ghz: 1.41,
+            mac_gflops: 19_500.0,
+            reg_bytes_per_sm: 256 * 1024,
+            smem_bytes_per_sm: 164 * 1024,
+            l1_bytes_per_sm: 192 * 1024,
+            l2_bytes: 40 * 1024 * 1024,
+            l1_bw_gbps_per_sm: 110.0,
+            l2_bw_gbps: 4000.0,
+            dram_bw_gbps: 1555.0,
+            smem_ld_bytes_per_clk: 128.0,
+            smem_st_bytes_per_clk: 128.0,
+            lat_smem_clks: 19.0,
+            lat_l1_clks: 28.0,
+            lat_l2_clks: 200.0,
+            lat_dram_clks: 500.0,
+            l1_request_bytes: 32,
+            max_ctas_per_sm: 32,
+            tc_gflops: 312_000.0,
+            mma_shape: Some(MmaShape { m: 16, n: 8, k: 16 }),
         }
     }
 
@@ -239,12 +336,34 @@ impl GpuSpec {
         self.max_ctas_per_sm
     }
 
+    /// Tensor-core throughput in GFLOP/s (`0.0` = no tensor cores).
+    pub fn tc_gflops(&self) -> f64 {
+        self.tc_gflops
+    }
+
+    /// Tensor-core MMA instruction tile, if the device has tensor cores.
+    pub fn mma_shape(&self) -> Option<MmaShape> {
+        self.mma_shape
+    }
+
+    /// Whether this device has a usable tensor-core datapath.
+    pub fn has_tensor_cores(&self) -> bool {
+        self.tc_gflops > 0.0 && self.mma_shape.is_some()
+    }
+
     // --- derived quantities -------------------------------------------------
 
     /// MAC operations per clock per SM:
     /// `(GFLOPS / 2) / (num_sm × clock)`.
     pub fn macs_per_clk_per_sm(&self) -> f64 {
         (self.mac_gflops / 2.0) / (f64::from(self.num_sm) * self.core_clock_ghz)
+    }
+
+    /// Tensor-core MAC operations per clock per SM:
+    /// `(tc_GFLOPS / 2) / (num_sm × clock)`. Zero for devices without
+    /// tensor cores.
+    pub fn tc_macs_per_clk_per_sm(&self) -> f64 {
+        (self.tc_gflops / 2.0) / (f64::from(self.num_sm) * self.core_clock_ghz)
     }
 
     /// Converts a GB/s bandwidth into bytes per core clock.
@@ -327,6 +446,23 @@ impl GpuSpec {
         if self.max_ctas_per_sm == 0 {
             return Err(fail("max CTAs per SM must be positive"));
         }
+        // Tensor-core fields: NaN is rejected explicitly (the sign-only
+        // bandwidth checks above let NaN slip, which downstream code
+        // tolerates; the tensor-core datapath divides by this value).
+        if self.tc_gflops.is_nan() || self.tc_gflops < 0.0 {
+            return Err(fail(
+                "tensor-core throughput must be non-negative and not NaN",
+            ));
+        }
+        match self.mma_shape {
+            Some(MmaShape { m, n, k }) if m == 0 || n == 0 || k == 0 => {
+                return Err(fail("MMA tile dimensions must be positive"));
+            }
+            None if self.tc_gflops > 0.0 => {
+                return Err(fail("tensor-core throughput requires an MMA tile shape"));
+            }
+            _ => {}
+        }
         Ok(())
     }
 
@@ -348,7 +484,11 @@ impl fmt::Display for GpuSpec {
             self.mac_gflops,
             self.l2_bytes / (1024 * 1024),
             self.dram_bw_gbps
-        )
+        )?;
+        if let (true, Some(mma)) = (self.tc_gflops > 0.0, self.mma_shape) {
+            write!(f, ", TC {:.0} GFLOPS (MMA {mma})", self.tc_gflops)?;
+        }
+        Ok(())
     }
 }
 
@@ -448,6 +588,14 @@ impl GpuSpecBuilder {
         /// Sets the per-SM CTA residency limit.
         max_ctas_per_sm: u32
     );
+    builder_setter!(
+        /// Sets tensor-core throughput in GFLOP/s (0 = no tensor cores).
+        tc_gflops: f64
+    );
+    builder_setter!(
+        /// Sets the tensor-core MMA tile shape.
+        mma_shape: Option<MmaShape>
+    );
 
     /// Validates and produces the spec.
     ///
@@ -528,6 +676,76 @@ mod tests {
         assert!(GpuSpec::builder("g").dram_bw_gbps(-1.0).build().is_err());
         assert!(GpuSpec::builder("g").l1_request_bytes(48).build().is_err());
         assert!(GpuSpec::builder("g").max_ctas_per_sm(0).build().is_err());
+    }
+
+    #[test]
+    fn tensor_core_fields_validated() {
+        let mma = Some(MmaShape { m: 16, n: 8, k: 16 });
+        // NaN and negatives are rejected, like bandwidths.
+        assert!(GpuSpec::builder("g")
+            .tc_gflops(f64::NAN)
+            .mma_shape(mma)
+            .build()
+            .is_err());
+        assert!(GpuSpec::builder("g")
+            .tc_gflops(-1.0)
+            .mma_shape(mma)
+            .build()
+            .is_err());
+        // Throughput without a tile shape is inconsistent.
+        assert!(GpuSpec::builder("g").tc_gflops(100.0).build().is_err());
+        // Zero-dimension tiles are rejected.
+        assert!(GpuSpec::builder("g")
+            .tc_gflops(100.0)
+            .mma_shape(Some(MmaShape { m: 16, n: 0, k: 16 }))
+            .build()
+            .is_err());
+        // A consistent pair builds.
+        let g = GpuSpec::builder("g")
+            .tc_gflops(100.0)
+            .mma_shape(mma)
+            .build()
+            .unwrap();
+        assert!(g.has_tensor_cores());
+        // tc_gflops = 0 (the default) means no tensor cores and is valid.
+        assert!(!GpuSpec::titan_xp().has_tensor_cores());
+    }
+
+    #[test]
+    fn tensor_presets_validate_and_scale() {
+        let v = GpuSpec::v100_tensor();
+        v.validate().unwrap();
+        assert!(v.has_tensor_cores());
+        // Same FFMA datapath as the plain V100 preset.
+        assert_eq!(
+            v.macs_per_clk_per_sm(),
+            GpuSpec::v100().macs_per_clk_per_sm()
+        );
+        // 512 tensor MACs/clk/SM on Volta.
+        assert!((v.tc_macs_per_clk_per_sm() - 512.0).abs() < 1.0);
+
+        let a = GpuSpec::a100();
+        a.validate().unwrap();
+        assert_eq!(a.num_sm(), 108);
+        assert_eq!(a.mma_shape(), Some(MmaShape { m: 16, n: 8, k: 16 }));
+        assert!(a.tc_macs_per_clk_per_sm() > v.tc_macs_per_clk_per_sm());
+        // Paper devices stay exactly three, tensor-core-less.
+        assert_eq!(GpuSpec::paper_devices().len(), 3);
+    }
+
+    #[test]
+    fn legacy_serialized_specs_deserialize_without_tc_fields() {
+        // A spec serialized before the tensor-core fields existed (e.g.
+        // in a v3 cache file) must deserialize as a tensor-core-less
+        // device rather than fail.
+        let mut json = serde_json::to_string(&GpuSpec::titan_xp()).unwrap();
+        assert!(json.contains("\"tc_gflops\""));
+        json = json
+            .replace(",\"tc_gflops\":0.0", "")
+            .replace(",\"mma_shape\":null", "");
+        assert!(!json.contains("tc_gflops"));
+        let back: GpuSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, GpuSpec::titan_xp());
     }
 
     #[test]

@@ -16,8 +16,140 @@
 
 use crate::error::Error;
 use crate::BYTES_PER_ELEMENT;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
+
+/// What kind of workload a [`ConvLayer`] describes.
+///
+/// Every kind is executed through the same im2col GEMM machinery — the
+/// layer's conv-shaped *embedding* stays authoritative for all math
+/// (GEMM dimensions, footprints, MACs, tiling, traffic, replay) — so
+/// tiling, sharding, caching, and the merge contract work unchanged for
+/// every kind. The kind selects the arithmetic datapath (FFMA vs.
+/// tensor cores, see `delta_sim::tensorcore`), separates otherwise
+/// identical shapes in query fingerprints, and drives display.
+///
+/// `Conv` is the default and serializes exactly as before this axis
+/// existed (the `kind` key is omitted), so every pre-existing
+/// fingerprint, cache key, golden file, and wire byte is unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// A convolution (or FC) layer on the classic FFMA datapath — the
+    /// paper's workload.
+    #[default]
+    Conv,
+    /// An explicit `M × N × K` GEMM (transformer projection / MLP
+    /// matmul), embedded as a fully-connected layer with `B = M`,
+    /// `Ci = K`, `Co = N`.
+    Gemm {
+        /// GEMM height `M` (rows of the output).
+        m: u32,
+        /// GEMM width `N` (columns of the output).
+        n: u32,
+        /// Reduction depth `K`.
+        k: u32,
+    },
+    /// One multi-head self-attention score+context pass
+    /// (`QKᵀ` softmax `·V`), embedded as a single stacked GEMM with
+    /// `M = B × heads × seq`, `K = head_dim`, `N = 2 × seq` — MAC-exact
+    /// for the two batched matmuls (`2·B·heads·seq²·head_dim`), softmax
+    /// excluded (non-flash formulation; the modeling choice is
+    /// documented in `docs/ARCHITECTURE.md`).
+    Attention {
+        /// Sequence length.
+        seq: u32,
+        /// Number of attention heads.
+        heads: u32,
+        /// Per-head dimension.
+        head_dim: u32,
+    },
+}
+
+impl LayerKind {
+    /// Whether this is the default convolution kind.
+    pub fn is_conv(&self) -> bool {
+        matches!(self, LayerKind::Conv)
+    }
+
+    /// The wire/fingerprint tag (`conv` / `gemm` / `attention`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            LayerKind::Conv => "conv",
+            LayerKind::Gemm { .. } => "gemm",
+            LayerKind::Attention { .. } => "attention",
+        }
+    }
+}
+
+impl Serialize for LayerKind {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![("op".to_string(), Value::Str(self.tag().to_string()))];
+        match self {
+            LayerKind::Conv => {}
+            LayerKind::Gemm { m, n, k } => {
+                entries.push(("m".to_string(), m.to_value()));
+                entries.push(("n".to_string(), n.to_value()));
+                entries.push(("k".to_string(), k.to_value()));
+            }
+            LayerKind::Attention {
+                seq,
+                heads,
+                head_dim,
+            } => {
+                entries.push(("seq".to_string(), seq.to_value()));
+                entries.push(("heads".to_string(), heads.to_value()));
+                entries.push(("head_dim".to_string(), head_dim.to_value()));
+            }
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for LayerKind {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let field = |name: &str| -> Result<u32, DeError> {
+            match v.get(name) {
+                Some(fv) => u32::from_value(fv),
+                None => Err(DeError(format!("LayerKind: missing field `{name}`"))),
+            }
+        };
+        match v.get("op") {
+            Some(Value::Str(tag)) => match tag.as_str() {
+                "conv" => Ok(LayerKind::Conv),
+                "gemm" => Ok(LayerKind::Gemm {
+                    m: field("m")?,
+                    n: field("n")?,
+                    k: field("k")?,
+                }),
+                "attention" => Ok(LayerKind::Attention {
+                    seq: field("seq")?,
+                    heads: field("heads")?,
+                    head_dim: field("head_dim")?,
+                }),
+                other => Err(DeError(format!(
+                    "LayerKind: unknown op `{other}` (expected conv, gemm, or attention)"
+                ))),
+            },
+            _ => Err(DeError(
+                "LayerKind: expected a map with a string `op` tag".to_string(),
+            )),
+        }
+    }
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerKind::Conv => f.write_str("conv"),
+            LayerKind::Gemm { m, n, k } => write!(f, "gemm {m}x{n}x{k}"),
+            LayerKind::Attention {
+                seq,
+                heads,
+                head_dim,
+            } => write!(f, "attention seq={seq} heads={heads} dh={head_dim}"),
+        }
+    }
+}
 
 /// A validated convolution-layer configuration.
 ///
@@ -43,7 +175,7 @@ use std::fmt;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ConvLayer {
     label: String,
     batch: u32,
@@ -55,6 +187,60 @@ pub struct ConvLayer {
     filter_width: u32,
     stride: u32,
     pad: u32,
+    kind: LayerKind,
+}
+
+// Serde is written by hand so that `Conv` layers serialize to exactly the
+// same ten keys they had before [`LayerKind`] existed — fingerprints, cache
+// entries, golden files, and wire bytes for every CNN workload are
+// unchanged. Non-conv layers append a trailing `kind` map.
+impl Serialize for ConvLayer {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("label".to_string(), self.label.to_value()),
+            ("batch".to_string(), self.batch.to_value()),
+            ("in_channels".to_string(), self.in_channels.to_value()),
+            ("in_height".to_string(), self.in_height.to_value()),
+            ("in_width".to_string(), self.in_width.to_value()),
+            ("out_channels".to_string(), self.out_channels.to_value()),
+            ("filter_height".to_string(), self.filter_height.to_value()),
+            ("filter_width".to_string(), self.filter_width.to_value()),
+            ("stride".to_string(), self.stride.to_value()),
+            ("pad".to_string(), self.pad.to_value()),
+        ];
+        if !self.kind.is_conv() {
+            entries.push(("kind".to_string(), self.kind.to_value()));
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for ConvLayer {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+            match v.get(name) {
+                Some(fv) => T::from_value(fv),
+                None => Err(DeError(format!("ConvLayer: missing field `{name}`"))),
+            }
+        }
+        let kind = match v.get("kind") {
+            Some(kv) => LayerKind::from_value(kv)?,
+            None => LayerKind::Conv,
+        };
+        Ok(ConvLayer {
+            label: field(v, "label")?,
+            batch: field(v, "batch")?,
+            in_channels: field(v, "in_channels")?,
+            in_height: field(v, "in_height")?,
+            in_width: field(v, "in_width")?,
+            out_channels: field(v, "out_channels")?,
+            filter_height: field(v, "filter_height")?,
+            filter_width: field(v, "filter_width")?,
+            stride: field(v, "stride")?,
+            pad: field(v, "pad")?,
+            kind,
+        })
+    }
 }
 
 impl ConvLayer {
@@ -86,9 +272,77 @@ impl ConvLayer {
             .build()
     }
 
+    /// Convenience constructor for an explicit `M × N × K` GEMM
+    /// (transformer projection or MLP matmul). The layer is embedded as a
+    /// fully-connected layer (`B = M`, `Ci = K`, `Co = N`), so every
+    /// downstream quantity (tiling, traffic, MACs) comes from the same
+    /// im2col machinery as conv layers; the [`LayerKind::Gemm`] tag routes
+    /// it to the tensor-core datapath on capable GPUs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidLayer`] if any dimension is zero.
+    pub fn gemm(label: impl Into<String>, m: u32, n: u32, k: u32) -> Result<Self, Error> {
+        let mut layer = ConvLayer::fully_connected(label, m, k, n)?;
+        layer.kind = LayerKind::Gemm { m, n, k };
+        Ok(layer)
+    }
+
+    /// Convenience constructor for one multi-head self-attention
+    /// score+context pass (`QKᵀ` then `·V`) over `batch` sequences.
+    ///
+    /// Both batched matmuls are stacked into a single GEMM embedding with
+    /// `M = batch × heads × seq`, `K = head_dim`, and `N = 2 × seq`, which
+    /// is MAC-exact for the pair (`2·B·heads·seq²·head_dim` MACs); softmax
+    /// is excluded from the arithmetic model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidLayer`] if any dimension is zero or the
+    /// stacked GEMM dimensions overflow `u32`.
+    pub fn attention(
+        label: impl Into<String>,
+        batch: u32,
+        seq: u32,
+        heads: u32,
+        head_dim: u32,
+    ) -> Result<Self, Error> {
+        let label = label.into();
+        let fail = |reason: String| Error::InvalidLayer {
+            label: label.clone(),
+            reason,
+        };
+        if batch == 0 || seq == 0 || heads == 0 || head_dim == 0 {
+            return Err(fail("attention dimensions must be positive".into()));
+        }
+        let m = u128::from(batch) * u128::from(heads) * u128::from(seq);
+        let m = u32::try_from(m).map_err(|_| {
+            fail(format!(
+                "attention rows B*heads*seq = {batch}*{heads}*{seq} overflow u32"
+            ))
+        })?;
+        let n = seq
+            .checked_mul(2)
+            .ok_or_else(|| fail(format!("attention columns 2*seq = 2*{seq} overflow u32")))?;
+        let mut layer = ConvLayer::fully_connected(label, m, head_dim, n)?;
+        layer.kind = LayerKind::Attention {
+            seq,
+            heads,
+            head_dim,
+        };
+        Ok(layer)
+    }
+
     /// The layer label used in reports.
     pub fn label(&self) -> &str {
         &self.label
+    }
+
+    /// The workload kind ([`LayerKind::Conv`] unless constructed via
+    /// [`ConvLayer::gemm`] / [`ConvLayer::attention`] or an explicit
+    /// builder override).
+    pub fn kind(&self) -> LayerKind {
+        self.kind
     }
 
     /// Mini-batch size `B`.
@@ -276,7 +530,11 @@ impl fmt::Display for ConvLayer {
             self.filter_width,
             self.stride,
             self.pad
-        )
+        )?;
+        if !self.kind.is_conv() {
+            write!(f, " [{}]", self.kind)?;
+        }
+        Ok(())
     }
 }
 
@@ -305,6 +563,7 @@ pub struct ConvLayerBuilder {
     filter_width: u32,
     stride: u32,
     pad: u32,
+    kind: LayerKind,
 }
 
 impl ConvLayerBuilder {
@@ -320,6 +579,7 @@ impl ConvLayerBuilder {
             filter_width: 0,
             stride: 1,
             pad: 0,
+            kind: LayerKind::Conv,
         }
     }
 
@@ -335,6 +595,7 @@ impl ConvLayerBuilder {
             filter_width: l.filter_width,
             stride: l.stride,
             pad: l.pad,
+            kind: l.kind,
         }
     }
 
@@ -377,6 +638,16 @@ impl ConvLayerBuilder {
         self
     }
 
+    /// Tags the layer with a workload kind (default [`LayerKind::Conv`]).
+    /// The conv-shaped embedding stays authoritative for all math; the
+    /// kind selects the datapath and separates fingerprints. Prefer the
+    /// [`ConvLayer::gemm`] / [`ConvLayer::attention`] constructors, which
+    /// derive a consistent embedding for you.
+    pub fn kind(&mut self, kind: LayerKind) -> &mut Self {
+        self.kind = kind;
+        self
+    }
+
     /// Validates the configuration and produces the layer.
     ///
     /// # Errors
@@ -411,6 +682,23 @@ impl ConvLayerBuilder {
                 self.filter_height, self.filter_width, ph, pw
             )));
         }
+        match self.kind {
+            LayerKind::Conv => {}
+            LayerKind::Gemm { m, n, k } => {
+                if m == 0 || n == 0 || k == 0 {
+                    return Err(fail("GEMM dimensions must be positive".into()));
+                }
+            }
+            LayerKind::Attention {
+                seq,
+                heads,
+                head_dim,
+            } => {
+                if seq == 0 || heads == 0 || head_dim == 0 {
+                    return Err(fail("attention dimensions must be positive".into()));
+                }
+            }
+        }
         Ok(ConvLayer {
             label: self.label.clone(),
             batch: self.batch,
@@ -422,6 +710,7 @@ impl ConvLayerBuilder {
             filter_width: self.filter_width,
             stride: self.stride,
             pad: self.pad,
+            kind: self.kind,
         })
     }
 }
@@ -568,5 +857,110 @@ mod tests {
         let json = serde_json::to_string(&l).unwrap();
         let back: ConvLayer = serde_json::from_str(&json).unwrap();
         assert_eq!(l, back);
+    }
+
+    #[test]
+    fn conv_serialization_bytes_have_no_kind_key() {
+        // The hand-written serde must keep conv layers byte-identical to
+        // the pre-LayerKind derive output: ten keys, no `kind`.
+        let json = serde_json::to_string(&vgg_conv1()).unwrap();
+        assert!(
+            !json.contains("kind"),
+            "conv layer leaked a kind key: {json}"
+        );
+        assert!(json.starts_with("{\"label\":\"vgg_conv1\",\"batch\":256,"));
+        assert!(json.ends_with("\"stride\":1,\"pad\":1}"));
+    }
+
+    #[test]
+    fn gemm_embeds_as_fully_connected() {
+        let g = ConvLayer::gemm("qkv", 16384, 2304, 768).unwrap();
+        assert_eq!(g.gemm_m(), 16384);
+        assert_eq!(g.gemm_n(), 2304);
+        assert_eq!(g.gemm_k(), 768);
+        assert!(g.is_pointwise());
+        assert_eq!(
+            g.kind(),
+            LayerKind::Gemm {
+                m: 16384,
+                n: 2304,
+                k: 768
+            }
+        );
+        assert!(ConvLayer::gemm("z", 0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn attention_embedding_is_mac_exact() {
+        let a = ConvLayer::attention("attn", 4, 1024, 12, 64).unwrap();
+        // M = B*heads*seq, K = head_dim, N = 2*seq.
+        assert_eq!(a.gemm_m(), 4 * 12 * 1024);
+        assert_eq!(a.gemm_k(), 64);
+        assert_eq!(a.gemm_n(), 2 * 1024);
+        // QK^T + PV MACs: 2 * B * heads * seq^2 * head_dim.
+        assert_eq!(a.macs(), 2 * 4 * 12 * 1024 * 1024 * 64);
+        assert_eq!(
+            a.kind(),
+            LayerKind::Attention {
+                seq: 1024,
+                heads: 12,
+                head_dim: 64
+            }
+        );
+        assert!(ConvLayer::attention("z", 1, 0, 1, 1).is_err());
+        assert!(
+            ConvLayer::attention("big", u32::MAX, u32::MAX, 2, 1).is_err(),
+            "overflowing stacked rows must be rejected"
+        );
+    }
+
+    #[test]
+    fn non_conv_kinds_round_trip_and_differ_from_conv_bytes() {
+        let g = ConvLayer::gemm("g", 64, 32, 16).unwrap();
+        let a = ConvLayer::attention("a", 2, 128, 4, 32).unwrap();
+        for l in [&g, &a] {
+            let json = serde_json::to_string(l).unwrap();
+            assert!(json.contains("\"kind\""), "missing kind in {json}");
+            let back: ConvLayer = serde_json::from_str(&json).unwrap();
+            assert_eq!(*l, back);
+        }
+        // Same embedding, different kind => different value and bytes.
+        let fc = ConvLayer::fully_connected("g", 64, 16, 32).unwrap();
+        assert_ne!(fc, g);
+        assert_ne!(
+            serde_json::to_string(&fc).unwrap(),
+            serde_json::to_string(&g).unwrap()
+        );
+    }
+
+    #[test]
+    fn with_batch_and_with_label_preserve_kind() {
+        let a = ConvLayer::attention("attn", 4, 128, 4, 32).unwrap();
+        assert_eq!(a.with_batch(7).unwrap().kind(), a.kind());
+        assert_eq!(a.with_label("attn2").kind(), a.kind());
+    }
+
+    #[test]
+    fn missing_kind_key_deserializes_as_conv() {
+        let legacy = "{\"label\":\"l\",\"batch\":1,\"in_channels\":1,\
+                      \"in_height\":4,\"in_width\":4,\"out_channels\":1,\
+                      \"filter_height\":1,\"filter_width\":1,\"stride\":1,\"pad\":0}";
+        let l: ConvLayer = serde_json::from_str(legacy).unwrap();
+        assert_eq!(l.kind(), LayerKind::Conv);
+    }
+
+    #[test]
+    fn display_mentions_kind_for_non_conv() {
+        let g = ConvLayer::gemm("g", 64, 32, 16).unwrap();
+        assert!(g.to_string().contains("gemm 64x32x16"), "{g}");
+        let a = ConvLayer::attention("a", 2, 128, 4, 32).unwrap();
+        assert!(
+            a.to_string().contains("attention seq=128 heads=4 dh=32"),
+            "{a}"
+        );
+        assert!(
+            !vgg_conv1().to_string().contains(" ["),
+            "conv display must stay byte-identical (no kind suffix)"
+        );
     }
 }

@@ -85,9 +85,9 @@ pub use backend::{
 };
 pub use engine::{Engine, NetworkEvaluation};
 pub use error::Error;
-pub use gpu::GpuSpec;
+pub use gpu::{GpuSpec, MmaShape};
 pub use interconnect::{Interconnect, InterconnectKind};
-pub use layer::ConvLayer;
+pub use layer::{ConvLayer, LayerKind};
 pub use model::{Delta, DeltaOptions, MliMode};
 pub use perf::{Bottleneck, PerfEstimate};
 pub use query::{EvalQuery, LayerShape, Parallelism, Pass, StepEvaluation, StepQuery};

@@ -33,7 +33,7 @@ use crate::engine::TrainingStepEvaluation;
 use crate::error::Error;
 use crate::gpu::GpuSpec;
 use crate::interconnect::InterconnectKind;
-use crate::layer::ConvLayer;
+use crate::layer::{ConvLayer, LayerKind};
 use crate::schedule::StepTimeline;
 use crate::topology::TopologyKind;
 use serde::{DeError, Deserialize, Serialize, Value};
@@ -42,7 +42,7 @@ use std::fmt;
 /// The cache-relevant dimensions of a layer: a [`ConvLayer`] minus its
 /// label. Two layers with equal shapes are the same workload to every
 /// backend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LayerShape {
     /// Mini-batch size.
     pub batch: u32,
@@ -62,6 +62,61 @@ pub struct LayerShape {
     pub stride: u32,
     /// Padding.
     pub pad: u32,
+    /// Workload kind ([`LayerKind::Conv`] for every CNN layer). The
+    /// conv-shaped embedding above stays authoritative for all math; the
+    /// kind selects the datapath and separates fingerprints.
+    pub kind: LayerKind,
+}
+
+// Hand-written for the same reason as `ConvLayer`'s serde: `Conv` shapes
+// keep their exact pre-LayerKind nine-key encoding (fingerprints, cache
+// keys, and wire bytes unchanged); non-conv shapes append a trailing
+// `kind` map.
+impl Serialize for LayerShape {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("batch".to_string(), self.batch.to_value()),
+            ("in_channels".to_string(), self.in_channels.to_value()),
+            ("in_height".to_string(), self.in_height.to_value()),
+            ("in_width".to_string(), self.in_width.to_value()),
+            ("out_channels".to_string(), self.out_channels.to_value()),
+            ("filter_height".to_string(), self.filter_height.to_value()),
+            ("filter_width".to_string(), self.filter_width.to_value()),
+            ("stride".to_string(), self.stride.to_value()),
+            ("pad".to_string(), self.pad.to_value()),
+        ];
+        if !self.kind.is_conv() {
+            entries.push(("kind".to_string(), self.kind.to_value()));
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for LayerShape {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let field = |name: &str| -> Result<u32, DeError> {
+            match v.get(name) {
+                Some(fv) => u32::from_value(fv),
+                None => Err(DeError(format!("LayerShape: missing field `{name}`"))),
+            }
+        };
+        let kind = match v.get("kind") {
+            Some(kv) => LayerKind::from_value(kv)?,
+            None => LayerKind::Conv,
+        };
+        Ok(LayerShape {
+            batch: field("batch")?,
+            in_channels: field("in_channels")?,
+            in_height: field("in_height")?,
+            in_width: field("in_width")?,
+            out_channels: field("out_channels")?,
+            filter_height: field("filter_height")?,
+            filter_width: field("filter_width")?,
+            stride: field("stride")?,
+            pad: field("pad")?,
+            kind,
+        })
+    }
 }
 
 impl LayerShape {
@@ -77,6 +132,7 @@ impl LayerShape {
             filter_width: layer.filter_width(),
             stride: layer.stride(),
             pad: layer.pad(),
+            kind: layer.kind(),
         }
     }
 
@@ -96,6 +152,7 @@ impl LayerShape {
             .filter(self.filter_height, self.filter_width)
             .stride(self.stride)
             .pad(self.pad)
+            .kind(self.kind)
             .build()
     }
 }
@@ -442,6 +499,55 @@ mod tests {
         assert_eq!(back.batch(), l.batch());
         assert_eq!(back.stride(), l.stride());
         assert_eq!(back.pad(), l.pad());
+    }
+
+    #[test]
+    fn shape_round_trips_preserve_kind() {
+        let g = ConvLayer::gemm("g", 256, 1024, 768).unwrap();
+        let a = ConvLayer::attention("a", 4, 128, 8, 64).unwrap();
+        for l in [&g, &a] {
+            let shape = LayerShape::of(l);
+            assert_eq!(shape.kind, l.kind());
+            let back = shape.to_layer().unwrap();
+            assert_eq!(back.kind(), l.kind());
+            assert_eq!(LayerShape::of(&back), shape);
+            // Serde round trip keeps the kind too.
+            let json = serde_json::to_string(&shape).unwrap();
+            let de: LayerShape = serde_json::from_str(&json).unwrap();
+            assert_eq!(de, shape);
+        }
+    }
+
+    #[test]
+    fn conv_shape_bytes_have_no_kind_key() {
+        let json = serde_json::to_string(&LayerShape::of(&layer())).unwrap();
+        assert!(
+            !json.contains("kind"),
+            "conv shape leaked a kind key: {json}"
+        );
+    }
+
+    #[test]
+    fn fingerprints_separate_the_kind_axis() {
+        // A gemm and the fully-connected layer it embeds as share every
+        // embedding dimension; only the kind distinguishes them — and the
+        // fingerprint must too, or the engine would serve the FFMA result
+        // for the tensor-core workload (and vice versa).
+        let g = ConvLayer::gemm("x", 64, 32, 16).unwrap();
+        let fc = ConvLayer::fully_connected("x", 64, 16, 32).unwrap();
+        let qg = EvalQuery::forward(&g, Parallelism::Single);
+        let qfc = EvalQuery::forward(&fc, Parallelism::Single);
+        assert_ne!(qg.fingerprint(), qfc.fingerprint());
+        // Distinct attention factorizations with equal embeddings also
+        // separate: (seq=8, heads=4) vs (seq=8, heads=4) with swapped
+        // head_dim/heads roles would alias only if the kind were dropped.
+        let a1 = ConvLayer::attention("x", 8, 8, 4, 16).unwrap();
+        let a2 = ConvLayer::attention("x", 4, 8, 8, 16).unwrap();
+        assert_eq!(LayerShape::of(&a1).batch, LayerShape::of(&a2).batch);
+        assert_ne!(
+            EvalQuery::forward(&a1, Parallelism::Single).fingerprint(),
+            EvalQuery::forward(&a2, Parallelism::Single).fingerprint()
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! MAC count — holds exactly and is pinned by tests.
 
 use crate::error::Error;
-use crate::layer::ConvLayer;
+use crate::layer::{ConvLayer, LayerKind};
 use crate::model::Delta;
 use crate::perf;
 use crate::report::LayerReport;
@@ -60,14 +60,25 @@ pub fn dgrad_layer(layer: &ConvLayer) -> Result<ConvLayer, Error> {
     let s = layer.stride();
     let dil_h = (layer.out_height() - 1) * s + 1;
     let dil_w = (layer.out_width() - 1) * s + 1;
-    ConvLayer::builder(format!("{}::dgrad", layer.label()))
-        .batch(layer.batch())
+    let mut b = ConvLayer::builder(format!("{}::dgrad", layer.label()));
+    b.batch(layer.batch())
         .input(layer.out_channels(), dil_h, dil_w)
         .output_channels(layer.in_channels())
         .filter(hf, wf)
         .stride(1)
-        .pad(hf - 1 - layer.pad())
-        .build()
+        .pad(hf - 1 - layer.pad());
+    if !layer.kind().is_conv() {
+        // The backward matmul of a GEMM/attention layer is itself a GEMM
+        // (M = rows, N = K of the forward, K = N of the forward); tagging
+        // it keeps all three passes on the tensor-core datapath. Non-conv
+        // embeddings are FC-shaped, so the derived dims are exact.
+        b.kind(LayerKind::Gemm {
+            m: layer.batch(),
+            n: layer.in_channels(),
+            k: layer.out_channels(),
+        });
+    }
+    b.build()
 }
 
 /// Builds the wgrad pass of `layer` as an FC-shaped GEMM
@@ -89,12 +100,14 @@ pub fn wgrad_layer(layer: &ConvLayer) -> Result<ConvLayer, Error> {
         label: format!("{}::wgrad", layer.label()),
         reason: format!("filter-element count {m} exceeds u32"),
     })?;
-    ConvLayer::fully_connected(
-        format!("{}::wgrad", layer.label()),
-        m32,
-        k32,
-        layer.out_channels(),
-    )
+    let label = format!("{}::wgrad", layer.label());
+    if layer.kind().is_conv() {
+        ConvLayer::fully_connected(label, m32, k32, layer.out_channels())
+    } else {
+        // Same embedding, tagged as the GEMM it is so the tensor-core
+        // datapath covers the weight-gradient pass too.
+        ConvLayer::gemm(label, m32, layer.out_channels(), k32)
+    }
 }
 
 /// Analyzes the wgrad GEMM with a device-filling split-K tiling (cuDNN
@@ -296,6 +309,39 @@ mod tests {
         assert_eq!(w.gemm_m(), 64 * 9); // Ci*Hf*Wf
         assert_eq!(w.gemm_n(), 128);
         assert_eq!(w.gemm_k(), 32 * 28 * 28); // B*Ho*Wo
+    }
+
+    #[test]
+    fn backward_passes_of_non_conv_layers_stay_on_tensor_datapath() {
+        let g = ConvLayer::gemm("proj", 4096, 768, 768).unwrap();
+        let d = dgrad_layer(&g).unwrap();
+        assert_eq!(
+            d.kind(),
+            LayerKind::Gemm {
+                m: 4096,
+                n: 768,
+                k: 768
+            }
+        );
+        let w = wgrad_layer(&g).unwrap();
+        assert!(matches!(w.kind(), LayerKind::Gemm { .. }));
+        assert_eq!(w.macs(), g.macs());
+
+        let a = ConvLayer::attention("attn", 2, 128, 4, 32).unwrap();
+        assert!(matches!(
+            dgrad_layer(&a).unwrap().kind(),
+            LayerKind::Gemm { .. }
+        ));
+        assert!(matches!(
+            wgrad_layer(&a).unwrap().kind(),
+            LayerKind::Gemm { .. }
+        ));
+
+        // Conv backward passes stay untagged — bytes and fingerprints of
+        // every CNN workload are unchanged.
+        let c = conv(64, 28, 128, 3, 1, 1);
+        assert!(dgrad_layer(&c).unwrap().kind().is_conv());
+        assert!(wgrad_layer(&c).unwrap().kind().is_conv());
     }
 
     #[test]

@@ -328,6 +328,7 @@ mod tests {
             filter_width: 3,
             stride: 1,
             pad: 1,
+            kind: delta_model::LayerKind::Conv,
         }
     }
 

@@ -10,6 +10,13 @@
 //! The default mini-batch size is 256, as in §VI. Every constructor takes
 //! the batch size so the simulator can run reduced-batch configurations.
 //!
+//! Beyond the paper's CNNs, the zoo carries one transformer workload:
+//! [`gpt2s`], a GPT-2-small-style decoder stack whose layers are
+//! GEMM/attention workloads (`LayerKind`) that the simulator runs on the
+//! tensor-core datapath where the device has one. It is deliberately
+//! *not* part of [`paper_networks`] — that list reproduces the paper's
+//! four CNNs exactly.
+//!
 //! ```rust
 //! use delta_networks::{googlenet, Network};
 //!
@@ -25,12 +32,14 @@ mod alexnet_def;
 mod googlenet_def;
 mod network;
 mod resnet_def;
+mod transformer_def;
 mod vgg_def;
 
 pub use alexnet_def::alexnet;
 pub use googlenet_def::googlenet;
 pub use network::Network;
 pub use resnet_def::{resnet152, resnet152_full};
+pub use transformer_def::gpt2s;
 pub use vgg_def::vgg16;
 
 use delta_model::Error;

@@ -1,0 +1,155 @@
+//! GPT-2-style transformer decoder blocks as GEMM/attention workloads.
+//!
+//! The DeLTA paper evaluates CNNs; this module extends the zoo along the
+//! workload axis the tensor-core datapath serves: each decoder block is
+//! five layers — the QKV projection, the attention score/context GEMMs,
+//! the output projection, and the two MLP GEMMs — expressed through
+//! [`ConvLayer::gemm`] / [`ConvLayer::attention`] so every existing
+//! tiling, traffic, sharding, and merge path applies unchanged while the
+//! simulator's timing runs them on tensor cores where the device has
+//! them.
+//!
+//! Dimensions follow GPT-2 small: `d_model = 768`, 12 heads of 64, MLP
+//! expansion 4×, context length 1024, 12 blocks. Blocks are structurally
+//! identical, so the evaluation engine's shape cache collapses the
+//! 60-layer network to 5 unique replays.
+
+use crate::network::Network;
+use delta_model::{ConvLayer, Error};
+
+/// GPT-2 small model width.
+const D_MODEL: u32 = 768;
+/// Attention heads per block.
+const HEADS: u32 = 12;
+/// Per-head dimension (`D_MODEL / HEADS`).
+const HEAD_DIM: u32 = 64;
+/// Context (sequence) length.
+const SEQ: u32 = 1024;
+/// MLP hidden width (4× expansion).
+const D_FF: u32 = 3072;
+/// Decoder block count.
+const BLOCKS: u32 = 12;
+
+/// A GPT-2-small-style decoder stack at mini-batch `batch`: 12 blocks
+/// of `[qkv, attn, proj, fc1, fc2]`, 60 layers total.
+///
+/// The projection and MLP layers are token-parallel GEMMs over
+/// `batch × 1024` rows; the attention layer covers the per-head
+/// `QKᵀ`/`PV` score and context GEMMs (softmax excluded — it is not a
+/// GEMM and contributes no main-loop MACs).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidLayer`] for `batch == 0`, or if
+/// `batch × 1024` rows overflow the layer dimensions (far beyond any
+/// simulable batch).
+pub fn gpt2s(batch: u32) -> Result<Network, Error> {
+    let tokens = batch.checked_mul(SEQ).ok_or_else(|| Error::InvalidLayer {
+        label: "gpt2s".into(),
+        reason: format!("batch {batch} x seq {SEQ} overflows the token count"),
+    })?;
+    let mut layers = Vec::with_capacity((BLOCKS * 5) as usize);
+    for b in 0..BLOCKS {
+        layers.push(ConvLayer::gemm(
+            format!("blk{b}_qkv"),
+            tokens,
+            3 * D_MODEL,
+            D_MODEL,
+        )?);
+        layers.push(ConvLayer::attention(
+            format!("blk{b}_attn"),
+            batch,
+            SEQ,
+            HEADS,
+            HEAD_DIM,
+        )?);
+        layers.push(ConvLayer::gemm(
+            format!("blk{b}_proj"),
+            tokens,
+            D_MODEL,
+            D_MODEL,
+        )?);
+        layers.push(ConvLayer::gemm(
+            format!("blk{b}_fc1"),
+            tokens,
+            D_FF,
+            D_MODEL,
+        )?);
+        layers.push(ConvLayer::gemm(
+            format!("blk{b}_fc2"),
+            tokens,
+            D_MODEL,
+            D_FF,
+        )?);
+    }
+    Ok(Network::new("GPT2-S", layers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use delta_model::LayerKind;
+
+    #[test]
+    fn sixty_layers_in_block_order() {
+        let n = gpt2s(4).unwrap();
+        assert_eq!(n.name(), "GPT2-S");
+        assert_eq!(n.len(), 60);
+        let labels: Vec<_> = n.layers()[..5].iter().map(|l| l.label()).collect();
+        assert_eq!(
+            labels,
+            ["blk0_qkv", "blk0_attn", "blk0_proj", "blk0_fc1", "blk0_fc2"]
+        );
+    }
+
+    #[test]
+    fn every_layer_is_a_tensor_core_workload() {
+        for l in gpt2s(2).unwrap().layers() {
+            assert!(!l.kind().is_conv(), "{} must not be conv", l.label());
+        }
+    }
+
+    #[test]
+    fn gemm_dimensions_match_gpt2_small() {
+        let n = gpt2s(2).unwrap();
+        let qkv = n.layer("blk0_qkv").unwrap();
+        assert_eq!(
+            qkv.kind(),
+            LayerKind::Gemm {
+                m: 2 * 1024,
+                n: 2304,
+                k: 768
+            }
+        );
+        let attn = n.layer("blk3_attn").unwrap();
+        assert_eq!(
+            attn.kind(),
+            LayerKind::Attention {
+                seq: 1024,
+                heads: 12,
+                head_dim: 64
+            }
+        );
+        // Attention MACs are the exact non-flash 2·B·h·S²·d count.
+        assert_eq!(attn.macs(), 2 * 2 * 12 * 1024 * 1024 * 64);
+        let fc1 = n.layer("blk0_fc1").unwrap();
+        assert_eq!(fc1.out_channels(), 3072);
+        assert_eq!(fc1.in_channels(), 768);
+    }
+
+    #[test]
+    fn blocks_share_five_unique_shapes() {
+        // What makes the 60-layer stack cheap to evaluate: the engine's
+        // shape cache sees only the first block's five shapes.
+        let n = gpt2s(8).unwrap();
+        let mut shapes: Vec<_> = n.layers().iter().map(|l| l.with_label("x")).collect();
+        shapes.sort_by_key(|l| (l.out_channels(), l.in_channels()));
+        shapes.dedup();
+        assert_eq!(shapes.len(), 5);
+    }
+
+    #[test]
+    fn zero_batch_is_rejected() {
+        assert!(gpt2s(0).is_err());
+    }
+}

@@ -16,7 +16,9 @@ use serde::Value;
 const EVAL_QUERY_KEYS: &[&str] = &["shape", "pass", "parallelism"];
 /// `StepQuery` top-level fields.
 const STEP_QUERY_KEYS: &[&str] = &["layers", "parallelism", "bucket_mb", "overlap"];
-/// `LayerShape` fields (label-free).
+/// `LayerShape` fields (label-free). `kind` is optional on the wire:
+/// conv shapes omit it for byte-compatibility with pre-transformer
+/// clients; GEMM/attention shapes carry it.
 const SHAPE_KEYS: &[&str] = &[
     "batch",
     "in_channels",
@@ -27,6 +29,7 @@ const SHAPE_KEYS: &[&str] = &[
     "filter_width",
     "stride",
     "pad",
+    "kind",
 ];
 /// `ConvLayer` fields: a shape plus its label.
 const LAYER_KEYS: &[&str] = &[
@@ -40,6 +43,7 @@ const LAYER_KEYS: &[&str] = &[
     "filter_width",
     "stride",
     "pad",
+    "kind",
 ];
 /// `GpuSpec` fields (the full device description `Parallelism::Multi`
 /// carries per device).
@@ -63,6 +67,8 @@ const GPU_KEYS: &[&str] = &[
     "lat_dram_clks",
     "l1_request_bytes",
     "max_ctas_per_sm",
+    "tc_gflops",
+    "mma_shape",
 ];
 
 /// Rejects any key of `v` (when it is an object) outside `allowed`.
@@ -174,6 +180,23 @@ mod tests {
         let v = parse(r#"{"parallelism": {"mode": "single", "workers": 4}}"#);
         assert!(eval_query(&v).is_err(), "workers is a sharded-only field");
         let v = parse(r#"{"parallelism": {"mode": "sharded", "workers": 4}}"#);
+        assert!(eval_query(&v).is_ok());
+    }
+
+    #[test]
+    fn kind_carrying_shapes_validate() {
+        // GEMM/attention shapes carry the tagged `kind` object; its
+        // inner keys are the tag's own and the typed deserializer
+        // checks them, so the walker only admits the `kind` key itself.
+        let v =
+            parse(r#"{"shape": {"batch": 64, "kind": {"op": "gemm", "m": 64, "n": 32, "k": 16}}}"#);
+        assert!(eval_query(&v).is_ok());
+        // Tensor-core GpuSpec fields are part of the device schema.
+        let v = parse(
+            r#"{"parallelism": {"mode": "multi", "devices":
+                [{"name": "g", "tc_gflops": 1.0, "mma_shape": {"m": 16, "n": 16, "k": 16}}],
+                "interconnect": "Ideal", "topology": null}}"#,
+        );
         assert!(eval_query(&v).is_ok());
     }
 

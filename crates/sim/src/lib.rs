@@ -78,6 +78,7 @@ pub mod shard;
 pub mod sim;
 pub mod stages;
 pub mod tensor;
+pub mod tensorcore;
 pub mod timing;
 pub mod trace;
 
@@ -98,4 +99,5 @@ pub use sim::{
     Simulator, Totals,
 };
 pub use stages::BatchStats;
+pub use tensorcore::Datapath;
 pub use topology::{Topology, TopologyKind};

@@ -20,6 +20,7 @@ use crate::sched::ColumnScheduler;
 use crate::shard::{ColumnSegment, ShardAxis, ShardPlan};
 use crate::stages::{BatchLimits, BatchStats, CtaBatch, SteadyState};
 use crate::tensor::TensorMap;
+use crate::tensorcore::Datapath;
 use crate::timing::TimingEngine;
 use crate::topology::{Topology, TopologyKind};
 use delta_model::backend::{Backend, EstimateSource, LayerEstimate};
@@ -345,7 +346,13 @@ impl Simulator {
     /// sequential replay is one indivisible work unit — residency makes
     /// its columns non-distributable).
     pub fn run_sequential(&self, layer: &ConvLayer) -> Measurement {
-        let _span = span!("sim.replay", mode = "sequential", layer = layer.label());
+        let datapath = Datapath::select(&self.gpu, layer.kind());
+        let _span = span!(
+            "sim.replay",
+            mode = "sequential",
+            layer = layer.label(),
+            datapath = datapath.label()
+        );
         self.replays.inc();
         let tiling = self.tiling(layer);
         let tile = tiling.tile();
@@ -353,7 +360,7 @@ impl Simulator {
         let map = TensorMap::new(layer);
         let sched = ColumnScheduler::new(&tiling, &self.gpu, active);
         let mut hier = MemoryHierarchy::new(&self.gpu);
-        let mut timing = TimingEngine::new(&self.gpu, tile);
+        let mut timing = TimingEngine::with_datapath(&self.gpu, tile, datapath);
         self.charge_layer_prologue(&mut timing, tile);
 
         let mut tx_buf = Vec::with_capacity(64);
@@ -437,11 +444,13 @@ impl Simulator {
     /// distributed merge against the single-process detail bitwise,
     /// per-shard cycles included.
     pub fn run_sharded_detail(&self, layer: &ConvLayer, n_workers: u32) -> ShardedRun {
+        let datapath = Datapath::select(&self.gpu, layer.kind());
         let _span = span!(
             "sim.replay",
             mode = "sharded",
             layer = layer.label(),
-            workers = n_workers
+            workers = n_workers,
+            datapath = datapath.label()
         );
         self.replays.inc();
         let tiling = self.tiling(layer);
@@ -457,19 +466,36 @@ impl Simulator {
         let plan = ShardPlan::auto(sched.columns(), sim_batches, n_workers);
 
         // The prologue is charged once per layer, as in the sequential
-        // path.
+        // path. The charge is latency + bytes only (no compute term), so
+        // it is datapath-independent by construction.
         let mut prologue = TimingEngine::new(&self.gpu, tile);
         self.charge_layer_prologue(&mut prologue, tile);
 
         if plan.axis() == ShardAxis::Rows {
-            return self.run_row_sharded(&plan, &map, &sched, &tiling, active, prologue.cycles());
+            return self.run_row_sharded(
+                &plan,
+                &map,
+                &sched,
+                &tiling,
+                active,
+                datapath,
+                prologue.cycles(),
+            );
         }
 
         let simulate_shard = |range: &std::ops::Range<u64>| {
             let mut out = Vec::with_capacity((range.end - range.start) as usize);
             let mut tx_buf = Vec::with_capacity(64);
             for col in range.clone() {
-                out.push(self.replay_column(&map, &sched, &tiling, active, col, &mut tx_buf));
+                out.push(self.replay_column(
+                    &map,
+                    &sched,
+                    &tiling,
+                    active,
+                    datapath,
+                    col,
+                    &mut tx_buf,
+                ));
             }
             out
         };
@@ -507,6 +533,7 @@ impl Simulator {
     /// steady-state batch extrapolation over the reassembled per-batch
     /// stats — yielding a [`Measurement`] bitwise identical to the
     /// column-axis plan's for every worker count.
+    #[allow(clippy::too_many_arguments)]
     fn run_row_sharded(
         &self,
         plan: &ShardPlan,
@@ -514,6 +541,7 @@ impl Simulator {
         sched: &ColumnScheduler,
         tiling: &LayerTiling,
         active: u32,
+        datapath: Datapath,
         prologue_cycles: f64,
     ) -> ShardedRun {
         let batches = sched.batches_per_column();
@@ -522,7 +550,9 @@ impl Simulator {
             let mut tx_buf = Vec::with_capacity(64);
             plan.shard_segments(shard)
                 .iter()
-                .map(|seg| self.simulate_segment(map, sched, tiling, active, seg, &mut tx_buf))
+                .map(|seg| {
+                    self.simulate_segment(map, sched, tiling, active, datapath, seg, &mut tx_buf)
+                })
                 .collect::<Vec<SegmentReplay>>()
         };
         // Same nested-parallelism guard as the column axis: inside the
@@ -548,17 +578,19 @@ impl Simulator {
     /// Replays one tile column against a fresh hierarchy/timing pair —
     /// the column-axis work unit — and packages it as the serializable
     /// merge part.
+    #[allow(clippy::too_many_arguments)]
     fn replay_column(
         &self,
         map: &TensorMap,
         sched: &ColumnScheduler,
         tiling: &LayerTiling,
         active: u32,
+        datapath: Datapath,
         col: u64,
         tx_buf: &mut Vec<Transaction>,
     ) -> ColumnReplay {
         let mut hier = MemoryHierarchy::new(&self.gpu);
-        let mut timing = TimingEngine::new(&self.gpu, tiling.tile());
+        let mut timing = TimingEngine::with_datapath(&self.gpu, tiling.tile(), datapath);
         let sim = self.simulate_column(
             map,
             sched,
@@ -589,12 +621,14 @@ impl Simulator {
     /// its counter activity is subtracted out via a snapshot delta, so
     /// the segment contributes exactly the activity the sequential
     /// replay would have counted for these batches.
+    #[allow(clippy::too_many_arguments)]
     fn simulate_segment(
         &self,
         map: &TensorMap,
         sched: &ColumnScheduler,
         tiling: &LayerTiling,
         active: u32,
+        datapath: Datapath,
         seg: &ColumnSegment,
         tx_buf: &mut Vec<Transaction>,
     ) -> SegmentReplay {
@@ -603,7 +637,7 @@ impl Simulator {
         let limits = self.batch_limits();
         let mut hier = MemoryHierarchy::new(&self.gpu);
         if seg.batches.start > 0 {
-            let mut scratch = TimingEngine::new(&self.gpu, tile);
+            let mut scratch = TimingEngine::with_datapath(&self.gpu, tile, datapath);
             let warm = CtaBatch::new(
                 map,
                 tile,
@@ -614,7 +648,7 @@ impl Simulator {
             warm.simulate(&mut hier, &mut scratch, limits, tx_buf, None);
         }
         let warm_base = hier.snapshot();
-        let mut timing = TimingEngine::new(&self.gpu, tile);
+        let mut timing = TimingEngine::with_datapath(&self.gpu, tile, datapath);
         let mut stats = Vec::with_capacity((seg.batches.end - seg.batches.start) as usize);
         let mut charges = Vec::new();
         let mut simulated_ctas = 0u64;
@@ -1064,16 +1098,33 @@ impl Simulator {
     /// (Capacity-weighted heterogeneous partitioning is the ROADMAP
     /// follow-up that lands behind this same query signature.)
     pub fn require_homogeneous(&self, devices: &[GpuSpec]) -> Result<(), Error> {
-        match devices.iter().find(|d| **d != self.gpu) {
+        let offending: Vec<(usize, &GpuSpec)> = devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d != self.gpu)
+            .collect();
+        match offending.first() {
             None => Ok(()),
-            Some(other) => Err(Error::InvalidGpu {
-                name: other.name().to_string(),
-                reason: format!(
-                    "multi-device queries currently require a homogeneous fleet of the \
-                     simulator's own GPU ({}); mixed fleets are not simulated yet",
-                    self.gpu.name()
-                ),
-            }),
+            Some((_, first)) => {
+                let indices = offending
+                    .iter()
+                    .map(|(i, d)| format!("#{i} ({})", d.name()))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                Err(Error::InvalidGpu {
+                    name: first.name().to_string(),
+                    reason: format!(
+                        "multi-device queries currently require a homogeneous fleet of the \
+                         simulator's own GPU ({own}); device{plural} {indices} of the \
+                         {total}-device query differ{s} from {own} and mixed fleets are not \
+                         simulated yet",
+                        own = self.gpu.name(),
+                        plural = if offending.len() == 1 { "" } else { "s" },
+                        s = if offending.len() == 1 { "s" } else { "" },
+                        total = devices.len(),
+                    ),
+                })
+            }
         }
     }
 
@@ -1110,7 +1161,13 @@ impl Simulator {
     ///
     /// Rejects a column index outside the layer's tile grid.
     pub fn replay_column_unit(&self, layer: &ConvLayer, col: u64) -> Result<ColumnReplay, Error> {
-        let _span = span!("sim.replay_column", layer = layer.label(), col = col);
+        let datapath = Datapath::select(&self.gpu, layer.kind());
+        let _span = span!(
+            "sim.replay_column",
+            layer = layer.label(),
+            col = col,
+            datapath = datapath.label()
+        );
         let tiling = self.tiling(layer);
         let active = self.active_ctas(tiling.tile());
         let sched = ColumnScheduler::new(&tiling, &self.gpu, active);
@@ -1126,7 +1183,7 @@ impl Simulator {
         }
         let map = TensorMap::new(layer);
         let mut tx_buf = Vec::with_capacity(64);
-        Ok(self.replay_column(&map, &sched, &tiling, active, col, &mut tx_buf))
+        Ok(self.replay_column(&map, &sched, &tiling, active, datapath, col, &mut tx_buf))
     }
 
     /// Replays one column sub-range — the row-axis work unit of a
@@ -1149,12 +1206,14 @@ impl Simulator {
         col: u64,
         batches: std::ops::Range<u64>,
     ) -> Result<SegmentReplay, Error> {
+        let datapath = Datapath::select(&self.gpu, layer.kind());
         let _span = span!(
             "sim.replay_segment",
             layer = layer.label(),
             col = col,
             batch_start = batches.start,
-            batch_end = batches.end
+            batch_end = batches.end,
+            datapath = datapath.label()
         );
         let tiling = self.tiling(layer);
         let active = self.active_ctas(tiling.tile());
@@ -1186,7 +1245,7 @@ impl Simulator {
         let map = TensorMap::new(layer);
         let mut tx_buf = Vec::with_capacity(64);
         let seg = ColumnSegment { col, batches };
-        Ok(self.simulate_segment(&map, &sched, &tiling, active, &seg, &mut tx_buf))
+        Ok(self.simulate_segment(&map, &sched, &tiling, active, datapath, &seg, &mut tx_buf))
     }
 
     /// Merges per-column replay parts — one [`ColumnReplay`] per tile
@@ -1676,6 +1735,19 @@ mod tests {
         );
         let err = sim.evaluate(&q).unwrap_err();
         assert!(err.to_string().contains("homogeneous"), "{err}");
+        // The rejection names the offending device index and both specs.
+        let msg = err.to_string();
+        assert!(msg.contains("#1 (V100)"), "{msg}");
+        assert!(msg.contains("TITAN Xp"), "{msg}");
+        assert!(msg.contains("2-device"), "{msg}");
+        // Several offenders are all enumerated.
+        let multi = sim
+            .require_homogeneous(&[GpuSpec::v100(), GpuSpec::titan_xp(), GpuSpec::p100()])
+            .unwrap_err()
+            .to_string();
+        assert!(multi.contains("#0 (V100)"), "{multi}");
+        assert!(multi.contains("#2 (P100)"), "{multi}");
+        assert!(!multi.contains("#1 ("), "{multi}");
         // A matching fleet is accepted.
         let ok = EvalQuery::forward(
             &small_layer(),
@@ -2259,5 +2331,77 @@ mod tests {
         assert!(sim.replay_column_unit(&wide, 1_000).is_err());
         assert!(sim.replay_segment_unit(&narrow, 0, 5..5).is_err());
         assert!(sim.replay_segment_unit(&narrow, 0, 0..1_000_000).is_err());
+    }
+
+    fn gemm_layer() -> ConvLayer {
+        ConvLayer::gemm("blk_fc1", 8, 3072, 768).unwrap()
+    }
+
+    #[test]
+    fn tensor_core_gemm_is_faster_than_ffma_and_traffic_identical() {
+        // v100_tensor() is v100() plus the tensor cores, so only the
+        // compute term can differ between the two simulators.
+        let ffma = Simulator::new(GpuSpec::v100(), SimConfig::default());
+        assert!(GpuSpec::v100_tensor().has_tensor_cores());
+        let tc = Simulator::new(GpuSpec::v100_tensor(), SimConfig::default());
+        let l = gemm_layer();
+        let mf = ffma.run(&l);
+        let mt = tc.run(&l);
+        // The datapath changes cycle accounting only: every traffic
+        // number is bitwise identical.
+        assert_eq!(mf.l1_bytes, mt.l1_bytes);
+        assert_eq!(mf.l2_bytes, mt.l2_bytes);
+        assert_eq!(mf.dram_read_bytes, mt.dram_read_bytes);
+        assert_eq!(mf.dram_write_bytes, mt.dram_write_bytes);
+        assert!(
+            mt.cycles < mf.cycles,
+            "tensor cores must not be slower: {} vs {}",
+            mt.cycles,
+            mf.cycles
+        );
+    }
+
+    #[test]
+    fn conv_measurement_is_unchanged_by_tensor_core_presence() {
+        // Conv layers stay on FFMA: the paper's CNN results are bitwise
+        // untouched by a device that happens to have tensor cores.
+        let plain = Simulator::new(GpuSpec::v100(), SimConfig::default());
+        let tc = Simulator::new(GpuSpec::v100_tensor(), SimConfig::default());
+        let l = small_layer();
+        assert_eq!(plain.run(&l), tc.run(&l));
+    }
+
+    #[test]
+    fn tensor_core_sharding_is_identical_for_every_worker_count() {
+        let sim = Simulator::new(GpuSpec::a100(), SimConfig::default());
+        let l = gemm_layer();
+        let base = sim.run_sharded(&l, 1);
+        for n in [2, 3, 4, 7, 16] {
+            assert_eq!(base, sim.run_sharded(&l, n), "workers={n}");
+        }
+        // Attention replays hold the same contract on the row axis too.
+        let attn = ConvLayer::attention("attn", 2, 64, 4, 32).unwrap();
+        let abase = sim.run_sharded(&attn, 1);
+        for n in [2, 5, 9] {
+            assert_eq!(abase, sim.run_sharded(&attn, n), "workers={n}");
+        }
+    }
+
+    #[test]
+    fn tensor_core_unit_replays_merge_bitwise() {
+        // The fleet contract (unit replay + merge == local sharded run)
+        // holds on the tensor-core datapath because every executor
+        // selects the datapath from (gpu, kind) independently.
+        let sim = Simulator::new(GpuSpec::v100_tensor(), SimConfig::default());
+        let l = gemm_layer();
+        let n = 4;
+        let local = sim.run_sharded_detail(&l, n);
+        let plan = sim.shard_plan(&l, n);
+        assert_eq!(plan.axis(), ShardAxis::Columns);
+        let parts: Vec<ColumnReplay> = (0..plan.columns())
+            .map(|c| sim.replay_column_unit(&l, c).unwrap())
+            .collect();
+        let merged = sim.merge_column_replays(&l, n, parts).unwrap();
+        assert_eq!(local, merged);
     }
 }

@@ -17,6 +17,7 @@
 //! cycles" quantity independent of the model's traffic equations.
 
 use crate::hierarchy::TrafficDelta;
+use crate::tensorcore::Datapath;
 use delta_model::tiling::CtaTile;
 use delta_model::{GpuSpec, BYTES_PER_ELEMENT};
 
@@ -40,11 +41,18 @@ pub struct TimingEngine {
 }
 
 impl TimingEngine {
-    /// Prepares the engine for `tile` on `gpu`.
+    /// Prepares the engine for `tile` on `gpu`, on the FFMA datapath
+    /// (the paper's configuration; conv layers always take this path).
     pub fn new(gpu: &GpuSpec, tile: CtaTile) -> TimingEngine {
+        TimingEngine::with_datapath(gpu, tile, Datapath::Ffma)
+    }
+
+    /// Prepares the engine for `tile` on `gpu` with an explicit compute
+    /// datapath: the `t_CS` term comes from
+    /// [`Datapath::loop_compute_clks`] (FFMA or MMA-quantized tensor
+    /// cores); every other term is datapath-independent.
+    pub fn with_datapath(gpu: &GpuSpec, tile: CtaTile, datapath: Datapath) -> TimingEngine {
         let elem = BYTES_PER_ELEMENT as f64;
-        let macs_per_loop =
-            f64::from(tile.blk_m()) * f64::from(tile.blk_n()) * f64::from(tile.blk_k());
         let smem_store = f64::from(tile.blk_m() + tile.blk_n()) * f64::from(tile.blk_k()) * elem;
         let smem_load = f64::from(tile.warp_m() + tile.warp_n())
             * f64::from(tile.blk_k())
@@ -52,7 +60,7 @@ impl TimingEngine {
             * elem;
         let num_sm = f64::from(gpu.num_sm());
         TimingEngine {
-            t_cs: macs_per_loop / gpu.macs_per_clk_per_sm(),
+            t_cs: datapath.loop_compute_clks(gpu, tile),
             t_sas: smem_store / gpu.smem_st_bytes_per_clk()
                 + smem_load / gpu.smem_ld_bytes_per_clk(),
             l1_bpc: gpu.l1_bytes_per_clk(),
@@ -213,6 +221,24 @@ mod tests {
         assert!((e.cycles() - 2.0 * c).abs() < 1e-9);
         e.add_cycles(10.0);
         assert!((e.cycles() - (2.0 * c + 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tensor_core_datapath_shrinks_only_the_compute_term() {
+        let gpu = GpuSpec::v100_tensor();
+        let ffma = TimingEngine::new(&gpu, CtaTile::LARGE);
+        let mma = Datapath::select(&gpu, delta_model::LayerKind::Gemm { m: 1, n: 1, k: 1 });
+        let tc = TimingEngine::with_datapath(&gpu, CtaTile::LARGE, mma);
+        assert!(tc.t_cs() < ffma.t_cs());
+        // A pure-bandwidth loop charges identically on both datapaths.
+        let heavy = TrafficDelta {
+            l1_bytes: 0,
+            l2_bytes: 0,
+            dram_bytes: 400_000_000,
+        };
+        let mut a = TimingEngine::new(&gpu, CtaTile::LARGE);
+        let mut b = TimingEngine::with_datapath(&gpu, CtaTile::LARGE, mma);
+        assert_eq!(a.charge_loop(heavy, 168, 2), b.charge_loop(heavy, 168, 2));
     }
 
     #[test]

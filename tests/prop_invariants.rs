@@ -317,6 +317,21 @@ proptest! {
 // Query-fingerprint invariants (the evaluation API's cache contract)
 // ---------------------------------------------------------------------
 
+/// A random layer across every [`delta_model::LayerKind`]: the conv
+/// layers above, plus GEMM and attention workloads whose fingerprints
+/// must separate from conv layers with identical embedded dimensions.
+fn arb_kinded_layer() -> impl Strategy<Value = ConvLayer> {
+    prop_oneof![
+        arb_layer(),
+        (1u32..=4096, 1u32..=4096, 1u32..=4096).prop_map(|(m, n, k)| {
+            ConvLayer::gemm("prop-gemm", m, n, k).expect("positive dims build")
+        }),
+        (1u32..=8, 1u32..=256, 1u32..=16, 1u32..=128).prop_map(|(b, seq, heads, dh)| {
+            ConvLayer::attention("prop-attn", b, seq, heads, dh).expect("small dims build")
+        }),
+    ]
+}
+
 /// A random execution configuration spanning every query axis: pass,
 /// shard workers, device count, device spec, interconnect, topology.
 fn arb_parallelism() -> impl Strategy<Value = delta_model::Parallelism> {
@@ -325,6 +340,8 @@ fn arb_parallelism() -> impl Strategy<Value = delta_model::Parallelism> {
         Just(GpuSpec::titan_xp()),
         Just(GpuSpec::p100()),
         Just(GpuSpec::v100()),
+        Just(GpuSpec::v100_tensor()),
+        Just(GpuSpec::a100()),
     ];
     let interconnect = prop_oneof![
         Just(InterconnectKind::Ideal),
@@ -362,7 +379,7 @@ proptest! {
     #[test]
     fn query_fingerprints_are_injective_and_equal_queries_hit_the_cache(
         (layer_a, layer_b, pass_a, pass_b, par_a, par_b) in (
-            arb_layer(), arb_layer(), arb_pass(), arb_pass(),
+            arb_kinded_layer(), arb_kinded_layer(), arb_pass(), arb_pass(),
             arb_parallelism(), arb_parallelism(),
         )
     ) {
@@ -393,6 +410,24 @@ proptest! {
                 prop_assert_eq!(engine.cache_stats().hits, 0);
             }
         }
+    }
+
+    #[test]
+    fn layer_kind_separates_fingerprints_of_equal_embeddings(
+        (m, n, k, pass, par) in (
+            1u32..=1024, 1u32..=1024, 1u32..=1024, arb_pass(), arb_parallelism(),
+        )
+    ) {
+        use delta_model::EvalQuery;
+        // A GEMM and the FC conv embedding it lowers to share every
+        // geometric field; only `kind` separates them — so the cache
+        // can never serve a tensor-core result for an FFMA query.
+        let gemm = ConvLayer::gemm("prop", m, n, k).unwrap();
+        let fc = ConvLayer::fully_connected("prop", m, k, n).unwrap();
+        prop_assert_eq!(gemm.macs(), fc.macs());
+        let a = EvalQuery::new(&gemm, pass, par.clone());
+        let b = EvalQuery::new(&fc, pass, par);
+        prop_assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]
